@@ -1,0 +1,1 @@
+bench/main.ml: Array Host_bench List Printf String Sys Tables Verify_bench

@@ -1,0 +1,1 @@
+bench/tables.ml: Cost Counter Device Dompool Filename Float Gpusim Harness List Lsq_core Mdlinalg Mdseries Multidouble Printf String Sys Unix

@@ -1,0 +1,1 @@
+bench/verify_bench.ml: Gpusim Harness List Multidouble Printf String

@@ -1,0 +1,432 @@
+(* Command line driver: run any of the paper's experiments from the shell.
+
+     lsq_cli devices
+     lsq_cli qr      --device v100 --prec 4d --dim 1024 --tile 128
+     lsq_cli backsub --device p100 --prec 4d --dim 17920 --tile 224
+     lsq_cli solve   --device v100 --prec 8d --dim 1024 --tile 128
+     lsq_cli qr --complex --execute --dim 64 --tile 16
+
+   Without [--execute] only the cost model runs (instantaneous, any
+   dimension); with it the kernels execute numerically on the simulator
+   and the residuals are reported. *)
+
+open Cmdliner
+module P = Multidouble.Precision
+module R = Harness.Runners
+
+let pf = Printf.printf
+
+(* ---- common options ---- *)
+
+let device_arg =
+  let parse s =
+    try Ok (Gpusim.Device.by_name s) with Invalid_argument m -> Error (`Msg m)
+  in
+  let print fmt d = Format.fprintf fmt "%s" d.Gpusim.Device.name in
+  Arg.conv (parse, print)
+
+let device =
+  Arg.(
+    value
+    & opt device_arg Gpusim.Device.v100
+    & info [ "d"; "device" ] ~docv:"GPU"
+        ~doc:"Simulated device: c2050, k20c, p100, v100 or rtx2080.")
+
+let prec_arg =
+  let parse s =
+    try Ok (P.of_label (String.lowercase_ascii s))
+    with Invalid_argument m -> Error (`Msg m)
+  in
+  let print fmt p = Format.fprintf fmt "%s" (P.label p) in
+  Arg.conv (parse, print)
+
+let prec =
+  Arg.(
+    value
+    & opt prec_arg P.QD
+    & info [ "p"; "prec" ] ~docv:"PREC"
+        ~doc:"Precision: 1d, 2d, 4d or 8d (double .. octo double).")
+
+let dim =
+  Arg.(
+    value & opt int 1024
+    & info [ "n"; "dim" ] ~docv:"N" ~doc:"Problem dimension.")
+
+let rows =
+  Arg.(
+    value & opt (some int) None
+    & info [ "rows" ] ~docv:"M"
+        ~doc:"Number of rows (QR only; default: square).")
+
+let tile =
+  Arg.(
+    value & opt int 128
+    & info [ "t"; "tile" ] ~docv:"TILE" ~doc:"Tile size (threads per block).")
+
+let complex =
+  Arg.(value & flag & info [ "complex" ] ~doc:"Use complex data.")
+
+let execute =
+  Arg.(
+    value & flag
+    & info [ "x"; "execute" ]
+        ~doc:
+          "Execute the kernels numerically (keep the dimension moderate) \
+           and report residuals; default is cost accounting only.")
+
+(* ---- output ---- *)
+
+let print_run what device p ~complex (r : R.run) =
+  pf "%s in %s%s precision on the simulated %s\n" what (P.name p)
+    (if complex then " complex" else "")
+    device.Gpusim.Device.name;
+  List.iter (fun (s, ms) -> pf "  %-24s %12.3f ms\n" s ms) r.R.stage_ms;
+  pf "  %-24s %12.3f ms\n" "all kernels" r.R.kernel_ms;
+  pf "  %-24s %12.3f ms\n" "wall clock" r.R.wall_ms;
+  pf "  %-24s %12.1f gigaflops\n" "kernel flops" r.R.kernel_gflops;
+  pf "  %-24s %12.1f gigaflops\n" "wall flops" r.R.wall_gflops;
+  pf "  %-24s %12d\n" "kernel launches" r.R.launches
+
+let check_tile ~dim ~tile =
+  if tile <= 0 || dim mod tile <> 0 then begin
+    Printf.eprintf "error: the tile size (%d) must divide the dimension (%d)\n"
+      tile dim;
+    exit 2
+  end
+
+(* ---- subcommands ---- *)
+
+let qr_cmd =
+  let run device p dim rows tile complex execute =
+    check_tile ~dim ~tile;
+    let r = R.qr ~complex ?rows p device ~n:dim ~tile in
+    print_run
+      (Printf.sprintf "blocked Householder QR of a %dx%d matrix"
+         (Option.value rows ~default:dim)
+         dim)
+      device p ~complex r;
+    if execute then begin
+      let v = R.verify_qr ~complex p device ~n:(min dim 96) ~tile:(min tile 16) in
+      pf "  executed residual: %.1f eps (%s)\n" v.R.residual
+        (if v.R.ok then "ok" else "FAILED")
+    end
+  in
+  Cmd.v
+    (Cmd.info "qr" ~doc:"Blocked Householder QR (Algorithm 2).")
+    Term.(
+      const run $ device $ prec $ dim $ rows $ tile $ complex $ execute)
+
+let backsub_cmd =
+  let run device p dim tile complex execute =
+    check_tile ~dim ~tile;
+    let r = R.bs ~complex p device ~dim ~tile in
+    print_run
+      (Printf.sprintf "tiled back substitution of dimension %d (%d tiles)"
+         dim (dim / tile))
+      device p ~complex r;
+    if execute then begin
+      let v =
+        R.verify_bs ~complex p device ~dim:(min dim 96) ~tile:(min tile 16)
+      in
+      pf "  executed residual: %.1f eps (%s)\n" v.R.residual
+        (if v.R.ok then "ok" else "FAILED")
+    end
+  in
+  Cmd.v
+    (Cmd.info "backsub" ~doc:"Tiled accelerated back substitution (Algorithm 1).")
+    Term.(const run $ device $ prec $ dim $ tile $ complex $ execute)
+
+let solve_cmd =
+  let run device p dim tile complex execute =
+    check_tile ~dim ~tile;
+    let r = R.solve ~complex p device ~n:dim ~tile in
+    pf "least squares solve of a %dx%d system in %s%s on the simulated %s\n"
+      dim dim (P.name p)
+      (if complex then " complex" else "")
+      device.Gpusim.Device.name;
+    pf "  %-24s %12.3f ms\n" "QR kernel time" r.R.qr_kernel_ms;
+    pf "  %-24s %12.3f ms\n" "QR wall time" r.R.qr_wall_ms;
+    pf "  %-24s %12.3f ms\n" "BS kernel time" r.R.bs_kernel_ms;
+    pf "  %-24s %12.3f ms\n" "BS wall time" r.R.bs_wall_ms;
+    pf "  %-24s %12.1f gigaflops\n" "total kernel flops" r.R.total_kernel_gflops;
+    pf "  %-24s %12.1f gigaflops\n" "total wall flops" r.R.total_wall_gflops;
+    if execute then begin
+      let v =
+        R.verify_solve ~complex p device ~n:(min dim 64) ~tile:(min tile 16)
+      in
+      pf "  executed forward error: %.1f eps (%s)\n" v.R.residual
+        (if v.R.ok then "ok" else "FAILED")
+    end
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Least squares solver: QR then back substitution.")
+    Term.(const run $ device $ prec $ dim $ tile $ complex $ execute)
+
+let refine_cmd =
+  let lo_prec =
+    Arg.(
+      value & opt prec_arg P.DD
+      & info [ "lo" ] ~docv:"PREC" ~doc:"Working (factorization) precision.")
+  in
+  let hi_prec =
+    Arg.(
+      value & opt prec_arg P.QD
+      & info [ "hi" ] ~docv:"PREC" ~doc:"Target (residual) precision.")
+  in
+  let run device lo hi dim tile =
+    check_tile ~dim ~tile;
+    if P.limbs lo >= P.limbs hi then begin
+      Printf.eprintf "error: --lo must be a lower precision than --hi\n";
+      exit 2
+    end;
+    let (module L) = Multidouble.Registry.module_of_tag lo in
+    let (module H) = Multidouble.Registry.module_of_tag hi in
+    let module Rf = Lsq_core.Refine.Make (L) (H) in
+    let module Rand = Mdlinalg.Randmat.Make (Rf.KH) in
+    let rng = Dompool.Prng.create 99 in
+    let a = Rand.matrix rng dim dim in
+    let a =
+      Rf.MH.init dim dim (fun i j ->
+          if i = j then H.add (Rf.MH.get a i j) (H.of_int 8)
+          else Rf.MH.get a i j)
+    in
+    let x_true = Rand.vector rng dim in
+    let b = Rf.MH.matvec a x_true in
+    let res = Rf.solve ~device ~a ~b ~tile () in
+    let err =
+      H.to_float (Rf.VH.norm (Rf.VH.sub res.Rf.x x_true))
+      /. H.to_float (Rf.VH.norm x_true)
+    in
+    pf "iterative refinement: %s factorization, %s residuals, n = %d\n"
+      (P.name lo) (P.name hi) dim;
+    pf "  refinement sweeps      : %d\n" res.Rf.iterations;
+    pf "  forward error          : %.2e (target eps %.2e)\n" err H.eps;
+    pf "  QR kernel time (%s)    : %.3f ms on the %s\n" (P.label lo)
+      res.Rf.qr_kernel_ms device.Gpusim.Device.name;
+    pf "  residual history       : %s\n"
+      (String.concat " "
+         (List.map (Printf.sprintf "%.1e") res.Rf.residual_history))
+  in
+  Cmd.v
+    (Cmd.info "refine"
+       ~doc:
+         "Mixed-precision iterative refinement: factor low, refine high.")
+    Term.(
+      const run $ device $ lo_prec $ hi_prec
+      $ Arg.(value & opt int 64 & info [ "n"; "dim" ] ~docv:"N" ~doc:"Dimension.")
+      $ Arg.(value & opt int 16 & info [ "t"; "tile" ] ~docv:"TILE" ~doc:"Tile."))
+
+let toeplitz_cmd =
+  let blockdim =
+    Arg.(
+      value & opt int 4
+      & info [ "block" ] ~docv:"N" ~doc:"Dimension of each block.")
+  in
+  let degree_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "degree" ] ~docv:"D" ~doc:"Truncation degree of the series.")
+  in
+  let run device p blockdim degree complex =
+    let (module K) = Harness.Runners.scalar_of ~complex p in
+    let module BT = Mdseries.Block_toeplitz.Make (K) in
+    let module Qrm = Lsq_core.Blocked_qr.Make (K) in
+    let module Bsm = Lsq_core.Tiled_back_sub.Make (K) in
+    let module M = Mdlinalg.Mat.Make (K) in
+    let module V = Mdlinalg.Vec.Make (K) in
+    let rng = Dompool.Prng.create 7 in
+    let j =
+      Array.init (degree + 1) (fun k ->
+          let m = M.random rng blockdim blockdim in
+          if k = 0 then
+            M.init blockdim blockdim (fun i j' ->
+                if i = j' then K.add (M.get m i j') (K.of_float 6.0)
+                else M.get m i j')
+          else m)
+    in
+    let x_true = Array.init (degree + 1) (fun _ -> V.random rng blockdim) in
+    let b = BT.apply j x_true in
+    let x, qr, bs = BT.solve_device ~device ~tile:blockdim j b in
+    let err = ref K.R.zero in
+    Array.iteri
+      (fun k p' ->
+        let e = V.norm (V.sub p' x_true.(k)) in
+        if K.R.compare e !err > 0 then err := e)
+      x;
+    pf "block Toeplitz series solve: %d blocks of %dx%d, %s%s, %s\n"
+      (degree + 1) blockdim blockdim (P.name p)
+      (if complex then " complex" else "")
+      device.Gpusim.Device.name;
+    pf "  max order error        : %s\n" (K.R.to_string ~digits:3 !err);
+    pf "  QR of J0, kernels      : %.4f ms\n" qr.Qrm.kernel_ms;
+    pf "  Algorithm 1, kernels   : %.4f ms (%d launches)\n" bs.Bsm.kernel_ms
+      bs.Bsm.launches
+  in
+  Cmd.v
+    (Cmd.info "toeplitz"
+       ~doc:
+         "Power series block Toeplitz solve (the paper's path tracker \
+          component).")
+    Term.(const run $ device $ prec $ blockdim $ degree_arg $ complex)
+
+let psolve_cmd =
+  let system_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SYSTEM"
+          ~doc:
+            "The polynomial system, semicolon-separated, e.g. \
+             \"x^2 + y^2 - 4; x*y - 1\".")
+  in
+  let run device p system_text =
+    let (module R) = Multidouble.Registry.module_of_tag p in
+    let module S = Mdseries.Solve.Make (R) in
+    let module Pp = Mdseries.Poly_parser.Make (S.K) in
+    let sys, vars =
+      try Pp.parse_system ~iunit:(S.K.of_floats 0.0 1.0) system_text
+      with Mdseries.Poly_parser.Parse_error m ->
+        Printf.eprintf "parse error: %s\n" m;
+        exit 2
+    in
+    if Array.length sys <> List.length vars then begin
+      Printf.eprintf
+        "error: %d equations in %d variables (need a square system)\n"
+        (Array.length sys) (List.length vars);
+      exit 2
+    end;
+    pf "solving %d equations in (%s), total degree %d, %s, on the %s\n"
+      (Array.length sys)
+      (String.concat ", " vars)
+      (S.P.total_degree sys) (P.name p) device.Gpusim.Device.name;
+    let r = S.solve ~device sys in
+    pf "%d paths: %d converged, %d diverged, %d stuck\n" r.S.paths
+      (List.length r.S.solutions)
+      r.S.diverged r.S.stuck;
+    let sols = S.distinct r.S.solutions in
+    pf "%d distinct solutions:\n" (List.length sols);
+    List.iteri
+      (fun i s ->
+        pf "  %2d:" (i + 1);
+        List.iteri
+          (fun j v ->
+            let z = s.S.point.(j) in
+            pf "  %s = %+.12g %+.12gi" v
+              (R.to_float (S.K.re z))
+              (R.to_float (S.K.im z)))
+          vars;
+        pf "   |f| = %.1e\n" s.S.residual)
+      sols
+  in
+  Cmd.v
+    (Cmd.info "psolve"
+       ~doc:
+         "Solve a polynomial system by total-degree homotopy continuation \
+          (all Newton corrections on the accelerated solver).")
+    Term.(const run $ device $ prec $ system_arg)
+
+let cond_cmd =
+  let family =
+    Arg.(
+      value
+      & opt (enum [ ("hilbert", `Hilbert); ("vandermonde", `Vandermonde);
+                    ("random", `Random) ]) `Hilbert
+      & info [ "family" ] ~docv:"FAMILY"
+          ~doc:"Matrix family: hilbert, vandermonde or random.")
+  in
+  let wanted =
+    Arg.(
+      value & opt int 12
+      & info [ "digits" ] ~docv:"D" ~doc:"Trusted digits wanted.")
+  in
+  let run p dim family wanted =
+    let (module R) = Multidouble.Registry.module_of_tag p in
+    let module K = Mdlinalg.Scalar.Real (R) in
+    let module M = Mdlinalg.Mat.Make (K) in
+    let module C = Mdlinalg.Cond.Make (K) in
+    let module Svd = Mdlinalg.Jacobi_svd.Make (K) in
+    let a =
+      match family with
+      | `Hilbert ->
+        M.init dim dim (fun i j -> R.div R.one (R.of_int (i + j + 1)))
+      | `Vandermonde ->
+        M.init dim dim (fun i k ->
+            let x = R.div (R.of_int (i + 1)) (R.of_int dim) in
+            let rec pow acc e =
+              if e = 0 then acc else pow (R.mul acc x) (e - 1)
+            in
+            pow R.one k)
+      | `Random ->
+        let rng = Dompool.Prng.create 4 in
+        M.random rng dim dim
+    in
+    (try
+       let c1 = C.cond1 a in
+       pf "kappa_1  = %s\n" (R.to_string ~digits:4 c1)
+     with _ -> pf "kappa_1  = (singular to working precision)\n");
+    let c2 = Svd.cond2 a in
+    pf "kappa_2  = %s\n" (R.to_string ~digits:4 c2);
+    let risk = Float.log10 (Float.max 1.0 (R.to_float c2)) in
+    pf "digits at risk ~ %.1f\n" risk;
+    let safe =
+      List.find_opt
+        (fun q ->
+          (float_of_int (P.limbs q) *. 16.0) -. risk >= float_of_int wanted)
+        P.all
+    in
+    pf "cheapest precision leaving %d trusted digits: %s\n" wanted
+      (match safe with
+      | Some q -> Printf.sprintf "%s (%s)" (P.name q) (P.label q)
+      | None -> "beyond octo double")
+  in
+  Cmd.v
+    (Cmd.info "cond"
+       ~doc:"Condition numbers and the digits-at-risk precision guide.")
+    Term.(
+      const run $ prec
+      $ Arg.(value & opt int 10 & info [ "n"; "dim" ] ~docv:"N" ~doc:"Dimension.")
+      $ family $ wanted)
+
+let devices_cmd =
+  let run () =
+    pf "%-12s %5s %5s %10s %7s %6s %10s %9s\n" "device" "CUDA" "#MP"
+      "#cores/MP" "#cores" "GHz" "DP peak" "DRAM GB/s";
+    List.iter
+      (fun d ->
+        pf "%-12s %5.1f %5d %10d %7d %6.2f %7.0f GF %9.0f\n"
+          d.Gpusim.Device.name d.Gpusim.Device.cuda d.Gpusim.Device.sm_count
+          d.Gpusim.Device.cores_per_sm (Gpusim.Device.cores d)
+          d.Gpusim.Device.ghz d.Gpusim.Device.dp_peak_gflops
+          d.Gpusim.Device.dram_gb_s)
+      Gpusim.Device.catalog
+  in
+  Cmd.v
+    (Cmd.info "devices" ~doc:"List the simulated GPUs (Table 2).")
+    Term.(const run $ const ())
+
+let precisions_cmd =
+  let run () =
+    pf "%-6s %-14s %7s %9s %9s %9s %10s\n" "label" "name" "limbs" "add"
+      "mul" "div" "avg ovh";
+    List.iter
+      (fun p ->
+        pf "%-6s %-14s %7d %9d %9d %9d %10.1f\n" (P.label p) (P.name p)
+          (P.limbs p) (P.add_flops p) (P.mul_flops p) (P.div_flops p)
+          (P.average_flops p))
+      P.all
+  in
+  Cmd.v
+    (Cmd.info "precisions" ~doc:"List the precisions and Table 1 op counts.")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "lsq_cli" ~version:"1.0"
+      ~doc:
+        "Least squares on simulated GPUs in multiple double precision \
+         (reproduction of Verschelde, IPDPSW 2022)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ qr_cmd; backsub_cmd; solve_cmd; refine_cmd; toeplitz_cmd; psolve_cmd; cond_cmd; devices_cmd; precisions_cmd ]))

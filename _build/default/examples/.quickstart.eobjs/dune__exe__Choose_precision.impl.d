@@ -1,0 +1,1 @@
+examples/choose_precision.ml: Cond Gpusim List Lsq_core Mat Mdlinalg Multidouble Printf Scalar Vec

@@ -1,0 +1,1 @@
+examples/choose_precision.mli:

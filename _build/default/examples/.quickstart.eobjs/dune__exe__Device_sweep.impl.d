@@ -1,0 +1,1 @@
+examples/device_sweep.ml: Gpusim Least_squares List Lsq_core Mdlinalg Multidouble Printf

@@ -1,0 +1,1 @@
+examples/path_tracker.ml: Array Float Homotopy List Mdlinalg Mdseries Multidouble Printf Scalar

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dompool Gpusim Least_squares Lsq_core Mat Mdlinalg Printf Randmat Scalar Vec

@@ -1,0 +1,1 @@
+examples/series_newton.ml: Array Block_toeplitz Lsq_core Mat Mdlinalg Mdseries Printf Scalar Series Vec

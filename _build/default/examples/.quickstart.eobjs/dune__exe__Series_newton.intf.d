@@ -1,0 +1,1 @@
+examples/series_newton.mli:

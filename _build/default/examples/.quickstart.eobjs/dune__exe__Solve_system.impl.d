@@ -1,0 +1,1 @@
+examples/solve_system.ml: Array Float List Mdseries Multidouble Printf

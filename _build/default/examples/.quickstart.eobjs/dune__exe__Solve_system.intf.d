@@ -1,0 +1,1 @@
+examples/solve_system.mli:

@@ -1,0 +1,1 @@
+examples/vandermonde.ml: Array Float Gpusim Least_squares Lsq_core Mat Mdlinalg Multidouble Printf Scalar Vec

@@ -1,0 +1,1 @@
+lib/core/blocked_qr.ml: Array Cost Counter Gpusim List Mat Mdlinalg Profile Scalar Sim Stage Vec

@@ -1,0 +1,1 @@
+lib/core/blocked_qr.mli: Gpusim Mdlinalg

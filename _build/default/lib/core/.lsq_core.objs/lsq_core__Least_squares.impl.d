@@ -1,0 +1,1 @@
+lib/core/least_squares.ml: Array Blocked_qr Cost Counter Gpusim Mat Mdlinalg Profile Scalar Sim Tiled_back_sub Vec

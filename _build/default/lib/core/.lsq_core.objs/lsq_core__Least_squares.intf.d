@@ -1,0 +1,1 @@
+lib/core/least_squares.mli: Gpusim Mdlinalg

@@ -1,0 +1,1 @@
+lib/core/naive_back_sub.ml: Array Cost Counter Gpusim Mat Mdlinalg Scalar Sim Vec

@@ -1,0 +1,1 @@
+lib/core/naive_back_sub.mli: Gpusim Mdlinalg

@@ -1,0 +1,1 @@
+lib/core/refine.ml: Array Blocked_qr Float Gpusim Host_tri List Mat Mdlinalg Multidouble Scalar Vec

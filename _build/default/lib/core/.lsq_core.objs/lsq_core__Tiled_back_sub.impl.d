@@ -1,0 +1,1 @@
+lib/core/tiled_back_sub.ml: Array Cost Counter Gpusim List Mat Mdlinalg Profile Scalar Sim Stage Vec

@@ -1,0 +1,1 @@
+lib/core/tiled_back_sub.mli: Gpusim Mdlinalg

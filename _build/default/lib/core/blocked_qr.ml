@@ -1,0 +1,417 @@
+(* Algorithm 2 of the paper: blocked accelerated Householder QR with the
+   WY representation (Bischof-Van Loan).
+
+   For each column panel of [tile] columns:
+     1. column by column, compute the Householder vector v and its
+        beta = 2 / v^H v, and update the panel (kernels "beta, v",
+        "beta*R^T*v", "update R");
+     2. aggregate the n reflectors: P = P_0 ... P_{n-1} = I + W Y^H, where
+        the columns of W follow z = -beta (v + W Y^H v) — the expected
+        bottleneck in small dimensions (kernel "compute W") — and form the
+        product YWT = Y * W^H (kernel "Y*W^T");
+     3. update Q in two stages: QWY := Q * (YWT)^H ("Q*WY^T") and
+        Q := Q + QWY ("Q + QWY");
+     4. if the panel is not the last, update the trailing columns C:
+        YWTC := YWT * C ("YWT*C") and R := R + YWTC ("R + YWTC").
+
+   On complex data every transpose is the Hermitian transpose; the scalar
+   abstraction makes the same code cover both (§3, last paragraph). *)
+
+open Gpusim
+open Mdlinalg
+
+module Make (K : Scalar.S) = struct
+  module M = Mat.Make (K)
+  module V = Vec.Make (K)
+
+  let sb = float_of_int (8 * K.width)
+
+  let ops ?(adds = 0.0) ?(muls = 0.0) ?(divs = 0.0) ?(sqrts = 0.0) () =
+    let o = Counter.make ~adds ~muls ~divs ~sqrts () in
+    if K.is_complex then Counter.complexify o else o
+
+  type result = {
+    q : M.t;
+    r : M.t;
+    kernel_ms : float;
+    wall_ms : float;
+    kernel_gflops : float;
+    wall_gflops : float;
+    stage_ms : (string * float) list;
+    launches : int;
+  }
+
+  (* One thread per output element, the register-loading matrix product of
+     the paper (no shared memory tiles; the high CGMA ratio of multiple
+     double arithmetic makes direct loads competitive). *)
+  let launch_matmul sim ~stage ~threads ?(strided = false) ?working_set
+      ~rows_o ~cols_o ~inner ~geta ~getb ~store () =
+    let total = rows_o * cols_o in
+    if total > 0 && inner > 0 then begin
+      let f = float_of_int in
+      let blocks = (total + threads - 1) / threads in
+      let o =
+        ops
+          ~adds:(f rows_o *. f cols_o *. f inner)
+          ~muls:(f rows_o *. f cols_o *. f inner)
+          ()
+      in
+      let ws =
+        match working_set with
+        | Some w -> w
+        | None -> f inner *. f cols_o *. 8.0
+      in
+      let cost =
+        Cost.launch ~blocks ~threads ~strided
+          ~cold_bytes:
+            (((f rows_o *. f inner) +. (f inner *. f cols_o) +. f total)
+            *. sb)
+          ~thread_bytes:(2.0 *. f inner *. f total *. sb)
+          ~working_set:ws o
+      in
+      Sim.launch sim ~stage ~cost (fun blk ->
+          let lo = blk * threads in
+          let hi = min total (lo + threads) in
+          for idx = lo to hi - 1 do
+            let i = idx / cols_o and j = idx mod cols_o in
+            let s = ref K.zero in
+            for k = 0 to inner - 1 do
+              s := K.add !s (K.mul (geta i k) (getb k j))
+            done;
+            store i j !s
+          done)
+    end
+
+  (* Elementwise addition kernel: dst += src. *)
+  let launch_add sim ~stage ~threads ~rows_o ~cols_o ~get ~add_to =
+    let total = rows_o * cols_o in
+    if total > 0 then begin
+      let f = float_of_int in
+      let blocks = (total + threads - 1) / threads in
+      let cost =
+        Cost.launch ~blocks ~threads
+          ~cold_bytes:(3.0 *. f total *. sb)
+          ~thread_bytes:(2.0 *. f total *. sb)
+          ~working_set:(2.0 *. f total *. 8.0)
+          (ops ~adds:(f total) ())
+      in
+      Sim.launch sim ~stage ~cost (fun blk ->
+          let lo = blk * threads in
+          let hi = min total (lo + threads) in
+          for idx = lo to hi - 1 do
+            add_to (idx / cols_o) (idx mod cols_o) (get (idx / cols_o) (idx mod cols_o))
+          done)
+    end
+
+  (* [factor_gen sim ~mrows ~ncols ~tile ~a] factors the matrix when [a]
+     is given, or only accounts the kernel costs when it is [None]
+     (planning mode, used to time dimensions too large to hold).
+
+     With [accumulate_q = false] the Q update kernels are skipped, and
+     with [rhs = Some b] the reflectors are applied to [b] on the fly
+     (b := (I + Y W^H) b per tile) — the economy path of the thin least
+     squares solver, which never forms the M-by-M Q. *)
+  let factor_gen ?(accumulate_q = true) ?rhs (sim : Sim.t) ~mrows ~ncols
+      ~tile ~a =
+    if ncols mod tile <> 0 then
+      invalid_arg "Blocked_qr: columns must be a multiple of the tile size";
+    if mrows < ncols then invalid_arg "Blocked_qr: need rows >= cols";
+    if a = None then sim.Sim.execute <- false;
+    let nt = ncols / tile in
+    let f = float_of_int in
+    let executing = sim.Sim.execute in
+    let r =
+      match a with
+      | Some a when executing -> M.copy a
+      | _ -> M.create 0 0
+    in
+    let q = if executing then M.identity mrows else M.create 0 0 in
+    (* Host -> device: the matrix A. *)
+    Sim.transfer sim (f (mrows * ncols) *. sb);
+    for k = 0 to nt - 1 do
+      let c0 = k * tile in
+      let c1 = c0 + tile in
+      let rows = mrows - c0 in
+      let y = if executing then M.create rows tile else M.create 0 0 in
+      let w = if executing then M.create rows tile else M.create 0 0 in
+      let betas = Array.make tile K.R.zero in
+      (* ---- Stage 1: panel factorization, column by column. ---- *)
+      for l = 0 to tile - 1 do
+        let c = c0 + l in
+        let len = mrows - c in
+        let v = V.create len in
+        (* beta, v *)
+        let bv_cost =
+          Cost.launch
+            ~blocks:(max 1 ((len + tile - 1) / tile))
+            ~threads:tile
+            ~cold_bytes:(3.0 *. f len *. sb)
+            ~thread_bytes:(2.0 *. f len *. sb)
+            ~working_set:(f len *. 8.0)
+            (ops
+               ~adds:((2.0 *. f len) +. 1.0)
+               ~muls:((2.0 *. f len) +. 1.0)
+               ~divs:1.0 ~sqrts:1.0 ())
+        in
+        Sim.launch sim ~stage:Stage.beta_v ~cost:bv_cost (fun blk ->
+            if blk = 0 then begin
+              for i = 0 to len - 1 do
+                v.(i) <- M.get r (c + i) c
+              done;
+              let sigma = V.norm v in
+              if K.R.is_zero sigma then betas.(l) <- K.R.zero
+              else begin
+                let phase = K.unit_phase v.(0) in
+                v.(0) <- K.add v.(0) (K.scale phase sigma);
+                let vv = V.norm2 v in
+                betas.(l) <- K.R.div (K.R.of_int 2) vv
+              end
+            end);
+        (* Save v into the trapezoidal Y (rows below c0, zeros above c). *)
+        if sim.Sim.execute then
+          for i = 0 to len - 1 do
+            M.set y (c - c0 + i) l v.(i)
+          done;
+        (* beta*R^T*v : the row vector wrow = beta v^H R[c:, c:c1],
+           a sum reduction over multiple blocks. *)
+        let wrow = V.create (tile - l) in
+        let rtv_cost =
+          Cost.launch
+            ~blocks:(max 1 (tile - l))
+            ~threads:tile
+            ~cold_bytes:(((f len *. f (tile - l)) +. (2.0 *. f len)) *. sb)
+            ~thread_bytes:(2.0 *. f len *. f (tile - l) *. sb)
+            ~working_set:(f len *. f ncols *. 8.0)
+            ~strided:true
+            (ops
+               ~adds:(f len *. f (tile - l))
+               ~muls:((f len +. 1.0) *. f (tile - l))
+               ())
+        in
+        Sim.launch sim ~stage:Stage.beta_rtv ~cost:rtv_cost (fun blk ->
+            if blk < tile - l then begin
+              let j = c + blk in
+              let s = ref K.zero in
+              for i = 0 to len - 1 do
+                s := K.add !s (K.mul (K.conj v.(i)) (M.get r (c + i) j))
+              done;
+              wrow.(blk) <- K.scale !s betas.(l)
+            end);
+        (* update R : R[c:, c:c1] -= v wrow *)
+        let upd_cost =
+          let total = len * (tile - l) in
+          Cost.launch
+            ~blocks:(max 1 ((total + tile - 1) / tile))
+            ~threads:tile
+            ~cold_bytes:(3.0 *. f total *. sb)
+            ~thread_bytes:(3.0 *. f total *. sb)
+            ~working_set:(f len *. f ncols *. 8.0)
+            ~strided:true
+            (ops ~adds:(f total) ~muls:(f total) ())
+        in
+        Sim.launch sim ~stage:Stage.update_r ~cost:upd_cost (fun blk ->
+            let total = len * (tile - l) in
+            let lo = blk * tile in
+            let hi = min total (lo + tile) in
+            let w_ = tile - l in
+            for idx = lo to hi - 1 do
+              let i = idx / w_ and jj = idx mod w_ in
+              let j = c + jj in
+              M.set r (c + i) j
+                (K.sub (M.get r (c + i) j) (K.mul v.(i) wrow.(jj)))
+            done)
+      done;
+      (* ---- Stage 2: aggregate the reflectors into W (and Y). ---- *)
+      for l = 0 to tile - 1 do
+        let u = V.create l in
+        if l > 0 then begin
+          (* u = Y[:, :l]^H v_l *)
+          let u_cost =
+            Cost.launch ~blocks:(max 1 l) ~threads:tile
+              ~cold_bytes:(((f rows *. f l) +. f rows +. f l) *. sb)
+              ~thread_bytes:(2.0 *. f rows *. f l *. sb)
+              ~working_set:(f rows *. f l *. 8.0)
+              (ops ~adds:(f rows *. f l) ~muls:(f rows *. f l) ())
+          in
+          Sim.launch sim ~stage:Stage.compute_w ~cost:u_cost (fun blk ->
+              if blk < l then begin
+                let s = ref K.zero in
+                for i = 0 to rows - 1 do
+                  s := K.add !s (K.mul (K.conj (M.get y i blk)) (M.get y i l))
+                done;
+                u.(blk) <- !s
+              end)
+        end;
+        (* z = -beta (v + W[:, :l] u); W[:, l] = z *)
+        let z_cost =
+          Cost.launch
+            ~blocks:(max 1 ((rows + tile - 1) / tile))
+            ~threads:tile
+            ~cold_bytes:(((f rows *. f l) +. (2.0 *. f rows)) *. sb)
+            ~thread_bytes:(((2.0 *. f rows *. f l) +. f rows) *. sb)
+            ~working_set:(f rows *. f l *. 8.0)
+            (ops
+               ~adds:(f rows *. f l)
+               ~muls:((f rows *. f l) +. f rows)
+               ())
+        in
+        Sim.launch sim ~stage:Stage.compute_w ~cost:z_cost (fun blk ->
+            let lo = blk * tile in
+            let hi = min rows (lo + tile) in
+            let nbeta = K.R.neg betas.(l) in
+            for i = lo to hi - 1 do
+              let s = ref (M.get y i l) in
+              for j = 0 to l - 1 do
+                s := K.add !s (K.mul (M.get w i j) u.(j))
+              done;
+              M.set w i l (K.scale !s nbeta)
+            done)
+      done;
+      (* ---- YWT = Y * W^H (rows x rows). ---- *)
+      let ywt = if executing then M.create rows rows else M.create 0 0 in
+      launch_matmul sim ~stage:Stage.ywt ~threads:tile ~rows_o:rows
+        ~cols_o:rows ~inner:tile
+        ~geta:(fun i k -> M.get y i k)
+        ~getb:(fun k j -> K.conj (M.get w j k))
+        ~store:(fun i j s -> M.set ywt i j s)
+        ();
+      (* ---- Update Q: QWY = Q[:, c0:] * (YWT)^H; Q += QWY. ---- *)
+      if accumulate_q then begin
+        let qwy = if executing then M.create mrows rows else M.create 0 0 in
+        launch_matmul sim ~stage:Stage.qwyt ~threads:tile ~rows_o:mrows
+          ~cols_o:rows ~inner:rows
+          ~geta:(fun i k -> M.get q i (c0 + k))
+          ~getb:(fun k j -> K.conj (M.get ywt j k))
+          ~store:(fun i j s -> M.set qwy i j s)
+          ();
+        launch_add sim ~stage:Stage.q_plus_qwy ~threads:tile ~rows_o:mrows
+          ~cols_o:rows
+          ~get:(fun i j -> M.get qwy i j)
+          ~add_to:(fun i j s ->
+            M.set q i (c0 + j) (K.add (M.get q i (c0 + j)) s))
+      end;
+      (* ---- Apply the reflectors to the right-hand side on the fly:
+         b[c0:] := b[c0:] + Y (W^H b[c0:]). ---- *)
+      (match rhs with
+      | None -> ()
+      | Some b ->
+        let u = V.create (if executing then tile else 0) in
+        let f = float_of_int in
+        let u_cost =
+          Cost.launch ~blocks:tile ~threads:tile
+            ~cold_bytes:(((f rows *. f tile) +. f rows +. f tile) *. sb)
+            ~thread_bytes:(2.0 *. f rows *. f tile *. sb)
+            ~working_set:(f rows *. f tile *. 8.0)
+            (ops ~adds:(f rows *. f tile) ~muls:(f rows *. f tile) ())
+        in
+        Sim.launch sim ~stage:Stage.apply_qt ~cost:u_cost (fun blk ->
+            if blk < tile then begin
+              let sum = ref K.zero in
+              for i = 0 to rows - 1 do
+                sum := K.add !sum (K.mul (K.conj (M.get w i blk)) b.(c0 + i))
+              done;
+              u.(blk) <- !sum
+            end);
+        let y_cost =
+          Cost.launch
+            ~blocks:(max 1 ((rows + tile - 1) / tile))
+            ~threads:tile
+            ~cold_bytes:(((f rows *. f tile) +. (2.0 *. f rows)) *. sb)
+            ~thread_bytes:(((2.0 *. f rows *. f tile) +. f rows) *. sb)
+            ~working_set:(f rows *. f tile *. 8.0)
+            (ops
+               ~adds:((f rows *. f tile) +. f rows)
+               ~muls:(f rows *. f tile)
+               ())
+        in
+        Sim.launch sim ~stage:Stage.apply_qt ~cost:y_cost (fun blk ->
+            let lo = blk * tile in
+            let hi = min rows (lo + tile) in
+            for i = lo to hi - 1 do
+              let sum = ref K.zero in
+              for j = 0 to tile - 1 do
+                sum := K.add !sum (K.mul (M.get y i j) u.(j))
+              done;
+              b.(c0 + i) <- K.add b.(c0 + i) !sum
+            done));
+      (* ---- Update the trailing columns C = R[c0:, c1:]. ---- *)
+      if k < nt - 1 then begin
+        let trail = ncols - c1 in
+        let ywtc = if executing then M.create rows trail else M.create 0 0 in
+        (* C lives inside R: its columns are read with the full matrix
+           pitch, so the re-read panel is the whole trailing plane of R. *)
+        launch_matmul sim ~stage:Stage.ywtc ~threads:tile ~strided:true
+          ~working_set:(f rows *. f ncols *. 8.0)
+          ~rows_o:rows ~cols_o:trail ~inner:rows
+          ~geta:(fun i k' -> M.get ywt i k')
+          ~getb:(fun k' j -> M.get r (c0 + k') (c1 + j))
+          ~store:(fun i j s -> M.set ywtc i j s)
+          ();
+        launch_add sim ~stage:Stage.r_plus_ywtc ~threads:tile ~rows_o:rows
+          ~cols_o:trail
+          ~get:(fun i j -> M.get ywtc i j)
+          ~add_to:(fun i j s ->
+            M.set r (c0 + i) (c1 + j) (K.add (M.get r (c0 + i) (c1 + j)) s))
+      end
+    done;
+    (* Clean the numerically annihilated subdiagonal of R. *)
+    if sim.Sim.execute then
+      for j = 0 to ncols - 1 do
+        for i = j + 1 to mrows - 1 do
+          M.set r i j K.zero
+        done
+      done;
+    (* Device -> host: Q and R. *)
+    Sim.transfer sim (f ((mrows * mrows) + (mrows * ncols)) *. sb);
+    (q, r)
+
+  (* [factor sim a ~tile] returns (q, r) with a = q r, q unitary M-by-M
+     and r upper triangular M-by-Nn, computed tile by tile on the
+     simulated device. *)
+  let factor (sim : Sim.t) (a : M.t) ~tile =
+    factor_gen sim ~mrows:(M.rows a) ~ncols:(M.cols a) ~tile ~a:(Some a)
+
+  (* Economy factorization: returns R and overwrites [b] with Q^H b,
+     never forming Q (the LAPACK xGELS shape). *)
+  let factor_thin (sim : Sim.t) (a : M.t) ~(b : V.t) ~tile =
+    let _, r =
+      factor_gen ~accumulate_q:false ~rhs:b sim ~mrows:(M.rows a)
+        ~ncols:(M.cols a) ~tile ~a:(Some a)
+    in
+    r
+
+  let plan_thin (sim : Sim.t) ~rows ~cols ~tile =
+    ignore
+      (factor_gen ~accumulate_q:false ~rhs:(V.create 0) sim ~mrows:rows
+         ~ncols:cols ~tile ~a:None)
+
+  (* Cost accounting only: no data is touched or allocated. *)
+  let plan (sim : Sim.t) ~rows ~cols ~tile =
+    ignore (factor_gen sim ~mrows:rows ~ncols:cols ~tile ~a:None)
+
+  let result_of_sim sim q r =
+    {
+      q;
+      r;
+      kernel_ms = Sim.kernel_ms sim;
+      wall_ms = Sim.wall_ms sim;
+      kernel_gflops = Sim.kernel_gflops sim;
+      wall_gflops = Sim.wall_gflops sim;
+      stage_ms =
+        List.map
+          (fun s -> (s, Profile.stage_ms sim.Sim.profile s))
+          Stage.qr_stages;
+      launches = Sim.launches sim;
+    }
+
+  let run ?(execute = true) ~device ~a ~tile () =
+    let sim = Sim.create ~execute ~device ~prec:K.prec () in
+    let q, r = factor sim a ~tile in
+    result_of_sim sim q r
+
+  (* Timing-only run from the dimensions alone. *)
+  let run_plan ~device ~rows ~cols ~tile () =
+    let sim = Sim.create ~execute:false ~device ~prec:K.prec () in
+    plan sim ~rows ~cols ~tile;
+    result_of_sim sim (M.create 0 0) (M.create 0 0)
+end

@@ -1,0 +1,145 @@
+(* The least squares solver of the paper: blocked accelerated Householder
+   QR (Algorithm 2) followed by the tiled accelerated back substitution
+   (Algorithm 1) on R x = Q^H b.
+
+   The QR decomposition has cubic cost versus the quadratic cost of the
+   back substitution, so at dimension 1,024 the QR dominates and the
+   lower performance of the back substitution in small dimensions does
+   not prevent teraflop performance of the solver (§4.9). *)
+
+open Gpusim
+open Mdlinalg
+
+module Make (K : Scalar.S) = struct
+  module M = Mat.Make (K)
+  module V = Vec.Make (K)
+  module Qr = Blocked_qr.Make (K)
+  module Bs = Tiled_back_sub.Make (K)
+
+  let sb = float_of_int (8 * K.width)
+
+  type result = {
+    x : V.t;
+    qr_kernel_ms : float;
+    qr_wall_ms : float;
+    bs_kernel_ms : float;
+    bs_wall_ms : float;
+    qr_kernel_gflops : float;
+    qr_wall_gflops : float;
+    bs_kernel_gflops : float;
+    bs_wall_gflops : float;
+    total_kernel_gflops : float;
+    total_wall_gflops : float;
+  }
+
+  (* Q^H b on the device: one matvec kernel, accounted with the QR. *)
+  let launch_qtb qr_sim ~mrows ~n ~tile body =
+    let f = float_of_int in
+    let o =
+      let o = Counter.make ~adds:(f n *. f mrows) ~muls:(f n *. f mrows) () in
+      if K.is_complex then Counter.complexify o else o
+    in
+    let cost =
+      Cost.launch
+        ~blocks:(max 1 ((n + tile - 1) / tile))
+        ~threads:tile
+        ~cold_bytes:((f (mrows * n) +. (2.0 *. f mrows)) *. sb)
+        ~thread_bytes:(2.0 *. f (mrows * n) *. sb)
+        ~working_set:(f mrows *. f n *. 8.0)
+        ~strided:true o
+    in
+    Sim.launch qr_sim ~stage:"Q^T*b" ~cost body
+
+  let result_of qr_sim bs_sim x =
+    let total_flops =
+      Counter.flops K.prec (Profile.total_ops qr_sim.Sim.profile)
+      +. Counter.flops K.prec (Profile.total_ops bs_sim.Sim.profile)
+    in
+    let qr_k = Sim.kernel_ms qr_sim and qr_w = Sim.wall_ms qr_sim in
+    let bs_k = Sim.kernel_ms bs_sim and bs_w = Sim.wall_ms bs_sim in
+    {
+      x;
+      qr_kernel_ms = qr_k;
+      qr_wall_ms = qr_w;
+      bs_kernel_ms = bs_k;
+      bs_wall_ms = bs_w;
+      qr_kernel_gflops = Sim.kernel_gflops qr_sim;
+      qr_wall_gflops = Sim.wall_gflops qr_sim;
+      bs_kernel_gflops = Sim.kernel_gflops bs_sim;
+      bs_wall_gflops = Sim.wall_gflops bs_sim;
+      total_kernel_gflops = total_flops /. ((qr_k +. bs_k) *. 1e6);
+      total_wall_gflops = total_flops /. ((qr_w +. bs_w) *. 1e6);
+    }
+
+  (* [solve ~device ~a ~b ~tile] minimizes ||b - a x||_2; [a] must have at
+     least as many rows as columns, and the column count must be a
+     multiple of [tile]. *)
+  let solve ?(execute = true) ~device ~(a : M.t) ~(b : V.t) ~tile () =
+    let n = M.cols a in
+    let mrows = M.rows a in
+    (* The QR phase runs on its own simulator so the phases are timed
+       apart, as in Table 10. *)
+    let qr_sim = Sim.create ~execute ~device ~prec:K.prec () in
+    let q, r = Qr.factor qr_sim a ~tile in
+    let qtb = V.create n in
+    launch_qtb qr_sim ~mrows ~n ~tile (fun blk ->
+        let lo = blk * tile in
+        let hi = min n (lo + tile) in
+        for j = lo to hi - 1 do
+          let s = ref K.zero in
+          for i = 0 to mrows - 1 do
+            s := K.add !s (K.mul (K.conj (M.get q i j)) b.(i))
+          done;
+          qtb.(j) <- !s
+        done);
+    (* Back substitution phase on R[0:n, 0:n] x = (Q^H b)[0:n]. *)
+    let bs_sim = Sim.create ~execute ~device ~prec:K.prec () in
+    let x =
+      if execute then begin
+        let rn = M.sub_matrix r ~r0:0 ~r1:n ~c0:0 ~c1:n in
+        Bs.solve bs_sim rn qtb ~tile
+      end
+      else begin
+        Bs.plan bs_sim ~dim:n ~tile;
+        V.create 0
+      end
+    in
+    result_of qr_sim bs_sim x
+
+  (* The economy ("thin") solver: the reflectors are applied to b during
+     the factorization and Q is never formed — the xGELS shape.  Saves
+     the Q*WY^T update, the dominant kernel of the full factorization. *)
+  let solve_thin ?(execute = true) ~device ~(a : M.t) ~(b : V.t) ~tile () =
+    let n = M.cols a in
+    let qr_sim = Sim.create ~execute ~device ~prec:K.prec () in
+    let qtb_full = V.copy b in
+    let r = Qr.factor_thin qr_sim a ~b:qtb_full ~tile in
+    let bs_sim = Sim.create ~execute ~device ~prec:K.prec () in
+    let x =
+      if execute then begin
+        let rn = M.sub_matrix r ~r0:0 ~r1:n ~c0:0 ~c1:n in
+        Bs.solve bs_sim rn (Array.sub qtb_full 0 n) ~tile
+      end
+      else begin
+        Bs.plan bs_sim ~dim:n ~tile;
+        V.create 0
+      end
+    in
+    result_of qr_sim bs_sim x
+
+  let plan_thin ~device ~rows ~cols ~tile () =
+    let qr_sim = Sim.create ~execute:false ~device ~prec:K.prec () in
+    Qr.plan_thin qr_sim ~rows ~cols ~tile;
+    let bs_sim = Sim.create ~execute:false ~device ~prec:K.prec () in
+    Bs.plan bs_sim ~dim:cols ~tile;
+    result_of qr_sim bs_sim (V.create 0)
+
+  (* Cost accounting only, from the dimensions alone. *)
+  let plan ~device ~rows ~cols ~tile () =
+    let qr_sim = Sim.create ~execute:false ~device ~prec:K.prec () in
+    Qr.plan qr_sim ~rows ~cols ~tile;
+    launch_qtb qr_sim ~mrows:rows ~n:cols ~tile (fun _ -> ());
+    let bs_sim = Sim.create ~execute:false ~device ~prec:K.prec () in
+    Bs.plan bs_sim ~dim:cols ~tile;
+    result_of qr_sim bs_sim (V.create 0)
+end

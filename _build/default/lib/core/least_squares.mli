@@ -1,0 +1,52 @@
+(** The least squares solver of the paper: blocked accelerated
+    Householder QR (Algorithm 2) followed by the tiled accelerated back
+    substitution (Algorithm 1) on R x = Q^H b, the two phases timed
+    apart as in Table 10. *)
+
+module Make (K : Mdlinalg.Scalar.S) : sig
+  type result = {
+    x : Mdlinalg.Vec.Make(K).t;
+    qr_kernel_ms : float;
+    qr_wall_ms : float;
+    bs_kernel_ms : float;
+    bs_wall_ms : float;
+    qr_kernel_gflops : float;
+    qr_wall_gflops : float;
+    bs_kernel_gflops : float;
+    bs_wall_gflops : float;
+    total_kernel_gflops : float;
+    total_wall_gflops : float;
+  }
+
+  val solve :
+    ?execute:bool ->
+    device:Gpusim.Device.t ->
+    a:Mdlinalg.Mat.Make(K).t ->
+    b:Mdlinalg.Vec.Make(K).t ->
+    tile:int ->
+    unit ->
+    result
+  (** Minimizes [||b - a x||_2]; [a] needs rows >= cols and a column
+      count that is a multiple of [tile]. *)
+
+  val solve_thin :
+    ?execute:bool ->
+    device:Gpusim.Device.t ->
+    a:Mdlinalg.Mat.Make(K).t ->
+    b:Mdlinalg.Vec.Make(K).t ->
+    tile:int ->
+    unit ->
+    result
+  (** The economy path: reflectors applied to [b] on the fly, Q never
+      formed — saves the dominant Q*WY^T kernels when only the solution
+      is wanted. *)
+
+  val plan :
+    device:Gpusim.Device.t -> rows:int -> cols:int -> tile:int -> unit ->
+    result
+  (** Cost accounting only. *)
+
+  val plan_thin :
+    device:Gpusim.Device.t -> rows:int -> cols:int -> tile:int -> unit ->
+    result
+end

@@ -1,0 +1,30 @@
+(* Stage labels, matching the legends of the paper's tables verbatim so
+   the benchmark output lines up row by row. *)
+
+(* Algorithm 2, blocked Householder QR (Tables 3-6). *)
+let beta_v = "beta, v"
+let beta_rtv = "beta*R^T*v"
+let update_r = "update R"
+let compute_w = "compute W"
+let ywt = "Y*W^T"
+let qwyt = "Q*WY^T"
+let ywtc = "YWT*C"
+let q_plus_qwy = "Q + QWY"
+let r_plus_ywtc = "R + YWTC"
+
+let qr_stages =
+  [
+    beta_v; beta_rtv; update_r; compute_w; ywt; qwyt; ywtc; q_plus_qwy;
+    r_plus_ywtc;
+  ]
+
+(* Algorithm 1, tiled back substitution (Tables 7-9). *)
+let invert_tiles = "invert diagonal tiles"
+let multiply_inverses = "multiply with inverses"
+let back_substitution = "back substitution"
+
+let bs_stages = [ invert_tiles; multiply_inverses; back_substitution ]
+
+(* Extension beyond the paper: the thin solver applies the reflectors to
+   the right-hand side instead of accumulating Q. *)
+let apply_qt = "apply Q^T to b"

@@ -1,0 +1,30 @@
+(** Stage labels, matching the legends of the paper's tables verbatim so
+    the benchmark output lines up row by row. *)
+
+(** {1 Algorithm 2 — blocked Householder QR (Tables 3-6)} *)
+
+val beta_v : string
+val beta_rtv : string
+val update_r : string
+val compute_w : string
+val ywt : string
+val qwyt : string
+val ywtc : string
+val q_plus_qwy : string
+val r_plus_ywtc : string
+
+val qr_stages : string list
+(** In the paper's row order. *)
+
+(** {1 Algorithm 1 — tiled back substitution (Tables 7-9)} *)
+
+val invert_tiles : string
+val multiply_inverses : string
+val back_substitution : string
+
+val bs_stages : string list
+
+(** {1 Extensions} *)
+
+val apply_qt : string
+(** The thin solver's on-the-fly application of the reflectors to b. *)

@@ -1,0 +1,47 @@
+(** Algorithm 1 of the paper: tiled accelerated back substitution.
+
+    The upper triangular Nn-by-Nn matrix is cut into N diagonal tiles of
+    size n; stage 1 inverts all diagonal tiles at once (thread k of each
+    block solves U v = e_k), stage 2 alternates multiplications with the
+    inverses and simultaneous right-hand-side updates.  Replacing the
+    final division by a multiplication with a precomputed inverse is what
+    exposes enough data parallelism; the launch count is 1 + N(N+1)/2. *)
+
+module Make (K : Mdlinalg.Scalar.S) : sig
+  type result = {
+    x : Mdlinalg.Vec.Make(K).t;
+    kernel_ms : float;
+    wall_ms : float;
+    kernel_gflops : float;
+    wall_gflops : float;
+    stage_ms : (string * float) list;  (** in {!Stage.bs_stages} order *)
+    launches : int;
+  }
+
+  val solve :
+    Gpusim.Sim.t ->
+    Mdlinalg.Mat.Make(K).t ->
+    Mdlinalg.Vec.Make(K).t ->
+    tile:int ->
+    Mdlinalg.Vec.Make(K).t
+  (** [solve sim u b ~tile] solves U x = b for upper triangular [u] on
+      the simulator; [tile] must divide the dimension
+      ([Invalid_argument] otherwise). *)
+
+  val plan : Gpusim.Sim.t -> dim:int -> tile:int -> unit
+  (** Cost accounting only: no data is touched or allocated. *)
+
+  val run :
+    ?execute:bool ->
+    device:Gpusim.Device.t ->
+    u:Mdlinalg.Mat.Make(K).t ->
+    b:Mdlinalg.Vec.Make(K).t ->
+    tile:int ->
+    unit ->
+    result
+  (** One-call wrapper: fresh simulator, solve, collect the timings. *)
+
+  val run_plan :
+    device:Gpusim.Device.t -> dim:int -> tile:int -> unit -> result
+  (** Timing-only run from the dimensions alone ([x] is empty). *)
+end

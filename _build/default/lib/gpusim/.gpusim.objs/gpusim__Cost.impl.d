@@ -1,0 +1,1 @@
+lib/gpusim/cost.ml: Counter Device Float Multidouble

@@ -1,0 +1,1 @@
+lib/gpusim/cost.mli: Counter Device Multidouble

@@ -1,0 +1,1 @@
+lib/gpusim/counter.ml: Format Multidouble

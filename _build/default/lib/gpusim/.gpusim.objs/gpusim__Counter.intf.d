@@ -1,0 +1,1 @@
+lib/gpusim/counter.mli: Format Multidouble

@@ -1,0 +1,1 @@
+lib/gpusim/device.ml: Format List String

@@ -1,0 +1,1 @@
+lib/gpusim/profile.ml: Counter Hashtbl List

@@ -1,0 +1,1 @@
+lib/gpusim/profile.mli: Counter Hashtbl

@@ -1,0 +1,1 @@
+lib/gpusim/sim.ml: Cost Counter Device Dompool Float Hashtbl Multidouble Profile

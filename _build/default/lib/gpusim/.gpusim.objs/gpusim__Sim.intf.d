@@ -1,0 +1,1 @@
+lib/gpusim/sim.mli: Cost Device Dompool Multidouble Profile

@@ -1,0 +1,153 @@
+(* The five NVIDIA GPUs of the paper (Table 2), with the derived
+   characteristics the cost model needs.
+
+   The first seven fields reproduce Table 2 verbatim; the remaining fields
+   are public specifications of the same cards (double precision peak,
+   memory bandwidth, L2 size, host link) used by the roofline model. *)
+
+type t = {
+  name : string;
+  cuda : float; (* CUDA compute capability *)
+  sm_count : int; (* streaming multiprocessors *)
+  cores_per_sm : int;
+  ghz : float; (* GPU clock rate *)
+  host_cpu : string;
+  host_ghz : float;
+  dp_peak_gflops : float; (* double precision peak *)
+  dram_gb_s : float; (* device memory bandwidth *)
+  l2_mb : float;
+  l2_gb_s : float; (* on-chip cache bandwidth *)
+  link_gb_s : float; (* effective host <-> device staging bandwidth *)
+  launch_us : float; (* kernel launch overhead, microseconds *)
+  host_launch_us : float; (* host-side cost per launch (driver, sync) *)
+  host_ram_gb : float; (* RAM of the hosting workstation *)
+  shared_kb : float; (* shared memory per block *)
+  max_resident_warps : int; (* per SM, for latency hiding *)
+}
+
+let cores d = d.sm_count * d.cores_per_sm
+
+(* Tesla C2050 (Fermi, 2011): DP is half of SP rate. *)
+let c2050 =
+  {
+    name = "C2050";
+    cuda = 2.0;
+    sm_count = 14;
+    cores_per_sm = 32;
+    ghz = 1.15;
+    host_cpu = "Intel X5690";
+    host_ghz = 3.47;
+    dp_peak_gflops = 515.0;
+    dram_gb_s = 144.0;
+    l2_mb = 0.75;
+    l2_gb_s = 350.0;
+    link_gb_s = 2.0;
+    launch_us = 6.0;
+    host_launch_us = 12.0;
+    host_ram_gb = 24.0;
+    shared_kb = 48.0;
+    max_resident_warps = 48;
+  }
+
+(* Kepler K20C: DP is one third of SP rate. *)
+let k20c =
+  {
+    name = "K20C";
+    cuda = 3.5;
+    sm_count = 13;
+    cores_per_sm = 192;
+    ghz = 0.71;
+    host_cpu = "Intel E5-2670";
+    host_ghz = 2.60;
+    dp_peak_gflops = 1170.0;
+    dram_gb_s = 208.0;
+    l2_mb = 1.5;
+    l2_gb_s = 500.0;
+    link_gb_s = 2.5;
+    launch_us = 5.0;
+    host_launch_us = 10.0;
+    host_ram_gb = 64.0;
+    shared_kb = 48.0;
+    max_resident_warps = 64;
+  }
+
+(* Pascal P100: 4.7 double precision teraflops (paper, §4.3). *)
+let p100 =
+  {
+    name = "P100";
+    cuda = 6.0;
+    sm_count = 56;
+    cores_per_sm = 64;
+    ghz = 1.33;
+    host_cpu = "Intel E5-2699";
+    host_ghz = 2.20;
+    dp_peak_gflops = 4700.0;
+    dram_gb_s = 732.0;
+    l2_mb = 4.0;
+    l2_gb_s = 1800.0;
+    link_gb_s = 3.0;
+    launch_us = 2.5;
+    host_launch_us = 8.0;
+    host_ram_gb = 256.0;
+    shared_kb = 64.0;
+    max_resident_warps = 64;
+  }
+
+(* Volta V100: 7.9 double precision teraflops (paper, §4.3). *)
+let v100 =
+  {
+    name = "V100";
+    cuda = 7.0;
+    sm_count = 80;
+    cores_per_sm = 64;
+    ghz = 1.91;
+    host_cpu = "Intel W2123";
+    host_ghz = 3.60;
+    dp_peak_gflops = 7900.0;
+    dram_gb_s = 900.0;
+    l2_mb = 6.0;
+    l2_gb_s = 2500.0;
+    link_gb_s = 3.5;
+    launch_us = 2.0;
+    host_launch_us = 7.0;
+    host_ram_gb = 32.0;
+    shared_kb = 96.0;
+    max_resident_warps = 64;
+  }
+
+(* GeForce RTX 2080 Max-Q in a Windows laptop: consumer Turing card with a
+   1/32 double precision rate; the multiple double workload also keeps the
+   non-FMA pipes busy, so the sustainable rate is a bit above the FP64-unit
+   peak (the paper measures ~0.3 teraflops in octo double precision). *)
+let rtx2080 =
+  {
+    name = "RTX 2080";
+    cuda = 7.5;
+    sm_count = 46;
+    cores_per_sm = 64;
+    ghz = 1.10;
+    host_cpu = "Intel i9-9880H";
+    host_ghz = 2.30;
+    dp_peak_gflops = 560.0;
+    dram_gb_s = 384.0;
+    l2_mb = 4.0;
+    l2_gb_s = 1200.0;
+    link_gb_s = 1.5;
+    launch_us = 4.0;
+    host_launch_us = 20.0;
+    host_ram_gb = 32.0;
+    shared_kb = 64.0;
+    max_resident_warps = 32;
+  }
+
+let catalog = [ c2050; k20c; p100; v100; rtx2080 ]
+
+let by_name n =
+  let norm s = String.lowercase_ascii (String.concat "" (String.split_on_char ' ' s)) in
+  match List.find_opt (fun d -> norm d.name = norm n) catalog with
+  | Some d -> d
+  | None -> invalid_arg ("Device.by_name: unknown device " ^ n)
+
+let pp_row fmt d =
+  Format.fprintf fmt "%-16s %4.1f %4d %10d %7d %5.2f  %s %.2f" d.name d.cuda
+    d.sm_count d.cores_per_sm (cores d) d.ghz d.host_cpu d.host_ghz

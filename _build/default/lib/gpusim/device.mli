@@ -1,0 +1,45 @@
+(** The five NVIDIA GPUs of the paper (Table 2), with the derived
+    characteristics the cost model needs.
+
+    The first seven fields reproduce Table 2 verbatim; the rest are
+    public specifications of the same cards used by the roofline model
+    (see docs/COST_MODEL.md). *)
+
+type t = {
+  name : string;
+  cuda : float;  (** CUDA compute capability *)
+  sm_count : int;  (** streaming multiprocessors *)
+  cores_per_sm : int;
+  ghz : float;  (** GPU clock rate *)
+  host_cpu : string;
+  host_ghz : float;
+  dp_peak_gflops : float;  (** double precision peak *)
+  dram_gb_s : float;  (** device memory bandwidth *)
+  l2_mb : float;
+  l2_gb_s : float;  (** on-chip cache bandwidth *)
+  link_gb_s : float;  (** effective host <-> device staging bandwidth *)
+  launch_us : float;  (** kernel launch overhead, microseconds *)
+  host_launch_us : float;  (** host-side cost per launch (driver, sync) *)
+  host_ram_gb : float;  (** RAM of the hosting workstation *)
+  shared_kb : float;  (** shared memory per block *)
+  max_resident_warps : int;  (** per SM, for latency hiding *)
+}
+
+val cores : t -> int
+(** Total cores: SMs times cores per SM. *)
+
+val c2050 : t
+val k20c : t
+val p100 : t
+val v100 : t
+val rtx2080 : t
+
+val catalog : t list
+(** The five devices in the paper's order. *)
+
+val by_name : string -> t
+(** Case- and space-insensitive lookup ("v100", "RTX 2080", "rtx2080");
+    raises [Invalid_argument] on unknown names. *)
+
+val pp_row : Format.formatter -> t -> unit
+(** One Table 2 row. *)

@@ -1,0 +1,49 @@
+(* Per-stage accumulation of kernel times and operation tallies, used to
+   print the stage-by-stage breakdowns of the paper's tables. *)
+
+type entry = {
+  mutable ms : float;
+  mutable ops : Counter.ops;
+  mutable launches : int;
+}
+
+type t = { table : (string, entry) Hashtbl.t; mutable order : string list }
+
+let create () = { table = Hashtbl.create 16; order = [] }
+
+let entry t stage =
+  match Hashtbl.find_opt t.table stage with
+  | Some e -> e
+  | None ->
+    let e = { ms = 0.0; ops = Counter.zero; launches = 0 } in
+    Hashtbl.add t.table stage e;
+    t.order <- stage :: t.order;
+    e
+
+let record ?(count = 1) t ~stage ~ms ~ops =
+  let e = entry t stage in
+  e.ms <- e.ms +. ms;
+  e.ops <- Counter.add e.ops ops;
+  e.launches <- e.launches + count
+
+(* Stages in first-recorded order. *)
+let stages t = List.rev t.order
+
+let stage_ms t stage =
+  match Hashtbl.find_opt t.table stage with Some e -> e.ms | None -> 0.0
+
+let stage_ops t stage =
+  match Hashtbl.find_opt t.table stage with
+  | Some e -> e.ops
+  | None -> Counter.zero
+
+let stage_launches t stage =
+  match Hashtbl.find_opt t.table stage with Some e -> e.launches | None -> 0
+
+let total_ms t = Hashtbl.fold (fun _ e acc -> acc +. e.ms) t.table 0.0
+
+let total_ops t =
+  Hashtbl.fold (fun _ e acc -> Counter.add acc e.ops) t.table Counter.zero
+
+let total_launches t =
+  Hashtbl.fold (fun _ e acc -> acc + e.launches) t.table 0

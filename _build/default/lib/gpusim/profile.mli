@@ -1,0 +1,26 @@
+(** Per-stage accumulation of kernel times and operation tallies, used to
+    print the stage-by-stage breakdowns of the paper's tables. *)
+
+type entry = {
+  mutable ms : float;
+  mutable ops : Counter.ops;
+  mutable launches : int;
+}
+
+type t = { table : (string, entry) Hashtbl.t; mutable order : string list }
+
+val create : unit -> t
+
+val record :
+  ?count:int -> t -> stage:string -> ms:float -> ops:Counter.ops -> unit
+(** Adds one launch (or [count] concurrent launches) to a stage. *)
+
+val stages : t -> string list
+(** In first-recorded order. *)
+
+val stage_ms : t -> string -> float
+val stage_ops : t -> string -> Counter.ops
+val stage_launches : t -> string -> int
+val total_ms : t -> float
+val total_ops : t -> Counter.ops
+val total_launches : t -> int

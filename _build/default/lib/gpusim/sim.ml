@@ -1,0 +1,97 @@
+(* The simulated accelerator: kernel launches execute their data-parallel
+   body on a domain pool (blocks in parallel, the threads of one block
+   sequentially, which preserves the data-parallel semantics of the
+   algorithms), while the cost model accounts the milliseconds the same
+   launch takes on a given physical device.
+
+   With [execute = false] a launch is costed without running its body, so
+   the large-dimension experiments of the paper can be timed without
+   executing trillions of host flops; the test suite validates the
+   numerical results with execution on at smaller dimensions. *)
+
+type t = {
+  device : Device.t;
+  prec : Multidouble.Precision.tag;
+  pool : Dompool.Domain_pool.t;
+  mutable execute : bool;
+  profile : Profile.t;
+  mutable transfer_ms : float;
+  mutable host_ms : float;
+  mutable peak_bytes : float; (* largest resident data set, for RAM model *)
+}
+
+let create ?(execute = true) ?pool ~device ~prec () =
+  let pool =
+    match pool with Some p -> p | None -> Dompool.Domain_pool.get_default ()
+  in
+  {
+    device;
+    prec;
+    pool;
+    execute;
+    profile = Profile.create ();
+    transfer_ms = 0.0;
+    host_ms = 0.0;
+    peak_bytes = 0.0;
+  }
+
+let reset t =
+  Hashtbl.reset t.profile.Profile.table;
+  t.profile.Profile.order <- [];
+  t.transfer_ms <- 0.0;
+  t.host_ms <- 0.0;
+  t.peak_bytes <- 0.0
+
+(* [launch t ~stage ~cost body] accounts one kernel under [stage] and, when
+   executing, runs [body block] for every block of the grid in parallel. *)
+let launch t ~stage ~cost body =
+  let ms = Cost.kernel_ms t.device t.prec cost in
+  Profile.record ~count:cost.Cost.count t.profile ~stage ~ms
+    ~ops:cost.Cost.ops;
+  t.host_ms <-
+    t.host_ms
+    +. (float_of_int cost.Cost.count *. Cost.host_launch_ms t.device);
+  if t.execute then
+    if cost.Cost.blocks = 1 then body 0
+    else
+      Dompool.Domain_pool.parallel_for ~chunk:1 t.pool 0 cost.Cost.blocks body
+
+(* [launch_seq] is [launch] for bodies that must see blocks in order
+   (e.g. when later blocks read results of earlier ones within one launch
+   would be a race; the simulator then serializes, the cost is unchanged). *)
+let launch_seq t ~stage ~cost body =
+  let ms = Cost.kernel_ms t.device t.prec cost in
+  Profile.record ~count:cost.Cost.count t.profile ~stage ~ms
+    ~ops:cost.Cost.ops;
+  t.host_ms <-
+    t.host_ms
+    +. (float_of_int cost.Cost.count *. Cost.host_launch_ms t.device);
+  if t.execute then
+    for b = 0 to cost.Cost.blocks - 1 do
+      body b
+    done
+
+(* Host <-> device staging of [bytes]; shows up in wall clock only. *)
+let transfer t bytes =
+  t.peak_bytes <- Float.max t.peak_bytes bytes;
+  t.transfer_ms <- t.transfer_ms +. Cost.transfer_ms t.device bytes
+
+let kernel_ms t = Profile.total_ms t.profile
+
+let wall_ms t =
+  kernel_ms t +. t.transfer_ms +. t.host_ms
+  +. Cost.host_pressure_ms t.device t.peak_bytes
+
+let launches t = Profile.total_launches t.profile
+
+(* Gigaflops over the time spent by the kernels ("kernel flops"). *)
+let kernel_gflops t =
+  let ms = kernel_ms t in
+  if ms <= 0.0 then 0.0
+  else Counter.flops t.prec (Profile.total_ops t.profile) /. (ms *. 1e6)
+
+(* Gigaflops over the wall clock ("wall flops"). *)
+let wall_gflops t =
+  let ms = wall_ms t in
+  if ms <= 0.0 then 0.0
+  else Counter.flops t.prec (Profile.total_ops t.profile) /. (ms *. 1e6)

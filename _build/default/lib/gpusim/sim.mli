@@ -1,0 +1,58 @@
+(** The simulated accelerator.
+
+    Kernel launches execute their data-parallel body on a domain pool
+    (blocks in parallel, the threads of one block sequentially), while
+    the cost model accounts the milliseconds the same launch takes on the
+    chosen physical device.  With [execute = false] a launch is costed
+    without running its body, so the paper's largest dimensions are timed
+    without executing trillions of host flops. *)
+
+type t = {
+  device : Device.t;
+  prec : Multidouble.Precision.tag;
+  pool : Dompool.Domain_pool.t;
+  mutable execute : bool;
+  profile : Profile.t;
+  mutable transfer_ms : float;
+  mutable host_ms : float;
+  mutable peak_bytes : float;
+}
+
+val create :
+  ?execute:bool ->
+  ?pool:Dompool.Domain_pool.t ->
+  device:Device.t ->
+  prec:Multidouble.Precision.tag ->
+  unit ->
+  t
+
+val reset : t -> unit
+(** Clears the profile, transfers and host-side accounting. *)
+
+val launch : t -> stage:string -> cost:Cost.launch -> (int -> unit) -> unit
+(** [launch t ~stage ~cost body] accounts one kernel under [stage] and,
+    when executing, runs [body block] for every block of the grid, blocks
+    in parallel on the pool. *)
+
+val launch_seq :
+  t -> stage:string -> cost:Cost.launch -> (int -> unit) -> unit
+(** [launch] with the blocks run in increasing order on the calling
+    domain (for bodies whose blocks must not race); same cost. *)
+
+val transfer : t -> float -> unit
+(** Stages that many bytes between host and device (wall clock only). *)
+
+val kernel_ms : t -> float
+(** Sum of the times spent by the kernels. *)
+
+val wall_ms : t -> float
+(** Kernels + transfers + host-side per-launch costs + host RAM
+    pressure. *)
+
+val launches : t -> int
+
+val kernel_gflops : t -> float
+(** Total double precision flops over the kernel time. *)
+
+val wall_gflops : t -> float
+(** Same over the wall clock. *)

@@ -1,0 +1,1 @@
+lib/harness/runners.ml: Blocked_qr Dompool Float Host_qr Host_tri Least_squares Lsq_core Mdlinalg Multidouble Option Printf Randmat Scalar Tiled_back_sub Vec

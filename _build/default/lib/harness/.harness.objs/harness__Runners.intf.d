@@ -1,0 +1,1 @@
+lib/harness/runners.mli: Gpusim Mdlinalg Multidouble

@@ -1,0 +1,166 @@
+(* Uniform entry points the table generators call: run one experiment at a
+   given precision (real or complex) on a given device and return the
+   per-stage breakdown in a plain record.
+
+   Tables are generated in planning mode (cost accounting without numeric
+   execution), which is what lets the paper's largest dimensions run in
+   seconds; the verification section executes the same code paths
+   numerically at smaller dimensions. *)
+
+open Mdlinalg
+open Lsq_core
+module P = Multidouble.Precision
+
+type run = {
+  stage_ms : (string * float) list;
+  kernel_ms : float;
+  wall_ms : float;
+  kernel_gflops : float;
+  wall_gflops : float;
+  launches : int;
+}
+
+let scalar_of ?(complex = false) (tag : P.tag) : (module Scalar.S) =
+  match (tag, complex) with
+  | P.D, false -> (module Scalar.D)
+  | P.DD, false -> (module Scalar.Dd)
+  | P.QD, false -> (module Scalar.Qd)
+  | P.OD, false -> (module Scalar.Od)
+  | P.D, true -> (module Scalar.Zd)
+  | P.DD, true -> (module Scalar.Zdd)
+  | P.QD, true -> (module Scalar.Zqd)
+  | P.OD, true -> (module Scalar.Zod)
+
+(* Blocked Householder QR (Algorithm 2), cost accounting only. *)
+let qr ?complex ?rows tag device ~n ~tile =
+  let (module K) = scalar_of ?complex tag in
+  let module Q = Blocked_qr.Make (K) in
+  let rows = Option.value rows ~default:n in
+  let r = Q.run_plan ~device ~rows ~cols:n ~tile () in
+  {
+    stage_ms = r.Q.stage_ms;
+    kernel_ms = r.Q.kernel_ms;
+    wall_ms = r.Q.wall_ms;
+    kernel_gflops = r.Q.kernel_gflops;
+    wall_gflops = r.Q.wall_gflops;
+    launches = r.Q.launches;
+  }
+
+(* Tiled back substitution (Algorithm 1), cost accounting only. *)
+let bs ?complex tag device ~dim ~tile =
+  let (module K) = scalar_of ?complex tag in
+  let module B = Tiled_back_sub.Make (K) in
+  let r = B.run_plan ~device ~dim ~tile () in
+  {
+    stage_ms = r.B.stage_ms;
+    kernel_ms = r.B.kernel_ms;
+    wall_ms = r.B.wall_ms;
+    kernel_gflops = r.B.kernel_gflops;
+    wall_gflops = r.B.wall_gflops;
+    launches = r.B.launches;
+  }
+
+type solve_run = {
+  qr_kernel_ms : float;
+  qr_wall_ms : float;
+  bs_kernel_ms : float;
+  bs_wall_ms : float;
+  qr_kernel_gflops : float;
+  qr_wall_gflops : float;
+  bs_kernel_gflops : float;
+  bs_wall_gflops : float;
+  total_kernel_gflops : float;
+  total_wall_gflops : float;
+}
+
+(* Least squares solver (QR then back substitution), cost accounting. *)
+let solve ?complex tag device ~n ~tile =
+  let (module K) = scalar_of ?complex tag in
+  let module L = Least_squares.Make (K) in
+  let r = L.plan ~device ~rows:n ~cols:n ~tile () in
+  {
+    qr_kernel_ms = r.L.qr_kernel_ms;
+    qr_wall_ms = r.L.qr_wall_ms;
+    bs_kernel_ms = r.L.bs_kernel_ms;
+    bs_wall_ms = r.L.bs_wall_ms;
+    qr_kernel_gflops = r.L.qr_kernel_gflops;
+    qr_wall_gflops = r.L.qr_wall_gflops;
+    bs_kernel_gflops = r.L.bs_kernel_gflops;
+    bs_wall_gflops = r.L.bs_wall_gflops;
+    total_kernel_gflops = r.L.total_kernel_gflops;
+    total_wall_gflops = r.L.total_wall_gflops;
+  }
+
+(* Numerically executed verification: factor, solve and report residuals
+   (forward error against a known solution, orthogonality defect and
+   factorization residual), exercising the very code the tables cost. *)
+type verification = {
+  what : string;
+  residual : float; (* relative, in units of the precision's eps *)
+  eps : float;
+  ok : bool;
+}
+
+let verify_qr ?complex tag device ~n ~tile =
+  let (module K) = scalar_of ?complex tag in
+  let module Q = Blocked_qr.Make (K) in
+  let module H = Host_qr.Make (K) in
+  let module Rand = Randmat.Make (K) in
+  let rng = Dompool.Prng.create 4242 in
+  let a = Rand.matrix rng n n in
+  let r = Q.run ~device ~a ~tile () in
+  let defect = K.R.to_float (H.orthogonality_defect r.Q.q) in
+  let resid = K.R.to_float (H.factorization_residual a r.Q.q r.Q.r) in
+  let worst = Float.max defect resid in
+  {
+    what =
+      Printf.sprintf "QR %s%s n=%d tile=%d" (P.label tag)
+        (if Option.value complex ~default:false then " complex" else "")
+        n tile;
+    residual = worst /. K.R.eps;
+    eps = K.R.eps;
+    ok = worst < 1e6 *. K.R.eps;
+  }
+
+let verify_solve ?complex tag device ~n ~tile =
+  let (module K) = scalar_of ?complex tag in
+  let module L = Least_squares.Make (K) in
+  let module Rand = Randmat.Make (K) in
+  let module V = Vec.Make (K) in
+  let rng = Dompool.Prng.create 2424 in
+  let a = Rand.matrix rng n n in
+  let b, x_true = Rand.rhs_for rng a in
+  let r = L.solve ~device ~a ~b ~tile () in
+  let err =
+    K.R.to_float (V.norm (V.sub r.L.x x_true))
+    /. K.R.to_float (V.norm x_true)
+  in
+  {
+    what =
+      Printf.sprintf "least squares %s%s n=%d tile=%d" (P.label tag)
+        (if Option.value complex ~default:false then " complex" else "")
+        n tile;
+    residual = err /. K.R.eps;
+    eps = K.R.eps;
+    ok = err < 1e10 *. K.R.eps;
+  }
+
+let verify_bs ?complex tag device ~dim ~tile =
+  let (module K) = scalar_of ?complex tag in
+  let module B = Tiled_back_sub.Make (K) in
+  let module Rand = Randmat.Make (K) in
+  let module Tri = Host_tri.Make (K) in
+  let rng = Dompool.Prng.create 3434 in
+  let u = Rand.upper rng dim in
+  let b, _ = Rand.rhs_for rng u in
+  let r = B.run ~device ~u ~b ~tile () in
+  let resid = K.R.to_float (Tri.residual u r.B.x b) in
+  {
+    what =
+      Printf.sprintf "back substitution %s%s dim=%d tile=%d" (P.label tag)
+        (if Option.value complex ~default:false then " complex" else "")
+        dim tile;
+    residual = resid /. K.R.eps;
+    eps = K.R.eps;
+    ok = resid < 1e6 *. K.R.eps;
+  }

@@ -1,0 +1,93 @@
+(** Uniform entry points the table generators and the CLI share: run one
+    experiment at a given precision (real or complex) on a given device
+    and return the per-stage breakdown in a plain record.
+
+    Tables are generated in planning mode (cost accounting without
+    numeric execution); the [verify_*] functions execute the same code
+    paths numerically at moderate dimensions and report residuals. *)
+
+type run = {
+  stage_ms : (string * float) list;
+  kernel_ms : float;
+  wall_ms : float;
+  kernel_gflops : float;
+  wall_gflops : float;
+  launches : int;
+}
+
+val scalar_of :
+  ?complex:bool -> Multidouble.Precision.tag -> (module Mdlinalg.Scalar.S)
+(** The shared scalar instantiation for a precision tag. *)
+
+val qr :
+  ?complex:bool ->
+  ?rows:int ->
+  Multidouble.Precision.tag ->
+  Gpusim.Device.t ->
+  n:int ->
+  tile:int ->
+  run
+(** Blocked Householder QR (Algorithm 2), cost accounting only. *)
+
+val bs :
+  ?complex:bool ->
+  Multidouble.Precision.tag ->
+  Gpusim.Device.t ->
+  dim:int ->
+  tile:int ->
+  run
+(** Tiled back substitution (Algorithm 1), cost accounting only. *)
+
+type solve_run = {
+  qr_kernel_ms : float;
+  qr_wall_ms : float;
+  bs_kernel_ms : float;
+  bs_wall_ms : float;
+  qr_kernel_gflops : float;
+  qr_wall_gflops : float;
+  bs_kernel_gflops : float;
+  bs_wall_gflops : float;
+  total_kernel_gflops : float;
+  total_wall_gflops : float;
+}
+
+val solve :
+  ?complex:bool ->
+  Multidouble.Precision.tag ->
+  Gpusim.Device.t ->
+  n:int ->
+  tile:int ->
+  solve_run
+(** The least squares solver (QR then back substitution), cost
+    accounting only. *)
+
+type verification = {
+  what : string;
+  residual : float;  (** relative, in units of the precision's eps *)
+  eps : float;
+  ok : bool;
+}
+
+val verify_qr :
+  ?complex:bool ->
+  Multidouble.Precision.tag ->
+  Gpusim.Device.t ->
+  n:int ->
+  tile:int ->
+  verification
+
+val verify_solve :
+  ?complex:bool ->
+  Multidouble.Precision.tag ->
+  Gpusim.Device.t ->
+  n:int ->
+  tile:int ->
+  verification
+
+val verify_bs :
+  ?complex:bool ->
+  Multidouble.Precision.tag ->
+  Gpusim.Device.t ->
+  dim:int ->
+  tile:int ->
+  verification

@@ -1,0 +1,1 @@
+lib/linalg/cholesky.ml: Host_tri Mat Scalar Vec

@@ -1,0 +1,1 @@
+lib/linalg/cond.ml: Array Float Host_tri Lu Mat Scalar Vec

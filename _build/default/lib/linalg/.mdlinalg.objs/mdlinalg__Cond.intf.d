@@ -1,0 +1,1 @@
+lib/linalg/cond.mli: Lu Mat Scalar

@@ -1,0 +1,1 @@
+lib/linalg/host_qr.ml: Array Host_tri Mat Scalar Vec

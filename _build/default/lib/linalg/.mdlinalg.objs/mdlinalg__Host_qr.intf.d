@@ -1,0 +1,1 @@
+lib/linalg/host_qr.mli: Mat Scalar Vec

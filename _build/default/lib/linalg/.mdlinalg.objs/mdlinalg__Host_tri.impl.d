@@ -1,0 +1,1 @@
+lib/linalg/host_tri.ml: Array Mat Scalar Vec

@@ -1,0 +1,1 @@
+lib/linalg/host_tri.mli: Mat Scalar Vec

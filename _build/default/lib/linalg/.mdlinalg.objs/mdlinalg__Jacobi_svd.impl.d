@@ -1,0 +1,1 @@
+lib/linalg/jacobi_svd.ml: Array Float Mat Scalar Vec

@@ -1,0 +1,1 @@
+lib/linalg/jacobi_svd.mli: Mat Scalar

@@ -1,0 +1,1 @@
+lib/linalg/lu.ml: Array Host_tri Mat Scalar Vec

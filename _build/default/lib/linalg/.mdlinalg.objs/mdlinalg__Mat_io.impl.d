@@ -1,0 +1,1 @@
+lib/linalg/mat_io.ml: Array Fun List Mat Printf Scalar Scanf String Vec

@@ -1,0 +1,1 @@
+lib/linalg/mat_io.mli: Mat Scalar Vec

@@ -1,0 +1,1 @@
+lib/linalg/par_blas.ml: Array Dompool Mat Scalar Vec

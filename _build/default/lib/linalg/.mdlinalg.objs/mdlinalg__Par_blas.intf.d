@@ -1,0 +1,1 @@
+lib/linalg/par_blas.mli: Mat Scalar Vec

@@ -1,0 +1,1 @@
+lib/linalg/pivoted_qr.ml: Array Host_tri Mat Scalar Vec

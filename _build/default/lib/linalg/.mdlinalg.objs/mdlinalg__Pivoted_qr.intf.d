@@ -1,0 +1,1 @@
+lib/linalg/pivoted_qr.mli: Mat Scalar Vec

@@ -1,0 +1,1 @@
+lib/linalg/randmat.ml: Lu Mat Scalar Vec

@@ -1,0 +1,1 @@
+lib/linalg/randmat.mli: Dompool Mat Scalar Vec

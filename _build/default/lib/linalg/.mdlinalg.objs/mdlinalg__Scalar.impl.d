@@ -1,0 +1,1 @@
+lib/linalg/scalar.ml: Array Dompool Double_double Float_double Format Md_complex Md_sig Multidouble Octo_double Precision Quad_double

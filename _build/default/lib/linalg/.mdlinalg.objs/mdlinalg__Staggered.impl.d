@@ -1,0 +1,1 @@
+lib/linalg/staggered.ml: Array Mat Scalar Vec

@@ -1,0 +1,1 @@
+lib/linalg/staggered.mli: Mat Scalar Vec

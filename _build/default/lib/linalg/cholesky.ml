@@ -1,0 +1,56 @@
+(* Cholesky factorization and the normal-equations least squares solver.
+
+   The paper solves least squares through Householder QR because it is
+   numerically stable ([4, Theorem 3.5]); the classic cheap alternative —
+   form A^H A and Cholesky-factor it — squares the condition number and
+   loses twice the digits.  This module provides that baseline so the
+   difference is measurable (see the ablation bench and the tests). *)
+
+module Make (K : Scalar.S) = struct
+  module M = Mat.Make (K)
+  module V = Vec.Make (K)
+  module Tri = Host_tri.Make (K)
+
+  exception Not_positive_definite of int
+
+  (* [factor a] returns lower triangular [l] with a = l l^H; [a] must be
+     Hermitian positive definite. *)
+  let factor (a : M.t) =
+    let n = M.rows a in
+    if n <> M.cols a then invalid_arg "Cholesky.factor: square required";
+    let l = M.create n n in
+    for j = 0 to n - 1 do
+      (* diagonal: sqrt(a_jj - sum |l_jk|^2) *)
+      let s = ref (K.re (M.get a j j)) in
+      for k = 0 to j - 1 do
+        s := K.R.sub !s (K.norm2 (M.get l j k))
+      done;
+      if K.R.sign !s <= 0 then raise (Not_positive_definite j);
+      let d = K.R.sqrt !s in
+      M.set l j j (K.of_real d);
+      let inv_d = K.R.div K.R.one d in
+      for i = j + 1 to n - 1 do
+        let s = ref (M.get a i j) in
+        for k = 0 to j - 1 do
+          s := K.sub !s (K.mul (M.get l i k) (K.conj (M.get l j k)))
+        done;
+        M.set l i j (K.scale !s inv_d)
+      done
+    done;
+    l
+
+  (* Solve a x = b for Hermitian positive definite [a]. *)
+  let solve (a : M.t) (b : V.t) : V.t =
+    let l = factor a in
+    let y = Tri.forward_substitute l b in
+    (* upper triangular system L^H x = y *)
+    Tri.back_substitute (M.adjoint l) y
+
+  (* The normal-equations least squares solver: x = (A^H A)^-1 A^H b.
+     Cheap, but the effective condition number is kappa(A)^2 — the
+     baseline the Householder QR of the paper is stable against. *)
+  let least_squares (a : M.t) (b : V.t) : V.t =
+    let at = M.adjoint a in
+    let gram = M.matmul at a in
+    solve gram (M.matvec at b)
+end

@@ -1,0 +1,21 @@
+(** Cholesky factorization and the normal-equations least squares
+    baseline the paper's stable Householder QR is measured against (the
+    normal equations square the condition number). *)
+
+module Make (K : Scalar.S) : sig
+  exception Not_positive_definite of int
+  (** Raised with the failing column when a diagonal pivot is not
+      positive. *)
+
+  val factor : Mat.Make(K).t -> Mat.Make(K).t
+  (** [factor a] is lower triangular [l] with [a = l l^H]; [a] must be
+      Hermitian positive definite. *)
+
+  val solve : Mat.Make(K).t -> Vec.Make(K).t -> Vec.Make(K).t
+  (** Solve [a x = b] for Hermitian positive definite [a]. *)
+
+  val least_squares : Mat.Make(K).t -> Vec.Make(K).t -> Vec.Make(K).t
+  (** The normal-equations solver [x = (A^H A)^-1 A^H b]: cheap, with an
+      effective condition number of [kappa(A)^2] — the instability the
+      paper's QR route avoids. *)
+end

@@ -1,0 +1,59 @@
+(* Condition numbers — the quantity that decides how many limbs a
+   computation needs.  Condition numbers of random triangular matrices
+   grow exponentially with the dimension (Viswanath-Trefethen, [28] in
+   the paper), which is why §4.1 generates its test systems through an LU
+   factorization; these helpers make that effect measurable. *)
+
+module Make (K : Scalar.S) = struct
+  module M = Mat.Make (K)
+  module V = Vec.Make (K)
+  module Lu = Lu.Make (K)
+  module Tri = Host_tri.Make (K)
+
+  (* One-norm: the maximum absolute column sum. *)
+  let one_norm (m : M.t) =
+    let best = ref K.R.zero in
+    for j = 0 to M.cols m - 1 do
+      let s = ref K.R.zero in
+      for i = 0 to M.rows m - 1 do
+        s := K.R.add !s (K.abs (M.get m i j))
+      done;
+      if K.R.compare !s !best > 0 then best := !s
+    done;
+    !best
+
+  (* Infinity-norm: the maximum absolute row sum. *)
+  let inf_norm (m : M.t) =
+    let best = ref K.R.zero in
+    for i = 0 to M.rows m - 1 do
+      let s = ref K.R.zero in
+      for j = 0 to M.cols m - 1 do
+        s := K.R.add !s (K.abs (M.get m i j))
+      done;
+      if K.R.compare !s !best > 0 then best := !s
+    done;
+    !best
+
+  (* Explicit inverse through one LU factorization and n solves. *)
+  let inverse (a : M.t) : M.t =
+    let n = M.rows a in
+    let lu, perm = Lu.factor a in
+    let lower = Lu.lower_of lu and upper = Lu.upper_of lu in
+    let inv = M.create n n in
+    for k = 0 to n - 1 do
+      let e = V.init n (fun i -> if perm.(i) = k then K.one else K.zero) in
+      let col = Tri.back_substitute upper (Tri.forward_substitute lower e) in
+      M.set_column inv k col
+    done;
+    inv
+
+  (* kappa_1(A) = ||A||_1 ||A^-1||_1; raises [Lu.Singular] when A is. *)
+  let cond1 (a : M.t) = K.R.mul (one_norm a) (one_norm (inverse a))
+
+  (* kappa_inf. *)
+  let cond_inf (a : M.t) = K.R.mul (inf_norm a) (inf_norm (inverse a))
+
+  (* Digits of accuracy a residual-exact solve can lose: log10 kappa. *)
+  let digits_at_risk (a : M.t) =
+    Float.log10 (Float.max 1.0 (K.R.to_float (cond1 a)))
+end

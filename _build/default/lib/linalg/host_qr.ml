@@ -1,0 +1,87 @@
+(* Host (single-threaded, unblocked) Householder QR: the numerically
+   trusted baseline against which the blocked accelerated Algorithm 2 is
+   validated, and the reference least squares solver. *)
+
+module Make (K : Scalar.S) = struct
+  module M = Mat.Make (K)
+  module V = Vec.Make (K)
+  module Tri = Host_tri.Make (K)
+
+  (* [householder x] returns (v, beta) such that
+     (I - beta v v^H) x = -phase(x0) ||x|| e1, with v(0) = 1 implied by
+     normalization left OUT here: v is kept unnormalized with
+     beta = 2 / (v^H v), the convention of the paper's kernels. *)
+  let householder (x : V.t) =
+    let sigma = V.norm x in
+    if K.R.is_zero sigma then (V.copy x, K.R.zero)
+    else begin
+      let phase = K.unit_phase x.(0) in
+      let v = V.copy x in
+      v.(0) <- K.add x.(0) (K.scale phase sigma);
+      let vv = V.norm2 v in
+      let beta =
+        if K.R.is_zero vv then K.R.zero
+        else K.R.div (K.R.of_int 2) vv
+      in
+      (v, beta)
+    end
+
+  (* QR of an [m x n] matrix with m >= n: returns (q, r) where [q] is
+     [m x m] unitary and [r] is [m x n] upper triangular, a = q r. *)
+  let factor (a0 : M.t) =
+    let m = M.rows a0 and n = M.cols a0 in
+    if m < n then invalid_arg "Host_qr.factor: need rows >= cols";
+    let r = M.copy a0 in
+    let q = M.identity m in
+    for k = 0 to min n (m - 1) - 1 do
+      let x = M.column ~i0:k r k in
+      let v, beta = householder x in
+      if not (K.R.is_zero beta) then begin
+        (* R[k:, k:] -= beta v (v^H R[k:, k:]) *)
+        for j = k to n - 1 do
+          let s = ref K.zero in
+          for i = k to m - 1 do
+            s := K.add !s (K.mul (K.conj v.(i - k)) (M.get r i j))
+          done;
+          let s = K.scale !s beta in
+          for i = k to m - 1 do
+            M.set r i j (K.sub (M.get r i j) (K.mul v.(i - k) s))
+          done
+        done;
+        (* Q[:, k:] -= beta (Q v) v^H *)
+        for i = 0 to m - 1 do
+          let s = ref K.zero in
+          for j = k to m - 1 do
+            s := K.add !s (K.mul (M.get q i j) v.(j - k))
+          done;
+          let s = K.scale !s beta in
+          for j = k to m - 1 do
+            M.set q i j (K.sub (M.get q i j) (K.mul s (K.conj v.(j - k))))
+          done
+        done
+      end;
+      (* Clean the annihilated entries below the diagonal. *)
+      for i = k + 1 to m - 1 do
+        M.set r i k K.zero
+      done
+    done;
+    (q, r)
+
+  (* Least squares solution of a x = b through QR: minimizes ||b - a x||_2. *)
+  let least_squares (a : M.t) (b : V.t) : V.t =
+    let n = M.cols a in
+    let q, r = factor a in
+    let qtb = M.matvec (M.adjoint q) b in
+    let rn = M.sub_matrix r ~r0:0 ~r1:n ~c0:0 ~c1:n in
+    let y = Array.sub qtb 0 n in
+    Tri.back_substitute rn y
+
+  (* ||q^H q - I||_F: departure from orthogonality. *)
+  let orthogonality_defect (q : M.t) =
+    let m = M.rows q in
+    M.frobenius (M.sub (M.matmul (M.adjoint q) q) (M.identity m))
+
+  (* || a - q r ||_F / ||a||_F *)
+  let factorization_residual (a : M.t) (q : M.t) (r : M.t) =
+    M.rel_distance a (M.matmul q r)
+end

@@ -1,0 +1,26 @@
+(** Host (single-threaded, unblocked) Householder QR: the numerically
+    trusted baseline the blocked accelerated Algorithm 2 is validated
+    against, and the reference least squares solver. *)
+
+module Make (K : Scalar.S) : sig
+  val householder : Vec.Make(K).t -> Vec.Make(K).t * K.R.t
+  (** [householder x] is [(v, beta)] with
+      [(I - beta v v^H) x = -phase(x0) ||x|| e1] and [beta = 2 / v^H v]
+      (the convention of the paper's kernels); [beta = 0] when [x] is
+      zero. *)
+
+  val factor : Mat.Make(K).t -> Mat.Make(K).t * Mat.Make(K).t
+  (** [factor a] is [(q, r)] with [a = q r], [q] unitary m-by-m and [r]
+      upper triangular m-by-n, for m >= n (raises [Invalid_argument]
+      otherwise). *)
+
+  val least_squares : Mat.Make(K).t -> Vec.Make(K).t -> Vec.Make(K).t
+  (** Minimizes [||b - a x||_2] through the QR factorization. *)
+
+  val orthogonality_defect : Mat.Make(K).t -> K.R.t
+  (** [||q^H q - I||_F]. *)
+
+  val factorization_residual :
+    Mat.Make(K).t -> Mat.Make(K).t -> Mat.Make(K).t -> K.R.t
+  (** [|| a - q r ||_F / ||a||_F]. *)
+end

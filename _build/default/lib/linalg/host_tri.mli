@@ -1,0 +1,21 @@
+(** Host (single-threaded) triangular solvers: the reference the
+    accelerated Algorithm 1 is validated against, and the classic
+    column-sweep baseline of the ablation benchmarks. *)
+
+module Make (K : Scalar.S) : sig
+  val back_substitute : Mat.Make(K).t -> Vec.Make(K).t -> Vec.Make(K).t
+  (** Classic back substitution for an upper triangular system U x = b;
+      the last instruction per unknown is the division by the diagonal.
+      Raises [Invalid_argument] on shape mismatch. *)
+
+  val forward_substitute : Mat.Make(K).t -> Vec.Make(K).t -> Vec.Make(K).t
+  (** Forward substitution for a lower triangular system. *)
+
+  val upper_inverse : Mat.Make(K).t -> Mat.Make(K).t
+  (** Inverse of an upper triangular matrix; column k solves U v = e_k —
+      the very computation each thread of Algorithm 1's first stage
+      performs. *)
+
+  val residual : Mat.Make(K).t -> Vec.Make(K).t -> Vec.Make(K).t -> K.R.t
+  (** Normwise relative residual of U x = b. *)
+end

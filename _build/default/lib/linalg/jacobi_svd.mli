@@ -1,0 +1,26 @@
+(** Singular value decomposition by one-sided Jacobi (Hestenes)
+    rotations, real or complex, at any multiple double precision.
+
+    One-sided Jacobi is the natural SVD for extended precision: it works
+    column by column with inner products and plane rotations only,
+    converges quadratically, and computes small singular values to high
+    relative accuracy — what the digits-at-risk analysis of
+    ill-conditioned systems needs. *)
+
+module Make (K : Scalar.S) : sig
+  val svd :
+    ?max_sweeps:int ->
+    Mat.Make(K).t ->
+    Mat.Make(K).t * K.R.t array * Mat.Make(K).t
+  (** [svd a] is [(u, sigma, v)] with [a = u diag(sigma) v^H]: [u] is
+      m-by-n with orthonormal columns (m >= n required), [sigma]
+      decreasing and nonnegative, [v] n-by-n unitary. *)
+
+  val singular_values : Mat.Make(K).t -> K.R.t array
+
+  val cond2 : Mat.Make(K).t -> K.R.t
+  (** [sigma_max / sigma_min]; infinite for singular input. *)
+
+  val rank : ?tol:float -> Mat.Make(K).t -> int
+  (** Singular values above [tol * sigma_max] (default [rows * eps]). *)
+end

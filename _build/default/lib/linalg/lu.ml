@@ -1,0 +1,71 @@
+(* LU factorization with partial pivoting.
+
+   Its role in the paper (§4.1) is indirect but important: condition
+   numbers of random triangular matrices grow exponentially with the
+   dimension [28], so the standalone back substitution tests use the
+   upper triangular factor of an LU factorization of a random dense
+   matrix, whose condition stays moderate. *)
+
+module Make (K : Scalar.S) = struct
+  module M = Mat.Make (K)
+  module V = Vec.Make (K)
+  module Tri = Host_tri.Make (K)
+
+  exception Singular of int
+
+  (* Returns (lu, perm) with L unit-lower and U upper packed in [lu], and
+     [perm] the row permutation: P a = L U. *)
+  let factor (a0 : M.t) =
+    let n = M.rows a0 in
+    if n <> M.cols a0 then invalid_arg "Lu.factor: square matrix required";
+    let lu = M.copy a0 in
+    let perm = Array.init n (fun i -> i) in
+    for k = 0 to n - 1 do
+      (* Partial pivoting on the modulus. *)
+      let best = ref k and best_mag = ref (K.abs (M.get lu k k)) in
+      for i = k + 1 to n - 1 do
+        let m = K.abs (M.get lu i k) in
+        if K.R.compare m !best_mag > 0 then begin
+          best := i;
+          best_mag := m
+        end
+      done;
+      if K.R.is_zero !best_mag then raise (Singular k);
+      if !best <> k then begin
+        for j = 0 to n - 1 do
+          let t = M.get lu k j in
+          M.set lu k j (M.get lu !best j);
+          M.set lu !best j t
+        done;
+        let t = perm.(k) in
+        perm.(k) <- perm.(!best);
+        perm.(!best) <- t
+      end;
+      let pivot = M.get lu k k in
+      for i = k + 1 to n - 1 do
+        let m = K.div (M.get lu i k) pivot in
+        M.set lu i k m;
+        for j = k + 1 to n - 1 do
+          M.set lu i j (K.sub (M.get lu i j) (K.mul m (M.get lu k j)))
+        done
+      done
+    done;
+    (lu, perm)
+
+  let lower_of lu =
+    let n = M.rows lu in
+    M.init n n (fun i j ->
+        if i = j then K.one else if i > j then M.get lu i j else K.zero)
+
+  let upper_of lu =
+    let n = M.rows lu in
+    M.init n n (fun i j -> if i <= j then M.get lu i j else K.zero)
+
+  (* Solve a x = b via PA = LU. *)
+  let solve (a : M.t) (b : V.t) : V.t =
+    let lu, perm = factor a in
+    let n = M.rows a in
+    let pb = V.init n (fun i -> b.(perm.(i))) in
+    let y = Tri.forward_substitute (lower_of lu) pb in
+    Tri.back_substitute (upper_of lu) y
+end

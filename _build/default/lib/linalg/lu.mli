@@ -1,0 +1,26 @@
+(** LU factorization with partial pivoting.
+
+    Its role in the paper (§4.1) is indirect but important: condition
+    numbers of random triangular matrices grow exponentially with the
+    dimension, so the standalone back substitution experiments use the
+    upper triangular factor of an LU factorization of a random dense
+    matrix, whose condition stays moderate. *)
+
+module Make (K : Scalar.S) : sig
+  exception Singular of int
+  (** Raised with the failing elimination step when no nonzero pivot
+      exists. *)
+
+  val factor : Mat.Make(K).t -> Mat.Make(K).t * int array
+  (** [factor a] is [(lu, perm)] with L unit-lower and U upper packed in
+      [lu] and [perm] the row permutation: [a.(perm.(i)) = (L U).(i)].
+      Raises {!Singular} and [Invalid_argument] on non-square input. *)
+
+  val lower_of : Mat.Make(K).t -> Mat.Make(K).t
+  (** The unit lower triangular factor from a packed [lu]. *)
+
+  val upper_of : Mat.Make(K).t -> Mat.Make(K).t
+
+  val solve : Mat.Make(K).t -> Vec.Make(K).t -> Vec.Make(K).t
+  (** Solve [a x = b] through the factorization. *)
+end

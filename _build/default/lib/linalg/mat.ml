@@ -1,0 +1,119 @@
+(* Dense row-major matrices over a scalar field, with the reference
+   (host-side) BLAS-like operations the accelerated kernels are checked
+   against. *)
+
+module Make (K : Scalar.S) = struct
+  module V = Vec.Make (K)
+
+  type t = { rows : int; cols : int; a : K.t array }
+
+  let create rows cols = { rows; cols; a = Array.make (rows * cols) K.zero }
+
+  let init rows cols f =
+    { rows; cols; a = Array.init (rows * cols) (fun k -> f (k / cols) (k mod cols)) }
+
+  let rows m = m.rows
+  let cols m = m.cols
+  let get m i j = m.a.((i * m.cols) + j)
+  let set m i j x = m.a.((i * m.cols) + j) <- x
+  let copy m = { m with a = Array.copy m.a }
+
+  let identity n =
+    init n n (fun i j -> if i = j then K.one else K.zero)
+
+  let random rng rows cols = init rows cols (fun _ _ -> K.random rng)
+
+  let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+  (* Hermitian transpose; plain transpose on real data. *)
+  let adjoint m = init m.cols m.rows (fun i j -> K.conj (get m j i))
+
+  let map f m = { m with a = Array.map f m.a }
+  let add a b = { a with a = Array.map2 K.add a.a b.a }
+  let sub a b = { a with a = Array.map2 K.sub a.a b.a }
+  let scale m s = map (fun x -> K.scale x s) m
+
+  let matvec m (v : V.t) : V.t =
+    Array.init m.rows (fun i ->
+        let s = ref K.zero in
+        for j = 0 to m.cols - 1 do
+          s := K.add !s (K.mul (get m i j) v.(j))
+        done;
+        !s)
+
+  (* v^H M as a vector of length cols. *)
+  let vecmat (v : V.t) m : V.t =
+    Array.init m.cols (fun j ->
+        let s = ref K.zero in
+        for i = 0 to m.rows - 1 do
+          s := K.add !s (K.mul (K.conj v.(i)) (get m i j))
+        done;
+        !s)
+
+  let matmul a b =
+    if a.cols <> b.rows then invalid_arg "Mat.matmul: dimension mismatch";
+    init a.rows b.cols (fun i j ->
+        let s = ref K.zero in
+        for k = 0 to a.cols - 1 do
+          s := K.add !s (K.mul (get a i k) (get b k j))
+        done;
+        !s)
+
+  let frobenius2 m =
+    let s = ref K.R.zero in
+    Array.iter (fun x -> s := K.R.add !s (K.norm2 x)) m.a;
+    !s
+
+  let frobenius m = K.R.sqrt (frobenius2 m)
+
+  let max_abs m =
+    let s = ref K.R.zero in
+    Array.iter
+      (fun x ->
+        let a = K.abs x in
+        if K.R.compare a !s > 0 then s := a)
+      m.a;
+    !s
+
+  let equal a b =
+    a.rows = b.rows && a.cols = b.cols && Array.for_all2 K.equal a.a b.a
+
+  (* Column j as a vector, rows i0 <= i < i1. *)
+  let column ?(i0 = 0) ?i1 m j =
+    let i1 = match i1 with Some i -> i | None -> m.rows in
+    Array.init (i1 - i0) (fun k -> get m (i0 + k) j)
+
+  let set_column ?(i0 = 0) m j (v : V.t) =
+    Array.iteri (fun k x -> set m (i0 + k) j x) v
+
+  (* Submatrix copy: rows [r0, r1), cols [c0, c1). *)
+  let sub_matrix m ~r0 ~r1 ~c0 ~c1 =
+    init (r1 - r0) (c1 - c0) (fun i j -> get m (r0 + i) (c0 + j))
+
+  let blit ~src ~dst ~r0 ~c0 =
+    for i = 0 to src.rows - 1 do
+      for j = 0 to src.cols - 1 do
+        set dst (r0 + i) (c0 + j) (get src i j)
+      done
+    done
+
+  (* || a - b ||_F / max(1, ||a||_F), the relative distance used by the
+     accuracy checks throughout the tests. *)
+  let rel_distance a b =
+    let d = frobenius (sub a b) in
+    let n = frobenius a in
+    let n = if K.R.compare n K.R.one < 0 then K.R.one else n in
+    K.R.div d n
+
+  let pp fmt m =
+    Format.fprintf fmt "@[<v>";
+    for i = 0 to m.rows - 1 do
+      Format.fprintf fmt "[";
+      for j = 0 to m.cols - 1 do
+        if j > 0 then Format.fprintf fmt ", ";
+        K.pp fmt (get m i j)
+      done;
+      Format.fprintf fmt "]@,"
+    done;
+    Format.fprintf fmt "@]"
+end

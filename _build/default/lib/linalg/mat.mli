@@ -1,0 +1,62 @@
+(** Dense row-major matrices over a scalar field, with the reference
+    (host-side) BLAS-like operations the accelerated kernels are checked
+    against.  The representation is exposed so kernels can address
+    entries directly; prefer {!get}/{!set} elsewhere. *)
+
+module Make (K : Scalar.S) : sig
+  module V : module type of Vec.Make (K)
+
+  type t = { rows : int; cols : int; a : K.t array }
+
+  val create : int -> int -> t
+  (** Zero matrix of the given [rows] and [cols]. *)
+
+  val init : int -> int -> (int -> int -> K.t) -> t
+  val rows : t -> int
+  val cols : t -> int
+  val get : t -> int -> int -> K.t
+  val set : t -> int -> int -> K.t -> unit
+  val copy : t -> t
+  val identity : int -> t
+  val random : Dompool.Prng.t -> int -> int -> t
+  val transpose : t -> t
+
+  val adjoint : t -> t
+  (** Hermitian transpose; the plain transpose on real data. *)
+
+  val map : (K.t -> K.t) -> t -> t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val scale : t -> K.R.t -> t
+  val matvec : t -> V.t -> V.t
+
+  val vecmat : V.t -> t -> V.t
+  (** [vecmat v m] is [v^H m]. *)
+
+  val matmul : t -> t -> t
+  (** Raises [Invalid_argument] on dimension mismatch. *)
+
+  val frobenius2 : t -> K.R.t
+  val frobenius : t -> K.R.t
+
+  val max_abs : t -> K.R.t
+  (** Largest modulus of an entry. *)
+
+  val equal : t -> t -> bool
+
+  val column : ?i0:int -> ?i1:int -> t -> int -> V.t
+  (** Column [j] restricted to rows [i0 <= i < i1] (defaults: all). *)
+
+  val set_column : ?i0:int -> t -> int -> V.t -> unit
+
+  val sub_matrix : t -> r0:int -> r1:int -> c0:int -> c1:int -> t
+  (** Copy of rows [r0, r1) and columns [c0, c1). *)
+
+  val blit : src:t -> dst:t -> r0:int -> c0:int -> unit
+
+  val rel_distance : t -> t -> K.R.t
+  (** [||a - b||_F / max(1, ||a||_F)], the relative distance the accuracy
+      checks use throughout. *)
+
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,96 @@
+(* Plain-text persistence for multiple double vectors and matrices.
+
+   The format keeps every bit: one scalar per line as space-separated C99
+   hexadecimal floats, one per plane limb (real limbs, then imaginary
+   limbs for complex scalars), with a one-line header.  Files written at
+   one precision can be read back at another (limbs are truncated or
+   zero-padded), which is how mixed-precision pipelines exchange data. *)
+
+module Make (K : Scalar.S) = struct
+  module M = Mat.Make (K)
+  module V = Vec.Make (K)
+
+  let magic = "mdls-matrix 1"
+
+  let write_scalar oc x =
+    let planes = K.to_planes x in
+    Array.iteri
+      (fun i l ->
+        if i > 0 then output_char oc ' ';
+        Printf.fprintf oc "%h" l)
+      planes;
+    output_char oc '\n'
+
+  (* Adapts a foreign limb count to ours: truncate or zero-pad each of
+     the [parts] plane groups (1 real, or 2 for complex). *)
+  let adapt ~parts (foreign : float array) =
+    let fw = Array.length foreign / parts in
+    let w = K.width / parts in
+    let out = Array.make K.width 0.0 in
+    for p = 0 to parts - 1 do
+      for i = 0 to min w fw - 1 do
+        out.((p * w) + i) <- foreign.((p * fw) + i)
+      done
+    done;
+    K.of_planes out
+
+  let read_scalar ~parts line =
+    let fields =
+      List.filter (fun s -> s <> "") (String.split_on_char ' ' line)
+    in
+    let foreign = Array.of_list (List.map float_of_string fields) in
+    if Array.length foreign mod parts <> 0 then
+      failwith "Mat_io: limb count not divisible by the component count";
+    adapt ~parts foreign
+
+  let write_mat oc (m : M.t) =
+    Printf.fprintf oc "%s %d %d %d %b\n" magic (M.rows m) (M.cols m)
+      K.width K.is_complex;
+    for i = 0 to M.rows m - 1 do
+      for j = 0 to M.cols m - 1 do
+        write_scalar oc (M.get m i j)
+      done
+    done
+
+  let read_mat ic : M.t =
+    let header = input_line ic in
+    let rows, cols, complex =
+      try
+        Scanf.sscanf header "mdls-matrix 1 %d %d %d %B"
+          (fun r c _w cx -> (r, c, cx))
+      with _ -> failwith "Mat_io: bad header"
+    in
+    if complex && not K.is_complex then
+      failwith "Mat_io: file holds complex data, scalar is real";
+    let parts = if complex then 2 else 1 in
+    let read () =
+      let x = read_scalar ~parts (input_line ic) in
+      (* a real file read into a complex scalar: parts = 1 fills re *)
+      x
+    in
+    M.init rows cols (fun _ _ -> read ())
+
+  let write_vec oc (v : V.t) =
+    write_mat oc (M.init (Array.length v) 1 (fun i _ -> v.(i)))
+
+  let read_vec ic : V.t =
+    let m = read_mat ic in
+    if M.cols m <> 1 then failwith "Mat_io: not a vector";
+    M.column m 0
+
+  let save_mat path m =
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_mat oc m)
+
+  let load_mat path =
+    let ic = open_in path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_mat ic)
+
+  let save_vec path v =
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_vec oc v)
+
+  let load_vec path =
+    let ic = open_in path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_vec ic)
+end

@@ -1,0 +1,19 @@
+(** Full-precision plain-text persistence for vectors and matrices: one
+    scalar per line as C99 hexadecimal floats, one per plane limb.
+    Files written at one precision read back at another (limbs truncate
+    or zero-pad), and real files read into complex scalars. *)
+
+module Make (K : Scalar.S) : sig
+  val write_mat : out_channel -> Mat.Make(K).t -> unit
+
+  val read_mat : in_channel -> Mat.Make(K).t
+  (** Raises [Failure] on malformed input or when complex data is read
+      into a real scalar. *)
+
+  val write_vec : out_channel -> Vec.Make(K).t -> unit
+  val read_vec : in_channel -> Vec.Make(K).t
+  val save_mat : string -> Mat.Make(K).t -> unit
+  val load_mat : string -> Mat.Make(K).t
+  val save_vec : string -> Vec.Make(K).t -> unit
+  val load_vec : string -> Vec.Make(K).t
+end

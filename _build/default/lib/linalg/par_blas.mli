@@ -1,0 +1,12 @@
+(** Multicore host kernels on the domain pool: the shared-memory
+    baseline of the author's companion work ("Parallel software to
+    offset the cost of higher precision"). *)
+
+module Make (K : Scalar.S) : sig
+  val matvec : Mat.Make(K).t -> Vec.Make(K).t -> Vec.Make(K).t
+  val matmul : Mat.Make(K).t -> Mat.Make(K).t -> Mat.Make(K).t
+
+  val qr_factor : Mat.Make(K).t -> Mat.Make(K).t * Mat.Make(K).t
+  (** Householder QR with the two rank-update loops parallelized over
+      columns of R and rows of Q. *)
+end

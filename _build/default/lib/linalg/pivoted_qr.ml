@@ -1,0 +1,124 @@
+(* Householder QR with column pivoting (the xGEQP3 shape): a rank
+   revealing factorization A P = Q R with the diagonal of R decreasing in
+   modulus, and the basic least squares solution for rank-deficient
+   systems.
+
+   Column pivoting costs only the bookkeeping of the running column
+   norms and buys a reliable numerical rank — the safety net a solver
+   needs before trusting a triangular solve on data this ill-conditioned
+   territory (Vandermonde, Hilbert) produces. *)
+
+module Make (K : Scalar.S) = struct
+  module M = Mat.Make (K)
+  module V = Vec.Make (K)
+  module Tri = Host_tri.Make (K)
+
+  (* [factor a] returns (q, r, perm) with a.(:, perm) = q r, q unitary
+     m-by-m, r upper triangular with |r_11| >= |r_22| >= ... *)
+  let factor (a0 : M.t) =
+    let m = M.rows a0 and n = M.cols a0 in
+    let r = M.copy a0 in
+    let q = M.identity m in
+    let perm = Array.init n (fun j -> j) in
+    (* Running squared norms of the trailing columns. *)
+    let norms = Array.init n (fun j -> V.norm2 (M.column r j)) in
+    let steps = min n (m - 1) in
+    for k = 0 to steps - 1 do
+      (* Pivot: the trailing column with the largest remaining norm. *)
+      let best = ref k in
+      for j = k + 1 to n - 1 do
+        if K.R.compare norms.(j) norms.(!best) > 0 then best := j
+      done;
+      if !best <> k then begin
+        for i = 0 to m - 1 do
+          let t = M.get r i k in
+          M.set r i k (M.get r i !best);
+          M.set r i !best t
+        done;
+        let t = norms.(k) in
+        norms.(k) <- norms.(!best);
+        norms.(!best) <- t;
+        let t = perm.(k) in
+        perm.(k) <- perm.(!best);
+        perm.(!best) <- t
+      end;
+      (* Householder reflector on column k. *)
+      let len = m - k in
+      let v = Array.init len (fun i -> M.get r (k + i) k) in
+      let sigma = V.norm v in
+      if not (K.R.is_zero sigma) then begin
+        let phase = K.unit_phase v.(0) in
+        v.(0) <- K.add v.(0) (K.scale phase sigma);
+        let beta = K.R.div (K.R.of_int 2) (V.norm2 v) in
+        for j = k to n - 1 do
+          let s = ref K.zero in
+          for i = 0 to len - 1 do
+            s := K.add !s (K.mul (K.conj v.(i)) (M.get r (k + i) j))
+          done;
+          let s = K.scale !s beta in
+          for i = 0 to len - 1 do
+            M.set r (k + i) j (K.sub (M.get r (k + i) j) (K.mul v.(i) s))
+          done
+        done;
+        for i = 0 to m - 1 do
+          let s = ref K.zero in
+          for j = 0 to len - 1 do
+            s := K.add !s (K.mul (M.get q i (k + j)) v.(j))
+          done;
+          let s = K.scale !s beta in
+          for j = 0 to len - 1 do
+            M.set q i (k + j)
+              (K.sub (M.get q i (k + j)) (K.mul s (K.conj v.(j))))
+          done
+        done
+      end;
+      for i = k + 1 to m - 1 do
+        M.set r i k K.zero
+      done;
+      (* Downdate the trailing column norms by the eliminated row. *)
+      for j = k + 1 to n - 1 do
+        norms.(j) <- K.R.sub norms.(j) (K.norm2 (M.get r k j));
+        if K.R.sign norms.(j) < 0 then norms.(j) <- K.R.zero
+      done
+    done;
+    (q, r, perm)
+
+  (* Numerical rank read off the pivoted diagonal. *)
+  let rank_of_r ?tol (r : M.t) =
+    let n = min (M.rows r) (M.cols r) in
+    if n = 0 then 0
+    else begin
+      let d0 = K.abs (M.get r 0 0) in
+      if K.R.is_zero d0 then 0
+      else begin
+        let tol =
+          match tol with
+          | Some t -> t
+          | None -> float_of_int (M.rows r) *. K.R.eps
+        in
+        let cutoff = K.R.mul_float d0 tol in
+        let rec go k =
+          if k >= n then k
+          else if K.R.compare (K.abs (M.get r k k)) cutoff > 0 then go (k + 1)
+          else k
+        in
+        go 0
+      end
+    end
+
+  (* Basic least squares solution of a x = b for possibly rank-deficient
+     [a]: only the [rank] pivoted columns carry nonzeros.  Returns
+     (x, rank). *)
+  let least_squares ?tol (a : M.t) (b : V.t) =
+    let n = M.cols a in
+    let q, r, perm = factor a in
+    let rk = rank_of_r ?tol r in
+    let x = V.create n in
+    if rk > 0 then begin
+      let qtb = M.matvec (M.adjoint q) b in
+      let r11 = M.sub_matrix r ~r0:0 ~r1:rk ~c0:0 ~c1:rk in
+      let y = Tri.back_substitute r11 (Array.sub qtb 0 rk) in
+      Array.iteri (fun i v -> x.(perm.(i)) <- v) y
+    end;
+    (x, rk)
+end

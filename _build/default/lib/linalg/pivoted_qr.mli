@@ -1,0 +1,20 @@
+(** Householder QR with column pivoting (the xGEQP3 shape): a rank
+    revealing factorization [A P = Q R] with the diagonal of R decreasing
+    in modulus, and the basic least squares solution for rank-deficient
+    systems. *)
+
+module Make (K : Scalar.S) : sig
+  val factor : Mat.Make(K).t -> Mat.Make(K).t * Mat.Make(K).t * int array
+  (** [factor a] is [(q, r, perm)] with [a.(:, perm) = q r], [q] unitary
+      and [|r_11| >= |r_22| >= ...]. *)
+
+  val rank_of_r : ?tol:float -> Mat.Make(K).t -> int
+  (** Numerical rank read off the pivoted diagonal
+      (default tolerance: [rows * eps] relative to [|r_11|]). *)
+
+  val least_squares :
+    ?tol:float -> Mat.Make(K).t -> Vec.Make(K).t -> Vec.Make(K).t * int
+  (** Basic least squares solution for possibly rank-deficient systems:
+      only the pivoted [rank] columns carry nonzeros.  Returns the
+      solution and the detected rank. *)
+end

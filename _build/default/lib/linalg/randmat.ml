@@ -1,0 +1,31 @@
+(* Random test problems, following §4.1 of the paper: general matrices
+   have uniform random entries; standalone upper triangular systems take
+   the U factor of an LU factorization of a random dense matrix, since
+   directly random triangular matrices are almost surely exponentially
+   ill-conditioned [Viswanath-Trefethen]. *)
+
+module Make (K : Scalar.S) = struct
+  module M = Mat.Make (K)
+  module V = Vec.Make (K)
+  module Lu = Lu.Make (K)
+
+  let vector rng n = V.random rng n
+  let matrix rng rows cols = M.random rng rows cols
+
+  (* A directly random upper triangular matrix — kept as the
+     ill-conditioned counterexample for the conditioning tests. *)
+  let raw_upper rng n =
+    M.init n n (fun i j -> if i <= j then K.random rng else K.zero)
+
+  (* Well-conditioned random upper triangular matrix via LU. *)
+  let upper rng n =
+    let a = matrix rng n n in
+    let lu, _ = Lu.factor a in
+    Lu.upper_of lu
+
+  (* A right-hand side with a known solution: returns (b, x) such that
+     m x = b exactly up to working precision. *)
+  let rhs_for rng (m : M.t) =
+    let x = vector rng (M.cols m) in
+    (M.matvec m x, x)
+end

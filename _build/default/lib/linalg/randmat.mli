@@ -1,0 +1,22 @@
+(** Random test problems, following §4.1 of the paper: general matrices
+    have uniform random entries; standalone upper triangular systems take
+    the U factor of an LU factorization of a random dense matrix, since
+    directly random triangular matrices are almost surely exponentially
+    ill-conditioned (Viswanath-Trefethen). *)
+
+module Make (K : Scalar.S) : sig
+  val vector : Dompool.Prng.t -> int -> Vec.Make(K).t
+  val matrix : Dompool.Prng.t -> int -> int -> Mat.Make(K).t
+
+  val raw_upper : Dompool.Prng.t -> int -> Mat.Make(K).t
+  (** A directly random upper triangular matrix — the ill-conditioned
+      counterexample the conditioning tests measure. *)
+
+  val upper : Dompool.Prng.t -> int -> Mat.Make(K).t
+  (** Well-conditioned random upper triangular matrix via LU. *)
+
+  val rhs_for :
+    Dompool.Prng.t -> Mat.Make(K).t -> Vec.Make(K).t * Vec.Make(K).t
+  (** [rhs_for rng m] is [(b, x)] with [m x = b] up to working
+      precision — a system with a known solution. *)
+end

@@ -1,0 +1,163 @@
+(* The scalar abstraction over which all linear algebra is written: a real
+   or complex multiple double number together with its real subfield (for
+   norms, Householder scalars, pivot magnitudes).
+
+   The paper runs the same QR code on real and on complex data, with the
+   transpose replaced by the Hermitian transpose (§3); the [conj] and
+   [unit_phase] operations make one generic implementation cover both. *)
+
+open Multidouble
+
+module type S = sig
+  module R : Md_sig.S
+
+  type t
+
+  val prec : Precision.tag
+  val is_complex : bool
+
+  (* Doubles per scalar in the staggered device representation. *)
+  val width : int
+
+  val zero : t
+  val one : t
+  val of_real : R.t -> t
+  val of_float : float -> t
+  val re : t -> R.t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val neg : t -> t
+
+  (* Complex conjugate; the identity on real scalars. *)
+  val conj : t -> t
+
+  val scale : t -> R.t -> t
+  val mul_float : t -> float -> t
+
+  (* Squared modulus, a real number. *)
+  val norm2 : t -> R.t
+
+  val abs : t -> R.t
+
+  (* [unit_phase x] is x/|x| (the sign for reals), or one when x = 0;
+     used to pick the stable sign of the Householder reflection. *)
+  val unit_phase : t -> t
+
+  val is_zero : t -> bool
+  val equal : t -> t -> bool
+  val is_finite : t -> bool
+
+  (* Staggered layout: the limbs of the scalar, most significant first
+     (real and imaginary parts kept separately for complex data). *)
+  val to_planes : t -> float array
+
+  val of_planes : float array -> t
+
+  (* Uniform random scalar with each component in [-1, 1). *)
+  val random : Dompool.Prng.t -> t
+
+  val to_string : ?digits:int -> t -> string
+  val pp : Format.formatter -> t -> unit
+end
+
+module Real (Rm : Md_sig.S) : S with module R = Rm and type t = Rm.t = struct
+  module R = Rm
+
+  type t = Rm.t
+
+  let prec = Precision.of_limbs Rm.limbs
+  let is_complex = false
+  let width = Rm.limbs
+  let zero = Rm.zero
+  let one = Rm.one
+  let of_real x = x
+  let of_float = Rm.of_float
+  let re x = x
+  let add = Rm.add
+  let sub = Rm.sub
+  let mul = Rm.mul
+  let div = Rm.div
+  let neg = Rm.neg
+  let conj x = x
+  let scale = Rm.mul
+  let mul_float = Rm.mul_float
+  let norm2 x = Rm.mul x x
+  let abs = Rm.abs
+  let unit_phase x = if Rm.sign x < 0 then Rm.neg Rm.one else Rm.one
+  let is_zero = Rm.is_zero
+  let equal = Rm.equal
+  let is_finite = Rm.is_finite
+  let to_planes = Rm.to_limbs
+  let of_planes = Rm.of_limbs
+  let random rng = Rm.of_float (Dompool.Prng.sym_float rng)
+  let to_string = Rm.to_string
+  let pp = Rm.pp
+end
+
+module Complex (Rm : Md_sig.S) = struct
+  module C = Md_complex.Make (Rm)
+  module R = Rm
+
+  type t = C.t
+
+  let prec = Precision.of_limbs Rm.limbs
+  let is_complex = true
+  let width = 2 * Rm.limbs
+  let zero = C.zero
+  let one = C.one
+  let of_real = C.of_real
+  let of_float = C.of_float
+
+  (* Complex-only constructor from the two components. *)
+  let of_floats = C.of_floats
+  let re = C.re
+
+  (* Complex-only accessor for the imaginary part. *)
+  let im = C.im
+  let add = C.add
+  let sub = C.sub
+  let mul = C.mul
+  let div = C.div
+  let neg = C.neg
+  let conj = C.conj
+  let scale = C.scale
+  let mul_float = C.mul_float
+  let norm2 = C.norm2
+  let abs = C.abs
+
+  let unit_phase z =
+    let m = C.abs z in
+    if Rm.is_zero m then C.one else C.scale z (Rm.div Rm.one m)
+
+  let is_zero z = Rm.is_zero (C.re z) && Rm.is_zero (C.im z)
+  let equal = C.equal
+  let is_finite = C.is_finite
+
+  let to_planes z =
+    Array.append (Rm.to_limbs (C.re z)) (Rm.to_limbs (C.im z))
+
+  let of_planes a =
+    C.make
+      (Rm.of_limbs (Array.sub a 0 Rm.limbs))
+      (Rm.of_limbs (Array.sub a Rm.limbs Rm.limbs))
+
+  let random rng =
+    C.make
+      (Rm.of_float (Dompool.Prng.sym_float rng))
+      (Rm.of_float (Dompool.Prng.sym_float rng))
+
+  let to_string = C.to_string
+  let pp = C.pp
+end
+
+(* The common instantiations, named so functor applications share types. *)
+module D = Real (Float_double)
+module Dd = Real (Double_double)
+module Qd = Real (Quad_double)
+module Od = Real (Octo_double)
+module Zd = Complex (Float_double)
+module Zdd = Complex (Double_double)
+module Zqd = Complex (Quad_double)
+module Zod = Complex (Octo_double)

@@ -1,0 +1,62 @@
+(* The staggered device representation of multiple double data.
+
+   A matrix of quad doubles is NOT stored as an array of quad double
+   records but as four separate matrices of doubles, sorted by
+   significance; the same holds for vectors and, on complex data, for the
+   real and imaginary parts (end of Algorithm 1 in the paper).  Adjacent
+   threads of a block then read adjacent doubles — coalesced access
+   without bank conflicts.
+
+   The simulator's kernels compute on [K.t] values; these conversions model
+   the staging of data into and out of device memory and give the byte
+   counts of the transfer model its ground truth. *)
+
+module Make (K : Scalar.S) = struct
+  module M = Mat.Make (K)
+  module V = Vec.Make (K)
+
+  type vec = { n : int; planes : float array array } (* width x n *)
+
+  type mat = {
+    rows : int;
+    cols : int;
+    planes : float array array; (* width x (rows*cols), row-major *)
+  }
+
+  let vec_bytes (v : vec) = 8 * K.width * v.n
+  let mat_bytes (m : mat) = 8 * K.width * m.rows * m.cols
+
+  let of_vec (v : V.t) : vec =
+    let n = Array.length v in
+    let planes = Array.init K.width (fun _ -> Array.make n 0.0) in
+    for i = 0 to n - 1 do
+      let limbs = K.to_planes v.(i) in
+      for p = 0 to K.width - 1 do
+        planes.(p).(i) <- limbs.(p)
+      done
+    done;
+    { n; planes }
+
+  let to_vec (s : vec) : V.t =
+    Array.init s.n (fun i ->
+        K.of_planes (Array.init K.width (fun p -> s.planes.(p).(i))))
+
+  let of_mat (m : M.t) : mat =
+    let rows = M.rows m and cols = M.cols m in
+    let n = rows * cols in
+    let planes = Array.init K.width (fun _ -> Array.make n 0.0) in
+    for i = 0 to rows - 1 do
+      for j = 0 to cols - 1 do
+        let limbs = K.to_planes (M.get m i j) in
+        for p = 0 to K.width - 1 do
+          planes.(p).((i * cols) + j) <- limbs.(p)
+        done
+      done
+    done;
+    { rows; cols; planes }
+
+  let to_mat (s : mat) : M.t =
+    M.init s.rows s.cols (fun i j ->
+        K.of_planes
+          (Array.init K.width (fun p -> s.planes.(p).((i * s.cols) + j))))
+end

@@ -1,0 +1,20 @@
+(** The staggered device representation of multiple double data: a
+    matrix of quad doubles is stored as four matrices of doubles sorted
+    by significance (and real/imaginary parts separately on complex
+    data), so adjacent threads read adjacent doubles — the coalescing
+    argument at the end of the paper's Algorithm 1. *)
+
+module Make (K : Scalar.S) : sig
+  type vec = { n : int; planes : float array array }
+  (** [K.width] planes of [n] doubles each. *)
+
+  type mat = { rows : int; cols : int; planes : float array array }
+  (** [K.width] planes of [rows * cols] doubles, row-major. *)
+
+  val vec_bytes : vec -> int
+  val mat_bytes : mat -> int
+  val of_vec : Vec.Make(K).t -> vec
+  val to_vec : vec -> Vec.Make(K).t
+  val of_mat : Mat.Make(K).t -> mat
+  val to_mat : mat -> Mat.Make(K).t
+end

@@ -1,0 +1,65 @@
+(* Dense vectors over a scalar field. *)
+
+module Make (K : Scalar.S) = struct
+  type t = K.t array
+
+  let create n : t = Array.make n K.zero
+  let init n f : t = Array.init n f
+  let length (v : t) = Array.length v
+  let copy (v : t) : t = Array.copy v
+  let of_array (a : K.t array) : t = Array.copy a
+
+  let random rng n : t = init n (fun _ -> K.random rng)
+
+  let map f (v : t) : t = Array.map f v
+  let neg v = map K.neg v
+  let add (a : t) (b : t) : t = Array.map2 K.add a b
+  let sub (a : t) (b : t) : t = Array.map2 K.sub a b
+  let scale (v : t) s : t = map (fun x -> K.scale x s) v
+
+  (* y <- y + a x *)
+  let axpy ~a (x : t) (y : t) =
+    for i = 0 to Array.length y - 1 do
+      y.(i) <- K.add y.(i) (K.mul a x.(i))
+    done
+
+  (* Inner product conj(a) . b (the Hermitian inner product on complex
+     data, reducing to the ordinary dot product on real data). *)
+  let dot (a : t) (b : t) =
+    let s = ref K.zero in
+    for i = 0 to Array.length a - 1 do
+      s := K.add !s (K.mul (K.conj a.(i)) b.(i))
+    done;
+    !s
+
+  (* Squared Euclidean norm, a real number. *)
+  let norm2 (a : t) =
+    let s = ref K.R.zero in
+    for i = 0 to Array.length a - 1 do
+      s := K.R.add !s (K.norm2 a.(i))
+    done;
+    !s
+
+  let norm a = K.R.sqrt (norm2 a)
+
+  (* Largest modulus of an entry. *)
+  let inf_norm (a : t) =
+    let m = ref K.R.zero in
+    for i = 0 to Array.length a - 1 do
+      let x = K.abs a.(i) in
+      if K.R.compare x !m > 0 then m := x
+    done;
+    !m
+
+  let equal (a : t) (b : t) =
+    Array.length a = Array.length b && Array.for_all2 K.equal a b
+
+  let pp fmt (v : t) =
+    Format.fprintf fmt "[@[";
+    Array.iteri
+      (fun i x ->
+        if i > 0 then Format.fprintf fmt ";@ ";
+        K.pp fmt x)
+      v;
+    Format.fprintf fmt "@]]"
+end

@@ -1,0 +1,38 @@
+(** Dense vectors over a scalar field (real or complex multiple
+    doubles).  The representation is a plain array of scalars, exposed
+    so kernels can index it directly. *)
+
+module Make (K : Scalar.S) : sig
+  type t = K.t array
+
+  val create : int -> t
+  (** Zero vector. *)
+
+  val init : int -> (int -> K.t) -> t
+  val length : t -> int
+  val copy : t -> t
+  val of_array : K.t array -> t
+  val random : Dompool.Prng.t -> int -> t
+  val map : (K.t -> K.t) -> t -> t
+  val neg : t -> t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val scale : t -> K.R.t -> t
+
+  val axpy : a:K.t -> t -> t -> unit
+  (** [axpy ~a x y] updates [y <- y + a x] in place. *)
+
+  val dot : t -> t -> K.t
+  (** Inner product [conj a . b] (Hermitian on complex data). *)
+
+  val norm2 : t -> K.R.t
+  (** Squared Euclidean norm, a real number. *)
+
+  val norm : t -> K.R.t
+
+  val inf_norm : t -> K.R.t
+  (** Largest modulus of an entry. *)
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end

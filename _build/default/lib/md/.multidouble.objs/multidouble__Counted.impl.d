@@ -1,0 +1,1 @@
+lib/md/counted.ml: Md_sig Precision

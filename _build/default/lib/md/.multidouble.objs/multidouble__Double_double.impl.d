@@ -1,0 +1,1 @@
+lib/md/double_double.ml: Array Eft Float Md_build Renorm

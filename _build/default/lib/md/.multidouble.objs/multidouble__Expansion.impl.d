@@ -1,0 +1,1 @@
+lib/md/expansion.ml: Array Eft Float Md_build Md_sig Renorm

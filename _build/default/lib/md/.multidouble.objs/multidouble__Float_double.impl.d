@@ -1,0 +1,1 @@
+lib/md/float_double.ml: Array Float Md_build

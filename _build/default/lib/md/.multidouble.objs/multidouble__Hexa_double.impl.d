@@ -1,0 +1,1 @@
+lib/md/hexa_double.ml: Expansion

@@ -1,0 +1,1 @@
+lib/md/md_build.ml: Array Buffer Char Float Format Md_sig Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/md/md_complex.ml: Format Md_sig Printf

@@ -1,0 +1,1 @@
+lib/md/md_complex_funcs.ml: Array Md_complex Md_funcs Md_sig

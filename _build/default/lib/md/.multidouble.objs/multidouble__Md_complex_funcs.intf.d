@@ -1,0 +1,1 @@
+lib/md/md_complex_funcs.mli: Md_complex Md_sig

@@ -1,0 +1,1 @@
+lib/md/md_funcs.ml: Float Md_sig

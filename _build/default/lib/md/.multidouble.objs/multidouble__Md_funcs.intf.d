@@ -1,0 +1,1 @@
+lib/md/md_funcs.mli: Md_sig

@@ -1,0 +1,1 @@
+lib/md/md_sig.ml: Format

@@ -1,0 +1,1 @@
+lib/md/octo_double.ml: Expansion

@@ -1,0 +1,1 @@
+lib/md/precision.ml: Printf

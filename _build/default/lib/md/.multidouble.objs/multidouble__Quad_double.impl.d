@@ -1,0 +1,1 @@
+lib/md/quad_double.ml: Array Eft Float Md_build Renorm

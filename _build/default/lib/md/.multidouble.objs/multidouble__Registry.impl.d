@@ -1,0 +1,1 @@
+lib/md/registry.ml: Double_double Float_double Md_sig Octo_double Precision Quad_double

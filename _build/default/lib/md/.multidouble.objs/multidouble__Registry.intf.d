@@ -1,0 +1,1 @@
+lib/md/registry.mli: Md_sig Precision

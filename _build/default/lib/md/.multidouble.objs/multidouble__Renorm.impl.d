@@ -1,0 +1,1 @@
+lib/md/renorm.ml: Array Eft Float

@@ -1,0 +1,1 @@
+lib/md/triple_double.ml: Expansion

@@ -1,0 +1,92 @@
+(* Instrumented wrapper: counts multiple double operations as they execute.
+
+   The GPU simulator accounts flops analytically per kernel launch, exactly
+   as the paper does ("a small function accumulates the number of
+   arithmetical operations", §4.1).  This wrapper provides the dynamic
+   ground truth the test suite compares those analytic descriptors against.
+   The counters are plain shared refs: use only in single-domain code. *)
+
+type tally = {
+  mutable adds : int;
+  mutable muls : int;
+  mutable divs : int;
+  mutable sqrts : int;
+}
+
+let fresh () = { adds = 0; muls = 0; divs = 0; sqrts = 0 }
+
+let total t = t.adds + t.muls + t.divs + t.sqrts
+
+(* Double precision flops of a tally under precision [p], with Table 1
+   multipliers (subtractions count as additions, as in the paper). *)
+let flops p t =
+  (t.adds * Precision.add_flops p)
+  + (t.muls * Precision.mul_flops p)
+  + (t.divs * Precision.div_flops p)
+  + (t.sqrts * Precision.sqrt_flops p)
+
+module Make (B : Md_sig.S) : sig
+  include Md_sig.S with type t = B.t
+
+  val counter : tally
+  val reset : unit -> unit
+  val snapshot : unit -> tally
+end = struct
+  include B
+
+  let counter = fresh ()
+
+  let reset () =
+    counter.adds <- 0;
+    counter.muls <- 0;
+    counter.divs <- 0;
+    counter.sqrts <- 0
+
+  let snapshot () =
+    { adds = counter.adds; muls = counter.muls; divs = counter.divs;
+      sqrts = counter.sqrts }
+
+  let add a b =
+    counter.adds <- counter.adds + 1;
+    B.add a b
+
+  let sub a b =
+    counter.adds <- counter.adds + 1;
+    B.sub a b
+
+  let neg = B.neg
+
+  let mul a b =
+    counter.muls <- counter.muls + 1;
+    B.mul a b
+
+  let div a b =
+    counter.divs <- counter.divs + 1;
+    B.div a b
+
+  let sqrt a =
+    counter.sqrts <- counter.sqrts + 1;
+    B.sqrt a
+
+  let add_float a b =
+    counter.adds <- counter.adds + 1;
+    B.add_float a b
+
+  let mul_float a b =
+    counter.muls <- counter.muls + 1;
+    B.mul_float a b
+
+  module Infix = struct
+    let ( + ) = add
+    let ( - ) = sub
+    let ( * ) = mul
+    let ( / ) = div
+    let ( ~- ) = neg
+    let ( = ) = B.equal
+    let ( <> ) a b = not (B.equal a b)
+    let ( < ) a b = B.compare a b < 0
+    let ( > ) a b = B.compare a b > 0
+    let ( <= ) a b = B.compare a b <= 0
+    let ( >= ) a b = B.compare a b >= 0
+  end
+end

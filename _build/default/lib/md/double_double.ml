@@ -1,0 +1,83 @@
+(* Double double arithmetic: an unevaluated sum of two doubles giving
+   roughly 32 decimal digits.  These are the accurate ("IEEE-style")
+   algorithms of QDlib [8], fully unrolled. *)
+
+module Pre = struct
+  type t = { hi : float; lo : float }
+
+  let limbs = 2
+  let name = "double double"
+  let zero = { hi = 0.0; lo = 0.0 }
+  let one = { hi = 1.0; lo = 0.0 }
+  let of_float x = { hi = x; lo = 0.0 }
+  let to_float x = x.hi
+
+  let of_limbs a =
+    let r = Renorm.renormalize ~m:2 a in
+    { hi = r.(0); lo = r.(1) }
+
+  let to_limbs x = [| x.hi; x.lo |]
+
+  let add a b =
+    let s, e = Eft.two_sum a.hi b.hi in
+    let t1, t2 = Eft.two_sum a.lo b.lo in
+    let e = e +. t1 in
+    let s, e = Eft.quick_two_sum s e in
+    let e = e +. t2 in
+    let hi, lo = Eft.quick_two_sum s e in
+    { hi; lo }
+
+  let sub a b =
+    let s, e = Eft.two_diff a.hi b.hi in
+    let t1, t2 = Eft.two_diff a.lo b.lo in
+    let e = e +. t1 in
+    let s, e = Eft.quick_two_sum s e in
+    let e = e +. t2 in
+    let hi, lo = Eft.quick_two_sum s e in
+    { hi; lo }
+
+  let mul a b =
+    let p, e = Eft.two_prod a.hi b.hi in
+    let e = e +. ((a.hi *. b.lo) +. (a.lo *. b.hi)) in
+    let hi, lo = Eft.quick_two_sum p e in
+    { hi; lo }
+
+  let add_float a b =
+    let s, e = Eft.two_sum a.hi b in
+    let e = e +. a.lo in
+    let hi, lo = Eft.quick_two_sum s e in
+    { hi; lo }
+
+  let mul_float a b =
+    let p, e = Eft.two_prod a.hi b in
+    let e = e +. (a.lo *. b) in
+    let hi, lo = Eft.quick_two_sum p e in
+    { hi; lo }
+
+  let div a b =
+    let q1 = a.hi /. b.hi in
+    let r = sub a (mul_float b q1) in
+    let q2 = r.hi /. b.hi in
+    let r = sub r (mul_float b q2) in
+    let q3 = r.hi /. b.hi in
+    let q1, q2 = Eft.quick_two_sum q1 q2 in
+    add_float { hi = q1; lo = q2 } q3
+
+  let neg a = { hi = -.a.hi; lo = -.a.lo }
+  let abs a = if a.hi < 0.0 then neg a else a
+  let mul_pwr2 a p = { hi = a.hi *. p; lo = a.lo *. p }
+
+  let floor a =
+    let hi = Float.floor a.hi in
+    if hi = a.hi then begin
+      (* The high limb is already integral; floor the tail and carry. *)
+      let lo = Float.floor a.lo in
+      let hi, lo = Eft.quick_two_sum hi lo in
+      { hi; lo }
+    end
+    else { hi; lo = 0.0 }
+
+  let is_finite a = Float.is_finite a.hi && Float.is_finite a.lo
+end
+
+include Md_build.Make (Pre)

@@ -1,0 +1,74 @@
+(* Error-free transformations: the double precision building blocks of all
+   multiple double arithmetic (QDlib [8], CAMPARY [10]).
+
+   Every function returns an exact decomposition: the rounded result together
+   with the rounding error, both representable in double precision. *)
+
+(* [two_sum a b] is [(s, e)] with [s = fl(a + b)] and [a + b = s + e]
+   exactly, for any [a], [b] (Knuth). *)
+let two_sum a b =
+  let s = a +. b in
+  let bb = s -. a in
+  let e = (a -. (s -. bb)) +. (b -. bb) in
+  (s, e)
+
+(* [quick_two_sum a b] is the branch-free variant valid when
+   [|a| >= |b|] or [a = 0] (Dekker). *)
+let quick_two_sum a b =
+  let s = a +. b in
+  let e = b -. (s -. a) in
+  (s, e)
+
+(* [two_diff a b] is [(d, e)] with [d = fl(a - b)] and [a - b = d + e]. *)
+let two_diff a b =
+  let d = a -. b in
+  let bb = d -. a in
+  let e = (a -. (d -. bb)) -. (b +. bb) in
+  (d, e)
+
+(* [two_prod a b] is [(p, e)] with [p = fl(a * b)] and [a * b = p + e],
+   using the fused multiply-add. *)
+let two_prod a b =
+  let p = a *. b in
+  let e = Float.fma a b (-.p) in
+  (p, e)
+
+(* [two_sqr a] is [two_prod a a], one multiplication cheaper. *)
+let two_sqr a =
+  let p = a *. a in
+  let e = Float.fma a a (-.p) in
+  (p, e)
+
+(* Dekker's splitting, kept for documentation and for testing [two_prod]
+   against an FMA-free implementation. Valid for |a| <= 2^996. *)
+let split a =
+  let t = 134217729.0 *. a in
+  (* 2^27 + 1 *)
+  let hi = t -. (t -. a) in
+  let lo = a -. hi in
+  (hi, lo)
+
+(* FMA-free product decomposition via Dekker splitting; used only to
+   cross-check [two_prod] in the test suite. *)
+let two_prod_dekker a b =
+  let p = a *. b in
+  let ahi, alo = split a in
+  let bhi, blo = split b in
+  let e = ((ahi *. bhi -. p) +. (ahi *. blo) +. (alo *. bhi)) +. (alo *. blo) in
+  (p, e)
+
+(* [three_sum a b c] sums three doubles into a length-3 expansion
+   [(s0, s1, s2)] with [s0 + s1 + s2 = a + b + c] exactly (QDlib). *)
+let three_sum a b c =
+  let t1, t2 = two_sum a b in
+  let s0, t3 = two_sum c t1 in
+  let s1, s2 = two_sum t2 t3 in
+  (s0, s1, s2)
+
+(* [three_sum2 a b c] is [three_sum] with the last component summed
+   approximately: [(s0, s1)] with [s0 + s1 ~ a + b + c] (QDlib). *)
+let three_sum2 a b c =
+  let t1, t2 = two_sum a b in
+  let s0, t3 = two_sum c t1 in
+  let s1 = t2 +. t3 in
+  (s0, s1)

@@ -1,0 +1,39 @@
+(** Error-free transformations: the double precision building blocks of
+    all multiple double arithmetic (QDlib, CAMPARY).
+
+    Each function returns an exact decomposition of a floating-point
+    operation: the correctly rounded result together with the rounding
+    error, both representable as doubles. *)
+
+val two_sum : float -> float -> float * float
+(** [two_sum a b] is [(s, e)] with [s = fl(a + b)] and [a + b = s + e]
+    exactly, for any [a], [b] (Knuth, 6 flops). *)
+
+val quick_two_sum : float -> float -> float * float
+(** [quick_two_sum a b] is [two_sum a b] in 3 flops, valid when
+    [|a| >= |b|] or [a = 0] (Dekker). *)
+
+val two_diff : float -> float -> float * float
+(** [two_diff a b] is [(d, e)] with [d = fl(a - b)] and [a - b = d + e]. *)
+
+val two_prod : float -> float -> float * float
+(** [two_prod a b] is [(p, e)] with [p = fl(a * b)] and [a * b = p + e]
+    exactly, using the fused multiply-add. *)
+
+val two_sqr : float -> float * float
+(** [two_sqr a] is [two_prod a a], one multiplication cheaper. *)
+
+val split : float -> float * float
+(** [split a] is Dekker's splitting of [a] into two 26-bit halves;
+    valid for [|a| <= 2^996]. *)
+
+val two_prod_dekker : float -> float -> float * float
+(** FMA-free [two_prod] via {!split}; used to cross-check {!two_prod}. *)
+
+val three_sum : float -> float -> float -> float * float * float
+(** [three_sum a b c] is [(s0, s1, s2)] with
+    [s0 + s1 + s2 = a + b + c] exactly and decreasing magnitudes. *)
+
+val three_sum2 : float -> float -> float -> float * float
+(** [three_sum2 a b c] is {!three_sum} with the two low components
+    summed approximately. *)

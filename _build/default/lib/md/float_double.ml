@@ -1,0 +1,28 @@
+(* Plain double precision behind the common multiple double signature,
+   so that every algorithm can also run at the paper's "1d" precision. *)
+
+module Pre = struct
+  type t = float
+
+  let limbs = 1
+  let name = "double"
+  let zero = 0.0
+  let one = 1.0
+  let of_float x = x
+  let to_float x = x
+  let of_limbs a = (a : float array).(0)
+  let to_limbs x = [| x |]
+  let add = ( +. )
+  let sub = ( -. )
+  let mul = ( *. )
+  let div = ( /. )
+  let neg x = -.x
+  let abs = Float.abs
+  let add_float = ( +. )
+  let mul_float = ( *. )
+  let mul_pwr2 = ( *. )
+  let floor = Float.floor
+  let is_finite = Float.is_finite
+end
+
+include Md_build.Make (Pre)

@@ -1,0 +1,8 @@
+(* Hexa double arithmetic (~256 decimal digits): the generic expansion
+   functor at m = 16, demonstrating that the CAMPARY-style generic layer
+   keeps working beyond the paper's octo double. *)
+
+include Expansion.Make (struct
+  let limbs = 16
+  let name = "hexa double"
+end)

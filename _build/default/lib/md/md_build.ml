@@ -1,0 +1,241 @@
+(* Completes a [PRE] arithmetic core into the full signature [S]:
+   comparisons from the limb representation, Newton square root, and
+   decimal string conversion (QDlib-style digit extraction). *)
+
+module Make (B : Md_sig.PRE) : Md_sig.S with type t = B.t = struct
+  include B
+
+  let eps = 2.0 ** (-52.0 *. float_of_int limbs)
+  let two = of_float 2.0
+  let ten = of_float 10.0
+  let limb x i = (to_limbs x).(i)
+  let half = of_float 0.5
+
+  (* A normalized expansion is sorted by decreasing magnitude with
+     non-overlapping limbs, so lexicographic limb comparison orders the
+     represented values. *)
+  let compare a b =
+    let la = to_limbs a and lb = to_limbs b in
+    let rec go i =
+      if i >= limbs then 0
+      else
+        let c = Float.compare la.(i) lb.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+  let equal a b = compare a b = 0
+
+  let sign x =
+    let l = to_limbs x in
+    if l.(0) > 0.0 then 1 else if l.(0) < 0.0 then -1 else 0
+
+  let is_zero x = sign x = 0
+  let min a b = if compare a b <= 0 then a else b
+  let max a b = if compare a b >= 0 then a else b
+
+  let of_int i =
+    (* Integers up to 2^53 are exact in one limb; beyond that split. *)
+    if Stdlib.abs i < 0x20000000000000 then of_float (float_of_int i)
+    else
+      let q = i / 0x2000000 and r = i mod 0x2000000 in
+      add_float (mul_float (of_float (float_of_int q)) 33554432.0)
+        (float_of_int r)
+
+  (* Newton iteration on the inverse square root, which needs no division:
+     x <- x + x (1 - a x^2) / 2.  Each step doubles the number of correct
+     limbs, so ceil(log2 limbs) + 1 steps suffice starting from a correctly
+     rounded double seed; a final Karp correction tightens the last limb. *)
+  let sqrt a =
+    let a0 = to_float a in
+    if a0 = 0.0 then zero
+    else if a0 < 0.0 || not (is_finite a) then of_float Float.nan
+    else begin
+      let steps =
+        let rec bits k n = if n >= limbs then k else bits (k + 1) (n * 2) in
+        bits 1 1
+      in
+      let x = ref (of_float (1.0 /. Float.sqrt a0)) in
+      for _ = 1 to steps do
+        let ax2 = mul a (mul !x !x) in
+        x := add !x (mul !x (mul (sub one ax2) half))
+      done;
+      let r = mul a !x in
+      (* r + (a - r^2) * x / 2 *)
+      add r (mul (sub a (mul r r)) (mul !x half))
+    end
+
+  let ceil x = neg (floor (neg x))
+  let trunc x = if sign x >= 0 then floor x else ceil x
+
+  let round x =
+    if sign x >= 0 then floor (add_float x 0.5)
+    else ceil (add_float x (-0.5))
+
+  let ldexp x k =
+    (* Stay within the double exponent range one factor at a time. *)
+    if Stdlib.abs k <= 1000 then mul_pwr2 x (2.0 ** float_of_int k)
+    else begin
+      let step = if k > 0 then 1000 else -1000 in
+      let r = ref x and left = ref k in
+      while !left <> 0 do
+        let s = if Stdlib.abs !left > 1000 then step else !left in
+        r := mul_pwr2 !r (2.0 ** float_of_int s);
+        left := !left - s
+      done;
+      !r
+    end
+
+  let fmod a b = sub a (mul b (trunc (div a b)))
+
+  let rec pow10 n =
+    if n < 0 then div one (pow10 (-n))
+    else begin
+      (* binary exponentiation on the exact base 10 *)
+      let r = ref one and b = ref ten and n = ref n in
+      while !n > 0 do
+        if !n land 1 = 1 then r := mul !r !b;
+        n := !n asr 1;
+        if !n > 0 then b := mul !b !b
+      done;
+      !r
+    end
+
+  let default_digits = (limbs * 16) + 1
+
+  let to_string ?(digits = default_digits) x =
+    let digits = Stdlib.max 1 digits in
+    if not (is_finite x) then
+      let h = to_float x in
+      if Float.is_nan h then "nan" else if h > 0.0 then "inf" else "-inf"
+    else if is_zero x then "0." ^ String.make (digits - 1) '0' ^ "e+00"
+    else begin
+      let negative = sign x < 0 in
+      let r = abs x in
+      let e0 = int_of_float (Float.floor (Float.log10 (to_float r))) in
+      let r = if e0 <> 0 then div r (pow10 e0) else r in
+      (* The double estimate of the exponent can be off by one. *)
+      let r = ref r and e = ref e0 in
+      if compare !r ten >= 0 then begin
+        r := div !r ten;
+        incr e
+      end;
+      if compare !r one < 0 then begin
+        r := mul !r ten;
+        decr e
+      end;
+      (* Extract digits+1 digits, the last one for rounding. *)
+      let n = digits + 1 in
+      let d = Array.make n 0 in
+      for i = 0 to n - 1 do
+        let di = int_of_float (to_float (floor !r)) in
+        d.(i) <- di;
+        r := mul_float (sub !r (of_int di)) 10.0
+      done;
+      (* Repair out-of-range digits by borrowing/carrying. *)
+      for i = n - 1 downto 1 do
+        if d.(i) < 0 then begin
+          d.(i) <- d.(i) + 10;
+          d.(i - 1) <- d.(i - 1) - 1
+        end
+        else if d.(i) > 9 then begin
+          d.(i) <- d.(i) - 10;
+          d.(i - 1) <- d.(i - 1) + 1
+        end
+      done;
+      (* Round on the extra digit. *)
+      if d.(n - 1) >= 5 then begin
+        let i = ref (n - 2) in
+        d.(!i) <- d.(!i) + 1;
+        while !i > 0 && d.(!i) > 9 do
+          d.(!i) <- 0;
+          decr i;
+          d.(!i) <- d.(!i) + 1
+        done
+      end;
+      let d, e =
+        if d.(0) > 9 then begin
+          (* 9.99... rounded up: shift right. *)
+          let d' = Array.make n 0 in
+          d'.(0) <- 1;
+          (d', !e + 1)
+        end
+        else (d, !e)
+      in
+      let b = Buffer.create (digits + 8) in
+      if negative then Buffer.add_char b '-';
+      Buffer.add_char b (Char.chr (Char.code '0' + d.(0)));
+      Buffer.add_char b '.';
+      for i = 1 to digits - 1 do
+        Buffer.add_char b (Char.chr (Char.code '0' + d.(i)))
+      done;
+      Buffer.add_string b (Printf.sprintf "e%+03d" e);
+      Buffer.contents b
+    end
+
+  let of_string s =
+    let n = String.length s in
+    if n = 0 then invalid_arg "of_string: empty";
+    let i = ref 0 in
+    let negative =
+      if s.[0] = '-' then begin
+        incr i;
+        true
+      end
+      else begin
+        if s.[0] = '+' then incr i;
+        false
+      end
+    in
+    let r = ref zero in
+    let frac = ref 0 in
+    let seen_point = ref false in
+    let seen_digit = ref false in
+    let expo = ref 0 in
+    (try
+       while !i < n do
+         let c = s.[!i] in
+         if c >= '0' && c <= '9' then begin
+           seen_digit := true;
+           r := add_float (mul_float !r 10.0) (float_of_int (Char.code c - 48));
+           if !seen_point then incr frac
+         end
+         else if c = '.' then begin
+           if !seen_point then invalid_arg "of_string: two points";
+           seen_point := true
+         end
+         else if c = '_' then ()
+         else if c = 'e' || c = 'E' then begin
+           expo := int_of_string (String.sub s (!i + 1) (n - !i - 1));
+           raise Exit
+         end
+         else invalid_arg (Printf.sprintf "of_string: bad character %C" c);
+         incr i
+       done
+     with Exit -> ());
+    if not !seen_digit then invalid_arg "of_string: no digits";
+    let p = !expo - !frac in
+    (* Dividing by the exact power of ten keeps decimals like 0.5 exact. *)
+    let v =
+      if p = 0 then !r
+      else if p > 0 then mul !r (pow10 p)
+      else div !r (pow10 (-p))
+    in
+    if negative then neg v else v
+
+  let pp fmt x = Format.pp_print_string fmt (to_string x)
+
+  module Infix = struct
+    let ( + ) = add
+    let ( - ) = sub
+    let ( * ) = mul
+    let ( / ) = div
+    let ( ~- ) = neg
+    let ( = ) = equal
+    let ( <> ) a b = not (equal a b)
+    let ( < ) a b = compare a b < 0
+    let ( > ) a b = compare a b > 0
+    let ( <= ) a b = compare a b <= 0
+    let ( >= ) a b = compare a b >= 0
+  end
+end

@@ -1,0 +1,87 @@
+(* Elementary functions on complex multiple double numbers, built from the
+   real functions of [Md_funcs] through the usual identities.  Homotopy
+   continuation (the paper's motivating application) lives on complex
+   data, so the path-tracking substrate needs these. *)
+
+module Make (R : Md_sig.S) = struct
+  module C = Md_complex.Make (R)
+  module F = Md_funcs.Make (R)
+
+  let i_times z = C.make (R.neg (C.im z)) (C.re z)
+
+  (* exp(x + iy) = e^x (cos y + i sin y) *)
+  let exp z =
+    let ex = F.exp (C.re z) in
+    let s, c = F.sin_cos (C.im z) in
+    C.make (R.mul ex c) (R.mul ex s)
+
+  (* Principal branch: log z = log |z| + i atan2(im, re). *)
+  let log z =
+    C.make (F.log (C.abs z)) (F.atan2 (C.im z) (C.re z))
+
+  let arg z = F.atan2 (C.im z) (C.re z)
+
+  (* Principal power. *)
+  let pow z w =
+    if C.equal z C.zero then C.zero else exp (C.mul w (log z))
+
+  (* Integer power by binary exponentiation (exact structure). *)
+  let npow z n =
+    if n = 0 then C.one
+    else begin
+      let r = ref C.one and b = ref z and k = ref (abs n) in
+      while !k > 0 do
+        if !k land 1 = 1 then r := C.mul !r !b;
+        k := !k asr 1;
+        if !k > 0 then b := C.mul !b !b
+      done;
+      if n < 0 then C.div C.one !r else !r
+    end
+
+  (* sin(x+iy) = sin x cosh y + i cos x sinh y *)
+  let sin z =
+    let s, c = F.sin_cos (C.re z) in
+    let y = C.im z in
+    C.make (R.mul s (F.cosh y)) (R.mul c (F.sinh y))
+
+  (* cos(x+iy) = cos x cosh y - i sin x sinh y *)
+  let cos z =
+    let s, c = F.sin_cos (C.re z) in
+    let y = C.im z in
+    C.make (R.mul c (F.cosh y)) (R.neg (R.mul s (F.sinh y)))
+
+  let tan z = C.div (sin z) (cos z)
+
+  (* sinh z = -i sin(iz), cosh z = cos(iz) *)
+  let sinh z =
+    let s = sin (i_times z) in
+    C.make (C.im s) (R.neg (C.re s))
+
+  let cosh z = cos (i_times z)
+  let tanh z = C.div (sinh z) (cosh z)
+
+  (* All the unit roots at once: exp(2 pi i k / n), k = 0..n-1; handy for
+     generating start systems of polynomial homotopies. *)
+  let roots_of_unity n =
+    if n <= 0 then invalid_arg "Md_complex_funcs.roots_of_unity";
+    Array.init n (fun k ->
+        let theta =
+          R.div
+            (R.mul_float F.two_pi (float_of_int k))
+            (R.of_int n)
+        in
+        let s, c = F.sin_cos theta in
+        C.make c s)
+
+  (* The n-th roots of an arbitrary complex number. *)
+  let nroots z n =
+    let r = F.nroot (C.abs z) n in
+    let theta = R.div (arg z) (R.of_int n) in
+    Array.init n (fun k ->
+        let phi =
+          R.add theta
+            (R.div (R.mul_float F.two_pi (float_of_int k)) (R.of_int n))
+        in
+        let s, c = F.sin_cos phi in
+        C.make (R.mul r c) (R.mul r s))
+end

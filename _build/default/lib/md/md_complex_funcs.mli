@@ -1,0 +1,36 @@
+(** Elementary functions on complex multiple double numbers, built from
+    the real functions through the usual identities.  Homotopy
+    continuation — the paper's motivating application — lives on complex
+    data, so the path-tracking substrate needs these. *)
+
+module Make (R : Md_sig.S) : sig
+  module C : module type of Md_complex.Make (R)
+
+  val i_times : C.t -> C.t
+  (** Multiplication by the imaginary unit. *)
+
+  val exp : C.t -> C.t
+  val log : C.t -> C.t
+  (** Principal branch: imaginary part in (-pi, pi]. *)
+
+  val arg : C.t -> R.t
+  val pow : C.t -> C.t -> C.t
+  (** Principal power. *)
+
+  val npow : C.t -> int -> C.t
+  (** Integer power by binary exponentiation. *)
+
+  val sin : C.t -> C.t
+  val cos : C.t -> C.t
+  val tan : C.t -> C.t
+  val sinh : C.t -> C.t
+  val cosh : C.t -> C.t
+  val tanh : C.t -> C.t
+
+  val roots_of_unity : int -> C.t array
+  (** exp(2 pi i k / n) for k = 0..n-1; raises [Invalid_argument] for
+      n <= 0.  The start solutions of total-degree homotopies. *)
+
+  val nroots : C.t -> int -> C.t array
+  (** All n-th roots of a complex number. *)
+end

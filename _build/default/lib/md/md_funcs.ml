@@ -1,0 +1,350 @@
+(* Elementary functions for multiple double numbers.
+
+   QDlib ships square roots "and various other useful functions" which the
+   paper extends to octo double precision (§4.1); this functor provides
+   the same surface for every precision: exponential, logarithms,
+   trigonometric and hyperbolic functions, powers and roots, with the
+   classic constants computed once per precision at instantiation.
+
+   Algorithms are the standard ones for expansions: argument reduction to
+   a tiny interval, a short Taylor series, and reconstruction by repeated
+   double-angle / squaring steps, with Newton iteration inverting exp for
+   the logarithm. *)
+
+module Make (S : Md_sig.S) = struct
+  let half = S.of_float 0.5
+
+  (* ---- constants ---- *)
+
+  (* arctan(1/k) by Taylor series; converges well for k >= 2. *)
+  let arctan_inv k =
+    let k2 = S.of_int (k * k) in
+    let term = ref (S.div S.one (S.of_int k)) in
+    let sum = ref !term in
+    let n = ref 1 in
+    let continue_ = ref true in
+    while !continue_ do
+      term := S.div !term k2;
+      let t = S.div !term (S.of_int ((2 * !n) + 1)) in
+      let t = if !n land 1 = 1 then S.neg t else t in
+      let sum' = S.add !sum t in
+      if S.equal sum' !sum || !n > 2000 then continue_ := false
+      else sum := sum';
+      incr n
+    done;
+    !sum
+
+  (* Machin's formula: pi/4 = 4 arctan(1/5) - arctan(1/239). *)
+  let pi =
+    S.mul_pwr2 (S.sub (S.mul_pwr2 (arctan_inv 5) 4.0) (arctan_inv 239)) 4.0
+
+  let two_pi = S.mul_pwr2 pi 2.0
+  let half_pi = S.mul_pwr2 pi 0.5
+  let quarter_pi = S.mul_pwr2 pi 0.25
+
+  (* ln 2 = 2 artanh(1/3) = 2 sum_k (1/3)^(2k+1) / (2k+1). *)
+  let ln2 =
+    let ninth = S.div S.one (S.of_int 9) in
+    let term = ref (S.div S.one (S.of_int 3)) in
+    let sum = ref !term in
+    let n = ref 1 in
+    let continue_ = ref true in
+    while !continue_ do
+      term := S.mul !term ninth;
+      let t = S.div !term (S.of_int ((2 * !n) + 1)) in
+      let sum' = S.add !sum t in
+      if S.equal sum' !sum || !n > 2000 then continue_ := false
+      else sum := sum';
+      incr n
+    done;
+    S.mul_pwr2 !sum 2.0
+
+  (* ---- exponential and logarithms ---- *)
+
+  (* exp x = 2^k exp(r) with r = x - k ln2, |r| <= ln2/2; the Taylor
+     series runs on r/2^m and the result is squared back m times. *)
+  let exp x =
+    let xf = S.to_float x in
+    if not (S.is_finite x) then
+      if Float.is_nan xf then x
+      else if xf > 0.0 then x (* +inf *)
+      else S.zero
+    else if xf > 700.0 then S.of_float Float.infinity
+    else if xf < -700.0 then S.zero
+    else if S.is_zero x then S.one
+    else begin
+      let k = Float.round (xf /. Float.log 2.0) in
+      let r = S.sub x (S.mul_float ln2 k) in
+      let m = 9 in
+      let r = S.mul_pwr2 r (2.0 ** float_of_int (-m)) in
+      (* p = exp(r) - 1, summed until the terms vanish. *)
+      let term = ref r in
+      let sum = ref r in
+      let n = ref 2 in
+      let continue_ = ref true in
+      while !continue_ do
+        term := S.div (S.mul !term r) (S.of_int !n);
+        let sum' = S.add !sum !term in
+        if S.equal sum' !sum || !n > 200 then continue_ := false
+        else sum := sum';
+        incr n
+      done;
+      (* Undo the scaling: (1+p) <- (1+p)^2, i.e. p <- p^2 + 2p, m times;
+         keeping p = exp-1 avoids cancellation for tiny r. *)
+      let p = ref !sum in
+      for _ = 1 to m do
+        p := S.add (S.mul !p !p) (S.mul_pwr2 !p 2.0)
+      done;
+      let e = S.add !p S.one in
+      S.mul_pwr2 e (2.0 ** k)
+    end
+
+  (* Newton iteration on y -> y + x exp(-y) - 1 inverts the exponential;
+     a double precision seed leaves ~16 correct digits, so ceil(log2 m)+1
+     rounds reach full precision. *)
+  let log x =
+    let xf = S.to_float x in
+    if S.is_zero x then S.of_float Float.neg_infinity
+    else if xf < 0.0 || Float.is_nan xf then S.of_float Float.nan
+    else if not (S.is_finite x) then x
+    else if S.equal x S.one then S.zero
+    else begin
+      let steps =
+        let rec bits k n = if n >= S.limbs then k else bits (k + 1) (n * 2) in
+        bits 1 1
+      in
+      let y = ref (S.of_float (Float.log xf)) in
+      for _ = 1 to steps do
+        y := S.sub (S.add !y (S.mul x (exp (S.neg !y)))) S.one
+      done;
+      !y
+    end
+
+  let ln10 = log (S.of_int 10)
+  let log10 x = S.div (log x) ln10
+  let log2 x = S.div (log x) ln2
+  let e = exp S.one
+
+  (* ---- integer powers and roots ---- *)
+
+  (* Binary exponentiation; n may be negative. *)
+  let npow x n =
+    if n = 0 then S.one
+    else begin
+      let r = ref S.one and b = ref x and k = ref (abs n) in
+      while !k > 0 do
+        if !k land 1 = 1 then r := S.mul !r !b;
+        k := !k asr 1;
+        if !k > 0 then b := S.mul !b !b
+      done;
+      if n < 0 then S.div S.one !r else !r
+    end
+
+  (* n-th root by Newton on y -> y (n+1 - x y^n)/n applied to 1/x^(1/n),
+     avoiding divisions inside the loop. *)
+  let nroot x n =
+    if n <= 0 then invalid_arg "Md_funcs.nroot: order must be positive";
+    if n = 1 then x
+    else if n = 2 then S.sqrt x
+    else if S.is_zero x then S.zero
+    else if S.to_float x < 0.0 && n land 1 = 0 then S.of_float Float.nan
+    else begin
+      let negative = S.sign x < 0 in
+      let a = S.abs x in
+      let steps =
+        let rec bits k m = if m >= S.limbs then k else bits (k + 1) (m * 2) in
+        bits 2 1
+      in
+      let y =
+        ref (S.of_float (Float.exp (-.Float.log (S.to_float a) /. float_of_int n)))
+      in
+      let fn = S.of_int n in
+      for _ = 1 to steps do
+        (* y <- y + y (1 - a y^n) / n *)
+        let ayn = S.mul a (npow !y n) in
+        y := S.add !y (S.div (S.mul !y (S.sub S.one ayn)) fn)
+      done;
+      let r = S.div S.one !y in
+      (* One polishing step on r directly: r <- r - (r^n - a) / (n r^(n-1)). *)
+      let rn = npow r n in
+      let r =
+        S.sub r (S.div (S.sub rn a) (S.mul fn (npow r (n - 1))))
+      in
+      if negative then S.neg r else r
+    end
+
+  (* General power through exp/log for positive bases; falls back to the
+     exact integer path when the exponent is a small integer. *)
+  let pow x y =
+    let yf = S.to_float y in
+    if S.equal y (S.floor y) && Float.abs yf < 1e9 then
+      npow x (int_of_float yf)
+    else exp (S.mul y (log x))
+
+  (* ---- trigonometric functions ---- *)
+
+  (* Reduce to [-pi, pi], then to a quadrant around a multiple of pi/2,
+     series on t/2^m, double-angle back. *)
+  let sin_cos_kernel t =
+    (* |t| <= pi/4 / 2^m after scaling. *)
+    let m = 6 in
+    let t = S.mul_pwr2 t (2.0 ** float_of_int (-m)) in
+    let t2 = S.mul t t in
+    (* sin series *)
+    let s = ref t and term = ref t and n = ref 1 in
+    let continue_ = ref true in
+    while !continue_ do
+      term :=
+        S.div
+          (S.neg (S.mul !term t2))
+          (S.of_int ((2 * !n) * ((2 * !n) + 1)));
+      let s' = S.add !s !term in
+      if S.equal s' !s || !n > 200 then continue_ := false else s := s';
+      incr n
+    done;
+    (* cos from sin: c = sqrt(1 - s^2) is ill-conditioned near s ~ 1, but
+       after scaling |s| <= pi/4/64 so it is perfectly safe. *)
+    let s0 = !s in
+    let c0 = S.sqrt (S.sub S.one (S.mul s0 s0)) in
+    (* double-angle m times: s' = 2 s c, c' = 1 - 2 s^2 (stable form). *)
+    let s = ref s0 and c = ref c0 in
+    for _ = 1 to m do
+      let s2 = S.mul !s !s in
+      let s' = S.mul_pwr2 (S.mul !s !c) 2.0 in
+      let c' = S.sub S.one (S.mul_pwr2 s2 2.0) in
+      s := s';
+      c := c'
+    done;
+    (!s, !c)
+
+  (* [reduce x] is (q, t) with x = 2 pi k + q (pi/2) + t, |t| <= pi/4,
+     q in 0..3. *)
+  let reduce x =
+    let z = S.floor (S.add (S.div x two_pi) half) in
+    let r = S.sub x (S.mul z two_pi) in
+    (* r in ~[-pi, pi]; pick the nearest multiple of pi/2. *)
+    let q = int_of_float (Float.round (S.to_float r /. S.to_float half_pi)) in
+    let q = max (-2) (min 2 q) in
+    let t = S.sub r (S.mul_float half_pi (float_of_int q)) in
+    (((q mod 4) + 4) mod 4, t)
+
+  let sin_cos x =
+    if not (S.is_finite x) then (S.of_float Float.nan, S.of_float Float.nan)
+    else begin
+      let q, t = reduce x in
+      let s, c = sin_cos_kernel t in
+      match q with
+      | 0 -> (s, c)
+      | 1 -> (c, S.neg s)
+      | 2 -> (S.neg s, S.neg c)
+      | _ -> (S.neg c, s)
+    end
+
+  let sin x = fst (sin_cos x)
+  let cos x = snd (sin_cos x)
+  let tan x =
+    let s, c = sin_cos x in
+    S.div s c
+
+  (* ---- inverse trigonometric functions ---- *)
+
+  (* Halve the argument until it is small, Taylor, then undo:
+     atan x = 2 atan (x / (1 + sqrt(1 + x^2))). *)
+  let atan x =
+    if S.is_zero x then S.zero
+    else if not (S.is_finite x) then
+      let s = if S.to_float x > 0.0 then 1.0 else -1.0 in
+      S.mul_float half_pi s
+    else begin
+      let halvings = 5 in
+      let t = ref x in
+      for _ = 1 to halvings do
+        let d = S.add S.one (S.sqrt (S.add S.one (S.mul !t !t))) in
+        t := S.div !t d
+      done;
+      let t = !t in
+      let t2 = S.mul t t in
+      let term = ref t and sum = ref t and n = ref 1 in
+      let continue_ = ref true in
+      while !continue_ do
+        term := S.neg (S.mul !term t2);
+        let a = S.div !term (S.of_int ((2 * !n) + 1)) in
+        let sum' = S.add !sum a in
+        if S.equal sum' !sum || !n > 500 then continue_ := false
+        else sum := sum';
+        incr n
+      done;
+      S.mul_pwr2 !sum (2.0 ** float_of_int halvings)
+    end
+
+  let atan2 y x =
+    let sx = S.sign x and sy = S.sign y in
+    if sx = 0 && sy = 0 then S.zero
+    else if sx = 0 then S.mul_float half_pi (if sy > 0 then 1.0 else -1.0)
+    else if sy = 0 then if sx > 0 then S.zero else pi
+    else begin
+      let base = atan (S.div y x) in
+      if sx > 0 then base
+      else if sy > 0 then S.add base pi
+      else S.sub base pi
+    end
+
+  let asin x =
+    let one_minus = S.sub S.one (S.mul x x) in
+    if S.sign one_minus < 0 then S.of_float Float.nan
+    else atan2 x (S.sqrt one_minus)
+
+  let acos x =
+    let one_minus = S.sub S.one (S.mul x x) in
+    if S.sign one_minus < 0 then S.of_float Float.nan
+    else atan2 (S.sqrt one_minus) x
+
+  (* ---- hyperbolic functions ---- *)
+
+  let sinh x =
+    if S.is_zero x then S.zero
+    else begin
+      let a = exp x in
+      if Float.abs (S.to_float x) > 0.35 then
+        S.mul_pwr2 (S.sub a (S.div S.one a)) 0.5
+      else begin
+        (* Series to avoid the cancellation of exp(x) - exp(-x). *)
+        let x2 = S.mul x x in
+        let term = ref x and sum = ref x and n = ref 1 in
+        let continue_ = ref true in
+        while !continue_ do
+          term :=
+            S.div (S.mul !term x2)
+              (S.of_int ((2 * !n) * ((2 * !n) + 1)));
+          let sum' = S.add !sum !term in
+          if S.equal sum' !sum || !n > 200 then continue_ := false
+          else sum := sum';
+          incr n
+        done;
+        !sum
+      end
+    end
+
+  let cosh x =
+    let a = exp x in
+    S.mul_pwr2 (S.add a (S.div S.one a)) 0.5
+
+  let tanh x =
+    if S.is_zero x then S.zero
+    else begin
+      let xf = S.to_float x in
+      if Float.abs xf > 350.0 then
+        if xf > 0.0 then S.one else S.neg S.one
+      else begin
+        let e2 = exp (S.mul_pwr2 x 2.0) in
+        S.div (S.sub e2 S.one) (S.add e2 S.one)
+      end
+    end
+
+  (* Inverse hyperbolics through log. *)
+  let asinh x = log (S.add x (S.sqrt (S.add (S.mul x x) S.one)))
+  let acosh x = log (S.add x (S.sqrt (S.sub (S.mul x x) S.one)))
+
+  let atanh x =
+    S.mul_pwr2 (log (S.div (S.add S.one x) (S.sub S.one x))) 0.5
+end

@@ -1,0 +1,68 @@
+(** Elementary functions for multiple double numbers: the QDlib function
+    surface the paper extends to octo double (§4.1), available at every
+    precision.  Constants are computed by series once per instantiation;
+    functions use argument reduction, short Taylor series and Newton
+    inversion, accurate to a few ulps of the format. *)
+
+module Make (S : Md_sig.S) : sig
+  (** {1 Constants} *)
+
+  val pi : S.t
+  val two_pi : S.t
+  val half_pi : S.t
+  val quarter_pi : S.t
+  val e : S.t
+  val ln2 : S.t
+  val ln10 : S.t
+
+  val arctan_inv : int -> S.t
+  (** [arctan_inv k] is arctan(1/k) by Taylor series (k >= 2). *)
+
+  (** {1 Exponential and logarithms} *)
+
+  val exp : S.t -> S.t
+  val log : S.t -> S.t
+  (** Natural logarithm; nan for negative input, -inf at zero. *)
+
+  val log10 : S.t -> S.t
+  val log2 : S.t -> S.t
+
+  (** {1 Powers and roots} *)
+
+  val npow : S.t -> int -> S.t
+  (** Integer power by binary exponentiation; [n] may be negative. *)
+
+  val nroot : S.t -> int -> S.t
+  (** n-th root by Newton; odd roots accept negative input, [n] must be
+      positive ([Invalid_argument] otherwise). *)
+
+  val pow : S.t -> S.t -> S.t
+  (** [pow x y] through exp/log for non-integer [y] (positive [x]); the
+      exact integer path when [y] is a small integer. *)
+
+  (** {1 Trigonometric functions} *)
+
+  val sin_cos : S.t -> S.t * S.t
+  (** Both at once (they share the reduction and the kernel). *)
+
+  val sin : S.t -> S.t
+  val cos : S.t -> S.t
+  val tan : S.t -> S.t
+  val atan : S.t -> S.t
+  val atan2 : S.t -> S.t -> S.t
+  (** [atan2 y x], with the usual quadrant conventions. *)
+
+  val asin : S.t -> S.t
+  val acos : S.t -> S.t
+
+  (** {1 Hyperbolic functions} *)
+
+  val sinh : S.t -> S.t
+  (** Series near zero, exponentials elsewhere (no cancellation). *)
+
+  val cosh : S.t -> S.t
+  val tanh : S.t -> S.t
+  val asinh : S.t -> S.t
+  val acosh : S.t -> S.t
+  val atanh : S.t -> S.t
+end

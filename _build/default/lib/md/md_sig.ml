@@ -1,0 +1,104 @@
+(* Module signatures for multiple double numbers.
+
+   [PRE] is what a precision implementation must provide (the arithmetic
+   kernels); [Md_build.Make] extends a [PRE] into the full user-facing
+   signature [S] (square root, comparisons, decimal conversion, infix
+   operators). *)
+
+module type PRE = sig
+  type t
+
+  (* Number of doubles in the unevaluated sum: 1, 2, 4 or 8. *)
+  val limbs : int
+
+  (* Human-readable precision name, e.g. "quad double". *)
+  val name : string
+
+  val zero : t
+  val one : t
+  val of_float : float -> t
+
+  (* Most significant limb. *)
+  val to_float : t -> float
+
+  (* [of_limbs a] renormalizes [a] (length [limbs]) into a number. *)
+  val of_limbs : float array -> t
+
+  (* Fresh array of the [limbs] limbs, most significant first. *)
+  val to_limbs : t -> float array
+
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val neg : t -> t
+  val abs : t -> t
+
+  (* Mixed-precision operations with a plain double right-hand side. *)
+  val add_float : t -> float -> t
+  val mul_float : t -> float -> t
+
+  (* [mul_pwr2 x p] scales exactly by [p], a power of two. *)
+  val mul_pwr2 : t -> float -> t
+
+  val floor : t -> t
+  val is_finite : t -> bool
+end
+
+module type S = sig
+  include PRE
+
+  (* Unit roundoff of the format, [2^(-52 limbs)]. *)
+  val eps : float
+
+  val two : t
+  val ten : t
+  val limb : t -> int -> float
+  val of_int : int -> t
+  val sqrt : t -> t
+  val sign : t -> int
+  val is_zero : t -> bool
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val min : t -> t -> t
+  val max : t -> t -> t
+
+  val ceil : t -> t
+  val trunc : t -> t
+
+  (* Rounds to the nearest integer, halves away from zero. *)
+  val round : t -> t
+
+  (* [ldexp x k] scales exactly by [2^k]. *)
+  val ldexp : t -> int -> t
+
+  (* [fmod a b] is [a - b * trunc (a / b)], with the sign of [a]. *)
+  val fmod : t -> t -> t
+
+  (* [pow10 n] is [10^n], exact for small [n] up to the format precision. *)
+  val pow10 : int -> t
+
+  (* Decimal scientific notation with [digits] significant digits
+     (default: all the digits the format carries). *)
+  val to_string : ?digits:int -> t -> string
+
+  (* Parses decimal notation with optional sign, point and exponent.
+     Raises [Invalid_argument] on malformed input. *)
+  val of_string : string -> t
+
+  val pp : Format.formatter -> t -> unit
+
+  module Infix : sig
+    val ( + ) : t -> t -> t
+    val ( - ) : t -> t -> t
+    val ( * ) : t -> t -> t
+    val ( / ) : t -> t -> t
+    val ( ~- ) : t -> t
+    val ( = ) : t -> t -> bool
+    val ( <> ) : t -> t -> bool
+    val ( < ) : t -> t -> bool
+    val ( > ) : t -> t -> bool
+    val ( <= ) : t -> t -> bool
+    val ( >= ) : t -> t -> bool
+  end
+end

@@ -1,0 +1,9 @@
+(* Octo double arithmetic: an unevaluated sum of eight doubles giving
+   roughly 128 decimal digits, instantiating the generic CAMPARY-style
+   expansion arithmetic at m = 8 (the paper extends QDlib's definitions to
+   octo doubles in the same customized way, §4.1). *)
+
+include Expansion.Make (struct
+  let limbs = 8
+  let name = "octo double"
+end)

@@ -1,0 +1,8 @@
+(* First-class access to the precision implementations by tag, so drivers
+   (CLI, benchmarks) can select the precision at run time. *)
+
+let module_of_tag : Precision.tag -> (module Md_sig.S) = function
+  | Precision.D -> (module Float_double)
+  | Precision.DD -> (module Double_double)
+  | Precision.QD -> (module Quad_double)
+  | Precision.OD -> (module Octo_double)

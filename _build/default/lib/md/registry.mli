@@ -1,0 +1,4 @@
+(** First-class access to the precision implementations by tag, so
+    drivers (CLI, benchmarks) can select the precision at run time. *)
+
+val module_of_tag : Precision.tag -> (module Md_sig.S)

@@ -1,0 +1,106 @@
+(* Renormalization of floating-point expansions.
+
+   A multiple double number with [m] limbs is an unevaluated sum
+   [x0 + x1 + ... + x(m-1)] with the limbs sorted by decreasing magnitude
+   and pairwise non-overlapping.  The functions here compress a raw sequence
+   of doubles (as produced by the arithmetic kernels) back into that
+   normal form, generalizing QDlib's renorm and CAMPARY's fast
+   renormalization to any number of limbs. *)
+
+(* [renormalize ~m src] compresses the limbs of [src] (roughly decreasing
+   magnitude) into a fresh normalized array of [m] limbs.
+
+   First a backward [two_sum] ladder turns [src] into a non-overlapping
+   sequence; then a forward pass commits each nonzero error term as the
+   next output limb, exactly as QDlib's renorm does with its zero tests.
+   With [passes > 1] the backward distillation ladder is repeated, which is
+   needed when the input holds many overlapping terms of similar magnitude
+   (partial products); one pass suffices for nearly normalized inputs. *)
+let renormalize ?(passes = 1) ~m src =
+  let n = Array.length src in
+  let out = Array.make m 0.0 in
+  if n = 0 then out
+  else begin
+    let t = Array.copy src in
+    for _ = 1 to passes do
+      let s = ref t.(n - 1) in
+      for i = n - 2 downto 0 do
+        let hi, lo = Eft.two_sum t.(i) !s in
+        s := hi;
+        t.(i + 1) <- lo
+      done;
+      t.(0) <- !s
+    done;
+    let k = ref 0 in
+    let acc = ref t.(0) in
+    (let i = ref 1 in
+     while !i < n && !k < m do
+       let hi, lo = Eft.quick_two_sum !acc t.(!i) in
+       if lo <> 0.0 then begin
+         out.(!k) <- hi;
+         incr k;
+         acc := lo
+       end
+       else acc := hi;
+       incr i
+     done);
+    if !k < m then out.(!k) <- !acc;
+    out
+  end
+
+(* [renormalize_into ~m src dst off] is [renormalize] writing the limbs at
+   offsets [off], [off+1], ... of [dst]; avoids the allocation in hot code. *)
+let renormalize_into ~m src dst off =
+  let r = renormalize ~m src in
+  Array.blit r 0 dst off m
+
+(* [grow e x] exactly adds the double [x] to the expansion [e] (most
+   significant limb first), returning the carry that falls off the least
+   significant end.  This is Shewchuk's grow-expansion adapted to the
+   decreasing-magnitude convention: the result remains an expansion with the
+   same number of limbs, plus the returned tail. *)
+let grow e x =
+  let m = Array.length e in
+  let q = ref x in
+  for i = m - 1 downto 0 do
+    let hi, lo = Eft.two_sum e.(i) !q in
+    e.(i) <- hi;
+    q := lo
+  done;
+  !q
+
+(* [sort_by_magnitude a] sorts in place by decreasing absolute value;
+   used to merge the limbs of two expansions before distillation. *)
+let sort_by_magnitude a =
+  Array.sort (fun x y -> compare (Float.abs y) (Float.abs x)) a
+
+(* [merge_by_magnitude a b] merges two arrays that are each already
+   sorted by decreasing absolute value (as normalized expansions are)
+   into a fresh decreasing array — the O(m) fast path of expansion
+   addition. *)
+let merge_by_magnitude (a : float array) (b : float array) =
+  let na = Array.length a and nb = Array.length b in
+  let out = Array.make (na + nb) 0.0 in
+  let i = ref 0 and j = ref 0 and k = ref 0 in
+  while !i < na && !j < nb do
+    if Float.abs a.(!i) >= Float.abs b.(!j) then begin
+      out.(!k) <- a.(!i);
+      incr i
+    end
+    else begin
+      out.(!k) <- b.(!j);
+      incr j
+    end;
+    incr k
+  done;
+  while !i < na do
+    out.(!k) <- a.(!i);
+    incr i;
+    incr k
+  done;
+  while !j < nb do
+    out.(!k) <- b.(!j);
+    incr j;
+    incr k
+  done;
+  out

@@ -1,0 +1,9 @@
+(* Triple double arithmetic (~48 decimal digits): the generic expansion
+   functor at m = 3.  The paper's related work ([16]) evaluates triple
+   precision BLAS on GPUs; CAMPARY generates code for any limb count, and
+   so does the [Expansion] functor. *)
+
+include Expansion.Make (struct
+  let limbs = 3
+  let name = "triple double"
+end)

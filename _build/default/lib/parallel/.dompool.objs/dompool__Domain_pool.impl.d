@@ -1,0 +1,1 @@
+lib/parallel/domain_pool.ml: Array Condition Domain Lazy List Mutex Queue

@@ -1,0 +1,1 @@
+lib/parallel/prng.mli:

@@ -1,0 +1,151 @@
+(* A fixed pool of worker domains with a blocking task queue.
+
+   The GPU simulator maps thread blocks onto these workers; the pool is
+   created once and reused across kernel launches, since spawning domains
+   is far more expensive than a kernel launch. *)
+
+type task = unit -> unit
+
+(* Set while a domain is executing a pool task: a nested [run] from
+   inside a task executes inline instead of re-entering the queue (which
+   would deadlock waiting for its own ancestors to finish). *)
+let inside_task : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let run_task task =
+  let prev = Domain.DLS.get inside_task in
+  Domain.DLS.set inside_task true;
+  (try task () with _ -> ());
+  Domain.DLS.set inside_task prev
+
+type t = {
+  queue : task Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable pending : int;
+  done_ : Condition.t;
+  mutable stop : bool;
+  mutable domains : unit Domain.t array;
+  size : int;
+}
+
+let worker_loop pool =
+  let continue_ = ref true in
+  while !continue_ do
+    Mutex.lock pool.lock;
+    while Queue.is_empty pool.queue && not pool.stop do
+      Condition.wait pool.nonempty pool.lock
+    done;
+    if pool.stop && Queue.is_empty pool.queue then begin
+      Mutex.unlock pool.lock;
+      continue_ := false
+    end
+    else begin
+      let task = Queue.pop pool.queue in
+      Mutex.unlock pool.lock;
+      run_task task;
+      Mutex.lock pool.lock;
+      pool.pending <- pool.pending - 1;
+      if pool.pending = 0 then Condition.broadcast pool.done_;
+      Mutex.unlock pool.lock
+    end
+  done
+
+let create n =
+  let n = max 1 n in
+  let pool =
+    {
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      pending = 0;
+      done_ = Condition.create ();
+      stop = false;
+      domains = [||];
+      size = n;
+    }
+  in
+  pool.domains <-
+    Array.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let size pool = pool.size
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  pool.stop <- true;
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.lock;
+  Array.iter Domain.join pool.domains;
+  pool.domains <- [||]
+
+(* [run pool tasks] executes the closures on the pool (the calling domain
+   participates) and returns when all have completed. *)
+let run pool tasks =
+  match tasks with
+  | [] -> ()
+  | [ t ] -> t ()
+  | tasks when Domain.DLS.get inside_task ->
+    (* Nested parallelism: execute inline on this domain. *)
+    List.iter (fun t -> try t () with _ -> ()) tasks
+  | tasks ->
+    Mutex.lock pool.lock;
+    List.iter (fun t -> Queue.push t pool.queue) tasks;
+    pool.pending <- pool.pending + List.length tasks;
+    Condition.broadcast pool.nonempty;
+    Mutex.unlock pool.lock;
+    (* The caller drains the queue too, then waits for stragglers. *)
+    let rec drain () =
+      Mutex.lock pool.lock;
+      if not (Queue.is_empty pool.queue) then begin
+        let task = Queue.pop pool.queue in
+        Mutex.unlock pool.lock;
+        run_task task;
+        Mutex.lock pool.lock;
+        pool.pending <- pool.pending - 1;
+        if pool.pending = 0 then Condition.broadcast pool.done_;
+        Mutex.unlock pool.lock;
+        drain ()
+      end
+      else begin
+        while pool.pending > 0 do
+          Condition.wait pool.done_ pool.lock
+        done;
+        Mutex.unlock pool.lock
+      end
+    in
+    drain ()
+
+(* [parallel_for pool ~chunk lo hi f] applies [f i] for lo <= i < hi,
+   splitting the range into chunks executed across the pool. *)
+let parallel_for ?chunk pool lo hi f =
+  if hi > lo then begin
+    let n = hi - lo in
+    let chunk =
+      match chunk with
+      | Some c -> max 1 c
+      | None -> max 1 (n / (4 * pool.size))
+    in
+    if n <= chunk || pool.size = 1 then
+      for i = lo to hi - 1 do
+        f i
+      done
+    else begin
+      let tasks = ref [] in
+      let i = ref lo in
+      while !i < hi do
+        let a = !i and b = min hi (!i + chunk) in
+        tasks :=
+          (fun () ->
+            for j = a to b - 1 do
+              f j
+            done)
+          :: !tasks;
+        i := b
+      done;
+      run pool !tasks
+    end
+  end
+
+(* A lazily created default pool sized to the machine. *)
+let default = lazy (create (max 2 (Domain.recommended_domain_count ())))
+let get_default () = Lazy.force default

@@ -1,0 +1,29 @@
+(** A fixed pool of worker domains with a blocking task queue.
+
+    The GPU simulator maps thread blocks onto these workers; create the
+    pool once and reuse it — spawning domains costs far more than a
+    simulated kernel launch. *)
+
+type t
+
+val create : int -> t
+(** [create n] spawns a pool of [n] workers ([n - 1] new domains; the
+    calling domain participates in {!run}). *)
+
+val size : t -> int
+
+val shutdown : t -> unit
+(** Joins all worker domains.  The pool must not be used afterwards. *)
+
+val run : t -> (unit -> unit) list -> unit
+(** Executes the closures on the pool (the calling domain participates)
+    and returns when all have completed.  Exceptions inside tasks are
+    swallowed.  Nested calls from inside a task execute inline on the
+    calling domain, so parallel code may safely call parallel code. *)
+
+val parallel_for : ?chunk:int -> t -> int -> int -> (int -> unit) -> unit
+(** [parallel_for pool lo hi f] applies [f i] for [lo <= i < hi] across
+    the pool, in chunks of [chunk] (default: range / 4·workers). *)
+
+val get_default : unit -> t
+(** A lazily created pool sized to the machine. *)

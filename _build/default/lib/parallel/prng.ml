@@ -1,0 +1,40 @@
+(* Deterministic, splittable pseudo-random numbers (splitmix64).
+
+   Every experiment in the repository seeds its own generator, so runs are
+   reproducible and generators can be handed to worker domains without
+   sharing state. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* [split t] forks an independent generator; the parent advances. *)
+let split t = { state = next_int64 t }
+
+(* Uniform in [0, 1). *)
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. 0x1p-53
+
+(* Uniform in [-1, 1). *)
+let sym_float t = (2.0 *. float t) -. 1.0
+
+(* Uniform integer in [0, n). *)
+let int t n =
+  if n <= 0 then invalid_arg "Prng.int";
+  let x = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  x mod n
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L

@@ -1,0 +1,28 @@
+(** Deterministic, splittable pseudo-random numbers (splitmix64).
+
+    Every experiment seeds its own generator, so runs are reproducible
+    and generators can be handed to worker domains without sharing. *)
+
+type t
+
+val create : int -> t
+(** A generator from a seed. *)
+
+val copy : t -> t
+
+val split : t -> t
+(** Forks an independent generator; the parent advances. *)
+
+val next_int64 : t -> int64
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val sym_float : t -> float
+(** Uniform in [-1, 1). *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [0, n); raises [Invalid_argument] if
+    [n <= 0]. *)
+
+val bool : t -> bool

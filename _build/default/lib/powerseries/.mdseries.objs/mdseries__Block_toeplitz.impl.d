@@ -1,0 +1,1 @@
+lib/powerseries/block_toeplitz.ml: Array Gpusim Host_tri Lsq_core Lu Mat Mdlinalg Scalar Series Vec

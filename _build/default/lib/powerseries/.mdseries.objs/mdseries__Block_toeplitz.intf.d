@@ -1,0 +1,1 @@
+lib/powerseries/block_toeplitz.mli: Gpusim Lsq_core Mdlinalg

@@ -1,0 +1,1 @@
+lib/powerseries/homotopy.ml: Float Gpusim Lsq_core Mat Mdlinalg Option Scalar Vec

@@ -1,0 +1,1 @@
+lib/powerseries/homotopy.mli: Gpusim Mdlinalg

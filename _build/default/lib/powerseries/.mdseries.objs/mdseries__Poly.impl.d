@@ -1,0 +1,1 @@
+lib/powerseries/poly.ml: Array Format Hashtbl List Mat Mdlinalg Scalar Vec

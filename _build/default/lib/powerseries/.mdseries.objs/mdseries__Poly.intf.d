@@ -1,0 +1,1 @@
+lib/powerseries/poly.mli: Format Mdlinalg

@@ -1,0 +1,1 @@
+lib/powerseries/poly_parser.ml: Array List Mdlinalg Poly Printf Scalar String

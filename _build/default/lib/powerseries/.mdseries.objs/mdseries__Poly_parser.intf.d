@@ -1,0 +1,1 @@
+lib/powerseries/poly_parser.mli: Mdlinalg Poly

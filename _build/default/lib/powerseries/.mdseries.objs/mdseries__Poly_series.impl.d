@@ -1,0 +1,1 @@
+lib/powerseries/poly_series.ml: Array Block_toeplitz List Mdlinalg Poly Series

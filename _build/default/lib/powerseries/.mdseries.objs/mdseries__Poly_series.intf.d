@@ -1,0 +1,1 @@
+lib/powerseries/poly_series.mli: Block_toeplitz Mdlinalg Poly Series

@@ -1,0 +1,1 @@
+lib/powerseries/series.ml: Array Format Mdlinalg Scalar

@@ -1,0 +1,1 @@
+lib/powerseries/series.mli: Format Mdlinalg

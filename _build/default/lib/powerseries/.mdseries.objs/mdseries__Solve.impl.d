@@ -1,0 +1,1 @@
+lib/powerseries/solve.ml: Array Dompool Float Gpusim Homotopy List Mdlinalg Multidouble Poly Scalar

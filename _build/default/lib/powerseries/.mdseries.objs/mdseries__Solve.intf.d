@@ -1,0 +1,1 @@
+lib/powerseries/solve.mli: Gpusim Homotopy Mdlinalg Multidouble Poly

@@ -1,0 +1,63 @@
+(** Predictor-corrector path tracking for polynomial homotopies — the
+    application the paper's least squares solver serves.  Newton's
+    corrector solves one system per iteration on the simulated
+    accelerator; the step size adapts (rejected steps halve, quick
+    convergence lets it grow). *)
+
+module Make (K : Mdlinalg.Scalar.S) : sig
+  module M : module type of Mdlinalg.Mat.Make (K)
+  module V : module type of Mdlinalg.Vec.Make (K)
+
+  type system = {
+    dim : int;
+    h : K.t -> V.t -> V.t;  (** residual at (t, x) *)
+    jac : K.t -> V.t -> M.t;  (** Jacobian with respect to x *)
+    ht : (K.t -> V.t -> V.t) option;
+        (** dh/dt; enables the Euler predictor when given *)
+  }
+
+  type options = {
+    start_step : float;
+    min_step : float;
+    max_step : float;
+    newton_iterations : int;
+    tolerance : float;  (** corrector success: |h|_inf below this *)
+    max_steps : int;
+  }
+
+  val default_options : options
+
+  type stats = {
+    steps : int;
+    rejections : int;
+    newton_solves : int;
+    device_kernel_ms : float;
+        (** accumulated simulated kernel time of the solves *)
+  }
+
+  type outcome =
+    | Tracked of V.t * stats
+    | Stuck of { at_t : float; stats : stats }
+
+  val residual_inf : system -> K.t -> V.t -> float
+
+  val correct :
+    ?device:Gpusim.Device.t ->
+    system ->
+    options ->
+    K.t ->
+    V.t ->
+    int ref ->
+    float ref ->
+    V.t * bool
+  (** Newton corrector at fixed t; accumulates solve counts and device
+      milliseconds into the two refs. *)
+
+  val track :
+    ?device:Gpusim.Device.t ->
+    ?options:options ->
+    system ->
+    start:V.t ->
+    outcome
+  (** Follow the path from (start, t = 0) to t = 1. *)
+end

@@ -1,0 +1,171 @@
+(* Multivariate polynomials over a real or complex multiple double
+   scalar: the systems the paper's host package (PHCpack) solves.
+
+   A polynomial is a sum of monomials, each a coefficient and an exponent
+   vector; evaluation, partial differentiation and arithmetic are what
+   the homotopy solver needs. *)
+
+open Mdlinalg
+
+module Make (K : Scalar.S) = struct
+  module M = Mat.Make (K)
+  module V = Vec.Make (K)
+
+  type monomial = { coeff : K.t; powers : int array }
+
+  type t = { nvars : int; terms : monomial list }
+
+  let zero ~nvars = { nvars; terms = [] }
+
+  let check_powers nvars powers =
+    if Array.length powers <> nvars then
+      invalid_arg "Poly: exponent vector length mismatch";
+    Array.iter (fun p -> if p < 0 then invalid_arg "Poly: negative power") powers
+
+  (* Collect equal exponent vectors and drop zero coefficients. *)
+  let normalize { nvars; terms } =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun m ->
+        let key = Array.to_list m.powers in
+        let prev =
+          match Hashtbl.find_opt tbl key with
+          | Some c -> c
+          | None -> K.zero
+        in
+        Hashtbl.replace tbl key (K.add prev m.coeff))
+      terms;
+    let terms =
+      Hashtbl.fold
+        (fun key c acc ->
+          if K.is_zero c then acc
+          else { coeff = c; powers = Array.of_list key } :: acc)
+        tbl []
+    in
+    (* Deterministic order: by exponent vector. *)
+    let terms =
+      List.sort (fun a b -> compare b.powers a.powers) terms
+    in
+    { nvars; terms }
+
+  let of_terms ~nvars l =
+    List.iter (fun (_, p) -> check_powers nvars p) l;
+    normalize
+      { nvars; terms = List.map (fun (c, powers) -> { coeff = c; powers }) l }
+
+  let constant ~nvars c = of_terms ~nvars [ (c, Array.make nvars 0) ]
+
+  (* The monomial x_i. *)
+  let variable ~nvars i =
+    let p = Array.make nvars 0 in
+    p.(i) <- 1;
+    of_terms ~nvars [ (K.one, p) ]
+
+  let degree { terms; _ } =
+    List.fold_left
+      (fun acc m -> max acc (Array.fold_left ( + ) 0 m.powers))
+      0 terms
+
+  let add a b =
+    if a.nvars <> b.nvars then invalid_arg "Poly.add";
+    normalize { nvars = a.nvars; terms = a.terms @ b.terms }
+
+  let scale a c =
+    normalize
+      {
+        a with
+        terms = List.map (fun m -> { m with coeff = K.mul c m.coeff }) a.terms;
+      }
+
+  let neg a = scale a (K.neg K.one)
+  let sub a b = add a (neg b)
+
+  let mul a b =
+    if a.nvars <> b.nvars then invalid_arg "Poly.mul";
+    let terms =
+      List.concat_map
+        (fun ma ->
+          List.map
+            (fun mb ->
+              {
+                coeff = K.mul ma.coeff mb.coeff;
+                powers = Array.map2 ( + ) ma.powers mb.powers;
+              })
+            b.terms)
+        a.terms
+    in
+    normalize { nvars = a.nvars; terms }
+
+  (* Integer power of a monomial base value, by binary exponentiation. *)
+  let kpow x n =
+    let r = ref K.one and b = ref x and k = ref n in
+    while !k > 0 do
+      if !k land 1 = 1 then r := K.mul !r !b;
+      k := !k asr 1;
+      if !k > 0 then b := K.mul !b !b
+    done;
+    !r
+
+  let eval { terms; nvars } (x : K.t array) =
+    if Array.length x <> nvars then invalid_arg "Poly.eval";
+    List.fold_left
+      (fun acc m ->
+        let v = ref m.coeff in
+        Array.iteri
+          (fun i p -> if p > 0 then v := K.mul !v (kpow x.(i) p))
+          m.powers;
+        K.add acc !v)
+      K.zero terms
+
+  (* Partial derivative with respect to variable [i]. *)
+  let diff { nvars; terms } i =
+    let terms =
+      List.filter_map
+        (fun m ->
+          if m.powers.(i) = 0 then None
+          else begin
+            let powers = Array.copy m.powers in
+            powers.(i) <- powers.(i) - 1;
+            Some
+              { coeff = K.mul_float m.coeff (float_of_int m.powers.(i)); powers }
+          end)
+        terms
+    in
+    normalize { nvars; terms }
+
+  let pp fmt { terms; _ } =
+    if terms = [] then Format.fprintf fmt "0"
+    else
+      List.iteri
+        (fun k m ->
+          if k > 0 then Format.fprintf fmt " + ";
+          Format.fprintf fmt "(%s)" (K.to_string ~digits:6 m.coeff);
+          Array.iteri
+            (fun i p ->
+              if p = 1 then Format.fprintf fmt " x%d" i
+              else if p > 1 then Format.fprintf fmt " x%d^%d" i p)
+            m.powers)
+        terms
+
+  (* ---- square systems ---- *)
+
+  type system = t array
+
+  let system_nvars (s : system) =
+    if Array.length s = 0 then invalid_arg "Poly: empty system";
+    s.(0).nvars
+
+  let eval_system (s : system) (x : K.t array) : V.t =
+    Array.map (fun p -> eval p x) s
+
+  (* The Jacobian matrix at a point. *)
+  let jacobian (s : system) (x : K.t array) : M.t =
+    let n = Array.length s in
+    let nv = system_nvars s in
+    if n <> nv then invalid_arg "Poly.jacobian: square system required";
+    M.init n n (fun i j -> eval (diff s.(i) j) x)
+
+  (* Bezout bound: the product of the total degrees. *)
+  let total_degree (s : system) =
+    Array.fold_left (fun acc p -> acc * max 1 (degree p)) 1 s
+end

@@ -1,0 +1,42 @@
+(** Multivariate polynomials over a real or complex multiple double
+    scalar: the systems the paper's host package (PHCpack) solves. *)
+
+module Make (K : Mdlinalg.Scalar.S) : sig
+  type monomial = { coeff : K.t; powers : int array }
+
+  type t = { nvars : int; terms : monomial list }
+  (** Terms are kept normalized: distinct exponent vectors, no zero
+      coefficients, deterministic order. *)
+
+  val zero : nvars:int -> t
+
+  val of_terms : nvars:int -> (K.t * int array) list -> t
+  (** Raises [Invalid_argument] on arity mismatch or negative powers. *)
+
+  val constant : nvars:int -> K.t -> t
+  val variable : nvars:int -> int -> t
+  val degree : t -> int
+  (** Total degree (0 for the zero polynomial). *)
+
+  val add : t -> t -> t
+  val scale : t -> K.t -> t
+  val neg : t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val eval : t -> K.t array -> K.t
+  val diff : t -> int -> t
+  (** Partial derivative with respect to one variable. *)
+
+  val pp : Format.formatter -> t -> unit
+
+  type system = t array
+
+  val system_nvars : system -> int
+  val eval_system : system -> K.t array -> Mdlinalg.Vec.Make(K).t
+
+  val jacobian : system -> K.t array -> Mdlinalg.Mat.Make(K).t
+  (** Square systems only. *)
+
+  val total_degree : system -> int
+  (** The Bezout bound: the product of the total degrees. *)
+end

@@ -1,0 +1,237 @@
+(* A small parser for polynomial systems in the usual textual form, e.g.
+
+     "x^2 + y^2 - 4; x*y - 1"
+     "3.5*x0^2*x1 - 2e-3; (x0 - 1)*(x1 + 2)"
+     "x^2 + i*y - 1"                         (complex coefficients)
+
+   Grammar (recursive descent):
+
+     system  ::= poly (';' poly)*
+     poly    ::= term (('+' | '-') term)*
+     term    ::= factor ('*'? factor)*       juxtaposition multiplies
+     factor  ::= atom ('^' integer)?
+     atom    ::= number | ident | '(' poly ')' | '-' factor
+
+   Variables are collected in order of first appearance; the identifier
+   given as [imaginary] (typically "i") denotes the imaginary unit. *)
+
+open Mdlinalg
+
+exception Parse_error of string
+
+module Make (K : Scalar.S) = struct
+  module P = Poly.Make (K)
+
+  type token =
+    | Num of string
+    | Ident of string
+    | Plus
+    | Minus
+    | Star
+    | Caret
+    | Lparen
+    | Rparen
+    | Semi
+
+  let tokenize (s : string) : token list =
+    let n = String.length s in
+    let out = ref [] in
+    let i = ref 0 in
+    let is_digit c = c >= '0' && c <= '9' in
+    let is_alpha c =
+      (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+    in
+    while !i < n do
+      let c = s.[!i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+      else if is_digit c || c = '.' then begin
+        let start = !i in
+        while
+          !i < n
+          && (is_digit s.[!i] || s.[!i] = '.'
+             || s.[!i] = 'e' || s.[!i] = 'E'
+             || ((s.[!i] = '+' || s.[!i] = '-')
+                && !i > start
+                && (s.[!i - 1] = 'e' || s.[!i - 1] = 'E')))
+        do
+          incr i
+        done;
+        out := Num (String.sub s start (!i - start)) :: !out
+      end
+      else if is_alpha c then begin
+        let start = !i in
+        while !i < n && (is_alpha s.[!i] || is_digit s.[!i]) do
+          incr i
+        done;
+        out := Ident (String.sub s start (!i - start)) :: !out
+      end
+      else begin
+        let t =
+          match c with
+          | '+' -> Plus
+          | '-' -> Minus
+          | '*' -> Star
+          | '^' -> Caret
+          | '(' -> Lparen
+          | ')' -> Rparen
+          | ';' -> Semi
+          | _ -> raise (Parse_error (Printf.sprintf "unexpected character %C" c))
+        in
+        incr i;
+        out := t :: !out
+      end
+    done;
+    List.rev !out
+
+  (* Expression AST, independent of the variable count. *)
+  type ast =
+    | A_num of K.t
+    | A_var of string
+    | A_add of ast * ast
+    | A_sub of ast * ast
+    | A_mul of ast * ast
+    | A_pow of ast * int
+    | A_neg of ast
+
+  let parse_ast (tokens : token list) : ast list =
+    let toks = ref tokens in
+    let peek () = match !toks with [] -> None | t :: _ -> Some t in
+    let advance () =
+      match !toks with [] -> raise (Parse_error "unexpected end") | _ :: r -> toks := r
+    in
+    let expect t msg =
+      match peek () with
+      | Some t' when t' = t -> advance ()
+      | _ -> raise (Parse_error msg)
+    in
+    let rec poly () =
+      let left = ref (term ()) in
+      let continue_ = ref true in
+      while !continue_ do
+        match peek () with
+        | Some Plus ->
+          advance ();
+          left := A_add (!left, term ())
+        | Some Minus ->
+          advance ();
+          left := A_sub (!left, term ())
+        | _ -> continue_ := false
+      done;
+      !left
+    and term () =
+      let left = ref (factor ()) in
+      let continue_ = ref true in
+      while !continue_ do
+        match peek () with
+        | Some Star ->
+          advance ();
+          left := A_mul (!left, factor ())
+        | Some (Num _ | Ident _ | Lparen) ->
+          (* juxtaposition: 3x, 2(x+1), x y *)
+          left := A_mul (!left, factor ())
+        | _ -> continue_ := false
+      done;
+      !left
+    and factor () =
+      let base = atom () in
+      match peek () with
+      | Some Caret -> (
+        advance ();
+        match peek () with
+        | Some (Num d) -> (
+          advance ();
+          match int_of_string_opt d with
+          | Some e when e >= 0 -> A_pow (base, e)
+          | _ -> raise (Parse_error ("bad exponent " ^ d)))
+        | _ -> raise (Parse_error "expected integer exponent after ^"))
+      | _ -> base
+    and atom () =
+      match peek () with
+      | Some (Num d) ->
+        advance ();
+        A_num (K.of_real (K.R.of_string d))
+      | Some (Ident v) ->
+        advance ();
+        A_var v
+      | Some Lparen ->
+        advance ();
+        let inner = poly () in
+        expect Rparen "expected )";
+        inner
+      | Some Minus ->
+        advance ();
+        A_neg (factor ())
+      | Some Plus ->
+        advance ();
+        atom ()
+      | _ -> raise (Parse_error "expected a number, variable or (")
+    in
+    let polys = ref [ poly () ] in
+    while peek () = Some Semi do
+      advance ();
+      polys := poly () :: !polys
+    done;
+    if !toks <> [] then raise (Parse_error "trailing input");
+    List.rev !polys
+
+  let rec collect_vars ~imaginary acc = function
+    | A_num _ -> acc
+    | A_var v ->
+      if Some v = imaginary || List.mem v acc then acc else acc @ [ v ]
+    | A_add (a, b) | A_sub (a, b) | A_mul (a, b) ->
+      collect_vars ~imaginary (collect_vars ~imaginary acc a) b
+    | A_pow (a, _) | A_neg a -> collect_vars ~imaginary acc a
+
+  let rec to_poly ~nvars ~vars ~imaginary ~iunit = function
+    | A_num c -> P.constant ~nvars c
+    | A_var v ->
+      if Some v = imaginary then
+        P.constant ~nvars
+          (match iunit with
+          | Some u -> u
+          | None ->
+            raise (Parse_error "imaginary unit not available for this scalar"))
+      else begin
+        match List.find_index (String.equal v) vars with
+        | Some i -> P.variable ~nvars i
+        | None -> raise (Parse_error ("unknown variable " ^ v))
+      end
+    | A_add (a, b) ->
+      P.add
+        (to_poly ~nvars ~vars ~imaginary ~iunit a)
+        (to_poly ~nvars ~vars ~imaginary ~iunit b)
+    | A_sub (a, b) ->
+      P.sub
+        (to_poly ~nvars ~vars ~imaginary ~iunit a)
+        (to_poly ~nvars ~vars ~imaginary ~iunit b)
+    | A_mul (a, b) ->
+      P.mul
+        (to_poly ~nvars ~vars ~imaginary ~iunit a)
+        (to_poly ~nvars ~vars ~imaginary ~iunit b)
+    | A_neg a -> P.neg (to_poly ~nvars ~vars ~imaginary ~iunit a)
+    | A_pow (a, e) ->
+      let base = to_poly ~nvars ~vars ~imaginary ~iunit a in
+      let r = ref (P.constant ~nvars K.one) in
+      for _ = 1 to e do
+        r := P.mul !r base
+      done;
+      !r
+
+  (* [parse_system ?imaginary ?iunit s] parses "p1; p2; ..." and returns
+     the system together with the variable names in column order.
+     [imaginary] names the identifier treated as the imaginary unit
+     (default "i"); [iunit] supplies its value for complex scalars. *)
+  let parse_system ?(imaginary = Some "i") ?iunit (s : string) :
+      P.system * string list =
+    let asts = parse_ast (tokenize s) in
+    let vars =
+      List.fold_left (collect_vars ~imaginary) [] asts
+    in
+    let nvars = List.length vars in
+    if nvars = 0 then raise (Parse_error "no variables in the system");
+    let system =
+      Array.of_list
+        (List.map (to_poly ~nvars ~vars ~imaginary ~iunit) asts)
+    in
+    (system, vars)
+end

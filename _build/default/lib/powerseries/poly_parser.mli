@@ -1,0 +1,23 @@
+(** A parser for polynomial systems in the usual textual form,
+    e.g. ["x^2 + y^2 - 4; x*y - 1"] or ["3x y + 2(x - 1)(y + 2)"]:
+    sums, differences, products (also by juxtaposition), nonnegative
+    integer powers, parentheses, decimal coefficients with exponents,
+    and an identifier for the imaginary unit on complex scalars. *)
+
+exception Parse_error of string
+
+module Make (K : Mdlinalg.Scalar.S) : sig
+  module P : module type of Poly.Make (K)
+
+  val parse_system :
+    ?imaginary:string option ->
+    ?iunit:K.t ->
+    string ->
+    P.system * string list
+  (** [parse_system s] parses the semicolon-separated polynomials of [s]
+      and returns them with the variable names in order of first
+      appearance.  [imaginary] names the identifier treated as the
+      imaginary unit (default ["i"]); [iunit] supplies its value for
+      complex scalars — without it that identifier is rejected.
+      Raises {!Parse_error} on malformed input. *)
+end

@@ -1,0 +1,88 @@
+(* Polynomial evaluation and differentiation at power series — the
+   computation of the author's companion paper ([27], "Accelerated
+   polynomial evaluation and differentiation at power series in multiple
+   double precision") that feeds the block Toeplitz solver: substituting
+   truncated series for the variables of a polynomial system yields the
+   residual series and the matrix series of the Jacobian. *)
+
+module Make (K : Mdlinalg.Scalar.S) = struct
+  module P = Poly.Make (K)
+  module Ser = Series.Make (K)
+  module BT = Block_toeplitz.Make (K)
+
+  (* Series power by binary exponentiation. *)
+  let spow (x : Ser.t) n =
+    let d = Ser.degree x in
+    let r = ref (Ser.one ~degree:d) and b = ref x and k = ref n in
+    while !k > 0 do
+      if !k land 1 = 1 then r := Ser.mul !r !b;
+      k := !k asr 1;
+      if !k > 0 then b := Ser.mul !b !b
+    done;
+    !r
+
+  (* [eval p xs] substitutes the series [xs] for the variables of [p]. *)
+  let eval (p : P.t) (xs : Ser.t array) : Ser.t =
+    if Array.length xs <> p.P.nvars then invalid_arg "Poly_series.eval";
+    let degree =
+      Array.fold_left (fun acc s -> min acc (Ser.degree s)) max_int xs
+    in
+    let degree = if degree = max_int then 0 else degree in
+    List.fold_left
+      (fun acc (m : P.monomial) ->
+        let term = ref (Ser.make ~degree m.P.coeff) in
+        Array.iteri
+          (fun i e -> if e > 0 then term := Ser.mul !term (spow xs.(i) e))
+          m.P.powers;
+        Ser.add acc !term)
+      (Ser.zero ~degree) p.P.terms
+
+  (* Residual series of a square system at a vector series. *)
+  let eval_system (f : P.system) (xs : Ser.t array) : BT.vec_series =
+    let values = Array.map (fun p -> eval p xs) f in
+    let degree = Ser.degree values.(0) in
+    Array.init (degree + 1) (fun k ->
+        Array.map (fun s -> Ser.coeff s k) values)
+
+  (* Jacobian matrix series at a vector series. *)
+  let jacobian (f : P.system) (xs : Ser.t array) : BT.mat_series =
+    let n = Array.length f in
+    let derivs =
+      Array.init n (fun i -> Array.init n (fun j -> eval (P.diff f.(i) j) xs))
+    in
+    let degree = Ser.degree derivs.(0).(0) in
+    Array.init (degree + 1) (fun k ->
+        BT.M.init n n (fun i j -> Ser.coeff derivs.(i).(j) k))
+
+  (* Series Newton directly from polynomial input: expand the solution
+     x(t) of f(x, t) = 0 around a regular root [x0] of f(., t0 = 0),
+     where the last variable of [f] is the series parameter t.
+
+     Concretely: [f] has n equations in n + 1 variables; variable index
+     [n] is t.  Returns the vector series x(t) to [degree]. *)
+  let newton_from_polys ~degree ~iterations (f : P.system)
+      (x0 : K.t array) : BT.vec_series =
+    let n = Array.length f in
+    if P.system_nvars f <> n + 1 then
+      invalid_arg
+        "Poly_series.newton_from_polys: need n equations in n+1 variables \
+         (the last one is the series parameter)";
+    let t_series = Ser.variable ~degree in
+    (* Close over the parameter: residual/jacobian in the n unknowns. *)
+    let with_t (xs : BT.vec_series) : Ser.t array =
+      Array.init (n + 1) (fun j ->
+          if j = n then t_series
+          else Array.map (fun order -> order.(j)) xs)
+    in
+    let residual xs = eval_system f (with_t xs) in
+    let jac xs =
+      let full = with_t xs in
+      let derivs =
+        Array.init n (fun i ->
+            Array.init n (fun j -> eval (P.diff f.(i) j) full))
+      in
+      Array.init (degree + 1) (fun k ->
+          BT.M.init n n (fun i j -> Ser.coeff derivs.(i).(j) k))
+    in
+    BT.newton ~degree ~residual ~jacobian:jac ~x0 ~iterations
+end

@@ -1,0 +1,32 @@
+(** Polynomial evaluation and differentiation at power series — the
+    computation of the author's companion paper ("Accelerated polynomial
+    evaluation and differentiation at power series in multiple double
+    precision") that feeds the block Toeplitz solver. *)
+
+module Make (K : Mdlinalg.Scalar.S) : sig
+  module P : module type of Poly.Make (K)
+  module Ser : module type of Series.Make (K)
+  module BT : module type of Block_toeplitz.Make (K)
+
+  val spow : Ser.t -> int -> Ser.t
+  (** Series power by binary exponentiation. *)
+
+  val eval : P.t -> Ser.t array -> Ser.t
+  (** Substitute series for the variables of a polynomial. *)
+
+  val eval_system : P.system -> Ser.t array -> BT.vec_series
+  (** Residual series of a square system at a vector series. *)
+
+  val jacobian : P.system -> Ser.t array -> BT.mat_series
+  (** Jacobian matrix series at a vector series. *)
+
+  val newton_from_polys :
+    degree:int ->
+    iterations:int ->
+    P.system ->
+    K.t array ->
+    BT.vec_series
+  (** Expand the solution x(t) of f(x, t) = 0 around a regular root of
+      f(., 0): [f] has n equations in n+1 variables, the last variable
+      being the series parameter t ([Invalid_argument] otherwise). *)
+end

@@ -1,0 +1,189 @@
+(* Truncated power series over a real or complex multiple double scalar.
+
+   The paper's motivation (§1.1) is a polynomial homotopy path tracker
+   whose core operation solves a lower triangular block Toeplitz system
+   where the blocks are coefficient matrices of power series [3]; this
+   module supplies the series arithmetic those computations run on.
+
+   A series is represented by its coefficients c.(0) .. c.(d) for a fixed
+   truncation degree d (all operations truncate to the shorter input). *)
+
+open Mdlinalg
+
+module Make (K : Scalar.S) = struct
+  type t = K.t array
+
+  let degree (s : t) = Array.length s - 1
+  let make ~degree x : t = Array.init (degree + 1) (fun i -> if i = 0 then x else K.zero)
+  let zero ~degree : t = Array.make (degree + 1) K.zero
+  let one ~degree : t = make ~degree K.one
+  let of_coeffs (c : K.t array) : t = Array.copy c
+  let coeff (s : t) k = if k <= degree s then s.(k) else K.zero
+  let constant (s : t) = s.(0)
+
+  (* The identity series t (the variable itself). *)
+  let variable ~degree : t =
+    Array.init (degree + 1) (fun i -> if i = 1 then K.one else K.zero)
+
+  let truncate (s : t) ~degree : t =
+    Array.init (degree + 1) (fun i -> coeff s i)
+
+  let map2 f (a : t) (b : t) : t =
+    let d = min (degree a) (degree b) in
+    Array.init (d + 1) (fun i -> f a.(i) b.(i))
+
+  let add = map2 K.add
+  let sub = map2 K.sub
+  let neg (a : t) : t = Array.map K.neg a
+  let scale (a : t) x : t = Array.map (fun c -> K.mul x c) a
+
+  (* Truncated Cauchy product. *)
+  let mul (a : t) (b : t) : t =
+    let d = min (degree a) (degree b) in
+    Array.init (d + 1) (fun k ->
+        let s = ref K.zero in
+        for i = 0 to k do
+          s := K.add !s (K.mul a.(i) b.(k - i))
+        done;
+        !s)
+
+  (* Division when b has an invertible constant term: long division
+     q_k = (a_k - sum_{i<k} q_i b_{k-i}) / b_0. *)
+  let div (a : t) (b : t) : t =
+    if K.is_zero (constant b) then
+      invalid_arg "Series.div: zero constant term";
+    let d = min (degree a) (degree b) in
+    let q = Array.make (d + 1) K.zero in
+    for k = 0 to d do
+      let s = ref (coeff a k) in
+      for i = 0 to k - 1 do
+        s := K.sub !s (K.mul q.(i) b.(k - i))
+      done;
+      q.(k) <- K.div !s b.(0)
+    done;
+    q
+
+  let inverse (b : t) : t = div (one ~degree:(degree b)) b
+
+  (* Formal derivative, same truncation degree (top coefficient zero). *)
+  let deriv (a : t) : t =
+    let d = degree a in
+    Array.init (d + 1) (fun k ->
+        if k < d then K.mul_float a.(k + 1) (float_of_int (k + 1))
+        else K.zero)
+
+  (* Formal antiderivative with zero constant term. *)
+  let integrate (a : t) : t =
+    let d = degree a in
+    Array.init (d + 1) (fun k ->
+        if k = 0 then K.zero
+        else K.scale a.(k - 1) (K.R.div K.R.one (K.R.of_int k)))
+
+  (* Square root of a series with b_0 = 1-ish positive constant term,
+     by Newton: y <- (y + b/y)/2 in series arithmetic. *)
+  let sqrt (b : t) : t =
+    let d = degree b in
+    let y0 = K.of_real (K.R.sqrt (K.re (constant b))) in
+    let y = ref (make ~degree:d y0) in
+    let rounds =
+      let rec go k n = if n >= d + 1 then k else go (k + 1) (n * 2) in
+      go 1 1
+    in
+    for _ = 1 to rounds + 1 do
+      let q = div b !y in
+      y := Array.map (fun c -> K.mul_float c 0.5) (add !y q)
+    done;
+    !y
+
+  (* Exponential of a series with zero constant term, by the ODE
+     y' = a' y: y_k follows from the convolution recursion. *)
+  let exp0 (a : t) : t =
+    if not (K.is_zero (constant a)) then
+      invalid_arg "Series.exp0: constant term must be zero";
+    let d = degree a in
+    let y = Array.make (d + 1) K.zero in
+    y.(0) <- K.one;
+    for k = 1 to d do
+      (* y_k = (1/k) sum_{j=1..k} j a_j y_{k-j} *)
+      let s = ref K.zero in
+      for j = 1 to k do
+        s := K.add !s (K.mul_float (K.mul a.(j) y.(k - j)) (float_of_int j))
+      done;
+      y.(k) <- K.scale !s (K.R.div K.R.one (K.R.of_int k))
+    done;
+    y
+
+  (* Logarithm of a series with constant term 1:
+     log s = integrate (s' / s), entirely in series arithmetic. *)
+  let log1 (b : t) : t =
+    if not (K.equal (constant b) K.one) then
+      invalid_arg "Series.log1: constant term must be one";
+    integrate (div (deriv b) b)
+
+  (* Sine and cosine of a series with zero constant term, by the coupled
+     ODE recursion s' = v' c, c' = -v' s. *)
+  let sin_cos0 (v : t) : t * t =
+    if not (K.is_zero (constant v)) then
+      invalid_arg "Series.sin_cos0: constant term must be zero";
+    let d = degree v in
+    let s = Array.make (d + 1) K.zero in
+    let c = Array.make (d + 1) K.zero in
+    c.(0) <- K.one;
+    for k = 1 to d do
+      let sa = ref K.zero and ca = ref K.zero in
+      for j = 1 to k do
+        let jv = K.mul_float v.(j) (float_of_int j) in
+        sa := K.add !sa (K.mul jv c.(k - j));
+        ca := K.add !ca (K.mul jv s.(k - j))
+      done;
+      let inv_k = K.R.div K.R.one (K.R.of_int k) in
+      s.(k) <- K.scale !sa inv_k;
+      c.(k) <- K.neg (K.scale !ca inv_k)
+    done;
+    (s, c)
+
+  (* Evaluation at a scalar point by Horner's rule. *)
+  let eval (a : t) x =
+    let r = ref a.(degree a) in
+    for k = degree a - 1 downto 0 do
+      r := K.add (K.mul !r x) a.(k)
+    done;
+    !r
+
+  (* Composition a(b(t)) for b with zero constant term (Horner on
+     series). *)
+  let compose (a : t) (b : t) : t =
+    if not (K.is_zero (constant b)) then
+      invalid_arg "Series.compose: inner constant term must be zero";
+    let d = min (degree a) (degree b) in
+    let a = truncate a ~degree:d and b = truncate b ~degree:d in
+    let r = ref (make ~degree:d a.(d)) in
+    for k = d - 1 downto 0 do
+      let m = mul !r b in
+      m.(0) <- K.add m.(0) a.(k);
+      r := m
+    done;
+    !r
+
+  let equal (a : t) (b : t) =
+    degree a = degree b && Array.for_all2 K.equal a b
+
+  (* Largest coefficient modulus of the difference, as a real. *)
+  let distance (a : t) (b : t) =
+    let d = min (degree a) (degree b) in
+    let m = ref K.R.zero in
+    for k = 0 to d do
+      let e = K.abs (K.sub (coeff a k) (coeff b k)) in
+      if K.R.compare e !m > 0 then m := e
+    done;
+    !m
+
+  let pp fmt (a : t) =
+    Format.fprintf fmt "@[";
+    Array.iteri
+      (fun k c ->
+        if k > 0 then Format.fprintf fmt "@ + ";
+        Format.fprintf fmt "(%s) t^%d" (K.to_string ~digits:6 c) k)
+      a;
+    Format.fprintf fmt "@]"
+end

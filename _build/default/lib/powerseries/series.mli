@@ -1,0 +1,66 @@
+(** Truncated power series over a real or complex multiple double scalar
+    — the arithmetic beneath the paper's motivating path tracker.  A
+    series is its coefficient array c.(0) .. c.(d) for a fixed truncation
+    degree d; binary operations truncate to the shorter operand. *)
+
+module Make (K : Mdlinalg.Scalar.S) : sig
+  type t = K.t array
+
+  val degree : t -> int
+  val make : degree:int -> K.t -> t
+  (** Constant series. *)
+
+  val zero : degree:int -> t
+  val one : degree:int -> t
+  val of_coeffs : K.t array -> t
+  val coeff : t -> int -> K.t
+  (** Zero beyond the truncation degree. *)
+
+  val constant : t -> K.t
+  val variable : degree:int -> t
+  (** The series t. *)
+
+  val truncate : t -> degree:int -> t
+  val map2 : (K.t -> K.t -> K.t) -> t -> t -> t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val scale : t -> K.t -> t
+  val mul : t -> t -> t
+  (** Truncated Cauchy product. *)
+
+  val div : t -> t -> t
+  (** Long division; requires an invertible constant term
+      ([Invalid_argument] otherwise). *)
+
+  val inverse : t -> t
+  val deriv : t -> t
+  (** Formal derivative (top coefficient becomes zero). *)
+
+  val integrate : t -> t
+  (** Antiderivative with zero constant term. *)
+
+  val sqrt : t -> t
+  (** Newton square root; needs a positive real constant term. *)
+
+  val exp0 : t -> t
+  (** Exponential of a series with zero constant term. *)
+
+  val log1 : t -> t
+  (** Logarithm of a series with constant term one. *)
+
+  val sin_cos0 : t -> t * t
+  (** Sine and cosine of a series with zero constant term. *)
+
+  val eval : t -> K.t -> K.t
+  (** Horner evaluation at a scalar point. *)
+
+  val compose : t -> t -> t
+  (** [compose a b] is a(b(t)); the inner constant term must be zero. *)
+
+  val equal : t -> t -> bool
+  val distance : t -> t -> K.R.t
+  (** Largest coefficient modulus of the difference. *)
+
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,160 @@
+(* A total-degree polynomial system solver: the end-to-end pipeline the
+   paper's solver exists for, in miniature.
+
+   For a square system f = 0 of total degrees (d_1, ..., d_n), every
+   solution is the endpoint of a path of the homotopy
+
+     h(x, t) = gamma (1 - t) g(x) + t f(x),
+     g_i(x)  = x_i^{d_i} - 1,
+
+   starting at one of the prod d_i combinations of roots of unity (the
+   gamma trick makes the paths regular with probability one).  Each path
+   is tracked with the adaptive predictor-corrector, whose Newton steps
+   run on the accelerated least squares solver. *)
+
+open Mdlinalg
+
+module Make (R : Multidouble.Md_sig.S) = struct
+  module K = Scalar.Complex (R)
+  module P = Poly.Make (K)
+  module H = Homotopy.Make (K)
+  module Cf = Multidouble.Md_complex_funcs.Make (R)
+  module V = H.V
+  module M = H.M
+
+  type solution = {
+    point : V.t;
+    residual : float; (* |f| at the endpoint *)
+    start_index : int;
+  }
+
+  type result = {
+    solutions : solution list;
+    diverged : int; (* paths that left every bounded region *)
+    stuck : int; (* paths the tracker abandoned *)
+    paths : int;
+  }
+
+  let default_gamma = (0.8319374651354528, 0.5548523010355094)
+  (* exp(0.5878 i) *)
+
+  let residual_inf (f : P.system) x =
+    R.to_float (V.inf_norm (P.eval_system f x))
+
+  (* All combinations of the d_i-th roots of unity. *)
+  let start_points (degrees : int array) =
+    let n = Array.length degrees in
+    let roots = Array.map Cf.roots_of_unity degrees in
+    let total = Array.fold_left (fun a d -> a * d) 1 degrees in
+    List.init total (fun idx ->
+        let p = Array.make n K.zero in
+        let rest = ref idx in
+        for i = 0 to n - 1 do
+          p.(i) <- roots.(i).(!rest mod degrees.(i));
+          rest := !rest / degrees.(i)
+        done;
+        p)
+
+  (* [parallel] tracks the paths concurrently on the domain pool (they
+     are independent; nested device parallelism runs inline), preserving
+     bit-identical results path by path. *)
+  let solve ?(device = Gpusim.Device.v100) ?(parallel = true) ?options
+      ?gamma (f : P.system) : result =
+    let n = Array.length f in
+    if n <> P.system_nvars f then
+      invalid_arg "Solve: square system required";
+    let gamma =
+      match gamma with
+      | Some g -> g
+      | None ->
+        let re, im = default_gamma in
+        K.of_floats re im
+    in
+    let degrees = Array.map (fun p -> max 1 (P.degree p)) f in
+    (* Start system and both Jacobians, differentiated once. *)
+    let g : P.system =
+      Array.init n (fun i ->
+          let pw = Array.make n 0 in
+          pw.(i) <- degrees.(i);
+          P.of_terms ~nvars:n [ (K.one, pw); (K.neg K.one, Array.make n 0) ])
+    in
+    let jf = Array.init n (fun i -> Array.init n (fun j -> P.diff f.(i) j)) in
+    let jg = Array.init n (fun i -> Array.init n (fun j -> P.diff g.(i) j)) in
+    let options =
+      match options with
+      | Some o -> o
+      | None ->
+        { H.default_options with
+          H.tolerance = Float.max (256.0 *. R.eps) 1e-300 }
+    in
+    let sys : H.system =
+      {
+        H.dim = n;
+        h =
+          (fun t x ->
+            let c = K.mul gamma (K.sub K.one t) in
+            let fv = P.eval_system f x and gv = P.eval_system g x in
+            Array.init n (fun i ->
+                K.add (K.mul c gv.(i)) (K.mul t fv.(i))));
+        jac =
+          (fun t x ->
+            let c = K.mul gamma (K.sub K.one t) in
+            M.init n n (fun i j ->
+                K.add
+                  (K.mul c (P.eval jg.(i).(j) x))
+                  (K.mul t (P.eval jf.(i).(j) x))));
+        ht =
+          Some
+            (fun _ x ->
+              let fv = P.eval_system f x and gv = P.eval_system g x in
+              Array.init n (fun i -> K.sub fv.(i) (K.mul gamma gv.(i))));
+      }
+    in
+    let tol = Float.max (1e8 *. R.eps) 1e-200 in
+    let paths = Array.of_list (start_points degrees) in
+    let outcomes = Array.map (fun _ -> None) paths in
+    let track idx =
+      outcomes.(idx) <- Some (H.track ~device ~options sys ~start:paths.(idx))
+    in
+    if parallel && Array.length paths > 1 then
+      Dompool.Domain_pool.parallel_for ~chunk:1
+        (Dompool.Domain_pool.get_default ())
+        0 (Array.length paths) track
+    else Array.iteri (fun i _ -> track i) paths;
+    let solutions = ref [] and diverged = ref 0 and stuck = ref 0 in
+    Array.iteri
+      (fun idx outcome ->
+        match outcome with
+        | Some (H.Tracked (endpoint, _)) ->
+          let norm = R.to_float (V.inf_norm endpoint) in
+          let res = residual_inf f endpoint in
+          if res < tol *. Float.max 1.0 norm then
+            solutions :=
+              { point = endpoint; residual = res; start_index = idx }
+              :: !solutions
+          else if norm > 1e8 then incr diverged
+          else incr stuck
+        | Some (H.Stuck _) | None -> incr stuck)
+      outcomes;
+    {
+      solutions = List.rev !solutions;
+      diverged = !diverged;
+      stuck = !stuck;
+      paths = Array.length paths;
+    }
+
+  (* Distinct solutions up to a tolerance, for counting. *)
+  let distinct ?(tol = 1e-8) (sols : solution list) =
+    let keep = ref [] in
+    List.iter
+      (fun s ->
+        let dup =
+          List.exists
+            (fun k ->
+              R.to_float (V.inf_norm (V.sub s.point k.point)) < tol)
+            !keep
+        in
+        if not dup then keep := s :: !keep)
+      sols;
+    List.rev !keep
+end

@@ -1,0 +1,43 @@
+(** A total-degree polynomial system solver: roots-of-unity start
+    systems, the gamma trick, adaptive tracking of every path (in
+    parallel across the domain pool), and honest classification of the
+    endpoints — the end-to-end pipeline the paper's kernels exist for,
+    in miniature. *)
+
+module Make (R : Multidouble.Md_sig.S) : sig
+  module K : module type of Mdlinalg.Scalar.Complex (R)
+  module P : module type of Poly.Make (K)
+  module H : module type of Homotopy.Make (K)
+  module V : module type of H.V
+  module M : module type of H.M
+
+  type solution = {
+    point : V.t;
+    residual : float;  (** |f| at the endpoint *)
+    start_index : int;
+  }
+
+  type result = {
+    solutions : solution list;
+    diverged : int;  (** paths that left every bounded region *)
+    stuck : int;  (** paths the tracker abandoned *)
+    paths : int;
+  }
+
+  val start_points : int array -> K.t array list
+  (** All combinations of the d_i-th roots of unity. *)
+
+  val solve :
+    ?device:Gpusim.Device.t ->
+    ?parallel:bool ->
+    ?options:H.options ->
+    ?gamma:K.t ->
+    P.system ->
+    result
+  (** Track all Bezout-many paths of the total-degree homotopy; requires
+      a square system.  [parallel] (default true) tracks paths
+      concurrently with bit-identical results. *)
+
+  val distinct : ?tol:float -> solution list -> solution list
+  (** Representatives of the endpoint clusters, for counting. *)
+end

@@ -1,0 +1,130 @@
+(* Tests for Cholesky and the normal-equations baseline, including the
+   accuracy comparison against Householder QR on ill-conditioned data —
+   the quantitative version of the paper's stability argument. *)
+
+open Mdlinalg
+
+let check = Alcotest.(check bool)
+
+module T (K : Scalar.S) = struct
+  module M = Mat.Make (K)
+  module V = Vec.Make (K)
+  module Ch = Cholesky.Make (K)
+  module Qr = Host_qr.Make (K)
+  module Rand = Randmat.Make (K)
+
+  let small r = K.R.compare r (K.R.of_float (1e6 *. K.R.eps)) <= 0
+
+  (* A random Hermitian positive definite matrix: G^H G + n I. *)
+  let spd rng n =
+    let g = Rand.matrix rng n n in
+    let gg = M.matmul (M.adjoint g) g in
+    M.init n n (fun i j ->
+        if i = j then K.add (M.get gg i j) (K.of_float (float_of_int n))
+        else M.get gg i j)
+
+  let test_factor () =
+    let rng = Dompool.Prng.create 601 in
+    List.iter
+      (fun n ->
+        let a = spd rng n in
+        let l = Ch.factor a in
+        check "L L^H = A" true
+          (small (M.rel_distance a (M.matmul l (M.adjoint l))));
+        (* lower triangular with positive real diagonal *)
+        let ok = ref true in
+        for i = 0 to n - 1 do
+          for j = i + 1 to n - 1 do
+            if not (K.is_zero (M.get l i j)) then ok := false
+          done;
+          if K.R.sign (K.re (M.get l i i)) <= 0 then ok := false
+        done;
+        check "triangular, positive diagonal" true !ok)
+      [ 1; 4; 9 ]
+
+  let test_solve () =
+    let rng = Dompool.Prng.create 602 in
+    let n = 8 in
+    let a = spd rng n in
+    let x_true = Rand.vector rng n in
+    let b = M.matvec a x_true in
+    let x = Ch.solve a b in
+    check "solve" true
+      (K.R.compare
+         (V.norm (V.sub x x_true))
+         (K.R.mul_float (V.norm x_true) (1e8 *. K.R.eps))
+      <= 0)
+
+  let test_rejects_indefinite () =
+    let a = M.identity 3 in
+    M.set a 2 2 (K.of_float (-1.0));
+    try
+      ignore (Ch.factor a);
+      Alcotest.fail "indefinite accepted"
+    with Ch.Not_positive_definite 2 -> ()
+
+  let test_normal_equations_match_qr_when_easy () =
+    (* On well-conditioned data both solvers agree. *)
+    let rng = Dompool.Prng.create 603 in
+    let a = Rand.matrix rng 12 6 in
+    let b = Rand.vector rng 12 in
+    let x_qr = Qr.least_squares a b in
+    let x_ne = Ch.least_squares a b in
+    check "agree when easy" true
+      (K.R.compare
+         (V.norm (V.sub x_qr x_ne))
+         (K.R.mul_float (K.R.add_float (V.norm x_qr) 1.0) (1e10 *. K.R.eps))
+      <= 0)
+
+  (* The stability gap: on a Vandermonde-like matrix with kappa ~ 1e8,
+     the normal equations square it to ~1e16 and lose roughly twice the
+     digits QR loses. *)
+  let test_stability_gap () =
+    if (not K.is_complex) && K.prec = Multidouble.Precision.DD then begin
+      let n = 12 and m = 20 in
+      let point i =
+        K.of_float (float_of_int (i + 1) /. float_of_int m)
+      in
+      let a =
+        M.init m n (fun i k ->
+            let rec pow acc e =
+              if e = 0 then acc else pow (K.mul acc (point i)) (e - 1)
+            in
+            pow K.one k)
+      in
+      let x_true = V.init n (fun i -> K.of_float (float_of_int (i + 1))) in
+      let b = M.matvec a x_true in
+      let err x =
+        K.R.to_float (V.norm (V.sub x x_true))
+        /. K.R.to_float (V.norm x_true)
+      in
+      let e_qr = err (Qr.least_squares a b) in
+      let e_ne = err (Ch.least_squares a b) in
+      (* QR keeps far more digits than the squared-condition route. *)
+      check "QR beats normal equations" true (e_ne > 100.0 *. e_qr);
+      check "QR still accurate" true (e_qr < 1e-15)
+    end
+
+  let suite name =
+    let t n f = Alcotest.test_case n `Quick f in
+    ( name,
+      [
+        t "factorization" test_factor;
+        t "solve" test_solve;
+        t "rejects indefinite" test_rejects_indefinite;
+        t "normal equations vs qr (easy)" test_normal_equations_match_qr_when_easy;
+        t "stability gap (the paper's argument)" test_stability_gap;
+      ] )
+end
+
+module Tdd = T (Scalar.Dd)
+module Tqd = T (Scalar.Qd)
+module Tzdd = T (Scalar.Zdd)
+
+let () =
+  Alcotest.run "cholesky"
+    [
+      Tdd.suite "double double";
+      Tqd.suite "quad double";
+      Tzdd.suite "complex double double";
+    ]

@@ -1,0 +1,334 @@
+(* Tests for the accelerated algorithms: the tiled back substitution
+   (Algorithm 1) and the blocked Householder QR (Algorithm 2) are checked
+   against the host baselines at several precisions, real and complex;
+   the analytic per-kernel operation tallies are checked against a
+   dynamically instrumented run; the launch count of Algorithm 1 matches
+   the paper's 1 + N(N+1)/2. *)
+
+open Mdlinalg
+open Lsq_core
+
+let check = Alcotest.(check bool)
+let device = Gpusim.Device.v100
+
+module Generic (K : Scalar.S) = struct
+  module M = Mat.Make (K)
+  module V = Vec.Make (K)
+  module Tri = Host_tri.Make (K)
+  module Hqr = Host_qr.Make (K)
+  module Rand = Randmat.Make (K)
+  module Bs = Tiled_back_sub.Make (K)
+  module Nbs = Naive_back_sub.Make (K)
+  module Qr = Blocked_qr.Make (K)
+  module Ls = Least_squares.Make (K)
+
+  let tol factor = K.R.of_float (factor *. K.R.eps)
+
+  let below msg x bound =
+    if K.R.compare x bound > 0 then
+      Alcotest.failf "%s: %s > %s" msg (K.R.to_string x) (K.R.to_string bound)
+
+  let test_back_sub_matches_host () =
+    let rng = Dompool.Prng.create 100 in
+    List.iter
+      (fun (dim, tile) ->
+        let u = Rand.upper rng dim in
+        let b, x_true = Rand.rhs_for rng u in
+        let res = Bs.run ~device ~u ~b ~tile () in
+        let x_host = Tri.back_substitute u b in
+        below
+          (Printf.sprintf "accelerated vs host (%d/%d)" dim tile)
+          (V.norm (V.sub res.Bs.x x_host))
+          (K.R.mul (V.norm x_host) (tol 1e8));
+        below "residual" (Tri.residual u res.Bs.x b) (tol 1e6);
+        below "vs known solution"
+          (V.norm (V.sub res.Bs.x x_true))
+          (K.R.mul (V.norm x_true) (tol 1e10)))
+      [ (8, 4); (16, 4); (12, 3); (24, 8); (32, 8) ]
+
+  let test_back_sub_launches () =
+    let rng = Dompool.Prng.create 101 in
+    List.iter
+      (fun (dim, tile) ->
+        let nt = dim / tile in
+        let u = Rand.upper rng dim in
+        let b = Rand.vector rng dim in
+        let res = Bs.run ~device ~u ~b ~tile () in
+        (* Algorithm 1 executes 1 + N(N+1)/2 kernel launches. *)
+        Alcotest.(check int)
+          (Printf.sprintf "launches at N=%d" nt)
+          (1 + (nt * (nt + 1) / 2))
+          res.Bs.launches)
+      [ (8, 4); (24, 4); (40, 8) ]
+
+  let test_back_sub_single_tile () =
+    let rng = Dompool.Prng.create 102 in
+    let u = Rand.upper rng 6 in
+    let b, _ = Rand.rhs_for rng u in
+    let res = Bs.run ~device ~u ~b ~tile:6 () in
+    below "single tile" (Tri.residual u res.Bs.x b) (tol 1e6)
+
+  let test_naive_back_sub () =
+    let rng = Dompool.Prng.create 110 in
+    let dim = 24 in
+    let u = Rand.upper rng dim in
+    let b, _ = Rand.rhs_for rng u in
+    let naive = Nbs.run ~device ~u ~b () in
+    let tiled = Bs.run ~device ~u ~b ~tile:8 () in
+    below "naive matches tiled"
+      (V.norm (V.sub naive.Nbs.x tiled.Bs.x))
+      (K.R.mul (V.norm tiled.Bs.x) (tol 1e8));
+    below "naive residual" (Tri.residual u naive.Nbs.x b) (tol 1e6);
+    (* the classic algorithm needs ~2 dim launches *)
+    Alcotest.(check int) "naive launches" ((2 * dim) - 1)
+      naive.Nbs.launches;
+    (* and at a realistic dimension the simulated device charges the
+       classic algorithm more time (at dim 24 everything is overhead) *)
+    let tiled_big = Bs.run_plan ~device ~dim:2560 ~tile:32 () in
+    let naive_big = Nbs.run_plan ~device ~dim:2560 () in
+    check "tiled is cheaper" true
+      (tiled_big.Bs.kernel_ms < naive_big.Nbs.kernel_ms)
+
+  let test_back_sub_bad_args () =
+    let rng = Dompool.Prng.create 103 in
+    let u = Rand.upper rng 8 in
+    let b = Rand.vector rng 8 in
+    (try
+       ignore (Bs.run ~device ~u ~b ~tile:3 ());
+       Alcotest.fail "tile must divide dimension"
+     with Invalid_argument _ -> ())
+
+  let qr_properties name a tile =
+    let res = Qr.run ~device ~a ~tile () in
+    let q = res.Qr.q and r = res.Qr.r in
+    below (name ^ ": orthogonality") (Hqr.orthogonality_defect q) (tol 1e6);
+    below (name ^ ": A = QR") (Hqr.factorization_residual a q r) (tol 1e6);
+    let ok = ref true in
+    for j = 0 to M.cols r - 1 do
+      for i = j + 1 to M.rows r - 1 do
+        if not (K.is_zero (M.get r i j)) then ok := false
+      done
+    done;
+    check (name ^ ": R upper") true !ok
+
+  let test_qr_square () =
+    let rng = Dompool.Prng.create 104 in
+    List.iter
+      (fun (n, tile) ->
+        let a = Rand.matrix rng n n in
+        qr_properties (Printf.sprintf "square %d/%d" n tile) a tile)
+      [ (8, 4); (16, 4); (16, 8); (24, 8); (32, 16) ]
+
+  let test_qr_rectangular () =
+    let rng = Dompool.Prng.create 105 in
+    List.iter
+      (fun (m, n, tile) ->
+        let a = Rand.matrix rng m n in
+        qr_properties (Printf.sprintf "rect %dx%d/%d" m n tile) a tile)
+      [ (24, 16, 8); (40, 16, 8); (20, 8, 4) ]
+
+  let test_qr_single_panel () =
+    let rng = Dompool.Prng.create 106 in
+    let a = Rand.matrix rng 12 4 in
+    qr_properties "single panel" a 4
+
+  let test_qr_matches_host_r () =
+    (* R is unique up to the unit phases of its rows; compare the moduli. *)
+    let rng = Dompool.Prng.create 107 in
+    let n = 16 in
+    let a = Rand.matrix rng n n in
+    let res = Qr.run ~device ~a ~tile:4 () in
+    let _, r_host = Hqr.factor a in
+    let d = ref K.R.zero in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        let e =
+          K.R.abs
+            (K.R.sub (K.abs (M.get res.Qr.r i j)) (K.abs (M.get r_host i j)))
+        in
+        if K.R.compare e !d > 0 then d := e
+      done
+    done;
+    below "|R| matches host" !d (K.R.mul (M.max_abs a) (tol 1e8))
+
+  let test_least_squares () =
+    let rng = Dompool.Prng.create 108 in
+    (* Square system with known solution. *)
+    let n = 16 in
+    let a = Rand.matrix rng n n in
+    let b, x_true = Rand.rhs_for rng a in
+    let res = Ls.solve ~device ~a ~b ~tile:4 () in
+    below "square solve"
+      (V.norm (V.sub res.Ls.x x_true))
+      (K.R.mul (V.norm x_true) (tol 1e10));
+    (* Overdetermined inconsistent system: normal equations hold. *)
+    let m = 24 and n = 8 in
+    let a = Rand.matrix rng m n in
+    let b = Rand.vector rng m in
+    let res = Ls.solve ~device ~a ~b ~tile:4 () in
+    let g = M.matvec (M.adjoint a) (V.sub b (M.matvec a res.Ls.x)) in
+    below "normal equations" (V.norm g) (K.R.mul (V.norm b) (tol 1e10));
+    (* And it agrees with the host least squares. *)
+    let x_host = Hqr.least_squares a b in
+    below "matches host LS"
+      (V.norm (V.sub res.Ls.x x_host))
+      (K.R.mul (V.norm x_host) (tol 1e10))
+
+  let test_thin_solver () =
+    let rng = Dompool.Prng.create 112 in
+    (* Square and overdetermined systems: the economy path must agree
+       with the full-Q solver to working precision. *)
+    List.iter
+      (fun (m, n) ->
+        let a = Rand.matrix rng m n in
+        let b = Rand.vector rng m in
+        let full = Ls.solve ~device ~a ~b ~tile:4 () in
+        let thin = Ls.solve_thin ~device ~a ~b ~tile:4 () in
+        below
+          (Printf.sprintf "thin matches full (%dx%d)" m n)
+          (V.norm (V.sub thin.Ls.x full.Ls.x))
+          (K.R.mul (K.R.add_float (V.norm full.Ls.x) 1.0) (tol 1e10)))
+      [ (16, 16); (24, 12) ];
+    (* and it saves the dominant Q update: strictly cheaper kernels *)
+    let full = Ls.plan ~device ~rows:1024 ~cols:1024 ~tile:128 () in
+    let thin = Ls.plan_thin ~device ~rows:1024 ~cols:1024 ~tile:128 () in
+    check "thin is cheaper" true
+      (thin.Ls.qr_kernel_ms < 0.8 *. full.Ls.qr_kernel_ms)
+
+  let test_bitwise_determinism () =
+    (* The simulated kernels parallelize over blocks writing disjoint
+       outputs, so the numerical results must be bit-identical no matter
+       how many domains execute them. *)
+    let rng = Dompool.Prng.create 111 in
+    let a = Rand.matrix rng 24 16 in
+    let u = Rand.upper rng 24 in
+    let b = Rand.vector rng 24 in
+    let with_pool workers f =
+      let pool = Dompool.Domain_pool.create workers in
+      let sim =
+        Gpusim.Sim.create ~pool ~device ~prec:K.prec ()
+      in
+      let r = f sim in
+      Dompool.Domain_pool.shutdown pool;
+      r
+    in
+    let q1, r1 = with_pool 1 (fun sim -> Qr.factor sim a ~tile:8) in
+    let q4, r4 = with_pool 4 (fun sim -> Qr.factor sim a ~tile:8) in
+    check "Q bitwise equal" true (M.equal q1 q4);
+    check "R bitwise equal" true (M.equal r1 r4);
+    let x1 = with_pool 1 (fun sim -> Bs.solve sim u b ~tile:8) in
+    let x4 = with_pool 4 (fun sim -> Bs.solve sim u b ~tile:8) in
+    check "x bitwise equal" true (V.equal x1 x4)
+
+  let test_timing_independent_of_execution () =
+    (* Costed time must be identical with and without numeric execution:
+       that is what lets the benches time dimensions too big to execute. *)
+    let rng = Dompool.Prng.create 109 in
+    let a = Rand.matrix rng 16 16 in
+    let on = Qr.run ~execute:true ~device ~a ~tile:4 () in
+    let off = Qr.run ~execute:false ~device ~a ~tile:4 () in
+    Alcotest.(check (float 1e-9)) "kernel ms" on.Qr.kernel_ms off.Qr.kernel_ms;
+    Alcotest.(check (float 1e-9)) "wall ms" on.Qr.wall_ms off.Qr.wall_ms;
+    Alcotest.(check int) "launches" on.Qr.launches off.Qr.launches;
+    let u = Rand.upper rng 16 in
+    let b = Rand.vector rng 16 in
+    let on = Bs.run ~execute:true ~device ~u ~b ~tile:4 () in
+    let off = Bs.run ~execute:false ~device ~u ~b ~tile:4 () in
+    Alcotest.(check (float 1e-9)) "bs kernel ms" on.Bs.kernel_ms
+      off.Bs.kernel_ms
+
+  let suite name =
+    let t n f = Alcotest.test_case n `Quick f in
+    ( name,
+      [
+        t "back substitution matches host" test_back_sub_matches_host;
+        t "back substitution launch count" test_back_sub_launches;
+        t "back substitution single tile" test_back_sub_single_tile;
+        t "naive back substitution baseline" test_naive_back_sub;
+        t "back substitution bad args" test_back_sub_bad_args;
+        t "qr square" test_qr_square;
+        t "qr rectangular" test_qr_rectangular;
+        t "qr single panel" test_qr_single_panel;
+        t "qr matches host R" test_qr_matches_host_r;
+        t "least squares" test_least_squares;
+        t "thin (economy) solver" test_thin_solver;
+        t "bitwise determinism across pools" test_bitwise_determinism;
+        t "timing independent of execution" test_timing_independent_of_execution;
+      ] )
+end
+
+module Td = Generic (Scalar.D)
+module Tdd = Generic (Scalar.Dd)
+module Tqd = Generic (Scalar.Qd)
+module Tod = Generic (Scalar.Od)
+module Tzdd = Generic (Scalar.Zdd)
+module Tzqd = Generic (Scalar.Zqd)
+
+(* ------------------------------------------------------------------ *)
+(* Analytic flop descriptors vs dynamically counted operations         *)
+(* ------------------------------------------------------------------ *)
+
+module Counted_qd = Multidouble.Counted.Make (Multidouble.Quad_double)
+module Kc = Scalar.Real (Counted_qd)
+module Bsc = Tiled_back_sub.Make (Kc)
+module Qrc = Blocked_qr.Make (Kc)
+module Randc = Randmat.Make (Kc)
+module Mc = Mat.Make (Kc)
+
+let count_with f =
+  (* Single-worker pool so the shared counters see every operation. *)
+  let pool = Dompool.Domain_pool.create 1 in
+  let sim =
+    Gpusim.Sim.create ~pool ~device ~prec:Multidouble.Precision.QD ()
+  in
+  Counted_qd.reset ();
+  f sim;
+  let dyn = Counted_qd.snapshot () in
+  let analytic = Gpusim.Profile.total_ops sim.Gpusim.Sim.profile in
+  Dompool.Domain_pool.shutdown pool;
+  (Gpusim.Counter.of_tally dyn, analytic)
+
+let ops_close msg (dyn : Gpusim.Counter.ops) (ana : Gpusim.Counter.ops) =
+  let close a b =
+    Float.abs (a -. b) <= 1e-9 +. (0.001 *. Float.max a b)
+  in
+  if
+    not
+      (close dyn.Gpusim.Counter.adds ana.Gpusim.Counter.adds
+      && close dyn.Gpusim.Counter.muls ana.Gpusim.Counter.muls
+      && close dyn.Gpusim.Counter.divs ana.Gpusim.Counter.divs
+      && close dyn.Gpusim.Counter.sqrts ana.Gpusim.Counter.sqrts)
+  then
+    Alcotest.failf "%s: dynamic %a vs analytic %a" msg Gpusim.Counter.pp dyn
+      Gpusim.Counter.pp ana
+
+let test_back_sub_flops () =
+  let rng = Dompool.Prng.create 200 in
+  let dim = 24 and tile = 4 in
+  let u = Randc.upper rng dim in
+  let b = Randc.vector rng dim in
+  Counted_qd.reset ();
+  let dyn, ana = count_with (fun sim -> ignore (Bsc.solve sim u b ~tile)) in
+  ops_close "back substitution" dyn ana
+
+let test_qr_flops () =
+  let rng = Dompool.Prng.create 201 in
+  let a = Randc.matrix rng 16 12 in
+  let dyn, ana = count_with (fun sim -> ignore (Qrc.factor sim a ~tile:4)) in
+  ops_close "blocked qr" dyn ana
+
+let () =
+  Alcotest.run "lsq_core"
+    [
+      Td.suite "double";
+      Tdd.suite "double double";
+      Tqd.suite "quad double";
+      Tod.suite "octo double";
+      Tzdd.suite "complex double double";
+      Tzqd.suite "complex quad double";
+      ( "flop accounting",
+        [
+          Alcotest.test_case "back substitution" `Quick test_back_sub_flops;
+          Alcotest.test_case "blocked qr" `Quick test_qr_flops;
+        ] );
+    ]

@@ -1,0 +1,323 @@
+(* Tests for the elementary functions (Md_funcs) at every precision:
+   constants against 50-digit literals, functional equations, inverse
+   pairs, and special values. *)
+
+open Multidouble
+
+let check = Alcotest.(check bool)
+
+module F (S : Md_sig.S) = struct
+  module Fn = Md_funcs.Make (S)
+
+  (* Tolerance: a couple of digits above the unit roundoff, capped so the
+     double precision instance is still meaningfully tested. *)
+  let tol = Float.min 1e-13 (1e4 *. S.eps)
+
+  let approx ?(scale = 1.0) msg a b =
+    let d = S.abs (S.sub a b) in
+    let m =
+      S.add (S.max (S.abs a) (S.abs b)) S.one
+    in
+    let bound = S.mul_float m (tol *. scale) in
+    if S.compare d bound > 0 then
+      Alcotest.failf "%s: %s vs %s" msg (S.to_string a) (S.to_string b)
+
+  let lit = S.of_string
+
+  (* The reference literals carry 50 digits, so beyond quad double they —
+     not the computed constants — limit the comparison. *)
+  let approx_lit msg a b =
+    let d = S.abs (S.sub a b) in
+    let bound = S.of_float (Float.max tol 1e-48) in
+    if S.compare d bound > 0 then
+      Alcotest.failf "%s: %s vs %s" msg (S.to_string a) (S.to_string b)
+
+  let test_constants () =
+    approx_lit "pi" Fn.pi
+      (lit "3.14159265358979323846264338327950288419716939937510");
+    approx_lit "e" Fn.e
+      (lit "2.71828182845904523536028747135266249775724709369995");
+    approx_lit "ln2" Fn.ln2
+      (lit "0.69314718055994530941723212145817656807550013436026");
+    approx_lit "ln10" Fn.ln10
+      (lit "2.30258509299404568401799145468436420760110148862877");
+    approx "two_pi" Fn.two_pi (S.mul_pwr2 Fn.pi 2.0);
+    approx "half_pi" Fn.half_pi (S.mul_pwr2 Fn.pi 0.5);
+    approx "quarter_pi" Fn.quarter_pi (S.mul_pwr2 Fn.pi 0.25)
+
+  let test_exp () =
+    approx "exp 0" (Fn.exp S.zero) S.one;
+    approx "exp 1" (Fn.exp S.one) Fn.e;
+    approx "exp ln2" (Fn.exp Fn.ln2) S.two;
+    approx "exp -1 " (S.mul (Fn.exp S.one) (Fn.exp (S.neg S.one))) S.one;
+    let rng = Dompool.Prng.create 21 in
+    for _ = 1 to 50 do
+      let x = S.of_float (Dompool.Prng.sym_float rng *. 5.0) in
+      let y = S.of_float (Dompool.Prng.sym_float rng *. 5.0) in
+      approx ~scale:100.0 "exp (x+y)"
+        (Fn.exp (S.add x y))
+        (S.mul (Fn.exp x) (Fn.exp y))
+    done;
+    check "exp big" false (S.is_finite (Fn.exp (S.of_float 1e4)));
+    check "exp -big" true (S.is_zero (Fn.exp (S.of_float (-1e4))))
+
+  let test_log () =
+    approx "log 1" (Fn.log S.one) S.zero;
+    approx "log e" (Fn.log Fn.e) S.one;
+    approx "log10 1000" (Fn.log10 (S.of_int 1000)) (S.of_int 3);
+    approx "log2 32" (Fn.log2 (S.of_int 32)) (S.of_int 5);
+    let rng = Dompool.Prng.create 22 in
+    for _ = 1 to 50 do
+      let x = S.of_float (Dompool.Prng.sym_float rng *. 8.0) in
+      approx ~scale:100.0 "log (exp x)" (Fn.log (Fn.exp x)) x
+    done;
+    check "log 0" false (S.is_finite (Fn.log S.zero));
+    check "log -1 nan" true
+      (Float.is_nan (S.to_float (Fn.log (S.neg S.one))))
+
+  let test_trig () =
+    approx "sin 0" (Fn.sin S.zero) S.zero;
+    approx "cos 0" (Fn.cos S.zero) S.one;
+    approx "sin pi/6"
+      (Fn.sin (S.div Fn.pi (S.of_int 6)))
+      (S.of_float 0.5);
+    approx "cos pi/3"
+      (Fn.cos (S.div Fn.pi (S.of_int 3)))
+      (S.of_float 0.5);
+    approx "sin pi/2" (Fn.sin Fn.half_pi) S.one;
+    approx "cos pi" (Fn.cos Fn.pi) (S.neg S.one);
+    approx "tan pi/4" (Fn.tan Fn.quarter_pi) S.one;
+    (* sin pi = 0 to working precision of the pi constant *)
+    let spi = S.abs (Fn.sin Fn.pi) in
+    check "sin pi tiny" true
+      (S.compare spi (S.of_float (100.0 *. S.eps)) <= 0);
+    let rng = Dompool.Prng.create 23 in
+    for _ = 1 to 60 do
+      let x = S.of_float (Dompool.Prng.sym_float rng *. 10.0) in
+      let s, c = Fn.sin_cos x in
+      approx ~scale:100.0 "sin^2+cos^2" (S.add (S.mul s s) (S.mul c c)) S.one;
+      approx ~scale:100.0 "sin odd" (Fn.sin (S.neg x)) (S.neg s);
+      approx ~scale:100.0 "cos even" (Fn.cos (S.neg x)) c;
+      approx ~scale:1000.0 "periodicity" (Fn.sin (S.add x Fn.two_pi)) s;
+      (* angle addition with a fixed shift *)
+      let s2, c2 = Fn.sin_cos (S.add x S.one) in
+      let s1, c1 = Fn.sin_cos S.one in
+      approx ~scale:1000.0 "sin (x+1)" s2
+        (S.add (S.mul s c1) (S.mul c s1));
+      approx ~scale:1000.0 "cos (x+1)" c2
+        (S.sub (S.mul c c1) (S.mul s s1))
+    done
+
+  let test_inverse_trig () =
+    approx "atan 1" (Fn.atan S.one) Fn.quarter_pi;
+    approx "atan 0" (Fn.atan S.zero) S.zero;
+    approx "asin 1" (Fn.asin S.one) Fn.half_pi;
+    approx "acos -1" (Fn.acos (S.neg S.one)) Fn.pi;
+    approx "acos 0" (Fn.acos S.zero) Fn.half_pi;
+    let rng = Dompool.Prng.create 24 in
+    for _ = 1 to 50 do
+      let x = S.of_float (Dompool.Prng.sym_float rng *. 1.4) in
+      approx ~scale:100.0 "atan(tan x)" (Fn.atan (Fn.tan x)) x;
+      let y = S.of_float (Dompool.Prng.sym_float rng *. 0.99) in
+      approx ~scale:100.0 "sin(asin y)" (Fn.sin (Fn.asin y)) y;
+      approx ~scale:100.0 "cos(acos y)" (Fn.cos (Fn.acos y)) y
+    done;
+    (* atan2 quadrants *)
+    approx "atan2 NE" (Fn.atan2 S.one S.one) Fn.quarter_pi;
+    approx "atan2 NW"
+      (Fn.atan2 S.one (S.neg S.one))
+      (S.mul_float Fn.quarter_pi 3.0);
+    approx "atan2 SW"
+      (Fn.atan2 (S.neg S.one) (S.neg S.one))
+      (S.mul_float Fn.quarter_pi (-3.0));
+    approx "atan2 SE" (Fn.atan2 (S.neg S.one) S.one) (S.neg Fn.quarter_pi);
+    approx "atan2 +y" (Fn.atan2 S.one S.zero) Fn.half_pi;
+    approx "atan2 -x" (Fn.atan2 S.zero (S.neg S.one)) Fn.pi
+
+  let test_hyperbolic () =
+    approx "sinh 0" (Fn.sinh S.zero) S.zero;
+    approx "cosh 0" (Fn.cosh S.zero) S.one;
+    approx "tanh 0" (Fn.tanh S.zero) S.zero;
+    let rng = Dompool.Prng.create 25 in
+    for _ = 1 to 50 do
+      let x = S.of_float (Dompool.Prng.sym_float rng *. 4.0) in
+      let sh = Fn.sinh x and ch = Fn.cosh x in
+      approx ~scale:100.0 "cosh^2 - sinh^2"
+        (S.sub (S.mul ch ch) (S.mul sh sh))
+        S.one;
+      approx ~scale:100.0 "tanh" (Fn.tanh x) (S.div sh ch);
+      approx ~scale:100.0 "asinh(sinh x)" (Fn.asinh sh) x;
+      approx ~scale:1000.0 "atanh(tanh x)" (Fn.atanh (Fn.tanh x)) x;
+      let y = S.abs x in
+      approx ~scale:1000.0 "acosh(cosh |x|)" (Fn.acosh (Fn.cosh y)) y
+    done;
+    (* small-argument sinh uses the series *)
+    let tiny = S.of_float 1e-3 in
+    approx ~scale:10.0 "sinh small"
+      (Fn.sinh tiny)
+      (S.mul_pwr2 (S.sub (Fn.exp tiny) (Fn.exp (S.neg tiny))) 0.5)
+
+  let test_powers () =
+    let x = S.of_string "1.7" in
+    approx "npow 0" (Fn.npow x 0) S.one;
+    approx "npow 1" (Fn.npow x 1) x;
+    approx "npow 10"
+      (Fn.npow x 10)
+      (List.fold_left (fun acc _ -> S.mul acc x)
+         S.one
+         [ (); (); (); (); (); (); (); (); (); () ]);
+    approx ~scale:10.0 "npow -3"
+      (S.mul (Fn.npow x (-3)) (Fn.npow x 3))
+      S.one;
+    approx ~scale:100.0 "nroot 5" (Fn.nroot (Fn.npow x 5) 5) x;
+    approx "nroot 2 = sqrt" (Fn.nroot (S.of_int 2) 2) (S.sqrt (S.of_int 2));
+    approx ~scale:100.0 "nroot 3 of -8"
+      (Fn.nroot (S.of_int (-8)) 3)
+      (S.of_int (-2));
+    approx ~scale:100.0 "pow integer" (Fn.pow x (S.of_int 4)) (Fn.npow x 4);
+    (* pow(x, 2.5)^2 = x^5 *)
+    let p = Fn.pow x (S.of_string "2.5") in
+    approx ~scale:1000.0 "pow fractional" (S.mul p p) (Fn.npow x 5);
+    check "nroot rejects 0" true
+      (try
+         ignore (Fn.nroot x 0);
+         false
+       with Invalid_argument _ -> true)
+
+  let suite name =
+    let t n f = Alcotest.test_case n `Quick f in
+    ( name,
+      [
+        t "constants" test_constants;
+        t "exp" test_exp;
+        t "log" test_log;
+        t "trigonometric" test_trig;
+        t "inverse trigonometric" test_inverse_trig;
+        t "hyperbolic" test_hyperbolic;
+        t "powers and roots" test_powers;
+      ] )
+end
+
+module Fd = F (Float_double)
+module Fdd = F (Double_double)
+module Fqd = F (Quad_double)
+module Fod = F (Octo_double)
+
+(* ------------------------------------------------------------------ *)
+(* Complex elementary functions                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Fc (S : Md_sig.S) = struct
+  module C = Md_complex.Make (S)
+  module Cf = Md_complex_funcs.Make (S)
+
+  let tol = Float.min 1e-12 (1e5 *. S.eps)
+
+  let approx ?(scale = 1.0) msg a b =
+    let d = S.to_float (C.abs (C.sub a b)) in
+    let m = 1.0 +. S.to_float (C.abs a) +. S.to_float (C.abs b) in
+    if d > tol *. scale *. m then
+      Alcotest.failf "%s: %s vs %s" msg (C.to_string a) (C.to_string b)
+
+  let random rng =
+    C.make
+      (S.of_float (Dompool.Prng.sym_float rng *. 2.0))
+      (S.of_float (Dompool.Prng.sym_float rng *. 2.0))
+
+  let test_exp_log () =
+    approx "exp 0" (Cf.exp C.zero) C.one;
+    approx "log 1" (Cf.log C.one) C.zero;
+    (* Euler: exp(i pi) = -1 *)
+    let module F = Md_funcs.Make (S) in
+    approx "euler" (Cf.exp (C.make S.zero F.pi)) (C.neg C.one);
+    let rng = Dompool.Prng.create 31 in
+    for _ = 1 to 40 do
+      let z = random rng and w = random rng in
+      approx ~scale:100.0 "exp additive" (Cf.exp (C.add z w))
+        (C.mul (Cf.exp z) (Cf.exp w));
+      approx ~scale:100.0 "exp (log z)" (Cf.exp (Cf.log z)) z;
+      (* principal branch: |im (log z)| <= pi *)
+      let l = Cf.log z in
+      Alcotest.(check bool)
+        "principal" true
+        (S.compare (S.abs (C.im l)) (S.add_float F.pi 1e-10) <= 0)
+    done
+
+  let test_trig () =
+    let rng = Dompool.Prng.create 32 in
+    for _ = 1 to 40 do
+      let z = random rng in
+      let s = Cf.sin z and c = Cf.cos z in
+      approx ~scale:100.0 "sin^2 + cos^2"
+        (C.add (C.mul s s) (C.mul c c))
+        C.one;
+      (* sin(iz) = i sinh z *)
+      approx ~scale:100.0 "sin(iz)" (Cf.sin (Cf.i_times z))
+        (Cf.i_times (Cf.sinh z));
+      (* cosh^2 - sinh^2 = 1 *)
+      let sh = Cf.sinh z and ch = Cf.cosh z in
+      approx ~scale:100.0 "cosh^2-sinh^2"
+        (C.sub (C.mul ch ch) (C.mul sh sh))
+        C.one;
+      approx ~scale:100.0 "tan" (Cf.tan z) (C.div s c)
+    done
+
+  let test_powers () =
+    let rng = Dompool.Prng.create 33 in
+    for _ = 1 to 30 do
+      let z = random rng in
+      approx ~scale:100.0 "npow 5"
+        (Cf.npow z 5)
+        (C.mul z (C.mul z (C.mul z (C.mul z z))));
+      if S.to_float (C.abs z) > 0.1 then
+        approx ~scale:1000.0 "pow vs npow" (Cf.pow z (C.of_float 3.0))
+          (Cf.npow z 3)
+    done
+
+  let test_roots () =
+    List.iter
+      (fun n ->
+        let roots = Cf.roots_of_unity n in
+        Alcotest.(check int) "count" n (Array.length roots);
+        (* each is an n-th root of one *)
+        Array.iter
+          (fun r -> approx ~scale:10.0 "r^n = 1" (Cf.npow r n) C.one)
+          roots;
+        (* they sum to zero for n > 1 *)
+        if n > 1 then begin
+          let s = Array.fold_left C.add C.zero roots in
+          approx ~scale:(float_of_int n *. 10.0) "sum zero" s C.zero
+        end)
+      [ 1; 2; 3; 5; 8 ];
+    let rng = Dompool.Prng.create 34 in
+    for _ = 1 to 10 do
+      let z = random rng in
+      Array.iter
+        (fun r -> approx ~scale:1000.0 "nroot^n" (Cf.npow r 4) z)
+        (Cf.nroots z 4)
+    done
+
+  let suite name =
+    let t n f = Alcotest.test_case n `Quick f in
+    ( name ^ " complex",
+      [
+        t "exp/log" test_exp_log;
+        t "trigonometric/hyperbolic" test_trig;
+        t "powers" test_powers;
+        t "roots of unity" test_roots;
+      ] )
+end
+
+module Fcdd = Fc (Double_double)
+module Fcqd = Fc (Quad_double)
+
+let () =
+  Alcotest.run "md_funcs"
+    [
+      Fd.suite "double";
+      Fdd.suite "double double";
+      Fqd.suite "quad double";
+      Fod.suite "octo double";
+      Fcdd.suite "double double";
+      Fcqd.suite "quad double";
+    ]

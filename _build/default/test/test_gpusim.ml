@@ -1,0 +1,280 @@
+(* Tests for the GPU simulator substrate: device catalog, occupancy and
+   wave quantization, the roofline kernel-time model, the transfer and
+   host-pressure models, operation counters and per-stage profiles, and
+   the execution semantics of the simulator itself. *)
+
+open Gpusim
+module P = Multidouble.Precision
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ---- devices ---- *)
+
+let test_catalog () =
+  checki "five devices" 5 (List.length Device.catalog);
+  let v = Device.by_name "v100" in
+  checki "v100 sms" 80 v.Device.sm_count;
+  checki "v100 cores" 5120 (Device.cores v);
+  let r = Device.by_name "RTX 2080" in
+  checki "rtx sms" 46 r.Device.sm_count;
+  (try
+     ignore (Device.by_name "a100");
+     Alcotest.fail "unknown device accepted"
+   with Invalid_argument _ -> ());
+  (* Table 2 data *)
+  List.iter
+    (fun (name, mp, cores_mp) ->
+      let d = Device.by_name name in
+      checki (name ^ " mp") mp d.Device.sm_count;
+      checki (name ^ " cores/mp") cores_mp d.Device.cores_per_sm)
+    [
+      ("c2050", 14, 32); ("k20c", 13, 192); ("p100", 56, 64);
+      ("v100", 80, 64); ("rtx2080", 46, 64);
+    ]
+
+let test_peaks () =
+  (* The theoretical double precision peaks quoted in the paper: 4.7 and
+     7.9 teraflops, ratio 1.68. *)
+  let p = Device.p100 and v = Device.v100 in
+  check "p100 peak" true (Float.abs (p.Device.dp_peak_gflops -. 4700.0) < 1.0);
+  check "v100 peak" true (Float.abs (v.Device.dp_peak_gflops -. 7900.0) < 1.0);
+  check "ratio 1.68" true
+    (Float.abs ((v.Device.dp_peak_gflops /. p.Device.dp_peak_gflops) -. 1.68)
+    < 0.01)
+
+(* ---- occupancy ---- *)
+
+let test_occupancy_bounds () =
+  List.iter
+    (fun d ->
+      List.iter
+        (fun blocks ->
+          List.iter
+            (fun threads ->
+              let o = Cost.occupancy d ~blocks ~threads in
+              check "in (0, 1]" true (o > 0.0 && o <= 1.0))
+            [ 1; 32; 33; 128; 256 ])
+        [ 1; 2; 80; 81; 4096 ])
+    Device.catalog
+
+let test_occupancy_monotone_blocks () =
+  (* With a full wave, more blocks never hurt. *)
+  let d = Device.v100 in
+  let o80 = Cost.occupancy d ~blocks:80 ~threads:256 in
+  let o160 = Cost.occupancy d ~blocks:160 ~threads:256 in
+  let o640 = Cost.occupancy d ~blocks:640 ~threads:256 in
+  check "80 full" true (o80 >= 0.99);
+  check "160 full" true (o160 >= 0.99);
+  check "640 full" true (o640 >= 0.99)
+
+let test_wave_quantization () =
+  (* 80 blocks fill the V100 exactly but leave the P100's second wave
+     mostly idle — the paper's explanation of the Table 8 gap. *)
+  let v = Cost.occupancy Device.v100 ~blocks:80 ~threads:256 in
+  let p = Cost.occupancy Device.p100 ~blocks:80 ~threads:256 in
+  check "v100 full" true (v >= 0.99);
+  check "p100 second wave" true (p < 0.75 && p > 0.6)
+
+let test_warp_rounding () =
+  (* With latency hiding saturated (many blocks), a 33-thread block wastes
+     almost half of each second warp. *)
+  let d = Device.v100 in
+  let o32 = Cost.occupancy d ~blocks:4096 ~threads:32 in
+  let o33 = Cost.occupancy d ~blocks:4096 ~threads:33 in
+  check "33 threads waste a warp" true (o33 < 0.6 *. o32)
+
+let test_latency_hiding () =
+  (* One warp per SM cannot hide latency; many can. *)
+  let d = Device.v100 in
+  let one = Cost.occupancy d ~blocks:80 ~threads:32 in
+  let many = Cost.occupancy d ~blocks:80 ~threads:256 in
+  check "hiding grows" true (many > 2.0 *. one)
+
+(* ---- kernel time ---- *)
+
+let ops n = Counter.make ~adds:n ~muls:n ()
+
+let big_launch ?(strided = false) ?(working_set = 0.0) ?(thread_bytes = 0.0)
+    n =
+  Cost.launch ~blocks:4096 ~threads:256 ~strided ~working_set ~thread_bytes
+    (ops n)
+
+let test_kernel_time_monotone () =
+  let d = Device.v100 in
+  let t1 = Cost.kernel_ms d P.QD (big_launch 1e6) in
+  let t2 = Cost.kernel_ms d P.QD (big_launch 1e7) in
+  let t3 = Cost.kernel_ms d P.QD (big_launch 1e8) in
+  check "monotone" true (t1 < t2 && t2 < t3)
+
+let test_kernel_time_precision () =
+  (* Same operation count costs more at higher precision. *)
+  let d = Device.v100 in
+  let l = big_launch 1e7 in
+  let td = Cost.kernel_ms d P.D l in
+  let tdd = Cost.kernel_ms d P.DD l in
+  let tqd = Cost.kernel_ms d P.QD l in
+  let tod = Cost.kernel_ms d P.OD l in
+  check "ordered" true (td < tdd && tdd < tqd && tqd < tod);
+  (* The compute-bound ratios approach the Table 1 work ratios. *)
+  let r = tqd /. tdd in
+  check "qd/dd near work ratio" true (r > 5.0 && r < 15.0)
+
+let test_launch_overhead () =
+  let d = Device.v100 in
+  let empty = Cost.launch ~blocks:1 ~threads:32 (ops 0.0) in
+  let t = Cost.kernel_ms d P.QD empty in
+  check "at least the launch overhead" true
+    (t >= d.Device.launch_us /. 1e3);
+  let five = Cost.launch ~count:5 ~blocks:1 ~threads:32 (ops 0.0) in
+  let t5 = Cost.kernel_ms d P.QD five in
+  check "count multiplies overhead" true
+    (Float.abs (t5 -. (5.0 *. t)) < 1e-9)
+
+let test_cache_spill () =
+  let d = Device.v100 in
+  let bytes = 1e9 in
+  let fits =
+    Cost.kernel_ms d P.DD
+      (big_launch ~strided:true ~working_set:1e6 ~thread_bytes:bytes 1.0)
+  in
+  let spilled =
+    Cost.kernel_ms d P.DD
+      (big_launch ~strided:true ~working_set:1e9 ~thread_bytes:bytes 1.0)
+  in
+  let streamed =
+    Cost.kernel_ms d P.DD
+      (big_launch ~strided:false ~working_set:1e9 ~thread_bytes:bytes 1.0)
+  in
+  check "spill is slower" true (spilled > 5.0 *. fits);
+  check "streaming spill is cheaper than strided" true (streamed < spilled)
+
+let test_transfer_and_pressure () =
+  let d = Device.v100 in
+  let t1 = Cost.transfer_ms d 1e9 in
+  let t2 = Cost.transfer_ms d 2e9 in
+  check "transfer linear" true (Float.abs ((2.0 *. t1) -. t2) < 1e-9);
+  check "no pressure small" true (Cost.host_pressure_ms d 1e9 = 0.0);
+  (* 13.4 GB of octo double data on the 32 GB host: pressure. *)
+  check "pressure big" true (Cost.host_pressure_ms d 13.4e9 > 1000.0);
+  (* The P100 host has 256 GB: no pressure at the same size. *)
+  check "p100 host is fine" true
+    (Cost.host_pressure_ms Device.p100 13.4e9 = 0.0)
+
+let test_ridge () =
+  List.iter
+    (fun d ->
+      let r = Cost.ridge d in
+      check "ridge positive" true (r > 0.0 && r < 50.0))
+    Device.catalog;
+  (* dd sits below the V100 ridge, od above: the CGMA argument. *)
+  let intensity p = float_of_int (P.add_flops p + P.mul_flops p) /. float_of_int (2 * P.bytes p) in
+  check "dd memory bound" true (intensity P.DD < Cost.ridge Device.v100);
+  check "od compute bound" true (intensity P.OD > Cost.ridge Device.v100)
+
+(* ---- counters ---- *)
+
+let test_counter_flops () =
+  let o = Counter.make ~adds:2.0 ~muls:3.0 ~divs:1.0 () in
+  let f = Counter.flops P.QD o in
+  check "table-1 flops" true
+    (Float.abs (f -. ((2.0 *. 89.0) +. (3.0 *. 336.0) +. 893.0)) < 1e-9);
+  let sum = Counter.add o o in
+  check "add" true (Counter.total sum = 2.0 *. Counter.total o);
+  let sc = Counter.scale o 10.0 in
+  check "scale" true (Counter.total sc = 10.0 *. Counter.total o)
+
+let test_counter_complexify () =
+  (* A complex multiplication is 4 real multiplications and 2 additions. *)
+  let o = Counter.complexify (Counter.make ~muls:1.0 ()) in
+  check "muls" true (o.Counter.muls = 4.0);
+  check "adds" true (o.Counter.adds = 2.0);
+  let a = Counter.complexify (Counter.make ~adds:1.0 ()) in
+  check "add -> 2 adds" true (a.Counter.adds = 2.0 && a.Counter.muls = 0.0)
+
+(* ---- profile and sim ---- *)
+
+let test_profile () =
+  let p = Profile.create () in
+  Profile.record p ~stage:"a" ~ms:1.0 ~ops:(ops 10.0);
+  Profile.record p ~stage:"b" ~ms:2.0 ~ops:(ops 20.0);
+  Profile.record ~count:3 p ~stage:"a" ~ms:0.5 ~ops:(ops 5.0);
+  Alcotest.(check (list string)) "order" [ "a"; "b" ] (Profile.stages p);
+  check "a ms" true (Float.abs (Profile.stage_ms p "a" -. 1.5) < 1e-12);
+  checki "a launches" 4 (Profile.stage_launches p "a");
+  checki "total launches" 5 (Profile.total_launches p);
+  check "total ms" true (Float.abs (Profile.total_ms p -. 3.5) < 1e-12);
+  check "missing stage" true (Profile.stage_ms p "zzz" = 0.0)
+
+let test_sim_execution () =
+  let sim = Sim.create ~device:Device.v100 ~prec:P.QD () in
+  let hits = Atomic.make 0 in
+  let cost = Cost.launch ~blocks:7 ~threads:4 (ops 100.0) in
+  Sim.launch sim ~stage:"s" ~cost (fun _ -> Atomic.incr hits);
+  checki "all blocks ran" 7 (Atomic.get hits);
+  checki "one launch" 1 (Sim.launches sim);
+  check "kernel time positive" true (Sim.kernel_ms sim > 0.0);
+  (* transfers go to wall clock only *)
+  let k = Sim.kernel_ms sim in
+  Sim.transfer sim 1e8;
+  check "kernel unchanged" true (Sim.kernel_ms sim = k);
+  check "wall grew" true (Sim.wall_ms sim > k);
+  check "gflops sane" true (Sim.kernel_gflops sim >= 0.0)
+
+let test_sim_no_execute () =
+  let sim = Sim.create ~execute:false ~device:Device.v100 ~prec:P.QD () in
+  let hits = ref 0 in
+  let cost = Cost.launch ~blocks:3 ~threads:4 (ops 1.0) in
+  Sim.launch sim ~stage:"s" ~cost (fun _ -> incr hits);
+  checki "body skipped" 0 !hits;
+  checki "still accounted" 1 (Sim.launches sim)
+
+let test_sim_seq () =
+  let sim = Sim.create ~device:Device.v100 ~prec:P.QD () in
+  let order = ref [] in
+  let cost = Cost.launch ~blocks:5 ~threads:1 (ops 1.0) in
+  Sim.launch_seq sim ~stage:"s" ~cost (fun b -> order := b :: !order);
+  Alcotest.(check (list int)) "in order" [ 4; 3; 2; 1; 0 ] !order
+
+let () =
+  Alcotest.run "gpusim"
+    [
+      ( "devices",
+        [
+          Alcotest.test_case "catalog" `Quick test_catalog;
+          Alcotest.test_case "peaks" `Quick test_peaks;
+        ] );
+      ( "occupancy",
+        [
+          Alcotest.test_case "bounds" `Quick test_occupancy_bounds;
+          Alcotest.test_case "monotone in blocks" `Quick
+            test_occupancy_monotone_blocks;
+          Alcotest.test_case "wave quantization" `Quick test_wave_quantization;
+          Alcotest.test_case "warp rounding" `Quick test_warp_rounding;
+          Alcotest.test_case "latency hiding" `Quick test_latency_hiding;
+        ] );
+      ( "kernel time",
+        [
+          Alcotest.test_case "monotone in work" `Quick
+            test_kernel_time_monotone;
+          Alcotest.test_case "precision ordering" `Quick
+            test_kernel_time_precision;
+          Alcotest.test_case "launch overhead" `Quick test_launch_overhead;
+          Alcotest.test_case "cache spill" `Quick test_cache_spill;
+          Alcotest.test_case "transfer and pressure" `Quick
+            test_transfer_and_pressure;
+          Alcotest.test_case "ridge points" `Quick test_ridge;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "flops" `Quick test_counter_flops;
+          Alcotest.test_case "complexify" `Quick test_counter_complexify;
+        ] );
+      ( "profile and sim",
+        [
+          Alcotest.test_case "profile" `Quick test_profile;
+          Alcotest.test_case "sim executes" `Quick test_sim_execution;
+          Alcotest.test_case "sim plan mode" `Quick test_sim_no_execute;
+          Alcotest.test_case "sim sequential" `Quick test_sim_seq;
+        ] );
+    ]

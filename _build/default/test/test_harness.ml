@@ -1,0 +1,122 @@
+(* Tests for the experiment harness (the runners the CLI and the bench
+   share) and for the multicore host kernels. *)
+
+open Mdlinalg
+module P = Multidouble.Precision
+module R = Harness.Runners
+
+let check = Alcotest.(check bool)
+
+let test_qr_runner_all_precisions () =
+  List.iter
+    (fun p ->
+      List.iter
+        (fun complex ->
+          let r = R.qr ~complex p Gpusim.Device.v100 ~n:256 ~tile:64 in
+          check "kernel time positive" true (r.R.kernel_ms > 0.0);
+          check "wall >= kernels" true (r.R.wall_ms >= r.R.kernel_ms);
+          check "stages labeled" true
+            (List.map fst r.R.stage_ms = Lsq_core.Stage.qr_stages);
+          check "kernel ms is stage sum" true
+            (Float.abs
+               (List.fold_left (fun a (_, m) -> a +. m) 0.0 r.R.stage_ms
+               -. r.R.kernel_ms)
+            < 1e-6 *. r.R.kernel_ms);
+          (* complex costs more than real at the same shape *)
+          if complex then begin
+            let real = R.qr ~complex:false p Gpusim.Device.v100 ~n:256 ~tile:64 in
+            check "complex dearer" true (r.R.kernel_ms > real.R.kernel_ms)
+          end)
+        [ false; true ])
+    P.all
+
+let test_bs_runner () =
+  List.iter
+    (fun p ->
+      let r = R.bs p Gpusim.Device.v100 ~dim:2560 ~tile:32 in
+      check "stages labeled" true
+        (List.map fst r.R.stage_ms = Lsq_core.Stage.bs_stages);
+      Alcotest.(check int) "1 + N(N+1)/2" (1 + (80 * 81 / 2)) r.R.launches)
+    P.all
+
+let test_solve_runner () =
+  let r = R.solve P.QD Gpusim.Device.v100 ~n:1024 ~tile:128 in
+  check "qr dominates bs" true (r.R.qr_kernel_ms > 10.0 *. r.R.bs_kernel_ms);
+  check "total between parts" true
+    (r.R.total_kernel_gflops <= r.R.qr_kernel_gflops +. 1.0)
+
+let test_rates_scale_with_device () =
+  (* Faster device, same work: more gigaflops at full occupancy. *)
+  let v = R.qr P.OD Gpusim.Device.v100 ~n:1024 ~tile:128 in
+  let c = R.qr P.OD Gpusim.Device.c2050 ~n:1024 ~tile:128 in
+  check "v100 beats c2050" true (v.R.kernel_gflops > 4.0 *. c.R.kernel_gflops)
+
+let test_verifiers () =
+  let d = Gpusim.Device.v100 in
+  check "qr ok" true (R.verify_qr P.DD d ~n:32 ~tile:8).R.ok;
+  check "bs ok" true (R.verify_bs P.QD d ~dim:32 ~tile:8).R.ok;
+  check "solve ok" true (R.verify_solve P.DD d ~n:16 ~tile:8).R.ok;
+  check "complex qr ok" true
+    (R.verify_qr ~complex:true P.DD d ~n:16 ~tile:8).R.ok
+
+(* ---- multicore host kernels ---- *)
+
+module Pb (K : Scalar.S) = struct
+  module B = Par_blas.Make (K)
+  module M = Mat.Make (K)
+  module V = Vec.Make (K)
+  module H = Host_qr.Make (K)
+  module Rand = Randmat.Make (K)
+
+  let small r = K.R.compare r (K.R.of_float (1e6 *. K.R.eps)) <= 0
+
+  let run () =
+    let rng = Dompool.Prng.create 777 in
+    let a = Rand.matrix rng 33 21 and b = Rand.matrix rng 21 17 in
+    let v = Rand.vector rng 21 in
+    (* parallel results equal the serial reference *)
+    check "matvec" true
+      (small
+         (K.R.div
+            (V.norm (V.sub (B.matvec a v) (M.matvec a v)))
+            (K.R.add_float (V.norm v) 1.0)));
+    check "matmul" true
+      (small (M.rel_distance (B.matmul a b) (M.matmul a b)));
+    let sq = Rand.matrix rng 28 28 in
+    let q, r = B.qr_factor sq in
+    check "orthogonal" true (small (H.orthogonality_defect q));
+    check "reconstructs" true (small (H.factorization_residual sq q r));
+    (* upper triangular *)
+    let ok = ref true in
+    for i = 0 to 27 do
+      for j = 0 to i - 1 do
+        if not (K.is_zero (M.get r i j)) then ok := false
+      done
+    done;
+    check "R upper" true !ok
+end
+
+module Pb_dd = Pb (Scalar.Dd)
+module Pb_qd = Pb (Scalar.Qd)
+module Pb_zdd = Pb (Scalar.Zdd)
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "runners",
+        [
+          Alcotest.test_case "qr all precisions" `Quick
+            test_qr_runner_all_precisions;
+          Alcotest.test_case "back substitution" `Quick test_bs_runner;
+          Alcotest.test_case "solver" `Quick test_solve_runner;
+          Alcotest.test_case "device scaling" `Quick
+            test_rates_scale_with_device;
+          Alcotest.test_case "verifiers" `Quick test_verifiers;
+        ] );
+      ( "multicore host",
+        [
+          Alcotest.test_case "double double" `Quick Pb_dd.run;
+          Alcotest.test_case "quad double" `Quick Pb_qd.run;
+          Alcotest.test_case "complex double double" `Quick Pb_zdd.run;
+        ] );
+    ]

@@ -1,0 +1,173 @@
+(* Tests for the predictor-corrector path tracker built on the
+   accelerated least squares solver. *)
+
+open Mdlinalg
+open Mdseries
+
+let check = Alcotest.(check bool)
+
+module T (R : Multidouble.Md_sig.S) = struct
+  module K = Scalar.Complex (R)
+  module H = Homotopy.Make (K)
+  module M = H.M
+  module V = H.V
+
+  let two = K.of_float 2.0
+  let four = K.of_float 4.0
+  let gamma = K.of_floats 0.83907152907 0.54402111088 (* exp(0.575 i) *)
+
+  (* The example homotopy: start (x^2-1, y^2-1), target (x^2+y^2-4, xy-1). *)
+  let sys : H.system =
+    let f (x, y) =
+      ( K.sub (K.add (K.mul x x) (K.mul y y)) four,
+        K.sub (K.mul x y) K.one )
+    in
+    {
+      H.dim = 2;
+      h =
+        (fun t v ->
+          let x = v.(0) and y = v.(1) in
+          let c = K.mul gamma (K.sub K.one t) in
+          let g1 = K.sub (K.mul x x) K.one in
+          let g2 = K.sub (K.mul y y) K.one in
+          let f1, f2 = f (x, y) in
+          [| K.add (K.mul c g1) (K.mul t f1); K.add (K.mul c g2) (K.mul t f2) |]);
+      jac =
+        (fun t v ->
+          let x = v.(0) and y = v.(1) in
+          let c = K.mul gamma (K.sub K.one t) in
+          let m = M.create 2 2 in
+          M.set m 0 0 (K.mul (K.add c t) (K.mul two x));
+          M.set m 0 1 (K.mul t (K.mul two y));
+          M.set m 1 0 (K.mul t y);
+          M.set m 1 1 (K.add (K.mul c (K.mul two y)) (K.mul t x));
+          m);
+      ht =
+        Some
+          (fun _ v ->
+            let x = v.(0) and y = v.(1) in
+            let g1 = K.sub (K.mul x x) K.one in
+            let g2 = K.sub (K.mul y y) K.one in
+            let f1, f2 =
+              ( K.sub (K.add (K.mul x x) (K.mul y y)) four,
+                K.sub (K.mul x y) K.one )
+            in
+            [|
+              K.sub f1 (K.mul gamma g1);
+              K.sub f2 (K.mul gamma g2);
+            |]);
+    }
+
+  let target_residual v =
+    let x = v.(0) and y = v.(1) in
+    let f1 = K.sub (K.add (K.mul x x) (K.mul y y)) four in
+    let f2 = K.sub (K.mul x y) K.one in
+    Float.max
+      (R.to_float (K.abs f1))
+      (R.to_float (K.abs f2))
+
+  let tol = Float.max 1e-24 (1e6 *. R.eps)
+
+  let options =
+    { H.default_options with H.tolerance = Float.max (100.0 *. R.eps) 1e-26 }
+
+  let test_tracks_all_paths () =
+    List.iter
+      (fun (sx, sy) ->
+        match
+          H.track ~options sys ~start:[| K.of_float sx; K.of_float sy |]
+        with
+        | H.Tracked (endpoint, stats) ->
+          check "end point solves the target" true
+            (target_residual endpoint < tol);
+          check "finite work" true (stats.H.steps < 500)
+        | H.Stuck { at_t; _ } ->
+          Alcotest.failf "stuck at t = %f from (%f, %f)" at_t sx sy)
+      [ (1.0, 1.0); (-1.0, -1.0); (1.0, -1.0); (-1.0, 1.0) ]
+
+  let test_adaptive_recovers () =
+    (* A deliberately oversized first step forces rejections, yet the
+       halving recovers the path. *)
+    (* three Newton iterations cannot absorb a 0.9 predictor step *)
+    let opts =
+      { options with H.start_step = 0.9; max_step = 0.9;
+        newton_iterations = 3 }
+    in
+    match H.track ~options:opts sys ~start:[| K.one; K.one |] with
+    | H.Tracked (endpoint, stats) ->
+      check "still reaches the end" true (target_residual endpoint < tol);
+      check "rejections happened" true (stats.H.rejections > 0)
+    | H.Stuck _ -> Alcotest.fail "should recover by halving"
+
+  let test_euler_predictor_helps () =
+    let without = { sys with H.ht = None } in
+    match
+      ( H.track ~options sys ~start:[| K.one; K.one |],
+        H.track ~options without ~start:[| K.one; K.one |] )
+    with
+    | H.Tracked (_, with_stats), H.Tracked (_, without_stats) ->
+      (* The tangent predictor should not need more correction work
+         overall (allow a margin: solves include the predictor's). *)
+      check "predictor not pathological" true
+        (with_stats.H.newton_solves
+        <= (2 * without_stats.H.newton_solves) + 20)
+    | _ -> Alcotest.fail "both should track"
+
+  let suite name =
+    [
+      Alcotest.test_case (name ^ ": tracks all four paths") `Quick
+        test_tracks_all_paths;
+      Alcotest.test_case (name ^ ": adaptive step recovery") `Quick
+        test_adaptive_recovers;
+      Alcotest.test_case (name ^ ": euler predictor") `Quick
+        test_euler_predictor_helps;
+    ]
+end
+
+module Tdd = T (Multidouble.Double_double)
+module Tqd = T (Multidouble.Quad_double)
+
+(* A real path that runs into a complex target: the tracker must report
+   Stuck rather than loop or lie. *)
+let test_stuck_on_singular () =
+  let module K = Scalar.Dd in
+  let module H = Homotopy.Make (K) in
+  let module M = H.M in
+  let sys =
+    {
+      H.dim = 1;
+      h =
+        (fun t v ->
+          let x = v.(0) in
+          (* (1-t)(x - 1) + t (x^2 + 1): no real solution at t = 1. *)
+          [|
+            K.add
+              (K.mul (K.sub K.one t) (K.sub x K.one))
+              (K.mul t (K.add (K.mul x x) K.one));
+          |]);
+      jac =
+        (fun t v ->
+          let x = v.(0) in
+          let m = M.create 1 1 in
+          M.set m 0 0
+            (K.add (K.sub K.one t) (K.mul t (K.mul_float x 2.0)));
+          m);
+      ht = None;
+    }
+  in
+  match H.track sys ~start:[| K.one |] with
+  | H.Stuck { at_t; _ } ->
+    check "made progress before sticking" true (at_t > 0.1 && at_t < 1.0)
+  | H.Tracked (endpoint, _) ->
+    Alcotest.failf "tracked impossible path to %s"
+      (K.to_string ~digits:5 endpoint.(0))
+
+let () =
+  Alcotest.run "homotopy"
+    [
+      ("double double", Tdd.suite "dd");
+      ("quad double", Tqd.suite "qd");
+      ( "failure handling",
+        [ Alcotest.test_case "stuck on singular path" `Quick
+            test_stuck_on_singular ] );
+    ]

@@ -1,0 +1,167 @@
+(* Tests for the full-precision matrix persistence. *)
+
+open Mdlinalg
+
+let check = Alcotest.(check bool)
+
+let with_temp f =
+  let path = Filename.temp_file "mdls" ".mat" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+module T (K : Scalar.S) = struct
+  module M = Mat.Make (K)
+  module V = Vec.Make (K)
+  module Io = Mat_io.Make (K)
+  module Rand = Randmat.Make (K)
+
+  let test_roundtrip () =
+    let rng = Dompool.Prng.create 701 in
+    let m = Rand.matrix rng 7 5 in
+    with_temp (fun path ->
+        Io.save_mat path m;
+        let m' = Io.load_mat path in
+        check "bit-exact matrix roundtrip" true (M.equal m m'));
+    let v = Rand.vector rng 9 in
+    with_temp (fun path ->
+        Io.save_vec path v;
+        let v' = Io.load_vec path in
+        check "bit-exact vector roundtrip" true (V.equal v v'))
+
+  let test_full_limbs () =
+    (* values with information in every limb survive *)
+    let rng = Dompool.Prng.create 702 in
+    let full () =
+      K.of_planes
+        (Array.init K.width (fun i ->
+             Dompool.Prng.sym_float rng *. (2.0 ** (-50.0 *. float_of_int i))))
+    in
+    let m = M.init 3 3 (fun _ _ -> full ()) in
+    with_temp (fun path ->
+        Io.save_mat path m;
+        check "deep limbs" true (M.equal m (Io.load_mat path)))
+
+  let test_rejects_garbage () =
+    with_temp (fun path ->
+        let oc = open_out path in
+        output_string oc "not a matrix\n";
+        close_out oc;
+        try
+          ignore (Io.load_mat path);
+          Alcotest.fail "garbage accepted"
+        with Failure _ -> ())
+end
+
+module Tdd = T (Scalar.Dd)
+module Tqd = T (Scalar.Qd)
+module Tzdd = T (Scalar.Zdd)
+
+(* cross-precision and real-to-complex reads *)
+let test_cross_precision () =
+  let module Io2 = Mat_io.Make (Scalar.Dd) in
+  let module Io4 = Mat_io.Make (Scalar.Qd) in
+  let module M2 = Mat.Make (Scalar.Dd) in
+  let module M4 = Mat.Make (Scalar.Qd) in
+  let module R2 = Randmat.Make (Scalar.Dd) in
+  let rng = Dompool.Prng.create 703 in
+  let m2 = R2.matrix rng 4 4 in
+  with_temp (fun path ->
+      Io2.save_mat path m2;
+      (* dd file read as qd: exact zero-padded promotion *)
+      let m4 = Io4.load_mat path in
+      let ok = ref true in
+      for i = 0 to 3 do
+        for j = 0 to 3 do
+          let promoted =
+            Multidouble.Quad_double.of_limbs
+              (Multidouble.Double_double.to_limbs (M2.get m2 i j))
+          in
+          if not (Multidouble.Quad_double.equal promoted (M4.get m4 i j))
+          then ok := false
+        done
+      done;
+      check "dd -> qd promotion" true !ok)
+
+let test_real_into_complex () =
+  let module IoR = Mat_io.Make (Scalar.Dd) in
+  let module IoC = Mat_io.Make (Scalar.Zdd) in
+  let module MR = Mat.Make (Scalar.Dd) in
+  let module MC = Mat.Make (Scalar.Zdd) in
+  let m = MR.init 2 2 (fun i j -> Multidouble.Double_double.of_int ((3 * i) + j)) in
+  with_temp (fun path ->
+      IoR.save_mat path m;
+      let mc = IoC.load_mat path in
+      check "re carries the value" true
+        (Multidouble.Double_double.equal
+           (Scalar.Zdd.re (MC.get mc 1 1))
+           (Multidouble.Double_double.of_int 4));
+      check "im is zero" true
+        (Multidouble.Double_double.is_zero (Scalar.Zdd.im (MC.get mc 1 1))));
+  (* the reverse must be refused *)
+  let mc = MC.init 1 1 (fun _ _ -> Scalar.Zdd.of_floats 1.0 2.0) in
+  with_temp (fun path ->
+      IoC.save_mat path mc;
+      try
+        ignore (IoR.load_mat path);
+        Alcotest.fail "complex into real accepted"
+      with Failure _ -> ())
+
+let test_pipeline () =
+  (* End-to-end: a dd system written to disk, reloaded as qd, solved
+     with refinement at qd accuracy — the mixed-precision workflow the
+     persistence exists for. *)
+  let module IoDD = Mat_io.Make (Scalar.Dd) in
+  let module IoQD = Mat_io.Make (Scalar.Qd) in
+  let module R = Lsq_core.Refine.Make (Multidouble.Double_double) (Multidouble.Quad_double) in
+  let module M2 = Mat.Make (Scalar.Dd) in
+  let module Rand2 = Randmat.Make (Scalar.Dd) in
+  let rng = Dompool.Prng.create 704 in
+  let n = 12 in
+  let a2 = Rand2.matrix rng n n in
+  let a2 =
+    M2.init n n (fun i j ->
+        if i = j then
+          Multidouble.Double_double.add (M2.get a2 i j)
+            (Multidouble.Double_double.of_int 6)
+        else M2.get a2 i j)
+  in
+  let module MQ = Mat.Make (Scalar.Qd) in
+  let module VQ = Vec.Make (Scalar.Qd) in
+  with_temp (fun path ->
+      IoDD.save_mat path a2;
+      (* reload as quad double (exact promotion) and move into the
+         refine module's matrix type element by element *)
+      let a4raw = IoQD.load_mat path in
+      let a4 = R.MH.init n n (fun i j -> MQ.get a4raw i j) in
+      let x_true =
+        R.VH.init n (fun i -> Multidouble.Quad_double.of_int (i + 1))
+      in
+      let b = R.MH.matvec a4 x_true in
+      let res = R.solve ~a:a4 ~b ~tile:4 () in
+      let err =
+        Multidouble.Quad_double.to_float
+          (R.VH.norm (R.VH.sub res.R.x x_true))
+        /. Multidouble.Quad_double.to_float (R.VH.norm x_true)
+      in
+      ignore (VQ.create 0);
+      check "refined to qd accuracy from a dd file" true (err < 1e-55))
+
+let () =
+  Alcotest.run "mat io"
+    [
+      ( "roundtrips",
+        [
+          Alcotest.test_case "dd" `Quick Tdd.test_roundtrip;
+          Alcotest.test_case "qd" `Quick Tqd.test_roundtrip;
+          Alcotest.test_case "complex dd" `Quick Tzdd.test_roundtrip;
+          Alcotest.test_case "full limbs dd" `Quick Tdd.test_full_limbs;
+          Alcotest.test_case "full limbs qd" `Quick Tqd.test_full_limbs;
+        ] );
+      ( "conversions",
+        [
+          Alcotest.test_case "cross precision" `Quick test_cross_precision;
+          Alcotest.test_case "real into complex" `Quick test_real_into_complex;
+          Alcotest.test_case "rejects garbage" `Quick Tdd.test_rejects_garbage;
+          Alcotest.test_case "save / reload / refine pipeline" `Quick
+            test_pipeline;
+        ] );
+    ]

@@ -1,0 +1,288 @@
+(* Tests for the host-side linear algebra substrate: vectors, matrices,
+   triangular solvers, LU, Householder QR and the staggered device
+   representation — at several precisions, real and complex. *)
+
+open Mdlinalg
+
+let check = Alcotest.(check bool)
+
+module Generic (K : Scalar.S) = struct
+  module M = Mat.Make (K)
+  module V = Vec.Make (K)
+  module Tri = Host_tri.Make (K)
+  module Qr = Host_qr.Make (K)
+  module Lu = Lu.Make (K)
+  module Rand = Randmat.Make (K)
+  module Stag = Staggered.Make (K)
+
+  let tol factor = K.R.of_float (factor *. K.R.eps)
+
+  let below msg x bound =
+    if K.R.compare x bound > 0 then
+      Alcotest.failf "%s: %s > %s" msg (K.R.to_string x) (K.R.to_string bound)
+
+  let test_vec_ops () =
+    let rng = Dompool.Prng.create 1 in
+    let n = 37 in
+    let a = Rand.vector rng n and b = Rand.vector rng n in
+    (* (a+b) - b = a exactly here? No: use residual bound. *)
+    let d = V.sub (V.add a b) b in
+    below "vec add/sub" (V.norm (V.sub d a)) (tol 1e3);
+    (* Cauchy-Schwarz: |<a,b>| <= ||a|| ||b|| (1 + eps) *)
+    let lhs = K.abs (V.dot a b) in
+    let rhs =
+      K.R.mul (K.R.mul (V.norm a) (V.norm b)) (K.R.of_float (1.0 +. 1e-10))
+    in
+    check "cauchy-schwarz" true (K.R.compare lhs rhs <= 0);
+    (* axpy consistency *)
+    let y = V.copy b in
+    let alpha = K.random rng in
+    V.axpy ~a:alpha a y;
+    let y' = V.add b (V.map (fun x -> K.mul alpha x) a) in
+    below "axpy" (V.norm (V.sub y y')) (tol 1e3)
+
+  let test_mat_ops () =
+    let rng = Dompool.Prng.create 2 in
+    let a = Rand.matrix rng 13 7 and b = Rand.matrix rng 7 11 in
+    let c = M.matmul a b in
+    Alcotest.(check int) "rows" 13 (M.rows c);
+    Alcotest.(check int) "cols" 11 (M.cols c);
+    (* (AB)^H = B^H A^H *)
+    let lhs = M.adjoint c in
+    let rhs = M.matmul (M.adjoint b) (M.adjoint a) in
+    below "adjoint product" (M.rel_distance lhs rhs) (tol 1e3);
+    (* identity *)
+    let i7 = M.identity 7 in
+    below "A I = A" (M.rel_distance a (M.matmul a i7)) (tol 10.0);
+    (* matvec against matmul with a 1-column matrix *)
+    let v = Rand.vector rng 7 in
+    let mv = M.matvec a v in
+    let vm = M.matmul a (M.init 7 1 (fun i _ -> v.(i))) in
+    let mv' = Array.init 13 (fun i -> M.get vm i 0) in
+    below "matvec" (V.norm (V.sub mv mv')) (tol 1e3)
+
+  let test_back_substitution () =
+    let rng = Dompool.Prng.create 3 in
+    for n = 1 to 12 do
+      let u = Rand.upper rng n in
+      let b, x_true = Rand.rhs_for rng u in
+      let x = Tri.back_substitute u b in
+      below "backsub residual" (Tri.residual u x b) (tol 1e4);
+      below "backsub vs known" (V.norm (V.sub x x_true))
+        (K.R.mul (V.norm x_true) (tol 1e6))
+    done
+
+  let test_forward_substitution () =
+    let rng = Dompool.Prng.create 4 in
+    let n = 9 in
+    let a = Rand.matrix rng n n in
+    let lu, _ = Lu.factor a in
+    let l = Lu.lower_of lu in
+    let x_true = Rand.vector rng n in
+    let b = M.matvec l x_true in
+    let x = Tri.forward_substitute l b in
+    below "forward" (V.norm (V.sub x x_true))
+      (K.R.mul (V.norm x_true) (tol 1e6))
+
+  let test_upper_inverse () =
+    let rng = Dompool.Prng.create 5 in
+    let n = 10 in
+    let u = Rand.upper rng n in
+    let inv = Tri.upper_inverse u in
+    (* inverse of upper triangular is upper triangular *)
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      for j = 0 to i - 1 do
+        if not (K.is_zero (M.get inv i j)) then ok := false
+      done
+    done;
+    check "inverse is upper" true !ok;
+    below "U U^-1 = I"
+      (M.rel_distance (M.identity n) (M.matmul u inv))
+      (tol 1e6)
+
+  let test_lu () =
+    let rng = Dompool.Prng.create 6 in
+    let n = 11 in
+    let a = Rand.matrix rng n n in
+    let lu, perm = Lu.factor a in
+    let pa = M.init n n (fun i j -> M.get a perm.(i) j) in
+    below "PA = LU"
+      (M.rel_distance pa (M.matmul (Lu.lower_of lu) (Lu.upper_of lu)))
+      (tol 1e5);
+    let b, x_true = Rand.rhs_for rng a in
+    let x = Lu.solve a b in
+    below "LU solve" (V.norm (V.sub x x_true))
+      (K.R.mul (V.norm x_true) (tol 1e8))
+
+  let test_lu_singular () =
+    let a = M.create 3 3 in
+    (* Zero matrix is singular. *)
+    (try
+       ignore (Lu.factor a);
+       Alcotest.fail "expected Singular"
+     with Lu.Singular _ -> ())
+
+  let test_qr_square () =
+    let rng = Dompool.Prng.create 7 in
+    List.iter
+      (fun n ->
+        let a = Rand.matrix rng n n in
+        let q, r = Qr.factor a in
+        below "orthogonality" (Qr.orthogonality_defect q) (tol 1e5);
+        below "A = QR" (Qr.factorization_residual a q r) (tol 1e5);
+        (* R upper triangular *)
+        let ok = ref true in
+        for i = 0 to n - 1 do
+          for j = 0 to i - 1 do
+            if not (K.is_zero (M.get r i j)) then ok := false
+          done
+        done;
+        check "R upper" true !ok)
+      [ 1; 2; 5; 16 ]
+
+  let test_qr_rectangular () =
+    let rng = Dompool.Prng.create 8 in
+    let m = 20 and n = 8 in
+    let a = Rand.matrix rng m n in
+    let q, r = Qr.factor a in
+    below "orthogonality" (Qr.orthogonality_defect q) (tol 1e5);
+    below "A = QR" (Qr.factorization_residual a q r) (tol 1e5)
+
+  let test_least_squares_exact () =
+    (* A square nonsingular system: least squares = exact solve. *)
+    let rng = Dompool.Prng.create 9 in
+    let n = 10 in
+    let a = Rand.matrix rng n n in
+    let b, x_true = Rand.rhs_for rng a in
+    let x = Qr.least_squares a b in
+    below "exact system" (V.norm (V.sub x x_true))
+      (K.R.mul (V.norm x_true) (tol 1e8))
+
+  let test_least_squares_overdetermined () =
+    (* Consistent overdetermined system: residual must vanish. *)
+    let rng = Dompool.Prng.create 10 in
+    let m = 25 and n = 7 in
+    let a = Rand.matrix rng m n in
+    let x_true = Rand.vector rng n in
+    let b = M.matvec a x_true in
+    let x = Qr.least_squares a b in
+    below "consistent LS" (V.norm (V.sub x x_true))
+      (K.R.mul (V.norm x_true) (tol 1e8));
+    (* Inconsistent system: A^H (b - A x) = 0 (normal equations). *)
+    let b2 = V.add b (V.init m (fun i -> if i = 0 then K.one else K.zero)) in
+    let x2 = Qr.least_squares a b2 in
+    let res = V.sub b2 (M.matvec a x2) in
+    let g = M.matvec (M.adjoint a) res in
+    below "normal equations" (V.norm g) (K.R.mul (V.norm b2) (tol 1e8))
+
+  let test_staggered_roundtrip () =
+    let rng = Dompool.Prng.create 11 in
+    let v = Rand.vector rng 17 in
+    let v' = Stag.to_vec (Stag.of_vec v) in
+    check "vec roundtrip" true (V.equal v v');
+    let m = Rand.matrix rng 6 9 in
+    let m' = Stag.to_mat (Stag.of_mat m) in
+    check "mat roundtrip" true (M.equal m m');
+    Alcotest.(check int)
+      "vec bytes" (17 * 8 * K.width)
+      (Stag.vec_bytes (Stag.of_vec v));
+    Alcotest.(check int)
+      "mat bytes" (54 * 8 * K.width)
+      (Stag.mat_bytes (Stag.of_mat m))
+
+  let test_cond () =
+    let module C = Cond.Make (K) in
+    (* identity has condition one *)
+    let id = M.identity 8 in
+    check "cond(I) = 1" true
+      (K.R.to_float (C.cond1 id) = 1.0 && K.R.to_float (C.cond_inf id) = 1.0);
+    (* a diagonal matrix's condition is the ratio of extremes *)
+    let d = M.create 4 4 in
+    List.iteri
+      (fun i v -> M.set d i i (K.of_float v))
+      [ 1.0; 2.0; 4.0; 1000.0 ];
+    check "diag cond" true
+      (Float.abs (K.R.to_float (C.cond1 d) -. 1000.0) < 1e-6);
+    (* scaling invariance *)
+    let rng = Dompool.Prng.create 55 in
+    let a = Rand.matrix rng 7 7 in
+    (try
+       let c1 = K.R.to_float (C.cond1 a) in
+       let c2 = K.R.to_float (C.cond1 (M.scale a (K.R.of_float 3.0))) in
+       check "scale invariant" true (Float.abs (c1 -. c2) /. c1 < 1e-8);
+       (* inverse really inverts *)
+       below "A A^-1 = I"
+         (M.rel_distance (M.identity 7) (M.matmul a (C.inverse a)))
+         (tol 1e6);
+       check "digits at risk sane" true
+         (C.digits_at_risk a >= 0.0 && C.digits_at_risk a < 30.0)
+     with Lu.Singular _ -> ());
+    (* the raw random triangular matrix is far worse conditioned than the
+       LU-generated one: the quantitative version of §4.1's choice *)
+    if K.prec = Multidouble.Precision.QD && not K.is_complex then begin
+      let bad = Rand.raw_upper rng 40 in
+      let good = Rand.upper rng 40 in
+      try
+        let cb = C.digits_at_risk bad and cg = C.digits_at_risk good in
+        check "triangular conditioning gap" true (cb > cg +. 2.0)
+      with Lu.Singular _ -> ()
+    end
+
+  let test_conditioning () =
+    (* Directly random triangular matrices are badly conditioned compared
+       to LU-produced ones (the reason for §4.1's generation choice):
+       solve with a known solution and compare forward errors. *)
+    if K.prec = Multidouble.Precision.D && not K.is_complex then begin
+      let rng = Dompool.Prng.create 12 in
+      let n = 60 in
+      let bad = Rand.raw_upper rng n in
+      let good = Rand.upper rng n in
+      let err u =
+        let b, x_true = Rand.rhs_for rng u in
+        let x = Tri.back_substitute u b in
+        K.R.to_float (V.norm (V.sub x x_true))
+        /. K.R.to_float (V.norm x_true)
+      in
+      (* The raw triangular error is typically many orders larger. *)
+      check "conditioning gap" true (err bad > 10.0 *. err good || err good < 1e-10)
+    end
+
+  let suite name =
+    let t n f = Alcotest.test_case n `Quick f in
+    ( name,
+      [
+        t "vector ops" test_vec_ops;
+        t "matrix ops" test_mat_ops;
+        t "back substitution" test_back_substitution;
+        t "forward substitution" test_forward_substitution;
+        t "upper inverse" test_upper_inverse;
+        t "lu" test_lu;
+        t "lu singular" test_lu_singular;
+        t "qr square" test_qr_square;
+        t "qr rectangular" test_qr_rectangular;
+        t "least squares exact" test_least_squares_exact;
+        t "least squares overdetermined" test_least_squares_overdetermined;
+        t "staggered roundtrip" test_staggered_roundtrip;
+        t "condition numbers" test_cond;
+        t "conditioning" test_conditioning;
+      ] )
+end
+
+module Td = Generic (Scalar.D)
+module Tdd = Generic (Scalar.Dd)
+module Tqd = Generic (Scalar.Qd)
+module Tod = Generic (Scalar.Od)
+module Tzdd = Generic (Scalar.Zdd)
+module Tzqd = Generic (Scalar.Zqd)
+
+let () =
+  Alcotest.run "mdlinalg"
+    [
+      Td.suite "double";
+      Tdd.suite "double double";
+      Tqd.suite "quad double";
+      Tod.suite "octo double";
+      Tzdd.suite "complex double double";
+      Tzqd.suite "complex quad double";
+    ]

@@ -1,0 +1,198 @@
+(* Tests for the parallel substrate: the domain pool (the engine under
+   every simulated kernel launch) and the deterministic PRNG. *)
+
+open Dompool
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ---- prng ---- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 1000 do
+    check "same stream" true (Prng.next_int64 a = Prng.next_int64 b)
+  done;
+  let c = Prng.create 43 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Prng.next_int64 a <> Prng.next_int64 c then differs := true
+  done;
+  check "different seeds differ" true !differs
+
+let test_prng_ranges () =
+  let r = Prng.create 7 in
+  for _ = 1 to 10000 do
+    let f = Prng.float r in
+    check "float in [0,1)" true (f >= 0.0 && f < 1.0);
+    let s = Prng.sym_float r in
+    check "sym in [-1,1)" true (s >= -1.0 && s < 1.0);
+    let i = Prng.int r 17 in
+    check "int in range" true (i >= 0 && i < 17)
+  done;
+  (try
+     ignore (Prng.int r 0);
+     Alcotest.fail "int 0 accepted"
+   with Invalid_argument _ -> ())
+
+let test_prng_distribution () =
+  (* Coarse uniformity: mean of [0,1) samples near 1/2. *)
+  let r = Prng.create 99 in
+  let n = 100000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Prng.float r
+  done;
+  let mean = !sum /. float_of_int n in
+  check "mean near half" true (Float.abs (mean -. 0.5) < 0.01);
+  (* All 64 bits toggle. *)
+  let seen_or = ref 0L and seen_and = ref (-1L) in
+  for _ = 1 to 1000 do
+    let v = Prng.next_int64 r in
+    seen_or := Int64.logor !seen_or v;
+    seen_and := Int64.logand !seen_and v
+  done;
+  check "all bits set sometimes" true (!seen_or = -1L);
+  check "no bit always set" true (!seen_and = 0L)
+
+let test_prng_split () =
+  let parent = Prng.create 5 in
+  let child = Prng.split parent in
+  (* Child and parent streams decorrelate. *)
+  let same = ref 0 in
+  for _ = 1 to 100 do
+    if Prng.next_int64 parent = Prng.next_int64 child then incr same
+  done;
+  checki "no collisions" 0 !same;
+  (* Copy preserves state. *)
+  let a = Prng.create 11 in
+  ignore (Prng.next_int64 a);
+  let b = Prng.copy a in
+  check "copy same stream" true (Prng.next_int64 a = Prng.next_int64 b)
+
+(* ---- domain pool ---- *)
+
+let test_pool_runs_all () =
+  let pool = Domain_pool.create 4 in
+  let hits = Atomic.make 0 in
+  let tasks = List.init 100 (fun _ () -> Atomic.incr hits) in
+  Domain_pool.run pool tasks;
+  checki "all tasks ran" 100 (Atomic.get hits);
+  (* Reusable. *)
+  Domain_pool.run pool tasks;
+  checki "reusable" 200 (Atomic.get hits);
+  Domain_pool.shutdown pool
+
+let test_pool_parallel_for () =
+  let pool = Domain_pool.create 4 in
+  let n = 10000 in
+  let marks = Array.make n 0 in
+  Domain_pool.parallel_for pool 0 n (fun i -> marks.(i) <- marks.(i) + 1);
+  check "each index exactly once" true (Array.for_all (fun x -> x = 1) marks);
+  (* Empty and single ranges. *)
+  Domain_pool.parallel_for pool 5 5 (fun _ -> Alcotest.fail "empty range");
+  let hit = ref 0 in
+  Domain_pool.parallel_for pool 3 4 (fun i ->
+      hit := i);
+  checki "single" 3 !hit;
+  Domain_pool.shutdown pool
+
+let test_pool_chunking () =
+  let pool = Domain_pool.create 3 in
+  let sum = Atomic.make 0 in
+  Domain_pool.parallel_for ~chunk:7 pool 0 1000 (fun i ->
+      ignore (Atomic.fetch_and_add sum i));
+  checki "sum" (999 * 1000 / 2) (Atomic.get sum);
+  Domain_pool.shutdown pool
+
+let test_pool_exception_survival () =
+  let pool = Domain_pool.create 2 in
+  (* A task raising must not wedge or kill the pool. *)
+  Domain_pool.run pool [ (fun () -> failwith "boom"); (fun () -> ()) ];
+  let ok = ref false in
+  Domain_pool.run pool [ (fun () -> ok := true) ];
+  check "pool survives exceptions" true !ok;
+  Domain_pool.shutdown pool
+
+let test_pool_nested () =
+  (* parallel_for from inside a pool task must not deadlock and must
+     still cover the nested range. *)
+  let pool = Domain_pool.create 3 in
+  let outer = 6 and inner = 50 in
+  let marks = Array.init outer (fun _ -> Array.make inner 0) in
+  Domain_pool.parallel_for ~chunk:1 pool 0 outer (fun i ->
+      Domain_pool.parallel_for ~chunk:5 pool 0 inner (fun j ->
+          marks.(i).(j) <- marks.(i).(j) + 1));
+  Array.iteri
+    (fun i row ->
+      check
+        (Printf.sprintf "outer %d complete" i)
+        true
+        (Array.for_all (fun x -> x = 1) row))
+    marks;
+  (* nested run as well *)
+  let hits = Atomic.make 0 in
+  Domain_pool.run pool
+    [
+      (fun () ->
+        Domain_pool.run pool
+          [ (fun () -> Atomic.incr hits); (fun () -> Atomic.incr hits) ]);
+      (fun () -> Atomic.incr hits);
+    ];
+  checki "nested run" 3 (Atomic.get hits);
+  Domain_pool.shutdown pool
+
+let test_pool_size_one () =
+  (* A single-worker pool runs everything on the caller, in order. *)
+  let pool = Domain_pool.create 1 in
+  checki "size" 1 (Domain_pool.size pool);
+  let order = ref [] in
+  Domain_pool.parallel_for pool 0 5 (fun i -> order := i :: !order);
+  Alcotest.(check (list int)) "in order" [ 4; 3; 2; 1; 0 ] !order;
+  Domain_pool.shutdown pool
+
+let test_pool_actually_parallel () =
+  (* With several workers, tasks overlap in time: measure that a barrier
+     of sleeps finishes faster than serial execution would. *)
+  let workers = 4 in
+  let pool = Domain_pool.create workers in
+  let spin () =
+    (* ~10ms of busy work *)
+    let t0 = Unix.gettimeofday () in
+    while Unix.gettimeofday () -. t0 < 0.01 do
+      ()
+    done
+  in
+  (* Measure serial first so the check is relative to this machine's
+     current load rather than an absolute wall time. *)
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun f -> f ()) (List.init 8 (fun _ -> spin));
+  let serial = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  Domain_pool.run pool (List.init 8 (fun _ -> spin));
+  let parallel = Unix.gettimeofday () -. t0 in
+  Domain_pool.shutdown pool;
+  check "overlapped" true (parallel < 0.8 *. serial)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "ranges" `Quick test_prng_ranges;
+          Alcotest.test_case "distribution" `Quick test_prng_distribution;
+          Alcotest.test_case "split/copy" `Quick test_prng_split;
+        ] );
+      ( "domain pool",
+        [
+          Alcotest.test_case "runs all tasks" `Quick test_pool_runs_all;
+          Alcotest.test_case "parallel_for" `Quick test_pool_parallel_for;
+          Alcotest.test_case "chunking" `Quick test_pool_chunking;
+          Alcotest.test_case "exception survival" `Quick
+            test_pool_exception_survival;
+          Alcotest.test_case "nested parallelism" `Quick test_pool_nested;
+          Alcotest.test_case "size one" `Quick test_pool_size_one;
+          Alcotest.test_case "overlaps work" `Slow test_pool_actually_parallel;
+        ] );
+    ]

@@ -1,0 +1,149 @@
+(* Tests for the polynomial system parser. *)
+
+open Mdlinalg
+open Mdseries
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+module Pp = Poly_parser.Make (Scalar.Dd)
+module P = Pp.P
+module D = Multidouble.Double_double
+
+let eval_at poly xs = P.eval poly (Array.map D.of_float xs)
+let feq a b = Float.abs (D.to_float a -. b) < 1e-12
+
+let test_basic () =
+  let sys, vars = Pp.parse_system "x^2 + y^2 - 4; x*y - 1" in
+  Alcotest.(check (list string)) "vars" [ "x"; "y" ] vars;
+  checki "two polys" 2 (Array.length sys);
+  checki "deg f1" 2 (P.degree sys.(0));
+  check "f1(2,0)" true (feq (eval_at sys.(0) [| 2.0; 0.0 |]) 0.0);
+  check "f2(2,0.5)" true (feq (eval_at sys.(1) [| 2.0; 0.5 |]) 0.0);
+  check "f1(1,1)" true (feq (eval_at sys.(0) [| 1.0; 1.0 |]) (-2.0))
+
+let test_juxtaposition_and_parens () =
+  let sys, vars = Pp.parse_system "3x y + 2(x - 1)(y + 2)" in
+  Alcotest.(check (list string)) "vars" [ "x"; "y" ] vars;
+  (* at (2, 3): 3*2*3 + 2*(1)*(5) = 28 *)
+  check "value" true (feq (eval_at sys.(0) [| 2.0; 3.0 |]) 28.0);
+  (* expanded degree *)
+  checki "degree" 2 (P.degree sys.(0))
+
+let test_numbers () =
+  let sys, _ = Pp.parse_system "2.5e1*x - 0.5 - 24.5x" in
+  (* 25 x - 0.5 - 24.5 x = 0.5 x - 0.5 *)
+  check "at 3" true (feq (eval_at sys.(0) [| 3.0 |]) 1.0);
+  let sys, _ = Pp.parse_system "1e-3 x" in
+  check "exponent" true (feq (eval_at sys.(0) [| 2.0 |]) 2e-3)
+
+let test_unary_minus_and_powers () =
+  let sys, _ = Pp.parse_system "-x^3 + -2x + x^0" in
+  (* -8 - 4 + 1 at x = 2 *)
+  check "value" true (feq (eval_at sys.(0) [| 2.0 |]) (-11.0));
+  let sys, _ = Pp.parse_system "(x - 1)^4" in
+  checki "degree" 4 (P.degree sys.(0));
+  check "at 3" true (feq (eval_at sys.(0) [| 3.0 |]) 16.0)
+
+let test_variable_order () =
+  let _, vars = Pp.parse_system "b + a; a*c" in
+  Alcotest.(check (list string)) "first appearance order" [ "b"; "a"; "c" ]
+    vars
+
+let test_complex_unit () =
+  let module Ppc = Poly_parser.Make (Scalar.Zdd) in
+  let module K = Scalar.Zdd in
+  let sys, vars =
+    Ppc.parse_system ~iunit:(K.of_floats 0.0 1.0) "x^2 + i; i i x"
+  in
+  Alcotest.(check (list string)) "i is not a variable" [ "x" ] vars;
+  (* f1(1) = 1 + i *)
+  let v = Ppc.P.eval sys.(0) [| K.of_float 1.0 |] in
+  check "re" true (Float.abs (D.to_float (K.re v) -. 1.0) < 1e-12);
+  check "im" true (Float.abs (D.to_float (K.im v) -. 1.0) < 1e-12);
+  (* i*i*x = -x *)
+  let w = Ppc.P.eval sys.(1) [| K.of_float 3.0 |] in
+  check "i^2 = -1" true (Float.abs (D.to_float (K.re w) +. 3.0) < 1e-12)
+
+let test_errors () =
+  let rejects s =
+    try
+      ignore (Pp.parse_system s);
+      Alcotest.failf "accepted %S" s
+    with Poly_parser.Parse_error _ -> ()
+  in
+  rejects "x +";
+  rejects "x ^ y";
+  rejects "x ^ -2";
+  rejects "(x";
+  rejects "x $ y";
+  rejects "x) + 1";
+  rejects "4 - 2";
+  (* imaginary unit without a complex scalar *)
+  rejects "i*x"
+
+let test_printer_roundtrip_fuzz () =
+  (* The pretty-printer's output is valid input: random polynomials must
+     survive a print/parse round trip up to the printed precision. *)
+  let rng = Dompool.Prng.create 808 in
+  for _ = 1 to 100 do
+    let nterms = 1 + Dompool.Prng.int rng 5 in
+    let p =
+      P.of_terms ~nvars:2
+        (List.init nterms (fun _ ->
+             ( D.of_float (Dompool.Prng.sym_float rng *. 10.0),
+               [| Dompool.Prng.int rng 4; Dompool.Prng.int rng 4 |] )))
+    in
+    (* constant polynomials print without variables, which a *system*
+       parser rightly rejects; fuzz only genuine polynomials *)
+    if p.P.terms <> [] && P.degree p > 0 then begin
+      let printed = Format.asprintf "%a" P.pp p in
+      (* the printer uses x0/x1 for the variables *)
+      let reparsed, vars = Pp.parse_system printed in
+      (* map variable order back to indices *)
+      let pos name = int_of_string (String.sub name 1 (String.length name - 1)) in
+      for _ = 1 to 10 do
+        let x = Dompool.Prng.sym_float rng and y = Dompool.Prng.sym_float rng in
+        let args_reparsed =
+          Array.of_list
+            (List.map (fun v -> D.of_float (if pos v = 0 then x else y)) vars)
+        in
+        let a = D.to_float (P.eval p [| D.of_float x; D.of_float y |]) in
+        let b = D.to_float (P.eval reparsed.(0) args_reparsed) in
+        check "round trip value" true
+          (Float.abs (a -. b) <= 1e-4 *. (1.0 +. Float.abs a))
+      done
+    end
+  done
+
+let test_solver_integration () =
+  (* Parse then solve: the conics again, through text. *)
+  let module S = Solve.Make (Multidouble.Double_double) in
+  let module Ppc = Poly_parser.Make (S.K) in
+  let sys, vars =
+    Ppc.parse_system ~iunit:(S.K.of_floats 0.0 1.0) "x^2 + y^2 - 4; x y - 1"
+  in
+  Alcotest.(check (list string)) "vars" [ "x"; "y" ] vars;
+  let r = S.solve sys in
+  checki "four solutions" 4 (List.length (S.distinct r.S.solutions))
+
+let () =
+  Alcotest.run "poly parser"
+    [
+      ( "parsing",
+        [
+          Alcotest.test_case "basic system" `Quick test_basic;
+          Alcotest.test_case "juxtaposition and parens" `Quick
+            test_juxtaposition_and_parens;
+          Alcotest.test_case "number formats" `Quick test_numbers;
+          Alcotest.test_case "unary minus and powers" `Quick
+            test_unary_minus_and_powers;
+          Alcotest.test_case "variable order" `Quick test_variable_order;
+          Alcotest.test_case "complex unit" `Quick test_complex_unit;
+          Alcotest.test_case "rejects malformed input" `Quick test_errors;
+          Alcotest.test_case "printer round trip (fuzz)" `Quick
+            test_printer_roundtrip_fuzz;
+          Alcotest.test_case "parse then solve" `Quick
+            test_solver_integration;
+        ] );
+    ]

@@ -1,0 +1,116 @@
+(* Tests for the column-pivoted (rank revealing) QR. *)
+
+open Mdlinalg
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+module T (K : Scalar.S) = struct
+  module M = Mat.Make (K)
+  module V = Vec.Make (K)
+  module P = Pivoted_qr.Make (K)
+  module Svd = Jacobi_svd.Make (K)
+  module H = Host_qr.Make (K)
+  module Rand = Randmat.Make (K)
+
+  let small r = K.R.compare r (K.R.of_float (1e6 *. K.R.eps)) <= 0
+
+  let permuted a perm =
+    M.init (M.rows a) (M.cols a) (fun i j -> M.get a i perm.(j))
+
+  let test_factorization () =
+    let rng = Dompool.Prng.create 501 in
+    List.iter
+      (fun (m, n) ->
+        let a = Rand.matrix rng m n in
+        let q, r, perm = P.factor a in
+        check "AP = QR" true
+          (small (M.rel_distance (permuted a perm) (M.matmul q r)));
+        check "Q unitary" true (small (H.orthogonality_defect q));
+        (* pivoted diagonal decreases in modulus *)
+        let ok = ref true in
+        for k = 1 to min m n - 1 do
+          if
+            K.R.compare
+              (K.abs (M.get r k k))
+              (K.R.mul_float (K.abs (M.get r (k - 1) (k - 1))) 1.0000001)
+            > 0
+          then ok := false
+        done;
+        check "diagonal decreasing" true !ok;
+        (* perm is a permutation *)
+        let seen = Array.make n false in
+        Array.iter (fun j -> seen.(j) <- true) perm;
+        check "permutation" true (Array.for_all (fun b -> b) seen))
+      [ (6, 6); (9, 5); (7, 7) ]
+
+  let test_rank_detection () =
+    let rng = Dompool.Prng.create 502 in
+    (* Build a 7x5 matrix of rank 3. *)
+    let base = Rand.matrix rng 7 3 in
+    let mix = Rand.matrix rng 3 5 in
+    let a = M.matmul base mix in
+    let _, r, _ = P.factor a in
+    checki "pivoted rank" 3 (P.rank_of_r r);
+    checki "svd agrees" 3 (Svd.rank a);
+    (* full-rank case *)
+    let b = Rand.matrix rng 6 4 in
+    let _, rb, _ = P.factor b in
+    checki "full rank" 4 (P.rank_of_r rb)
+
+  let test_rank_deficient_least_squares () =
+    let rng = Dompool.Prng.create 503 in
+    (* rank-2 system: the basic solution must still minimize the
+       residual (gradient orthogonal to the range). *)
+    let base = Rand.matrix rng 8 2 in
+    let mix = Rand.matrix rng 2 5 in
+    let a = M.matmul base mix in
+    let b = Rand.vector rng 8 in
+    let x, rk = P.least_squares a b in
+    checki "detected rank" 2 rk;
+    let resid = V.sub b (M.matvec a x) in
+    let g = M.matvec (M.adjoint a) resid in
+    check "normal equations" true
+      (K.R.compare (V.norm g)
+         (K.R.mul_float (V.norm b) (1e8 *. K.R.eps))
+      <= 0);
+    (* basic solution: at most rank nonzero entries *)
+    let nonzeros =
+      Array.fold_left
+        (fun acc v -> if K.is_zero v then acc else acc + 1)
+        0 x
+    in
+    check "basic solution sparsity" true (nonzeros <= 2);
+    (* and on a full-rank system it matches the plain solver *)
+    let a2 = Rand.matrix rng 8 4 in
+    let x_true = Rand.vector rng 4 in
+    let b2 = M.matvec a2 x_true in
+    let x2, rk2 = P.least_squares a2 b2 in
+    checki "full rank path" 4 rk2;
+    check "recovers solution" true
+      (K.R.compare
+         (V.norm (V.sub x2 x_true))
+         (K.R.mul_float (V.norm x_true) (1e8 *. K.R.eps))
+      <= 0)
+
+  let suite name =
+    let t n f = Alcotest.test_case n `Quick f in
+    ( name,
+      [
+        t "factorization" test_factorization;
+        t "rank detection" test_rank_detection;
+        t "rank-deficient least squares" test_rank_deficient_least_squares;
+      ] )
+end
+
+module Tdd = T (Scalar.Dd)
+module Tqd = T (Scalar.Qd)
+module Tzdd = T (Scalar.Zdd)
+
+let () =
+  Alcotest.run "pivoted qr"
+    [
+      Tdd.suite "double double";
+      Tqd.suite "quad double";
+      Tzdd.suite "complex double double";
+    ]

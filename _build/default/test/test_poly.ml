@@ -1,0 +1,212 @@
+(* Tests for the multivariate polynomial layer and the total-degree
+   homotopy solver built on the accelerated least squares solver. *)
+
+open Mdlinalg
+open Mdseries
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ---- polynomial arithmetic over real quad doubles ---- *)
+
+module Pq = Poly.Make (Scalar.Qd)
+module Q = Multidouble.Quad_double
+
+let x_ = Pq.variable ~nvars:2 0
+let y_ = Pq.variable ~nvars:2 1
+
+let test_poly_ring () =
+  (* (x + y)^2 = x^2 + 2xy + y^2 *)
+  let s = Pq.add x_ y_ in
+  let lhs = Pq.mul s s in
+  let rhs =
+    Pq.of_terms ~nvars:2
+      [
+        (Q.one, [| 2; 0 |]);
+        (Q.of_int 2, [| 1; 1 |]);
+        (Q.one, [| 0; 2 |]);
+      ]
+  in
+  checki "binomial terms" 0 (List.length (Pq.sub lhs rhs).Pq.terms);
+  checki "degree" 2 (Pq.degree lhs);
+  (* cancellation collapses terms *)
+  let z = Pq.sub lhs lhs in
+  checki "zero poly" 0 (List.length z.Pq.terms);
+  checki "degree of zero" 0 (Pq.degree z);
+  (* mul degree adds *)
+  checki "deg(p*q)" 4 (Pq.degree (Pq.mul lhs rhs))
+
+let test_poly_eval_diff () =
+  (* p = 3 x^2 y - y + 5 *)
+  let p =
+    Pq.of_terms ~nvars:2
+      [
+        (Q.of_int 3, [| 2; 1 |]);
+        (Q.of_int (-1), [| 0; 1 |]);
+        (Q.of_int 5, [| 0; 0 |]);
+      ]
+  in
+  let at vx vy = Pq.eval p [| Q.of_int vx; Q.of_int vy |] in
+  check "eval" true (Q.equal (at 2 3) (Q.of_int ((3 * 4 * 3) - 3 + 5)));
+  check "eval 0" true (Q.equal (at 0 0) (Q.of_int 5));
+  (* dp/dx = 6 x y; dp/dy = 3 x^2 - 1 *)
+  let px = Pq.diff p 0 and py = Pq.diff p 1 in
+  check "d/dx" true
+    (Q.equal (Pq.eval px [| Q.of_int 2; Q.of_int 3 |]) (Q.of_int 36));
+  check "d/dy" true
+    (Q.equal (Pq.eval py [| Q.of_int 2; Q.of_int 3 |]) (Q.of_int 11));
+  (* second derivatives commute *)
+  let pxy = Pq.diff px 1 and pyx = Pq.diff py 0 in
+  checki "schwarz" 0 (List.length (Pq.sub pxy pyx).Pq.terms);
+  (* jacobian of a simple square system *)
+  let sys = [| p; Pq.mul x_ y_ |] in
+  let j = Pq.jacobian sys [| Q.of_int 2; Q.of_int 3 |] in
+  let module M = Mat.Make (Scalar.Qd) in
+  check "j01" true (Q.equal (M.get j 0 1) (Q.of_int 11));
+  check "j10" true (Q.equal (M.get j 1 0) (Q.of_int 3));
+  check "j11" true (Q.equal (M.get j 1 1) (Q.of_int 2));
+  (* p has total degree 3 (the 3 x^2 y term), x y has degree 2 *)
+  checki "bezout" 6 (Pq.total_degree sys)
+
+let test_poly_errors () =
+  (try
+     ignore (Pq.of_terms ~nvars:2 [ (Q.one, [| 1 |]) ]);
+     Alcotest.fail "bad arity accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Pq.of_terms ~nvars:2 [ (Q.one, [| -1; 0 |]) ]);
+     Alcotest.fail "negative power accepted"
+   with Invalid_argument _ -> ())
+
+(* ---- the solver, over complex double doubles ---- *)
+
+module S = Solve.Make (Multidouble.Double_double)
+module Pc = S.P
+module Kc = S.K
+
+let conics : Pc.system =
+  (* x^2 + y^2 - 4 = 0, x y - 1 = 0: four regular solutions *)
+  [|
+    Pc.of_terms ~nvars:2
+      [
+        (Kc.one, [| 2; 0 |]);
+        (Kc.one, [| 0; 2 |]);
+        (Kc.of_float (-4.0), [| 0; 0 |]);
+      ];
+    Pc.of_terms ~nvars:2
+      [ (Kc.one, [| 1; 1 |]); (Kc.of_float (-1.0), [| 0; 0 |]) ];
+  |]
+
+let test_solve_conics () =
+  let r = S.solve conics in
+  checki "paths = bezout" 4 r.S.paths;
+  checki "all converge" 4 (List.length r.S.solutions);
+  checki "distinct" 4 (List.length (S.distinct r.S.solutions));
+  List.iter
+    (fun s ->
+      check "residual small" true (s.S.residual < 1e-25);
+      (* both coordinates are real for this system *)
+      let x = s.S.point.(0) and y = s.S.point.(1) in
+      check "real solutions" true
+        (Multidouble.Double_double.to_float
+           (Multidouble.Double_double.abs (Kc.im x))
+        < 1e-20
+        && Multidouble.Double_double.to_float
+             (Multidouble.Double_double.abs (Kc.im y))
+          < 1e-20))
+    r.S.solutions
+
+let test_solve_univariate () =
+  (* x^3 - 2 = 0: the three cube roots of two *)
+  let f : Pc.system =
+    [|
+      Pc.of_terms ~nvars:1
+        [ (Kc.one, [| 3 |]); (Kc.of_float (-2.0), [| 0 |]) ];
+    |]
+  in
+  let r = S.solve f in
+  checki "three paths" 3 r.S.paths;
+  checki "three roots" 3 (List.length (S.distinct r.S.solutions));
+  let module Cf = Multidouble.Md_complex_funcs.Make (Multidouble.Double_double) in
+  let expected = Cf.nroots (Kc.of_float 2.0) 3 in
+  List.iter
+    (fun s ->
+      let root = s.S.point.(0) in
+      let matches =
+        Array.exists
+          (fun e ->
+            Multidouble.Double_double.to_float (Kc.abs (Kc.sub root e))
+            < 1e-20)
+          expected
+      in
+      check "is a cube root of 2" true matches)
+    r.S.solutions
+
+let test_solve_deficient () =
+  (* x y - 1 = 0, x - 1 = 0: Bezout bound 2, but only (1, 1) is finite;
+     the second path diverges and must be reported, not invented. *)
+  let f : Pc.system =
+    [|
+      Pc.of_terms ~nvars:2
+        [ (Kc.one, [| 1; 1 |]); (Kc.of_float (-1.0), [| 0; 0 |]) ];
+      Pc.of_terms ~nvars:2
+        [ (Kc.one, [| 1; 0 |]); (Kc.of_float (-1.0), [| 0; 0 |]) ];
+    |]
+  in
+  let r = S.solve f in
+  checki "two paths" 2 r.S.paths;
+  let good = S.distinct r.S.solutions in
+  checki "one finite solution" 1 (List.length good);
+  (* the excess path either diverges/sticks or clusters onto the same
+     finite point; both are honest outcomes, inventing a second distinct
+     root is not *)
+  checki "all paths accounted" 2
+    (List.length r.S.solutions + r.S.diverged + r.S.stuck);
+  let s = List.hd good in
+  check "solution is (1,1)" true
+    (Multidouble.Double_double.to_float
+       (Kc.abs (Kc.sub s.S.point.(0) Kc.one))
+    < 1e-20
+    && Multidouble.Double_double.to_float
+         (Kc.abs (Kc.sub s.S.point.(1) Kc.one))
+      < 1e-20)
+
+let test_parallel_matches_serial () =
+  (* Independent paths tracked in parallel must give bit-identical
+     endpoints to the serial run. *)
+  let rp = S.solve ~parallel:true conics in
+  let rs = S.solve ~parallel:false conics in
+  checki "same count" (List.length rs.S.solutions)
+    (List.length rp.S.solutions);
+  List.iter2
+    (fun a b ->
+      checki "same start" a.S.start_index b.S.start_index;
+      check "identical endpoint" true
+        (Array.for_all2 Kc.equal a.S.point b.S.point))
+    rs.S.solutions rp.S.solutions
+
+let test_distinct_dedupe () =
+  let mk v = { S.point = [| Kc.of_float v |]; residual = 0.0; start_index = 0 } in
+  let sols = [ mk 1.0; mk 1.0; mk 2.0; mk (1.0 +. 1e-12) ] in
+  checki "dedupe" 2 (List.length (S.distinct sols))
+
+let () =
+  Alcotest.run "polynomials"
+    [
+      ( "polynomial ring",
+        [
+          Alcotest.test_case "ring identities" `Quick test_poly_ring;
+          Alcotest.test_case "eval and diff" `Quick test_poly_eval_diff;
+          Alcotest.test_case "input validation" `Quick test_poly_errors;
+        ] );
+      ( "total-degree solver",
+        [
+          Alcotest.test_case "conics (4 regular roots)" `Quick
+            test_solve_conics;
+          Alcotest.test_case "cube roots of two" `Quick test_solve_univariate;
+          Alcotest.test_case "deficient system" `Quick test_solve_deficient;
+          Alcotest.test_case "parallel tracking matches serial" `Quick
+            test_parallel_matches_serial;
+          Alcotest.test_case "distinct dedupe" `Quick test_distinct_dedupe;
+        ] );
+    ]

@@ -1,0 +1,335 @@
+(* Property-based tests (qcheck, registered as alcotest cases): algebraic
+   laws of the multiple double arithmetic, the normalization invariant of
+   the expansion representation, and structural invariants of the linear
+   algebra layer, at every precision. *)
+
+open Multidouble
+open Mdlinalg
+
+let to_alco ?(count = 100) name gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen law)
+
+module Props (S : Md_sig.S) = struct
+  open QCheck2
+
+  (* Generator of full-precision values: a random limb at every scale,
+     with a random binary exponent. *)
+  let gen : S.t Gen.t =
+    let open Gen in
+    let* limbs =
+      array_size (return S.limbs) (float_range (-1.0) 1.0)
+    in
+    let* e = int_range (-24) 24 in
+    let l =
+      Array.mapi
+        (fun i x -> x *. (2.0 ** ((-53.0 *. float_of_int i) +. float_of_int e)))
+        limbs
+    in
+    return (S.of_limbs l)
+
+  let gen_nonzero =
+    Gen.map
+      (fun x ->
+        if S.is_zero x || Float.abs (S.to_float x) < 1e-12 then S.one else x)
+      gen
+
+  let close ?(tol = 64.0) a b =
+    let d = S.abs (S.sub a b) in
+    let m = S.max (S.abs a) (S.abs b) in
+    S.compare d (S.mul_float m (tol *. S.eps)) <= 0
+
+  (* The expansion invariant: limbs sorted by decreasing magnitude and
+     non-overlapping (each limb below the ulp of its predecessor). *)
+  let normalized x =
+    let l = S.to_limbs x in
+    let ok = ref true in
+    for i = 0 to S.limbs - 2 do
+      if l.(i) <> 0.0 then begin
+        if Float.abs l.(i + 1) > 0x1p-51 *. Float.abs l.(i) then ok := false
+      end
+      else if l.(i + 1) <> 0.0 then ok := false
+    done;
+    !ok
+
+  let suite name =
+    ( name ^ " properties",
+      [
+        to_alco "add commutative" (Gen.pair gen gen) (fun (a, b) ->
+            S.equal (S.add a b) (S.add b a));
+        to_alco "mul commutative" (Gen.pair gen gen) (fun (a, b) ->
+            S.equal (S.mul a b) (S.mul b a));
+        to_alco "add associative (approx)" (Gen.triple gen gen gen)
+          (fun (a, b, c) ->
+            close (S.add (S.add a b) c) (S.add a (S.add b c)));
+        to_alco "mul associative (approx)" (Gen.triple gen gen gen)
+          (fun (a, b, c) ->
+            close ~tol:256.0 (S.mul (S.mul a b) c) (S.mul a (S.mul b c)));
+        to_alco "distributive (approx)" (Gen.triple gen gen gen)
+          (fun (a, b, c) ->
+            close ~tol:256.0
+              (S.mul a (S.add b c))
+              (S.add (S.mul a b) (S.mul a c)));
+        to_alco "neg involution" gen (fun a -> S.equal (S.neg (S.neg a)) a);
+        to_alco "sub is add neg" (Gen.pair gen gen) (fun (a, b) ->
+            S.equal (S.sub a b) (S.add a (S.neg b)));
+        to_alco "div inverts mul" (Gen.pair gen gen_nonzero) (fun (a, b) ->
+            close ~tol:256.0 (S.div (S.mul a b) b) a);
+        to_alco "sqrt squares back" gen (fun a ->
+            let a = S.abs a in
+            let r = S.sqrt a in
+            close ~tol:256.0 (S.mul r r) a);
+        to_alco "abs nonnegative" gen (fun a -> S.sign (S.abs a) >= 0);
+        to_alco "triangle inequality" (Gen.pair gen gen) (fun (a, b) ->
+            (* |a+b| <= |a| + |b| up to a few ulps of the bigger side;
+               the slack must be added as a separate term because
+               1.0 +. 64 eps rounds to 1.0 in plain double. *)
+            let rhs = S.add (S.abs a) (S.abs b) in
+            let slack = S.mul_float (S.add_float rhs 1.0) (64.0 *. S.eps) in
+            S.compare (S.sub (S.abs (S.add a b)) rhs) slack <= 0);
+        to_alco "mul_pwr2 exact" gen (fun a ->
+            S.equal (S.mul_pwr2 a 4.0) (S.mul a (S.of_int 4)));
+        to_alco "compare antisymmetric" (Gen.pair gen gen) (fun (a, b) ->
+            S.compare a b = -S.compare b a);
+        to_alco "compare transitive" (Gen.triple gen gen gen)
+          (fun (a, b, c) ->
+            let l = List.sort S.compare [ a; b; c ] in
+            match l with
+            | [ x; y; z ] -> S.compare x y <= 0 && S.compare y z <= 0
+            | _ -> false);
+        to_alco "compare consistent with sub" (Gen.pair gen gen)
+          (fun (a, b) ->
+            let c = S.compare a b and s = S.sign (S.sub a b) in
+            (c > 0) = (s > 0) && (c < 0) = (s < 0));
+        to_alco "floor below" gen (fun a ->
+            let f = S.floor a in
+            S.compare f a <= 0 && S.compare a (S.add f S.one) < 0);
+        to_alco "results normalized" (Gen.pair gen gen) (fun (a, b) ->
+            normalized (S.add a b) && normalized (S.mul a b)
+            && normalized (S.sub a b));
+        to_alco ~count:50 "string roundtrip" gen (fun a ->
+            close ~tol:64.0 (S.of_string (S.to_string a)) a);
+        to_alco ~count:50 "truncated printing"
+          (Gen.pair gen (Gen.int_range 3 (S.limbs * 16)))
+          (fun (a, digits) ->
+            (* printing with d digits then reparsing keeps ~d digits *)
+            let b = S.of_string (S.to_string ~digits a) in
+            let d = S.abs (S.sub a b) in
+            let bound =
+              S.mul_float
+                (S.add (S.abs a) (S.of_float 1e-300))
+                (10.0 ** float_of_int (2 - digits))
+            in
+            S.compare d bound <= 0);
+        to_alco "min/max bracket" (Gen.pair gen gen) (fun (a, b) ->
+            S.compare (S.min a b) (S.max a b) <= 0
+            && (S.equal (S.min a b) a || S.equal (S.min a b) b));
+      ] )
+end
+
+module Pd = Props (Float_double)
+module Pdd = Props (Double_double)
+module Pqd = Props (Quad_double)
+module Pod = Props (Octo_double)
+
+(* ------------------------------------------------------------------ *)
+(* Linear algebra invariants                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Linalg_props (K : Scalar.S) = struct
+  open QCheck2
+  module M = Mat.Make (K)
+  module V = Vec.Make (K)
+  module Qr = Host_qr.Make (K)
+  module Tri = Host_tri.Make (K)
+  module Lu = Lu.Make (K)
+
+  let gen_scalar : K.t Gen.t =
+    Gen.map K.of_float (Gen.float_range (-1.0) 1.0)
+
+  let gen_vec n = Gen.array_size (Gen.return n) gen_scalar
+
+  let gen_mat r c =
+    Gen.map
+      (fun a -> M.init r c (fun i j -> a.((i * c) + j)))
+      (Gen.array_size (Gen.return (r * c)) gen_scalar)
+
+  let rclose a b tol =
+    K.R.compare a (K.R.of_float (tol *. K.R.eps)) <= 0 |> fun _ ->
+    K.R.compare (K.R.sub a b) (K.R.of_float (tol *. K.R.eps)) <= 0
+
+  let _ = rclose
+
+  let small r = K.R.compare r (K.R.of_float (1e6 *. K.R.eps)) <= 0
+
+  let suite name =
+    ( name ^ " linalg properties",
+      [
+        to_alco ~count:40 "dot conjugate symmetry" (Gen.pair (gen_vec 9) (gen_vec 9))
+          (fun (a, b) ->
+            K.equal (V.dot a b) (K.conj (V.dot b a)));
+        to_alco ~count:40 "norm2 nonnegative" (gen_vec 11) (fun v ->
+            K.R.sign (V.norm2 v) >= 0);
+        to_alco ~count:40 "matvec linear" (Gen.triple (gen_mat 6 5) (gen_vec 5) (gen_vec 5))
+          (fun (m, x, y) ->
+            let lhs = M.matvec m (V.add x y) in
+            let rhs = V.add (M.matvec m x) (M.matvec m y) in
+            small (V.norm (V.sub lhs rhs)));
+        to_alco ~count:20 "matmul associative"
+          (Gen.triple (gen_mat 4 5) (gen_mat 5 3) (gen_mat 3 6))
+          (fun (a, b, c) ->
+            small
+              (M.rel_distance
+                 (M.matmul (M.matmul a b) c)
+                 (M.matmul a (M.matmul b c))));
+        to_alco ~count:40 "adjoint involution" (gen_mat 5 7) (fun m ->
+            M.equal (M.adjoint (M.adjoint m)) m);
+        to_alco ~count:20 "qr reconstructs" (gen_mat 8 6) (fun a ->
+            let q, r = Qr.factor a in
+            small (Qr.factorization_residual a q r)
+            && small (Qr.orthogonality_defect q));
+        to_alco ~count:20 "lu solve residual" (gen_mat 6 6) (fun a ->
+            try
+              let x = V.init 6 (fun i -> K.of_float (float_of_int (i + 1))) in
+              let b = M.matvec a x in
+              let x' = Lu.solve a b in
+              K.R.compare
+                (V.norm (V.sub x x'))
+                (K.R.mul_float (V.norm x) (1e10 *. K.R.eps))
+              <= 0
+            with Lu.Singular _ -> true);
+        to_alco ~count:20 "upper inverse" (gen_mat 6 6) (fun a ->
+            try
+              let lu, _ = Lu.factor a in
+              let u = Lu.upper_of lu in
+              let inv = Tri.upper_inverse u in
+              small (M.rel_distance (M.identity 6) (M.matmul u inv))
+            with Lu.Singular _ -> true);
+      ] )
+end
+
+module Ld = Linalg_props (Scalar.D)
+module Ldd = Linalg_props (Scalar.Dd)
+module Lqd = Linalg_props (Scalar.Qd)
+module Lzdd = Linalg_props (Scalar.Zdd)
+
+(* ------------------------------------------------------------------ *)
+(* Elementary function laws                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Func_props (S : Md_sig.S) = struct
+  open QCheck2
+  module F = Md_funcs.Make (S)
+
+  let gen_small = Gen.map S.of_float (Gen.float_range (-5.0) 5.0)
+  let gen_pos = Gen.map (fun x -> S.of_float (Float.abs x +. 0.01)) (Gen.float_range 0.0 30.0)
+
+  let close ?(tol = 1e4) a b =
+    let d = S.abs (S.sub a b) in
+    let m = S.add (S.max (S.abs a) (S.abs b)) S.one in
+    S.compare d (S.mul_float m (tol *. S.eps)) <= 0
+
+  let suite name =
+    ( name ^ " function laws",
+      [
+        to_alco ~count:50 "exp additive" (Gen.pair gen_small gen_small)
+          (fun (a, b) ->
+            close (F.exp (S.add a b)) (S.mul (F.exp a) (F.exp b)));
+        to_alco ~count:50 "log multiplicative" (Gen.pair gen_pos gen_pos)
+          (fun (a, b) ->
+            close (F.log (S.mul a b)) (S.add (F.log a) (F.log b)));
+        to_alco ~count:50 "exp/log inverse" gen_small (fun a ->
+            close (F.log (F.exp a)) a);
+        to_alco ~count:50 "pythagoras" gen_small (fun a ->
+            let s, c = F.sin_cos a in
+            close (S.add (S.mul s s) (S.mul c c)) S.one);
+        to_alco ~count:50 "double angle" gen_small (fun a ->
+            let s, c = F.sin_cos a in
+            let s2, _ = F.sin_cos (S.mul_pwr2 a 2.0) in
+            close s2 (S.mul_pwr2 (S.mul s c) 2.0));
+        to_alco ~count:50 "atan odd" gen_small (fun a ->
+            S.equal (F.atan (S.neg a)) (S.neg (F.atan a)));
+        to_alco ~count:50 "cosh >= 1" gen_small (fun a ->
+            S.compare (F.cosh a) (S.add_float S.one (-1e-15)) >= 0);
+        to_alco ~count:30 "nroot inverts npow" gen_pos (fun a ->
+            close ~tol:1e6 (F.nroot (F.npow a 3) 3) a);
+      ] )
+end
+
+module Fpd = Func_props (Double_double)
+module Fpq = Func_props (Quad_double)
+
+(* ------------------------------------------------------------------ *)
+(* Power series ring laws                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Series_props (K : Scalar.S) = struct
+  open QCheck2
+  module S = Mdseries.Series.Make (K)
+
+  let deg = 6
+
+  let gen_series : S.t Gen.t =
+    Gen.map
+      (fun a -> S.of_coeffs (Array.map K.of_float a))
+      (Gen.array_size (Gen.return (deg + 1)) (Gen.float_range (-1.0) 1.0))
+
+  let close a b =
+    K.R.compare (S.distance a b) (K.R.of_float (1e6 *. K.R.eps)) <= 0
+
+  let suite name =
+    ( name ^ " series laws",
+      [
+        to_alco ~count:50 "mul commutative" (Gen.pair gen_series gen_series)
+          (fun (a, b) -> S.equal (S.mul a b) (S.mul b a));
+        to_alco ~count:50 "mul associative"
+          (Gen.triple gen_series gen_series gen_series)
+          (fun (a, b, c) ->
+            close (S.mul (S.mul a b) c) (S.mul a (S.mul b c)));
+        to_alco ~count:50 "distributive"
+          (Gen.triple gen_series gen_series gen_series)
+          (fun (a, b, c) ->
+            close (S.mul a (S.add b c)) (S.add (S.mul a b) (S.mul a c)));
+        to_alco ~count:50 "leibniz" (Gen.pair gen_series gen_series)
+          (fun (a, b) ->
+            let lhs = S.deriv (S.mul a b) in
+            let rhs = S.add (S.mul (S.deriv a) b) (S.mul a (S.deriv b)) in
+            (* ignore the top coefficient, truncated by deriv *)
+            let cut (s : S.t) =
+              let s = Array.copy s in
+              s.(deg) <- K.zero;
+              s
+            in
+            close (cut lhs) (cut rhs));
+        to_alco ~count:50 "eval ring morphism"
+          (Gen.pair gen_series gen_series)
+          (fun (a, b) ->
+            let x = K.of_float 0.5 in
+            let lhs = S.eval (S.mul a b) x in
+            (* truncation: compare only up to the truncated tail bound *)
+            let rhs = K.mul (S.eval a x) (S.eval b x) in
+            let d = K.abs (K.sub lhs rhs) in
+            (* products of degree-6 series truncate terms >= t^7: at
+               t = 1/2 the dropped tail is bounded by ~ 7 * 2^-7 *)
+            K.R.compare d (K.R.of_float 1.0) <= 0);
+      ] )
+end
+
+module Spdd = Series_props (Scalar.Dd)
+module Spz = Series_props (Scalar.Zdd)
+
+let () =
+  Alcotest.run "properties"
+    [
+      Pd.suite "double";
+      Pdd.suite "double double";
+      Pqd.suite "quad double";
+      Pod.suite "octo double";
+      Ld.suite "double";
+      Ldd.suite "double double";
+      Lqd.suite "quad double";
+      Lzdd.suite "complex double double";
+      Fpd.suite "double double";
+      Fpq.suite "quad double";
+      Spdd.suite "double double";
+      Spz.suite "complex double double";
+    ]

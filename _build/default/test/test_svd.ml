@@ -1,0 +1,142 @@
+(* Tests for the one-sided Jacobi SVD at several precisions, real and
+   complex. *)
+
+open Mdlinalg
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+module T (K : Scalar.S) = struct
+  module M = Mat.Make (K)
+  module V = Vec.Make (K)
+  module Svd = Jacobi_svd.Make (K)
+  module Qr = Host_qr.Make (K)
+  module Rand = Randmat.Make (K)
+  module C = Cond.Make (K)
+
+  let small r = K.R.compare r (K.R.of_float (1e6 *. K.R.eps)) <= 0
+
+  let reconstruct u (s : K.R.t array) v =
+    (* u diag(s) v^H *)
+    let n = Array.length s in
+    let us =
+      M.init (M.rows u) n (fun i j -> K.scale (M.get u i j) s.(j))
+    in
+    M.matmul us (M.adjoint v)
+
+  let orthonormal_columns m =
+    let g = M.matmul (M.adjoint m) m in
+    M.rel_distance (M.identity (M.cols m)) g
+
+  let test_reconstruction () =
+    let rng = Dompool.Prng.create 303 in
+    List.iter
+      (fun (m, n) ->
+        let a = Rand.matrix rng m n in
+        let u, s, v = Svd.svd a in
+        check
+          (Printf.sprintf "A = U S V^H (%dx%d)" m n)
+          true
+          (small (M.rel_distance a (reconstruct u s v)));
+        check "U orthonormal" true (small (orthonormal_columns u));
+        check "V unitary" true (small (orthonormal_columns v));
+        (* descending and nonnegative *)
+        let ok = ref true in
+        Array.iteri
+          (fun i x ->
+            if K.R.sign x < 0 then ok := false;
+            if i > 0 && K.R.compare s.(i - 1) x < 0 then ok := false)
+          s;
+        check "sigma sorted" true !ok)
+      [ (6, 6); (10, 7); (9, 1) ]
+
+  let test_known_values () =
+    (* A diagonal matrix's singular values are the |entries|. *)
+    let d = M.create 4 4 in
+    List.iteri
+      (fun i x -> M.set d i i (K.of_float x))
+      [ -3.0; 1.0; 4.0; 2.0 ];
+    let s = Svd.singular_values d in
+    let expect = [ 4.0; 3.0; 2.0; 1.0 ] in
+    List.iteri
+      (fun i e ->
+        check "diag sigma" true
+          (small (K.R.abs (K.R.add_float s.(i) (-.e)))))
+      expect;
+    (* orthogonal matrices have all singular values one *)
+    let rng = Dompool.Prng.create 304 in
+    let q, _ = Qr.factor (Rand.matrix rng 6 6) in
+    let s = Svd.singular_values q in
+    Array.iter
+      (fun x -> check "unitary sigma" true
+          (small (K.R.abs (K.R.add_float x (-1.0)))))
+      s;
+    check "cond2 of unitary" true
+      (small (K.R.abs (K.R.add_float (Svd.cond2 q) (-1.0))))
+
+  let test_rank () =
+    let rng = Dompool.Prng.create 305 in
+    (* outer product: rank one *)
+    let x = Rand.vector rng 8 and y = Rand.vector rng 5 in
+    let a = M.init 8 5 (fun i j -> K.mul x.(i) (K.conj y.(j))) in
+    checki "rank one" 1 (Svd.rank a);
+    (* sum of two outer products: rank two (almost surely) *)
+    let x2 = Rand.vector rng 8 and y2 = Rand.vector rng 5 in
+    let b =
+      M.init 8 5 (fun i j ->
+          K.add (M.get a i j) (K.mul x2.(i) (K.conj y2.(j))))
+    in
+    checki "rank two" 2 (Svd.rank b);
+    (* random square: full rank *)
+    let c = Rand.matrix rng 6 6 in
+    checki "full rank" 6 (Svd.rank c);
+    checki "zero rank" 0 (Svd.rank (M.create 4 3))
+
+  let test_cond_agreement () =
+    (* kappa_2 <= kappa_1 <= n^2 kappa_2 roughly; check the two trackers
+       agree within a generous factor. *)
+    let rng = Dompool.Prng.create 306 in
+    let a = Rand.matrix rng 6 6 in
+    try
+      let c1 = K.R.to_float (C.cond1 a) in
+      let c2 = K.R.to_float (Svd.cond2 a) in
+      check "norm equivalence" true (c1 /. c2 < 40.0 && c2 /. c1 < 40.0)
+    with C.Lu.Singular _ -> ()
+
+  let test_scaling () =
+    let rng = Dompool.Prng.create 307 in
+    let a = Rand.matrix rng 5 5 in
+    let s = Svd.singular_values a in
+    let s3 = Svd.singular_values (M.scale a (K.R.of_float 3.0)) in
+    Array.iteri
+      (fun i x ->
+        let d = K.R.abs (K.R.sub s3.(i) (K.R.mul_float x 3.0)) in
+        check "3x scaling" true
+          (K.R.compare d (K.R.mul_float s3.(0) (1e3 *. K.R.eps)) <= 0))
+      s
+
+  let suite name =
+    let t n f = Alcotest.test_case n `Quick f in
+    ( name,
+      [
+        t "reconstruction" test_reconstruction;
+        t "known values" test_known_values;
+        t "rank" test_rank;
+        t "cond1 vs cond2" test_cond_agreement;
+        t "scaling" test_scaling;
+      ] )
+end
+
+module Td = T (Scalar.D)
+module Tdd = T (Scalar.Dd)
+module Tqd = T (Scalar.Qd)
+module Tzdd = T (Scalar.Zdd)
+
+let () =
+  Alcotest.run "jacobi svd"
+    [
+      Td.suite "double";
+      Tdd.suite "double double";
+      Tqd.suite "quad double";
+      Tzdd.suite "complex double double";
+    ]
