@@ -1,0 +1,183 @@
+(* Host kernel micro-benchmark: the generic scalar path against the flat
+   limb-planar path of [Flat_kernels], on the simulator's dominant kernel
+   (the register-loading matrix product), in double double and quad
+   double, with the launch geometry of the blocked QR (one thread block =
+   [threads] output elements, blocks spread over the domain pool exactly
+   as [Sim.launch] spreads them).
+
+   The flat timings INCLUDE staging the operands into limb planes and
+   unstaging the result, i.e. they measure what the dispatcher actually
+   pays; the inner dimension amortizes that overhead.
+
+     dune exec bench/main.exe -- kernels        # full matrix, writes
+                                                # BENCH_kernels.json
+     dune exec bench/main.exe -- kernels-smoke  # one dd comparison,
+                                                # exits 1 on regression
+*)
+
+open Mdlinalg
+
+let threads = 128
+let inner = 128
+
+type row = {
+  prec : string;
+  n : int;
+  generic_ms : float;
+  flat_ms : float;
+}
+
+module Bench (K : Scalar.S) = struct
+  module M = Mat.Make (K)
+  module Rand = Randmat.Make (K)
+  module F = Flat_kernels.Make (K)
+
+  (* The generic launch body of [Blocked_qr.launch_matmul], verbatim. *)
+  let generic_ms pool ~n (a : M.t) (b : M.t) (c : M.t) =
+    let total = n * n in
+    let blocks = (total + threads - 1) / threads in
+    let t0 = Unix.gettimeofday () in
+    Dompool.Domain_pool.parallel_for ~chunk:1 pool 0 blocks (fun blk ->
+        let lo = blk * threads in
+        let hi = min total (lo + threads) in
+        let i = ref (lo / n) and j = ref (lo mod n) in
+        for _idx = lo to hi - 1 do
+          let s = ref K.zero in
+          for k = 0 to inner - 1 do
+            s := K.add !s (K.mul (M.get a !i k) (M.get b k !j))
+          done;
+          M.set c !i !j !s;
+          incr j;
+          if !j = n then begin
+            j := 0;
+            incr i
+          end
+        done);
+    (Unix.gettimeofday () -. t0) *. 1000.0
+
+  (* The flat dispatch path, staging included. *)
+  let flat_ms pool ~n (a : M.t) (b : M.t) (c : M.t) =
+    let total = n * n in
+    let blocks = (total + threads - 1) / threads in
+    let t0 = Unix.gettimeofday () in
+    let ap = F.stage ~rows:n ~cols:inner ~get:(fun i k -> M.get a i k) in
+    let bp = F.stage ~rows:inner ~cols:n ~get:(fun k j -> M.get b k j) in
+    let cp = F.alloc ~rows:n ~cols:n in
+    Dompool.Domain_pool.parallel_for ~chunk:1 pool 0 blocks (fun blk ->
+        F.matmul_block ~threads ap bp cp blk);
+    F.unstage cp ~store:(fun i j s -> M.set c i j s);
+    (Unix.gettimeofday () -. t0) *. 1000.0
+
+  let matmul ~n =
+    let pool = Dompool.Domain_pool.get_default () in
+    let rng = Dompool.Prng.create (4159 + n) in
+    let a = Rand.matrix rng n inner and b = Rand.matrix rng inner n in
+    let cg = M.create n n and cf = M.create n n in
+    let g = generic_ms pool ~n a b cg in
+    let f = flat_ms pool ~n a b cf in
+    (* The two paths must agree limb for limb — a wrong fast kernel is
+       worthless, so the benchmark checks while it times. *)
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if
+          not
+            (Array.for_all2
+               (fun x y ->
+                 Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+               (K.to_planes (M.get cg i j))
+               (K.to_planes (M.get cf i j)))
+        then begin
+          Printf.eprintf "kernels bench: flat/generic mismatch at (%d,%d)\n" i
+            j;
+          exit 1
+        end
+      done
+    done;
+    (g, f)
+end
+
+module Bdd = Bench (Scalar.Dd)
+module Bqd = Bench (Scalar.Qd)
+
+let pf = Printf.printf
+
+let header () =
+  pf "\n%s\n" (String.make 100 '-');
+  pf
+    "Host kernel bench: generic scalar path vs flat limb-planar path \
+     (matmul, inner dim %d, blocks of %d threads)\n"
+    inner threads;
+  pf "%s\n" (String.make 100 '-');
+  pf "%-6s %6s %14s %12s %10s\n" "prec" "n" "generic ms" "flat ms" "speedup"
+
+let report r =
+  pf "%-6s %6d %14.1f %12.1f %9.2fx\n%!" r.prec r.n r.generic_ms r.flat_ms
+    (r.generic_ms /. r.flat_ms)
+
+let json_of_rows rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"bench\": \"kernels\",\n";
+  Buffer.add_string b "  \"kernel\": \"matmul\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"threads\": %d,\n" threads);
+  Buffer.add_string b (Printf.sprintf "  \"inner\": %d,\n" inner);
+  Buffer.add_string b
+    (Printf.sprintf "  \"domains\": %d,\n"
+       (Dompool.Domain_pool.size (Dompool.Domain_pool.get_default ())));
+  Buffer.add_string b "  \"results\": [\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"prec\": %S, \"n\": %d, \"generic_ms\": %.3f, \"flat_ms\": \
+            %.3f, \"speedup\": %.3f}%s\n"
+           r.prec r.n r.generic_ms r.flat_ms
+           (r.generic_ms /. r.flat_ms)
+           (if i = last then "" else ",")))
+    rows;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+(* Full matrix: dd and qd at n in {256, 512, 1024}; emits
+   BENCH_kernels.json in the working directory. *)
+let run () =
+  header ();
+  let sizes = [ 256; 512; 1024 ] in
+  let rows =
+    List.map
+      (fun n ->
+        let g, f = Bdd.matmul ~n in
+        let r = { prec = "2d"; n; generic_ms = g; flat_ms = f } in
+        report r;
+        r)
+      sizes
+    @ List.map
+        (fun n ->
+          let g, f = Bqd.matmul ~n in
+          let r = { prec = "4d"; n; generic_ms = g; flat_ms = f } in
+          report r;
+          r)
+        sizes
+  in
+  let path = "BENCH_kernels.json" in
+  let oc = open_out path in
+  output_string oc (json_of_rows rows);
+  close_out oc;
+  pf "  [json written to %s]\n" path
+
+(* Smoke: one dd comparison small enough to finish in seconds; fails the
+   run (exit 1) if the flat path is not faster than the generic one. *)
+let smoke () =
+  header ();
+  let n = 192 in
+  let g, f = Bdd.matmul ~n in
+  let r = { prec = "2d"; n; generic_ms = g; flat_ms = f } in
+  report r;
+  if f >= g then begin
+    Printf.eprintf
+      "kernels-smoke: flat path (%.1f ms) not faster than generic (%.1f \
+       ms)\n"
+      f g;
+    exit 1
+  end

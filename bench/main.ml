@@ -43,6 +43,8 @@ let items : (string * (unit -> unit)) list =
     ("ablation-stability", Tables.ablation_stability);
     ("ablation-occupancy", Tables.ablation_occupancy);
     ("host-bechamel", Host_bench.run);
+    ("kernels", Kernels_bench.run);
+    ("kernels-smoke", Kernels_bench.smoke);
   ]
 
 let () =

@@ -23,6 +23,7 @@ open Mdlinalg
 module Make (K : Scalar.S) = struct
   module M = Mat.Make (K)
   module V = Vec.Make (K)
+  module F = Flat_kernels.Make (K)
 
   let sb = float_of_int (8 * K.width)
 
@@ -69,17 +70,38 @@ module Make (K : Scalar.S) = struct
           ~thread_bytes:(2.0 *. f inner *. f total *. sb)
           ~working_set:ws o
       in
-      Sim.launch sim ~stage ~cost (fun blk ->
-          let lo = blk * threads in
-          let hi = min total (lo + threads) in
-          for idx = lo to hi - 1 do
-            let i = idx / cols_o and j = idx mod cols_o in
-            let s = ref K.zero in
-            for k = 0 to inner - 1 do
-              s := K.add !s (K.mul (geta i k) (getb k j))
-            done;
-            store i j !s
-          done)
+      (* The modeled device cost above is the same on both paths; only
+         the host execution of the kernel body differs.  The flat path
+         stages both operands into limb planes once (O(total) conversions
+         against O(total * inner) kernel operations) and runs the
+         allocation-free plane kernels, limb for limb identical to the
+         generic loop below. *)
+      if sim.Sim.execute && F.available () then begin
+        let a = F.stage ~rows:rows_o ~cols:inner ~get:geta in
+        let b = F.stage ~rows:inner ~cols:cols_o ~get:getb in
+        let c = F.alloc ~rows:rows_o ~cols:cols_o in
+        Sim.launch sim ~stage ~cost (fun blk ->
+            F.matmul_block ~threads a b c blk);
+        F.unstage c ~store
+      end
+      else
+        Sim.launch sim ~stage ~cost (fun blk ->
+            let lo = blk * threads in
+            let hi = min total (lo + threads) in
+            (* Running (row, col) pair instead of a div/mod per element. *)
+            let i = ref (lo / cols_o) and j = ref (lo mod cols_o) in
+            for _idx = lo to hi - 1 do
+              let s = ref K.zero in
+              for k = 0 to inner - 1 do
+                s := K.add !s (K.mul (geta !i k) (getb k !j))
+              done;
+              store !i !j !s;
+              incr j;
+              if !j = cols_o then begin
+                j := 0;
+                incr i
+              end
+            done)
     end
 
   (* Elementwise addition kernel: dst += src. *)
@@ -98,8 +120,17 @@ module Make (K : Scalar.S) = struct
       Sim.launch sim ~stage ~cost (fun blk ->
           let lo = blk * threads in
           let hi = min total (lo + threads) in
-          for idx = lo to hi - 1 do
-            add_to (idx / cols_o) (idx mod cols_o) (get (idx / cols_o) (idx mod cols_o))
+          (* Running (row, col) pair instead of two div/mod per element;
+             one addition per element cannot amortize limb staging, so
+             this kernel stays on the generic path. *)
+          let i = ref (lo / cols_o) and j = ref (lo mod cols_o) in
+          for _idx = lo to hi - 1 do
+            add_to !i !j (get !i !j);
+            incr j;
+            if !j = cols_o then begin
+              j := 0;
+              incr i
+            end
           done)
     end
 

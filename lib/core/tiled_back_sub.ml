@@ -18,6 +18,7 @@ open Mdlinalg
 module Make (K : Scalar.S) = struct
   module M = Mat.Make (K)
   module V = Vec.Make (K)
+  module F = Flat_kernels.Make (K)
 
   let scalar_bytes = float_of_int (8 * K.width)
 
@@ -103,6 +104,22 @@ module Make (K : Scalar.S) = struct
         done;
         M.blit ~src:inv ~dst:v ~r0 ~c0:r0);
 
+    (* Flat path for stage 2: the matrix (with the now-inverted diagonal
+       tiles), the right-hand side and the solution are staged into limb
+       planes ONCE and every inner-product kernel below runs on them
+       allocation free; only the solution is unstaged at the end.  Tile
+       inversion stays generic (it divides, which the flat primitives do
+       not cover).  The modeled launch costs are shared with the generic
+       path, so device timing is unchanged. *)
+    let flat =
+      if sim.Sim.execute && F.available () then
+        Some
+          ( F.stage ~rows:dim ~cols:dim ~get:(fun i j -> M.get v i j),
+            F.stage_vec ~n:dim ~get:(fun i -> bd.(i)),
+            F.alloc ~rows:dim ~cols:1 )
+      else None
+    in
+
     (* Stage 2: alternate multiplications with the inverses and updates of
        the remaining right-hand sides. *)
     for i = nt - 1 downto 0 do
@@ -119,13 +136,16 @@ module Make (K : Scalar.S) = struct
           ~working_set:(muls *. scalar_bytes) per
       in
       Sim.launch sim ~stage:Stage.multiply_inverses ~cost:mul_cost (fun _ ->
-          for r = 0 to n - 1 do
-            let s = ref K.zero in
-            for c = r to n - 1 do
-              s := K.add !s (K.mul (M.get v (r0 + r) (r0 + c)) bd.(r0 + c))
-            done;
-            x.(r0 + r) <- !s
-          done);
+          match flat with
+          | Some (vp, bdp, xp) -> F.bs_xi_block ~dim ~r0 ~n vp bdp xp
+          | None ->
+            for r = 0 to n - 1 do
+              let s = ref K.zero in
+              for c = r to n - 1 do
+                s := K.add !s (K.mul (M.get v (r0 + r) (r0 + c)) bd.(r0 + c))
+              done;
+              x.(r0 + r) <- !s
+            done);
       (* b_j := b_j - A_{j,i} x_i for all j < i, i blocks of n threads,
          counted as i concurrent launches like the paper does. *)
       if i > 0 then begin
@@ -142,15 +162,21 @@ module Make (K : Scalar.S) = struct
         Sim.launch sim ~stage:Stage.back_substitution ~cost:upd_cost
           (fun j ->
             let rj = j * n in
-            for r = 0 to n - 1 do
-              let s = ref K.zero in
-              for c = 0 to n - 1 do
-                s := K.add !s (K.mul (M.get v (rj + r) (r0 + c)) x.(r0 + c))
-              done;
-              bd.(rj + r) <- K.sub bd.(rj + r) !s
-            done)
+            match flat with
+            | Some (vp, bdp, xp) -> F.bs_update_block ~dim ~r0 ~rj ~n vp xp bdp
+            | None ->
+              for r = 0 to n - 1 do
+                let s = ref K.zero in
+                for c = 0 to n - 1 do
+                  s := K.add !s (K.mul (M.get v (rj + r) (r0 + c)) x.(r0 + c))
+                done;
+                bd.(rj + r) <- K.sub bd.(rj + r) !s
+              done)
       end
     done;
+    (match flat with
+    | Some (_, _, xp) -> F.unstage_vec xp ~store:(fun i s -> x.(i) <- s)
+    | None -> ());
     (* Device -> host: the solution. *)
     Sim.transfer sim (float_of_int dim *. scalar_bytes);
     x

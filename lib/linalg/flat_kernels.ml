@@ -1,0 +1,317 @@
+(* Allocation-free limb-planar ("flat") kernels on staggered planes.
+
+   The simulator's hot kernels — the register-loading matrix product, the
+   back substitution inner products and their relatives — normally execute
+   through a [Scalar.S], boxing one record per multiple double operation.
+   At paper-scale dimensions the resulting allocation traffic, not the
+   arithmetic, dominates host wall time.
+
+   This module executes the same kernels directly on the staggered
+   [float array] planes of [Staggered], using the unrolled double double
+   and quad double primitives of [Dd_flat] and [Qd_flat].  Those mirror
+   the accurate QDlib algorithms floating point operation for floating
+   point operation, so the flat kernels produce results that are limb for
+   limb identical to the generic path; the dispatchers in [Blocked_qr] and
+   [Tiled_back_sub] exploit that to switch paths on a pure capability
+   check ([available]) with no numerical consequences.
+
+   Staging an operand into planes costs O(elements) conversions while a
+   matrix product performs O(elements * inner) operations on it, so the
+   staging overhead is amortized by the inner dimension; kernels that do
+   O(1) work per element (the elementwise additions) are left on the
+   generic path, where staging would triple their cost.
+
+   Block-level entry points take the same [blk] argument as the generic
+   [Sim.launch] bodies and write the same disjoint index ranges, so they
+   are safe under [Domain_pool.parallel_for] without further locking. *)
+
+open Multidouble
+
+(* Global switch, for benchmarks and the equivalence tests; the
+   dispatchers consult it through [available]. *)
+let enabled = ref true
+
+module Make (K : Scalar.S) = struct
+  (* A staged operand: [K.width] planes of rows*cols doubles, row-major —
+     the layout of [Staggered], without the [K.t] matrix behind it. *)
+  type planes = { rows : int; cols : int; p : float array array }
+
+  (* The flat primitives cover plain real double double and quad double;
+     complex and instrumented scalars keep the generic path. *)
+  let available () =
+    !enabled && K.flat_ok && (not K.is_complex) && (K.width = 2 || K.width = 4)
+
+  let alloc ~rows ~cols =
+    { rows; cols; p = Array.init K.width (fun _ -> Array.make (rows * cols) 0.0) }
+
+  let stage ~rows ~cols ~get =
+    let t = alloc ~rows ~cols in
+    for i = 0 to rows - 1 do
+      let base = i * cols in
+      for j = 0 to cols - 1 do
+        let limbs = K.to_planes (get i j) in
+        for pl = 0 to K.width - 1 do
+          t.p.(pl).(base + j) <- limbs.(pl)
+        done
+      done
+    done;
+    t
+
+  (* [of_limbs] renormalizes, but flat results come out of the same
+     renormalization the generic operations end with, so unstaging is the
+     identity on them (and on any normalized input). *)
+  let unstage t ~store =
+    let limbs = Array.make K.width 0.0 in
+    for i = 0 to t.rows - 1 do
+      let base = i * t.cols in
+      for j = 0 to t.cols - 1 do
+        for pl = 0 to K.width - 1 do
+          limbs.(pl) <- t.p.(pl).(base + j)
+        done;
+        store i j (K.of_planes limbs)
+      done
+    done
+
+  let stage_vec ~n ~get = stage ~rows:n ~cols:1 ~get:(fun i _ -> get i)
+  let unstage_vec t ~store = unstage t ~store:(fun i _ s -> store i s)
+
+  (* ---- The register-loading matrix product, one [Sim.launch] block:
+     output elements [blk*threads, (blk+1)*threads), each a dot product
+     of a row of [a] with a column of [b].  Identical operation sequence
+     to the generic body ([s := K.add !s (K.mul aik bkj)]). ---- *)
+
+  let matmul_block_dd ~threads (a : planes) (b : planes) (c : planes) blk =
+    let total = c.rows * c.cols in
+    let lo = blk * threads in
+    let hi = min total (lo + threads) in
+    if lo < hi then begin
+      let ad = Dd_flat.duo a.p and bd = Dd_flat.duo b.p in
+      let cd = Dd_flat.duo c.p in
+      let acc = Dd_flat.make () in
+      let inner = a.cols and cols_o = c.cols and bcols = b.cols in
+      (* Running (row, col) pair instead of a division per element. *)
+      let i = ref (lo / cols_o) and j = ref (lo mod cols_o) in
+      for idx = lo to hi - 1 do
+        Dd_flat.clear acc;
+        let ai = ref (!i * inner) and bi = ref !j in
+        for _k = 0 to inner - 1 do
+          Dd_flat.mul_add acc ad !ai bd !bi;
+          incr ai;
+          bi := !bi + bcols
+        done;
+        Dd_flat.store acc cd idx;
+        incr j;
+        if !j = cols_o then begin
+          j := 0;
+          incr i
+        end
+      done
+    end
+
+  let matmul_block_qd ~threads (a : planes) (b : planes) (c : planes) blk =
+    let total = c.rows * c.cols in
+    let lo = blk * threads in
+    let hi = min total (lo + threads) in
+    if lo < hi then begin
+      let aq = Qd_flat.quad a.p and bq = Qd_flat.quad b.p in
+      let cq = Qd_flat.quad c.p in
+      let ctx = Qd_flat.make_ctx () in
+      let acc = Array.make 4 0.0 in
+      let inner = a.cols and cols_o = c.cols and bcols = b.cols in
+      let i = ref (lo / cols_o) and j = ref (lo mod cols_o) in
+      for idx = lo to hi - 1 do
+        Qd_flat.clear acc;
+        let ai = ref (!i * inner) and bi = ref !j in
+        for _k = 0 to inner - 1 do
+          Qd_flat.mul_add ctx acc aq !ai bq !bi;
+          incr ai;
+          bi := !bi + bcols
+        done;
+        Qd_flat.store acc cq idx;
+        incr j;
+        if !j = cols_o then begin
+          j := 0;
+          incr i
+        end
+      done
+    end
+
+  let matmul_block ~threads a b c blk =
+    if K.width = 2 then matmul_block_dd ~threads a b c blk
+    else matmul_block_qd ~threads a b c blk
+
+  (* ---- Tiled back substitution, stage 2.  [vp] is the full dim-by-dim
+     matrix with inverted diagonal tiles, [bdp] the evolving right-hand
+     side, [xp] the solution; all three stay staged across the whole
+     sweep and only [xp] is unstaged at the end. ---- *)
+
+  (* x_i := U_i^{-1} b_i: row r of the tile at [r0] dots the inverse row
+     (upper triangular, columns r..n-1) with the right-hand side tile. *)
+  let bs_xi_block ~dim ~r0 ~n (vp : planes) (bdp : planes) (xp : planes) =
+    if K.width = 2 then begin
+      let vd = Dd_flat.duo vp.p and bd = Dd_flat.duo bdp.p in
+      let xd = Dd_flat.duo xp.p in
+      let acc = Dd_flat.make () in
+      for r = 0 to n - 1 do
+        Dd_flat.clear acc;
+        let row = (r0 + r) * dim in
+        for c = r to n - 1 do
+          Dd_flat.mul_add acc vd (row + r0 + c) bd (r0 + c)
+        done;
+        Dd_flat.store acc xd (r0 + r)
+      done
+    end
+    else begin
+      let vq = Qd_flat.quad vp.p and bq = Qd_flat.quad bdp.p in
+      let xq = Qd_flat.quad xp.p in
+      let ctx = Qd_flat.make_ctx () in
+      let acc = Array.make 4 0.0 in
+      for r = 0 to n - 1 do
+        Qd_flat.clear acc;
+        let row = (r0 + r) * dim in
+        for c = r to n - 1 do
+          Qd_flat.mul_add ctx acc vq (row + r0 + c) bq (r0 + c)
+        done;
+        Qd_flat.store acc xq (r0 + r)
+      done
+    end
+
+  (* b_j := b_j - A_{j,i} x_i: block [rj] subtracts the full n-by-n tile
+     product from its right-hand side tile. *)
+  let bs_update_block ~dim ~r0 ~rj ~n (vp : planes) (xp : planes)
+      (bdp : planes) =
+    if K.width = 2 then begin
+      let vd = Dd_flat.duo vp.p and xd = Dd_flat.duo xp.p in
+      let bd = Dd_flat.duo bdp.p in
+      let acc = Dd_flat.make () in
+      for r = 0 to n - 1 do
+        Dd_flat.clear acc;
+        let row = (rj + r) * dim in
+        for c = 0 to n - 1 do
+          Dd_flat.mul_add acc vd (row + r0 + c) xd (r0 + c)
+        done;
+        Dd_flat.sub_from bd (rj + r) acc
+      done
+    end
+    else begin
+      let vq = Qd_flat.quad vp.p and xq = Qd_flat.quad xp.p in
+      let bq = Qd_flat.quad bdp.p in
+      let ctx = Qd_flat.make_ctx () in
+      let acc = Array.make 4 0.0 in
+      for r = 0 to n - 1 do
+        Qd_flat.clear acc;
+        let row = (rj + r) * dim in
+        for c = 0 to n - 1 do
+          Qd_flat.mul_add ctx acc vq (row + r0 + c) xq (r0 + c)
+        done;
+        Qd_flat.sub_from ctx bq (rj + r) acc
+      done
+    end
+
+  (* ---- Plane-level microkernels, used by the equivalence tests and the
+     kernel benchmark (the dispatchers above are their consumers in
+     kernel-shaped form). All write-backs follow the generic argument
+     order: [K.add dst src], [K.sub dst src]. ---- *)
+
+  (* out[oidx] := sum_i a[i] * b[i] over n vector elements. *)
+  let dot ~n (a : planes) (b : planes) (out : planes) oidx =
+    if K.width = 2 then begin
+      let ad = Dd_flat.duo a.p and bd = Dd_flat.duo b.p in
+      let od = Dd_flat.duo out.p in
+      let acc = Dd_flat.make () in
+      Dd_flat.clear acc;
+      for i = 0 to n - 1 do
+        Dd_flat.mul_add acc ad i bd i
+      done;
+      Dd_flat.store acc od oidx
+    end
+    else begin
+      let aq = Qd_flat.quad a.p and bq = Qd_flat.quad b.p in
+      let oq = Qd_flat.quad out.p in
+      let ctx = Qd_flat.make_ctx () in
+      let acc = Array.make 4 0.0 in
+      Qd_flat.clear acc;
+      for i = 0 to n - 1 do
+        Qd_flat.mul_add ctx acc aq i bq i
+      done;
+      Qd_flat.store acc oq oidx
+    end
+
+  (* y[i] := y[i] + alpha * x[i]; [alpha] is a staged single element. *)
+  let axpy ~n (alpha : planes) (x : planes) (y : planes) =
+    if K.width = 2 then begin
+      let al = Dd_flat.duo alpha.p and xd = Dd_flat.duo x.p in
+      let yd = Dd_flat.duo y.p in
+      let acc = Dd_flat.make () in
+      for i = 0 to n - 1 do
+        Dd_flat.load acc yd i;
+        Dd_flat.mul_add acc al 0 xd i;
+        Dd_flat.store acc yd i
+      done
+    end
+    else begin
+      let al = Qd_flat.quad alpha.p and xq = Qd_flat.quad x.p in
+      let yq = Qd_flat.quad y.p in
+      let ctx = Qd_flat.make_ctx () in
+      let acc = Array.make 4 0.0 in
+      for i = 0 to n - 1 do
+        Qd_flat.load acc yq i;
+        Qd_flat.mul_add ctx acc al 0 xq i;
+        Qd_flat.store acc yq i
+      done
+    end
+
+  (* a[i, j] := a[i, j] - x[i] * y[j], the Householder panel update. *)
+  let rank1_sub (a : planes) (x : planes) (y : planes) =
+    if K.width = 2 then begin
+      let ad = Dd_flat.duo a.p and xd = Dd_flat.duo x.p in
+      let yd = Dd_flat.duo y.p in
+      let acc = Dd_flat.make () in
+      for i = 0 to a.rows - 1 do
+        let base = i * a.cols in
+        for j = 0 to a.cols - 1 do
+          Dd_flat.mul_set acc xd i yd j;
+          Dd_flat.sub_from ad (base + j) acc
+        done
+      done
+    end
+    else begin
+      let aq = Qd_flat.quad a.p and xq = Qd_flat.quad x.p in
+      let yq = Qd_flat.quad y.p in
+      let ctx = Qd_flat.make_ctx () in
+      let acc = Array.make 4 0.0 in
+      for i = 0 to a.rows - 1 do
+        let base = i * a.cols in
+        for j = 0 to a.cols - 1 do
+          Qd_flat.mul ctx acc xq i yq j;
+          Qd_flat.sub_from ctx aq (base + j) acc
+        done
+      done
+    end
+
+  (* dst[i] := dst[i] + src[i], elementwise over whole planes (kept on
+     the generic path in the dispatchers; here for tests and bench). *)
+  let ewadd (dst : planes) (src : planes) =
+    let total = dst.rows * dst.cols in
+    if K.width = 2 then begin
+      let dd = Dd_flat.duo dst.p and sd = Dd_flat.duo src.p in
+      let acc = Dd_flat.make () in
+      for i = 0 to total - 1 do
+        Dd_flat.load acc dd i;
+        Dd_flat.add acc sd i;
+        Dd_flat.store acc dd i
+      done
+    end
+    else begin
+      let dq = Qd_flat.quad dst.p and sq = Qd_flat.quad src.p in
+      let ctx = Qd_flat.make_ctx () in
+      let acc = Array.make 4 0.0 in
+      let tmp = Array.make 4 0.0 in
+      for i = 0 to total - 1 do
+        Qd_flat.load acc dq i;
+        Qd_flat.load tmp sq i;
+        Qd_flat.add ctx acc tmp;
+        Qd_flat.store acc dq i
+      done
+    end
+end

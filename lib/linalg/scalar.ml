@@ -19,6 +19,12 @@ module type S = sig
   (* Doubles per scalar in the staggered device representation. *)
   val width : int
 
+  (* True when [to_planes]/[of_planes] expose the canonical limb
+     representation of an uninstrumented real scalar — the flat
+     limb-planar kernels ([Flat_kernels]) may then compute directly on
+     staggered planes instead of going through [add]/[mul]. *)
+  val flat_ok : bool
+
   val zero : t
   val one : t
   val of_real : R.t -> t
@@ -70,6 +76,7 @@ module Real (Rm : Md_sig.S) : S with module R = Rm and type t = Rm.t = struct
   let prec = Precision.of_limbs Rm.limbs
   let is_complex = false
   let width = Rm.limbs
+  let flat_ok = not Rm.instrumented
   let zero = Rm.zero
   let one = Rm.one
   let of_real x = x
@@ -105,6 +112,10 @@ module Complex (Rm : Md_sig.S) = struct
   let prec = Precision.of_limbs Rm.limbs
   let is_complex = true
   let width = 2 * Rm.limbs
+
+  (* The flat kernels cover real dd/qd only; complex planes interleave
+     real and imaginary limbs and stay on the generic path. *)
+  let flat_ok = false
   let zero = C.zero
   let one = C.one
   let of_real = C.of_real

@@ -34,6 +34,9 @@ module Make (B : Md_sig.S) : sig
 end = struct
   include B
 
+  (* Tell the dispatchers the arithmetic is observed: the flat
+     limb-planar kernels would bypass the counters. *)
+  let instrumented = true
   let counter = fresh ()
 
   let reset () =

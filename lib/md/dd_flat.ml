@@ -1,0 +1,133 @@
+(* Allocation-free double double arithmetic on staggered limb planes.
+
+   The generic path executes every kernel operation through a [Scalar.S]
+   record, boxing a {hi; lo} pair per addition and multiplication, so at
+   paper-scale dimensions the simulator's hot loops are dominated by GC
+   pressure rather than arithmetic.  The functions here are the same
+   accurate QDlib algorithms as [Double_double] — unrolled to the exact
+   same floating point operation sequence, so the results are limb for
+   limb identical — but they read their operands straight out of the
+   staggered [float array] planes and keep every intermediate in an
+   unboxed local float.
+
+   The only mutable state is a two-field all-float record (stored with
+   unboxed fields by the OCaml runtime): one accumulator is allocated per
+   kernel block and reused across the elements of the block, so the
+   per-element loop body performs no allocation at all.  Every small
+   helper is [@inline]: once inlined into the kernel loop the float
+   arguments never cross a function boundary and stay in registers. *)
+
+(* The running accumulator: an all-float record, so both fields live
+   unboxed and mutation does not allocate. *)
+type acc = { mutable hi : float; mutable lo : float }
+
+let make () = { hi = 0.0; lo = 0.0 }
+
+let[@inline] clear t =
+  t.hi <- 0.0;
+  t.lo <- 0.0
+
+(* A double double plane pair: plane 0 holds the high limbs, plane 1 the
+   low limbs (the staggered device layout of [Staggered]). *)
+type duo = { d0 : float array; d1 : float array }
+
+let duo (planes : float array array) = { d0 = planes.(0); d1 = planes.(1) }
+
+let[@inline] load t (x : duo) i =
+  t.hi <- x.d0.(i);
+  t.lo <- x.d1.(i)
+
+let[@inline] store t (x : duo) i =
+  x.d0.(i) <- t.hi;
+  x.d1.(i) <- t.lo
+
+(* t := t + (bhi, blo): the accurate ieee_add of [Double_double.Pre.add],
+   fully unrolled (two_sum / two_sum / quick_two_sum / quick_two_sum). *)
+let[@inline] add_parts t bhi blo =
+  let ahi = t.hi and alo = t.lo in
+  (* s, e = two_sum ahi bhi *)
+  let s = ahi +. bhi in
+  let bb = s -. ahi in
+  let e = (ahi -. (s -. bb)) +. (bhi -. bb) in
+  (* t1, t2 = two_sum alo blo *)
+  let t1 = alo +. blo in
+  let bb2 = t1 -. alo in
+  let t2 = (alo -. (t1 -. bb2)) +. (blo -. bb2) in
+  let e = e +. t1 in
+  (* s, e = quick_two_sum s e *)
+  let s' = s +. e in
+  let e' = e -. (s' -. s) in
+  let e' = e' +. t2 in
+  (* hi, lo = quick_two_sum s' e' *)
+  let hi = s' +. e' in
+  let lo = e' -. (hi -. s') in
+  t.hi <- hi;
+  t.lo <- lo
+
+(* t := t - (bhi, blo): [Double_double.Pre.sub], unrolled (two_diff based,
+   not add-of-negation, to stay bit-identical with the generic path). *)
+let[@inline] sub_parts t bhi blo =
+  let ahi = t.hi and alo = t.lo in
+  (* d, e = two_diff ahi bhi *)
+  let d = ahi -. bhi in
+  let bb = d -. ahi in
+  let e = (ahi -. (d -. bb)) -. (bhi +. bb) in
+  (* t1, t2 = two_diff alo blo *)
+  let t1 = alo -. blo in
+  let bb2 = t1 -. alo in
+  let t2 = (alo -. (t1 -. bb2)) -. (blo +. bb2) in
+  let e = e +. t1 in
+  let s' = d +. e in
+  let e' = e -. (s' -. d) in
+  let e' = e' +. t2 in
+  let hi = s' +. e' in
+  let lo = e' -. (hi -. s') in
+  t.hi <- hi;
+  t.lo <- lo
+
+let[@inline] add t (x : duo) i = add_parts t x.d0.(i) x.d1.(i)
+
+(* t := a[ia] * b[ib]: [Double_double.Pre.mul], unrolled (two_prod via
+   fused multiply-add, cross terms in plain double, quick_two_sum). *)
+let[@inline] mul_set t (a : duo) ia (b : duo) ib =
+  let ahi = a.d0.(ia) and alo = a.d1.(ia) in
+  let bhi = b.d0.(ib) and blo = b.d1.(ib) in
+  let p = ahi *. bhi in
+  let e = Float.fma ahi bhi (-.p) in
+  let e = e +. ((ahi *. blo) +. (alo *. bhi)) in
+  let hi = p +. e in
+  let lo = e -. (hi -. p) in
+  t.hi <- hi;
+  t.lo <- lo
+
+(* t := t + a[ia] * b[ib], the fused inner step of every dot-shaped
+   kernel; exactly [K.add t (K.mul a b)] of the generic path. *)
+let[@inline] mul_add t (a : duo) ia (b : duo) ib =
+  let ahi = a.d0.(ia) and alo = a.d1.(ia) in
+  let bhi = b.d0.(ib) and blo = b.d1.(ib) in
+  let p = ahi *. bhi in
+  let e = Float.fma ahi bhi (-.p) in
+  let e = e +. ((ahi *. blo) +. (alo *. bhi)) in
+  let phi = p +. e in
+  let plo = e -. (phi -. p) in
+  add_parts t phi plo
+
+(* x[i] := x[i] - t, the write-back of the update kernels; exactly
+   [K.sub x t] of the generic path. *)
+let[@inline] sub_from (x : duo) i t =
+  let bhi = t.hi and blo = t.lo in
+  let ahi = x.d0.(i) and alo = x.d1.(i) in
+  let d = ahi -. bhi in
+  let bb = d -. ahi in
+  let e = (ahi -. (d -. bb)) -. (bhi +. bb) in
+  let t1 = alo -. blo in
+  let bb2 = t1 -. alo in
+  let t2 = (alo -. (t1 -. bb2)) -. (blo +. bb2) in
+  let e = e +. t1 in
+  let s' = d +. e in
+  let e' = e -. (s' -. d) in
+  let e' = e' +. t2 in
+  let hi = s' +. e' in
+  let lo = e' -. (hi -. s') in
+  x.d0.(i) <- hi;
+  x.d1.(i) <- lo

@@ -5,6 +5,7 @@
 module Make (B : Md_sig.PRE) : Md_sig.S with type t = B.t = struct
   include B
 
+  let instrumented = false
   let eps = 2.0 ** (-52.0 *. float_of_int limbs)
   let two = of_float 2.0
   let ten = of_float 10.0

@@ -48,6 +48,11 @@ end
 module type S = sig
   include PRE
 
+  (* True when the arithmetic carries observation side effects (the
+     [Counted] wrapper); the flat limb-planar kernels must then stay on
+     the generic path so every operation is still seen. *)
+  val instrumented : bool
+
   (* Unit roundoff of the format, [2^(-52 limbs)]. *)
   val eps : float
 

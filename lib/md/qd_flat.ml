@@ -1,0 +1,350 @@
+(* Allocation-free quad double arithmetic on staggered limb planes.
+
+   Mirrors the accurate QDlib algorithms of [Quad_double] floating point
+   operation for floating point operation, so the flat kernels produce
+   limb for limb the same results as the generic [Scalar.S] path — but
+   with no per-operation allocation: every intermediate lives in an
+   unboxed local float or in one of the small scratch arrays of a [ctx]
+   that a kernel allocates once per block and reuses for every element.
+
+   Quad double numbers are passed around as (planes, index): a [quad] is
+   the four significance-sorted planes of the staggered layout, and an
+   individual value is the four doubles at one index. *)
+
+type quad = {
+  q0 : float array;
+  q1 : float array;
+  q2 : float array;
+  q3 : float array;
+}
+
+let quad (planes : float array array) =
+  { q0 = planes.(0); q1 = planes.(1); q2 = planes.(2); q3 = planes.(3) }
+
+(* Per-block scratch.  The mutable int fields replace the int refs of the
+   reference implementation; float state lives in float arrays (unboxed
+   storage), never in mixed-record fields (which would box). *)
+type ctx = {
+  prod : float array; (* 4: the last product *)
+  xx : float array; (* 4: merge output of the accurate addition *)
+  nb : float array; (* 4: negated operand of a subtraction *)
+  rt : float array; (* 5: renormalization scratch (input, clobbered) *)
+  out : float array; (* 4: renormalization output *)
+  uv : float array; (* 3: the (u, v) window of ieee_add + a tail slot *)
+  mutable mi : int; (* merge cursor into the first operand *)
+  mutable mj : int; (* merge cursor into the second operand *)
+  mutable mk : int; (* next output slot of the merge *)
+}
+
+let make_ctx () =
+  {
+    prod = Array.make 4 0.0;
+    xx = Array.make 4 0.0;
+    nb = Array.make 4 0.0;
+    rt = Array.make 5 0.0;
+    out = Array.make 4 0.0;
+    uv = Array.make 3 0.0;
+    mi = 0;
+    mj = 0;
+    mk = 0;
+  }
+
+let[@inline] clear (s : float array) =
+  s.(0) <- 0.0;
+  s.(1) <- 0.0;
+  s.(2) <- 0.0;
+  s.(3) <- 0.0
+
+let[@inline] load (s : float array) (x : quad) i =
+  s.(0) <- x.q0.(i);
+  s.(1) <- x.q1.(i);
+  s.(2) <- x.q2.(i);
+  s.(3) <- x.q3.(i)
+
+let[@inline] store (s : float array) (x : quad) i =
+  x.q0.(i) <- s.(0);
+  x.q1.(i) <- s.(1);
+  x.q2.(i) <- s.(2);
+  x.q3.(i) <- s.(3)
+
+(* [renorm ctx n] compresses ctx.rt.(0 .. n-1) into ctx.out, performing
+   exactly the operations of [Renorm.renormalize ~m:4] (single pass).
+   ctx.rt is clobbered; ctx.out is zeroed first, as the reference does. *)
+let renorm ctx n =
+  let t = ctx.rt and out = ctx.out in
+  out.(0) <- 0.0;
+  out.(1) <- 0.0;
+  out.(2) <- 0.0;
+  out.(3) <- 0.0;
+  (* Backward two_sum ladder; the running carry is kept in t.(i) itself
+     (identical values to the ref-carried original). *)
+  for i = n - 2 downto 0 do
+    let a = t.(i) and b = t.(i + 1) in
+    let s = a +. b in
+    let bb = s -. a in
+    let e = (a -. (s -. bb)) +. (b -. bb) in
+    t.(i) <- s;
+    t.(i + 1) <- e
+  done;
+  (* Forward pass: commit each nonzero error as the next output limb. *)
+  ctx.mi <- 1;
+  ctx.mk <- 0;
+  ctx.uv.(0) <- t.(0);
+  while ctx.mi < n && ctx.mk < 4 do
+    let a = ctx.uv.(0) and b = t.(ctx.mi) in
+    let s = a +. b in
+    let e = b -. (s -. a) in
+    if e <> 0.0 then begin
+      out.(ctx.mk) <- s;
+      ctx.mk <- ctx.mk + 1;
+      ctx.uv.(0) <- e
+    end
+    else ctx.uv.(0) <- s;
+    ctx.mi <- ctx.mi + 1
+  done;
+  if ctx.mk < 4 then out.(ctx.mk) <- ctx.uv.(0)
+
+(* [merge_next ctx aa bb] pops the next limb of the merge-by-decreasing-
+   magnitude of aa and bb (the [next] closure of [Quad_double.Pre.add],
+   with the cursors kept in ctx instead of captured refs). *)
+let[@inline] merge_next ctx (aa : float array) (bb : float array) =
+  if ctx.mi >= 4 then begin
+    let t = bb.(ctx.mj) in
+    ctx.mj <- ctx.mj + 1;
+    t
+  end
+  else if ctx.mj >= 4 || Float.abs aa.(ctx.mi) > Float.abs bb.(ctx.mj) then begin
+    let t = aa.(ctx.mi) in
+    ctx.mi <- ctx.mi + 1;
+    t
+  end
+  else begin
+    let t = bb.(ctx.mj) in
+    ctx.mj <- ctx.mj + 1;
+    t
+  end
+
+(* [add ctx x y] sets x := x + y (both 4-limb arrays), the accurate
+   ieee_add of [Quad_double.Pre.add]: merge the eight limbs by decreasing
+   magnitude through a sliding two-term window, then renormalize. *)
+let add ctx (x : float array) (y : float array) =
+  let aa = x and bb = y in
+  let w = ctx.xx in
+  w.(0) <- 0.0;
+  w.(1) <- 0.0;
+  w.(2) <- 0.0;
+  w.(3) <- 0.0;
+  ctx.mi <- 0;
+  ctx.mj <- 0;
+  ctx.mk <- 0;
+  let uv = ctx.uv in
+  uv.(0) <- merge_next ctx aa bb;
+  uv.(1) <- merge_next ctx aa bb;
+  (* u, v := quick_two_sum u v *)
+  (let a = uv.(0) and b = uv.(1) in
+   let s = a +. b in
+   let e = b -. (s -. a) in
+   uv.(0) <- s;
+   uv.(1) <- e);
+  (try
+     while ctx.mk < 4 do
+       if ctx.mi >= 4 && ctx.mj >= 4 then begin
+         w.(ctx.mk) <- uv.(0);
+         if ctx.mk < 3 then begin
+           ctx.mk <- ctx.mk + 1;
+           w.(ctx.mk) <- uv.(1)
+         end;
+         raise Exit
+       end;
+       let t = merge_next ctx aa bb in
+       (* s, u', v' = quick_three_accum u v t *)
+       let u = uv.(0) and v = uv.(1) in
+       let s1 = v +. t in
+       let bb1 = s1 -. v in
+       let v' = (v -. (s1 -. bb1)) +. (t -. bb1) in
+       let s2 = u +. s1 in
+       let bb2 = s2 -. u in
+       let u' = (u -. (s2 -. bb2)) +. (s1 -. bb2) in
+       let za = u' <> 0.0 and zb = v' <> 0.0 in
+       let s, nu, nv =
+         if za && zb then (s2, u', v')
+         else if not zb then (0.0, s2, u')
+         else (0.0, s2, v')
+       in
+       uv.(0) <- nu;
+       uv.(1) <- nv;
+       if s <> 0.0 then begin
+         w.(ctx.mk) <- s;
+         ctx.mk <- ctx.mk + 1
+       end
+     done;
+     (* All four output slots filled: sweep the leftovers into the tail. *)
+     uv.(2) <- 0.0;
+     for k = ctx.mi to 3 do
+       uv.(2) <- uv.(2) +. aa.(k)
+     done;
+     for k = ctx.mj to 3 do
+       uv.(2) <- uv.(2) +. bb.(k)
+     done;
+     w.(3) <- w.(3) +. uv.(2) +. uv.(0) +. uv.(1)
+   with Exit -> ());
+  (* renorm4 w into x *)
+  let rt = ctx.rt in
+  rt.(0) <- w.(0);
+  rt.(1) <- w.(1);
+  rt.(2) <- w.(2);
+  rt.(3) <- w.(3);
+  renorm ctx 4;
+  x.(0) <- ctx.out.(0);
+  x.(1) <- ctx.out.(1);
+  x.(2) <- ctx.out.(2);
+  x.(3) <- ctx.out.(3)
+
+(* [sub ctx x y] sets x := x - y, as [Quad_double.Pre.sub] does: the
+   accurate addition of the negation. *)
+let sub ctx (x : float array) (y : float array) =
+  let nb = ctx.nb in
+  nb.(0) <- -.y.(0);
+  nb.(1) <- -.y.(1);
+  nb.(2) <- -.y.(2);
+  nb.(3) <- -.y.(3);
+  add ctx x nb
+
+(* [mul ctx dst a ia b ib] sets dst := a[ia] * b[ib]: the accurate
+   multiplication of [Quad_double.Pre.mul], all partial products of order
+   < 4 with their two_prod errors, order-4 terms folded in plain double,
+   then the final renormalization of the five-term result. *)
+let mul ctx (dst : float array) (a : quad) ia (b : quad) ib =
+  let a0 = a.q0.(ia) and a1 = a.q1.(ia) and a2 = a.q2.(ia) and a3 = a.q3.(ia) in
+  let b0 = b.q0.(ib) and b1 = b.q1.(ib) and b2 = b.q2.(ib) and b3 = b.q3.(ib) in
+  (* p, q = two_prod for every partial product of order < 3. *)
+  let p0 = a0 *. b0 in
+  let q0 = Float.fma a0 b0 (-.p0) in
+  let p1 = a0 *. b1 in
+  let q1 = Float.fma a0 b1 (-.p1) in
+  let p2 = a1 *. b0 in
+  let q2 = Float.fma a1 b0 (-.p2) in
+  let p3 = a0 *. b2 in
+  let q3 = Float.fma a0 b2 (-.p3) in
+  let p4 = a1 *. b1 in
+  let q4 = Float.fma a1 b1 (-.p4) in
+  let p5 = a2 *. b0 in
+  let q5 = Float.fma a2 b0 (-.p5) in
+  (* p1, p2, q0 = three_sum p1 p2 q0 *)
+  let t1 = p1 +. p2 in
+  let bb = t1 -. p1 in
+  let t2 = (p1 -. (t1 -. bb)) +. (p2 -. bb) in
+  let s0 = q0 +. t1 in
+  let bb = s0 -. q0 in
+  let t3 = (q0 -. (s0 -. bb)) +. (t1 -. bb) in
+  let s1 = t2 +. t3 in
+  let bb = s1 -. t2 in
+  let s2 = (t2 -. (s1 -. bb)) +. (t3 -. bb) in
+  let p1 = s0 and p2 = s1 and q0 = s2 in
+  (* p2, q1, q2 = three_sum p2 q1 q2 *)
+  let t1 = p2 +. q1 in
+  let bb = t1 -. p2 in
+  let t2 = (p2 -. (t1 -. bb)) +. (q1 -. bb) in
+  let s0 = q2 +. t1 in
+  let bb = s0 -. q2 in
+  let t3 = (q2 -. (s0 -. bb)) +. (t1 -. bb) in
+  let s1 = t2 +. t3 in
+  let bb = s1 -. t2 in
+  let s2 = (t2 -. (s1 -. bb)) +. (t3 -. bb) in
+  let p2 = s0 and q1 = s1 and q2 = s2 in
+  (* p3, p4, p5 = three_sum p3 p4 p5 *)
+  let t1 = p3 +. p4 in
+  let bb = t1 -. p3 in
+  let t2 = (p3 -. (t1 -. bb)) +. (p4 -. bb) in
+  let s0 = p5 +. t1 in
+  let bb = s0 -. p5 in
+  let t3 = (p5 -. (s0 -. bb)) +. (t1 -. bb) in
+  let s1 = t2 +. t3 in
+  let bb = s1 -. t2 in
+  let s2 = (t2 -. (s1 -. bb)) +. (t3 -. bb) in
+  let p3 = s0 and p4 = s1 and p5 = s2 in
+  (* (s0, s1, s2) = (p2, q1, q2) + (p3, p4, p5) *)
+  let s0 = p2 +. p3 in
+  let bb = s0 -. p2 in
+  let t0 = (p2 -. (s0 -. bb)) +. (p3 -. bb) in
+  let s1 = q1 +. p4 in
+  let bb = s1 -. q1 in
+  let t1 = (q1 -. (s1 -. bb)) +. (p4 -. bb) in
+  let s2 = q2 +. p5 in
+  let s1' = s1 +. t0 in
+  let bb = s1' -. s1 in
+  let t0' = (s1 -. (s1' -. bb)) +. (t0 -. bb) in
+  let s1 = s1' and t0 = t0' in
+  let s2 = s2 +. t0 +. t1 in
+  (* O(eps^3) terms. *)
+  let p6 = a0 *. b3 in
+  let q6 = Float.fma a0 b3 (-.p6) in
+  let p7 = a1 *. b2 in
+  let q7 = Float.fma a1 b2 (-.p7) in
+  let p8 = a2 *. b1 in
+  let q8 = Float.fma a2 b1 (-.p8) in
+  let p9 = a3 *. b0 in
+  let q9 = Float.fma a3 b0 (-.p9) in
+  (* Nine-two sum of q0, s1, q3, q4, q5, p6, p7, p8, p9. *)
+  let u = q0 +. q3 in
+  let bb = u -. q0 in
+  let q3' = (q0 -. (u -. bb)) +. (q3 -. bb) in
+  let q0 = u and q3 = q3' in
+  let u = q4 +. q5 in
+  let bb = u -. q4 in
+  let q5' = (q4 -. (u -. bb)) +. (q5 -. bb) in
+  let q4 = u and q5 = q5' in
+  let u = p6 +. p7 in
+  let bb = u -. p6 in
+  let p7' = (p6 -. (u -. bb)) +. (p7 -. bb) in
+  let p6 = u and p7 = p7' in
+  let u = p8 +. p9 in
+  let bb = u -. p8 in
+  let p9' = (p8 -. (u -. bb)) +. (p9 -. bb) in
+  let p8 = u and p9 = p9' in
+  let t0'' = q0 +. q4 in
+  let bb = t0'' -. q0 in
+  let t1'' = (q0 -. (t0'' -. bb)) +. (q4 -. bb) in
+  let t0 = t0'' and t1 = t1'' in
+  let t1 = t1 +. q3 +. q5 in
+  let r0 = p6 +. p8 in
+  let bb = r0 -. p6 in
+  let r1 = (p6 -. (r0 -. bb)) +. (p8 -. bb) in
+  let r1 = r1 +. p7 +. p9 in
+  let q3 = t0 +. r0 in
+  let bb = q3 -. t0 in
+  let q4 = (t0 -. (q3 -. bb)) +. (r0 -. bb) in
+  let q4 = q4 +. t1 +. r1 in
+  let t0 = q3 +. s1 in
+  let bb = t0 -. q3 in
+  let t1 = (q3 -. (t0 -. bb)) +. (s1 -. bb) in
+  let t1 = t1 +. q4 in
+  (* O(eps^4) terms. *)
+  let t1 =
+    t1 +. (a1 *. b3) +. (a2 *. b2) +. (a3 *. b1) +. q6 +. q7 +. q8 +. q9
+    +. s2
+  in
+  let rt = ctx.rt in
+  rt.(0) <- p0;
+  rt.(1) <- p1;
+  rt.(2) <- s0;
+  rt.(3) <- t0;
+  rt.(4) <- t1;
+  renorm ctx 5;
+  dst.(0) <- ctx.out.(0);
+  dst.(1) <- ctx.out.(1);
+  dst.(2) <- ctx.out.(2);
+  dst.(3) <- ctx.out.(3)
+
+(* [mul_add ctx acc a ia b ib]: acc := acc + a[ia] * b[ib], exactly
+   [K.add acc (K.mul a b)] of the generic path. *)
+let[@inline] mul_add ctx (acc : float array) (a : quad) ia (b : quad) ib =
+  mul ctx ctx.prod a ia b ib;
+  add ctx acc ctx.prod
+
+(* [sub_from ctx x i acc]: x[i] := x[i] - acc, exactly [K.sub x acc]. *)
+let sub_from ctx (x : quad) i (acc : float array) =
+  let w = ctx.prod in
+  load w x i;
+  sub ctx w acc;
+  store w x i

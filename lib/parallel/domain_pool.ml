@@ -2,7 +2,12 @@
 
    The GPU simulator maps thread blocks onto these workers; the pool is
    created once and reused across kernel launches, since spawning domains
-   is far more expensive than a kernel launch. *)
+   is far more expensive than a kernel launch.
+
+   Exceptions raised inside tasks are not swallowed: the first one (and
+   its backtrace) is captured and re-raised on the submitting domain once
+   the barrier at the end of [run] has been reached, so a raising kernel
+   body surfaces as an error instead of silently producing garbage. *)
 
 type task = unit -> unit
 
@@ -10,12 +15,6 @@ type task = unit -> unit
    inside a task executes inline instead of re-entering the queue (which
    would deadlock waiting for its own ancestors to finish). *)
 let inside_task : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
-
-let run_task task =
-  let prev = Domain.DLS.get inside_task in
-  Domain.DLS.set inside_task true;
-  (try task () with _ -> ());
-  Domain.DLS.set inside_task prev
 
 type t = {
   queue : task Queue.t;
@@ -26,7 +25,22 @@ type t = {
   mutable stop : bool;
   mutable domains : unit Domain.t array;
   size : int;
+  (* First exception of the current [run] batch, re-raised on the
+     submitting domain after the barrier. *)
+  mutable fail : (exn * Printexc.raw_backtrace) option;
 }
+
+let record_fail pool e bt =
+  Mutex.lock pool.lock;
+  if pool.fail = None then pool.fail <- Some (e, bt);
+  Mutex.unlock pool.lock
+
+let run_task pool task =
+  let prev = Domain.DLS.get inside_task in
+  Domain.DLS.set inside_task true;
+  (try task ()
+   with e -> record_fail pool e (Printexc.get_raw_backtrace ()));
+  Domain.DLS.set inside_task prev
 
 let worker_loop pool =
   let continue_ = ref true in
@@ -42,7 +56,7 @@ let worker_loop pool =
     else begin
       let task = Queue.pop pool.queue in
       Mutex.unlock pool.lock;
-      run_task task;
+      run_task pool task;
       Mutex.lock pool.lock;
       pool.pending <- pool.pending - 1;
       if pool.pending = 0 then Condition.broadcast pool.done_;
@@ -62,6 +76,7 @@ let create n =
       stop = false;
       domains = [||];
       size = n;
+      fail = None;
     }
   in
   pool.domains <-
@@ -79,16 +94,29 @@ let shutdown pool =
   pool.domains <- [||]
 
 (* [run pool tasks] executes the closures on the pool (the calling domain
-   participates) and returns when all have completed. *)
+   participates) and returns when all have completed; if any raised, the
+   first exception is re-raised here with its backtrace. *)
 let run pool tasks =
   match tasks with
   | [] -> ()
-  | [ t ] -> t ()
+  | [ t ] -> t () (* direct call: exceptions propagate naturally *)
   | tasks when Domain.DLS.get inside_task ->
-    (* Nested parallelism: execute inline on this domain. *)
-    List.iter (fun t -> try t () with _ -> ()) tasks
+    (* Nested parallelism: execute inline on this domain, attempting
+       every task before re-raising the first failure (the semantics of
+       the queued path, minus the queue). *)
+    let first = ref None in
+    List.iter
+      (fun t ->
+        try t ()
+        with e ->
+          if !first = None then first := Some (e, Printexc.get_raw_backtrace ()))
+      tasks;
+    (match !first with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ())
   | tasks ->
     Mutex.lock pool.lock;
+    pool.fail <- None;
     List.iter (fun t -> Queue.push t pool.queue) tasks;
     pool.pending <- pool.pending + List.length tasks;
     Condition.broadcast pool.nonempty;
@@ -99,7 +127,7 @@ let run pool tasks =
       if not (Queue.is_empty pool.queue) then begin
         let task = Queue.pop pool.queue in
         Mutex.unlock pool.lock;
-        run_task task;
+        run_task pool task;
         Mutex.lock pool.lock;
         pool.pending <- pool.pending - 1;
         if pool.pending = 0 then Condition.broadcast pool.done_;
@@ -110,13 +138,25 @@ let run pool tasks =
         while pool.pending > 0 do
           Condition.wait pool.done_ pool.lock
         done;
-        Mutex.unlock pool.lock
+        let failure = pool.fail in
+        pool.fail <- None;
+        Mutex.unlock pool.lock;
+        match failure with
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ()
       end
     in
     drain ()
 
-(* [parallel_for pool ~chunk lo hi f] applies [f i] for lo <= i < hi,
-   splitting the range into chunks executed across the pool. *)
+(* [parallel_for pool ~chunk lo hi f] applies [f i] for lo <= i < hi
+   across the pool.  Instead of materializing one closure per chunk
+   behind the queue mutex, the range is distributed through a single
+   atomic next-index counter: min(workers, chunks) self-scheduling loops
+   claim chunks with [Atomic.fetch_and_add], so the hot path allocates
+   nothing per chunk and never takes a lock.  If an [f i] raises, the
+   remaining iterations of other chunks still run (their workers keep
+   draining the counter) and the first exception is re-raised at the
+   barrier; the raising worker's unclaimed share is dropped. *)
 let parallel_for ?chunk pool lo hi f =
   if hi > lo then begin
     let n = hi - lo in
@@ -125,24 +165,26 @@ let parallel_for ?chunk pool lo hi f =
       | Some c -> max 1 c
       | None -> max 1 (n / (4 * pool.size))
     in
-    if n <= chunk || pool.size = 1 then
+    if n <= chunk || pool.size = 1 || Domain.DLS.get inside_task then
       for i = lo to hi - 1 do
         f i
       done
     else begin
-      let tasks = ref [] in
-      let i = ref lo in
-      while !i < hi do
-        let a = !i and b = min hi (!i + chunk) in
-        tasks :=
-          (fun () ->
-            for j = a to b - 1 do
+      let next = Atomic.make lo in
+      let body () =
+        let continue_ = ref true in
+        while !continue_ do
+          let a = Atomic.fetch_and_add next chunk in
+          if a >= hi then continue_ := false
+          else
+            for j = a to min hi (a + chunk) - 1 do
               f j
-            done)
-          :: !tasks;
-        i := b
-      done;
-      run pool !tasks
+            done
+        done
+      in
+      let chunks = (n + chunk - 1) / chunk in
+      let workers = min pool.size chunks in
+      run pool (List.init workers (fun _ -> body))
     end
   end
 

@@ -17,13 +17,19 @@ val shutdown : t -> unit
 
 val run : t -> (unit -> unit) list -> unit
 (** Executes the closures on the pool (the calling domain participates)
-    and returns when all have completed.  Exceptions inside tasks are
-    swallowed.  Nested calls from inside a task execute inline on the
-    calling domain, so parallel code may safely call parallel code. *)
+    and returns when all have completed.  Every task is attempted; if any
+    raised, the first exception is re-raised on the calling domain with
+    its backtrace once all tasks have finished.  Nested calls from inside
+    a task execute inline on the calling domain, so parallel code may
+    safely call parallel code. *)
 
 val parallel_for : ?chunk:int -> t -> int -> int -> (int -> unit) -> unit
 (** [parallel_for pool lo hi f] applies [f i] for [lo <= i < hi] across
-    the pool, in chunks of [chunk] (default: range / 4·workers). *)
+    the pool, in chunks of [chunk] (default: range / 4·workers), claimed
+    from a shared atomic counter by self-scheduling workers (no per-chunk
+    closures or locking).  The first exception raised by an [f i] is
+    re-raised on the calling domain after the barrier; iterations not yet
+    claimed by the raising worker may be skipped. *)
 
 val get_default : unit -> t
 (** A lazily created pool sized to the machine. *)

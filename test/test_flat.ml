@@ -1,0 +1,284 @@
+(* Tests for the flat limb-planar kernel layer: the plane microkernels
+   must be bit-for-bit (limb-exact) equivalent to the generic scalar
+   path, the dispatchers in the blocked QR and the tiled back
+   substitution must produce limb-identical results with the flat path
+   on and off, the staggered staging must round-trip exactly, and the
+   capability gate must exclude the scalars the flat primitives do not
+   cover (complex, instrumented, widths other than 2 and 4). *)
+
+open Multidouble
+open Mdlinalg
+open Lsq_core
+
+let check = Alcotest.(check bool)
+let device = Gpusim.Device.v100
+
+(* Limb-exact comparison: every limb the same bits (distinguishes -0.0
+   and 0.0, unlike float equality, and treats nan = nan). *)
+let bits_eq_arrays a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+       a b
+
+module Equiv (K : Scalar.S) = struct
+  module M = Mat.Make (K)
+  module V = Vec.Make (K)
+  module Rand = Randmat.Make (K)
+  module F = Flat_kernels.Make (K)
+  module Bs = Tiled_back_sub.Make (K)
+  module Qr = Blocked_qr.Make (K)
+
+  let bits_eq x y = bits_eq_arrays (K.to_planes x) (K.to_planes y)
+
+  let check_scalar msg x y =
+    if not (bits_eq x y) then
+      Alcotest.failf "%s: %s <> %s" msg (K.to_string x) (K.to_string y)
+
+  let check_vec msg (a : V.t) (b : V.t) =
+    Array.iteri
+      (fun i x -> check_scalar (Printf.sprintf "%s [%d]" msg i) x b.(i))
+      a
+
+  let check_mat msg (a : M.t) (b : M.t) =
+    for i = 0 to M.rows a - 1 do
+      for j = 0 to M.cols a - 1 do
+        check_scalar
+          (Printf.sprintf "%s [%d,%d]" msg i j)
+          (M.get a i j) (M.get b i j)
+      done
+    done
+
+  (* ---- microkernels against their generic operation sequence ---- *)
+
+  let test_dot () =
+    let rng = Dompool.Prng.create 1 in
+    List.iter
+      (fun n ->
+        let a = Rand.vector rng n and b = Rand.vector rng n in
+        let ap = F.stage_vec ~n ~get:(fun i -> a.(i)) in
+        let bp = F.stage_vec ~n ~get:(fun i -> b.(i)) in
+        let out = F.alloc ~rows:1 ~cols:1 in
+        F.dot ~n ap bp out 0;
+        let flat = ref K.zero in
+        F.unstage_vec out ~store:(fun _ s -> flat := s);
+        let s = ref K.zero in
+        for i = 0 to n - 1 do
+          s := K.add !s (K.mul a.(i) b.(i))
+        done;
+        check_scalar (Printf.sprintf "dot n=%d" n) !flat !s)
+      [ 1; 7; 64; 333 ]
+
+  let test_axpy () =
+    let rng = Dompool.Prng.create 2 in
+    let n = 97 in
+    let alpha = K.random rng in
+    let x = Rand.vector rng n and y = Rand.vector rng n in
+    let ap = F.stage_vec ~n:1 ~get:(fun _ -> alpha) in
+    let xp = F.stage_vec ~n ~get:(fun i -> x.(i)) in
+    let yp = F.stage_vec ~n ~get:(fun i -> y.(i)) in
+    F.axpy ~n ap xp yp;
+    let yf = V.create n in
+    F.unstage_vec yp ~store:(fun i s -> yf.(i) <- s);
+    let yg = Array.map (fun yi -> yi) y in
+    for i = 0 to n - 1 do
+      yg.(i) <- K.add yg.(i) (K.mul alpha x.(i))
+    done;
+    check_vec "axpy" yf yg
+
+  let test_rank1 () =
+    let rng = Dompool.Prng.create 3 in
+    let rows = 13 and cols = 9 in
+    let a = Rand.matrix rng rows cols in
+    let x = Rand.vector rng rows and y = Rand.vector rng cols in
+    let ap = F.stage ~rows ~cols ~get:(fun i j -> M.get a i j) in
+    let xp = F.stage_vec ~n:rows ~get:(fun i -> x.(i)) in
+    let yp = F.stage_vec ~n:cols ~get:(fun j -> y.(j)) in
+    F.rank1_sub ap xp yp;
+    let af = M.create rows cols in
+    F.unstage ap ~store:(fun i j s -> M.set af i j s);
+    let ag = M.copy a in
+    for i = 0 to rows - 1 do
+      for j = 0 to cols - 1 do
+        M.set ag i j (K.sub (M.get ag i j) (K.mul x.(i) y.(j)))
+      done
+    done;
+    check_mat "rank1" af ag
+
+  let test_ewadd () =
+    let rng = Dompool.Prng.create 4 in
+    let rows = 11 and cols = 17 in
+    let d = Rand.matrix rng rows cols and s = Rand.matrix rng rows cols in
+    let dp = F.stage ~rows ~cols ~get:(fun i j -> M.get d i j) in
+    let sp = F.stage ~rows ~cols ~get:(fun i j -> M.get s i j) in
+    F.ewadd dp sp;
+    let df = M.create rows cols in
+    F.unstage dp ~store:(fun i j v -> M.set df i j v);
+    let dg = M.copy d in
+    for i = 0 to rows - 1 do
+      for j = 0 to cols - 1 do
+        M.set dg i j (K.add (M.get dg i j) (M.get s i j))
+      done
+    done;
+    check_mat "ewadd" df dg
+
+  let test_matmul_blocks () =
+    let rng = Dompool.Prng.create 5 in
+    List.iter
+      (fun (rows, inner, cols, threads) ->
+        let a = Rand.matrix rng rows inner in
+        let b = Rand.matrix rng inner cols in
+        let ap = F.stage ~rows ~cols:inner ~get:(fun i k -> M.get a i k) in
+        let bp = F.stage ~rows:inner ~cols ~get:(fun k j -> M.get b k j) in
+        let cp = F.alloc ~rows ~cols in
+        let blocks = ((rows * cols) + threads - 1) / threads in
+        for blk = 0 to blocks - 1 do
+          F.matmul_block ~threads ap bp cp blk
+        done;
+        let cf = M.create rows cols in
+        F.unstage cp ~store:(fun i j s -> M.set cf i j s);
+        let cg = M.create rows cols in
+        for i = 0 to rows - 1 do
+          for j = 0 to cols - 1 do
+            let s = ref K.zero in
+            for k = 0 to inner - 1 do
+              s := K.add !s (K.mul (M.get a i k) (M.get b k j))
+            done;
+            M.set cg i j !s
+          done
+        done;
+        check_mat
+          (Printf.sprintf "matmul %dx%dx%d" rows inner cols)
+          cf cg)
+      [ (5, 4, 3, 2); (16, 16, 16, 8); (10, 32, 7, 128) ]
+
+  (* ---- whole-algorithm equivalence: flat dispatch on vs off ---- *)
+
+  let with_flat on f =
+    let prev = !Flat_kernels.enabled in
+    Flat_kernels.enabled := on;
+    Fun.protect ~finally:(fun () -> Flat_kernels.enabled := prev) f
+
+  let test_qr_paths_identical () =
+    let rng = Dompool.Prng.create 6 in
+    List.iter
+      (fun (rows, cols, tile) ->
+        let a = Rand.matrix rng rows cols in
+        let flat = with_flat true (fun () -> Qr.run ~device ~a ~tile ()) in
+        let gen = with_flat false (fun () -> Qr.run ~device ~a ~tile ()) in
+        check
+          (Printf.sprintf "flat dispatch fired (%dx%d)" rows cols)
+          true (F.available ());
+        check_mat "qr: q" flat.Qr.q gen.Qr.q;
+        check_mat "qr: r" flat.Qr.r gen.Qr.r;
+        check "same modeled ms" true
+          (flat.Qr.kernel_ms = gen.Qr.kernel_ms
+          && flat.Qr.wall_ms = gen.Qr.wall_ms))
+      [ (12, 8, 4); (24, 16, 8) ]
+
+  let test_back_sub_paths_identical () =
+    let rng = Dompool.Prng.create 7 in
+    List.iter
+      (fun (dim, tile) ->
+        let u = Rand.upper rng dim in
+        let b, _ = Rand.rhs_for rng u in
+        let flat = with_flat true (fun () -> Bs.run ~device ~u ~b ~tile ()) in
+        let gen = with_flat false (fun () -> Bs.run ~device ~u ~b ~tile ()) in
+        check_vec (Printf.sprintf "bs x (%d/%d)" dim tile) flat.Bs.x gen.Bs.x;
+        check "same modeled ms" true
+          (flat.Bs.kernel_ms = gen.Bs.kernel_ms))
+      [ (8, 4); (24, 8); (32, 8) ]
+
+  let tests prefix =
+    [
+      Alcotest.test_case (prefix ^ " dot") `Quick test_dot;
+      Alcotest.test_case (prefix ^ " axpy") `Quick test_axpy;
+      Alcotest.test_case (prefix ^ " rank1") `Quick test_rank1;
+      Alcotest.test_case (prefix ^ " ewadd") `Quick test_ewadd;
+      Alcotest.test_case (prefix ^ " matmul blocks") `Quick test_matmul_blocks;
+      Alcotest.test_case (prefix ^ " qr paths") `Quick test_qr_paths_identical;
+      Alcotest.test_case (prefix ^ " back sub paths") `Quick
+        test_back_sub_paths_identical;
+    ]
+end
+
+module Edd = Equiv (Scalar.Dd)
+module Eqd = Equiv (Scalar.Qd)
+
+(* ---- staggered staging round-trips ---- *)
+
+module Roundtrip (K : Scalar.S) = struct
+  module M = Mat.Make (K)
+  module S = Staggered.Make (K)
+  module F = Flat_kernels.Make (K)
+
+  (* Normalized values survive of_planes (to_planes x) bit-exactly: the
+     final renormalization of every arithmetic operation is idempotent. *)
+  let test_roundtrip () =
+    let rng = Dompool.Prng.create 8 in
+    for i = 0 to 999 do
+      (* Mix magnitudes so limbs of widely different exponents occur. *)
+      let x = K.random rng in
+      let y = K.random rng in
+      let v = K.add (K.mul_float x (2.0 ** float_of_int (i mod 600 - 300))) y in
+      let w = K.of_planes (K.to_planes v) in
+      check "round trip" true (bits_eq_arrays (K.to_planes v) (K.to_planes w))
+    done;
+    (* Through the staggered matrix staging as well. *)
+    let m = M.random rng 7 5 in
+    let back = S.to_mat (S.of_mat m) in
+    for i = 0 to 6 do
+      for j = 0 to 4 do
+        check "staggered mat round trip" true
+          (bits_eq_arrays
+             (K.to_planes (M.get m i j))
+             (K.to_planes (M.get back i j)))
+      done
+    done;
+    (* And through the flat layer's own stage/unstage. *)
+    let p = F.stage ~rows:7 ~cols:5 ~get:(fun i j -> M.get m i j) in
+    F.unstage p ~store:(fun i j s ->
+        check "flat stage round trip" true
+          (bits_eq_arrays (K.to_planes (M.get m i j)) (K.to_planes s)))
+
+  let tests prefix =
+    [ Alcotest.test_case (prefix ^ " staging round trip") `Quick test_roundtrip ]
+end
+
+module Rdd = Roundtrip (Scalar.Dd)
+module Rqd = Roundtrip (Scalar.Qd)
+
+(* ---- the capability gate ---- *)
+
+let test_gating () =
+  let avail (module K : Scalar.S) =
+    let module Km = (val (module K : Scalar.S)) in
+    let module F = Flat_kernels.Make (Km) in
+    F.available ()
+  in
+  check "dd available" true (avail (module Scalar.Dd));
+  check "qd available" true (avail (module Scalar.Qd));
+  (* The flat primitives cover only real dd and qd. *)
+  check "d excluded" false (avail (module Scalar.D));
+  check "od excluded" false (avail (module Scalar.Od));
+  check "complex dd excluded" false (avail (module Scalar.Zdd));
+  check "complex qd excluded" false (avail (module Scalar.Zqd));
+  (* Instrumented arithmetic must stay generic so every operation is
+     counted (the dynamic-vs-analytic flop tests depend on it). *)
+  let module Counted_qd = Counted.Make (Quad_double) in
+  let module Kc = Scalar.Real (Counted_qd) in
+  check "instrumented excluded" false (avail (module Kc));
+  (* The global switch turns the whole layer off. *)
+  Flat_kernels.enabled := false;
+  check "disabled globally" false (avail (module Scalar.Dd));
+  Flat_kernels.enabled := true;
+  check "re-enabled" true (avail (module Scalar.Dd))
+
+let () =
+  Alcotest.run "flat kernels"
+    [
+      ("dd equivalence", Edd.tests "dd");
+      ("qd equivalence", Eqd.tests "qd");
+      ("staging", Rdd.tests "dd" @ Rqd.tests "qd");
+      ("gating", [ Alcotest.test_case "capability gate" `Quick test_gating ]);
+    ]

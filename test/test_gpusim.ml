@@ -236,6 +236,21 @@ let test_sim_seq () =
   Sim.launch_seq sim ~stage:"s" ~cost (fun b -> order := b :: !order);
   Alcotest.(check (list int)) "in order" [ 4; 3; 2; 1; 0 ] !order
 
+let test_sim_body_exception () =
+  (* A raising kernel body must surface as an error on the launching
+     domain, not vanish into the pool. *)
+  let sim = Sim.create ~device:Device.v100 ~prec:P.QD () in
+  let cost = Cost.launch ~blocks:7 ~threads:4 (ops 1.0) in
+  (try
+     Sim.launch sim ~stage:"s" ~cost (fun b ->
+         if b = 3 then failwith "kernel bug");
+     Alcotest.fail "kernel exception swallowed"
+   with Failure m -> check "surfaced" true (m = "kernel bug"));
+  (* The simulator (and its pool) stays usable after the failure. *)
+  let hits = Atomic.make 0 in
+  Sim.launch sim ~stage:"s" ~cost (fun _ -> Atomic.incr hits);
+  checki "subsequent launch runs" 7 (Atomic.get hits)
+
 let () =
   Alcotest.run "gpusim"
     [
@@ -276,5 +291,7 @@ let () =
           Alcotest.test_case "sim executes" `Quick test_sim_execution;
           Alcotest.test_case "sim plan mode" `Quick test_sim_no_execute;
           Alcotest.test_case "sim sequential" `Quick test_sim_seq;
+          Alcotest.test_case "sim body exception" `Quick
+            test_sim_body_exception;
         ] );
     ]
