@@ -45,6 +45,7 @@ let items : (string * (unit -> unit)) list =
     ("host-bechamel", Host_bench.run);
     ("kernels", Kernels_bench.run);
     ("kernels-smoke", Kernels_bench.smoke);
+    ("batch-smoke", Batch_bench.smoke);
   ]
 
 let () =

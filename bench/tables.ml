@@ -36,23 +36,23 @@ let header name cols =
 (* Prints one paper-style table: stage rows then the four aggregate rows,
    for the list of [runs] (one per column). *)
 let stage_table ?paper_kernels ?paper_wall ?paper_kflops ?paper_wflops
-    ~cols (runs : Harness.Runners.run list) =
+    ~cols (runs : Harness.Report.t list) =
   header "stage" cols;
   (match runs with
   | [] -> ()
   | first :: _ ->
     List.iteri
       (fun i (stage, _) ->
-        row stage (List.map (fun r -> snd (List.nth r.Harness.Runners.stage_ms i)) runs))
-      first.Harness.Runners.stage_ms);
+        row stage (List.map (fun r -> snd (List.nth r.Harness.Report.stage_ms i)) runs))
+      first.Harness.Report.stage_ms);
   row ?paper:paper_kernels "all kernels"
-    (List.map (fun r -> r.Harness.Runners.kernel_ms) runs);
+    (List.map (fun r -> r.Harness.Report.kernel_ms) runs);
   row ?paper:paper_wall "wall clock"
-    (List.map (fun r -> r.Harness.Runners.wall_ms) runs);
+    (List.map (fun r -> r.Harness.Report.wall_ms) runs);
   row ?paper:paper_kflops "kernel flops"
-    (List.map (fun r -> r.Harness.Runners.kernel_gflops) runs);
+    (List.map (fun r -> r.Harness.Report.kernel_gflops) runs);
   row ?paper:paper_wflops "wall flops"
-    (List.map (fun r -> r.Harness.Runners.wall_gflops) runs)
+    (List.map (fun r -> r.Harness.Report.wall_gflops) runs)
 
 let log2 x = if x <= 0.0 then 0.0 else Float.log x /. Float.log 2.0
 
@@ -144,7 +144,7 @@ let table3 () =
   (match runs with
   | [ c2050; _; _; v100; _ ] ->
     pf "\nC2050 over V100 kernel-time ratio: %.1f (paper: 19.6)\n"
-      (c2050.Harness.Runners.kernel_ms /. v100.Harness.Runners.kernel_ms)
+      (c2050.Harness.Report.kernel_ms /. v100.Harness.Report.kernel_ms)
   | _ -> ())
 
 let qr_precisions device =
@@ -192,12 +192,12 @@ let table4 () =
           "  %-10s dd->qd %.1f (paper %s, predicted 11.7)   qd->od %.1f \
            (paper %s, predicted 5.4)\n"
           name
-          (qd.Harness.Runners.kernel_ms /. dd.Harness.Runners.kernel_ms)
+          (qd.Harness.Report.kernel_ms /. dd.Harness.Report.kernel_ms)
           (match name with
           | "RTX 2080" -> "9.0"
           | "P100" -> "7.3"
           | _ -> "7.1")
-          (od.Harness.Runners.kernel_ms /. qd.Harness.Runners.kernel_ms)
+          (od.Harness.Report.kernel_ms /. qd.Harness.Report.kernel_ms)
           (match name with
           | "RTX 2080" -> "4.5"
           | "P100" -> "4.0"
@@ -216,9 +216,9 @@ let figure1 table4_runs =
            | [ _; dd; qd; od ] ->
              ( name,
                [
-                 ("2d", dd.Harness.Runners.kernel_ms);
-                 ("4d", qd.Harness.Runners.kernel_ms);
-                 ("8d", od.Harness.Runners.kernel_ms);
+                 ("2d", dd.Harness.Report.kernel_ms);
+                 ("4d", qd.Harness.Report.kernel_ms);
+                 ("8d", od.Harness.Report.kernel_ms);
                ] )
            | _ -> (name, []))
          table4_runs)
@@ -283,7 +283,7 @@ let table6 () =
     pf
       "\ndouble double kernel time 1024 -> 2048 grows %.0fx (cubic alone \
        would be 8x; the paper observes the same sharp drop, ~113x)\n"
-      (r2048.Harness.Runners.kernel_ms /. r1024.Harness.Runners.kernel_ms)
+      (r2048.Harness.Report.kernel_ms /. r1024.Harness.Report.kernel_ms)
   | _ -> ());
   out
 
@@ -295,7 +295,7 @@ let figure2 table6_runs =
          (fun (p, runs) ->
            ( P.label p,
              List.map2
-               (fun n r -> (string_of_int n, r.Harness.Runners.kernel_ms))
+               (fun n r -> (string_of_int n, r.Harness.Report.kernel_ms))
                [ 512; 1024; 1536; 2048 ] runs ))
          table6_runs)
     ()
@@ -349,7 +349,7 @@ let figure3 table7_runs =
          (fun (p, runs) ->
            ( P.label p,
              List.map2
-               (fun d r -> (string_of_int d, r.Harness.Runners.kernel_ms))
+               (fun d r -> (string_of_int d, r.Harness.Report.kernel_ms))
                [ 5120; 10240; 20480 ] runs ))
          table7_runs)
     ()
@@ -385,7 +385,7 @@ let table8 () =
   let out = List.rev !out in
   (match (List.assoc_opt "P100" out, List.assoc_opt "V100" out) with
   | Some p100, Some v100 ->
-    let nth l i = (List.nth l i).Harness.Runners.kernel_ms in
+    let nth l i = (List.nth l i).Harness.Report.kernel_ms in
     pf "\nP100/V100 kernel-time ratio at n=224: %.1f (paper: 3.1)\n"
       (nth p100 6 /. nth v100 6);
     pf "P100/V100 kernel-time ratio at n=256: %.1f (paper: 2.6)\n"
@@ -402,7 +402,7 @@ let figure4 table8_runs =
          (fun (name, runs) ->
            ( name,
              List.map2
-               (fun n r -> (string_of_int n, r.Harness.Runners.kernel_ms))
+               (fun n r -> (string_of_int n, r.Harness.Report.kernel_ms))
                [ 32; 64; 96; 128; 160; 192; 224; 256 ]
                runs ))
          table8_runs)
@@ -448,28 +448,35 @@ let table10 () =
       let runs =
         List.map (fun p -> Harness.Runners.solve p d ~n:1024 ~tile:128) precisions
       in
+      let qr_of r = Harness.Report.part r Harness.Runners.qr_part in
+      let bs_of r = Harness.Report.part r Harness.Runners.bs_part in
       header "stage" (List.map P.label precisions);
       row ~paper:pqr "QR kernel time"
-        (List.map (fun r -> r.Harness.Runners.qr_kernel_ms) runs);
-      row "QR wall time" (List.map (fun r -> r.Harness.Runners.qr_wall_ms) runs);
+        (List.map (fun r -> (qr_of r).Harness.Report.Part.kernel_ms) runs);
+      row "QR wall time"
+        (List.map (fun r -> (qr_of r).Harness.Report.Part.wall_ms) runs);
       row ~paper:pbs "BS kernel time"
-        (List.map (fun r -> r.Harness.Runners.bs_kernel_ms) runs);
-      row "BS wall time" (List.map (fun r -> r.Harness.Runners.bs_wall_ms) runs);
+        (List.map (fun r -> (bs_of r).Harness.Report.Part.kernel_ms) runs);
+      row "BS wall time"
+        (List.map (fun r -> (bs_of r).Harness.Report.Part.wall_ms) runs);
       row "QR kernel flops"
-        (List.map (fun r -> r.Harness.Runners.qr_kernel_gflops) runs);
-      row "QR wall flops" (List.map (fun r -> r.Harness.Runners.qr_wall_gflops) runs);
+        (List.map (fun r -> (qr_of r).Harness.Report.Part.kernel_gflops) runs);
+      row "QR wall flops"
+        (List.map (fun r -> (qr_of r).Harness.Report.Part.wall_gflops) runs);
       row "BS kernel flops"
-        (List.map (fun r -> r.Harness.Runners.bs_kernel_gflops) runs);
-      row "BS wall flops" (List.map (fun r -> r.Harness.Runners.bs_wall_gflops) runs);
+        (List.map (fun r -> (bs_of r).Harness.Report.Part.kernel_gflops) runs);
+      row "BS wall flops"
+        (List.map (fun r -> (bs_of r).Harness.Report.Part.wall_gflops) runs);
       row ~paper:pkf "total kernel flops"
-        (List.map (fun r -> r.Harness.Runners.total_kernel_gflops) runs);
+        (List.map (fun r -> r.Harness.Report.kernel_gflops) runs);
       row "total wall flops"
-        (List.map (fun r -> r.Harness.Runners.total_wall_gflops) runs);
+        (List.map (fun r -> r.Harness.Report.wall_gflops) runs);
       (match runs with
       | [ _; _; qd; _ ] ->
         pf "QR/BS kernel-time ratio at 4d: %.0f (paper: ~108, i.e. closer \
             to 100 than 1000)\n"
-          (qd.Harness.Runners.qr_kernel_ms /. qd.Harness.Runners.bs_kernel_ms)
+          ((qr_of qd).Harness.Report.Part.kernel_ms
+          /. (bs_of qd).Harness.Report.Part.kernel_ms)
       | _ -> ()))
     specs
 
@@ -484,11 +491,11 @@ let ablation_tiles () =
   let runs =
     List.map (fun t -> Harness.Runners.qr P.QD Device.v100 ~n:1024 ~tile:t) tiles
   in
-  row "all kernels" (List.map (fun r -> r.Harness.Runners.kernel_ms) runs);
-  row "wall clock" (List.map (fun r -> r.Harness.Runners.wall_ms) runs);
-  row "kernel flops" (List.map (fun r -> r.Harness.Runners.kernel_gflops) runs);
+  row "all kernels" (List.map (fun r -> r.Harness.Report.kernel_ms) runs);
+  row "wall clock" (List.map (fun r -> r.Harness.Report.wall_ms) runs);
+  row "kernel flops" (List.map (fun r -> r.Harness.Report.kernel_gflops) runs);
   row "launches"
-    (List.map (fun r -> float_of_int r.Harness.Runners.launches) runs)
+    (List.map (fun r -> float_of_int r.Harness.Report.launches) runs)
 
 let ablation_roofline () =
   title "Ablation B" "arithmetic intensity of the register-loading product";
@@ -642,7 +649,7 @@ let ablation_host_vs_device () =
        (Dompool.Domain_pool.size (Dompool.Domain_pool.get_default ())))
     host_ms;
   pf "%-34s %14.1f ms (model)\n" "simulated V100, Algorithm 2"
-    dev.Harness.Runners.kernel_ms;
+    dev.Harness.Report.kernel_ms;
   pf
     "(the accelerator's edge grows cubically with the dimension; at \
      1,024 the gap is the paper's 'GPU acceleration offsets the \

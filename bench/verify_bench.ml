@@ -12,9 +12,10 @@ let run () =
     (String.make 100 '-') (String.make 100 '-');
   Printf.printf "%-48s %14s %10s\n" "experiment" "residual/eps" "status";
   let d = Gpusim.Device.v100 in
-  let report (v : Harness.Runners.verification) =
-    Printf.printf "%-48s %14.1f %10s\n" v.Harness.Runners.what v.Harness.Runners.residual
-      (if v.Harness.Runners.ok then "ok" else "FAILED")
+  let report (v : Harness.Report.residual) =
+    Printf.printf "%-48s %14.1f %10s\n" v.Harness.Report.what
+      v.Harness.Report.residual
+      (if v.Harness.Report.ok then "ok" else "FAILED")
   in
   List.iter report
     [

@@ -5,6 +5,8 @@
      lsq_cli backsub --device p100 --prec 4d --dim 17920 --tile 224
      lsq_cli solve   --device v100 --prec 8d --dim 1024 --tile 128
      lsq_cli qr --complex --execute --dim 64 --tile 16
+     lsq_cli batch --jobs jobs.json --parallel 4 --out outcomes.jsonl
+     lsq_cli batch --sweep table4
 
    Without [--execute] only the cost model runs (instantaneous, any
    dimension); with it the kernels execute numerically on the simulator
@@ -76,16 +78,22 @@ let execute =
 
 (* ---- output ---- *)
 
-let print_run what device p ~complex (r : R.run) =
+let print_run what device p ~complex (r : Harness.Report.t) =
   pf "%s in %s%s precision on the simulated %s\n" what (P.name p)
     (if complex then " complex" else "")
     device.Gpusim.Device.name;
-  List.iter (fun (s, ms) -> pf "  %-24s %12.3f ms\n" s ms) r.R.stage_ms;
-  pf "  %-24s %12.3f ms\n" "all kernels" r.R.kernel_ms;
-  pf "  %-24s %12.3f ms\n" "wall clock" r.R.wall_ms;
-  pf "  %-24s %12.1f gigaflops\n" "kernel flops" r.R.kernel_gflops;
-  pf "  %-24s %12.1f gigaflops\n" "wall flops" r.R.wall_gflops;
-  pf "  %-24s %12d\n" "kernel launches" r.R.launches
+  List.iter
+    (fun (s, ms) -> pf "  %-24s %12.3f ms\n" s ms)
+    r.Harness.Report.stage_ms;
+  pf "  %-24s %12.3f ms\n" "all kernels" r.Harness.Report.kernel_ms;
+  pf "  %-24s %12.3f ms\n" "wall clock" r.Harness.Report.wall_ms;
+  pf "  %-24s %12.1f gigaflops\n" "kernel flops" r.Harness.Report.kernel_gflops;
+  pf "  %-24s %12.1f gigaflops\n" "wall flops" r.Harness.Report.wall_gflops;
+  pf "  %-24s %12d\n" "kernel launches" r.Harness.Report.launches
+
+let print_residual what (v : Harness.Report.residual) =
+  pf "  %s: %.1f eps (%s)\n" what v.Harness.Report.residual
+    (if v.Harness.Report.ok then "ok" else "FAILED")
 
 let check_tile ~dim ~tile =
   if tile <= 0 || dim mod tile <> 0 then begin
@@ -105,11 +113,9 @@ let qr_cmd =
          (Option.value rows ~default:dim)
          dim)
       device p ~complex r;
-    if execute then begin
-      let v = R.verify_qr ~complex p device ~n:(min dim 96) ~tile:(min tile 16) in
-      pf "  executed residual: %.1f eps (%s)\n" v.R.residual
-        (if v.R.ok then "ok" else "FAILED")
-    end
+    if execute then
+      print_residual "executed residual"
+        (R.verify_qr ~complex p device ~n:(min dim 96) ~tile:(min tile 16))
   in
   Cmd.v
     (Cmd.info "qr" ~doc:"Blocked Householder QR (Algorithm 2).")
@@ -124,13 +130,9 @@ let backsub_cmd =
       (Printf.sprintf "tiled back substitution of dimension %d (%d tiles)"
          dim (dim / tile))
       device p ~complex r;
-    if execute then begin
-      let v =
-        R.verify_bs ~complex p device ~dim:(min dim 96) ~tile:(min tile 16)
-      in
-      pf "  executed residual: %.1f eps (%s)\n" v.R.residual
-        (if v.R.ok then "ok" else "FAILED")
-    end
+    if execute then
+      print_residual "executed residual"
+        (R.verify_bs ~complex p device ~dim:(min dim 96) ~tile:(min tile 16))
   in
   Cmd.v
     (Cmd.info "backsub" ~doc:"Tiled accelerated back substitution (Algorithm 1).")
@@ -144,19 +146,19 @@ let solve_cmd =
       dim dim (P.name p)
       (if complex then " complex" else "")
       device.Gpusim.Device.name;
-    pf "  %-24s %12.3f ms\n" "QR kernel time" r.R.qr_kernel_ms;
-    pf "  %-24s %12.3f ms\n" "QR wall time" r.R.qr_wall_ms;
-    pf "  %-24s %12.3f ms\n" "BS kernel time" r.R.bs_kernel_ms;
-    pf "  %-24s %12.3f ms\n" "BS wall time" r.R.bs_wall_ms;
-    pf "  %-24s %12.1f gigaflops\n" "total kernel flops" r.R.total_kernel_gflops;
-    pf "  %-24s %12.1f gigaflops\n" "total wall flops" r.R.total_wall_gflops;
-    if execute then begin
-      let v =
-        R.verify_solve ~complex p device ~n:(min dim 64) ~tile:(min tile 16)
-      in
-      pf "  executed forward error: %.1f eps (%s)\n" v.R.residual
-        (if v.R.ok then "ok" else "FAILED")
-    end
+    let qr = Harness.Report.part r R.qr_part in
+    let bs = Harness.Report.part r R.bs_part in
+    pf "  %-24s %12.3f ms\n" "QR kernel time" qr.Harness.Report.Part.kernel_ms;
+    pf "  %-24s %12.3f ms\n" "QR wall time" qr.Harness.Report.Part.wall_ms;
+    pf "  %-24s %12.3f ms\n" "BS kernel time" bs.Harness.Report.Part.kernel_ms;
+    pf "  %-24s %12.3f ms\n" "BS wall time" bs.Harness.Report.Part.wall_ms;
+    pf "  %-24s %12.1f gigaflops\n" "total kernel flops"
+      r.Harness.Report.kernel_gflops;
+    pf "  %-24s %12.1f gigaflops\n" "total wall flops"
+      r.Harness.Report.wall_gflops;
+    if execute then
+      print_residual "executed forward error"
+        (R.verify_solve ~complex p device ~n:(min dim 64) ~tile:(min tile 16))
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Least squares solver: QR then back substitution.")
@@ -387,6 +389,113 @@ let cond_cmd =
       $ Arg.(value & opt int 10 & info [ "n"; "dim" ] ~docv:"N" ~doc:"Dimension.")
       $ family $ wanted)
 
+let batch_cmd =
+  let jobs_file =
+    Arg.(
+      value & opt (some file) None
+      & info [ "j"; "jobs" ] ~docv:"FILE"
+          ~doc:
+            "Jobs file: a JSON array of job objects, or one job object per \
+             line (JSON lines).")
+  in
+  let sweep_name =
+    Arg.(
+      value & opt (some string) None
+      & info [ "sweep" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf
+               "Generate the batch of a whole paper table instead of reading \
+                a jobs file.  One of: %s."
+               (String.concat ", " Sched.Sweep.names)))
+  in
+  let parallel =
+    Arg.(
+      value & opt int 4
+      & info [ "parallel" ] ~docv:"N"
+          ~doc:"Number of concurrent jobs on the shared domain pool.")
+  in
+  let out_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the JSON-lines outcomes here instead of standard output \
+             (the human summary then goes to standard output).")
+  in
+  let run jobs_file sweep_name parallel out_file =
+    let jobs =
+      match (jobs_file, sweep_name) with
+      | Some _, Some _ ->
+        Printf.eprintf "error: --jobs and --sweep are mutually exclusive\n";
+        exit 2
+      | Some file, None -> (
+        try Sched.Job.load_file file
+        with Harness.Json.Error m | Sys_error m ->
+          Printf.eprintf "error: cannot load jobs from %s: %s\n" file m;
+          exit 2)
+      | None, Some name -> (
+        try Sched.Sweep.jobs name
+        with Invalid_argument m ->
+          Printf.eprintf "error: %s\n" m;
+          exit 2)
+      | None, None ->
+        Printf.eprintf "error: one of --jobs FILE or --sweep NAME is required\n";
+        exit 2
+    in
+    if parallel < 1 then begin
+      Printf.eprintf "error: --parallel must be at least 1\n";
+      exit 2
+    end;
+    let outcomes = Sched.Scheduler.run_batch ~parallel jobs in
+    let summary_oc =
+      match out_file with
+      | Some file ->
+        let oc = open_out file in
+        Sched.Scheduler.write_jsonl oc outcomes;
+        close_out oc;
+        stdout
+      | None ->
+        Sched.Scheduler.write_jsonl stdout outcomes;
+        flush stdout;
+        stderr
+    in
+    let completed, failed =
+      List.partition
+        (fun o ->
+          match o.Sched.Scheduler.status with
+          | Sched.Scheduler.Completed _ -> true
+          | Sched.Scheduler.Failed _ -> false)
+        outcomes
+    in
+    Printf.fprintf summary_oc
+      "batch: %d job%s, %d completed, %d failed (parallel=%d)\n"
+      (List.length outcomes)
+      (if List.length outcomes = 1 then "" else "s")
+      (List.length completed) (List.length failed) parallel;
+    List.iter
+      (fun o ->
+        match o.Sched.Scheduler.status with
+        | Sched.Scheduler.Failed f ->
+          Printf.fprintf summary_oc "  failed %-24s attempts=%d%s: %s\n"
+            o.Sched.Scheduler.job.Sched.Job.id o.Sched.Scheduler.attempts
+            (if f.Sched.Scheduler.timed_out then " (timed out)" else "")
+            f.Sched.Scheduler.message
+        | Sched.Scheduler.Completed _ -> ())
+      failed;
+    (match out_file with
+    | Some file ->
+      Printf.fprintf summary_oc "outcomes written to %s (JSON lines, schema %d)\n"
+        file Sched.Scheduler.schema_version
+    | None -> ());
+    flush summary_oc
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Run a batch of jobs concurrently on the shared domain pool and \
+          emit one JSON outcome per line.")
+    Term.(const run $ jobs_file $ sweep_name $ parallel $ out_file)
+
 let devices_cmd =
   let run () =
     pf "%-12s %5s %5s %10s %7s %6s %10s %9s\n" "device" "CUDA" "#MP"
@@ -429,4 +538,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ qr_cmd; backsub_cmd; solve_cmd; refine_cmd; toeplitz_cmd; psolve_cmd; cond_cmd; devices_cmd; precisions_cmd ]))
+          [ qr_cmd; backsub_cmd; solve_cmd; batch_cmd; refine_cmd; toeplitz_cmd; psolve_cmd; cond_cmd; devices_cmd; precisions_cmd ]))

@@ -30,6 +30,9 @@ module Make (K : Scalar.S) = struct
     bs_wall_gflops : float;
     total_kernel_gflops : float;
     total_wall_gflops : float;
+    qr_stage_ms : (string * float) list;
+    bs_stage_ms : (string * float) list;
+    launches : int;
   }
 
   (* Q^H b on the device: one matvec kernel, accounted with the QR. *)
@@ -69,6 +72,9 @@ module Make (K : Scalar.S) = struct
       bs_wall_gflops = Sim.wall_gflops bs_sim;
       total_kernel_gflops = total_flops /. ((qr_k +. bs_k) *. 1e6);
       total_wall_gflops = total_flops /. ((qr_w +. bs_w) *. 1e6);
+      qr_stage_ms = Sim.breakdown qr_sim;
+      bs_stage_ms = Sim.breakdown bs_sim;
+      launches = Sim.launches qr_sim + Sim.launches bs_sim;
     }
 
   (* [solve ~device ~a ~b ~tile] minimizes ||b - a x||_2; [a] must have at

@@ -16,6 +16,9 @@ module Make (K : Mdlinalg.Scalar.S) : sig
     bs_wall_gflops : float;
     total_kernel_gflops : float;
     total_wall_gflops : float;
+    qr_stage_ms : (string * float) list;  (** per-stage kernel ms *)
+    bs_stage_ms : (string * float) list;
+    launches : int;  (** both phases *)
   }
 
   val solve :

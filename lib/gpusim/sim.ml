@@ -84,6 +84,13 @@ let wall_ms t =
 
 let launches t = Profile.total_launches t.profile
 
+(* The per-stage kernel milliseconds, in first-recorded order.  Each
+   simulator owns its profile, so a batch of concurrent jobs — one (or a
+   few) simulators per job, all sharing one domain pool — reads its own
+   breakdown without seeing a neighbour's launches. *)
+let breakdown t =
+  List.map (fun s -> (s, Profile.stage_ms t.profile s)) (Profile.stages t.profile)
+
 (* Gigaflops over the time spent by the kernels ("kernel flops"). *)
 let kernel_gflops t =
   let ms = kernel_ms t in

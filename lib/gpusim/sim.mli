@@ -51,6 +51,11 @@ val wall_ms : t -> float
 
 val launches : t -> int
 
+val breakdown : t -> (string * float) list
+(** Per-stage kernel milliseconds, in first-recorded order.  Profiles
+    are per-simulator state: concurrent jobs that each create their own
+    simulators (even on one shared pool) stay isolated. *)
+
 val kernel_gflops : t -> float
 (** Total double precision flops over the kernel time. *)
 

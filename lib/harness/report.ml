@@ -1,0 +1,119 @@
+(* The unified experiment report shared by the runners, the CLI, the
+   table generators and the batch scheduler; serializes to a versioned
+   JSON schema that round-trips exactly (17-digit floats). *)
+
+module Part = struct
+  type t = {
+    name : string;
+    kernel_ms : float;
+    wall_ms : float;
+    kernel_gflops : float;
+    wall_gflops : float;
+  }
+end
+
+type residual = { what : string; residual : float; eps : float; ok : bool }
+
+type t = {
+  label : string;
+  stage_ms : (string * float) list;
+  parts : Part.t list;
+  kernel_ms : float;
+  wall_ms : float;
+  kernel_gflops : float;
+  wall_gflops : float;
+  launches : int;
+  residual : residual option;
+}
+
+let schema_version = 1
+
+let part t name = List.find (fun p -> p.Part.name = name) t.parts
+
+let part_opt t name = List.find_opt (fun p -> p.Part.name = name) t.parts
+
+(* ---- JSON ---- *)
+
+let json_of_part (p : Part.t) =
+  Json.Obj
+    [
+      ("name", Json.Str p.Part.name);
+      ("kernel_ms", Json.Float p.Part.kernel_ms);
+      ("wall_ms", Json.Float p.Part.wall_ms);
+      ("kernel_gflops", Json.Float p.Part.kernel_gflops);
+      ("wall_gflops", Json.Float p.Part.wall_gflops);
+    ]
+
+let part_of_json j =
+  {
+    Part.name = Json.(get_string (member "name" j));
+    kernel_ms = Json.(get_float (member "kernel_ms" j));
+    wall_ms = Json.(get_float (member "wall_ms" j));
+    kernel_gflops = Json.(get_float (member "kernel_gflops" j));
+    wall_gflops = Json.(get_float (member "wall_gflops" j));
+  }
+
+let json_of_residual r =
+  Json.Obj
+    [
+      ("what", Json.Str r.what);
+      ("residual", Json.Float r.residual);
+      ("eps", Json.Float r.eps);
+      ("ok", Json.Bool r.ok);
+    ]
+
+let residual_of_json j =
+  {
+    what = Json.(get_string (member "what" j));
+    residual = Json.(get_float (member "residual" j));
+    eps = Json.(get_float (member "eps" j));
+    ok = Json.(get_bool (member "ok" j));
+  }
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.Int schema_version);
+      ("label", Json.Str t.label);
+      ( "stages",
+        Json.Arr
+          (List.map
+             (fun (s, ms) ->
+               Json.Obj [ ("stage", Json.Str s); ("ms", Json.Float ms) ])
+             t.stage_ms) );
+      ("parts", Json.Arr (List.map json_of_part t.parts));
+      ("kernel_ms", Json.Float t.kernel_ms);
+      ("wall_ms", Json.Float t.wall_ms);
+      ("kernel_gflops", Json.Float t.kernel_gflops);
+      ("wall_gflops", Json.Float t.wall_gflops);
+      ("launches", Json.Int t.launches);
+      ( "residual",
+        match t.residual with Some r -> json_of_residual r | None -> Json.Null
+      );
+    ]
+
+let of_json j =
+  let v = Json.(get_int (member "schema" j)) in
+  if v <> schema_version then
+    raise
+      (Json.Error
+         (Printf.sprintf "report schema %d, this build reads schema %d" v
+            schema_version));
+  {
+    label = Json.(get_string (member "label" j));
+    stage_ms =
+      List.map
+        (fun s ->
+          Json.(get_string (member "stage" s), get_float (member "ms" s)))
+        Json.(get_list (member "stages" j));
+    parts = List.map part_of_json Json.(get_list (member "parts" j));
+    kernel_ms = Json.(get_float (member "kernel_ms" j));
+    wall_ms = Json.(get_float (member "wall_ms" j));
+    kernel_gflops = Json.(get_float (member "kernel_gflops" j));
+    wall_gflops = Json.(get_float (member "wall_gflops" j));
+    launches = Json.(get_int (member "launches" j));
+    residual = Json.to_option residual_of_json (Json.member "residual" j);
+  }
+
+let to_json_string t = Json.to_string (to_json t)
+let of_json_string s = of_json (Json.of_string s)

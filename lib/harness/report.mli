@@ -1,0 +1,62 @@
+(** The unified experiment report: one record for every runner (QR, back
+    substitution, least squares solve), replacing the former ad-hoc
+    [Runners.run] / [Runners.solve_run] pair.
+
+    A report always carries the per-stage kernel breakdown and the four
+    aggregate figures of the paper's tables; composite experiments (the
+    solver) additionally expose their phases as {!Part.t} values, and
+    numerically executed runs attach a {!residual}.
+
+    Reports serialize to a versioned JSON schema ({!schema_version},
+    stored under the ["schema"] key) and round-trip exactly through
+    {!to_json} / {!of_json}: floats are printed with 17 significant
+    digits, so [of_json (to_json r) = r] structurally. *)
+
+(** One timed phase of a composite experiment (e.g. the "QR" and "BS"
+    phases of the solver, timed apart as in Table 10). *)
+module Part : sig
+  type t = {
+    name : string;
+    kernel_ms : float;
+    wall_ms : float;
+    kernel_gflops : float;
+    wall_gflops : float;
+  }
+end
+
+(** The outcome of a numerically executed verification, in units of the
+    working precision's eps. *)
+type residual = {
+  what : string;
+  residual : float;  (** relative, in units of [eps] *)
+  eps : float;
+  ok : bool;
+}
+
+type t = {
+  label : string;  (** what ran: experiment, precision, device, shape *)
+  stage_ms : (string * float) list;  (** per-stage kernel milliseconds *)
+  parts : Part.t list;  (** phase breakdown; [[]] for single-phase runs *)
+  kernel_ms : float;
+  wall_ms : float;
+  kernel_gflops : float;
+  wall_gflops : float;
+  launches : int;
+  residual : residual option;
+}
+
+val schema_version : int
+(** The version stamped into (and required of) the JSON form. *)
+
+val part : t -> string -> Part.t
+(** [part t name] is the named phase; raises [Not_found]. *)
+
+val part_opt : t -> string -> Part.t option
+
+val to_json : t -> Json.t
+val of_json : Json.t -> t
+(** Raises [Json.Error] on a malformed document or a schema-version
+    mismatch. *)
+
+val to_json_string : t -> string
+val of_json_string : string -> t

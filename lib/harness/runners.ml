@@ -1,6 +1,6 @@
-(* Uniform entry points the table generators call: run one experiment at a
-   given precision (real or complex) on a given device and return the
-   per-stage breakdown in a plain record.
+(* Uniform entry points the table generators, the CLI and the batch
+   scheduler call: run one experiment at a given precision (real or
+   complex) on a given device and return the unified [Report.t].
 
    Tables are generated in planning mode (cost accounting without numeric
    execution), which is what lets the paper's largest dimensions run in
@@ -10,15 +10,6 @@
 open Mdlinalg
 open Lsq_core
 module P = Multidouble.Precision
-
-type run = {
-  stage_ms : (string * float) list;
-  kernel_ms : float;
-  wall_ms : float;
-  kernel_gflops : float;
-  wall_gflops : float;
-  launches : int;
-}
 
 let scalar_of ?(complex = false) (tag : P.tag) : (module Scalar.S) =
   match (tag, complex) with
@@ -31,6 +22,11 @@ let scalar_of ?(complex = false) (tag : P.tag) : (module Scalar.S) =
   | P.QD, true -> (module Scalar.Zqd)
   | P.OD, true -> (module Scalar.Zod)
 
+let describe what ?(complex = false) tag device shape =
+  Printf.sprintf "%s %s%s %s %s" what (P.label tag)
+    (if complex then " complex" else "")
+    shape device.Gpusim.Device.name
+
 (* Blocked Householder QR (Algorithm 2), cost accounting only. *)
 let qr ?complex ?rows tag device ~n ~tile =
   let (module K) = scalar_of ?complex tag in
@@ -38,12 +34,17 @@ let qr ?complex ?rows tag device ~n ~tile =
   let rows = Option.value rows ~default:n in
   let r = Q.run_plan ~device ~rows ~cols:n ~tile () in
   {
+    Report.label =
+      describe "qr" ?complex tag device
+        (Printf.sprintf "%dx%d tile=%d" rows n tile);
     stage_ms = r.Q.stage_ms;
+    parts = [];
     kernel_ms = r.Q.kernel_ms;
     wall_ms = r.Q.wall_ms;
     kernel_gflops = r.Q.kernel_gflops;
     wall_gflops = r.Q.wall_gflops;
     launches = r.Q.launches;
+    residual = None;
   }
 
 (* Tiled back substitution (Algorithm 1), cost accounting only. *)
@@ -52,54 +53,62 @@ let bs ?complex tag device ~dim ~tile =
   let module B = Tiled_back_sub.Make (K) in
   let r = B.run_plan ~device ~dim ~tile () in
   {
+    Report.label =
+      describe "backsub" ?complex tag device
+        (Printf.sprintf "dim=%d tile=%d" dim tile);
     stage_ms = r.B.stage_ms;
+    parts = [];
     kernel_ms = r.B.kernel_ms;
     wall_ms = r.B.wall_ms;
     kernel_gflops = r.B.kernel_gflops;
     wall_gflops = r.B.wall_gflops;
     launches = r.B.launches;
+    residual = None;
   }
 
-type solve_run = {
-  qr_kernel_ms : float;
-  qr_wall_ms : float;
-  bs_kernel_ms : float;
-  bs_wall_ms : float;
-  qr_kernel_gflops : float;
-  qr_wall_gflops : float;
-  bs_kernel_gflops : float;
-  bs_wall_gflops : float;
-  total_kernel_gflops : float;
-  total_wall_gflops : float;
-}
+let qr_part = "QR"
+let bs_part = "BS"
 
-(* Least squares solver (QR then back substitution), cost accounting. *)
+(* Least squares solver (QR then back substitution), cost accounting.
+   The two phases appear as the "QR" and "BS" parts, timed apart as in
+   Table 10; the aggregate figures cover both phases. *)
 let solve ?complex tag device ~n ~tile =
   let (module K) = scalar_of ?complex tag in
   let module L = Least_squares.Make (K) in
   let r = L.plan ~device ~rows:n ~cols:n ~tile () in
   {
-    qr_kernel_ms = r.L.qr_kernel_ms;
-    qr_wall_ms = r.L.qr_wall_ms;
-    bs_kernel_ms = r.L.bs_kernel_ms;
-    bs_wall_ms = r.L.bs_wall_ms;
-    qr_kernel_gflops = r.L.qr_kernel_gflops;
-    qr_wall_gflops = r.L.qr_wall_gflops;
-    bs_kernel_gflops = r.L.bs_kernel_gflops;
-    bs_wall_gflops = r.L.bs_wall_gflops;
-    total_kernel_gflops = r.L.total_kernel_gflops;
-    total_wall_gflops = r.L.total_wall_gflops;
+    Report.label =
+      describe "solve" ?complex tag device
+        (Printf.sprintf "%dx%d tile=%d" n n tile);
+    stage_ms = r.L.qr_stage_ms @ r.L.bs_stage_ms;
+    parts =
+      [
+        {
+          Report.Part.name = qr_part;
+          kernel_ms = r.L.qr_kernel_ms;
+          wall_ms = r.L.qr_wall_ms;
+          kernel_gflops = r.L.qr_kernel_gflops;
+          wall_gflops = r.L.qr_wall_gflops;
+        };
+        {
+          Report.Part.name = bs_part;
+          kernel_ms = r.L.bs_kernel_ms;
+          wall_ms = r.L.bs_wall_ms;
+          kernel_gflops = r.L.bs_kernel_gflops;
+          wall_gflops = r.L.bs_wall_gflops;
+        };
+      ];
+    kernel_ms = r.L.qr_kernel_ms +. r.L.bs_kernel_ms;
+    wall_ms = r.L.qr_wall_ms +. r.L.bs_wall_ms;
+    kernel_gflops = r.L.total_kernel_gflops;
+    wall_gflops = r.L.total_wall_gflops;
+    launches = r.L.launches;
+    residual = None;
   }
 
 (* Numerically executed verification: factor, solve and report residuals
    (forward error against a known solution, orthogonality defect and
    factorization residual), exercising the very code the tables cost. *)
-type verification = {
-  what : string;
-  residual : float; (* relative, in units of the precision's eps *)
-  eps : float;
-  ok : bool;
-}
 
 let verify_qr ?complex tag device ~n ~tile =
   let (module K) = scalar_of ?complex tag in
@@ -113,7 +122,7 @@ let verify_qr ?complex tag device ~n ~tile =
   let resid = K.R.to_float (H.factorization_residual a r.Q.q r.Q.r) in
   let worst = Float.max defect resid in
   {
-    what =
+    Report.what =
       Printf.sprintf "QR %s%s n=%d tile=%d" (P.label tag)
         (if Option.value complex ~default:false then " complex" else "")
         n tile;
@@ -136,7 +145,7 @@ let verify_solve ?complex tag device ~n ~tile =
     /. K.R.to_float (V.norm x_true)
   in
   {
-    what =
+    Report.what =
       Printf.sprintf "least squares %s%s n=%d tile=%d" (P.label tag)
         (if Option.value complex ~default:false then " complex" else "")
         n tile;
@@ -156,7 +165,7 @@ let verify_bs ?complex tag device ~dim ~tile =
   let r = B.run ~device ~u ~b ~tile () in
   let resid = K.R.to_float (Tri.residual u r.B.x b) in
   {
-    what =
+    Report.what =
       Printf.sprintf "back substitution %s%s dim=%d tile=%d" (P.label tag)
         (if Option.value complex ~default:false then " complex" else "")
         dim tile;

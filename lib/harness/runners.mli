@@ -1,19 +1,10 @@
-(** Uniform entry points the table generators and the CLI share: run one
-    experiment at a given precision (real or complex) on a given device
-    and return the per-stage breakdown in a plain record.
+(** Uniform entry points the table generators, the CLI and the batch
+    scheduler share: run one experiment at a given precision (real or
+    complex) on a given device and return the unified {!Report.t}.
 
     Tables are generated in planning mode (cost accounting without
     numeric execution); the [verify_*] functions execute the same code
     paths numerically at moderate dimensions and report residuals. *)
-
-type run = {
-  stage_ms : (string * float) list;
-  kernel_ms : float;
-  wall_ms : float;
-  kernel_gflops : float;
-  wall_gflops : float;
-  launches : int;
-}
 
 val scalar_of :
   ?complex:bool -> Multidouble.Precision.tag -> (module Mdlinalg.Scalar.S)
@@ -26,7 +17,7 @@ val qr :
   Gpusim.Device.t ->
   n:int ->
   tile:int ->
-  run
+  Report.t
 (** Blocked Householder QR (Algorithm 2), cost accounting only. *)
 
 val bs :
@@ -35,21 +26,14 @@ val bs :
   Gpusim.Device.t ->
   dim:int ->
   tile:int ->
-  run
+  Report.t
 (** Tiled back substitution (Algorithm 1), cost accounting only. *)
 
-type solve_run = {
-  qr_kernel_ms : float;
-  qr_wall_ms : float;
-  bs_kernel_ms : float;
-  bs_wall_ms : float;
-  qr_kernel_gflops : float;
-  qr_wall_gflops : float;
-  bs_kernel_gflops : float;
-  bs_wall_gflops : float;
-  total_kernel_gflops : float;
-  total_wall_gflops : float;
-}
+val qr_part : string
+(** The part name of the solver's factorization phase ("QR"). *)
+
+val bs_part : string
+(** The part name of the solver's back substitution phase ("BS"). *)
 
 val solve :
   ?complex:bool ->
@@ -57,16 +41,10 @@ val solve :
   Gpusim.Device.t ->
   n:int ->
   tile:int ->
-  solve_run
+  Report.t
 (** The least squares solver (QR then back substitution), cost
-    accounting only. *)
-
-type verification = {
-  what : string;
-  residual : float;  (** relative, in units of the precision's eps *)
-  eps : float;
-  ok : bool;
-}
+    accounting only; the two phases appear as the {!qr_part} and
+    {!bs_part} parts of the report. *)
 
 val verify_qr :
   ?complex:bool ->
@@ -74,7 +52,7 @@ val verify_qr :
   Gpusim.Device.t ->
   n:int ->
   tile:int ->
-  verification
+  Report.residual
 
 val verify_solve :
   ?complex:bool ->
@@ -82,7 +60,7 @@ val verify_solve :
   Gpusim.Device.t ->
   n:int ->
   tile:int ->
-  verification
+  Report.residual
 
 val verify_bs :
   ?complex:bool ->
@@ -90,4 +68,4 @@ val verify_bs :
   Gpusim.Device.t ->
   dim:int ->
   tile:int ->
-  verification
+  Report.residual

@@ -1,0 +1,70 @@
+(** Allocation-free limb-planar ("flat") kernels on staggered planes.
+
+    Executes the simulator's hot kernels directly on the staggered
+    [float array] planes, via the unrolled double double and quad double
+    primitives of [Multidouble.Dd_flat] / [Multidouble.Qd_flat].  Those
+    mirror the accurate QDlib algorithms floating point operation for
+    floating point operation, so the flat kernels are limb for limb
+    identical to the generic [Scalar.S] path; dispatchers switch paths
+    on {!Make.available} with no numerical consequences.
+
+    Block-level entry points take the same block index as the generic
+    [Sim.launch] bodies and write disjoint index ranges, so they are
+    safe under [Domain_pool.parallel_for] without further locking. *)
+
+val enabled : bool ref
+(** Global switch, for benchmarks and the equivalence tests; the
+    dispatchers consult it through {!Make.available}. *)
+
+module Make (K : Scalar.S) : sig
+  type planes = { rows : int; cols : int; p : float array array }
+  (** A staged operand: [K.width] planes of [rows * cols] doubles,
+      row-major — the layout of [Staggered], without the [K.t] matrix
+      behind it.  Concrete so the kernel loops inline. *)
+
+  val available : unit -> bool
+  (** The flat primitives cover plain real double double and quad
+      double; complex and instrumented scalars keep the generic path. *)
+
+  val alloc : rows:int -> cols:int -> planes
+
+  val stage : rows:int -> cols:int -> get:(int -> int -> K.t) -> planes
+  (** Staging costs O(elements) conversions, amortized by kernels doing
+      O(elements * inner) work on the staged operand. *)
+
+  val unstage : planes -> store:(int -> int -> K.t -> unit) -> unit
+  val stage_vec : n:int -> get:(int -> K.t) -> planes
+  val unstage_vec : planes -> store:(int -> K.t -> unit) -> unit
+
+  val matmul_block : threads:int -> planes -> planes -> planes -> int -> unit
+  (** The register-loading matrix product, one [Sim.launch] block:
+      output elements [blk*threads, (blk+1)*threads), each a dot product
+      of a row of the first operand with a column of the second. *)
+
+  val bs_xi_block :
+    dim:int -> r0:int -> n:int -> planes -> planes -> planes -> unit
+  (** [bs_xi_block ~dim ~r0 ~n v bd x]: x_i := U_i^{-1} b_i on the tile
+      at diagonal offset [r0] of the staged [dim]-by-[dim] matrix [v]
+      with inverted diagonal tiles. *)
+
+  val bs_update_block :
+    dim:int -> r0:int -> rj:int -> n:int -> planes -> planes -> planes -> unit
+  (** [bs_update_block ~dim ~r0 ~rj ~n v x bd]: b_j := b_j - A_(j,i) x_i
+      for the block at row offset [rj]. *)
+
+  val dot : n:int -> planes -> planes -> planes -> int -> unit
+  (** [dot ~n a b out oidx]: out[oidx] := sum over [n] elements of
+      a[i] * b[i]. *)
+
+  val axpy : n:int -> planes -> planes -> planes -> unit
+  (** [axpy ~n alpha x y]: y[i] := y[i] + alpha * x[i]; [alpha] is a
+      staged single element. *)
+
+  val rank1_sub : planes -> planes -> planes -> unit
+  (** [rank1_sub a x y]: a[i, j] := a[i, j] - x[i] * y[j], the
+      Householder panel update. *)
+
+  val ewadd : planes -> planes -> unit
+  (** dst[i] := dst[i] + src[i] elementwise over whole planes (kept on
+      the generic path in the dispatchers; here for tests and bench). *)
+end

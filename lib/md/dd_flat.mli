@@ -1,0 +1,48 @@
+(** Allocation-free double double arithmetic on staggered limb planes.
+
+    The same accurate QDlib algorithms as [Double_double], unrolled to
+    the exact same floating point operation sequence — results are limb
+    for limb identical to the generic path — but reading operands
+    straight out of the staggered [float array] planes, with every
+    intermediate in an unboxed local float.
+
+    The types stay concrete so the [@inline] bodies keep inlining across
+    module boundaries: a kernel allocates one {!acc} per block and the
+    per-element loop then performs no allocation at all. *)
+
+type acc = { mutable hi : float; mutable lo : float }
+(** The running accumulator: an all-float record, so both fields live
+    unboxed and mutation does not allocate. *)
+
+val make : unit -> acc
+val clear : acc -> unit
+
+type duo = { d0 : float array; d1 : float array }
+(** A double double plane pair: [d0] the high limbs, [d1] the low limbs
+    (the staggered device layout of [Staggered]). *)
+
+val duo : float array array -> duo
+(** View planes 0 and 1 of a staggered layout as a {!duo}. *)
+
+val load : acc -> duo -> int -> unit
+val store : acc -> duo -> int -> unit
+
+val add_parts : acc -> float -> float -> unit
+(** [add_parts t hi lo]: t := t + (hi, lo), the accurate ieee_add. *)
+
+val sub_parts : acc -> float -> float -> unit
+(** [sub_parts t hi lo]: t := t - (hi, lo), two_diff based to stay
+    bit-identical with the generic path. *)
+
+val add : acc -> duo -> int -> unit
+(** [add t x i]: t := t + x[i]. *)
+
+val mul_set : acc -> duo -> int -> duo -> int -> unit
+(** [mul_set t a ia b ib]: t := a[ia] * b[ib]. *)
+
+val mul_add : acc -> duo -> int -> duo -> int -> unit
+(** [mul_add t a ia b ib]: t := t + a[ia] * b[ib], exactly
+    [K.add t (K.mul a b)] of the generic path. *)
+
+val sub_from : duo -> int -> acc -> unit
+(** [sub_from x i t]: x[i] := x[i] - t, exactly [K.sub x t]. *)

@@ -1,0 +1,61 @@
+(** Allocation-free quad double arithmetic on staggered limb planes.
+
+    Mirrors the accurate QDlib algorithms of [Quad_double] floating
+    point operation for floating point operation, so results are limb
+    for limb identical to the generic path.  Values are passed as
+    (planes, index); scratch state lives in a {!ctx} that a kernel
+    allocates once per block and reuses for every element.
+
+    The types stay concrete so the [@inline] bodies keep inlining across
+    module boundaries. *)
+
+type quad = {
+  q0 : float array;
+  q1 : float array;
+  q2 : float array;
+  q3 : float array;
+}
+(** The four significance-sorted planes of the staggered layout. *)
+
+val quad : float array array -> quad
+(** View planes 0..3 of a staggered layout as a {!quad}. *)
+
+type ctx = {
+  prod : float array;
+  xx : float array;
+  nb : float array;
+  rt : float array;
+  out : float array;
+  uv : float array;
+  mutable mi : int;
+  mutable mj : int;
+  mutable mk : int;
+}
+(** Per-block scratch: small float arrays (unboxed storage) and the
+    merge cursors of the accurate addition. *)
+
+val make_ctx : unit -> ctx
+
+val clear : float array -> unit
+(** Zero a 4-limb value. *)
+
+val load : float array -> quad -> int -> unit
+val store : float array -> quad -> int -> unit
+
+val add : ctx -> float array -> float array -> unit
+(** [add ctx x y]: x := x + y (both 4-limb arrays), the accurate
+    ieee_add of [Quad_double.Pre.add]. *)
+
+val sub : ctx -> float array -> float array -> unit
+(** [sub ctx x y]: x := x - y, the accurate addition of the negation. *)
+
+val mul : ctx -> float array -> quad -> int -> quad -> int -> unit
+(** [mul ctx dst a ia b ib]: dst := a[ia] * b[ib], the accurate
+    multiplication of [Quad_double.Pre.mul]. *)
+
+val mul_add : ctx -> float array -> quad -> int -> quad -> int -> unit
+(** [mul_add ctx acc a ia b ib]: acc := acc + a[ia] * b[ib], exactly
+    [K.add acc (K.mul a b)] of the generic path. *)
+
+val sub_from : ctx -> quad -> int -> float array -> unit
+(** [sub_from ctx x i acc]: x[i] := x[i] - acc, exactly [K.sub x acc]. *)

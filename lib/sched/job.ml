@@ -1,0 +1,147 @@
+(* One least-squares job of a batch; serializes to the versioned JSON
+   schema shared with the scheduler's outcome records. *)
+
+module P = Multidouble.Precision
+module Json = Harness.Json
+
+type kind = Qr | Backsub | Solve
+
+type t = {
+  id : string;
+  kind : kind;
+  device : string;
+  prec : P.tag;
+  complex : bool;
+  dim : int;
+  rows : int option;
+  tile : int;
+  execute : bool;
+  timeout_ms : float option;
+  retries : int;
+  inject_failures : int;
+}
+
+let make ?(complex = false) ?rows ?(execute = false) ?timeout_ms
+    ?(retries = 1) ?(inject_failures = 0) ~id ~kind ~device ~prec ~dim ~tile
+    () =
+  {
+    id;
+    kind;
+    device;
+    prec;
+    complex;
+    dim;
+    rows;
+    tile;
+    execute;
+    timeout_ms;
+    retries;
+    inject_failures;
+  }
+
+let string_of_kind = function
+  | Qr -> "qr"
+  | Backsub -> "backsub"
+  | Solve -> "solve"
+
+let kind_of_string s =
+  match String.lowercase_ascii s with
+  | "qr" -> Qr
+  | "backsub" | "bs" -> Backsub
+  | "solve" -> Solve
+  | s -> invalid_arg (Printf.sprintf "unknown job kind '%s'" s)
+
+let validate t =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  if t.id = "" then err "job has an empty id"
+  else if t.dim <= 0 then err "job '%s': dimension %d <= 0" t.id t.dim
+  else if t.tile <= 0 || t.dim mod t.tile <> 0 then
+    err "job '%s': tile %d does not divide dimension %d" t.id t.tile t.dim
+  else if
+    match t.rows with Some m -> m < t.dim | None -> false
+  then err "job '%s': rows < cols" t.id
+  else if t.rows <> None && t.kind <> Qr then
+    err "job '%s': rows only applies to qr jobs" t.id
+  else if t.retries < 0 then err "job '%s': negative retries" t.id
+  else if t.inject_failures < 0 then
+    err "job '%s': negative inject_failures" t.id
+  else if
+    match t.timeout_ms with Some ms -> ms <= 0.0 | None -> false
+  then err "job '%s': timeout must be positive" t.id
+  else
+    match Gpusim.Device.by_name t.device with
+    | (_ : Gpusim.Device.t) -> Ok ()
+    | exception Invalid_argument m -> err "job '%s': %s" t.id m
+
+let to_json t =
+  Json.Obj
+    ([
+       ("id", Json.Str t.id);
+       ("kind", Json.Str (string_of_kind t.kind));
+       ("device", Json.Str t.device);
+       ("prec", Json.Str (P.label t.prec));
+       ("complex", Json.Bool t.complex);
+       ("dim", Json.Int t.dim);
+     ]
+    @ (match t.rows with Some m -> [ ("rows", Json.Int m) ] | None -> [])
+    @ [ ("tile", Json.Int t.tile); ("execute", Json.Bool t.execute) ]
+    @ (match t.timeout_ms with
+      | Some ms -> [ ("timeout_ms", Json.Float ms) ]
+      | None -> [])
+    @ [ ("retries", Json.Int t.retries) ]
+    @
+    if t.inject_failures > 0 then
+      [ ("inject_failures", Json.Int t.inject_failures) ]
+    else [])
+
+let of_json j =
+  let opt get key = Json.to_option get (Json.member key j) in
+  let default d = function Some v -> v | None -> d in
+  let prec_label = Json.get_string (Json.member "prec" j) in
+  let prec =
+    try P.of_label (String.lowercase_ascii prec_label)
+    with Invalid_argument m -> raise (Json.Error m)
+  in
+  let kind =
+    try kind_of_string (Json.get_string (Json.member "kind" j))
+    with Invalid_argument m -> raise (Json.Error m)
+  in
+  {
+    id = Json.get_string (Json.member "id" j);
+    kind;
+    device = Json.get_string (Json.member "device" j);
+    prec;
+    complex = default false (opt Json.get_bool "complex");
+    dim = Json.get_int (Json.member "dim" j);
+    rows = opt Json.get_int "rows";
+    tile = Json.get_int (Json.member "tile" j);
+    execute = default false (opt Json.get_bool "execute");
+    timeout_ms = opt Json.get_float "timeout_ms";
+    retries = default 1 (opt Json.get_int "retries");
+    inject_failures = default 0 (opt Json.get_int "inject_failures");
+  }
+
+let load_file path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let first_nonspace =
+    let rec go i =
+      if i >= String.length text then None
+      else
+        match text.[i] with
+        | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+        | c -> Some c
+    in
+    go 0
+  in
+  match first_nonspace with
+  | Some '[' -> List.map of_json (Json.get_list (Json.of_string text))
+  | _ ->
+    String.split_on_char '\n' text
+    |> List.filter_map (fun line ->
+           if String.trim line = "" then None
+           else Some (of_json (Json.of_string line)))

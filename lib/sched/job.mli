@@ -1,0 +1,71 @@
+(** One least-squares job of a batch: which experiment, on which
+    simulated device, at which precision and shape, planned (cost
+    accounting only) or executed numerically.
+
+    Jobs serialize to the same versioned JSON schema as the scheduler's
+    outcome records ({!Scheduler.schema_version}); a jobs file is either
+    a JSON array of job objects or one job object per line. *)
+
+type kind = Qr | Backsub | Solve
+
+type t = {
+  id : string;  (** unique within the batch; used in the result records *)
+  kind : kind;
+  device : string;  (** device name, resolved via {!Gpusim.Device.by_name} *)
+  prec : Multidouble.Precision.tag;
+  complex : bool;
+  dim : int;
+  rows : int option;  (** QR only: row count (default: square) *)
+  tile : int;
+  execute : bool;
+      (** run the kernels numerically and attach a residual (keep the
+          dimension moderate); default is cost accounting only *)
+  timeout_ms : float option;
+      (** per-job wall-clock budget across all attempts.  The check is
+          cooperative: it runs between attempts and when an attempt
+          completes, so a running attempt is never interrupted — its
+          result is discarded when it lands past the deadline. *)
+  retries : int;  (** additional attempts allowed after a failed one *)
+  inject_failures : int;
+      (** testing hook: this many leading attempts fail artificially
+          ("injected failure"), exercising retry and degradation paths *)
+}
+
+val make :
+  ?complex:bool ->
+  ?rows:int ->
+  ?execute:bool ->
+  ?timeout_ms:float ->
+  ?retries:int ->
+  ?inject_failures:int ->
+  id:string ->
+  kind:kind ->
+  device:string ->
+  prec:Multidouble.Precision.tag ->
+  dim:int ->
+  tile:int ->
+  unit ->
+  t
+(** Defaults: real data, square, plan only, no timeout, [retries = 1],
+    no injected failures. *)
+
+val string_of_kind : kind -> string
+val kind_of_string : string -> kind
+(** Raises [Invalid_argument] on unknown kinds. *)
+
+val validate : t -> (unit, string) result
+(** Checks the job is runnable before any attempt is made: known device,
+    positive dimensions, tile dividing the dimension, sane retry and
+    timeout bounds.  A failing validation is permanent — the scheduler
+    records the error without retrying. *)
+
+val to_json : t -> Harness.Json.t
+val of_json : Harness.Json.t -> t
+(** Raises [Harness.Json.Error] on malformed documents.  Optional fields
+    ([complex], [rows], [execute], [timeout_ms], [retries],
+    [inject_failures]) take the {!make} defaults when absent. *)
+
+val load_file : string -> t list
+(** Reads a jobs file: a JSON array of job objects, or one job object
+    per non-empty line (JSON lines).  Raises [Harness.Json.Error] or
+    [Sys_error]. *)

@@ -1,0 +1,219 @@
+(* The batch scheduler: self-scheduling workers on a shared domain pool
+   claim jobs from an atomic cursor; every job settles into a structured
+   outcome — report or failure record — so one bad job never aborts the
+   batch. *)
+
+module Json = Harness.Json
+module Report = Harness.Report
+module R = Harness.Runners
+module Pool = Dompool.Domain_pool
+
+type failure = { message : string; timed_out : bool }
+
+type status = Completed of Report.t | Failed of failure
+
+type outcome = {
+  job : Job.t;
+  index : int;
+  order : int;
+  attempts : int;
+  elapsed_ms : float;
+  status : status;
+}
+
+let schema_version = 1
+
+exception Injected_failure
+
+let now_ms () = Unix.gettimeofday () *. 1000.0
+
+(* One synchronous run of the job proper: plan (or, with [execute], plan
+   plus a numeric verification whose residual lands in the report). *)
+let run_job (job : Job.t) =
+  let device = Gpusim.Device.by_name job.Job.device in
+  let complex = job.Job.complex in
+  let prec = job.Job.prec in
+  let dim = job.Job.dim and tile = job.Job.tile in
+  let base =
+    match job.Job.kind with
+    | Job.Qr -> R.qr ~complex ?rows:job.Job.rows prec device ~n:dim ~tile
+    | Job.Backsub -> R.bs ~complex prec device ~dim ~tile
+    | Job.Solve -> R.solve ~complex prec device ~n:dim ~tile
+  in
+  if not job.Job.execute then base
+  else
+    let residual =
+      match job.Job.kind with
+      | Job.Qr -> R.verify_qr ~complex prec device ~n:dim ~tile
+      | Job.Backsub -> R.verify_bs ~complex prec device ~dim ~tile
+      | Job.Solve -> R.verify_solve ~complex prec device ~n:dim ~tile
+    in
+    { base with Report.residual = Some residual }
+
+(* The full lifecycle of one job: validation, then up to [1 + retries]
+   attempts under the cooperative wall-clock budget, with exponential
+   backoff between attempts.  Never raises. *)
+let settle ~backoff_ms (job : Job.t) =
+  let started = now_ms () in
+  let elapsed () = now_ms () -. started in
+  let deadline =
+    match job.Job.timeout_ms with
+    | Some ms -> started +. ms
+    | None -> Float.infinity
+  in
+  match Job.validate job with
+  | Error message ->
+    (0, elapsed (), Failed { message; timed_out = false })
+  | Ok () ->
+    let max_attempts = 1 + job.Job.retries in
+    let rec go attempt =
+      if now_ms () > deadline then
+        ( attempt - 1,
+          elapsed (),
+          Failed
+            {
+              message =
+                Printf.sprintf "timed out after %d attempt%s" (attempt - 1)
+                  (if attempt - 1 = 1 then "" else "s");
+              timed_out = true;
+            } )
+      else
+        let result =
+          try
+            if attempt <= job.Job.inject_failures then raise Injected_failure
+            else Ok (run_job job)
+          with
+          | Injected_failure -> Error "injected failure"
+          | e -> Error (Printexc.to_string e)
+        in
+        match result with
+        | Ok report ->
+          if now_ms () > deadline then
+            ( attempt,
+              elapsed (),
+              Failed
+                {
+                  message =
+                    Printf.sprintf
+                      "completed past the deadline on attempt %d (result \
+                       discarded)"
+                      attempt;
+                  timed_out = true;
+                } )
+          else (attempt, elapsed (), Completed report)
+        | Error message ->
+          if attempt < max_attempts then begin
+            let pause =
+              backoff_ms *. Float.of_int (1 lsl (attempt - 1)) /. 1000.0
+            in
+            if pause > 0.0 then Unix.sleepf pause;
+            go (attempt + 1)
+          end
+          else (max_attempts, elapsed (), Failed { message; timed_out = false })
+    in
+    go 1
+
+let run_batch ?pool ?(parallel = 4) ?(backoff_ms = 1.0) ?on_outcome jobs =
+  let pool = match pool with Some p -> p | None -> Pool.get_default () in
+  let jobs = Array.of_list jobs in
+  let n = Array.length jobs in
+  if n = 0 then []
+  else begin
+    let results = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let completions = Atomic.make 0 in
+    let worker () =
+      let continue_ = ref true in
+      while !continue_ do
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i >= n then continue_ := false
+        else begin
+          let attempts, elapsed_ms, status = settle ~backoff_ms jobs.(i) in
+          let order = Atomic.fetch_and_add completions 1 in
+          let outcome =
+            { job = jobs.(i); index = i; order; attempts; elapsed_ms; status }
+          in
+          results.(i) <- Some outcome;
+          match on_outcome with Some f -> f outcome | None -> ()
+        end
+      done
+    in
+    let workers = max 1 (min parallel n) in
+    Pool.run pool (List.init workers (fun _ -> worker));
+    Array.to_list results
+    |> List.map (function
+         | Some o -> o
+         | None -> assert false (* every index was claimed and settled *))
+  end
+
+(* ---- serialization ---- *)
+
+let outcome_to_json o =
+  Json.Obj
+    ([
+       ("schema", Json.Int schema_version);
+       ("index", Json.Int o.index);
+       ("order", Json.Int o.order);
+       ("attempts", Json.Int o.attempts);
+       ("elapsed_ms", Json.Float o.elapsed_ms);
+       ("job", Job.to_json o.job);
+     ]
+    @
+    match o.status with
+    | Completed report ->
+      [ ("status", Json.Str "completed"); ("report", Report.to_json report) ]
+    | Failed f ->
+      [
+        ("status", Json.Str "failed");
+        ( "error",
+          Json.Obj
+            [
+              ("message", Json.Str f.message);
+              ("timed_out", Json.Bool f.timed_out);
+            ] );
+      ])
+
+let outcome_of_json j =
+  let v = Json.get_int (Json.member "schema" j) in
+  if v <> schema_version then
+    raise
+      (Json.Error
+         (Printf.sprintf "outcome schema %d, this build reads schema %d" v
+            schema_version));
+  let status =
+    match Json.get_string (Json.member "status" j) with
+    | "completed" -> Completed (Report.of_json (Json.member "report" j))
+    | "failed" ->
+      let e = Json.member "error" j in
+      Failed
+        {
+          message = Json.get_string (Json.member "message" e);
+          timed_out = Json.get_bool (Json.member "timed_out" e);
+        }
+    | s -> raise (Json.Error (Printf.sprintf "unknown status '%s'" s))
+  in
+  {
+    job = Job.of_json (Json.member "job" j);
+    index = Json.get_int (Json.member "index" j);
+    order = Json.get_int (Json.member "order" j);
+    attempts = Json.get_int (Json.member "attempts" j);
+    elapsed_ms = Json.get_float (Json.member "elapsed_ms" j);
+    status;
+  }
+
+let write_jsonl oc outcomes =
+  List.iter
+    (fun o ->
+      output_string oc (Json.to_string (outcome_to_json o));
+      output_char oc '\n')
+    outcomes
+
+let read_jsonl ic =
+  let rec go acc =
+    match input_line ic with
+    | line ->
+      if String.trim line = "" then go acc
+      else go (outcome_of_json (Json.of_string line) :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  go []

@@ -1,0 +1,68 @@
+(** The batch scheduler: runs a queue of least-squares jobs concurrently
+    on a shared {!Dompool.Domain_pool}, with per-job (cooperative)
+    timeout, bounded retry with exponential backoff, and graceful
+    degradation — a failing job yields a structured {!failure} record in
+    its {!outcome} instead of aborting the batch.
+
+    Concurrency model: [parallel] self-scheduling workers claim jobs
+    from an atomic cursor and run as tasks of the shared pool.  Each job
+    builds its own simulators (per-job profile isolation — see
+    {!Gpusim.Sim.breakdown}); kernel bodies of executing jobs reuse the
+    same pool, where they run inline on the claiming worker.
+
+    Outcomes serialize to a versioned JSON-lines schema (one outcome
+    object per line, each stamped with [{"schema": n}]); reports inside
+    a completed outcome round-trip through {!Harness.Report.of_json}. *)
+
+type failure = {
+  message : string;
+  timed_out : bool;  (** the job exhausted its [timeout_ms] budget *)
+}
+
+type status =
+  | Completed of Harness.Report.t
+  | Failed of failure
+
+type outcome = {
+  job : Job.t;
+  index : int;  (** position of the job in the submitted queue *)
+  order : int;  (** completion rank within the batch (0 = finished first) *)
+  attempts : int;  (** run attempts made; 0 when validation rejected it *)
+  elapsed_ms : float;  (** wall clock across all attempts and backoffs *)
+  status : status;
+}
+
+val schema_version : int
+(** Version stamped into (and required of) every serialized outcome. *)
+
+val run_job : Job.t -> Harness.Report.t
+(** Runs one job synchronously (no retry, timeout or failure injection):
+    dispatches on the kind, and when [job.execute] is set additionally
+    executes the kernels numerically and attaches the residual record.
+    Raises whatever the runner raises. *)
+
+val run_batch :
+  ?pool:Dompool.Domain_pool.t ->
+  ?parallel:int ->
+  ?backoff_ms:float ->
+  ?on_outcome:(outcome -> unit) ->
+  Job.t list ->
+  outcome list
+(** [run_batch jobs] returns one outcome per job, in submission order.
+    [pool] defaults to the shared default pool, [parallel] (clamped to
+    the batch size, default 4) is the number of concurrent job workers,
+    [backoff_ms] (default 1.0) the base of the exponential backoff
+    between attempts ([backoff_ms * 2^k] after the [k]-th failure).
+    [on_outcome] is called as each job settles, from the worker that ran
+    it — it must be thread-safe.  Never raises on job failures. *)
+
+val outcome_to_json : outcome -> Harness.Json.t
+val outcome_of_json : Harness.Json.t -> outcome
+(** Raises [Harness.Json.Error] on malformed documents or a
+    schema-version mismatch. *)
+
+val write_jsonl : out_channel -> outcome list -> unit
+(** One outcome object per line. *)
+
+val read_jsonl : in_channel -> outcome list
+(** Reads outcome lines until end of input, skipping blank lines. *)

@@ -1,0 +1,10 @@
+(** Job generators that reproduce a whole table of the paper's
+    evaluation section as one batch — the sweeps behind
+    [lsq_cli batch --sweep NAME]. *)
+
+val names : string list
+(** The available sweeps: ["table3"] .. ["table10"]. *)
+
+val jobs : string -> Job.t list
+(** The job list of a named sweep; raises [Invalid_argument] on unknown
+    names.  Job ids are of the form ["table4-v100-4d"]. *)

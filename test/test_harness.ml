@@ -4,6 +4,7 @@
 open Mdlinalg
 module P = Multidouble.Precision
 module R = Harness.Runners
+module Rep = Harness.Report
 
 let check = Alcotest.(check bool)
 
@@ -13,19 +14,19 @@ let test_qr_runner_all_precisions () =
       List.iter
         (fun complex ->
           let r = R.qr ~complex p Gpusim.Device.v100 ~n:256 ~tile:64 in
-          check "kernel time positive" true (r.R.kernel_ms > 0.0);
-          check "wall >= kernels" true (r.R.wall_ms >= r.R.kernel_ms);
+          check "kernel time positive" true (r.Rep.kernel_ms > 0.0);
+          check "wall >= kernels" true (r.Rep.wall_ms >= r.Rep.kernel_ms);
           check "stages labeled" true
-            (List.map fst r.R.stage_ms = Lsq_core.Stage.qr_stages);
+            (List.map fst r.Rep.stage_ms = Lsq_core.Stage.qr_stages);
           check "kernel ms is stage sum" true
             (Float.abs
-               (List.fold_left (fun a (_, m) -> a +. m) 0.0 r.R.stage_ms
-               -. r.R.kernel_ms)
-            < 1e-6 *. r.R.kernel_ms);
+               (List.fold_left (fun a (_, m) -> a +. m) 0.0 r.Rep.stage_ms
+               -. r.Rep.kernel_ms)
+            < 1e-6 *. r.Rep.kernel_ms);
           (* complex costs more than real at the same shape *)
           if complex then begin
             let real = R.qr ~complex:false p Gpusim.Device.v100 ~n:256 ~tile:64 in
-            check "complex dearer" true (r.R.kernel_ms > real.R.kernel_ms)
+            check "complex dearer" true (r.Rep.kernel_ms > real.Rep.kernel_ms)
           end)
         [ false; true ])
     P.all
@@ -35,29 +36,56 @@ let test_bs_runner () =
     (fun p ->
       let r = R.bs p Gpusim.Device.v100 ~dim:2560 ~tile:32 in
       check "stages labeled" true
-        (List.map fst r.R.stage_ms = Lsq_core.Stage.bs_stages);
-      Alcotest.(check int) "1 + N(N+1)/2" (1 + (80 * 81 / 2)) r.R.launches)
+        (List.map fst r.Rep.stage_ms = Lsq_core.Stage.bs_stages);
+      Alcotest.(check int) "1 + N(N+1)/2" (1 + (80 * 81 / 2)) r.Rep.launches)
     P.all
 
 let test_solve_runner () =
   let r = R.solve P.QD Gpusim.Device.v100 ~n:1024 ~tile:128 in
-  check "qr dominates bs" true (r.R.qr_kernel_ms > 10.0 *. r.R.bs_kernel_ms);
+  let qr = Rep.part r R.qr_part and bs = Rep.part r R.bs_part in
+  check "qr dominates bs" true
+    (qr.Rep.Part.kernel_ms > 10.0 *. bs.Rep.Part.kernel_ms);
   check "total between parts" true
-    (r.R.total_kernel_gflops <= r.R.qr_kernel_gflops +. 1.0)
+    (r.Rep.kernel_gflops <= qr.Rep.Part.kernel_gflops +. 1.0);
+  check "kernel ms is part sum" true
+    (Float.abs (r.Rep.kernel_ms -. qr.Rep.Part.kernel_ms -. bs.Rep.Part.kernel_ms)
+    < 1e-6 *. r.Rep.kernel_ms)
+
+let test_report_json_roundtrip () =
+  let exact = Alcotest.(check bool) in
+  (* A single-phase report: stage list, no parts, no residual. *)
+  let qr = R.qr P.DD Gpusim.Device.v100 ~n:256 ~tile:64 in
+  exact "qr report round-trips" true (Rep.of_json (Rep.to_json qr) = qr);
+  exact "qr report string round-trips" true
+    (Rep.of_json_string (Rep.to_json_string qr) = qr);
+  (* A composite report with parts and a residual attached. *)
+  let solve = R.solve P.QD Gpusim.Device.v100 ~n:64 ~tile:16 in
+  let solve =
+    { solve with Rep.residual = Some (R.verify_solve P.QD Gpusim.Device.v100 ~n:16 ~tile:8) }
+  in
+  exact "solve report round-trips" true
+    (Rep.of_json_string (Rep.to_json_string solve) = solve);
+  (* Schema violations are rejected, not silently misread. *)
+  (match Rep.of_json_string "{\"schema\": 999}" with
+  | exception Harness.Json.Error _ -> ()
+  | _ -> Alcotest.fail "wrong schema version accepted");
+  match Rep.of_json_string "[1, 2]" with
+  | exception Harness.Json.Error _ -> ()
+  | _ -> Alcotest.fail "non-object report accepted"
 
 let test_rates_scale_with_device () =
   (* Faster device, same work: more gigaflops at full occupancy. *)
   let v = R.qr P.OD Gpusim.Device.v100 ~n:1024 ~tile:128 in
   let c = R.qr P.OD Gpusim.Device.c2050 ~n:1024 ~tile:128 in
-  check "v100 beats c2050" true (v.R.kernel_gflops > 4.0 *. c.R.kernel_gflops)
+  check "v100 beats c2050" true (v.Rep.kernel_gflops > 4.0 *. c.Rep.kernel_gflops)
 
 let test_verifiers () =
   let d = Gpusim.Device.v100 in
-  check "qr ok" true (R.verify_qr P.DD d ~n:32 ~tile:8).R.ok;
-  check "bs ok" true (R.verify_bs P.QD d ~dim:32 ~tile:8).R.ok;
-  check "solve ok" true (R.verify_solve P.DD d ~n:16 ~tile:8).R.ok;
+  check "qr ok" true (R.verify_qr P.DD d ~n:32 ~tile:8).Rep.ok;
+  check "bs ok" true (R.verify_bs P.QD d ~dim:32 ~tile:8).Rep.ok;
+  check "solve ok" true (R.verify_solve P.DD d ~n:16 ~tile:8).Rep.ok;
   check "complex qr ok" true
-    (R.verify_qr ~complex:true P.DD d ~n:16 ~tile:8).R.ok
+    (R.verify_qr ~complex:true P.DD d ~n:16 ~tile:8).Rep.ok
 
 (* ---- multicore host kernels ---- *)
 
@@ -112,6 +140,8 @@ let () =
           Alcotest.test_case "device scaling" `Quick
             test_rates_scale_with_device;
           Alcotest.test_case "verifiers" `Quick test_verifiers;
+          Alcotest.test_case "report json round-trip" `Quick
+            test_report_json_roundtrip;
         ] );
       ( "multicore host",
         [

@@ -148,6 +148,54 @@ let test_parallel_for_exception_propagates () =
   check "pool still covers ranges" true (Array.for_all (fun x -> x = 1) marks);
   Domain_pool.shutdown pool
 
+let test_pool_concurrent_failures () =
+  (* Two tasks rendezvous so both are genuinely in flight, then both
+     raise: the barrier must still release and exactly one of the two
+     exceptions must surface on the submitter. *)
+  let pool = Domain_pool.create 4 in
+  if Domain.recommended_domain_count () >= 2 then begin
+    let ready = Atomic.make 0 in
+    let boom name () =
+      Atomic.incr ready;
+      (* Spin until the sibling is also inside its task, bounded so a
+         single-core fallback (tasks run sequentially) cannot hang. *)
+      let t0 = Unix.gettimeofday () in
+      while Atomic.get ready < 2 && Unix.gettimeofday () -. t0 < 1.0 do
+        Domain.cpu_relax ()
+      done;
+      failwith name
+    in
+    let ok = ref false in
+    (match
+       Domain_pool.run pool
+         [ boom "first"; boom "second"; (fun () -> ok := true) ]
+     with
+    | () -> Alcotest.fail "both exceptions swallowed"
+    | exception Failure m ->
+      check "one of the two exceptions" true (m = "first" || m = "second"));
+    check "sibling ok-task completed" true !ok
+  end;
+  (* parallel_for with simultaneous failing chunks behaves the same. *)
+  let covered = Atomic.make 0 in
+  (match
+     Domain_pool.parallel_for ~chunk:1 pool 0 64 (fun i ->
+         ignore (Atomic.fetch_and_add covered 1);
+         if i mod 2 = 0 then failwith (Printf.sprintf "even %d" i))
+   with
+  | () -> Alcotest.fail "exceptions swallowed"
+  | exception Failure m ->
+    check "an even iteration's exception" true
+      (String.length m > 5 && String.sub m 0 5 = "even "));
+  (* The pool must neither wedge nor lose workers: it still covers a
+     full range afterwards. *)
+  let n = 500 in
+  let marks = Array.make n 0 in
+  Domain_pool.parallel_for ~chunk:3 pool 0 n (fun i ->
+      marks.(i) <- marks.(i) + 1);
+  check "pool reusable after concurrent failures" true
+    (Array.for_all (fun x -> x = 1) marks);
+  Domain_pool.shutdown pool
+
 let test_pool_nested () =
   (* parallel_for from inside a pool task must not deadlock and must
      still cover the nested range. *)
@@ -238,6 +286,8 @@ let () =
             test_pool_exception_propagates;
           Alcotest.test_case "parallel_for exceptions" `Quick
             test_parallel_for_exception_propagates;
+          Alcotest.test_case "concurrent failures" `Quick
+            test_pool_concurrent_failures;
           Alcotest.test_case "nested parallelism" `Quick test_pool_nested;
           Alcotest.test_case "size one" `Quick test_pool_size_one;
           Alcotest.test_case "overlaps work" `Slow test_pool_actually_parallel;
