@@ -46,6 +46,7 @@ let items : (string * (unit -> unit)) list =
     ("kernels", Kernels_bench.run);
     ("kernels-smoke", Kernels_bench.smoke);
     ("batch-smoke", Batch_bench.smoke);
+    ("trace-smoke", Trace_bench.smoke);
   ]
 
 let () =

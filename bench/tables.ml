@@ -42,9 +42,13 @@ let stage_table ?paper_kernels ?paper_wall ?paper_kflops ?paper_wflops
   | [] -> ()
   | first :: _ ->
     List.iteri
-      (fun i (stage, _) ->
-        row stage (List.map (fun r -> snd (List.nth r.Harness.Report.stage_ms i)) runs))
-      first.Harness.Report.stage_ms);
+      (fun i (s : Harness.Report.Row.t) ->
+        row s.Harness.Report.Row.stage
+          (List.map
+             (fun r ->
+               (List.nth r.Harness.Report.stages i).Harness.Report.Row.ms)
+             runs))
+      first.Harness.Report.stages);
   row ?paper:paper_kernels "all kernels"
     (List.map (fun r -> r.Harness.Report.kernel_ms) runs);
   row ?paper:paper_wall "wall clock"

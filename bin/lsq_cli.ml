@@ -5,6 +5,8 @@
      lsq_cli backsub --device p100 --prec 4d --dim 17920 --tile 224
      lsq_cli solve   --device v100 --prec 8d --dim 1024 --tile 128
      lsq_cli qr --complex --execute --dim 64 --tile 16
+     lsq_cli qr --dim 1024 --tile 128 --trace trace.json --metrics m.json
+     lsq_cli roofline qr --prec 2d --dim 1024 --tile 128
      lsq_cli batch --jobs jobs.json --parallel 4 --out outcomes.jsonl
      lsq_cli batch --sweep table4
 
@@ -76,6 +78,54 @@ let execute =
           "Execute the kernels numerically (keep the dimension moderate) \
            and report residuals; default is cost accounting only.")
 
+let trace_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON of the run to $(docv); open it \
+           in Perfetto (ui.perfetto.dev) or chrome://tracing.")
+
+let metrics_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Write a JSON snapshot of the metrics registry to $(docv).")
+
+(* Runs [f] with the tracer and the default metrics registry armed, and
+   writes the requested artifacts however [f] exits.  Status lines go to
+   stderr so stdout stays parseable (the batch subcommand emits JSON
+   lines there). *)
+let with_observability ~trace ~metrics f =
+  if trace = None && metrics = None then f ()
+  else begin
+    Obs.Metrics.reset (Obs.Metrics.default ());
+    if trace <> None then Obs.Tracer.start ();
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Tracer.stop ();
+        (match trace with
+        | Some path ->
+          Obs.Tracer.export_file path;
+          Printf.eprintf "trace written to %s (%d events)\n" path
+            (Obs.Tracer.event_count ())
+        | None -> ());
+        match metrics with
+        | Some path ->
+          let snap = Obs.Metrics.snapshot (Obs.Metrics.default ()) in
+          let oc = open_out path in
+          output_string oc
+            (Harness.Json.to_string (Harness.Obs_io.json_of_metrics snap));
+          output_char oc '\n';
+          close_out oc;
+          Printf.eprintf "metrics written to %s (%d metrics)\n" path
+            (List.length snap)
+        | None -> ())
+      f
+  end
+
 (* ---- output ---- *)
 
 let print_run what device p ~complex (r : Harness.Report.t) =
@@ -83,8 +133,11 @@ let print_run what device p ~complex (r : Harness.Report.t) =
     (if complex then " complex" else "")
     device.Gpusim.Device.name;
   List.iter
-    (fun (s, ms) -> pf "  %-24s %12.3f ms\n" s ms)
-    r.Harness.Report.stage_ms;
+    (fun (row : Harness.Report.Row.t) ->
+      pf "  %-24s %12.3f ms  %6d launch%s\n" row.Harness.Report.Row.stage
+        row.Harness.Report.Row.ms row.Harness.Report.Row.launches
+        (if row.Harness.Report.Row.launches = 1 then "" else "es"))
+    r.Harness.Report.stages;
   pf "  %-24s %12.3f ms\n" "all kernels" r.Harness.Report.kernel_ms;
   pf "  %-24s %12.3f ms\n" "wall clock" r.Harness.Report.wall_ms;
   pf "  %-24s %12.1f gigaflops\n" "kernel flops" r.Harness.Report.kernel_gflops;
@@ -105,64 +158,144 @@ let check_tile ~dim ~tile =
 (* ---- subcommands ---- *)
 
 let qr_cmd =
-  let run device p dim rows tile complex execute =
+  let run device p dim rows tile complex execute trace metrics =
     check_tile ~dim ~tile;
-    let r = R.qr ~complex ?rows p device ~n:dim ~tile in
-    print_run
-      (Printf.sprintf "blocked Householder QR of a %dx%d matrix"
-         (Option.value rows ~default:dim)
-         dim)
-      device p ~complex r;
-    if execute then
-      print_residual "executed residual"
-        (R.verify_qr ~complex p device ~n:(min dim 96) ~tile:(min tile 16))
+    with_observability ~trace ~metrics (fun () ->
+        let r = R.qr ~complex ?rows p device ~n:dim ~tile in
+        print_run
+          (Printf.sprintf "blocked Householder QR of a %dx%d matrix"
+             (Option.value rows ~default:dim)
+             dim)
+          device p ~complex r;
+        if execute then
+          print_residual "executed residual"
+            (R.verify_qr ~complex p device ~n:(min dim 96) ~tile:(min tile 16)))
   in
   Cmd.v
     (Cmd.info "qr" ~doc:"Blocked Householder QR (Algorithm 2).")
     Term.(
-      const run $ device $ prec $ dim $ rows $ tile $ complex $ execute)
+      const run $ device $ prec $ dim $ rows $ tile $ complex $ execute
+      $ trace_file $ metrics_file)
 
 let backsub_cmd =
-  let run device p dim tile complex execute =
+  let run device p dim tile complex execute trace metrics =
     check_tile ~dim ~tile;
-    let r = R.bs ~complex p device ~dim ~tile in
-    print_run
-      (Printf.sprintf "tiled back substitution of dimension %d (%d tiles)"
-         dim (dim / tile))
-      device p ~complex r;
-    if execute then
-      print_residual "executed residual"
-        (R.verify_bs ~complex p device ~dim:(min dim 96) ~tile:(min tile 16))
+    with_observability ~trace ~metrics (fun () ->
+        let r = R.bs ~complex p device ~dim ~tile in
+        print_run
+          (Printf.sprintf "tiled back substitution of dimension %d (%d tiles)"
+             dim (dim / tile))
+          device p ~complex r;
+        if execute then
+          print_residual "executed residual"
+            (R.verify_bs ~complex p device ~dim:(min dim 96) ~tile:(min tile 16)))
   in
   Cmd.v
     (Cmd.info "backsub" ~doc:"Tiled accelerated back substitution (Algorithm 1).")
-    Term.(const run $ device $ prec $ dim $ tile $ complex $ execute)
+    Term.(
+      const run $ device $ prec $ dim $ tile $ complex $ execute $ trace_file
+      $ metrics_file)
 
 let solve_cmd =
-  let run device p dim tile complex execute =
+  let run device p dim tile complex execute trace metrics =
     check_tile ~dim ~tile;
-    let r = R.solve ~complex p device ~n:dim ~tile in
-    pf "least squares solve of a %dx%d system in %s%s on the simulated %s\n"
-      dim dim (P.name p)
-      (if complex then " complex" else "")
-      device.Gpusim.Device.name;
-    let qr = Harness.Report.part r R.qr_part in
-    let bs = Harness.Report.part r R.bs_part in
-    pf "  %-24s %12.3f ms\n" "QR kernel time" qr.Harness.Report.Part.kernel_ms;
-    pf "  %-24s %12.3f ms\n" "QR wall time" qr.Harness.Report.Part.wall_ms;
-    pf "  %-24s %12.3f ms\n" "BS kernel time" bs.Harness.Report.Part.kernel_ms;
-    pf "  %-24s %12.3f ms\n" "BS wall time" bs.Harness.Report.Part.wall_ms;
-    pf "  %-24s %12.1f gigaflops\n" "total kernel flops"
-      r.Harness.Report.kernel_gflops;
-    pf "  %-24s %12.1f gigaflops\n" "total wall flops"
-      r.Harness.Report.wall_gflops;
-    if execute then
-      print_residual "executed forward error"
-        (R.verify_solve ~complex p device ~n:(min dim 64) ~tile:(min tile 16))
+    with_observability ~trace ~metrics (fun () ->
+        let r = R.solve ~complex p device ~n:dim ~tile in
+        pf "least squares solve of a %dx%d system in %s%s on the simulated %s\n"
+          dim dim (P.name p)
+          (if complex then " complex" else "")
+          device.Gpusim.Device.name;
+        let qr = Harness.Report.part r R.qr_part in
+        let bs = Harness.Report.part r R.bs_part in
+        pf "  %-24s %12.3f ms\n" "QR kernel time"
+          qr.Harness.Report.Part.kernel_ms;
+        pf "  %-24s %12.3f ms\n" "QR wall time" qr.Harness.Report.Part.wall_ms;
+        pf "  %-24s %12.3f ms\n" "BS kernel time"
+          bs.Harness.Report.Part.kernel_ms;
+        pf "  %-24s %12.3f ms\n" "BS wall time" bs.Harness.Report.Part.wall_ms;
+        pf "  %-24s %12.1f gigaflops\n" "total kernel flops"
+          r.Harness.Report.kernel_gflops;
+        pf "  %-24s %12.1f gigaflops\n" "total wall flops"
+          r.Harness.Report.wall_gflops;
+        if execute then
+          print_residual "executed forward error"
+            (R.verify_solve ~complex p device ~n:(min dim 64)
+               ~tile:(min tile 16)))
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Least squares solver: QR then back substitution.")
-    Term.(const run $ device $ prec $ dim $ tile $ complex $ execute)
+    Term.(
+      const run $ device $ prec $ dim $ tile $ complex $ execute $ trace_file
+      $ metrics_file)
+
+let roofline_cmd =
+  let kind =
+    Arg.(
+      value
+      & pos 0
+          (enum [ ("qr", `Qr); ("backsub", `Backsub); ("solve", `Solve) ])
+          `Qr
+      & info [] ~docv:"KIND" ~doc:"Experiment: qr, backsub or solve.")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the table as JSON (see Harness.Obs_io) on stdout.")
+  in
+  let run device p kind dim rows tile complex json =
+    check_tile ~dim ~tile;
+    let kind_name =
+      match kind with `Qr -> "qr" | `Backsub -> "backsub" | `Solve -> "solve"
+    in
+    let stages =
+      match kind with
+      | `Qr -> R.qr_roofline ~complex ?rows p device ~n:dim ~tile
+      | `Backsub -> R.bs_roofline ~complex p device ~dim ~tile
+      | `Solve -> R.solve_roofline ~complex p device ~n:dim ~tile
+    in
+    let rows_all = stages @ [ Obs.Roofline.total stages ] in
+    let ridge =
+      Obs.Roofline.ridge ~peak_gflops:device.Gpusim.Device.dp_peak_gflops
+        ~dram_gb_s:device.Gpusim.Device.dram_gb_s
+    in
+    let label =
+      Printf.sprintf "%s %s%s n=%d tile=%d" kind_name (P.label p)
+        (if complex then " complex" else "")
+        dim tile
+    in
+    if json then
+      print_endline
+        (Harness.Json.to_string
+           (Harness.Obs_io.json_of_roofline ~label
+              ~device:device.Gpusim.Device.name ~ridge rows_all))
+    else begin
+      pf "roofline of %s in %s%s on the simulated %s\n" kind_name (P.name p)
+        (if complex then " complex" else "")
+        device.Gpusim.Device.name;
+      pf "DP peak %.0f gigaflops, DRAM %.0f GB/s, ridge %.2f flops/byte\n"
+        device.Gpusim.Device.dp_peak_gflops device.Gpusim.Device.dram_gb_s
+        ridge;
+      pf "%-24s %12s %9s %9s %11s %7s  %s\n" "stage" "ms" "launches"
+        "gflops" "flops/byte" "%peak" "bound";
+      List.iter
+        (fun (s : Obs.Roofline.stage) ->
+          pf "%-24s %12.3f %9d %9.1f %11.2f %7.2f  %s\n" s.Obs.Roofline.stage
+            s.Obs.Roofline.ms s.Obs.Roofline.launches s.Obs.Roofline.gflops
+            s.Obs.Roofline.intensity s.Obs.Roofline.pct_peak
+            (Obs.Roofline.bound_name s.Obs.Roofline.bound))
+        rows_all
+    end
+  in
+  Cmd.v
+    (Cmd.info "roofline"
+       ~doc:
+         "Per-stage roofline diagnostics: arithmetic intensity, achieved \
+          flops and compute- vs memory-bound classification (the paper's \
+          CGMA analysis).")
+    Term.(
+      const run $ device $ prec $ kind $ dim $ rows $ tile $ complex
+      $ json_flag)
 
 let refine_cmd =
   let lo_prec =
@@ -422,7 +555,7 @@ let batch_cmd =
             "Write the JSON-lines outcomes here instead of standard output \
              (the human summary then goes to standard output).")
   in
-  let run jobs_file sweep_name parallel out_file =
+  let run jobs_file sweep_name parallel out_file trace metrics =
     let jobs =
       match (jobs_file, sweep_name) with
       | Some _, Some _ ->
@@ -446,7 +579,10 @@ let batch_cmd =
       Printf.eprintf "error: --parallel must be at least 1\n";
       exit 2
     end;
-    let outcomes = Sched.Scheduler.run_batch ~parallel jobs in
+    let outcomes =
+      with_observability ~trace ~metrics (fun () ->
+          Sched.Scheduler.run_batch ~parallel jobs)
+    in
     let summary_oc =
       match out_file with
       | Some file ->
@@ -494,7 +630,9 @@ let batch_cmd =
        ~doc:
          "Run a batch of jobs concurrently on the shared domain pool and \
           emit one JSON outcome per line.")
-    Term.(const run $ jobs_file $ sweep_name $ parallel $ out_file)
+    Term.(
+      const run $ jobs_file $ sweep_name $ parallel $ out_file $ trace_file
+      $ metrics_file)
 
 let devices_cmd =
   let run () =
@@ -538,4 +676,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ qr_cmd; backsub_cmd; solve_cmd; batch_cmd; refine_cmd; toeplitz_cmd; psolve_cmd; cond_cmd; devices_cmd; precisions_cmd ]))
+          [ qr_cmd; backsub_cmd; solve_cmd; roofline_cmd; batch_cmd; refine_cmd; toeplitz_cmd; psolve_cmd; cond_cmd; devices_cmd; precisions_cmd ]))

@@ -16,7 +16,7 @@ module Make (K : Mdlinalg.Scalar.S) : sig
     wall_ms : float;
     kernel_gflops : float;
     wall_gflops : float;
-    stage_ms : (string * float) list;  (** in {!Stage.qr_stages} order *)
+    stages : Gpusim.Profile.row list;  (** in {!Stage.qr_stages} order *)
     launches : int;
   }
 

@@ -30,8 +30,8 @@ module Make (K : Scalar.S) = struct
     bs_wall_gflops : float;
     total_kernel_gflops : float;
     total_wall_gflops : float;
-    qr_stage_ms : (string * float) list;
-    bs_stage_ms : (string * float) list;
+    qr_stages : Gpusim.Profile.row list;
+    bs_stages : Gpusim.Profile.row list;
     launches : int;
   }
 
@@ -72,8 +72,8 @@ module Make (K : Scalar.S) = struct
       bs_wall_gflops = Sim.wall_gflops bs_sim;
       total_kernel_gflops = total_flops /. ((qr_k +. bs_k) *. 1e6);
       total_wall_gflops = total_flops /. ((qr_w +. bs_w) *. 1e6);
-      qr_stage_ms = Sim.breakdown qr_sim;
-      bs_stage_ms = Sim.breakdown bs_sim;
+      qr_stages = Sim.breakdown qr_sim;
+      bs_stages = Sim.breakdown bs_sim;
       launches = Sim.launches qr_sim + Sim.launches bs_sim;
     }
 

@@ -16,8 +16,8 @@ module Make (K : Mdlinalg.Scalar.S) : sig
     bs_wall_gflops : float;
     total_kernel_gflops : float;
     total_wall_gflops : float;
-    qr_stage_ms : (string * float) list;  (** per-stage kernel ms *)
-    bs_stage_ms : (string * float) list;
+    qr_stages : Gpusim.Profile.row list;  (** per-stage kernel breakdown *)
+    bs_stages : Gpusim.Profile.row list;
     launches : int;  (** both phases *)
   }
 

@@ -32,7 +32,7 @@ module Make (K : Scalar.S) = struct
     wall_ms : float;
     kernel_gflops : float;
     wall_gflops : float;
-    stage_ms : (string * float) list;
+    stages : Profile.row list;
     launches : int;
   }
 
@@ -201,10 +201,7 @@ module Make (K : Scalar.S) = struct
       wall_ms = Sim.wall_ms sim;
       kernel_gflops = Sim.kernel_gflops sim;
       wall_gflops = Sim.wall_gflops sim;
-      stage_ms =
-        List.map
-          (fun s -> (s, Profile.stage_ms sim.Sim.profile s))
-          Stage.bs_stages;
+      stages = List.map (Profile.row sim.Sim.profile) Stage.bs_stages;
       launches = Sim.launches sim;
     }
 

@@ -1,10 +1,27 @@
-(* Per-stage accumulation of kernel times and operation tallies, used to
-   print the stage-by-stage breakdowns of the paper's tables. *)
+(* Per-stage accumulation of kernel times, operation tallies, launch
+   counts, memory traffic and roofline time terms, used to print the
+   stage-by-stage breakdowns of the paper's tables and to feed the
+   per-stage roofline diagnostics. *)
 
 type entry = {
   mutable ms : float;
   mutable ops : Counter.ops;
   mutable launches : int;
+  mutable cold_bytes : float;
+  mutable thread_bytes : float;
+  mutable compute_ms : float;
+  mutable memory_ms : float;
+}
+
+type row = {
+  stage : string;
+  ms : float;
+  ops : Counter.ops;
+  launches : int;
+  cold_bytes : float;
+  thread_bytes : float;
+  compute_ms : float;
+  memory_ms : float;
 }
 
 type t = { table : (string, entry) Hashtbl.t; mutable order : string list }
@@ -15,19 +32,61 @@ let entry t stage =
   match Hashtbl.find_opt t.table stage with
   | Some e -> e
   | None ->
-    let e = { ms = 0.0; ops = Counter.zero; launches = 0 } in
+    let e =
+      {
+        ms = 0.0;
+        ops = Counter.zero;
+        launches = 0;
+        cold_bytes = 0.0;
+        thread_bytes = 0.0;
+        compute_ms = 0.0;
+        memory_ms = 0.0;
+      }
+    in
     Hashtbl.add t.table stage e;
     t.order <- stage :: t.order;
     e
 
-let record ?(count = 1) t ~stage ~ms ~ops =
+let record ?(count = 1) ?(cold_bytes = 0.0) ?(thread_bytes = 0.0)
+    ?(compute_ms = 0.0) ?(memory_ms = 0.0) t ~stage ~ms ~ops =
   let e = entry t stage in
   e.ms <- e.ms +. ms;
   e.ops <- Counter.add e.ops ops;
-  e.launches <- e.launches + count
+  e.launches <- e.launches + count;
+  e.cold_bytes <- e.cold_bytes +. cold_bytes;
+  e.thread_bytes <- e.thread_bytes +. thread_bytes;
+  e.compute_ms <- e.compute_ms +. compute_ms;
+  e.memory_ms <- e.memory_ms +. memory_ms
 
 (* Stages in first-recorded order. *)
 let stages t = List.rev t.order
+
+let row t stage =
+  match Hashtbl.find_opt t.table stage with
+  | Some e ->
+    {
+      stage;
+      ms = e.ms;
+      ops = e.ops;
+      launches = e.launches;
+      cold_bytes = e.cold_bytes;
+      thread_bytes = e.thread_bytes;
+      compute_ms = e.compute_ms;
+      memory_ms = e.memory_ms;
+    }
+  | None ->
+    {
+      stage;
+      ms = 0.0;
+      ops = Counter.zero;
+      launches = 0;
+      cold_bytes = 0.0;
+      thread_bytes = 0.0;
+      compute_ms = 0.0;
+      memory_ms = 0.0;
+    }
+
+let rows t = List.map (row t) (stages t)
 
 let stage_ms t stage =
   match Hashtbl.find_opt t.table stage with Some e -> e.ms | None -> 0.0
@@ -40,10 +99,13 @@ let stage_ops t stage =
 let stage_launches t stage =
   match Hashtbl.find_opt t.table stage with Some e -> e.launches | None -> 0
 
-let total_ms t = Hashtbl.fold (fun _ e acc -> acc +. e.ms) t.table 0.0
+let total_ms t =
+  Hashtbl.fold (fun _ (e : entry) acc -> acc +. e.ms) t.table 0.0
 
 let total_ops t =
-  Hashtbl.fold (fun _ e acc -> Counter.add acc e.ops) t.table Counter.zero
+  Hashtbl.fold
+    (fun _ (e : entry) acc -> Counter.add acc e.ops)
+    t.table Counter.zero
 
 let total_launches t =
-  Hashtbl.fold (fun _ e acc -> acc + e.launches) t.table 0
+  Hashtbl.fold (fun _ (e : entry) acc -> acc + e.launches) t.table 0

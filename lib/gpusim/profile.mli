@@ -1,10 +1,28 @@
-(** Per-stage accumulation of kernel times and operation tallies, used to
-    print the stage-by-stage breakdowns of the paper's tables. *)
+(** Per-stage accumulation of kernel times, operation tallies, launch
+    counts, memory traffic and roofline time terms, used to print the
+    stage-by-stage breakdowns of the paper's tables and to feed the
+    per-stage roofline diagnostics. *)
 
 type entry = {
   mutable ms : float;
   mutable ops : Counter.ops;
   mutable launches : int;
+  mutable cold_bytes : float;
+  mutable thread_bytes : float;
+  mutable compute_ms : float;  (** summed compute terms of the model *)
+  mutable memory_ms : float;  (** summed max(DRAM, cache) terms *)
+}
+
+(** An immutable copy of one stage's accumulated state. *)
+type row = {
+  stage : string;
+  ms : float;
+  ops : Counter.ops;
+  launches : int;
+  cold_bytes : float;
+  thread_bytes : float;
+  compute_ms : float;
+  memory_ms : float;
 }
 
 type t = { table : (string, entry) Hashtbl.t; mutable order : string list }
@@ -12,11 +30,27 @@ type t = { table : (string, entry) Hashtbl.t; mutable order : string list }
 val create : unit -> t
 
 val record :
-  ?count:int -> t -> stage:string -> ms:float -> ops:Counter.ops -> unit
+  ?count:int ->
+  ?cold_bytes:float ->
+  ?thread_bytes:float ->
+  ?compute_ms:float ->
+  ?memory_ms:float ->
+  t ->
+  stage:string ->
+  ms:float ->
+  ops:Counter.ops ->
+  unit
 (** Adds one launch (or [count] concurrent launches) to a stage. *)
 
 val stages : t -> string list
 (** In first-recorded order. *)
+
+val row : t -> string -> row
+(** The accumulated state of one stage (a zero row when the stage never
+    recorded). *)
+
+val rows : t -> row list
+(** One row per stage, in first-recorded order. *)
 
 val stage_ms : t -> string -> float
 val stage_ops : t -> string -> Counter.ops

@@ -7,7 +7,14 @@
    With [execute = false] a launch is costed without running its body, so
    the large-dimension experiments of the paper can be timed without
    executing trillions of host flops; the test suite validates the
-   numerical results with execution on at smaller dimensions. *)
+   numerical results with execution on at smaller dimensions.
+
+   Every launch and transfer is observable: when [Obs.Tracer] is
+   recording, launches emit kernel spans (grid/block dims, stage,
+   modeled ms, op tally) plus a counter track carrying the simulated
+   device clock, and transfers emit instant events; the process-wide
+   [Obs.Metrics] registry always tallies launches, transfers and the
+   modeled kernel milliseconds. *)
 
 type t = {
   device : Device.t;
@@ -19,6 +26,15 @@ type t = {
   mutable host_ms : float;
   mutable peak_bytes : float; (* largest resident data set, for RAM model *)
 }
+
+let m_launches =
+  lazy (Obs.Metrics.counter (Obs.Metrics.default ()) "sim.launches")
+
+let m_transfers =
+  lazy (Obs.Metrics.counter (Obs.Metrics.default ()) "sim.transfers")
+
+let m_kernel_ms =
+  lazy (Obs.Metrics.histogram (Obs.Metrics.default ()) "sim.kernel_ms")
 
 let create ?(execute = true) ?pool ~device ~prec () =
   let pool =
@@ -42,39 +58,76 @@ let reset t =
   t.host_ms <- 0.0;
   t.peak_bytes <- 0.0
 
-(* [launch t ~stage ~cost body] accounts one kernel under [stage] and, when
-   executing, runs [body block] for every block of the grid in parallel. *)
-let launch t ~stage ~cost body =
+(* Cost accounting shared by [launch] and [launch_seq]: the modeled
+   milliseconds plus the roofline time terms land in the profile, the
+   per-launch host cost in [host_ms], and the registry tallies. *)
+let account t ~stage ~(cost : Cost.launch) =
   let ms = Cost.kernel_ms t.device t.prec cost in
-  Profile.record ~count:cost.Cost.count t.profile ~stage ~ms
+  let compute_ms, dram_ms, cache_ms, _ = Cost.terms t.device t.prec cost in
+  Profile.record ~count:cost.Cost.count ~cold_bytes:cost.Cost.cold_bytes
+    ~thread_bytes:cost.Cost.thread_bytes ~compute_ms
+    ~memory_ms:(Float.max dram_ms cache_ms) t.profile ~stage ~ms
     ~ops:cost.Cost.ops;
   t.host_ms <-
     t.host_ms
     +. (float_of_int cost.Cost.count *. Cost.host_launch_ms t.device);
-  if t.execute then
-    if cost.Cost.blocks = 1 then body 0
-    else
-      Dompool.Domain_pool.parallel_for ~chunk:1 t.pool 0 cost.Cost.blocks body
+  Obs.Metrics.Counter.incr ~by:cost.Cost.count (Lazy.force m_launches);
+  Obs.Metrics.Histogram.observe (Lazy.force m_kernel_ms) ms;
+  ms
+
+(* Runs [run] under a kernel span carrying the launch's shape and cost,
+   then samples the simulated device clock as a counter track (the host
+   span shows when the simulator worked, the counter what the device
+   clock advanced to). *)
+let traced t ~stage ~(cost : Cost.launch) ~ms run =
+  if not (Obs.Tracer.enabled ()) then run ()
+  else begin
+    let args =
+      [
+        ("blocks", Obs.Tracer.Int cost.Cost.blocks);
+        ("threads", Obs.Tracer.Int cost.Cost.threads);
+        ("count", Obs.Tracer.Int cost.Cost.count);
+        ("device_ms", Obs.Tracer.Float ms);
+        ("ops", Obs.Tracer.Float (Counter.total cost.Cost.ops));
+      ]
+    in
+    Obs.Tracer.span ~cat:"kernel" ~args stage run;
+    Obs.Tracer.counter "sim.device_ms" (Profile.total_ms t.profile)
+  end
+
+(* [launch t ~stage ~cost body] accounts one kernel under [stage] and, when
+   executing, runs [body block] for every block of the grid in parallel. *)
+let launch t ~stage ~cost body =
+  let ms = account t ~stage ~cost in
+  traced t ~stage ~cost ~ms (fun () ->
+      if t.execute then
+        if cost.Cost.blocks = 1 then body 0
+        else
+          Dompool.Domain_pool.parallel_for ~chunk:1 t.pool 0 cost.Cost.blocks
+            body)
 
 (* [launch_seq] is [launch] for bodies that must see blocks in order
    (e.g. when later blocks read results of earlier ones within one launch
    would be a race; the simulator then serializes, the cost is unchanged). *)
 let launch_seq t ~stage ~cost body =
-  let ms = Cost.kernel_ms t.device t.prec cost in
-  Profile.record ~count:cost.Cost.count t.profile ~stage ~ms
-    ~ops:cost.Cost.ops;
-  t.host_ms <-
-    t.host_ms
-    +. (float_of_int cost.Cost.count *. Cost.host_launch_ms t.device);
-  if t.execute then
-    for b = 0 to cost.Cost.blocks - 1 do
-      body b
-    done
+  let ms = account t ~stage ~cost in
+  traced t ~stage ~cost ~ms (fun () ->
+      if t.execute then
+        for b = 0 to cost.Cost.blocks - 1 do
+          body b
+        done)
 
 (* Host <-> device staging of [bytes]; shows up in wall clock only. *)
 let transfer t bytes =
   t.peak_bytes <- Float.max t.peak_bytes bytes;
-  t.transfer_ms <- t.transfer_ms +. Cost.transfer_ms t.device bytes
+  let ms = Cost.transfer_ms t.device bytes in
+  t.transfer_ms <- t.transfer_ms +. ms;
+  Obs.Metrics.Counter.incr (Lazy.force m_transfers);
+  if Obs.Tracer.enabled () then
+    Obs.Tracer.instant ~cat:"transfer"
+      ~args:
+        [ ("bytes", Obs.Tracer.Float bytes); ("device_ms", Obs.Tracer.Float ms) ]
+      "transfer"
 
 let kernel_ms t = Profile.total_ms t.profile
 
@@ -84,12 +137,25 @@ let wall_ms t =
 
 let launches t = Profile.total_launches t.profile
 
-(* The per-stage kernel milliseconds, in first-recorded order.  Each
-   simulator owns its profile, so a batch of concurrent jobs — one (or a
-   few) simulators per job, all sharing one domain pool — reads its own
-   breakdown without seeing a neighbour's launches. *)
-let breakdown t =
-  List.map (fun s -> (s, Profile.stage_ms t.profile s)) (Profile.stages t.profile)
+(* The per-stage rows (ms, launches, op tallies, traffic), in
+   first-recorded order.  Each simulator owns its profile, so a batch of
+   concurrent jobs — one (or a few) simulators per job, all sharing one
+   domain pool — reads its own breakdown without seeing a neighbour's
+   launches. *)
+let breakdown t = Profile.rows t.profile
+
+(* Per-stage roofline diagnostics: flops from the Table 1 multipliers,
+   bytes and time terms straight from the cost model's accounting. *)
+let roofline t =
+  List.map
+    (fun (r : Profile.row) ->
+      Obs.Roofline.classify ~stage:r.Profile.stage ~ms:r.Profile.ms
+        ~launches:r.Profile.launches
+        ~flops:(Counter.flops t.prec r.Profile.ops)
+        ~bytes:(r.Profile.cold_bytes +. r.Profile.thread_bytes)
+        ~compute_ms:r.Profile.compute_ms ~memory_ms:r.Profile.memory_ms
+        ~peak_gflops:t.device.Device.dp_peak_gflops)
+    (Profile.rows t.profile)
 
 (* Gigaflops over the time spent by the kernels ("kernel flops"). *)
 let kernel_gflops t =

@@ -5,7 +5,14 @@
     the cost model accounts the milliseconds the same launch takes on the
     chosen physical device.  With [execute = false] a launch is costed
     without running its body, so the paper's largest dimensions are timed
-    without executing trillions of host flops. *)
+    without executing trillions of host flops.
+
+    Observability: when [Obs.Tracer] is recording, every launch emits a
+    kernel span (grid/block dims, stage, modeled ms, op tally) and
+    samples the simulated device clock onto a counter track; transfers
+    emit instant events.  The process-wide [Obs.Metrics] registry always
+    tallies ["sim.launches"], ["sim.transfers"] and the ["sim.kernel_ms"]
+    histogram. *)
 
 type t = {
   device : Device.t;
@@ -51,10 +58,16 @@ val wall_ms : t -> float
 
 val launches : t -> int
 
-val breakdown : t -> (string * float) list
-(** Per-stage kernel milliseconds, in first-recorded order.  Profiles
-    are per-simulator state: concurrent jobs that each create their own
-    simulators (even on one shared pool) stay isolated. *)
+val breakdown : t -> Profile.row list
+(** Per-stage rows (kernel ms, launch counts, op tallies, traffic), in
+    first-recorded order.  Profiles are per-simulator state: concurrent
+    jobs that each create their own simulators (even on one shared pool)
+    stay isolated. *)
+
+val roofline : t -> Obs.Roofline.stage list
+(** Per-stage roofline diagnostics against this simulator's device:
+    flops from the Table 1 multipliers, bytes and compute/memory time
+    terms straight from the cost model's accounting. *)
 
 val kernel_gflops : t -> float
 (** Total double precision flops over the kernel time. *)

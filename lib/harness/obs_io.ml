@@ -1,0 +1,119 @@
+(* JSON codecs for the observability layer: metric snapshots (which ride
+   inside [Report.t]) and roofline diagnostic tables (the machine-
+   readable CGMA output of `lsq_cli roofline`).
+
+   They live here rather than in [lib/obs] so the obs library keeps zero
+   in-repo dependencies (the tracer exports its own trace-event JSON;
+   everything else serializes through [Harness.Json]). *)
+
+module M = Obs.Metrics
+module R = Obs.Roofline
+
+(* ---- metric snapshots ---- *)
+
+let json_of_metric (name, value) =
+  let fields =
+    match value with
+    | M.Counter v -> [ ("kind", Json.Str "counter"); ("value", Json.Int v) ]
+    | M.Gauge v -> [ ("kind", Json.Str "gauge"); ("value", Json.Float v) ]
+    | M.Histogram { bounds; counts; count; sum } ->
+      [
+        ("kind", Json.Str "histogram");
+        ( "bounds",
+          Json.Arr (Array.to_list (Array.map (fun b -> Json.Float b) bounds))
+        );
+        ( "counts",
+          Json.Arr (Array.to_list (Array.map (fun c -> Json.Int c) counts)) );
+        ("count", Json.Int count);
+        ("sum", Json.Float sum);
+      ]
+  in
+  Json.Obj (("name", Json.Str name) :: fields)
+
+let metric_of_json j =
+  let name = Json.(get_string (member "name" j)) in
+  let value =
+    match Json.(get_string (member "kind" j)) with
+    | "counter" -> M.Counter Json.(get_int (member "value" j))
+    | "gauge" -> M.Gauge Json.(get_float (member "value" j))
+    | "histogram" ->
+      M.Histogram
+        {
+          bounds =
+            Array.of_list
+              (List.map Json.get_float Json.(get_list (member "bounds" j)));
+          counts =
+            Array.of_list
+              (List.map Json.get_int Json.(get_list (member "counts" j)));
+          count = Json.(get_int (member "count" j));
+          sum = Json.(get_float (member "sum" j));
+        }
+    | k -> raise (Json.Error (Printf.sprintf "unknown metric kind '%s'" k))
+  in
+  (name, value)
+
+let json_of_metrics (snap : M.snapshot) =
+  Json.Arr (List.map json_of_metric snap)
+
+let metrics_of_json j : M.snapshot = List.map metric_of_json (Json.get_list j)
+
+(* ---- roofline tables ---- *)
+
+let json_of_stage (s : R.stage) =
+  Json.Obj
+    [
+      ("stage", Json.Str s.R.stage);
+      ("ms", Json.Float s.R.ms);
+      ("launches", Json.Int s.R.launches);
+      ("flops", Json.Float s.R.flops);
+      ("bytes", Json.Float s.R.bytes);
+      ("intensity", Json.Float s.R.intensity);
+      ("gflops", Json.Float s.R.gflops);
+      ("pct_peak", Json.Float s.R.pct_peak);
+      ("compute_ms", Json.Float s.R.compute_ms);
+      ("memory_ms", Json.Float s.R.memory_ms);
+      ("bound", Json.Str (R.bound_name s.R.bound));
+    ]
+
+let stage_of_json j : R.stage =
+  {
+    R.stage = Json.(get_string (member "stage" j));
+    ms = Json.(get_float (member "ms" j));
+    launches = Json.(get_int (member "launches" j));
+    flops = Json.(get_float (member "flops" j));
+    bytes = Json.(get_float (member "bytes" j));
+    intensity = Json.(get_float (member "intensity" j));
+    gflops = Json.(get_float (member "gflops" j));
+    pct_peak = Json.(get_float (member "pct_peak" j));
+    compute_ms = Json.(get_float (member "compute_ms" j));
+    memory_ms = Json.(get_float (member "memory_ms" j));
+    bound =
+      (match Json.(get_string (member "bound" j)) with
+      | "compute" -> R.Compute
+      | "memory" -> R.Memory
+      | b -> raise (Json.Error (Printf.sprintf "unknown bound '%s'" b)));
+  }
+
+let roofline_schema_version = 1
+
+let json_of_roofline ~label ~device ~ridge stages =
+  Json.Obj
+    [
+      ("schema", Json.Int roofline_schema_version);
+      ("label", Json.Str label);
+      ("device", Json.Str device);
+      ("ridge", Json.Float ridge);
+      ("stages", Json.Arr (List.map json_of_stage stages));
+    ]
+
+let roofline_of_json j =
+  let v = Json.(get_int (member "schema" j)) in
+  if v <> roofline_schema_version then
+    raise
+      (Json.Error
+         (Printf.sprintf "roofline schema %d, this build reads schema %d" v
+            roofline_schema_version));
+  ( Json.(get_string (member "label" j)),
+    Json.(get_string (member "device" j)),
+    Json.(get_float (member "ridge" j)),
+    List.map stage_of_json Json.(get_list (member "stages" j)) )

@@ -1,0 +1,25 @@
+(** JSON codecs for the observability layer: metric snapshots (which
+    ride inside {!Report.t}) and roofline diagnostic tables (the
+    machine-readable CGMA output of [lsq_cli roofline]).
+
+    Both codecs round-trip exactly (floats print with 17 significant
+    digits through {!Json}); the parsers raise [Json.Error] on malformed
+    documents. *)
+
+val json_of_metrics : Obs.Metrics.snapshot -> Json.t
+val metrics_of_json : Json.t -> Obs.Metrics.snapshot
+
+val roofline_schema_version : int
+(** Version stamped into (and required of) a serialized roofline
+    table. *)
+
+val json_of_roofline :
+  label:string ->
+  device:string ->
+  ridge:float ->
+  Obs.Roofline.stage list ->
+  Json.t
+
+val roofline_of_json :
+  Json.t -> string * string * float * Obs.Roofline.stage list
+(** [(label, device, ridge, stages)] of a serialized table. *)

@@ -12,11 +12,28 @@ module Part = struct
   }
 end
 
+module Row = struct
+  type t = {
+    stage : string;
+    ms : float;
+    launches : int;
+    ops : Gpusim.Counter.ops;
+  }
+
+  let of_profile (r : Gpusim.Profile.row) =
+    {
+      stage = r.Gpusim.Profile.stage;
+      ms = r.Gpusim.Profile.ms;
+      launches = r.Gpusim.Profile.launches;
+      ops = r.Gpusim.Profile.ops;
+    }
+end
+
 type residual = { what : string; residual : float; eps : float; ok : bool }
 
 type t = {
   label : string;
-  stage_ms : (string * float) list;
+  stages : Row.t list;
   parts : Part.t list;
   kernel_ms : float;
   wall_ms : float;
@@ -24,13 +41,18 @@ type t = {
   wall_gflops : float;
   launches : int;
   residual : residual option;
+  metrics : Obs.Metrics.snapshot option;
 }
 
-let schema_version = 1
+(* v2: stage rows carry launches and operation tallies, and a report can
+   embed a metrics snapshot. *)
+let schema_version = 2
 
 let part t name = List.find (fun p -> p.Part.name = name) t.parts
 
 let part_opt t name = List.find_opt (fun p -> p.Part.name = name) t.parts
+
+let stage_ms t = List.map (fun r -> (r.Row.stage, r.Row.ms)) t.stages
 
 (* ---- JSON ---- *)
 
@@ -51,6 +73,32 @@ let part_of_json j =
     wall_ms = Json.(get_float (member "wall_ms" j));
     kernel_gflops = Json.(get_float (member "kernel_gflops" j));
     wall_gflops = Json.(get_float (member "wall_gflops" j));
+  }
+
+let json_of_row (r : Row.t) =
+  Json.Obj
+    [
+      ("stage", Json.Str r.Row.stage);
+      ("ms", Json.Float r.Row.ms);
+      ("launches", Json.Int r.Row.launches);
+      ("adds", Json.Float r.Row.ops.Gpusim.Counter.adds);
+      ("muls", Json.Float r.Row.ops.Gpusim.Counter.muls);
+      ("divs", Json.Float r.Row.ops.Gpusim.Counter.divs);
+      ("sqrts", Json.Float r.Row.ops.Gpusim.Counter.sqrts);
+    ]
+
+let row_of_json j =
+  {
+    Row.stage = Json.(get_string (member "stage" j));
+    ms = Json.(get_float (member "ms" j));
+    launches = Json.(get_int (member "launches" j));
+    ops =
+      {
+        Gpusim.Counter.adds = Json.(get_float (member "adds" j));
+        muls = Json.(get_float (member "muls" j));
+        divs = Json.(get_float (member "divs" j));
+        sqrts = Json.(get_float (member "sqrts" j));
+      };
   }
 
 let json_of_residual r =
@@ -75,12 +123,7 @@ let to_json t =
     [
       ("schema", Json.Int schema_version);
       ("label", Json.Str t.label);
-      ( "stages",
-        Json.Arr
-          (List.map
-             (fun (s, ms) ->
-               Json.Obj [ ("stage", Json.Str s); ("ms", Json.Float ms) ])
-             t.stage_ms) );
+      ("stages", Json.Arr (List.map json_of_row t.stages));
       ("parts", Json.Arr (List.map json_of_part t.parts));
       ("kernel_ms", Json.Float t.kernel_ms);
       ("wall_ms", Json.Float t.wall_ms);
@@ -90,6 +133,10 @@ let to_json t =
       ( "residual",
         match t.residual with Some r -> json_of_residual r | None -> Json.Null
       );
+      ( "metrics",
+        match t.metrics with
+        | Some m -> Obs_io.json_of_metrics m
+        | None -> Json.Null );
     ]
 
 let of_json j =
@@ -101,11 +148,7 @@ let of_json j =
             schema_version));
   {
     label = Json.(get_string (member "label" j));
-    stage_ms =
-      List.map
-        (fun s ->
-          Json.(get_string (member "stage" s), get_float (member "ms" s)))
-        Json.(get_list (member "stages" j));
+    stages = List.map row_of_json Json.(get_list (member "stages" j));
     parts = List.map part_of_json Json.(get_list (member "parts" j));
     kernel_ms = Json.(get_float (member "kernel_ms" j));
     wall_ms = Json.(get_float (member "wall_ms" j));
@@ -113,6 +156,7 @@ let of_json j =
     wall_gflops = Json.(get_float (member "wall_gflops" j));
     launches = Json.(get_int (member "launches" j));
     residual = Json.to_option residual_of_json (Json.member "residual" j);
+    metrics = Json.to_option Obs_io.metrics_of_json (Json.member "metrics" j);
   }
 
 let to_json_string t = Json.to_string (to_json t)

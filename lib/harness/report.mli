@@ -2,10 +2,12 @@
     substitution, least squares solve), replacing the former ad-hoc
     [Runners.run] / [Runners.solve_run] pair.
 
-    A report always carries the per-stage kernel breakdown and the four
-    aggregate figures of the paper's tables; composite experiments (the
-    solver) additionally expose their phases as {!Part.t} values, and
-    numerically executed runs attach a {!residual}.
+    A report always carries the per-stage kernel breakdown — since
+    schema 2 each stage row also records its launch count and operation
+    tally — and the four aggregate figures of the paper's tables;
+    composite experiments (the solver) additionally expose their phases
+    as {!Part.t} values, numerically executed runs attach a
+    {!residual}, and metered runs can embed an {!Obs.Metrics} snapshot.
 
     Reports serialize to a versioned JSON schema ({!schema_version},
     stored under the ["schema"] key) and round-trip exactly through
@@ -24,6 +26,18 @@ module Part : sig
   }
 end
 
+(** One stage of the per-stage kernel breakdown. *)
+module Row : sig
+  type t = {
+    stage : string;
+    ms : float;  (** accumulated kernel milliseconds *)
+    launches : int;
+    ops : Gpusim.Counter.ops;  (** accumulated operation tallies *)
+  }
+
+  val of_profile : Gpusim.Profile.row -> t
+end
+
 (** The outcome of a numerically executed verification, in units of the
     working precision's eps. *)
 type residual = {
@@ -35,7 +49,7 @@ type residual = {
 
 type t = {
   label : string;  (** what ran: experiment, precision, device, shape *)
-  stage_ms : (string * float) list;  (** per-stage kernel milliseconds *)
+  stages : Row.t list;  (** per-stage kernel breakdown *)
   parts : Part.t list;  (** phase breakdown; [[]] for single-phase runs *)
   kernel_ms : float;
   wall_ms : float;
@@ -43,6 +57,8 @@ type t = {
   wall_gflops : float;
   launches : int;
   residual : residual option;
+  metrics : Obs.Metrics.snapshot option;
+      (** attached by metered runs; [None] otherwise *)
 }
 
 val schema_version : int
@@ -52,6 +68,10 @@ val part : t -> string -> Part.t
 (** [part t name] is the named phase; raises [Not_found]. *)
 
 val part_opt : t -> string -> Part.t option
+
+val stage_ms : t -> (string * float) list
+(** The schema-1 view of {!field-stages}: stage names paired with their
+    kernel milliseconds. *)
 
 val to_json : t -> Json.t
 val of_json : Json.t -> t

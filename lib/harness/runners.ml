@@ -37,7 +37,7 @@ let qr ?complex ?rows tag device ~n ~tile =
     Report.label =
       describe "qr" ?complex tag device
         (Printf.sprintf "%dx%d tile=%d" rows n tile);
-    stage_ms = r.Q.stage_ms;
+    stages = List.map Report.Row.of_profile r.Q.stages;
     parts = [];
     kernel_ms = r.Q.kernel_ms;
     wall_ms = r.Q.wall_ms;
@@ -45,6 +45,7 @@ let qr ?complex ?rows tag device ~n ~tile =
     wall_gflops = r.Q.wall_gflops;
     launches = r.Q.launches;
     residual = None;
+    metrics = None;
   }
 
 (* Tiled back substitution (Algorithm 1), cost accounting only. *)
@@ -56,7 +57,7 @@ let bs ?complex tag device ~dim ~tile =
     Report.label =
       describe "backsub" ?complex tag device
         (Printf.sprintf "dim=%d tile=%d" dim tile);
-    stage_ms = r.B.stage_ms;
+    stages = List.map Report.Row.of_profile r.B.stages;
     parts = [];
     kernel_ms = r.B.kernel_ms;
     wall_ms = r.B.wall_ms;
@@ -64,6 +65,7 @@ let bs ?complex tag device ~dim ~tile =
     wall_gflops = r.B.wall_gflops;
     launches = r.B.launches;
     residual = None;
+    metrics = None;
   }
 
 let qr_part = "QR"
@@ -80,7 +82,8 @@ let solve ?complex tag device ~n ~tile =
     Report.label =
       describe "solve" ?complex tag device
         (Printf.sprintf "%dx%d tile=%d" n n tile);
-    stage_ms = r.L.qr_stage_ms @ r.L.bs_stage_ms;
+    stages =
+      List.map Report.Row.of_profile (r.L.qr_stages @ r.L.bs_stages);
     parts =
       [
         {
@@ -104,7 +107,31 @@ let solve ?complex tag device ~n ~tile =
     wall_gflops = r.L.total_wall_gflops;
     launches = r.L.launches;
     residual = None;
+    metrics = None;
   }
+
+(* Per-stage roofline diagnostics (the paper's CGMA analysis, §4.1):
+   plan the experiment on a throw-away simulator and classify every
+   stage from the accumulated cost-model terms. *)
+
+let qr_roofline ?complex ?rows tag device ~n ~tile =
+  let (module K) = scalar_of ?complex tag in
+  let module Q = Blocked_qr.Make (K) in
+  let rows = Option.value rows ~default:n in
+  let sim = Gpusim.Sim.create ~execute:false ~device ~prec:K.prec () in
+  Q.plan sim ~rows ~cols:n ~tile;
+  Gpusim.Sim.roofline sim
+
+let bs_roofline ?complex tag device ~dim ~tile =
+  let (module K) = scalar_of ?complex tag in
+  let module B = Tiled_back_sub.Make (K) in
+  let sim = Gpusim.Sim.create ~execute:false ~device ~prec:K.prec () in
+  B.plan sim ~dim ~tile;
+  Gpusim.Sim.roofline sim
+
+let solve_roofline ?complex tag device ~n ~tile =
+  qr_roofline ?complex tag device ~n ~tile
+  @ bs_roofline ?complex tag device ~dim:n ~tile
 
 (* Numerically executed verification: factor, solve and report residuals
    (forward error against a known solution, orthogonality defect and

@@ -46,6 +46,36 @@ val solve :
     accounting only; the two phases appear as the {!qr_part} and
     {!bs_part} parts of the report. *)
 
+val qr_roofline :
+  ?complex:bool ->
+  ?rows:int ->
+  Multidouble.Precision.tag ->
+  Gpusim.Device.t ->
+  n:int ->
+  tile:int ->
+  Obs.Roofline.stage list
+(** Per-stage roofline diagnostics of the QR plan, in
+    {!Lsq_core.Stage.qr_stages} order. *)
+
+val bs_roofline :
+  ?complex:bool ->
+  Multidouble.Precision.tag ->
+  Gpusim.Device.t ->
+  dim:int ->
+  tile:int ->
+  Obs.Roofline.stage list
+(** Per-stage roofline diagnostics of the back substitution plan. *)
+
+val solve_roofline :
+  ?complex:bool ->
+  Multidouble.Precision.tag ->
+  Gpusim.Device.t ->
+  n:int ->
+  tile:int ->
+  Obs.Roofline.stage list
+(** QR stages followed by back substitution stages for an n-by-n
+    solve. *)
+
 val verify_qr :
   ?complex:bool ->
   Multidouble.Precision.tag ->

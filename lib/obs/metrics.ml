@@ -1,0 +1,156 @@
+(* The metrics registry: named counters, gauges and fixed-bucket
+   histograms, safe under concurrent update from many domains.
+
+   The registry mutex is taken only to get-or-create a metric; updates
+   are atomics all the way (fetch-and-add for counts, a compare-and-set
+   loop for the histogram sum), so hammering one counter from every
+   domain of the pool stays exact and lock-free. *)
+
+module Counter = struct
+  type t = int Atomic.t
+
+  let incr ?(by = 1) t = ignore (Atomic.fetch_and_add t by)
+  let value t = Atomic.get t
+end
+
+module Gauge = struct
+  type t = float Atomic.t
+
+  let set t v = Atomic.set t v
+  let value t = Atomic.get t
+end
+
+module Histogram = struct
+  (* [counts.(i)] tallies observations with [v <= bounds.(i)] (first
+     matching bucket); [counts.(length bounds)] is the overflow bucket. *)
+  type t = {
+    bounds : float array;
+    counts : int Atomic.t array;
+    sum : float Atomic.t;
+  }
+
+  let observe t v =
+    let n = Array.length t.bounds in
+    let rec bucket i = if i >= n || v <= t.bounds.(i) then i else bucket (i + 1) in
+    ignore (Atomic.fetch_and_add t.counts.(bucket 0) 1);
+    let rec add () =
+      let old = Atomic.get t.sum in
+      if not (Atomic.compare_and_set t.sum old (old +. v)) then add ()
+    in
+    add ()
+
+  let count t = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t.counts
+  let sum t = Atomic.get t.sum
+  let bounds t = Array.copy t.bounds
+  let bucket_counts t = Array.map Atomic.get t.counts
+end
+
+type metric =
+  | Counter_m of Counter.t
+  | Gauge_m of Gauge.t
+  | Histogram_m of Histogram.t
+
+type t = { lock : Mutex.t; table : (string, metric) Hashtbl.t }
+
+let create () = { lock = Mutex.create (); table = Hashtbl.create 32 }
+
+let default_registry = create ()
+let default () = default_registry
+
+(* Millisecond-oriented default bucket bounds. *)
+let default_buckets = [| 0.01; 0.1; 1.0; 10.0; 100.0; 1000.0 |]
+
+let kind_name = function
+  | Counter_m _ -> "counter"
+  | Gauge_m _ -> "gauge"
+  | Histogram_m _ -> "histogram"
+
+let get_or_create t name ~kind ~make ~cast =
+  Mutex.lock t.lock;
+  let m =
+    match Hashtbl.find_opt t.table name with
+    | Some m -> m
+    | None ->
+      let m = make () in
+      Hashtbl.add t.table name m;
+      m
+  in
+  Mutex.unlock t.lock;
+  match cast m with
+  | Some v -> v
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Obs.Metrics: %s is a %s, not a %s" name (kind_name m)
+         kind)
+
+let counter t name =
+  get_or_create t name ~kind:"counter"
+    ~make:(fun () -> Counter_m (Atomic.make 0))
+    ~cast:(function Counter_m c -> Some c | _ -> None)
+
+let gauge t name =
+  get_or_create t name ~kind:"gauge"
+    ~make:(fun () -> Gauge_m (Atomic.make 0.0))
+    ~cast:(function Gauge_m g -> Some g | _ -> None)
+
+let histogram ?(buckets = default_buckets) t name =
+  get_or_create t name ~kind:"histogram"
+    ~make:(fun () ->
+      Histogram_m
+        {
+          Histogram.bounds = Array.copy buckets;
+          counts = Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
+          sum = Atomic.make 0.0;
+        })
+    ~cast:(function Histogram_m h -> Some h | _ -> None)
+
+(* Zeroes every registered metric in place, keeping registrations (and
+   any handles callers cached) valid. *)
+let reset t =
+  Mutex.lock t.lock;
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter_m c -> Atomic.set c 0
+      | Gauge_m g -> Atomic.set g 0.0
+      | Histogram_m h ->
+        Array.iter (fun c -> Atomic.set c 0) h.Histogram.counts;
+        Atomic.set h.Histogram.sum 0.0)
+    t.table;
+  Mutex.unlock t.lock
+
+(* ---- snapshots ---- *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of {
+      bounds : float array;
+      counts : int array;
+      count : int;
+      sum : float;
+    }
+
+type snapshot = (string * value) list
+
+let snapshot t =
+  Mutex.lock t.lock;
+  let entries = Hashtbl.fold (fun name m acc -> (name, m) :: acc) t.table [] in
+  Mutex.unlock t.lock;
+  entries
+  |> List.map (fun (name, m) ->
+         let v =
+           match m with
+           | Counter_m c -> Counter (Counter.value c)
+           | Gauge_m g -> Gauge (Gauge.value g)
+           | Histogram_m h ->
+             Histogram
+               {
+                 bounds = Histogram.bounds h;
+                 counts = Histogram.bucket_counts h;
+                 count = Histogram.count h;
+                 sum = Histogram.sum h;
+               }
+         in
+         (name, v))
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -1,0 +1,78 @@
+(** The metrics registry: named counters, gauges and fixed-bucket
+    histograms, safe under concurrent update from many domains.
+
+    The registry mutex is taken only to get-or-create a metric by name;
+    updates are atomics (fetch-and-add counts, a compare-and-set loop
+    for the histogram sum), so concurrent hammering stays exact.
+    Handles returned by {!counter}/{!gauge}/{!histogram} stay valid
+    across {!reset} (which zeroes values in place).
+
+    The JSON codec for {!snapshot} lives in [Harness.Obs_io], so a
+    snapshot can ride inside a [Harness.Report] without this library
+    depending on the harness. *)
+
+module Counter : sig
+  type t
+
+  val incr : ?by:int -> t -> unit
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val set : t -> float -> unit
+  val value : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  val observe : t -> float -> unit
+  (** Tallies [v] into the first bucket with [v <= bound] (the last
+      bucket is unbounded) and adds it to the running sum. *)
+
+  val count : t -> int
+  val sum : t -> float
+  val bounds : t -> float array
+  val bucket_counts : t -> int array
+  (** One count per bucket; length is [Array.length bounds + 1] (the
+      trailing overflow bucket). *)
+end
+
+type t
+
+val create : unit -> t
+
+val default : unit -> t
+(** The process-wide registry the instrumented libraries record into. *)
+
+val default_buckets : float array
+(** Millisecond-oriented bounds used when [?buckets] is omitted. *)
+
+val counter : t -> string -> Counter.t
+(** Get-or-create; raises [Invalid_argument] when the name is already
+    registered as another kind (same for {!gauge} and {!histogram}). *)
+
+val gauge : t -> string -> Gauge.t
+val histogram : ?buckets:float array -> t -> string -> Histogram.t
+
+val reset : t -> unit
+(** Zeroes every registered metric in place; cached handles stay
+    valid. *)
+
+(** An immutable point-in-time copy of one metric's state. *)
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of {
+      bounds : float array;
+      counts : int array;  (** per bucket, overflow last *)
+      count : int;
+      sum : float;
+    }
+
+type snapshot = (string * value) list
+(** Sorted by metric name. *)
+
+val snapshot : t -> snapshot

@@ -1,0 +1,74 @@
+(* Per-stage roofline diagnostics: the CGMA analysis of the paper
+   (arXiv:2110.08375 §4, continuing arXiv:1210.0800) as data.
+
+   A stage is classified from the cost model's own time terms — the
+   occupancy-adjusted compute term against the larger of the DRAM and
+   cache terms — rather than from raw arithmetic intensity alone, which
+   is exactly how the simulator decides what a launch costs.  The raw
+   intensity (flops per byte of cold + per-thread traffic) and the
+   device ridge point are still reported, so the stage can be placed on
+   a classical roofline plot. *)
+
+type bound = Compute | Memory
+
+type stage = {
+  stage : string;
+  ms : float; (* modeled kernel milliseconds of the stage *)
+  launches : int;
+  flops : float; (* double precision flops (Table 1 multipliers) *)
+  bytes : float; (* cold + per-thread traffic *)
+  intensity : float; (* flops per byte *)
+  gflops : float; (* achieved: flops / ms *)
+  pct_peak : float; (* achieved as % of the device's DP peak *)
+  compute_ms : float; (* cost model's compute term *)
+  memory_ms : float; (* larger of its DRAM and cache terms *)
+  bound : bound;
+}
+
+let bound_name = function Compute -> "compute" | Memory -> "memory"
+
+let ridge ~peak_gflops ~dram_gb_s = peak_gflops /. dram_gb_s
+
+let classify ~stage ~ms ~launches ~flops ~bytes ~compute_ms ~memory_ms
+    ~peak_gflops =
+  let intensity = flops /. Float.max 1.0 bytes in
+  let gflops = if ms > 0.0 then flops /. (ms *. 1e6) else 0.0 in
+  let pct_peak =
+    if peak_gflops > 0.0 then 100.0 *. gflops /. peak_gflops else 0.0
+  in
+  let bound = if compute_ms >= memory_ms then Compute else Memory in
+  {
+    stage;
+    ms;
+    launches;
+    flops;
+    bytes;
+    intensity;
+    gflops;
+    pct_peak;
+    compute_ms;
+    memory_ms;
+    bound;
+  }
+
+(* The aggregate row over a list of stages (sums classified like one
+   big stage). *)
+let total ?(stage = "all kernels") stages =
+  let sum f = List.fold_left (fun acc s -> acc +. f s) 0.0 stages in
+  let peak_gflops =
+    (* Recover the peak any member was classified against: achieved
+       gflops / (pct_peak / 100).  Falls back to 0 (pct_peak reported
+       as 0) when no stage has a meaningful rate. *)
+    match
+      List.find_opt (fun s -> s.pct_peak > 0.0 && s.gflops > 0.0) stages
+    with
+    | Some s -> 100.0 *. s.gflops /. s.pct_peak
+    | None -> 0.0
+  in
+  classify ~stage ~ms:(sum (fun s -> s.ms))
+    ~launches:(List.fold_left (fun acc s -> acc + s.launches) 0 stages)
+    ~flops:(sum (fun s -> s.flops))
+    ~bytes:(sum (fun s -> s.bytes))
+    ~compute_ms:(sum (fun s -> s.compute_ms))
+    ~memory_ms:(sum (fun s -> s.memory_ms))
+    ~peak_gflops

@@ -1,0 +1,46 @@
+(** Per-stage roofline diagnostics: the paper's CGMA analysis as data.
+
+    A stage is classified compute- vs memory-bound from the cost model's
+    own time terms (the occupancy-adjusted compute term against the
+    larger of the DRAM and cache terms) — the same comparison that
+    decides what a launch costs — while the raw arithmetic intensity and
+    the device ridge point are reported alongside for classical roofline
+    plots.  [Gpusim.Sim.roofline] produces these from a simulator's
+    profile; the JSON codec lives in [Harness.Obs_io]. *)
+
+type bound = Compute | Memory
+
+type stage = {
+  stage : string;
+  ms : float;  (** modeled kernel milliseconds *)
+  launches : int;
+  flops : float;  (** double precision flops (Table 1 multipliers) *)
+  bytes : float;  (** cold + per-thread traffic *)
+  intensity : float;  (** flops per byte *)
+  gflops : float;  (** achieved: flops / ms *)
+  pct_peak : float;  (** achieved as %% of the device's DP peak *)
+  compute_ms : float;  (** cost model's compute term *)
+  memory_ms : float;  (** larger of its DRAM and cache terms *)
+  bound : bound;
+}
+
+val bound_name : bound -> string
+(** ["compute"] or ["memory"]. *)
+
+val ridge : peak_gflops:float -> dram_gb_s:float -> float
+(** The device ridge point in flops per byte. *)
+
+val classify :
+  stage:string ->
+  ms:float ->
+  launches:int ->
+  flops:float ->
+  bytes:float ->
+  compute_ms:float ->
+  memory_ms:float ->
+  peak_gflops:float ->
+  stage
+
+val total : ?stage:string -> stage list -> stage
+(** The aggregate row (default name ["all kernels"]): sums classified
+    like one big stage. *)

@@ -38,7 +38,12 @@ let record_fail pool e bt =
 let run_task pool task =
   let prev = Domain.DLS.get inside_task in
   Domain.DLS.set inside_task true;
-  (try task ()
+  (try
+     (* A span per pool task (on the executing domain's track) when the
+        tracer is recording; [span] re-raises after recording, so the
+        failure capture below is unchanged. *)
+     if Obs.Tracer.enabled () then Obs.Tracer.span ~cat:"pool" "task" task
+     else task ()
    with e -> record_fail pool e (Printexc.get_raw_backtrace ()));
   Domain.DLS.set inside_task prev
 
@@ -176,10 +181,23 @@ let parallel_for ?chunk pool lo hi f =
         while !continue_ do
           let a = Atomic.fetch_and_add next chunk in
           if a >= hi then continue_ := false
-          else
-            for j = a to min hi (a + chunk) - 1 do
-              f j
-            done
+          else begin
+            let b = min hi (a + chunk) in
+            let work () =
+              for j = a to b - 1 do
+                f j
+              done
+            in
+            (* One span per claimed chunk, on the claiming domain's
+               track — this is what shows the self-scheduling pattern
+               (and any imbalance) in the trace viewer. *)
+            if Obs.Tracer.enabled () then
+              Obs.Tracer.span ~cat:"pool"
+                ~args:
+                  [ ("lo", Obs.Tracer.Int a); ("hi", Obs.Tracer.Int b) ]
+                "chunk" work
+            else work ()
+          end
         done
       in
       let chunks = (n + chunk - 1) / chunk in

@@ -12,20 +12,40 @@ type failure = { message : string; timed_out : bool }
 
 type status = Completed of Report.t | Failed of failure
 
+type timing = {
+  queue_wait_ms : float;
+  attempt_ms : float list;
+  backoff_ms : float;
+}
+
 type outcome = {
   job : Job.t;
   index : int;
   order : int;
   attempts : int;
   elapsed_ms : float;
+  timing : timing;
   status : status;
 }
 
-let schema_version = 1
+(* v2: outcomes carry per-attempt timing. *)
+let schema_version = 2
 
 exception Injected_failure
 
 let now_ms () = Unix.gettimeofday () *. 1000.0
+
+let m_completed =
+  lazy (Obs.Metrics.counter (Obs.Metrics.default ()) "sched.completed")
+
+let m_failed =
+  lazy (Obs.Metrics.counter (Obs.Metrics.default ()) "sched.failed")
+
+let m_attempts =
+  lazy (Obs.Metrics.counter (Obs.Metrics.default ()) "sched.attempts")
+
+let m_job_ms =
+  lazy (Obs.Metrics.histogram (Obs.Metrics.default ()) "sched.job_ms")
 
 (* One synchronous run of the job proper: plan (or, with [execute], plan
    plus a numeric verification whose residual lands in the report). *)
@@ -53,63 +73,91 @@ let run_job (job : Job.t) =
 (* The full lifecycle of one job: validation, then up to [1 + retries]
    attempts under the cooperative wall-clock budget, with exponential
    backoff between attempts.  Never raises. *)
-let settle ~backoff_ms (job : Job.t) =
+let settle ~backoff_ms ~queued_at (job : Job.t) =
   let started = now_ms () in
   let elapsed () = now_ms () -. started in
+  let queue_wait_ms = Float.max 0.0 (started -. queued_at) in
+  let attempt_times = ref [] in
+  let backoff_total = ref 0.0 in
+  let finish attempts status =
+    let timing =
+      {
+        queue_wait_ms;
+        attempt_ms = List.rev !attempt_times;
+        backoff_ms = !backoff_total;
+      }
+    in
+    (attempts, elapsed (), timing, status)
+  in
+  let timed_out_failure message =
+    Obs.Tracer.instant ~cat:"sched"
+      ~args:[ ("job", Obs.Tracer.Str job.Job.id) ]
+      "timeout";
+    Failed { message; timed_out = true }
+  in
   let deadline =
     match job.Job.timeout_ms with
     | Some ms -> started +. ms
     | None -> Float.infinity
   in
   match Job.validate job with
-  | Error message ->
-    (0, elapsed (), Failed { message; timed_out = false })
+  | Error message -> finish 0 (Failed { message; timed_out = false })
   | Ok () ->
     let max_attempts = 1 + job.Job.retries in
     let rec go attempt =
       if now_ms () > deadline then
-        ( attempt - 1,
-          elapsed (),
-          Failed
-            {
-              message =
-                Printf.sprintf "timed out after %d attempt%s" (attempt - 1)
-                  (if attempt - 1 = 1 then "" else "s");
-              timed_out = true;
-            } )
+        finish (attempt - 1)
+          (timed_out_failure
+             (Printf.sprintf "timed out after %d attempt%s" (attempt - 1)
+                (if attempt - 1 = 1 then "" else "s")))
       else
         let result =
-          try
-            if attempt <= job.Job.inject_failures then raise Injected_failure
-            else Ok (run_job job)
-          with
-          | Injected_failure -> Error "injected failure"
-          | e -> Error (Printexc.to_string e)
+          Obs.Tracer.span ~cat:"sched"
+            ~args:
+              [
+                ("job", Obs.Tracer.Str job.Job.id);
+                ("attempt", Obs.Tracer.Int attempt);
+              ]
+            "attempt"
+            (fun () ->
+              let t0 = now_ms () in
+              let r =
+                try
+                  if attempt <= job.Job.inject_failures then
+                    raise Injected_failure
+                  else Ok (run_job job)
+                with
+                | Injected_failure -> Error "injected failure"
+                | e -> Error (Printexc.to_string e)
+              in
+              attempt_times := (now_ms () -. t0) :: !attempt_times;
+              r)
         in
         match result with
         | Ok report ->
           if now_ms () > deadline then
-            ( attempt,
-              elapsed (),
-              Failed
-                {
-                  message =
-                    Printf.sprintf
-                      "completed past the deadline on attempt %d (result \
-                       discarded)"
-                      attempt;
-                  timed_out = true;
-                } )
-          else (attempt, elapsed (), Completed report)
+            finish attempt
+              (timed_out_failure
+                 (Printf.sprintf
+                    "completed past the deadline on attempt %d (result \
+                     discarded)"
+                    attempt))
+          else finish attempt (Completed report)
         | Error message ->
           if attempt < max_attempts then begin
             let pause =
               backoff_ms *. Float.of_int (1 lsl (attempt - 1)) /. 1000.0
             in
-            if pause > 0.0 then Unix.sleepf pause;
+            if pause > 0.0 then begin
+              backoff_total := !backoff_total +. (pause *. 1000.0);
+              Obs.Tracer.span ~cat:"sched"
+                ~args:[ ("job", Obs.Tracer.Str job.Job.id) ]
+                "backoff"
+                (fun () -> Unix.sleepf pause)
+            end;
             go (attempt + 1)
           end
-          else (max_attempts, elapsed (), Failed { message; timed_out = false })
+          else finish max_attempts (Failed { message; timed_out = false })
     in
     go 1
 
@@ -122,16 +170,41 @@ let run_batch ?pool ?(parallel = 4) ?(backoff_ms = 1.0) ?on_outcome jobs =
     let results = Array.make n None in
     let cursor = Atomic.make 0 in
     let completions = Atomic.make 0 in
+    let queued_at = now_ms () in
     let worker () =
       let continue_ = ref true in
       while !continue_ do
         let i = Atomic.fetch_and_add cursor 1 in
         if i >= n then continue_ := false
         else begin
-          let attempts, elapsed_ms, status = settle ~backoff_ms jobs.(i) in
+          Obs.Tracer.instant ~cat:"sched"
+            ~args:
+              [
+                ("job", Obs.Tracer.Str jobs.(i).Job.id);
+                ("index", Obs.Tracer.Int i);
+              ]
+            "claim";
+          let attempts, elapsed_ms, timing, status =
+            settle ~backoff_ms ~queued_at jobs.(i)
+          in
+          Obs.Metrics.Counter.incr ~by:attempts (Lazy.force m_attempts);
+          Obs.Metrics.Counter.incr
+            (Lazy.force
+               (match status with
+               | Completed _ -> m_completed
+               | Failed _ -> m_failed));
+          Obs.Metrics.Histogram.observe (Lazy.force m_job_ms) elapsed_ms;
           let order = Atomic.fetch_and_add completions 1 in
           let outcome =
-            { job = jobs.(i); index = i; order; attempts; elapsed_ms; status }
+            {
+              job = jobs.(i);
+              index = i;
+              order;
+              attempts;
+              elapsed_ms;
+              timing;
+              status;
+            }
           in
           results.(i) <- Some outcome;
           match on_outcome with Some f -> f outcome | None -> ()
@@ -148,6 +221,23 @@ let run_batch ?pool ?(parallel = 4) ?(backoff_ms = 1.0) ?on_outcome jobs =
 
 (* ---- serialization ---- *)
 
+let json_of_timing t =
+  Json.Obj
+    [
+      ("queue_wait_ms", Json.Float t.queue_wait_ms);
+      ( "attempt_ms",
+        Json.Arr (List.map (fun ms -> Json.Float ms) t.attempt_ms) );
+      ("backoff_sleep_ms", Json.Float t.backoff_ms);
+    ]
+
+let timing_of_json j =
+  {
+    queue_wait_ms = Json.get_float (Json.member "queue_wait_ms" j);
+    attempt_ms =
+      List.map Json.get_float (Json.get_list (Json.member "attempt_ms" j));
+    backoff_ms = Json.get_float (Json.member "backoff_sleep_ms" j);
+  }
+
 let outcome_to_json o =
   Json.Obj
     ([
@@ -156,6 +246,7 @@ let outcome_to_json o =
        ("order", Json.Int o.order);
        ("attempts", Json.Int o.attempts);
        ("elapsed_ms", Json.Float o.elapsed_ms);
+       ("timing", json_of_timing o.timing);
        ("job", Job.to_json o.job);
      ]
     @
@@ -198,6 +289,7 @@ let outcome_of_json j =
     order = Json.get_int (Json.member "order" j);
     attempts = Json.get_int (Json.member "attempts" j);
     elapsed_ms = Json.get_float (Json.member "elapsed_ms" j);
+    timing = timing_of_json (Json.member "timing" j);
     status;
   }
 

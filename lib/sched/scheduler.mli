@@ -23,12 +23,23 @@ type status =
   | Completed of Harness.Report.t
   | Failed of failure
 
+(** Where one job's wall clock went (schema 2). *)
+type timing = {
+  queue_wait_ms : float;
+      (** from batch submission to a worker claiming the job *)
+  attempt_ms : float list;
+      (** run time of each attempt, in attempt order; its length is
+          [attempts] *)
+  backoff_ms : float;  (** total backoff sleep between attempts *)
+}
+
 type outcome = {
   job : Job.t;
   index : int;  (** position of the job in the submitted queue *)
   order : int;  (** completion rank within the batch (0 = finished first) *)
   attempts : int;  (** run attempts made; 0 when validation rejected it *)
   elapsed_ms : float;  (** wall clock across all attempts and backoffs *)
+  timing : timing;
   status : status;
 }
 

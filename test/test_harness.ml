@@ -17,12 +17,26 @@ let test_qr_runner_all_precisions () =
           check "kernel time positive" true (r.Rep.kernel_ms > 0.0);
           check "wall >= kernels" true (r.Rep.wall_ms >= r.Rep.kernel_ms);
           check "stages labeled" true
-            (List.map fst r.Rep.stage_ms = Lsq_core.Stage.qr_stages);
+            (List.map fst (Rep.stage_ms r) = Lsq_core.Stage.qr_stages);
           check "kernel ms is stage sum" true
             (Float.abs
-               (List.fold_left (fun a (_, m) -> a +. m) 0.0 r.Rep.stage_ms
+               (List.fold_left (fun a (_, m) -> a +. m) 0.0 (Rep.stage_ms r)
                -. r.Rep.kernel_ms)
             < 1e-6 *. r.Rep.kernel_ms);
+          check "stage launches positive" true
+            (List.for_all
+               (fun (s : Rep.Row.t) -> s.Rep.Row.launches > 0)
+               r.Rep.stages);
+          check "launches is stage sum" true
+            (List.fold_left
+               (fun a (s : Rep.Row.t) -> a + s.Rep.Row.launches)
+               0 r.Rep.stages
+            = r.Rep.launches);
+          check "stage ops recorded" true
+            (List.exists
+               (fun (s : Rep.Row.t) ->
+                 Gpusim.Counter.total s.Rep.Row.ops > 0.0)
+               r.Rep.stages);
           (* complex costs more than real at the same shape *)
           if complex then begin
             let real = R.qr ~complex:false p Gpusim.Device.v100 ~n:256 ~tile:64 in
@@ -36,7 +50,7 @@ let test_bs_runner () =
     (fun p ->
       let r = R.bs p Gpusim.Device.v100 ~dim:2560 ~tile:32 in
       check "stages labeled" true
-        (List.map fst r.Rep.stage_ms = Lsq_core.Stage.bs_stages);
+        (List.map fst (Rep.stage_ms r) = Lsq_core.Stage.bs_stages);
       Alcotest.(check int) "1 + N(N+1)/2" (1 + (80 * 81 / 2)) r.Rep.launches)
     P.all
 
@@ -58,10 +72,22 @@ let test_report_json_roundtrip () =
   exact "qr report round-trips" true (Rep.of_json (Rep.to_json qr) = qr);
   exact "qr report string round-trips" true
     (Rep.of_json_string (Rep.to_json_string qr) = qr);
-  (* A composite report with parts and a residual attached. *)
+  (* A composite report with parts, a residual and a metrics snapshot
+     attached. *)
   let solve = R.solve P.QD Gpusim.Device.v100 ~n:64 ~tile:16 in
+  let metrics =
+    let reg = Obs.Metrics.create () in
+    Obs.Metrics.Counter.incr ~by:7 (Obs.Metrics.counter reg "test.count");
+    Obs.Metrics.Gauge.set (Obs.Metrics.gauge reg "test.level") 2.5;
+    Obs.Metrics.Histogram.observe (Obs.Metrics.histogram reg "test.hist") 0.4;
+    Obs.Metrics.snapshot reg
+  in
   let solve =
-    { solve with Rep.residual = Some (R.verify_solve P.QD Gpusim.Device.v100 ~n:16 ~tile:8) }
+    {
+      solve with
+      Rep.residual = Some (R.verify_solve P.QD Gpusim.Device.v100 ~n:16 ~tile:8);
+      metrics = Some metrics;
+    }
   in
   exact "solve report round-trips" true
     (Rep.of_json_string (Rep.to_json_string solve) = solve);

@@ -52,7 +52,7 @@ let test_device_ordering () =
     && t k20c < t c2050);
   (* YWT*C dominates the small-cache C2050 (paper: 6068 of 8888 ms). *)
   let r = R.qr P.DD c2050 ~n:1024 ~tile:128 in
-  let ywtc = List.assoc Lsq_core.Stage.ywtc r.Rep.stage_ms in
+  let ywtc = List.assoc Lsq_core.Stage.ywtc (Rep.stage_ms r) in
   check "C2050 ywtc dominates" true (ywtc > 0.5 *. r.Rep.kernel_ms)
 
 (* ---- Table 6: the double double collapse at 2,048 ---- *)
@@ -69,11 +69,11 @@ let test_dd_collapse () =
 let test_compute_w_dominates_small () =
   (* Paper §4.5: at dimension 512 the computation of W dominates. *)
   let r = R.qr P.QD v100 ~n:512 ~tile:128 in
-  let w = List.assoc Lsq_core.Stage.compute_w r.Rep.stage_ms in
+  let w = List.assoc Lsq_core.Stage.compute_w (Rep.stage_ms r) in
   check "W dominates at 512" true (w > 0.4 *. r.Rep.kernel_ms);
   (* ... and no longer at 2,048 (the matrix products take over). *)
   let r = R.qr P.QD v100 ~n:2048 ~tile:128 in
-  let w = List.assoc Lsq_core.Stage.compute_w r.Rep.stage_ms in
+  let w = List.assoc Lsq_core.Stage.compute_w (Rep.stage_ms r) in
   check "W recedes at 2048" true (w < 0.2 *. r.Rep.kernel_ms)
 
 (* ---- Tables 7-9: back substitution ---- *)

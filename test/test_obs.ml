@@ -1,0 +1,302 @@
+(* Tests for the observability layer: tracer transparency and event
+   model, Chrome trace-event export, metrics exactness under concurrent
+   hammering, snapshot serialization, and the per-stage roofline
+   classification the paper's CGMA analysis predicts. *)
+
+module P = Multidouble.Precision
+module Json = Harness.Json
+module T = Obs.Tracer
+module M = Obs.Metrics
+module R = Harness.Runners
+module Pool = Dompool.Domain_pool
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+exception Boom
+
+(* ---- tracer ---- *)
+
+let test_disabled_transparent () =
+  T.stop ();
+  let before = T.event_count () in
+  let v = T.span "quiet" (fun () -> 41 + 1) in
+  checki "span returns the value" 42 v;
+  T.instant "quiet instant";
+  T.counter "quiet counter" 1.0;
+  checki "nothing recorded while disabled" before (T.event_count ());
+  match T.span "raising" (fun () -> raise Boom) with
+  | exception Boom -> ()
+  | _ -> Alcotest.fail "span swallowed the exception"
+
+let test_recording () =
+  T.start ();
+  let v = T.span ~cat:"test" ~args:[ ("k", T.Int 7) ] "outer" (fun () -> 3) in
+  checki "span value" 3 v;
+  T.instant ~cat:"test" "ping";
+  T.counter "clock" 12.5;
+  (match T.span "boom" (fun () -> raise Boom) with
+  | exception Boom -> ()
+  | _ -> Alcotest.fail "span swallowed the exception");
+  T.stop ();
+  checki "four events recorded" 4 (T.event_count ());
+  (* start drops the previous trace *)
+  T.start ();
+  T.stop ();
+  checki "start clears" 0 (T.event_count ())
+
+let test_export_schema () =
+  T.start ();
+  ignore (T.span ~cat:"a" "alpha" (fun () -> T.span ~cat:"b" "beta" Fun.id));
+  T.instant ~args:[ ("why", T.Str "x"); ("on", T.Bool true) ] "mark";
+  T.counter "track" 3.25;
+  T.stop ();
+  let doc = Json.of_string (T.export ()) in
+  Alcotest.(check string)
+    "display unit" "ms"
+    Json.(get_string (member "displayTimeUnit" doc));
+  let events = Json.get_list (Json.member "traceEvents" doc) in
+  checki "all events exported" 4 (List.length events);
+  List.iter
+    (fun e ->
+      ignore Json.(get_string (member "name" e));
+      ignore Json.(get_string (member "ph" e));
+      ignore Json.(get_float (member "ts" e));
+      ignore Json.(get_int (member "pid" e));
+      ignore Json.(get_int (member "tid" e));
+      check "ts non-negative" true Json.(get_float (member "ts" e) >= 0.0))
+    events;
+  (* sorted by timestamp *)
+  let ts = List.map (fun e -> Json.(get_float (member "ts" e))) events in
+  check "sorted by ts" true (List.sort compare ts = ts);
+  let phs =
+    List.sort compare
+      (List.map (fun e -> Json.(get_string (member "ph" e))) events)
+  in
+  Alcotest.(check (list string)) "phases" [ "C"; "X"; "X"; "i" ] phs
+
+let test_span_nesting () =
+  T.start ();
+  ignore
+    (T.span "outer" (fun () ->
+         ignore (T.span "inner" (fun () -> Unix.sleepf 0.002));
+         Unix.sleepf 0.001));
+  T.stop ();
+  let events = Json.(get_list (member "traceEvents" (of_string (T.export ())))) in
+  let find name =
+    List.find
+      (fun e -> Json.(get_string (member "name" e)) = name)
+      events
+  in
+  let bounds name =
+    let e = find name in
+    let ts = Json.(get_float (member "ts" e)) in
+    (ts, ts +. Json.(get_float (member "dur" e)))
+  in
+  let o0, o1 = bounds "outer" and i0, i1 = bounds "inner" in
+  check "inner starts after outer" true (o0 <= i0);
+  check "inner ends before outer" true (i1 <= o1);
+  check "inner has duration" true (i1 -. i0 >= 1000.0)
+
+let test_traced_qr_run () =
+  (* A traced table3-sized planning run: the simulator emits one kernel
+     span per launch plus the device-clock counter track. *)
+  T.start ();
+  let r = R.qr P.DD Gpusim.Device.v100 ~n:1024 ~tile:128 in
+  T.stop ();
+  let events = Json.(get_list (member "traceEvents" (of_string (T.export ())))) in
+  let kernels =
+    List.filter
+      (fun e ->
+        match Json.member "cat" e with Json.Str "kernel" -> true | _ -> false)
+      events
+  in
+  checki "one kernel span per launch" r.Harness.Report.launches
+    (List.length kernels);
+  List.iter
+    (fun e ->
+      Alcotest.(check string) "kernel spans are complete events" "X"
+        Json.(get_string (member "ph" e));
+      let args = Json.member "args" e in
+      check "device ms recorded" true
+        Json.(get_float (member "device_ms" args) > 0.0);
+      check "block count recorded" true
+        Json.(get_int (member "blocks" args) > 0))
+    kernels;
+  let stages =
+    List.sort_uniq compare
+      (List.map (fun e -> Json.(get_string (member "name" e))) kernels)
+  in
+  check "every QR stage traced" true
+    (List.for_all (fun s -> List.mem s stages) Lsq_core.Stage.qr_stages);
+  check "device clock track present" true
+    (List.exists
+       (fun e -> Json.(get_string (member "ph" e)) = "C")
+       events)
+
+(* ---- metrics ---- *)
+
+let test_metrics_basic () =
+  let reg = M.create () in
+  let c = M.counter reg "c" in
+  M.Counter.incr c;
+  M.Counter.incr ~by:4 c;
+  checki "counter" 5 (M.Counter.value c);
+  let g = M.gauge reg "g" in
+  M.Gauge.set g 2.5;
+  check "gauge" true (M.Gauge.value g = 2.5);
+  let h = M.histogram ~buckets:[| 1.0; 10.0 |] reg "h" in
+  M.Histogram.observe h 0.5;
+  M.Histogram.observe h 5.0;
+  M.Histogram.observe h 50.0;
+  checki "histogram count" 3 (M.Histogram.count h);
+  check "histogram sum" true (M.Histogram.sum h = 55.5);
+  Alcotest.(check (array int)) "bucketed" [| 1; 1; 1 |] (M.Histogram.bucket_counts h);
+  (* get-or-create returns the same metric; kind mismatches are refused *)
+  M.Counter.incr (M.counter reg "c");
+  checki "same handle" 6 (M.Counter.value c);
+  (match M.gauge reg "c" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind mismatch accepted");
+  (* reset zeroes in place; the cached handles stay valid *)
+  M.reset reg;
+  checki "counter reset" 0 (M.Counter.value c);
+  checki "histogram reset" 0 (M.Histogram.count h);
+  M.Counter.incr c;
+  checki "handle survives reset" 1 (M.Counter.value c)
+
+let test_metrics_concurrent_exact () =
+  (* Hammer one counter and one histogram from a parallel_for across the
+     pool: totals must be exact, not approximately right. *)
+  let reg = M.create () in
+  let c = M.counter reg "hammer.count" in
+  let h = M.histogram ~buckets:[| 100.0; 1000.0 |] reg "hammer.hist" in
+  let n = 21_000 in
+  Pool.parallel_for (Pool.get_default ()) 0 n (fun i ->
+      M.Counter.incr c;
+      M.Histogram.observe h (float_of_int (i mod 7)));
+  checki "counter exact" n (M.Counter.value c);
+  checki "histogram count exact" n (M.Histogram.count h);
+  (* sum of (i mod 7) over 0..n-1 with n a multiple of 7: n/7 * 21 *)
+  check "histogram sum exact" true
+    (M.Histogram.sum h = float_of_int (n / 7 * 21));
+  checki "all in the first bucket" n (M.Histogram.bucket_counts h).(0)
+
+let test_snapshot_roundtrip () =
+  let reg = M.create () in
+  M.Counter.incr ~by:9 (M.counter reg "a.count");
+  M.Gauge.set (M.gauge reg "b.gauge") (-1.75);
+  let h = M.histogram reg "c.hist" in
+  M.Histogram.observe h 0.005;
+  M.Histogram.observe h 42.0;
+  M.Histogram.observe h 1e9;
+  let snap = M.snapshot reg in
+  checki "three metrics" 3 (List.length snap);
+  check "sorted by name" true
+    (List.map fst snap = List.sort compare (List.map fst snap));
+  let back =
+    Harness.Obs_io.metrics_of_json
+      (Json.of_string (Json.to_string (Harness.Obs_io.json_of_metrics snap)))
+  in
+  check "snapshot round-trips" true (back = snap)
+
+let test_sim_metrics_counted () =
+  (* The simulator's always-on metrics: launches land in the default
+     registry whether or not the tracer runs. *)
+  M.reset (M.default ());
+  let r = R.qr P.DD Gpusim.Device.v100 ~n:256 ~tile:64 in
+  let snap = M.snapshot (M.default ()) in
+  (match List.assoc_opt "sim.launches" snap with
+  | Some (M.Counter n) -> checki "launches counted" r.Harness.Report.launches n
+  | _ -> Alcotest.fail "sim.launches missing");
+  match List.assoc_opt "sim.kernel_ms" snap with
+  | Some (M.Histogram { count; _ }) ->
+    checki "every kernel observed" r.Harness.Report.launches count
+  | _ -> Alcotest.fail "sim.kernel_ms missing"
+
+(* ---- roofline ---- *)
+
+let test_roofline_classification () =
+  (* The acceptance shape on the default V100: double double stages are
+     memory-bound (intensity ~1.3 flops/byte, far below the 8.8 ridge),
+     octo double stages compute-bound (the Table 1 multipliers raise the
+     arithmetic intensity ~12x). *)
+  let v100 = Gpusim.Device.v100 in
+  let dd = R.qr_roofline P.DD v100 ~n:1024 ~tile:128 in
+  let od = R.qr_roofline P.OD v100 ~n:1024 ~tile:128 in
+  checki "one row per stage" (List.length Lsq_core.Stage.qr_stages)
+    (List.length dd);
+  check "dd aggregate memory-bound" true
+    ((Obs.Roofline.total dd).Obs.Roofline.bound = Obs.Roofline.Memory);
+  check "od aggregate compute-bound" true
+    ((Obs.Roofline.total od).Obs.Roofline.bound = Obs.Roofline.Compute);
+  let dominant stages =
+    List.fold_left
+      (fun (a : Obs.Roofline.stage) (b : Obs.Roofline.stage) ->
+        if b.Obs.Roofline.ms > a.Obs.Roofline.ms then b else a)
+      (List.hd stages) (List.tl stages)
+  in
+  check "dd dominant stage memory-bound" true
+    ((dominant dd).Obs.Roofline.bound = Obs.Roofline.Memory);
+  check "od dominant stage compute-bound" true
+    ((dominant od).Obs.Roofline.bound = Obs.Roofline.Compute);
+  check "od intensity above dd" true
+    ((Obs.Roofline.total od).Obs.Roofline.intensity
+    > 4.0 *. (Obs.Roofline.total dd).Obs.Roofline.intensity);
+  List.iter
+    (fun (s : Obs.Roofline.stage) ->
+      check "pct_peak sane" true
+        (s.Obs.Roofline.pct_peak >= 0.0 && s.Obs.Roofline.pct_peak <= 100.0);
+      check "flops positive" true (s.Obs.Roofline.flops > 0.0);
+      check "bytes positive" true (s.Obs.Roofline.bytes > 0.0))
+    (dd @ od)
+
+let test_roofline_json_roundtrip () =
+  let v100 = Gpusim.Device.v100 in
+  let stages = R.bs_roofline P.QD v100 ~dim:2560 ~tile:32 in
+  let ridge =
+    Obs.Roofline.ridge ~peak_gflops:v100.Gpusim.Device.dp_peak_gflops
+      ~dram_gb_s:v100.Gpusim.Device.dram_gb_s
+  in
+  let doc =
+    Harness.Obs_io.json_of_roofline ~label:"bs 4d dim=2560" ~device:"v100"
+      ~ridge stages
+  in
+  let label, device, ridge', stages' =
+    Harness.Obs_io.roofline_of_json (Json.of_string (Json.to_string doc))
+  in
+  Alcotest.(check string) "label" "bs 4d dim=2560" label;
+  Alcotest.(check string) "device" "v100" device;
+  check "ridge" true (ridge' = ridge);
+  check "stages round-trip" true (stages' = stages)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "tracer",
+        [
+          Alcotest.test_case "disabled is transparent" `Quick
+            test_disabled_transparent;
+          Alcotest.test_case "recording" `Quick test_recording;
+          Alcotest.test_case "export schema" `Quick test_export_schema;
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "traced qr run" `Quick test_traced_qr_run;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "basics" `Quick test_metrics_basic;
+          Alcotest.test_case "concurrent exactness" `Quick
+            test_metrics_concurrent_exact;
+          Alcotest.test_case "snapshot json round-trip" `Quick
+            test_snapshot_roundtrip;
+          Alcotest.test_case "simulator counters" `Quick
+            test_sim_metrics_counted;
+        ] );
+      ( "roofline",
+        [
+          Alcotest.test_case "dd memory, od compute" `Quick
+            test_roofline_classification;
+          Alcotest.test_case "json round-trip" `Quick
+            test_roofline_json_roundtrip;
+        ] );
+    ]

@@ -51,6 +51,12 @@ let test_mixed_batch () =
       checki "sequential completion order" i o.S.order;
       check "first attempt succeeded" true (o.S.attempts = 1);
       check "elapsed accounted" true (o.S.elapsed_ms >= 0.0);
+      checki "one attempt timed" 1 (List.length o.S.timing.S.attempt_ms);
+      check "queue wait non-negative" true
+        (o.S.timing.S.queue_wait_ms >= 0.0);
+      check "no backoff slept" true (o.S.timing.S.backoff_ms = 0.0);
+      check "attempt times non-negative" true
+        (List.for_all (fun ms -> ms >= 0.0) o.S.timing.S.attempt_ms);
       let r = completed o in
       let job = List.nth jobs i in
       check "plan jobs carry no residual, executed jobs do" true
@@ -98,7 +104,23 @@ let test_retry_recovers () =
   match S.run_batch ~parallel:1 ~backoff_ms:0.0 [ job ] with
   | [ o ] ->
     ignore (completed o);
-    checki "succeeded on the second attempt" 2 o.S.attempts
+    checki "succeeded on the second attempt" 2 o.S.attempts;
+    checki "every attempt timed" 2 (List.length o.S.timing.S.attempt_ms)
+  | _ -> Alcotest.fail "expected one outcome"
+
+let test_backoff_recorded () =
+  (* One injected failure with a real backoff base: the retry sleeps
+     once, and the slept time lands in the timing record. *)
+  let job =
+    qr ~id:"backoff" ~dim:64 ~tile:32 ~retries:2 ~inject_failures:1 ()
+  in
+  match S.run_batch ~parallel:1 ~backoff_ms:2.0 [ job ] with
+  | [ o ] ->
+    ignore (completed o);
+    checki "two attempts" 2 o.S.attempts;
+    check "backoff slept" true (o.S.timing.S.backoff_ms >= 2.0);
+    check "elapsed covers the sleep" true
+      (o.S.elapsed_ms >= o.S.timing.S.backoff_ms)
   | _ -> Alcotest.fail "expected one outcome"
 
 let test_poisoned_degrades () =
@@ -127,6 +149,7 @@ let test_validation_rejects () =
   | [ o ] ->
     let f = failed o in
     checki "never attempted" 0 o.S.attempts;
+    check "no attempt timed" true (o.S.timing.S.attempt_ms = []);
     check "mentions the tile" true
       (String.length f.S.message > 0 && not f.S.timed_out)
   | _ -> Alcotest.fail "expected one outcome"
@@ -143,7 +166,9 @@ let test_timeout_is_cooperative () =
   | [ o ] ->
     let f = failed o in
     check "timed out" true f.S.timed_out;
-    check "gave up before exhausting retries" true (o.S.attempts < 6)
+    check "gave up before exhausting retries" true (o.S.attempts < 6);
+    checki "attempts and attempt times agree" o.S.attempts
+      (List.length o.S.timing.S.attempt_ms)
   | _ -> Alcotest.fail "expected one outcome"
 
 (* ---- serialization ---- *)
@@ -244,6 +269,7 @@ let () =
           Alcotest.test_case "mixed plan/execute" `Quick test_mixed_batch;
           Alcotest.test_case "parallel workers" `Quick test_parallel_batch;
           Alcotest.test_case "retry recovers" `Quick test_retry_recovers;
+          Alcotest.test_case "backoff recorded" `Quick test_backoff_recorded;
           Alcotest.test_case "poisoned job degrades" `Quick
             test_poisoned_degrades;
           Alcotest.test_case "validation rejects" `Quick
