@@ -78,6 +78,50 @@ let execute =
           "Execute the kernels numerically (keep the dimension moderate) \
            and report residuals; default is cost accounting only.")
 
+let fault_rate =
+  Arg.(
+    value & opt float 0.0
+    & info [ "fault-rate" ] ~docv:"P"
+        ~doc:
+          "Per-launch fault probability of the simulator's fault plane, in \
+           [0, 1].  0 (the default) leaves the plane disarmed.")
+
+let fault_seed =
+  Arg.(
+    value & opt int 1
+    & info [ "fault-seed" ] ~docv:"SEED"
+        ~doc:
+          "Campaign seed of the fault plane; the same seed replays the \
+           same faults bit-identically.")
+
+let fault_kinds =
+  Arg.(
+    value & opt string "all"
+    & info [ "fault-kinds" ] ~docv:"KINDS"
+        ~doc:
+          "Comma-separated fault kinds to arm: bitflip, launch, transfer, \
+           or all.")
+
+(* The three flags fold into one optional [Fault.Plan.config]; bad rates
+   or kind names exit with a usage error before anything runs. *)
+let fault_config_of ~rate ~seed ~kinds =
+  if rate = 0.0 then None
+  else
+    try
+      let kinds =
+        if String.lowercase_ascii (String.trim kinds) = "all" then
+          Fault.Plan.all_kinds
+        else
+          String.split_on_char ',' kinds
+          |> List.filter_map (fun s ->
+                 let s = String.trim s in
+                 if s = "" then None else Some (Fault.Plan.kind_of_string s))
+      in
+      Some (Fault.Plan.config ~kinds ~seed ~rate ())
+    with Invalid_argument m ->
+      Printf.eprintf "error: %s\n" m;
+      exit 2
+
 let trace_file =
   Arg.(
     value
@@ -148,6 +192,21 @@ let print_residual what (v : Harness.Report.residual) =
   pf "  %s: %.1f eps (%s)\n" what v.Harness.Report.residual
     (if v.Harness.Report.ok then "ok" else "FAILED")
 
+let print_faults (r : Harness.Report.t) =
+  match r.Harness.Report.faults with
+  | None -> ()
+  | Some f ->
+    pf "  %-24s %12d (%d bitflip, %d launch, %d transfer)\n" "faults injected"
+      (Harness.Report.faults_injected f)
+      f.Harness.Report.bitflips f.Harness.Report.launch_fails
+      f.Harness.Report.transfer_faults;
+    pf "  %-24s %12d detected, %d relaunches, %d retransfers, %d replays%s\n"
+      "fault handling" f.Harness.Report.detected f.Harness.Report.relaunches
+      f.Harness.Report.retransfers f.Harness.Report.replays
+      (if f.Harness.Report.refined then ", refined" else "");
+    if f.Harness.Report.escalations > 0 then
+      pf "  %-24s %12d\n" "fault escalations" f.Harness.Report.escalations
+
 let check_tile ~dim ~tile =
   if tile <= 0 || dim mod tile <> 0 then begin
     Printf.eprintf "error: the tile size (%d) must divide the dimension (%d)\n"
@@ -158,49 +217,57 @@ let check_tile ~dim ~tile =
 (* ---- subcommands ---- *)
 
 let qr_cmd =
-  let run device p dim rows tile complex execute trace metrics =
+  let run device p dim rows tile complex execute rate seed kinds trace
+      metrics =
     check_tile ~dim ~tile;
+    let fault = fault_config_of ~rate ~seed ~kinds in
     with_observability ~trace ~metrics (fun () ->
-        let r = R.qr ~complex ?rows p device ~n:dim ~tile in
+        let r = R.qr ~complex ?rows ?fault p device ~n:dim ~tile in
         print_run
           (Printf.sprintf "blocked Householder QR of a %dx%d matrix"
              (Option.value rows ~default:dim)
              dim)
           device p ~complex r;
+        print_faults r;
         if execute then
           print_residual "executed residual"
-            (R.verify_qr ~complex p device ~n:(min dim 96) ~tile:(min tile 16)))
+            (R.verify_qr ~complex ?fault p device ~n:(min dim 96)
+               ~tile:(min tile 16)))
   in
   Cmd.v
     (Cmd.info "qr" ~doc:"Blocked Householder QR (Algorithm 2).")
     Term.(
       const run $ device $ prec $ dim $ rows $ tile $ complex $ execute
-      $ trace_file $ metrics_file)
+      $ fault_rate $ fault_seed $ fault_kinds $ trace_file $ metrics_file)
 
 let backsub_cmd =
-  let run device p dim tile complex execute trace metrics =
+  let run device p dim tile complex execute rate seed kinds trace metrics =
     check_tile ~dim ~tile;
+    let fault = fault_config_of ~rate ~seed ~kinds in
     with_observability ~trace ~metrics (fun () ->
-        let r = R.bs ~complex p device ~dim ~tile in
+        let r = R.bs ~complex ?fault p device ~dim ~tile in
         print_run
           (Printf.sprintf "tiled back substitution of dimension %d (%d tiles)"
              dim (dim / tile))
           device p ~complex r;
+        print_faults r;
         if execute then
           print_residual "executed residual"
-            (R.verify_bs ~complex p device ~dim:(min dim 96) ~tile:(min tile 16)))
+            (R.verify_bs ~complex ?fault p device ~dim:(min dim 96)
+               ~tile:(min tile 16)))
   in
   Cmd.v
     (Cmd.info "backsub" ~doc:"Tiled accelerated back substitution (Algorithm 1).")
     Term.(
-      const run $ device $ prec $ dim $ tile $ complex $ execute $ trace_file
-      $ metrics_file)
+      const run $ device $ prec $ dim $ tile $ complex $ execute $ fault_rate
+      $ fault_seed $ fault_kinds $ trace_file $ metrics_file)
 
 let solve_cmd =
-  let run device p dim tile complex execute trace metrics =
+  let run device p dim tile complex execute rate seed kinds trace metrics =
     check_tile ~dim ~tile;
+    let fault = fault_config_of ~rate ~seed ~kinds in
     with_observability ~trace ~metrics (fun () ->
-        let r = R.solve ~complex p device ~n:dim ~tile in
+        let r = R.solve ~complex ?fault p device ~n:dim ~tile in
         pf "least squares solve of a %dx%d system in %s%s on the simulated %s\n"
           dim dim (P.name p)
           (if complex then " complex" else "")
@@ -217,15 +284,163 @@ let solve_cmd =
           r.Harness.Report.kernel_gflops;
         pf "  %-24s %12.1f gigaflops\n" "total wall flops"
           r.Harness.Report.wall_gflops;
+        print_faults r;
         if execute then
           print_residual "executed forward error"
-            (R.verify_solve ~complex p device ~n:(min dim 64)
+            (R.verify_solve ~complex ?fault p device ~n:(min dim 64)
                ~tile:(min tile 16)))
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Least squares solver: QR then back substitution.")
     Term.(
-      const run $ device $ prec $ dim $ tile $ complex $ execute $ trace_file
+      const run $ device $ prec $ dim $ tile $ complex $ execute $ fault_rate
+      $ fault_seed $ fault_kinds $ trace_file $ metrics_file)
+
+let faults_cmd =
+  let dim_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "n"; "dim" ] ~docv:"N"
+          ~doc:
+            "Problem dimension.  Every run executes numerically, so keep \
+             it moderate.")
+  in
+  let tile_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "t"; "tile" ] ~docv:"TILE" ~doc:"Tile size.")
+  in
+  let runs_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "runs" ] ~docv:"N"
+          ~doc:"Number of seeded fault-tolerant solves in the campaign.")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 0.01
+      & info [ "fault-rate" ] ~docv:"P"
+          ~doc:"Per-launch fault probability, in [0, 1].")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the campaign summary and reports as JSON on stdout.")
+  in
+  let run device p dim tile complex runs rate seed kinds json trace metrics =
+    check_tile ~dim ~tile;
+    if runs < 1 then begin
+      Printf.eprintf "error: --runs must be at least 1\n";
+      exit 2
+    end;
+    with_observability ~trace ~metrics (fun () ->
+        let reports =
+          List.init runs (fun i ->
+              let fault = fault_config_of ~rate ~seed:(seed + i) ~kinds in
+              R.solve_ft ~complex ?fault p device ~n:dim ~tile)
+        in
+        let ok (r : Harness.Report.t) =
+          match r.Harness.Report.residual with
+          | Some v -> v.Harness.Report.ok
+          | None -> false
+        in
+        let tally f (r : Harness.Report.t) =
+          match r.Harness.Report.faults with Some x -> f x | None -> 0
+        in
+        let sum f = List.fold_left (fun acc r -> acc + tally f r) 0 reports in
+        let injected = sum Harness.Report.faults_injected in
+        let detected = sum (fun f -> f.Harness.Report.detected) in
+        let replays =
+          sum (fun f ->
+              f.Harness.Report.relaunches + f.Harness.Report.retransfers
+              + f.Harness.Report.replays)
+        in
+        let escalations = sum (fun f -> f.Harness.Report.escalations) in
+        let refined_runs =
+          List.length
+            (List.filter
+               (fun (r : Harness.Report.t) ->
+                 match r.Harness.Report.faults with
+                 | Some f -> f.Harness.Report.refined
+                 | None -> false)
+               reports)
+        in
+        let recovered_runs = List.length (List.filter ok reports) in
+        let rate_pct =
+          100.0 *. float_of_int recovered_runs /. float_of_int runs
+        in
+        if json then
+          print_endline
+            (Harness.Json.to_string
+               (Harness.Json.Obj
+                  [
+                    ( "campaign",
+                      Harness.Json.Obj
+                        [
+                          ("device", Harness.Json.Str device.Gpusim.Device.name);
+                          ("prec", Harness.Json.Str (P.label p));
+                          ("complex", Harness.Json.Bool complex);
+                          ("dim", Harness.Json.Int dim);
+                          ("tile", Harness.Json.Int tile);
+                          ("runs", Harness.Json.Int runs);
+                          ("fault_rate", Harness.Json.Float rate);
+                          ("fault_seed", Harness.Json.Int seed);
+                        ] );
+                    ("injected", Harness.Json.Int injected);
+                    ("detected", Harness.Json.Int detected);
+                    ("replays", Harness.Json.Int replays);
+                    ("escalations", Harness.Json.Int escalations);
+                    ("refined_runs", Harness.Json.Int refined_runs);
+                    ("recovered_runs", Harness.Json.Int recovered_runs);
+                    ( "recovery_rate",
+                      Harness.Json.Float
+                        (float_of_int recovered_runs /. float_of_int runs) );
+                    ( "reports",
+                      Harness.Json.Arr
+                        (List.map Harness.Report.to_json reports) );
+                  ]))
+        else begin
+          pf
+            "fault campaign: %d fault-tolerant solve%s of %dx%d tile=%d in \
+             %s%s on the simulated %s\n"
+            runs
+            (if runs = 1 then "" else "s")
+            dim dim tile (P.name p)
+            (if complex then " complex" else "")
+            device.Gpusim.Device.name;
+          pf "rate %g per launch, seeds %d..%d\n" rate seed (seed + runs - 1);
+          List.iteri
+            (fun i (r : Harness.Report.t) ->
+              let inj = tally Harness.Report.faults_injected r in
+              let refined =
+                match r.Harness.Report.faults with
+                | Some f -> f.Harness.Report.refined
+                | None -> false
+              in
+              pf "  run %2d (seed %d): %3d injected, %s%s\n" i (seed + i) inj
+                (if ok r then "recovered" else "NOT RECOVERED")
+                (if refined then " (refined)" else ""))
+            reports;
+          pf "  %-24s %12d\n" "faults injected" injected;
+          pf "  %-24s %12d\n" "faults detected" detected;
+          pf "  %-24s %12d\n" "relaunches+replays" replays;
+          pf "  %-24s %12d\n" "escalations" escalations;
+          pf "  %-24s %12d\n" "refined runs" refined_runs;
+          pf "  %-24s %9d/%-2d (%.1f%%)\n" "recovery rate" recovered_runs runs
+            rate_pct
+        end)
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Seeded fault-injection campaign: repeated executed fault-tolerant \
+          solves under the simulator's fault plane, reporting the \
+          detection-and-recovery rate.  The same seed replays the campaign \
+          bit-identically.")
+    Term.(
+      const run $ device $ prec $ dim_arg $ tile_arg $ complex $ runs_arg
+      $ rate_arg $ fault_seed $ fault_kinds $ json_flag $ trace_file
       $ metrics_file)
 
 let roofline_cmd =
@@ -612,9 +827,10 @@ let batch_cmd =
       (fun o ->
         match o.Sched.Scheduler.status with
         | Sched.Scheduler.Failed f ->
-          Printf.fprintf summary_oc "  failed %-24s attempts=%d%s: %s\n"
+          Printf.fprintf summary_oc "  failed %-24s attempts=%d%s (%s): %s\n"
             o.Sched.Scheduler.job.Sched.Job.id o.Sched.Scheduler.attempts
             (if f.Sched.Scheduler.timed_out then " (timed out)" else "")
+            (if f.Sched.Scheduler.retryable then "transient" else "permanent")
             f.Sched.Scheduler.message
         | Sched.Scheduler.Completed _ -> ())
       failed;
@@ -676,4 +892,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ qr_cmd; backsub_cmd; solve_cmd; roofline_cmd; batch_cmd; refine_cmd; toeplitz_cmd; psolve_cmd; cond_cmd; devices_cmd; precisions_cmd ]))
+          [ qr_cmd; backsub_cmd; solve_cmd; faults_cmd; roofline_cmd; batch_cmd; refine_cmd; toeplitz_cmd; psolve_cmd; cond_cmd; devices_cmd; precisions_cmd ]))

@@ -40,6 +40,7 @@ module Make (K : Scalar.S) = struct
     wall_gflops : float;
     stages : Profile.row list;
     launches : int;
+    faults : Fault.Plan.tally option;
   }
 
   (* One thread per output element, the register-loading matrix product of
@@ -157,15 +158,118 @@ module Make (K : Scalar.S) = struct
       | _ -> M.create 0 0
     in
     let q = if executing then M.identity mrows else M.create 0 0 in
+    let guard = Sim.fault_plan sim in
+    (* A bit-flip corruptor over everything the current panel holds on
+       the device: R, Q, the panel's Y/W and (thin path) the right-hand
+       side.  One element is picked weighted by size, one limb plane,
+       one bit of its word. *)
+    let flip_at rng name (arr : K.t array) idx =
+      let planes = K.to_planes arr.(idx) in
+      let p = Dompool.Prng.int rng (Array.length planes) in
+      let bit = Dompool.Prng.int rng 64 in
+      planes.(p) <- Fault.Plan.flip_bit planes.(p) bit;
+      arr.(idx) <- K.of_planes planes;
+      Printf.sprintf "%s[%d] plane %d bit %d" name idx p bit
+    in
+    let corruptor ~y ~w rng =
+      let targets =
+        List.filter
+          (fun (_, arr) -> Array.length arr > 0)
+          ([ ("R", r.M.a); ("Q", q.M.a); ("Y", y.M.a); ("W", w.M.a) ]
+          @ match rhs with Some b -> [ ("b", (b : K.t array)) ] | None -> [])
+      in
+      let total =
+        List.fold_left (fun acc (_, arr) -> acc + Array.length arr) 0 targets
+      in
+      if total = 0 then "nothing resident"
+      else
+        let rec pick idx = function
+          | [] -> "nothing resident"
+          | (name, arr) :: rest ->
+              if idx < Array.length arr then flip_at rng name arr idx
+              else pick (idx - Array.length arr) rest
+        in
+        pick (Dompool.Prng.int rng total) targets
+    in
+    (* ABFT panel verification, modeled as one cheap check kernel plus —
+       when executing — a random probe through the aggregated reflectors
+       (I + W Y^H is unitary, so it must preserve the probe's norm) and
+       finiteness sweeps over the regions the panel wrote. *)
+    let abft_cost rows =
+      Cost.launch
+        ~blocks:(max 1 ((rows + tile - 1) / tile))
+        ~threads:tile
+        ~cold_bytes:(2.0 *. f rows *. f tile *. sb)
+        ~thread_bytes:(2.0 *. f rows *. f tile *. sb)
+        ~working_set:(f rows *. 8.0)
+        (ops
+           ~adds:(2.0 *. f rows *. f tile)
+           ~muls:(2.0 *. f rows *. f tile)
+           ())
+    in
+    let probe_ok plan ~rows ~y ~w =
+      let rng = Fault.Plan.aux_rng plan in
+      let u = V.init rows (fun _ -> K.random rng) in
+      let yhu = V.create tile in
+      for j = 0 to tile - 1 do
+        let s = ref K.zero in
+        for i = 0 to rows - 1 do
+          s := K.add !s (K.mul (K.conj (M.get y i j)) u.(i))
+        done;
+        yhu.(j) <- !s
+      done;
+      let pu =
+        V.init rows (fun i ->
+            let s = ref u.(i) in
+            for j = 0 to tile - 1 do
+              s := K.add !s (K.mul (M.get w i j) yhu.(j))
+            done;
+            !s)
+      in
+      let nu = K.R.to_float (V.norm u) in
+      let npu = K.R.to_float (V.norm pu) in
+      Float.is_finite npu
+      && Float.abs (npu -. nu)
+         <= 64.0 *. f (rows * tile) *. K.R.eps *. Float.max nu 1e-300
+    in
+    let region_finite ~c0 =
+      let ok = ref true in
+      for i = c0 to mrows - 1 do
+        for j = c0 to ncols - 1 do
+          if not (K.is_finite (M.get r i j)) then ok := false
+        done
+      done;
+      if accumulate_q then
+        for i = 0 to mrows - 1 do
+          for j = c0 to mrows - 1 do
+            if not (K.is_finite (M.get q i j)) then ok := false
+          done
+        done;
+      (match rhs with
+      | Some b ->
+          for i = c0 to mrows - 1 do
+            if not (K.is_finite b.(i)) then ok := false
+          done
+      | None -> ());
+      !ok
+    in
     (* Host -> device: the matrix A. *)
     Sim.transfer sim (f (mrows * ncols) *. sb);
     for k = 0 to nt - 1 do
-      let c0 = k * tile in
-      let c1 = c0 + tile in
-      let rows = mrows - c0 in
-      let y = if executing then M.create rows tile else M.create 0 0 in
-      let w = if executing then M.create rows tile else M.create 0 0 in
-      let betas = Array.make tile K.R.zero in
+      (* The whole panel iteration — factorization, aggregation, Q and
+         trailing updates, then the ABFT verdict.  Restartable: under an
+         armed fault plan the caller snapshots R/Q/b, and a detected
+         corruption (or an escalated launch failure inside the panel)
+         restores the snapshot and replays the panel. *)
+      let do_panel () =
+        let c0 = k * tile in
+        let c1 = c0 + tile in
+        let rows = mrows - c0 in
+        let y = if executing then M.create rows tile else M.create 0 0 in
+        let w = if executing then M.create rows tile else M.create 0 0 in
+        let betas = Array.make tile K.R.zero in
+        if executing && guard <> None then
+          Sim.set_corruptor sim (Some (corruptor ~y ~w));
       (* ---- Stage 1: panel factorization, column by column. ---- *)
       for l = 0 to tile - 1 do
         let c = c0 + l in
@@ -383,8 +487,57 @@ module Make (K : Scalar.S) = struct
           ~get:(fun i j -> M.get ywtc i j)
           ~add_to:(fun i j s ->
             M.set r (c0 + i) (c1 + j) (K.add (M.get r (c0 + i) (c1 + j)) s))
-      end
+      end;
+      (* ---- ABFT verdict for this panel. ---- *)
+      match guard with
+      | None -> true
+      | Some plan ->
+          Sim.launch ~protected:true sim ~stage:Stage.abft_check
+            ~cost:(abft_cost rows) (fun _ -> ());
+          (not executing) || (probe_ok plan ~rows ~y ~w && region_finite ~c0)
+      in
+      (match guard with
+      | None -> ignore (do_panel () : bool)
+      | Some plan ->
+          let rec attempt replays =
+            let snap =
+              if executing then
+                Some (M.copy r, M.copy q, Option.map V.copy rhs)
+              else None
+            in
+            let restore () =
+              match snap with
+              | None -> ()
+              | Some (r0, q0, b0) ->
+                  Array.blit r0.M.a 0 r.M.a 0 (Array.length r.M.a);
+                  Array.blit q0.M.a 0 q.M.a 0 (Array.length q.M.a);
+                  (match (b0, rhs) with
+                  | Some src, Some dst ->
+                      Array.blit src 0 (dst : K.t array) 0 (Array.length src)
+                  | _ -> ())
+            in
+            let replay () =
+              restore ();
+              Fault.Plan.note_replay plan ~stage:"qr.panel";
+              attempt (replays + 1)
+            in
+            match do_panel () with
+            | true -> ()
+            | false ->
+                Fault.Plan.note_detected plan ~stage:"qr.panel";
+                if replays < Fault.Plan.max_replays plan then replay ()
+                else begin
+                  Fault.Plan.note_escalation plan ~stage:"qr.panel";
+                  raise
+                    (Fault.Plan.Injected (Fault.Plan.Bitflip, "qr.panel"))
+                end
+            | exception Fault.Plan.Injected _
+              when replays < Fault.Plan.max_replays plan ->
+                replay ()
+          in
+          attempt 0)
     done;
+    Sim.set_corruptor sim None;
     (* Clean the numerically annihilated subdiagonal of R. *)
     if sim.Sim.execute then
       for j = 0 to ncols - 1 do
@@ -430,16 +583,17 @@ module Make (K : Scalar.S) = struct
       wall_gflops = Sim.wall_gflops sim;
       stages = List.map (Profile.row sim.Sim.profile) Stage.qr_stages;
       launches = Sim.launches sim;
+      faults = Sim.fault_tally sim;
     }
 
-  let run ?(execute = true) ~device ~a ~tile () =
-    let sim = Sim.create ~execute ~device ~prec:K.prec () in
+  let run ?(execute = true) ?fault ~device ~a ~tile () =
+    let sim = Sim.create ~execute ?fault ~device ~prec:K.prec () in
     let q, r = factor sim a ~tile in
     result_of_sim sim q r
 
   (* Timing-only run from the dimensions alone. *)
-  let run_plan ~device ~rows ~cols ~tile () =
-    let sim = Sim.create ~execute:false ~device ~prec:K.prec () in
+  let run_plan ?fault ~device ~rows ~cols ~tile () =
+    let sim = Sim.create ~execute:false ?fault ~device ~prec:K.prec () in
     plan sim ~rows ~cols ~tile;
     result_of_sim sim (M.create 0 0) (M.create 0 0)
 end

@@ -6,7 +6,16 @@
     W and Y with the product Y*W^H ("compute W" / "Y*W^T"), the Q update
     ("Q*WY^T" / "Q + QWY") and the trailing update ("YWT*C" /
     "R + YWTC") — the stage names of the paper's tables.  On complex
-    data every transpose is the Hermitian transpose. *)
+    data every transpose is the Hermitian transpose.
+
+    Under an armed fault plan (a simulator created with [?fault]) every
+    panel is verified by an ABFT probe — a random vector pushed through
+    I + W Y^H, which is unitary and must preserve its norm — plus
+    finiteness sweeps over the regions the panel wrote; a detected
+    corruption (or a launch failure that exhausted its relaunch budget)
+    restores the pre-panel snapshot of R/Q/b and replays the panel, up
+    to the plan's replay budget, then escalates with
+    [Fault.Plan.Injected]. *)
 
 module Make (K : Mdlinalg.Scalar.S) : sig
   type result = {
@@ -18,6 +27,7 @@ module Make (K : Mdlinalg.Scalar.S) : sig
     wall_gflops : float;
     stages : Gpusim.Profile.row list;  (** in {!Stage.qr_stages} order *)
     launches : int;
+    faults : Fault.Plan.tally option;  (** when the sim armed a plan *)
   }
 
   val factor :
@@ -45,6 +55,7 @@ module Make (K : Mdlinalg.Scalar.S) : sig
 
   val run :
     ?execute:bool ->
+    ?fault:Fault.Plan.config ->
     device:Gpusim.Device.t ->
     a:Mdlinalg.Mat.Make(K).t ->
     tile:int ->
@@ -52,6 +63,11 @@ module Make (K : Mdlinalg.Scalar.S) : sig
     result
 
   val run_plan :
-    device:Gpusim.Device.t -> rows:int -> cols:int -> tile:int -> unit ->
+    ?fault:Fault.Plan.config ->
+    device:Gpusim.Device.t ->
+    rows:int ->
+    cols:int ->
+    tile:int ->
+    unit ->
     result
 end

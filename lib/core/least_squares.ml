@@ -33,6 +33,7 @@ module Make (K : Scalar.S) = struct
     qr_stages : Gpusim.Profile.row list;
     bs_stages : Gpusim.Profile.row list;
     launches : int;
+    faults : Fault.Plan.tally option;
   }
 
   (* Q^H b on the device: one matvec kernel, accounted with the QR. *)
@@ -75,17 +76,26 @@ module Make (K : Scalar.S) = struct
       qr_stages = Sim.breakdown qr_sim;
       bs_stages = Sim.breakdown bs_sim;
       launches = Sim.launches qr_sim + Sim.launches bs_sim;
+      faults =
+        (match (Sim.fault_tally qr_sim, Sim.fault_tally bs_sim) with
+        | None, None -> None
+        | qt, bt ->
+            Some
+              (Fault.Plan.merge
+                 (Option.value ~default:Fault.Plan.zero_tally qt)
+                 (Option.value ~default:Fault.Plan.zero_tally bt)));
     }
 
   (* [solve ~device ~a ~b ~tile] minimizes ||b - a x||_2; [a] must have at
      least as many rows as columns, and the column count must be a
      multiple of [tile]. *)
-  let solve ?(execute = true) ~device ~(a : M.t) ~(b : V.t) ~tile () =
+  let solve ?(execute = true) ?fault ~device ~(a : M.t) ~(b : V.t) ~tile () =
     let n = M.cols a in
     let mrows = M.rows a in
     (* The QR phase runs on its own simulator so the phases are timed
-       apart, as in Table 10. *)
-    let qr_sim = Sim.create ~execute ~device ~prec:K.prec () in
+       apart, as in Table 10; distinct fault salts keep the two phases'
+       fault streams independent under one campaign seed. *)
+    let qr_sim = Sim.create ~execute ?fault ~fault_salt:1 ~device ~prec:K.prec () in
     let q, r = Qr.factor qr_sim a ~tile in
     let qtb = V.create n in
     launch_qtb qr_sim ~mrows ~n ~tile (fun blk ->
@@ -99,7 +109,7 @@ module Make (K : Scalar.S) = struct
           qtb.(j) <- !s
         done);
     (* Back substitution phase on R[0:n, 0:n] x = (Q^H b)[0:n]. *)
-    let bs_sim = Sim.create ~execute ~device ~prec:K.prec () in
+    let bs_sim = Sim.create ~execute ?fault ~fault_salt:2 ~device ~prec:K.prec () in
     let x =
       if execute then begin
         let rn = M.sub_matrix r ~r0:0 ~r1:n ~c0:0 ~c1:n in
@@ -115,12 +125,12 @@ module Make (K : Scalar.S) = struct
   (* The economy ("thin") solver: the reflectors are applied to b during
      the factorization and Q is never formed — the xGELS shape.  Saves
      the Q*WY^T update, the dominant kernel of the full factorization. *)
-  let solve_thin ?(execute = true) ~device ~(a : M.t) ~(b : V.t) ~tile () =
+  let solve_thin ?(execute = true) ?fault ~device ~(a : M.t) ~(b : V.t) ~tile () =
     let n = M.cols a in
-    let qr_sim = Sim.create ~execute ~device ~prec:K.prec () in
+    let qr_sim = Sim.create ~execute ?fault ~fault_salt:1 ~device ~prec:K.prec () in
     let qtb_full = V.copy b in
     let r = Qr.factor_thin qr_sim a ~b:qtb_full ~tile in
-    let bs_sim = Sim.create ~execute ~device ~prec:K.prec () in
+    let bs_sim = Sim.create ~execute ?fault ~fault_salt:2 ~device ~prec:K.prec () in
     let x =
       if execute then begin
         let rn = M.sub_matrix r ~r0:0 ~r1:n ~c0:0 ~c1:n in
@@ -133,19 +143,19 @@ module Make (K : Scalar.S) = struct
     in
     result_of qr_sim bs_sim x
 
-  let plan_thin ~device ~rows ~cols ~tile () =
-    let qr_sim = Sim.create ~execute:false ~device ~prec:K.prec () in
+  let plan_thin ?fault ~device ~rows ~cols ~tile () =
+    let qr_sim = Sim.create ~execute:false ?fault ~fault_salt:1 ~device ~prec:K.prec () in
     Qr.plan_thin qr_sim ~rows ~cols ~tile;
-    let bs_sim = Sim.create ~execute:false ~device ~prec:K.prec () in
+    let bs_sim = Sim.create ~execute:false ?fault ~fault_salt:2 ~device ~prec:K.prec () in
     Bs.plan bs_sim ~dim:cols ~tile;
     result_of qr_sim bs_sim (V.create 0)
 
   (* Cost accounting only, from the dimensions alone. *)
-  let plan ~device ~rows ~cols ~tile () =
-    let qr_sim = Sim.create ~execute:false ~device ~prec:K.prec () in
+  let plan ?fault ~device ~rows ~cols ~tile () =
+    let qr_sim = Sim.create ~execute:false ?fault ~fault_salt:1 ~device ~prec:K.prec () in
     Qr.plan qr_sim ~rows ~cols ~tile;
     launch_qtb qr_sim ~mrows:rows ~n:cols ~tile (fun _ -> ());
-    let bs_sim = Sim.create ~execute:false ~device ~prec:K.prec () in
+    let bs_sim = Sim.create ~execute:false ?fault ~fault_salt:2 ~device ~prec:K.prec () in
     Bs.plan bs_sim ~dim:cols ~tile;
     result_of qr_sim bs_sim (V.create 0)
 end

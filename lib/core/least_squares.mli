@@ -1,7 +1,11 @@
 (** The least squares solver of the paper: blocked accelerated
     Householder QR (Algorithm 2) followed by the tiled accelerated back
     substitution (Algorithm 1) on R x = Q^H b, the two phases timed
-    apart as in Table 10. *)
+    apart as in Table 10.
+
+    An armed fault plan ([?fault]) is threaded to both phases'
+    simulators under distinct salts; the merged fault tally of the two
+    phases lands in [result.faults]. *)
 
 module Make (K : Mdlinalg.Scalar.S) : sig
   type result = {
@@ -19,10 +23,12 @@ module Make (K : Mdlinalg.Scalar.S) : sig
     qr_stages : Gpusim.Profile.row list;  (** per-stage kernel breakdown *)
     bs_stages : Gpusim.Profile.row list;
     launches : int;  (** both phases *)
+    faults : Fault.Plan.tally option;  (** merged over both phases *)
   }
 
   val solve :
     ?execute:bool ->
+    ?fault:Fault.Plan.config ->
     device:Gpusim.Device.t ->
     a:Mdlinalg.Mat.Make(K).t ->
     b:Mdlinalg.Vec.Make(K).t ->
@@ -34,6 +40,7 @@ module Make (K : Mdlinalg.Scalar.S) : sig
 
   val solve_thin :
     ?execute:bool ->
+    ?fault:Fault.Plan.config ->
     device:Gpusim.Device.t ->
     a:Mdlinalg.Mat.Make(K).t ->
     b:Mdlinalg.Vec.Make(K).t ->
@@ -45,11 +52,21 @@ module Make (K : Mdlinalg.Scalar.S) : sig
       is wanted. *)
 
   val plan :
-    device:Gpusim.Device.t -> rows:int -> cols:int -> tile:int -> unit ->
+    ?fault:Fault.Plan.config ->
+    device:Gpusim.Device.t ->
+    rows:int ->
+    cols:int ->
+    tile:int ->
+    unit ->
     result
   (** Cost accounting only. *)
 
   val plan_thin :
-    device:Gpusim.Device.t -> rows:int -> cols:int -> tile:int -> unit ->
+    ?fault:Fault.Plan.config ->
+    device:Gpusim.Device.t ->
+    rows:int ->
+    cols:int ->
+    tile:int ->
+    unit ->
     result
 end

@@ -28,3 +28,9 @@ let bs_stages = [ invert_tiles; multiply_inverses; back_substitution ]
 (* Extension beyond the paper: the thin solver applies the reflectors to
    the right-hand side instead of accumulating Q. *)
 let apply_qt = "apply Q^T to b"
+
+(* Extension: the ABFT verification kernels of the fault-tolerant path
+   (probe through the aggregated reflectors, per-tile recompute).  Kept
+   out of [qr_stages]/[bs_stages] so fault-free breakdowns are unchanged;
+   the cost still lands in the kernel totals. *)
+let abft_check = "ABFT check"

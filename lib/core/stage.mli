@@ -28,3 +28,7 @@ val bs_stages : string list
 
 val apply_qt : string
 (** The thin solver's on-the-fly application of the reflectors to b. *)
+
+val abft_check : string
+(** The fault-tolerant path's ABFT verification kernels.  Not part of
+    {!qr_stages}/{!bs_stages}, so fault-free breakdowns are unchanged. *)

@@ -34,6 +34,7 @@ module Make (K : Scalar.S) = struct
     wall_gflops : float;
     stages : Profile.row list;
     launches : int;
+    faults : Fault.Plan.tally option;
   }
 
   (* [solve_gen sim ~dim ~tile ~data] solves U x = b when [data] carries
@@ -120,6 +121,131 @@ module Make (K : Scalar.S) = struct
       else None
     in
 
+    let guard = Sim.fault_plan sim in
+    let executing = sim.Sim.execute in
+    (* Bit-flip corruptor: on the flat path faults strike the staggered
+       limb planes directly (raw word flips, exactly the paper's device
+       layout); on the generic path one scalar goes through a limb flip
+       and the renormalizing round-trip. *)
+    (match guard with
+    | Some _ when executing ->
+        let flip_raw rng name (pl : F.planes) count =
+          let idx = Dompool.Prng.int rng count in
+          let p = Dompool.Prng.int rng (Array.length pl.F.p) in
+          let bit = Dompool.Prng.int rng 64 in
+          pl.F.p.(p).(idx) <- Fault.Plan.flip_bit pl.F.p.(p).(idx) bit;
+          Printf.sprintf "%s[%d] plane %d bit %d (raw)" name idx p bit
+        in
+        let flip_el rng name (arr : K.t array) =
+          let idx = Dompool.Prng.int rng (Array.length arr) in
+          let planes = K.to_planes arr.(idx) in
+          let p = Dompool.Prng.int rng (Array.length planes) in
+          let bit = Dompool.Prng.int rng 64 in
+          planes.(p) <- Fault.Plan.flip_bit planes.(p) bit;
+          arr.(idx) <- K.of_planes planes;
+          Printf.sprintf "%s[%d] plane %d bit %d" name idx p bit
+        in
+        Sim.set_corruptor sim
+          (Some
+             (fun rng ->
+               match flat with
+               | Some (vp, bdp, xp) ->
+                   let pick = Dompool.Prng.int rng ((dim * dim) + dim + dim) in
+                   if pick < dim * dim then flip_raw rng "U" vp (dim * dim)
+                   else if pick < (dim * dim) + dim then
+                     flip_raw rng "b" bdp dim
+                   else flip_raw rng "x" xp dim
+               | None ->
+                   let pick = Dompool.Prng.int rng ((dim * dim) + dim + dim) in
+                   if pick < dim * dim then flip_el rng "U" v.M.a
+                   else if pick < (dim * dim) + dim then flip_el rng "b" bd
+                   else flip_el rng "x" x))
+    | _ -> ());
+    (* U (inverted diagonal tiles included) is constant through stage 2:
+       its checksum taken here convicts any corruption of the staged
+       planes for the rest of the solve. *)
+    let vchk =
+      match guard with
+      | Some _ when executing -> (
+          match flat with
+          | Some (vp, _, _) -> Some (Fault.Checksum.of_planes vp.F.p)
+          | None -> Some (Fault.Checksum.of_scalars ~to_planes:K.to_planes v.M.a))
+      | _ -> None
+    in
+    let vchk_now () =
+      match flat with
+      | Some (vp, _, _) -> Fault.Checksum.of_planes vp.F.p
+      | None -> Fault.Checksum.of_scalars ~to_planes:K.to_planes v.M.a
+    in
+    (* Read back element [i] of the staged solution (flat) or the host
+       array (generic). *)
+    let x_at i =
+      match flat with
+      | Some (_, _, xp) ->
+          K.of_planes (Array.map (fun plane -> plane.(i)) xp.F.p)
+      | None -> x.(i)
+    in
+    let bd_at i =
+      match flat with
+      | Some (_, bdp, _) ->
+          K.of_planes (Array.map (fun plane -> plane.(i)) bdp.F.p)
+      | None -> bd.(i)
+    in
+    (* ABFT verification of one solved tile: the device result must match
+       a host recompute of U_i^{-1} b_i within a few limb-widths, every
+       limb must be finite, and on the flat path the raw limb expansions
+       must still satisfy the renorm invariant. *)
+    let tile_ok ~r0 =
+      let ok = ref true in
+      for r = 0 to n - 1 do
+        let s = ref K.zero in
+        for c = r to n - 1 do
+          s :=
+            K.add !s (K.mul (M.get v (r0 + r) (r0 + c)) (bd_at (r0 + c)))
+        done;
+        let xi = x_at (r0 + r) in
+        if not (K.is_finite xi) then ok := false
+        else begin
+          let diff = K.R.to_float (K.abs (K.sub xi !s)) in
+          let scale = Float.max (K.R.to_float (K.abs !s)) 1.0 in
+          if
+            Float.is_nan diff
+            || diff > 64.0 *. fn *. K.R.eps *. scale
+          then ok := false
+        end;
+        (match flat with
+        | Some (_, _, xp) ->
+            let limbs = Array.map (fun plane -> plane.(r0 + r)) xp.F.p in
+            if not (Fault.Detect.normalized limbs) then ok := false
+        | None -> ())
+      done;
+      !ok
+    in
+    let bd_finite_below ~r0 =
+      let ok = ref true in
+      (match flat with
+      | Some (_, bdp, _) ->
+          Array.iter
+            (fun plane ->
+              for i = 0 to r0 - 1 do
+                if not (Float.is_finite plane.(i)) then ok := false
+              done)
+            bdp.F.p
+      | None ->
+          for i = 0 to r0 - 1 do
+            if not (K.is_finite bd.(i)) then ok := false
+          done);
+      !ok
+    in
+    let check_cost =
+      let muls = fn *. (fn +. 1.0) /. 2.0 in
+      Cost.launch ~blocks:1 ~threads:n
+        ~cold_bytes:((muls +. (2.0 *. fn)) *. scalar_bytes)
+        ~thread_bytes:(muls *. scalar_bytes)
+        ~working_set:(muls *. scalar_bytes)
+        (ops ~adds:muls ~muls ())
+    in
+
     (* Stage 2: alternate multiplications with the inverses and updates of
        the remaining right-hand sides. *)
     for i = nt - 1 downto 0 do
@@ -135,17 +261,60 @@ module Make (K : Scalar.S) = struct
           ~thread_bytes:(muls *. scalar_bytes)
           ~working_set:(muls *. scalar_bytes) per
       in
-      Sim.launch sim ~stage:Stage.multiply_inverses ~cost:mul_cost (fun _ ->
-          match flat with
-          | Some (vp, bdp, xp) -> F.bs_xi_block ~dim ~r0 ~n vp bdp xp
-          | None ->
-            for r = 0 to n - 1 do
-              let s = ref K.zero in
-              for c = r to n - 1 do
-                s := K.add !s (K.mul (M.get v (r0 + r) (r0 + c)) bd.(r0 + c))
-              done;
-              x.(r0 + r) <- !s
-            done);
+      let solve_tile () =
+        Sim.launch sim ~stage:Stage.multiply_inverses ~cost:mul_cost (fun _ ->
+            match flat with
+            | Some (vp, bdp, xp) -> F.bs_xi_block ~dim ~r0 ~n vp bdp xp
+            | None ->
+              for r = 0 to n - 1 do
+                let s = ref K.zero in
+                for c = r to n - 1 do
+                  s := K.add !s (K.mul (M.get v (r0 + r) (r0 + c)) bd.(r0 + c))
+                done;
+                x.(r0 + r) <- !s
+              done)
+      in
+      (try solve_tile () with
+      | Fault.Plan.Injected (Fault.Plan.Launch_fail, _) when guard <> None ->
+          (* The failed launch never ran its body, so x is untouched:
+             one stage-level replay before giving up. *)
+          (match guard with
+          | Some plan -> Fault.Plan.note_replay plan ~stage:"bs.tile"
+          | None -> ());
+          solve_tile ());
+      (match guard with
+      | None -> ()
+      | Some plan ->
+          Sim.launch ~protected:true sim ~stage:Stage.abft_check
+            ~cost:check_cost (fun _ -> ());
+          if executing then begin
+            (* The tile solve only writes x_i, so a failed verdict can
+               replay the launch in place — unless U itself no longer
+               matches its checksum, which nothing below this level can
+               repair. *)
+            let rec settle replays =
+              if not (tile_ok ~r0) then begin
+                Fault.Plan.note_detected plan ~stage:"bs.tile";
+                let u_intact =
+                  match vchk with
+                  | Some chk -> Fault.Checksum.matches chk (vchk_now ())
+                  | None -> true
+                in
+                if (not u_intact) || replays >= Fault.Plan.max_replays plan
+                then begin
+                  Fault.Plan.note_escalation plan ~stage:"bs.tile";
+                  raise
+                    (Fault.Plan.Injected (Fault.Plan.Bitflip, "bs.tile"))
+                end
+                else begin
+                  Fault.Plan.note_replay plan ~stage:"bs.tile";
+                  solve_tile ();
+                  settle (replays + 1)
+                end
+              end
+            in
+            settle 0
+          end);
       (* b_j := b_j - A_{j,i} x_i for all j < i, i blocks of n threads,
          counted as i concurrent launches like the paper does. *)
       if i > 0 then begin
@@ -159,19 +328,71 @@ module Make (K : Scalar.S) = struct
             ~working_set:(((fn *. fn) +. (2.0 *. fn)) *. scalar_bytes)
             true_ops
         in
-        Sim.launch sim ~stage:Stage.back_substitution ~cost:upd_cost
-          (fun j ->
-            let rj = j * n in
-            match flat with
-            | Some (vp, bdp, xp) -> F.bs_update_block ~dim ~r0 ~rj ~n vp xp bdp
-            | None ->
-              for r = 0 to n - 1 do
-                let s = ref K.zero in
-                for c = 0 to n - 1 do
-                  s := K.add !s (K.mul (M.get v (rj + r) (r0 + c)) x.(r0 + c))
-                done;
-                bd.(rj + r) <- K.sub bd.(rj + r) !s
-              done)
+        let update () =
+          Sim.launch sim ~stage:Stage.back_substitution ~cost:upd_cost
+            (fun j ->
+              let rj = j * n in
+              match flat with
+              | Some (vp, bdp, xp) ->
+                  F.bs_update_block ~dim ~r0 ~rj ~n vp xp bdp
+              | None ->
+                for r = 0 to n - 1 do
+                  let s = ref K.zero in
+                  for c = 0 to n - 1 do
+                    s :=
+                      K.add !s (K.mul (M.get v (rj + r) (r0 + c)) x.(r0 + c))
+                  done;
+                  bd.(rj + r) <- K.sub bd.(rj + r) !s
+                done)
+        in
+        match guard with
+        | None -> update ()
+        | Some plan ->
+            (* The update subtracts in place, so replaying it needs the
+               pre-update prefix of b back first. *)
+            let snap =
+              if executing then
+                Some
+                  (match flat with
+                  | Some (_, bdp, _) ->
+                      `Planes (Array.map (fun pl -> Array.sub pl 0 r0) bdp.F.p)
+                  | None -> `Scalars (Array.sub bd 0 r0))
+              else None
+            in
+            let restore () =
+              match (snap, flat) with
+              | Some (`Planes saved), Some (_, bdp, _) ->
+                  Array.iteri
+                    (fun p pl -> Array.blit saved.(p) 0 pl 0 r0)
+                    bdp.F.p
+              | Some (`Scalars saved), None -> Array.blit saved 0 bd 0 r0
+              | _ -> ()
+            in
+            let rec settle replays =
+              update ();
+              if executing && not (bd_finite_below ~r0) then begin
+                Fault.Plan.note_detected plan ~stage:"bs.update";
+                if replays < Fault.Plan.max_replays plan then begin
+                  restore ();
+                  Fault.Plan.note_replay plan ~stage:"bs.update";
+                  settle (replays + 1)
+                end
+                else begin
+                  Fault.Plan.note_escalation plan ~stage:"bs.update";
+                  raise
+                    (Fault.Plan.Injected (Fault.Plan.Bitflip, "bs.update"))
+                end
+              end
+            in
+            (try settle 0 with
+            | Fault.Plan.Injected (Fault.Plan.Launch_fail, _)
+              when executing ->
+                (* An escalated launch failure left b untouched mid-way
+                   only on the failing relaunch path; restore and replay
+                   once at stage level before giving up for good. *)
+                restore ();
+                Fault.Plan.note_replay plan ~stage:"bs.update";
+                settle 0)
       end
     done;
     (match flat with
@@ -203,16 +424,17 @@ module Make (K : Scalar.S) = struct
       wall_gflops = Sim.wall_gflops sim;
       stages = List.map (Profile.row sim.Sim.profile) Stage.bs_stages;
       launches = Sim.launches sim;
+      faults = Sim.fault_tally sim;
     }
 
-  let run ?(execute = true) ~device ~u ~b ~tile () =
-    let sim = Sim.create ~execute ~device ~prec:K.prec () in
+  let run ?(execute = true) ?fault ~device ~u ~b ~tile () =
+    let sim = Sim.create ~execute ?fault ~device ~prec:K.prec () in
     let x = solve sim u b ~tile in
     result_of_sim sim x
 
   (* Timing-only run from the dimensions alone. *)
-  let run_plan ~device ~dim ~tile () =
-    let sim = Sim.create ~execute:false ~device ~prec:K.prec () in
+  let run_plan ?fault ~device ~dim ~tile () =
+    let sim = Sim.create ~execute:false ?fault ~device ~prec:K.prec () in
     plan sim ~dim ~tile;
     result_of_sim sim (V.create 0)
 

@@ -5,7 +5,14 @@
     block solves U v = e_k), stage 2 alternates multiplications with the
     inverses and simultaneous right-hand-side updates.  Replacing the
     final division by a multiplication with a precomputed inverse is what
-    exposes enough data parallelism; the launch count is 1 + N(N+1)/2. *)
+    exposes enough data parallelism; the launch count is 1 + N(N+1)/2.
+
+    Under an armed fault plan every solved tile is ABFT-verified against
+    a host recompute (plus finiteness and, on the flat path, raw-limb
+    renorm-invariant checks), the constant U planes are convicted by a
+    running checksum, and the in-place right-hand-side updates snapshot
+    their prefix so a detected corruption replays the launch; exhausted
+    budgets (or a corrupted U) escalate with [Fault.Plan.Injected]. *)
 
 module Make (K : Mdlinalg.Scalar.S) : sig
   type result = {
@@ -16,6 +23,7 @@ module Make (K : Mdlinalg.Scalar.S) : sig
     wall_gflops : float;
     stages : Gpusim.Profile.row list;  (** in {!Stage.bs_stages} order *)
     launches : int;
+    faults : Fault.Plan.tally option;  (** when the sim armed a plan *)
   }
 
   val solve :
@@ -33,6 +41,7 @@ module Make (K : Mdlinalg.Scalar.S) : sig
 
   val run :
     ?execute:bool ->
+    ?fault:Fault.Plan.config ->
     device:Gpusim.Device.t ->
     u:Mdlinalg.Mat.Make(K).t ->
     b:Mdlinalg.Vec.Make(K).t ->
@@ -42,6 +51,11 @@ module Make (K : Mdlinalg.Scalar.S) : sig
   (** One-call wrapper: fresh simulator, solve, collect the timings. *)
 
   val run_plan :
-    device:Gpusim.Device.t -> dim:int -> tile:int -> unit -> result
+    ?fault:Fault.Plan.config ->
+    device:Gpusim.Device.t ->
+    dim:int ->
+    tile:int ->
+    unit ->
+    result
   (** Timing-only run from the dimensions alone ([x] is empty). *)
 end

@@ -1,0 +1,65 @@
+(* Neumaier-compensated plain + index-weighted checksums.  Sequential,
+   fixed-order accumulation: same data => bit-identical digest. *)
+
+type t = {
+  sum : float;
+  comp : float;
+  wsum : float;
+  wcomp : float;
+  count : int;
+}
+
+type acc = {
+  mutable s : float;
+  mutable c : float;
+  mutable ws : float;
+  mutable wc : float;
+  mutable n : int;
+}
+
+let add acc x =
+  let s' = acc.s +. x in
+  acc.c <-
+    (acc.c
+    +. if Float.abs acc.s >= Float.abs x then acc.s -. s' +. x
+       else x -. s' +. acc.s);
+  acc.s <- s';
+  (* Weight by a small cycling factor so transposed/permuted values do
+     not cancel; weights are exact small integers, so the products are
+     exact scalings of x. *)
+  let w = float_of_int ((acc.n land 0x3ff) + 1) in
+  let wx = w *. x in
+  let ws' = acc.ws +. wx in
+  acc.wc <-
+    (acc.wc
+    +. if Float.abs acc.ws >= Float.abs wx then acc.ws -. ws' +. wx
+       else wx -. ws' +. acc.ws);
+  acc.ws <- ws';
+  acc.n <- acc.n + 1
+
+let finish acc =
+  { sum = acc.s; comp = acc.c; wsum = acc.ws; wcomp = acc.wc; count = acc.n }
+
+let fresh () = { s = 0.0; c = 0.0; ws = 0.0; wc = 0.0; n = 0 }
+
+let of_array a =
+  let acc = fresh () in
+  Array.iter (add acc) a;
+  finish acc
+
+let of_planes planes =
+  let acc = fresh () in
+  Array.iter (Array.iter (add acc)) planes;
+  finish acc
+
+let of_scalars ~to_planes xs =
+  let acc = fresh () in
+  Array.iter (fun x -> Array.iter (add acc) (to_planes x)) xs;
+  finish acc
+
+let bits = Int64.bits_of_float
+let feq a b = Int64.equal (bits a) (bits b)
+
+let matches a b =
+  a.count = b.count && feq a.sum b.sum && feq a.comp b.comp
+  && feq a.wsum b.wsum && feq a.wcomp b.wcomp

@@ -1,0 +1,31 @@
+(** Compensated dual checksums over limb data.
+
+    Two Neumaier-compensated sums — one plain, one index-weighted — over
+    a float sequence.  The accumulation order is fixed, so identical
+    data produces bit-identical digests and a single flipped mantissa
+    bit changes at least one of the four accumulator words: comparing
+    digests with {!matches} (exact, bit-level) detects corruption of
+    data that is supposed to be immutable, e.g. the staggered U planes
+    of back substitution after the diagonal tiles were inverted.  The
+    index weighting catches the swap/permutation cases a plain sum is
+    blind to. *)
+
+type t = {
+  sum : float;
+  comp : float;  (** Neumaier compensation term of [sum] *)
+  wsum : float;  (** index-weighted sum *)
+  wcomp : float;
+  count : int;
+}
+
+val of_array : float array -> t
+val of_planes : float array array -> t
+(** Planes concatenated in order; equivalent to checksumming the
+    flattened sequence. *)
+
+val of_scalars : to_planes:('a -> float array) -> 'a array -> t
+(** Digest of an array of multi-double scalars via their limb planes. *)
+
+val matches : t -> t -> bool
+(** Bit-exact comparison of all accumulator words (NaN-safe: compares
+    the IEEE bit patterns, not the float values). *)

@@ -1,0 +1,17 @@
+let finite a =
+  let n = Array.length a in
+  let rec go i = i >= n || (Float.is_finite a.(i) && go (i + 1)) in
+  go 0
+
+let finite_planes planes = Array.for_all finite planes
+
+let normalized ?(overlap = 0x1p-49) l =
+  let n = Array.length l in
+  let rec go i =
+    if i >= n - 1 then n = 0 || Float.is_finite l.(n - 1)
+    else if not (Float.is_finite l.(i)) then false
+    else if l.(i) = 0.0 then Array.for_all (fun x -> x = 0.0) (Array.sub l i (n - i))
+    else if Float.abs l.(i + 1) <= overlap *. Float.abs l.(i) then go (i + 1)
+    else false
+  in
+  go 0

@@ -1,0 +1,23 @@
+(** Cheap validators over raw limb data.
+
+    These are the invariants the fault detectors lean on: every limb is
+    finite, and a multi-double expansion is normalized — limbs in
+    decreasing magnitude with non-overlapping mantissas
+    ([|l(i+1)| <= 2^-51 * |l(i)|] with slack for the renormalizer's
+    one-bit overlap) and zeros only trailing.  They operate on raw
+    float arrays so the fault library stays independent of the linear
+    algebra layer; solvers assemble limb vectors from [K.to_planes] or
+    index the flat staggered planes directly. *)
+
+val finite : float array -> bool
+(** Every entry is finite (no NaN / infinity). *)
+
+val finite_planes : float array array -> bool
+
+val normalized : ?overlap:float -> float array -> bool
+(** The expansion (most-significant limb first) is normalized:
+    [|l(i+1)| <= overlap * |l(i)|] for every adjacent pair, and once a
+    limb is zero all following limbs are zero.  [overlap] defaults to
+    [2^-49], two bits of slack over the exact non-overlap bound so
+    legitimately renormalized data never trips the check.  Non-finite
+    limbs fail. *)

@@ -25,6 +25,8 @@ type t = {
   mutable transfer_ms : float;
   mutable host_ms : float;
   mutable peak_bytes : float; (* largest resident data set, for RAM model *)
+  fault : Fault.Plan.t option;
+  mutable corruptor : (Dompool.Prng.t -> string) option;
 }
 
 let m_launches =
@@ -36,7 +38,7 @@ let m_transfers =
 let m_kernel_ms =
   lazy (Obs.Metrics.histogram (Obs.Metrics.default ()) "sim.kernel_ms")
 
-let create ?(execute = true) ?pool ~device ~prec () =
+let create ?(execute = true) ?pool ?fault ?(fault_salt = 0) ~device ~prec () =
   let pool =
     match pool with Some p -> p | None -> Dompool.Domain_pool.get_default ()
   in
@@ -49,7 +51,13 @@ let create ?(execute = true) ?pool ~device ~prec () =
     transfer_ms = 0.0;
     host_ms = 0.0;
     peak_bytes = 0.0;
+    fault = Option.map (fun cfg -> Fault.Plan.arm ~salt:fault_salt cfg) fault;
+    corruptor = None;
   }
+
+let fault_plan t = t.fault
+let fault_tally t = Option.map Fault.Plan.snapshot t.fault
+let set_corruptor t c = t.corruptor <- c
 
 let reset t =
   Hashtbl.reset t.profile.Profile.table;
@@ -95,29 +103,75 @@ let traced t ~stage ~(cost : Cost.launch) ~ms run =
     Obs.Tracer.counter "sim.device_ms" (Profile.total_ms t.profile)
   end
 
+(* Fault envelope around one kernel launch.  Drawn once per issued
+   launch from the plan's injection stream (the driver issues launches
+   sequentially, so the stream — and with it the whole campaign — is
+   deterministic).  A [Launch_fail] costs a relaunch (the cost model is
+   charged again) up to the plan's relaunch budget, then escalates; a
+   [Bitflip] lets the kernel run and then corrupts live data through the
+   registered corruptor. *)
+let run_faulted t plan ~stage ~cost run =
+  let rec attempt relaunches =
+    let can_corrupt = t.execute && t.corruptor <> None in
+    match Fault.Plan.draw_launch plan ~can_corrupt with
+    | None | Some Fault.Plan.Transfer_corrupt -> run ()
+    | Some Fault.Plan.Launch_fail ->
+        Fault.Plan.note_launch_fail plan ~stage;
+        if relaunches < Fault.Plan.max_relaunches plan then begin
+          ignore (account t ~stage ~cost : float);
+          Fault.Plan.note_relaunch plan ~stage;
+          attempt (relaunches + 1)
+        end
+        else begin
+          Fault.Plan.note_escalation plan ~stage;
+          raise (Fault.Plan.Injected (Fault.Plan.Launch_fail, stage))
+        end
+    | Some Fault.Plan.Bitflip ->
+        run ();
+        Fault.Plan.note_bitflip plan ~stage;
+        (match t.corruptor with
+        | Some flip when t.execute ->
+            let what = flip (Fault.Plan.aux_rng plan) in
+            Fault.Plan.note_corruption plan ~stage ~what
+        | _ -> ())
+  in
+  attempt 0
+
+let with_faults t ~protected ~stage ~cost run =
+  match t.fault with
+  | Some plan when not protected -> run_faulted t plan ~stage ~cost run
+  | _ -> run ()
+
 (* [launch t ~stage ~cost body] accounts one kernel under [stage] and, when
-   executing, runs [body block] for every block of the grid in parallel. *)
-let launch t ~stage ~cost body =
+   executing, runs [body block] for every block of the grid in parallel.
+   [protected] launches (the solvers' ABFT check kernels) are exempt from
+   fault injection. *)
+let launch ?(protected = false) t ~stage ~cost body =
   let ms = account t ~stage ~cost in
   traced t ~stage ~cost ~ms (fun () ->
-      if t.execute then
-        if cost.Cost.blocks = 1 then body 0
-        else
-          Dompool.Domain_pool.parallel_for ~chunk:1 t.pool 0 cost.Cost.blocks
-            body)
+      with_faults t ~protected ~stage ~cost (fun () ->
+          if t.execute then
+            if cost.Cost.blocks = 1 then body 0
+            else
+              Dompool.Domain_pool.parallel_for ~chunk:1 t.pool 0
+                cost.Cost.blocks body))
 
 (* [launch_seq] is [launch] for bodies that must see blocks in order
    (e.g. when later blocks read results of earlier ones within one launch
    would be a race; the simulator then serializes, the cost is unchanged). *)
-let launch_seq t ~stage ~cost body =
+let launch_seq ?(protected = false) t ~stage ~cost body =
   let ms = account t ~stage ~cost in
   traced t ~stage ~cost ~ms (fun () ->
-      if t.execute then
-        for b = 0 to cost.Cost.blocks - 1 do
-          body b
-        done)
+      with_faults t ~protected ~stage ~cost (fun () ->
+          if t.execute then
+            for b = 0 to cost.Cost.blocks - 1 do
+              body b
+            done))
 
-(* Host <-> device staging of [bytes]; shows up in wall clock only. *)
+(* Host <-> device staging of [bytes]; shows up in wall clock only.
+   Transfer corruption is always caught (staged planes carry checksums
+   verified at unpack), so the fault path retransfers — charging the
+   transfer time again — up to the relaunch budget, then escalates. *)
 let transfer t bytes =
   t.peak_bytes <- Float.max t.peak_bytes bytes;
   let ms = Cost.transfer_ms t.device bytes in
@@ -127,7 +181,27 @@ let transfer t bytes =
     Obs.Tracer.instant ~cat:"transfer"
       ~args:
         [ ("bytes", Obs.Tracer.Float bytes); ("device_ms", Obs.Tracer.Float ms) ]
-      "transfer"
+      "transfer";
+  match t.fault with
+  | None -> ()
+  | Some plan ->
+      let rec settle retransfers =
+        match Fault.Plan.draw_transfer plan with
+        | None -> ()
+        | Some _ ->
+            Fault.Plan.note_transfer_fault plan;
+            if retransfers < Fault.Plan.max_relaunches plan then begin
+              t.transfer_ms <- t.transfer_ms +. ms;
+              Fault.Plan.note_retransfer plan;
+              settle (retransfers + 1)
+            end
+            else begin
+              Fault.Plan.note_escalation plan ~stage:"transfer";
+              raise
+                (Fault.Plan.Injected (Fault.Plan.Transfer_corrupt, "transfer"))
+            end
+      in
+      settle 0
 
 let kernel_ms t = Profile.total_ms t.profile
 

@@ -12,7 +12,17 @@
     samples the simulated device clock onto a counter track; transfers
     emit instant events.  The process-wide [Obs.Metrics] registry always
     tallies ["sim.launches"], ["sim.transfers"] and the ["sim.kernel_ms"]
-    histogram. *)
+    histogram.
+
+    Fault injection: arming a [Fault.Plan.config] at {!create} makes the
+    simulator draw one potential fault per launch and per transfer from
+    the plan's seeded stream.  Launch failures cost a relaunch (the cost
+    model is charged again) up to the plan's budget, then escalate by
+    raising [Fault.Plan.Injected]; transfer corruption retransfers the
+    same way; bit-flips run the kernel and then corrupt live data
+    through the {!set_corruptor} hook, to be caught (or not) by the
+    solvers' detectors.  An unarmed simulator takes none of these paths
+    — zero overhead when faults are disabled. *)
 
 type t = {
   device : Device.t;
@@ -23,26 +33,53 @@ type t = {
   mutable transfer_ms : float;
   mutable host_ms : float;
   mutable peak_bytes : float;
+  fault : Fault.Plan.t option;
+  mutable corruptor : (Dompool.Prng.t -> string) option;
 }
 
 val create :
   ?execute:bool ->
   ?pool:Dompool.Domain_pool.t ->
+  ?fault:Fault.Plan.config ->
+  ?fault_salt:int ->
   device:Device.t ->
   prec:Multidouble.Precision.tag ->
   unit ->
   t
+(** [fault] arms fault injection on this simulator; [fault_salt]
+    decorrelates the fault streams of several simulators sharing one
+    campaign seed (e.g. the QR and back-substitution sims of a solve). *)
+
+val fault_plan : t -> Fault.Plan.t option
+val fault_tally : t -> Fault.Plan.tally option
+
+val set_corruptor : t -> (Dompool.Prng.t -> string) option -> unit
+(** Registers the solver-side bit-flip hook: called after a launch the
+    plan marked [Bitflip] (executing sims only), it should corrupt one
+    limb of the live data and return a description for the trace. *)
 
 val reset : t -> unit
 (** Clears the profile, transfers and host-side accounting. *)
 
-val launch : t -> stage:string -> cost:Cost.launch -> (int -> unit) -> unit
+val launch :
+  ?protected:bool ->
+  t ->
+  stage:string ->
+  cost:Cost.launch ->
+  (int -> unit) ->
+  unit
 (** [launch t ~stage ~cost body] accounts one kernel under [stage] and,
     when executing, runs [body block] for every block of the grid, blocks
-    in parallel on the pool. *)
+    in parallel on the pool.  [protected] launches (ABFT check kernels)
+    are exempt from fault injection. *)
 
 val launch_seq :
-  t -> stage:string -> cost:Cost.launch -> (int -> unit) -> unit
+  ?protected:bool ->
+  t ->
+  stage:string ->
+  cost:Cost.launch ->
+  (int -> unit) ->
+  unit
 (** [launch] with the blocks run in increasing order on the calling
     domain (for bodies whose blocks must not race); same cost. *)
 

@@ -31,6 +31,36 @@ end
 
 type residual = { what : string; residual : float; eps : float; ok : bool }
 
+(* The fault story of one run: the injection/detection/recovery tally of
+   the armed plan plus whether the refinement fallback had to repair the
+   solution.  Absent on fault-free runs, so their reports are unchanged. *)
+type faults = {
+  bitflips : int;
+  launch_fails : int;
+  transfer_faults : int;
+  detected : int;
+  relaunches : int;
+  retransfers : int;
+  replays : int;
+  escalations : int;
+  refined : bool;
+}
+
+let faults_of_tally ?(refined = false) (tl : Fault.Plan.tally) =
+  {
+    bitflips = tl.Fault.Plan.bitflips;
+    launch_fails = tl.Fault.Plan.launch_fails;
+    transfer_faults = tl.Fault.Plan.transfer_faults;
+    detected = tl.Fault.Plan.detected;
+    relaunches = tl.Fault.Plan.relaunches;
+    retransfers = tl.Fault.Plan.retransfers;
+    replays = tl.Fault.Plan.replays;
+    escalations = tl.Fault.Plan.escalations;
+    refined;
+  }
+
+let faults_injected f = f.bitflips + f.launch_fails + f.transfer_faults
+
 type t = {
   label : string;
   stages : Row.t list;
@@ -42,11 +72,12 @@ type t = {
   launches : int;
   residual : residual option;
   metrics : Obs.Metrics.snapshot option;
+  faults : faults option;
 }
 
 (* v2: stage rows carry launches and operation tallies, and a report can
-   embed a metrics snapshot. *)
-let schema_version = 2
+   embed a metrics snapshot.  v3: optional per-run fault tally. *)
+let schema_version = 3
 
 let part t name = List.find (fun p -> p.Part.name = name) t.parts
 
@@ -118,6 +149,33 @@ let residual_of_json j =
     ok = Json.(get_bool (member "ok" j));
   }
 
+let json_of_faults f =
+  Json.Obj
+    [
+      ("bitflips", Json.Int f.bitflips);
+      ("launch_fails", Json.Int f.launch_fails);
+      ("transfer_faults", Json.Int f.transfer_faults);
+      ("detected", Json.Int f.detected);
+      ("relaunches", Json.Int f.relaunches);
+      ("retransfers", Json.Int f.retransfers);
+      ("replays", Json.Int f.replays);
+      ("escalations", Json.Int f.escalations);
+      ("refined", Json.Bool f.refined);
+    ]
+
+let faults_of_json j =
+  {
+    bitflips = Json.(get_int (member "bitflips" j));
+    launch_fails = Json.(get_int (member "launch_fails" j));
+    transfer_faults = Json.(get_int (member "transfer_faults" j));
+    detected = Json.(get_int (member "detected" j));
+    relaunches = Json.(get_int (member "relaunches" j));
+    retransfers = Json.(get_int (member "retransfers" j));
+    replays = Json.(get_int (member "replays" j));
+    escalations = Json.(get_int (member "escalations" j));
+    refined = Json.(get_bool (member "refined" j));
+  }
+
 let to_json t =
   Json.Obj
     [
@@ -137,6 +195,8 @@ let to_json t =
         match t.metrics with
         | Some m -> Obs_io.json_of_metrics m
         | None -> Json.Null );
+      ( "faults",
+        match t.faults with Some f -> json_of_faults f | None -> Json.Null );
     ]
 
 let of_json j =
@@ -157,6 +217,7 @@ let of_json j =
     launches = Json.(get_int (member "launches" j));
     residual = Json.to_option residual_of_json (Json.member "residual" j);
     metrics = Json.to_option Obs_io.metrics_of_json (Json.member "metrics" j);
+    faults = Json.to_option faults_of_json (Json.member "faults" j);
   }
 
 let to_json_string t = Json.to_string (to_json t)

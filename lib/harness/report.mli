@@ -47,6 +47,26 @@ type residual = {
   ok : bool;
 }
 
+(** The fault story of one run under an armed [Fault.Plan]: injection,
+    detection and recovery counts, plus whether the refinement fallback
+    had to repair the solution.  Absent ([None]) on fault-free runs —
+    their reports are byte-identical to schema-2-era output modulo the
+    version stamp. *)
+type faults = {
+  bitflips : int;
+  launch_fails : int;
+  transfer_faults : int;
+  detected : int;
+  relaunches : int;
+  retransfers : int;
+  replays : int;
+  escalations : int;
+  refined : bool;
+}
+
+val faults_of_tally : ?refined:bool -> Fault.Plan.tally -> faults
+val faults_injected : faults -> int
+
 type t = {
   label : string;  (** what ran: experiment, precision, device, shape *)
   stages : Row.t list;  (** per-stage kernel breakdown *)
@@ -59,6 +79,7 @@ type t = {
   residual : residual option;
   metrics : Obs.Metrics.snapshot option;
       (** attached by metered runs; [None] otherwise *)
+  faults : faults option;  (** attached by fault-armed runs *)
 }
 
 val schema_version : int

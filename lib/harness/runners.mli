@@ -13,15 +13,18 @@ val scalar_of :
 val qr :
   ?complex:bool ->
   ?rows:int ->
+  ?fault:Fault.Plan.config ->
   Multidouble.Precision.tag ->
   Gpusim.Device.t ->
   n:int ->
   tile:int ->
   Report.t
-(** Blocked Householder QR (Algorithm 2), cost accounting only. *)
+(** Blocked Householder QR (Algorithm 2), cost accounting only.  An
+    armed [?fault] plan attaches the fault tally to the report. *)
 
 val bs :
   ?complex:bool ->
+  ?fault:Fault.Plan.config ->
   Multidouble.Precision.tag ->
   Gpusim.Device.t ->
   dim:int ->
@@ -37,6 +40,7 @@ val bs_part : string
 
 val solve :
   ?complex:bool ->
+  ?fault:Fault.Plan.config ->
   Multidouble.Precision.tag ->
   Gpusim.Device.t ->
   n:int ->
@@ -45,6 +49,23 @@ val solve :
 (** The least squares solver (QR then back substitution), cost
     accounting only; the two phases appear as the {!qr_part} and
     {!bs_part} parts of the report. *)
+
+val solve_ft :
+  ?complex:bool ->
+  ?fault:Fault.Plan.config ->
+  Multidouble.Precision.tag ->
+  Gpusim.Device.t ->
+  n:int ->
+  tile:int ->
+  Report.t
+(** Numerically executed fault-tolerant solve on a seeded random
+    system: the top rung of the recovery ladder.  Escalations from the
+    solver ([Fault.Plan.Injected]) replay the whole solve under a
+    decorrelated seed; an escaped corruption caught by the final
+    forward-error check triggers a fault-free mixed-precision
+    refinement pass at the next precision up the D/DD/QD/OD ladder
+    (flagged [refined] in the report's fault record).  Never raises;
+    [residual.ok] carries the final verdict. *)
 
 val qr_roofline :
   ?complex:bool ->
@@ -78,6 +99,7 @@ val solve_roofline :
 
 val verify_qr :
   ?complex:bool ->
+  ?fault:Fault.Plan.config ->
   Multidouble.Precision.tag ->
   Gpusim.Device.t ->
   n:int ->
@@ -86,6 +108,7 @@ val verify_qr :
 
 val verify_solve :
   ?complex:bool ->
+  ?fault:Fault.Plan.config ->
   Multidouble.Precision.tag ->
   Gpusim.Device.t ->
   n:int ->
@@ -94,6 +117,7 @@ val verify_solve :
 
 val verify_bs :
   ?complex:bool ->
+  ?fault:Fault.Plan.config ->
   Multidouble.Precision.tag ->
   Gpusim.Device.t ->
   dim:int ->

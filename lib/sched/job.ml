@@ -19,11 +19,15 @@ type t = {
   timeout_ms : float option;
   retries : int;
   inject_failures : int;
+  fault_rate : float;
+  fault_seed : int;
+  fault_kinds : Fault.Plan.kind list;
 }
 
 let make ?(complex = false) ?rows ?(execute = false) ?timeout_ms
-    ?(retries = 1) ?(inject_failures = 0) ~id ~kind ~device ~prec ~dim ~tile
-    () =
+    ?(retries = 1) ?(inject_failures = 0) ?(fault_rate = 0.0)
+    ?(fault_seed = 1) ?(fault_kinds = Fault.Plan.all_kinds) ~id ~kind ~device
+    ~prec ~dim ~tile () =
   {
     id;
     kind;
@@ -37,7 +41,20 @@ let make ?(complex = false) ?rows ?(execute = false) ?timeout_ms
     timeout_ms;
     retries;
     inject_failures;
+    fault_rate;
+    fault_seed;
+    fault_kinds;
   }
+
+(* The armed fault plan of the job, or [None] for the (default)
+   fault-free run — keeping the zero-rate path bit-identical to a build
+   without the fault plane. *)
+let fault_config t =
+  if t.fault_rate > 0.0 then
+    Some
+      (Fault.Plan.config ~kinds:t.fault_kinds ~seed:t.fault_seed
+         ~rate:t.fault_rate ())
+  else None
 
 let string_of_kind = function
   | Qr -> "qr"
@@ -66,8 +83,15 @@ let validate t =
   else if t.inject_failures < 0 then
     err "job '%s': negative inject_failures" t.id
   else if
-    match t.timeout_ms with Some ms -> ms <= 0.0 | None -> false
-  then err "job '%s': timeout must be positive" t.id
+    (* [not (ms > 0)] rather than [ms <= 0] so NaN is rejected too. *)
+    match t.timeout_ms with Some ms -> not (ms > 0.0) | None -> false
+  then err "job '%s': timeout must be a positive number" t.id
+  else if Float.is_nan t.fault_rate then
+    err "job '%s': fault rate must not be NaN" t.id
+  else if t.fault_rate < 0.0 || t.fault_rate > 1.0 then
+    err "job '%s': fault rate %g outside [0, 1]" t.id t.fault_rate
+  else if t.fault_rate > 0.0 && t.fault_kinds = [] then
+    err "job '%s': fault rate %g with no fault kinds armed" t.id t.fault_rate
   else
     match Gpusim.Device.by_name t.device with
     | (_ : Gpusim.Device.t) -> Ok ()
@@ -89,9 +113,21 @@ let to_json t =
       | Some ms -> [ ("timeout_ms", Json.Float ms) ]
       | None -> [])
     @ [ ("retries", Json.Int t.retries) ]
+    @ (if t.inject_failures > 0 then
+         [ ("inject_failures", Json.Int t.inject_failures) ]
+       else [])
     @
-    if t.inject_failures > 0 then
-      [ ("inject_failures", Json.Int t.inject_failures) ]
+    (* Fault-free jobs serialize exactly as before the fault plane. *)
+    if t.fault_rate > 0.0 then
+      [
+        ("fault_rate", Json.Float t.fault_rate);
+        ("fault_seed", Json.Int t.fault_seed);
+        ( "fault_kinds",
+          Json.Arr
+            (List.map
+               (fun k -> Json.Str (Fault.Plan.kind_name k))
+               t.fault_kinds) );
+      ]
     else [])
 
 let of_json j =
@@ -119,6 +155,17 @@ let of_json j =
     timeout_ms = opt Json.get_float "timeout_ms";
     retries = default 1 (opt Json.get_int "retries");
     inject_failures = default 0 (opt Json.get_int "inject_failures");
+    fault_rate = default 0.0 (opt Json.get_float "fault_rate");
+    fault_seed = default 1 (opt Json.get_int "fault_seed");
+    fault_kinds =
+      (match opt Json.get_list "fault_kinds" with
+      | None -> Fault.Plan.all_kinds
+      | Some ks ->
+        List.map
+          (fun k ->
+            try Fault.Plan.kind_of_string (Json.get_string k)
+            with Invalid_argument m -> raise (Json.Error m))
+          ks);
   }
 
 let load_file path =

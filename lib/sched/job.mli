@@ -29,6 +29,12 @@ type t = {
   inject_failures : int;
       (** testing hook: this many leading attempts fail artificially
           ("injected failure"), exercising retry and degradation paths *)
+  fault_rate : float;
+      (** per-launch strike probability of the simulator's fault plane;
+          0 (the default) leaves the plane disarmed and the job
+          bit-identical to a fault-free build *)
+  fault_seed : int;  (** campaign seed; same seed + job => same faults *)
+  fault_kinds : Fault.Plan.kind list;  (** armed kinds (default: all) *)
 }
 
 val make :
@@ -38,6 +44,9 @@ val make :
   ?timeout_ms:float ->
   ?retries:int ->
   ?inject_failures:int ->
+  ?fault_rate:float ->
+  ?fault_seed:int ->
+  ?fault_kinds:Fault.Plan.kind list ->
   id:string ->
   kind:kind ->
   device:string ->
@@ -47,7 +56,11 @@ val make :
   unit ->
   t
 (** Defaults: real data, square, plan only, no timeout, [retries = 1],
-    no injected failures. *)
+    no injected failures, fault plane disarmed. *)
+
+val fault_config : t -> Fault.Plan.config option
+(** The armed fault plan of the job ([None] when [fault_rate] is 0).
+    Validate first: an out-of-range rate raises [Invalid_argument]. *)
 
 val string_of_kind : kind -> string
 val kind_of_string : string -> kind
@@ -56,14 +69,16 @@ val kind_of_string : string -> kind
 val validate : t -> (unit, string) result
 (** Checks the job is runnable before any attempt is made: known device,
     positive dimensions, tile dividing the dimension, sane retry and
-    timeout bounds.  A failing validation is permanent — the scheduler
-    records the error without retrying. *)
+    timeout bounds (NaN timeouts rejected), fault rate inside [0, 1]
+    with at least one kind armed.  A failing validation is permanent —
+    the scheduler records the error without retrying. *)
 
 val to_json : t -> Harness.Json.t
 val of_json : Harness.Json.t -> t
 (** Raises [Harness.Json.Error] on malformed documents.  Optional fields
     ([complex], [rows], [execute], [timeout_ms], [retries],
-    [inject_failures]) take the {!make} defaults when absent. *)
+    [inject_failures], [fault_rate], [fault_seed], [fault_kinds]) take
+    the {!make} defaults when absent. *)
 
 val load_file : string -> t list
 (** Reads a jobs file: a JSON array of job objects, or one job object

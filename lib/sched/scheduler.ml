@@ -8,7 +8,7 @@ module Report = Harness.Report
 module R = Harness.Runners
 module Pool = Dompool.Domain_pool
 
-type failure = { message : string; timed_out : bool }
+type failure = { message : string; timed_out : bool; retryable : bool }
 
 type status = Completed of Report.t | Failed of failure
 
@@ -28,10 +28,21 @@ type outcome = {
   status : status;
 }
 
-(* v2: outcomes carry per-attempt timing. *)
-let schema_version = 2
+(* v3: failures carry the retryable classification (v2 added per-attempt
+   timing). *)
+let schema_version = 3
 
 exception Injected_failure
+
+(* Only transient faults are worth another attempt: the testing hook and
+   escaped injected faults from the simulator's fault plane.  Everything
+   else — validation errors, bad arguments, deterministic numeric
+   failures — would fail identically again, so it settles immediately
+   without burning retries or backoff sleeps. *)
+let classify = function
+  | Injected_failure -> ("injected failure", true)
+  | Fault.Plan.Injected _ as e -> (Printexc.to_string e, true)
+  | e -> (Printexc.to_string e, false)
 
 let now_ms () = Unix.gettimeofday () *. 1000.0
 
@@ -48,25 +59,39 @@ let m_job_ms =
   lazy (Obs.Metrics.histogram (Obs.Metrics.default ()) "sched.job_ms")
 
 (* One synchronous run of the job proper: plan (or, with [execute], plan
-   plus a numeric verification whose residual lands in the report). *)
+   plus a numeric verification whose residual lands in the report).  An
+   armed fault plan is threaded into the simulators; executed solve jobs
+   switch to the fault-tolerant runner, whose report already carries the
+   residual, the fault tally and the refinement flag. *)
 let run_job (job : Job.t) =
   let device = Gpusim.Device.by_name job.Job.device in
   let complex = job.Job.complex in
   let prec = job.Job.prec in
   let dim = job.Job.dim and tile = job.Job.tile in
-  let base =
-    match job.Job.kind with
-    | Job.Qr -> R.qr ~complex ?rows:job.Job.rows prec device ~n:dim ~tile
-    | Job.Backsub -> R.bs ~complex prec device ~dim ~tile
-    | Job.Solve -> R.solve ~complex prec device ~n:dim ~tile
-  in
-  if not job.Job.execute then base
-  else
+  let fault = Job.fault_config job in
+  match (job.Job.execute, job.Job.kind, fault) with
+  | true, Job.Solve, Some _ ->
+    R.solve_ft ~complex ?fault prec device ~n:dim ~tile
+  | false, _, _ ->
+    (match job.Job.kind with
+    | Job.Qr -> R.qr ~complex ?rows:job.Job.rows ?fault prec device ~n:dim ~tile
+    | Job.Backsub -> R.bs ~complex ?fault prec device ~dim ~tile
+    | Job.Solve -> R.solve ~complex ?fault prec device ~n:dim ~tile)
+  | true, _, _ ->
+    (* Plan for the cost figures, verify (under the fault plan, if any)
+       for the residual; an escalation out of the verification run is a
+       retryable failure for [settle]. *)
+    let base =
+      match job.Job.kind with
+      | Job.Qr -> R.qr ~complex ?rows:job.Job.rows prec device ~n:dim ~tile
+      | Job.Backsub -> R.bs ~complex prec device ~dim ~tile
+      | Job.Solve -> R.solve ~complex prec device ~n:dim ~tile
+    in
     let residual =
       match job.Job.kind with
-      | Job.Qr -> R.verify_qr ~complex prec device ~n:dim ~tile
-      | Job.Backsub -> R.verify_bs ~complex prec device ~dim ~tile
-      | Job.Solve -> R.verify_solve ~complex prec device ~n:dim ~tile
+      | Job.Qr -> R.verify_qr ~complex ?fault prec device ~n:dim ~tile
+      | Job.Backsub -> R.verify_bs ~complex ?fault prec device ~dim ~tile
+      | Job.Solve -> R.verify_solve ~complex ?fault prec device ~n:dim ~tile
     in
     { base with Report.residual = Some residual }
 
@@ -93,7 +118,7 @@ let settle ~backoff_ms ~queued_at (job : Job.t) =
     Obs.Tracer.instant ~cat:"sched"
       ~args:[ ("job", Obs.Tracer.Str job.Job.id) ]
       "timeout";
-    Failed { message; timed_out = true }
+    Failed { message; timed_out = true; retryable = false }
   in
   let deadline =
     match job.Job.timeout_ms with
@@ -101,7 +126,8 @@ let settle ~backoff_ms ~queued_at (job : Job.t) =
     | None -> Float.infinity
   in
   match Job.validate job with
-  | Error message -> finish 0 (Failed { message; timed_out = false })
+  | Error message ->
+    finish 0 (Failed { message; timed_out = false; retryable = false })
   | Ok () ->
     let max_attempts = 1 + job.Job.retries in
     let rec go attempt =
@@ -126,9 +152,7 @@ let settle ~backoff_ms ~queued_at (job : Job.t) =
                   if attempt <= job.Job.inject_failures then
                     raise Injected_failure
                   else Ok (run_job job)
-                with
-                | Injected_failure -> Error "injected failure"
-                | e -> Error (Printexc.to_string e)
+                with e -> Error (classify e)
               in
               attempt_times := (now_ms () -. t0) :: !attempt_times;
               r)
@@ -143,8 +167,8 @@ let settle ~backoff_ms ~queued_at (job : Job.t) =
                      discarded)"
                     attempt))
           else finish attempt (Completed report)
-        | Error message ->
-          if attempt < max_attempts then begin
+        | Error (message, retryable) ->
+          if retryable && attempt < max_attempts then begin
             let pause =
               backoff_ms *. Float.of_int (1 lsl (attempt - 1)) /. 1000.0
             in
@@ -157,7 +181,10 @@ let settle ~backoff_ms ~queued_at (job : Job.t) =
             end;
             go (attempt + 1)
           end
-          else finish max_attempts (Failed { message; timed_out = false })
+          else
+            (* Permanent failures settle on the spot: a deterministic
+               error would only fail the same way again. *)
+            finish attempt (Failed { message; timed_out = false; retryable })
     in
     go 1
 
@@ -261,6 +288,7 @@ let outcome_to_json o =
             [
               ("message", Json.Str f.message);
               ("timed_out", Json.Bool f.timed_out);
+              ("retryable", Json.Bool f.retryable);
             ] );
       ])
 
@@ -280,6 +308,7 @@ let outcome_of_json j =
         {
           message = Json.get_string (Json.member "message" e);
           timed_out = Json.get_bool (Json.member "timed_out" e);
+          retryable = Json.get_bool (Json.member "retryable" e);
         }
     | s -> raise (Json.Error (Printf.sprintf "unknown status '%s'" s))
   in

@@ -17,13 +17,18 @@
 type failure = {
   message : string;
   timed_out : bool;  (** the job exhausted its [timeout_ms] budget *)
+  retryable : bool;
+      (** how the error was classified: transient faults (the injection
+          hook, escaped {!Fault.Plan.Injected} escalations) retry with
+          backoff; validation errors and deterministic failures settle
+          on the first attempt without burning retries *)
 }
 
 type status =
   | Completed of Harness.Report.t
   | Failed of failure
 
-(** Where one job's wall clock went (schema 2). *)
+(** Where one job's wall clock went. *)
 type timing = {
   queue_wait_ms : float;
       (** from batch submission to a worker claiming the job *)
@@ -50,7 +55,12 @@ val run_job : Job.t -> Harness.Report.t
 (** Runs one job synchronously (no retry, timeout or failure injection):
     dispatches on the kind, and when [job.execute] is set additionally
     executes the kernels numerically and attaches the residual record.
-    Raises whatever the runner raises. *)
+    A positive [fault_rate] arms the simulator fault plane
+    ({!Job.fault_config}); executed solve jobs then run through
+    {!Harness.Runners.solve_ft}, whose report carries the fault tally
+    and refinement flag.  Raises whatever the runner raises — including
+    [Fault.Plan.Injected] on an escalated fault, which {!run_batch}
+    classifies as retryable. *)
 
 val run_batch :
   ?pool:Dompool.Domain_pool.t ->

@@ -1,0 +1,545 @@
+(* Tests for the fault-injection plane: plan configs and seeded draw
+   streams, checksum and validator detectors, simulator-level
+   retransfer/escalation, executed recovery through the runners, and
+   the scheduler's retryable-vs-permanent failure classification. *)
+
+module P = Multidouble.Precision
+module Plan = Fault.Plan
+module Checksum = Fault.Checksum
+module Detect = Fault.Detect
+module Sim = Gpusim.Sim
+module Device = Gpusim.Device
+module R = Harness.Runners
+module Report = Harness.Report
+module Json = Harness.Json
+module Job = Sched.Job
+module S = Sched.Scheduler
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let device = Device.v100
+
+(* ---- plan configs ---- *)
+
+let rejects what f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s accepted" what
+
+let test_config_validation () =
+  rejects "NaN rate" (fun () -> Plan.config ~seed:1 ~rate:Float.nan ());
+  rejects "negative rate" (fun () -> Plan.config ~seed:1 ~rate:(-0.1) ());
+  rejects "rate above one" (fun () -> Plan.config ~seed:1 ~rate:1.5 ());
+  rejects "empty kinds" (fun () ->
+      Plan.config ~kinds:[] ~seed:1 ~rate:0.5 ());
+  rejects "negative relaunch budget" (fun () ->
+      Plan.config ~max_relaunches:(-1) ~seed:1 ~rate:0.5 ());
+  rejects "negative replay budget" (fun () ->
+      Plan.config ~max_replays:(-1) ~seed:1 ~rate:0.5 ());
+  let c = Plan.config ~seed:7 ~rate:0.25 () in
+  check "defaults: all kinds armed" true (c.Plan.kinds = Plan.all_kinds);
+  checki "defaults: two relaunches" 2 c.Plan.max_relaunches;
+  checki "defaults: two replays" 2 c.Plan.max_replays;
+  (* The boundary rates are legal: 0 is an armed-but-silent plan. *)
+  ignore (Plan.config ~seed:1 ~rate:0.0 ());
+  ignore (Plan.config ~seed:1 ~rate:1.0 ())
+
+let test_kind_names () =
+  List.iter
+    (fun k ->
+      check
+        ("round-trip " ^ Plan.kind_name k)
+        true
+        (Plan.kind_of_string (Plan.kind_name k) = k))
+    Plan.all_kinds;
+  check "bit-flip alias" true (Plan.kind_of_string "bit-flip" = Plan.Bitflip);
+  check "launch-fail alias" true
+    (Plan.kind_of_string "launch-fail" = Plan.Launch_fail);
+  check "corrupt alias" true
+    (Plan.kind_of_string "corrupt" = Plan.Transfer_corrupt);
+  check "case and padding tolerated" true
+    (Plan.kind_of_string " Flip " = Plan.Bitflip);
+  rejects "unknown kind" (fun () -> Plan.kind_of_string "gamma-ray")
+
+let draw_sequence ?salt cfg n =
+  let p = Plan.arm ?salt cfg in
+  List.init n (fun i -> Plan.draw_launch p ~can_corrupt:(i mod 2 = 0))
+
+let test_draw_determinism () =
+  let cfg = Plan.config ~seed:42 ~rate:0.5 () in
+  check "same seed, same strikes" true
+    (draw_sequence cfg 200 = draw_sequence cfg 200);
+  check "salt decorrelates the stream" true
+    (draw_sequence cfg 200 <> draw_sequence ~salt:1 cfg 200);
+  check "different seeds differ" true
+    (draw_sequence cfg 200
+    <> draw_sequence (Plan.config ~seed:43 ~rate:0.5 ()) 200);
+  (* Rate 0 never strikes; rate 1 with one armed kind always does. *)
+  let silent = Plan.arm (Plan.config ~seed:3 ~rate:0.0 ()) in
+  check "rate 0 never strikes" true
+    (List.for_all
+       (fun o -> o = None)
+       (List.init 100 (fun _ -> Plan.draw_launch silent ~can_corrupt:true)));
+  let always =
+    Plan.arm (Plan.config ~kinds:[ Plan.Launch_fail ] ~seed:3 ~rate:1.0 ())
+  in
+  check "rate 1 always strikes" true
+    (List.for_all
+       (fun o -> o = Some Plan.Launch_fail)
+       (List.init 100 (fun _ -> Plan.draw_launch always ~can_corrupt:false)));
+  (* Bitflips need a corruptor: with none registered the draw cannot
+     pick one, so a bitflip-only plan never strikes launches. *)
+  let flips_only =
+    Plan.arm (Plan.config ~kinds:[ Plan.Bitflip ] ~seed:3 ~rate:1.0 ())
+  in
+  check "bitflip needs can_corrupt" true
+    (List.for_all
+       (fun o -> o = None)
+       (List.init 50 (fun _ -> Plan.draw_launch flips_only ~can_corrupt:false)));
+  let transfers =
+    Plan.arm (Plan.config ~kinds:[ Plan.Transfer_corrupt ] ~seed:3 ~rate:1.0 ())
+  in
+  check "transfer draws corrupt transfers" true
+    (Plan.draw_transfer transfers = Some Plan.Transfer_corrupt);
+  check "launch-only plans spare transfers" true
+    (Plan.draw_transfer always = None)
+
+let test_tally () =
+  let p = Plan.arm (Plan.config ~seed:1 ~rate:0.5 ()) in
+  check "fresh plan starts at zero" true (Plan.snapshot p = Plan.zero_tally);
+  Plan.note_launch_fail p ~stage:"beta";
+  Plan.note_relaunch p ~stage:"beta";
+  Plan.note_bitflip p ~stage:"vb";
+  Plan.note_detected p ~stage:"vb";
+  Plan.note_replay p ~stage:"vb";
+  Plan.note_transfer_fault p;
+  Plan.note_retransfer p;
+  Plan.note_escalation p ~stage:"beta";
+  let t = Plan.snapshot p in
+  checki "bitflips" 1 t.Plan.bitflips;
+  checki "launch fails" 1 t.Plan.launch_fails;
+  checki "transfer faults" 1 t.Plan.transfer_faults;
+  (* Launch failures and transfer corruption are always observed, so
+     they count as detections alongside the explicit detector hit. *)
+  checki "detected" 3 t.Plan.detected;
+  checki "relaunches" 1 t.Plan.relaunches;
+  checki "retransfers" 1 t.Plan.retransfers;
+  checki "replays" 1 t.Plan.replays;
+  checki "escalations" 1 t.Plan.escalations;
+  checki "injected sums the kinds" 3 (Plan.injected t);
+  checki "recovered sums the recoveries" 3 (Plan.recovered t);
+  check "merge with zero is identity" true (Plan.merge Plan.zero_tally t = t);
+  checki "merge adds" 6 (Plan.injected (Plan.merge t t))
+
+let test_flip_bit () =
+  check "flipping changes the value" true (Plan.flip_bit 1.0 52 <> 1.0);
+  check "sign bit negates" true (Plan.flip_bit 1.0 63 = -1.0);
+  List.iter
+    (fun bit ->
+      List.iter
+        (fun x ->
+          check "flip is an involution" true
+            (Plan.flip_bit (Plan.flip_bit x bit) bit = x))
+        [ 1.0; -3.25; 1e-30; 0.0 ])
+    [ 0; 17; 51; 52; 62; 63 ]
+
+(* ---- detectors ---- *)
+
+let test_checksum_detects_flips () =
+  let data = Array.init 64 (fun i -> sin (float_of_int i) *. 1e3) in
+  let digest = Checksum.of_array data in
+  check "identical data matches" true
+    (Checksum.matches digest (Checksum.of_array (Array.copy data)));
+  checki "count recorded" 64 digest.Checksum.count;
+  List.iter
+    (fun (i, bit) ->
+      let corrupt = Array.copy data in
+      corrupt.(i) <- Plan.flip_bit corrupt.(i) bit;
+      check
+        (Printf.sprintf "flip of bit %d at %d detected" bit i)
+        false
+        (Checksum.matches digest (Checksum.of_array corrupt)))
+    [ (1, 0); (13, 1); (31, 52); (63, 62); (40, 63) ];
+  (* A swap preserves the plain sum; the index weighting catches it. *)
+  let swapped = Array.copy data in
+  let tmp = swapped.(3) in
+  swapped.(3) <- swapped.(40);
+  swapped.(40) <- tmp;
+  check "swap detected" false
+    (Checksum.matches digest (Checksum.of_array swapped))
+
+let test_checksum_planes_and_scalars () =
+  let a = Array.init 16 (fun i -> float_of_int (i + 1)) in
+  let b = Array.init 16 (fun i -> 1.0 /. float_of_int (i + 1)) in
+  check "planes digest = flattened digest" true
+    (Checksum.matches
+       (Checksum.of_planes [| a; b |])
+       (Checksum.of_array (Array.append a b)));
+  let to_planes x = [| x; x *. 0x1p-60 |] in
+  let xs = Array.init 8 (fun i -> cos (float_of_int i)) in
+  let digest = Checksum.of_scalars ~to_planes xs in
+  check "scalar digest reproducible" true
+    (Checksum.matches digest (Checksum.of_scalars ~to_planes xs));
+  let corrupt = Array.copy xs in
+  corrupt.(5) <- Plan.flip_bit corrupt.(5) 3;
+  check "scalar limb flip detected" false
+    (Checksum.matches digest (Checksum.of_scalars ~to_planes corrupt));
+  (* NaN-safe: a digest over NaN data still matches itself bit-wise. *)
+  let poisoned = [| 1.0; Float.nan; 3.0 |] in
+  check "NaN digests compare bit-wise" true
+    (Checksum.matches (Checksum.of_array poisoned)
+       (Checksum.of_array (Array.copy poisoned)))
+
+let test_validators () =
+  check "finite accepts finite data" true (Detect.finite [| 1.0; -2.5; 0.0 |]);
+  check "finite rejects NaN" false (Detect.finite [| 1.0; Float.nan |]);
+  check "finite rejects infinity" false
+    (Detect.finite [| Float.infinity; 0.0 |]);
+  check "finite_planes checks every plane" false
+    (Detect.finite_planes [| [| 1.0 |]; [| Float.nan |] |]);
+  check "finite_planes accepts" true
+    (Detect.finite_planes [| [| 1.0 |]; [| 2.0 |] |]);
+  check "normalized accepts a clean expansion" true
+    (Detect.normalized [| 1.0; 0x1p-53; 0x1p-107 |]);
+  check "normalized accepts trailing zeros" true
+    (Detect.normalized [| 1.0; 0x1p-53; 0.0; 0.0 |]);
+  check "normalized accepts all zeros" true (Detect.normalized [| 0.0; 0.0 |]);
+  check "overlapping limbs rejected" false (Detect.normalized [| 1.0; 0.5 |]);
+  check "misordered limbs rejected" false (Detect.normalized [| 0x1p-53; 1.0 |]);
+  check "resurrected limb after zero rejected" false
+    (Detect.normalized [| 1.0; 0.0; 1e-60 |]);
+  check "non-finite limb rejected" false (Detect.normalized [| Float.nan |]);
+  (* The renormalizer's output must always satisfy the validator — this
+     is the invariant the bit-flip detectors probe. *)
+  let raw = [| 1.0; 0.5; 0.25; 1e-10; -3e-11; 7e-22; 0.0; 1e-30 |] in
+  let settled =
+    Multidouble.Renorm.renormalize ~m:4
+      (Multidouble.Renorm.renormalize ~m:8 raw)
+  in
+  check "renormalized data passes" true (Detect.normalized settled)
+
+(* ---- simulator fault paths ---- *)
+
+let transfer_sim cfg =
+  Sim.create ~execute:false ?fault:cfg ~device ~prec:P.DD ()
+
+let test_sim_retransfers () =
+  (* Rate 1 with budget 2: every transfer strikes three times (initial
+     plus two retransfers), then escalates out of the simulator. *)
+  let cfg =
+    Plan.config ~kinds:[ Plan.Transfer_corrupt ] ~max_relaunches:2 ~seed:5
+      ~rate:1.0 ()
+  in
+  let sim = transfer_sim (Some cfg) in
+  (match Sim.transfer sim 1e6 with
+  | exception Plan.Injected (Plan.Transfer_corrupt, _) -> ()
+  | () -> Alcotest.fail "exhausted retransfer budget did not escalate");
+  (match Sim.fault_tally sim with
+  | Some t ->
+    checki "three corrupted transfers" 3 t.Plan.transfer_faults;
+    checki "two retransfers" 2 t.Plan.retransfers;
+    checki "one escalation" 1 t.Plan.escalations
+  | None -> Alcotest.fail "armed simulator lost its tally");
+  (* A mild rate recovers every strike within the budget and the
+     retransfer time lands in the wall clock. *)
+  let mild =
+    transfer_sim
+      (Some
+         (Plan.config ~kinds:[ Plan.Transfer_corrupt ] ~max_relaunches:8
+            ~seed:17 ~rate:0.4 ()))
+  in
+  for _ = 1 to 50 do
+    Sim.transfer mild 1e6
+  done;
+  (match Sim.fault_tally mild with
+  | Some t ->
+    check "strikes happened" true (t.Plan.transfer_faults > 0);
+    checki "every strike retransferred" t.Plan.transfer_faults
+      t.Plan.retransfers;
+    checki "no escalation" 0 t.Plan.escalations
+  | None -> Alcotest.fail "armed simulator lost its tally");
+  let clean = transfer_sim None in
+  for _ = 1 to 50 do
+    Sim.transfer clean 1e6
+  done;
+  check "faulted transfers cost more wall clock" true
+    (Sim.wall_ms mild > Sim.wall_ms clean);
+  check "unarmed simulator has no tally" true (Sim.fault_tally clean = None)
+
+(* ---- runners under fault ---- *)
+
+let test_plan_runner_tallies () =
+  let cfg kinds rate =
+    Plan.config ~kinds ~max_relaunches:16 ~seed:23 ~rate ()
+  in
+  let faulted = R.qr ~fault:(cfg [ Plan.Launch_fail ] 0.2) P.DD device ~n:128 ~tile:32 in
+  (match faulted.Report.faults with
+  | Some f ->
+    check "launch failures injected" true (f.Report.launch_fails > 0);
+    checki "all relaunched within budget" f.Report.launch_fails
+      f.Report.relaunches;
+    checki "nothing escalated" 0 f.Report.escalations;
+    checki "no bitflips from a launch-only plan" 0 f.Report.bitflips;
+    check "refinement never ran in plan mode" false f.Report.refined
+  | None -> Alcotest.fail "armed run carries no fault record");
+  let again = R.qr ~fault:(cfg [ Plan.Launch_fail ] 0.2) P.DD device ~n:128 ~tile:32 in
+  check "campaign replays bit-identically" true
+    (faulted.Report.faults = again.Report.faults
+    && faulted.Report.wall_ms = again.Report.wall_ms);
+  (* Relaunches are charged to the cost model. *)
+  let clean = R.qr P.DD device ~n:128 ~tile:32 in
+  check "clean run carries no fault record" true (clean.Report.faults = None);
+  check "relaunches cost kernel time" true
+    (faulted.Report.kernel_ms > clean.Report.kernel_ms);
+  (* An armed-but-silent plan (rate 0) tallies nothing; it still pays
+     for the ABFT check kernels arming adds, but not for recovery. *)
+  let silent = R.qr ~fault:(cfg Plan.all_kinds 0.0) P.DD device ~n:128 ~tile:32 in
+  (match silent.Report.faults with
+  | Some f -> checki "rate 0 injects nothing" 0 (Report.faults_injected f)
+  | None -> Alcotest.fail "armed run carries no fault record");
+  check "rate 0 pays only the check kernels" true
+    (silent.Report.wall_ms >= clean.Report.wall_ms
+    && silent.Report.wall_ms < faulted.Report.wall_ms);
+  (* Plan mode never executes, so a bitflip-only plan cannot strike. *)
+  let flips = R.bs ~fault:(cfg [ Plan.Bitflip ] 1.0) P.DD device ~dim:128 ~tile:32 in
+  match flips.Report.faults with
+  | Some f -> checki "no bitflips without execution" 0 (Report.faults_injected f)
+  | None -> Alcotest.fail "armed run carries no fault record"
+
+let test_plan_runner_escalates () =
+  let cfg =
+    Plan.config ~kinds:[ Plan.Launch_fail ] ~max_relaunches:1 ~seed:2
+      ~rate:1.0 ()
+  in
+  match R.qr ~fault:cfg P.DD device ~n:64 ~tile:32 with
+  | exception Plan.Injected (Plan.Launch_fail, _) -> ()
+  | _ -> Alcotest.fail "rate-1 launch failures did not escalate"
+
+let test_executed_recovery_is_exact () =
+  (* Launch failures strike before the kernel body runs, so a recovered
+     run executes every body exactly once: the residual must be
+     bit-identical to the clean run's. *)
+  let clean = R.verify_qr P.DD device ~n:16 ~tile:4 in
+  let faulted =
+    R.verify_qr
+      ~fault:
+        (Plan.config ~kinds:[ Plan.Launch_fail ] ~max_relaunches:16 ~seed:9
+           ~rate:0.2 ())
+      P.DD device ~n:16 ~tile:4
+  in
+  check "clean verification passes" true clean.Report.ok;
+  check "recovered run is bit-identical to the clean run" true
+    (faulted = clean)
+
+let test_solve_ft () =
+  let clean = R.solve_ft P.DD device ~n:32 ~tile:8 in
+  check "clean solve_ft has no fault record" true (clean.Report.faults = None);
+  check "clean solve_ft passes" true
+    (match clean.Report.residual with Some v -> v.Report.ok | None -> false);
+  let cfg seed = Plan.config ~seed ~rate:1e-2 () in
+  let first = R.solve_ft ~fault:(cfg 11) P.DD device ~n:32 ~tile:8 in
+  check "faulted solve recovers" true
+    (match first.Report.residual with Some v -> v.Report.ok | None -> false);
+  check "faulted solve carries its tally" true
+    (first.Report.faults <> None);
+  let second = R.solve_ft ~fault:(cfg 11) P.DD device ~n:32 ~tile:8 in
+  check "solve_ft replays bit-identically" true
+    (first.Report.faults = second.Report.faults
+    && first.Report.residual = second.Report.residual);
+  (* A pure bit-flip campaign at a heavy rate: corruption is injected
+     into live data and the final verdict still passes. *)
+  let flips =
+    R.solve_ft
+      ~fault:(Plan.config ~kinds:[ Plan.Bitflip ] ~seed:29 ~rate:0.05 ())
+      P.DD device ~n:32 ~tile:8
+  in
+  (match flips.Report.faults with
+  | Some f -> check "bitflips struck" true (f.Report.bitflips > 0)
+  | None -> Alcotest.fail "armed run carries no fault record");
+  check "bitflip campaign recovers" true
+    (match flips.Report.residual with Some v -> v.Report.ok | None -> false)
+
+(* ---- scheduler classification and job validation ---- *)
+
+let solve_job ?(rate = 0.0) ?(seed = 1) ~id () =
+  Job.make ~execute:true ~fault_rate:rate ~fault_seed:seed ~id ~kind:Job.Solve
+    ~device:"v100" ~prec:P.DD ~dim:32 ~tile:8 ()
+
+let qr_job ?retries ?inject_failures ?timeout_ms ?tile ~id () =
+  Job.make ?retries ?inject_failures ?timeout_ms ~id ~kind:Job.Qr
+    ~device:"v100" ~prec:P.DD ~dim:64
+    ~tile:(Option.value tile ~default:32)
+    ()
+
+let invalid what job =
+  match Job.validate job with
+  | Error _ -> ()
+  | Ok () -> Alcotest.failf "%s validated" what
+
+let test_job_validation () =
+  invalid "NaN timeout"
+    (qr_job ~timeout_ms:Float.nan ~id:"nan-timeout" ());
+  invalid "negative timeout" (qr_job ~timeout_ms:(-5.0) ~id:"neg-timeout" ());
+  invalid "NaN fault rate" (solve_job ~rate:Float.nan ~id:"nan-rate" ());
+  invalid "negative fault rate" (solve_job ~rate:(-0.5) ~id:"neg-rate" ());
+  invalid "fault rate above one" (solve_job ~rate:1.5 ~id:"big-rate" ());
+  invalid "armed plan with no kinds"
+    (Job.make ~fault_rate:0.5 ~fault_kinds:[] ~id:"no-kinds" ~kind:Job.Qr
+       ~device:"v100" ~prec:P.DD ~dim:64 ~tile:32 ());
+  (match Job.validate (solve_job ~rate:0.01 ~id:"armed" ()) with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "valid armed job rejected: %s" m);
+  check "rate 0 leaves the plane disarmed" true
+    (Job.fault_config (solve_job ~id:"clean" ()) = None);
+  check "positive rate arms the plane" true
+    (Job.fault_config (solve_job ~rate:0.01 ~id:"armed" ()) <> None)
+
+let failed o =
+  match o.S.status with
+  | S.Failed f -> f
+  | S.Completed _ -> Alcotest.failf "%s unexpectedly completed" o.S.job.Job.id
+
+let test_failure_classification () =
+  (* The injection hook models a transient fault: retryable, burns the
+     retry budget. *)
+  (match
+     S.run_batch ~parallel:1 ~backoff_ms:0.0
+       [ qr_job ~retries:1 ~inject_failures:99 ~id:"transient" () ]
+   with
+  | [ o ] ->
+    let f = failed o in
+    check "injected failures are retryable" true f.S.retryable;
+    check "not a timeout" false f.S.timed_out;
+    checki "retries burned" 2 o.S.attempts
+  | _ -> Alcotest.fail "expected one outcome");
+  (* Validation failures are permanent: no attempt, no retry. *)
+  (match
+     S.run_batch ~parallel:1 ~backoff_ms:0.0
+       [ qr_job ~tile:30 ~id:"permanent" () ]
+   with
+  | [ o ] ->
+    let f = failed o in
+    check "validation failures are permanent" false f.S.retryable;
+    checki "never attempted" 0 o.S.attempts
+  | _ -> Alcotest.fail "expected one outcome");
+  (* Exhausted timeouts are permanent too. *)
+  match
+    S.run_batch ~parallel:1 ~backoff_ms:5.0
+      [
+        qr_job ~retries:5 ~inject_failures:99 ~timeout_ms:1.0 ~id:"deadline" ();
+      ]
+  with
+  | [ o ] ->
+    let f = failed o in
+    check "timed out" true f.S.timed_out;
+    check "timeouts are permanent" false f.S.retryable
+  | _ -> Alcotest.fail "expected one outcome"
+
+let test_faulted_job_completes () =
+  (* An executed solve job with an armed fault plane dispatches to the
+     fault-tolerant solver and lands a report with the tally. *)
+  let r = S.run_job (solve_job ~rate:1e-2 ~seed:11 ~id:"ft-solve" ()) in
+  check "fault tally attached" true (r.Report.faults <> None);
+  check "residual passes" true
+    (match r.Report.residual with Some v -> v.Report.ok | None -> false);
+  let clean = S.run_job (solve_job ~id:"clean-solve" ()) in
+  check "clean job carries no fault record" true (clean.Report.faults = None)
+
+let test_serialization () =
+  (* Outcomes round-trip with the classification flag, for both values. *)
+  let outcomes =
+    S.run_batch ~parallel:1 ~backoff_ms:0.0
+      [
+        qr_job ~retries:0 ~inject_failures:99 ~id:"retryable" ();
+        qr_job ~tile:30 ~id:"permanent" ();
+        qr_job ~id:"ok" ();
+      ]
+  in
+  List.iter
+    (fun o ->
+      check "outcome round-trips" true
+        (S.outcome_of_json (S.outcome_to_json o) = o))
+    outcomes;
+  check "both classifications covered" true
+    ((failed (List.nth outcomes 0)).S.retryable
+    && not (failed (List.nth outcomes 1)).S.retryable);
+  (* Fault fields only serialize when the plane is armed, so clean job
+     documents are unchanged from the pre-fault schema. *)
+  let keys j =
+    match Job.to_json j with
+    | Json.Obj fields -> List.map fst fields
+    | _ -> Alcotest.fail "job is not an object"
+  in
+  check "clean jobs have no fault keys" false
+    (List.exists
+       (fun k -> List.mem k (keys (solve_job ~id:"clean" ())))
+       [ "fault_rate"; "fault_seed"; "fault_kinds" ]);
+  let armed =
+    Job.make ~execute:true ~fault_rate:0.05 ~fault_seed:99
+      ~fault_kinds:[ Plan.Bitflip; Plan.Launch_fail ] ~id:"armed"
+      ~kind:Job.Solve ~device:"v100" ~prec:P.QD ~dim:32 ~tile:8 ()
+  in
+  check "armed jobs serialize the plane" true
+    (List.mem "fault_rate" (keys armed));
+  check "armed job round-trips" true (Job.of_json (Job.to_json armed) = armed);
+  (match
+     Job.of_json
+       (Json.of_string
+          {|{"id": "bad", "kind": "qr", "device": "v100", "prec": "2d",
+             "dim": 64, "tile": 16, "fault_rate": 0.5,
+             "fault_kinds": ["gamma-ray"]}|})
+   with
+  | exception Json.Error _ -> ()
+  | _ -> Alcotest.fail "unknown fault kind accepted");
+  let j =
+    Job.of_json
+      (Json.of_string
+         {|{"id": "named", "kind": "solve", "device": "v100", "prec": "2d",
+            "dim": 32, "tile": 8, "fault_rate": 0.25, "fault_seed": 4,
+            "fault_kinds": ["launch", "transfer"]}|})
+  in
+  check "named kinds parse" true
+    (j.Job.fault_kinds = [ Plan.Launch_fail; Plan.Transfer_corrupt ]
+    && j.Job.fault_rate = 0.25 && j.Job.fault_seed = 4)
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+          Alcotest.test_case "kind names" `Quick test_kind_names;
+          Alcotest.test_case "draw determinism" `Quick test_draw_determinism;
+          Alcotest.test_case "tally accounting" `Quick test_tally;
+          Alcotest.test_case "flip_bit" `Quick test_flip_bit;
+        ] );
+      ( "detectors",
+        [
+          Alcotest.test_case "checksum detects flips" `Quick
+            test_checksum_detects_flips;
+          Alcotest.test_case "checksum planes and scalars" `Quick
+            test_checksum_planes_and_scalars;
+          Alcotest.test_case "validators" `Quick test_validators;
+        ] );
+      ( "simulator",
+        [ Alcotest.test_case "retransfers" `Quick test_sim_retransfers ] );
+      ( "runners",
+        [
+          Alcotest.test_case "plan-mode tallies" `Quick
+            test_plan_runner_tallies;
+          Alcotest.test_case "plan-mode escalation" `Quick
+            test_plan_runner_escalates;
+          Alcotest.test_case "executed recovery is exact" `Quick
+            test_executed_recovery_is_exact;
+          Alcotest.test_case "fault-tolerant solve" `Quick test_solve_ft;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "job validation" `Quick test_job_validation;
+          Alcotest.test_case "failure classification" `Quick
+            test_failure_classification;
+          Alcotest.test_case "faulted job completes" `Quick
+            test_faulted_job_completes;
+          Alcotest.test_case "serialization" `Quick test_serialization;
+        ] );
+    ]

@@ -132,6 +132,92 @@ module Pqd = Props (Quad_double)
 module Pod = Props (Octo_double)
 
 (* ------------------------------------------------------------------ *)
+(* Renormalization invariants                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The fault plane's renorm validators lean on exactly these: any raw
+   limb sequence compresses to decreasing, non-overlapping limbs with
+   the zeros trailing, renormalization is idempotent bit for bit, and
+   the represented value survives up to the dropped tail. *)
+module Renorm_props (S : Md_sig.S) = struct
+  open QCheck2
+
+  let m = S.limbs
+
+  (* Raw overlapping limb ladders: magnitudes spaced by ~45 bits (closer
+     than a limb's 53, so adjacent limbs overlap), deliberately NOT in
+     normal form. *)
+  let gen_raw : float array Gen.t =
+    let open Gen in
+    let* xs = array_size (return m) (float_range (-1.0) 1.0) in
+    let* e = int_range (-24) 24 in
+    return
+      (Array.mapi
+         (fun i x ->
+           x *. (2.0 ** ((-45.0 *. float_of_int i) +. float_of_int e)))
+         xs)
+
+  (* The expansion invariant on a raw limb array: decreasing and
+     non-overlapping (2^-49 leaves room for a couple of carry bits),
+     zeros only trailing, everything finite. *)
+  let normalized_arr l =
+    let ok = ref true in
+    for i = 0 to Array.length l - 2 do
+      if l.(i) = 0.0 then begin
+        if l.(i + 1) <> 0.0 then ok := false
+      end
+      else if Float.abs l.(i + 1) > 0x1p-49 *. Float.abs l.(i) then
+        ok := false
+    done;
+    Array.for_all (fun x -> not (Float.is_nan x) && Float.is_finite x) l
+    && !ok
+
+  let od_sum l =
+    Array.fold_left
+      (fun acc x -> Octo_double.add acc (Octo_double.of_float x))
+      Octo_double.zero l
+
+  let suite name =
+    ( name ^ " renorm properties",
+      [
+        to_alco ~count:200 "renormalize normalizes" gen_raw (fun raw ->
+            normalized_arr (Renorm.renormalize ~m (Array.copy raw)));
+        to_alco ~count:200 "renormalize idempotent on normal forms" gen_raw
+          (fun raw ->
+            (* One pass over a heavily overlapping ladder may still move
+               a carry; the result of a second pass is a bit-identical
+               fixed point. *)
+            let settled =
+              Renorm.renormalize ~m
+                (Renorm.renormalize ~m (Array.copy raw))
+            in
+            Array.for_all2
+              (fun a b ->
+                Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+              (Renorm.renormalize ~m (Array.copy settled))
+              settled);
+        to_alco ~count:200 "renormalize preserves the value" gen_raw
+          (fun raw ->
+            let out = Renorm.renormalize ~m (Array.copy raw) in
+            let a = od_sum raw and b = od_sum out in
+            let d = Octo_double.abs (Octo_double.sub a b) in
+            let bound =
+              Octo_double.mul_float
+                (Octo_double.add (Octo_double.abs a)
+                   (Octo_double.of_float 1e-300))
+                (2.0 ** (-50.0 *. float_of_int (m - 1)))
+            in
+            Octo_double.compare d bound <= 0);
+        to_alco ~count:200 "of_limbs normalizes" gen_raw (fun raw ->
+            normalized_arr (S.to_limbs (S.of_limbs raw)));
+      ] )
+end
+
+module Rdd = Renorm_props (Double_double)
+module Rqd = Renorm_props (Quad_double)
+module Rod = Renorm_props (Octo_double)
+
+(* ------------------------------------------------------------------ *)
 (* Linear algebra invariants                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -324,6 +410,9 @@ let () =
       Pdd.suite "double double";
       Pqd.suite "quad double";
       Pod.suite "octo double";
+      Rdd.suite "double double";
+      Rqd.suite "quad double";
+      Rod.suite "octo double";
       Ld.suite "double";
       Ldd.suite "double double";
       Lqd.suite "quad double";
