@@ -1,9 +1,9 @@
 (* Host kernel micro-benchmark: the generic scalar path against the flat
    limb-planar path of [Flat_kernels], on the simulator's dominant kernel
-   (the register-loading matrix product), in double double and quad
-   double, with the launch geometry of the blocked QR (one thread block =
-   [threads] output elements, blocks spread over the domain pool exactly
-   as [Sim.launch] spreads them).
+   (the register-loading matrix product), in every flat-capable real
+   precision (double, quad and octo double), with the launch geometry of
+   the blocked QR (one thread block = [threads] output elements, blocks
+   spread over the domain pool exactly as [Sim.launch] spreads them).
 
    The flat timings INCLUDE staging the operands into limb planes and
    unstaging the result, i.e. they measure what the dispatcher actually
@@ -98,6 +98,7 @@ end
 
 module Bdd = Bench (Scalar.Dd)
 module Bqd = Bench (Scalar.Qd)
+module Bod = Bench (Scalar.Od)
 
 let pf = Printf.printf
 
@@ -139,12 +140,19 @@ let json_of_rows rows =
   Buffer.add_string b "  ]\n}\n";
   Buffer.contents b
 
-(* Full matrix: dd and qd at n in {256, 512, 1024}; emits
-   BENCH_kernels.json in the working directory. *)
+(* Full matrix: dd and qd at n in {256, 512, 1024}, od at reduced sizes
+   (a boxed octo double mul costs ~40x a quad double one — the 79-slot
+   product buffer plus its magnitude sort dominate — so smaller n keeps
+   the row affordable while the fixed inner dimension still amortizes
+   staging the same way); emits BENCH_kernels.json in the working
+   directory. *)
 let run () =
   header ();
   let sizes = [ 256; 512; 1024 ] in
-  let rows =
+  let od_sizes = [ 64; 96 ] in
+  (* Bound one group at a time: [@] gives no evaluation order, and the
+     progress rows should print in the order they land in the json. *)
+  let dd_rows =
     List.map
       (fun n ->
         let g, f = Bdd.matmul ~n in
@@ -152,32 +160,50 @@ let run () =
         report r;
         r)
       sizes
-    @ List.map
-        (fun n ->
-          let g, f = Bqd.matmul ~n in
-          let r = { prec = "4d"; n; generic_ms = g; flat_ms = f } in
-          report r;
-          r)
-        sizes
   in
+  let qd_rows =
+    List.map
+      (fun n ->
+        let g, f = Bqd.matmul ~n in
+        let r = { prec = "4d"; n; generic_ms = g; flat_ms = f } in
+        report r;
+        r)
+      sizes
+  in
+  let od_rows =
+    List.map
+      (fun n ->
+        let g, f = Bod.matmul ~n in
+        let r = { prec = "8d"; n; generic_ms = g; flat_ms = f } in
+        report r;
+        r)
+      od_sizes
+  in
+  let rows = dd_rows @ qd_rows @ od_rows in
   let path = "BENCH_kernels.json" in
   let oc = open_out path in
   output_string oc (json_of_rows rows);
   close_out oc;
   pf "  [json written to %s]\n" path
 
-(* Smoke: one dd comparison small enough to finish in seconds; fails the
-   run (exit 1) if the flat path is not faster than the generic one. *)
+(* Smoke: one dd and one (small) od comparison, each finishing in
+   seconds; fails the run (exit 1) if either flat path is not faster
+   than its generic one.  The od case doubles as a standing
+   bit-identity check on the generic limb engine ([Bench.matmul]
+   verifies limb for limb while it times). *)
 let smoke () =
   header ();
-  let n = 192 in
-  let g, f = Bdd.matmul ~n in
-  let r = { prec = "2d"; n; generic_ms = g; flat_ms = f } in
-  report r;
-  if f >= g then begin
-    Printf.eprintf
-      "kernels-smoke: flat path (%.1f ms) not faster than generic (%.1f \
-       ms)\n"
-      f g;
-    exit 1
-  end
+  let gate r =
+    report r;
+    if r.flat_ms >= r.generic_ms then begin
+      Printf.eprintf
+        "kernels-smoke: %s flat path (%.1f ms) not faster than generic \
+         (%.1f ms)\n"
+        r.prec r.flat_ms r.generic_ms;
+      exit 1
+    end
+  in
+  let g, f = Bdd.matmul ~n:192 in
+  gate { prec = "2d"; n = 192; generic_ms = g; flat_ms = f };
+  let g, f = Bod.matmul ~n:32 in
+  gate { prec = "8d"; n = 32; generic_ms = g; flat_ms = f }

@@ -72,37 +72,13 @@ module Make (K : Scalar.S) = struct
           ~working_set:ws o
       in
       (* The modeled device cost above is the same on both paths; only
-         the host execution of the kernel body differs.  The flat path
-         stages both operands into limb planes once (O(total) conversions
-         against O(total * inner) kernel operations) and runs the
-         allocation-free plane kernels, limb for limb identical to the
-         generic loop below. *)
-      if sim.Sim.execute && F.available () then begin
-        let a = F.stage ~rows:rows_o ~cols:inner ~get:geta in
-        let b = F.stage ~rows:inner ~cols:cols_o ~get:getb in
-        let c = F.alloc ~rows:rows_o ~cols:cols_o in
-        Sim.launch sim ~stage ~cost (fun blk ->
-            F.matmul_block ~threads a b c blk);
-        F.unstage c ~store
-      end
-      else
-        Sim.launch sim ~stage ~cost (fun blk ->
-            let lo = blk * threads in
-            let hi = min total (lo + threads) in
-            (* Running (row, col) pair instead of a div/mod per element. *)
-            let i = ref (lo / cols_o) and j = ref (lo mod cols_o) in
-            for _idx = lo to hi - 1 do
-              let s = ref K.zero in
-              for k = 0 to inner - 1 do
-                s := K.add !s (K.mul (geta !i k) (getb k !j))
-              done;
-              store !i !j !s;
-              incr j;
-              if !j = cols_o then begin
-                j := 0;
-                incr i
-              end
-            done)
+         the host execution of the kernel body differs.  [F.matmul]
+         picks the path: staged allocation-free plane kernels when flat
+         execution is available, the boxed accessor loop otherwise —
+         limb for limb identical either way. *)
+      F.matmul ~execute:sim.Sim.execute ~threads ~rows_o ~cols_o ~inner
+        ~geta ~getb ~store
+        ~launch:(fun body -> Sim.launch sim ~stage ~cost body)
     end
 
   (* Elementwise addition kernel: dst += src. *)

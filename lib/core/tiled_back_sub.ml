@@ -105,92 +105,41 @@ module Make (K : Scalar.S) = struct
         done;
         M.blit ~src:inv ~dst:v ~r0 ~c0:r0);
 
-    (* Flat path for stage 2: the matrix (with the now-inverted diagonal
-       tiles), the right-hand side and the solution are staged into limb
-       planes ONCE and every inner-product kernel below runs on them
-       allocation free; only the solution is unstaged at the end.  Tile
+    (* Device state for stage 2, behind the one dispatch point: when
+       flat execution is available, [F.Bs.create] stages the matrix
+       (with the now-inverted diagonal tiles), the right-hand side and
+       the solution into limb planes ONCE and every inner-product kernel
+       below runs on them allocation free, with only the solution
+       unstaged at the end; otherwise it works on the host arrays.  Tile
        inversion stays generic (it divides, which the flat primitives do
-       not cover).  The modeled launch costs are shared with the generic
-       path, so device timing is unchanged. *)
-    let flat =
-      if sim.Sim.execute && F.available () then
-        Some
-          ( F.stage ~rows:dim ~cols:dim ~get:(fun i j -> M.get v i j),
-            F.stage_vec ~n:dim ~get:(fun i -> bd.(i)),
-            F.alloc ~rows:dim ~cols:1 )
-      else None
-    in
+       not cover).  The modeled launch costs are shared by both arms, so
+       device timing is unchanged. *)
+    let st = F.Bs.create ~execute:sim.Sim.execute ~dim ~v:v.M.a ~bd ~x in
 
     let guard = Sim.fault_plan sim in
     let executing = sim.Sim.execute in
-    (* Bit-flip corruptor: on the flat path faults strike the staggered
+    (* Bit-flip corruptor: on the flat arm faults strike the staggered
        limb planes directly (raw word flips, exactly the paper's device
-       layout); on the generic path one scalar goes through a limb flip
+       layout); on the boxed arm one scalar goes through a limb flip
        and the renormalizing round-trip. *)
     (match guard with
     | Some _ when executing ->
-        let flip_raw rng name (pl : F.planes) count =
-          let idx = Dompool.Prng.int rng count in
-          let p = Dompool.Prng.int rng (Array.length pl.F.p) in
-          let bit = Dompool.Prng.int rng 64 in
-          pl.F.p.(p).(idx) <- Fault.Plan.flip_bit pl.F.p.(p).(idx) bit;
-          Printf.sprintf "%s[%d] plane %d bit %d (raw)" name idx p bit
-        in
-        let flip_el rng name (arr : K.t array) =
-          let idx = Dompool.Prng.int rng (Array.length arr) in
-          let planes = K.to_planes arr.(idx) in
-          let p = Dompool.Prng.int rng (Array.length planes) in
-          let bit = Dompool.Prng.int rng 64 in
-          planes.(p) <- Fault.Plan.flip_bit planes.(p) bit;
-          arr.(idx) <- K.of_planes planes;
-          Printf.sprintf "%s[%d] plane %d bit %d" name idx p bit
-        in
         Sim.set_corruptor sim
-          (Some
-             (fun rng ->
-               match flat with
-               | Some (vp, bdp, xp) ->
-                   let pick = Dompool.Prng.int rng ((dim * dim) + dim + dim) in
-                   if pick < dim * dim then flip_raw rng "U" vp (dim * dim)
-                   else if pick < (dim * dim) + dim then
-                     flip_raw rng "b" bdp dim
-                   else flip_raw rng "x" xp dim
-               | None ->
-                   let pick = Dompool.Prng.int rng ((dim * dim) + dim + dim) in
-                   if pick < dim * dim then flip_el rng "U" v.M.a
-                   else if pick < (dim * dim) + dim then flip_el rng "b" bd
-                   else flip_el rng "x" x))
+          (Some (fun rng -> F.Bs.corrupt st rng ~flip:Fault.Plan.flip_bit))
     | _ -> ());
     (* U (inverted diagonal tiles included) is constant through stage 2:
        its checksum taken here convicts any corruption of the staged
        planes for the rest of the solve. *)
+    let vchk_now () = Fault.Checksum.of_iter (F.Bs.iter_u_limbs st) in
     let vchk =
       match guard with
-      | Some _ when executing -> (
-          match flat with
-          | Some (vp, _, _) -> Some (Fault.Checksum.of_planes vp.F.p)
-          | None -> Some (Fault.Checksum.of_scalars ~to_planes:K.to_planes v.M.a))
+      | Some _ when executing -> Some (vchk_now ())
       | _ -> None
     in
-    let vchk_now () =
-      match flat with
-      | Some (vp, _, _) -> Fault.Checksum.of_planes vp.F.p
-      | None -> Fault.Checksum.of_scalars ~to_planes:K.to_planes v.M.a
-    in
     (* Read back element [i] of the staged solution (flat) or the host
-       array (generic). *)
-    let x_at i =
-      match flat with
-      | Some (_, _, xp) ->
-          K.of_planes (Array.map (fun plane -> plane.(i)) xp.F.p)
-      | None -> x.(i)
-    in
-    let bd_at i =
-      match flat with
-      | Some (_, bdp, _) ->
-          K.of_planes (Array.map (fun plane -> plane.(i)) bdp.F.p)
-      | None -> bd.(i)
-    in
+       array (boxed). *)
+    let x_at i = F.Bs.x_at st i in
+    let bd_at i = F.Bs.b_at st i in
     (* ABFT verification of one solved tile: the device result must match
        a host recompute of U_i^{-1} b_i within a few limb-widths, every
        limb must be finite, and on the flat path the raw limb expansions
@@ -213,28 +162,12 @@ module Make (K : Scalar.S) = struct
             || diff > 64.0 *. fn *. K.R.eps *. scale
           then ok := false
         end;
-        (match flat with
-        | Some (_, _, xp) ->
-            let limbs = Array.map (fun plane -> plane.(r0 + r)) xp.F.p in
-            if not (Fault.Detect.normalized limbs) then ok := false
-        | None -> ())
+        if
+          not
+            (F.Bs.x_limbs_ok st (r0 + r) ~check:(fun limbs ->
+                 Fault.Detect.normalized limbs))
+        then ok := false
       done;
-      !ok
-    in
-    let bd_finite_below ~r0 =
-      let ok = ref true in
-      (match flat with
-      | Some (_, bdp, _) ->
-          Array.iter
-            (fun plane ->
-              for i = 0 to r0 - 1 do
-                if not (Float.is_finite plane.(i)) then ok := false
-              done)
-            bdp.F.p
-      | None ->
-          for i = 0 to r0 - 1 do
-            if not (K.is_finite bd.(i)) then ok := false
-          done);
       !ok
     in
     let check_cost =
@@ -263,16 +196,7 @@ module Make (K : Scalar.S) = struct
       in
       let solve_tile () =
         Sim.launch sim ~stage:Stage.multiply_inverses ~cost:mul_cost (fun _ ->
-            match flat with
-            | Some (vp, bdp, xp) -> F.bs_xi_block ~dim ~r0 ~n vp bdp xp
-            | None ->
-              for r = 0 to n - 1 do
-                let s = ref K.zero in
-                for c = r to n - 1 do
-                  s := K.add !s (K.mul (M.get v (r0 + r) (r0 + c)) bd.(r0 + c))
-                done;
-                x.(r0 + r) <- !s
-              done)
+            F.Bs.xi_block st ~r0 ~n)
       in
       (try solve_tile () with
       | Fault.Plan.Injected (Fault.Plan.Launch_fail, _) when guard <> None ->
@@ -330,20 +254,7 @@ module Make (K : Scalar.S) = struct
         in
         let update () =
           Sim.launch sim ~stage:Stage.back_substitution ~cost:upd_cost
-            (fun j ->
-              let rj = j * n in
-              match flat with
-              | Some (vp, bdp, xp) ->
-                  F.bs_update_block ~dim ~r0 ~rj ~n vp xp bdp
-              | None ->
-                for r = 0 to n - 1 do
-                  let s = ref K.zero in
-                  for c = 0 to n - 1 do
-                    s :=
-                      K.add !s (K.mul (M.get v (rj + r) (r0 + c)) x.(r0 + c))
-                  done;
-                  bd.(rj + r) <- K.sub bd.(rj + r) !s
-                done)
+            (fun j -> F.Bs.update_block st ~r0 ~rj:(j * n) ~n)
         in
         match guard with
         | None -> update ()
@@ -351,26 +262,16 @@ module Make (K : Scalar.S) = struct
             (* The update subtracts in place, so replaying it needs the
                pre-update prefix of b back first. *)
             let snap =
-              if executing then
-                Some
-                  (match flat with
-                  | Some (_, bdp, _) ->
-                      `Planes (Array.map (fun pl -> Array.sub pl 0 r0) bdp.F.p)
-                  | None -> `Scalars (Array.sub bd 0 r0))
-              else None
+              if executing then Some (F.Bs.snapshot_b st ~upto:r0) else None
             in
             let restore () =
-              match (snap, flat) with
-              | Some (`Planes saved), Some (_, bdp, _) ->
-                  Array.iteri
-                    (fun p pl -> Array.blit saved.(p) 0 pl 0 r0)
-                    bdp.F.p
-              | Some (`Scalars saved), None -> Array.blit saved 0 bd 0 r0
-              | _ -> ()
+              match snap with
+              | Some saved -> F.Bs.restore_b st saved
+              | None -> ()
             in
             let rec settle replays =
               update ();
-              if executing && not (bd_finite_below ~r0) then begin
+              if executing && not (F.Bs.b_finite_below st ~r0) then begin
                 Fault.Plan.note_detected plan ~stage:"bs.update";
                 if replays < Fault.Plan.max_replays plan then begin
                   restore ();
@@ -395,9 +296,7 @@ module Make (K : Scalar.S) = struct
                 settle 0)
       end
     done;
-    (match flat with
-    | Some (_, _, xp) -> F.unstage_vec xp ~store:(fun i s -> x.(i) <- s)
-    | None -> ());
+    F.Bs.unstage_x st;
     (* Device -> host: the solution. *)
     Sim.transfer sim (float_of_int dim *. scalar_bytes);
     x

@@ -57,6 +57,11 @@ let of_scalars ~to_planes xs =
   Array.iter (fun x -> Array.iter (add acc) (to_planes x)) xs;
   finish acc
 
+let of_iter iter =
+  let acc = fresh () in
+  iter (add acc);
+  finish acc
+
 let bits = Int64.bits_of_float
 let feq a b = Int64.equal (bits a) (bits b)
 

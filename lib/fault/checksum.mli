@@ -26,6 +26,13 @@ val of_planes : float array array -> t
 val of_scalars : to_planes:('a -> float array) -> 'a array -> t
 (** Digest of an array of multi-double scalars via their limb planes. *)
 
+val of_iter : ((float -> unit) -> unit) -> t
+(** [of_iter iter] digests whatever float sequence [iter] feeds to its
+    callback, in that order — for producers that expose an iteration
+    rather than an array (e.g. the back substitution device state, which
+    feeds raw plane words on the flat path and scalar limbs on the boxed
+    one). *)
+
 val matches : t -> t -> bool
 (** Bit-exact comparison of all accumulator words (NaN-safe: compares
     the IEEE bit patterns, not the float values). *)

@@ -7,13 +7,17 @@
    arithmetic, dominates host wall time.
 
    This module executes the same kernels directly on the staggered
-   [float array] planes of [Staggered], using the unrolled double double
-   and quad double primitives of [Dd_flat] and [Qd_flat].  Those mirror
-   the accurate QDlib algorithms floating point operation for floating
-   point operation, so the flat kernels produce results that are limb for
-   limb identical to the generic path; the dispatchers in [Blocked_qr] and
-   [Tiled_back_sub] exploit that to switch paths on a pure capability
-   check ([available]) with no numerical consequences.
+   [float array] planes of [Staggered], through the limb-generic
+   [Nd_flat.plan] record: precision selection happens exactly once, at
+   functor application, when the plan is resolved from the limb count —
+   every kernel below is written once against the record, for any
+   supported width (double double, quad double, octo double, and any
+   future Expansion precision alike).  The plan's engines replay the
+   boxed operation sequences floating point operation for floating point
+   operation, so the flat kernels produce results that are limb for limb
+   identical to the generic path; the solvers exploit that to switch
+   paths on a pure capability check ([available]) with no numerical
+   consequences.
 
    Staging an operand into planes costs O(elements) conversions while a
    matrix product performs O(elements * inner) operations on it, so the
@@ -27,8 +31,8 @@
 
 open Multidouble
 
-(* Global switch, for benchmarks and the equivalence tests; the
-   dispatchers consult it through [available]. *)
+(* Global switch, for benchmarks and the equivalence tests; the solvers
+   consult it through [available]. *)
 let enabled = ref true
 
 module Make (K : Scalar.S) = struct
@@ -36,10 +40,23 @@ module Make (K : Scalar.S) = struct
      the layout of [Staggered], without the [K.t] matrix behind it. *)
   type planes = { rows : int; cols : int; p : float array array }
 
-  (* The flat primitives cover plain real double double and quad double;
-     complex and instrumented scalars keep the generic path. *)
+  (* THE dispatch point: the kernel-ops record for this scalar's limb
+     count, resolved here and nowhere else.  [None] only for widths
+     without a flat engine (plain double). *)
+  let plan = Nd_flat.plan ~limbs:K.width
+
+  (* The flat plane covers every real uninstrumented multiple double
+     precision with a plan; complex and instrumented scalars keep the
+     generic path. *)
   let available () =
-    !enabled && K.flat_ok && (not K.is_complex) && (K.width = 2 || K.width = 4)
+    !enabled && K.flat_ok && (not K.is_complex) && Option.is_some plan
+
+  let the_plan () =
+    match plan with
+    | Some p -> p
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Flat_kernels: no flat plan for width %d" K.width)
 
   let alloc ~rows ~cols =
     { rows; cols; p = Array.init K.width (fun _ -> Array.make (rows * cols) 0.0) }
@@ -75,31 +92,36 @@ module Make (K : Scalar.S) = struct
   let stage_vec ~n ~get = stage ~rows:n ~cols:1 ~get:(fun i _ -> get i)
   let unstage_vec t ~store = unstage t ~store:(fun i _ s -> store i s)
 
+  (* Read element [i] of a staged vector back as a boxed scalar (probe
+     reads for verification; the hot paths never box). *)
+  let read_el (t : planes) i =
+    K.of_planes (Array.map (fun plane -> plane.(i)) t.p)
+
   (* ---- The register-loading matrix product, one [Sim.launch] block:
      output elements [blk*threads, (blk+1)*threads), each a dot product
      of a row of [a] with a column of [b].  Identical operation sequence
      to the generic body ([s := K.add !s (K.mul aik bkj)]). ---- *)
 
-  let matmul_block_dd ~threads (a : planes) (b : planes) (c : planes) blk =
+  let matmul_block ~threads (a : planes) (b : planes) (c : planes) blk =
     let total = c.rows * c.cols in
     let lo = blk * threads in
     let hi = min total (lo + threads) in
     if lo < hi then begin
-      let ad = Dd_flat.duo a.p and bd = Dd_flat.duo b.p in
-      let cd = Dd_flat.duo c.p in
-      let acc = Dd_flat.make () in
+      let { Nd_flat.make_ctx; clear; mul_add; store; _ } = the_plan () in
+      let ctx = make_ctx () in
+      let ap = a.p and bp = b.p and cp = c.p in
       let inner = a.cols and cols_o = c.cols and bcols = b.cols in
       (* Running (row, col) pair instead of a division per element. *)
       let i = ref (lo / cols_o) and j = ref (lo mod cols_o) in
       for idx = lo to hi - 1 do
-        Dd_flat.clear acc;
+        clear ctx;
         let ai = ref (!i * inner) and bi = ref !j in
         for _k = 0 to inner - 1 do
-          Dd_flat.mul_add acc ad !ai bd !bi;
+          mul_add ctx ap !ai bp !bi;
           incr ai;
           bi := !bi + bcols
         done;
-        Dd_flat.store acc cd idx;
+        store ctx cp idx;
         incr j;
         if !j = cols_o then begin
           j := 0;
@@ -108,37 +130,41 @@ module Make (K : Scalar.S) = struct
       done
     end
 
-  let matmul_block_qd ~threads (a : planes) (b : planes) (c : planes) blk =
-    let total = c.rows * c.cols in
-    let lo = blk * threads in
-    let hi = min total (lo + threads) in
-    if lo < hi then begin
-      let aq = Qd_flat.quad a.p and bq = Qd_flat.quad b.p in
-      let cq = Qd_flat.quad c.p in
-      let ctx = Qd_flat.make_ctx () in
-      let acc = Array.make 4 0.0 in
-      let inner = a.cols and cols_o = c.cols and bcols = b.cols in
-      let i = ref (lo / cols_o) and j = ref (lo mod cols_o) in
-      for idx = lo to hi - 1 do
-        Qd_flat.clear acc;
-        let ai = ref (!i * inner) and bi = ref !j in
-        for _k = 0 to inner - 1 do
-          Qd_flat.mul_add ctx acc aq !ai bq !bi;
-          incr ai;
-          bi := !bi + bcols
-        done;
-        Qd_flat.store acc cq idx;
-        incr j;
-        if !j = cols_o then begin
-          j := 0;
-          incr i
-        end
-      done
+  (* The solver-facing matrix product: one entry point, both paths.  The
+     caller computes the modeled device cost (identical on both paths —
+     only the host execution differs) and passes the launch as a
+     closure; this function decides the path.  The flat path stages both
+     operands into limb planes once (O(total) conversions against
+     O(total * inner) kernel operations) and runs the allocation-free
+     plane kernels, limb for limb identical to the generic loop. *)
+  let matmul ~execute ~threads ~rows_o ~cols_o ~inner ~geta ~getb ~store
+      ~launch =
+    if execute && available () then begin
+      let a = stage ~rows:rows_o ~cols:inner ~get:geta in
+      let b = stage ~rows:inner ~cols:cols_o ~get:getb in
+      let c = alloc ~rows:rows_o ~cols:cols_o in
+      launch (fun blk -> matmul_block ~threads a b c blk);
+      unstage c ~store
     end
-
-  let matmul_block ~threads a b c blk =
-    if K.width = 2 then matmul_block_dd ~threads a b c blk
-    else matmul_block_qd ~threads a b c blk
+    else
+      launch (fun blk ->
+          let total = rows_o * cols_o in
+          let lo = blk * threads in
+          let hi = min total (lo + threads) in
+          (* Running (row, col) pair instead of a div/mod per element. *)
+          let i = ref (lo / cols_o) and j = ref (lo mod cols_o) in
+          for _idx = lo to hi - 1 do
+            let s = ref K.zero in
+            for k = 0 to inner - 1 do
+              s := K.add !s (K.mul (geta !i k) (getb k !j))
+            done;
+            store !i !j !s;
+            incr j;
+            if !j = cols_o then begin
+              j := 0;
+              incr i
+            end
+          done)
 
   (* ---- Tiled back substitution, stage 2.  [vp] is the full dim-by-dim
      matrix with inverted diagonal tiles, [bdp] the evolving right-hand
@@ -148,170 +174,253 @@ module Make (K : Scalar.S) = struct
   (* x_i := U_i^{-1} b_i: row r of the tile at [r0] dots the inverse row
      (upper triangular, columns r..n-1) with the right-hand side tile. *)
   let bs_xi_block ~dim ~r0 ~n (vp : planes) (bdp : planes) (xp : planes) =
-    if K.width = 2 then begin
-      let vd = Dd_flat.duo vp.p and bd = Dd_flat.duo bdp.p in
-      let xd = Dd_flat.duo xp.p in
-      let acc = Dd_flat.make () in
-      for r = 0 to n - 1 do
-        Dd_flat.clear acc;
-        let row = (r0 + r) * dim in
-        for c = r to n - 1 do
-          Dd_flat.mul_add acc vd (row + r0 + c) bd (r0 + c)
-        done;
-        Dd_flat.store acc xd (r0 + r)
-      done
-    end
-    else begin
-      let vq = Qd_flat.quad vp.p and bq = Qd_flat.quad bdp.p in
-      let xq = Qd_flat.quad xp.p in
-      let ctx = Qd_flat.make_ctx () in
-      let acc = Array.make 4 0.0 in
-      for r = 0 to n - 1 do
-        Qd_flat.clear acc;
-        let row = (r0 + r) * dim in
-        for c = r to n - 1 do
-          Qd_flat.mul_add ctx acc vq (row + r0 + c) bq (r0 + c)
-        done;
-        Qd_flat.store acc xq (r0 + r)
-      done
-    end
+    let { Nd_flat.make_ctx; clear; mul_add; store; _ } = the_plan () in
+    let ctx = make_ctx () in
+    let v = vp.p and bd = bdp.p and x = xp.p in
+    for r = 0 to n - 1 do
+      clear ctx;
+      let row = (r0 + r) * dim in
+      for c = r to n - 1 do
+        mul_add ctx v (row + r0 + c) bd (r0 + c)
+      done;
+      store ctx x (r0 + r)
+    done
 
   (* b_j := b_j - A_{j,i} x_i: block [rj] subtracts the full n-by-n tile
      product from its right-hand side tile. *)
   let bs_update_block ~dim ~r0 ~rj ~n (vp : planes) (xp : planes)
       (bdp : planes) =
-    if K.width = 2 then begin
-      let vd = Dd_flat.duo vp.p and xd = Dd_flat.duo xp.p in
-      let bd = Dd_flat.duo bdp.p in
-      let acc = Dd_flat.make () in
-      for r = 0 to n - 1 do
-        Dd_flat.clear acc;
-        let row = (rj + r) * dim in
-        for c = 0 to n - 1 do
-          Dd_flat.mul_add acc vd (row + r0 + c) xd (r0 + c)
-        done;
-        Dd_flat.sub_from bd (rj + r) acc
-      done
-    end
-    else begin
-      let vq = Qd_flat.quad vp.p and xq = Qd_flat.quad xp.p in
-      let bq = Qd_flat.quad bdp.p in
-      let ctx = Qd_flat.make_ctx () in
-      let acc = Array.make 4 0.0 in
-      for r = 0 to n - 1 do
-        Qd_flat.clear acc;
-        let row = (rj + r) * dim in
-        for c = 0 to n - 1 do
-          Qd_flat.mul_add ctx acc vq (row + r0 + c) xq (r0 + c)
-        done;
-        Qd_flat.sub_from ctx bq (rj + r) acc
-      done
-    end
+    let { Nd_flat.make_ctx; clear; mul_add; sub_from; _ } = the_plan () in
+    let ctx = make_ctx () in
+    let v = vp.p and x = xp.p and bd = bdp.p in
+    for r = 0 to n - 1 do
+      clear ctx;
+      let row = (rj + r) * dim in
+      for c = 0 to n - 1 do
+        mul_add ctx v (row + r0 + c) x (r0 + c)
+      done;
+      sub_from ctx bd (rj + r)
+    done
 
   (* ---- Plane-level microkernels, used by the equivalence tests and the
-     kernel benchmark (the dispatchers above are their consumers in
+     kernel benchmark (the entry points above are their consumers in
      kernel-shaped form). All write-backs follow the generic argument
      order: [K.add dst src], [K.sub dst src]. ---- *)
 
   (* out[oidx] := sum_i a[i] * b[i] over n vector elements. *)
   let dot ~n (a : planes) (b : planes) (out : planes) oidx =
-    if K.width = 2 then begin
-      let ad = Dd_flat.duo a.p and bd = Dd_flat.duo b.p in
-      let od = Dd_flat.duo out.p in
-      let acc = Dd_flat.make () in
-      Dd_flat.clear acc;
-      for i = 0 to n - 1 do
-        Dd_flat.mul_add acc ad i bd i
-      done;
-      Dd_flat.store acc od oidx
-    end
-    else begin
-      let aq = Qd_flat.quad a.p and bq = Qd_flat.quad b.p in
-      let oq = Qd_flat.quad out.p in
-      let ctx = Qd_flat.make_ctx () in
-      let acc = Array.make 4 0.0 in
-      Qd_flat.clear acc;
-      for i = 0 to n - 1 do
-        Qd_flat.mul_add ctx acc aq i bq i
-      done;
-      Qd_flat.store acc oq oidx
-    end
+    let { Nd_flat.make_ctx; clear; mul_add; store; _ } = the_plan () in
+    let ctx = make_ctx () in
+    clear ctx;
+    for i = 0 to n - 1 do
+      mul_add ctx a.p i b.p i
+    done;
+    store ctx out.p oidx
 
   (* y[i] := y[i] + alpha * x[i]; [alpha] is a staged single element. *)
   let axpy ~n (alpha : planes) (x : planes) (y : planes) =
-    if K.width = 2 then begin
-      let al = Dd_flat.duo alpha.p and xd = Dd_flat.duo x.p in
-      let yd = Dd_flat.duo y.p in
-      let acc = Dd_flat.make () in
-      for i = 0 to n - 1 do
-        Dd_flat.load acc yd i;
-        Dd_flat.mul_add acc al 0 xd i;
-        Dd_flat.store acc yd i
-      done
-    end
-    else begin
-      let al = Qd_flat.quad alpha.p and xq = Qd_flat.quad x.p in
-      let yq = Qd_flat.quad y.p in
-      let ctx = Qd_flat.make_ctx () in
-      let acc = Array.make 4 0.0 in
-      for i = 0 to n - 1 do
-        Qd_flat.load acc yq i;
-        Qd_flat.mul_add ctx acc al 0 xq i;
-        Qd_flat.store acc yq i
-      done
-    end
+    let { Nd_flat.make_ctx; load; mul_add; store; _ } = the_plan () in
+    let ctx = make_ctx () in
+    for i = 0 to n - 1 do
+      load ctx y.p i;
+      mul_add ctx alpha.p 0 x.p i;
+      store ctx y.p i
+    done
 
   (* a[i, j] := a[i, j] - x[i] * y[j], the Householder panel update. *)
   let rank1_sub (a : planes) (x : planes) (y : planes) =
-    if K.width = 2 then begin
-      let ad = Dd_flat.duo a.p and xd = Dd_flat.duo x.p in
-      let yd = Dd_flat.duo y.p in
-      let acc = Dd_flat.make () in
-      for i = 0 to a.rows - 1 do
-        let base = i * a.cols in
-        for j = 0 to a.cols - 1 do
-          Dd_flat.mul_set acc xd i yd j;
-          Dd_flat.sub_from ad (base + j) acc
-        done
+    let { Nd_flat.make_ctx; mul_set; sub_from; _ } = the_plan () in
+    let ctx = make_ctx () in
+    for i = 0 to a.rows - 1 do
+      let base = i * a.cols in
+      for j = 0 to a.cols - 1 do
+        mul_set ctx x.p i y.p j;
+        sub_from ctx a.p (base + j)
       done
-    end
-    else begin
-      let aq = Qd_flat.quad a.p and xq = Qd_flat.quad x.p in
-      let yq = Qd_flat.quad y.p in
-      let ctx = Qd_flat.make_ctx () in
-      let acc = Array.make 4 0.0 in
-      for i = 0 to a.rows - 1 do
-        let base = i * a.cols in
-        for j = 0 to a.cols - 1 do
-          Qd_flat.mul ctx acc xq i yq j;
-          Qd_flat.sub_from ctx aq (base + j) acc
-        done
-      done
-    end
+    done
 
   (* dst[i] := dst[i] + src[i], elementwise over whole planes (kept on
-     the generic path in the dispatchers; here for tests and bench). *)
+     the generic path in the solvers; here for tests and bench). *)
   let ewadd (dst : planes) (src : planes) =
+    let { Nd_flat.make_ctx; load; add; store; _ } = the_plan () in
+    let ctx = make_ctx () in
     let total = dst.rows * dst.cols in
-    if K.width = 2 then begin
-      let dd = Dd_flat.duo dst.p and sd = Dd_flat.duo src.p in
-      let acc = Dd_flat.make () in
-      for i = 0 to total - 1 do
-        Dd_flat.load acc dd i;
-        Dd_flat.add acc sd i;
-        Dd_flat.store acc dd i
-      done
-    end
-    else begin
-      let dq = Qd_flat.quad dst.p and sq = Qd_flat.quad src.p in
-      let ctx = Qd_flat.make_ctx () in
-      let acc = Array.make 4 0.0 in
-      let tmp = Array.make 4 0.0 in
-      for i = 0 to total - 1 do
-        Qd_flat.load acc dq i;
-        Qd_flat.load tmp sq i;
-        Qd_flat.add ctx acc tmp;
-        Qd_flat.store acc dq i
-      done
-    end
+    for i = 0 to total - 1 do
+      load ctx dst.p i;
+      add ctx src.p i;
+      store ctx dst.p i
+    done
+
+  (* ---- The back substitution device state, both paths behind one
+     type.  [Tiled_back_sub] previously matched on a flat option at
+     every read, check, corruption and snapshot site; all of that now
+     lives here, so the solver is written once against this module.
+
+     The flat arm stages the matrix (with its inverted diagonal tiles),
+     the right-hand side and the solution into limb planes ONCE and
+     every inner-product kernel runs on them allocation free; only the
+     solution is unstaged at the end.  The boxed arm works on the host
+     [K.t] arrays directly.  The modeled launch costs are computed by
+     the solver and shared by both arms, so device timing is path
+     independent.
+
+     The fault plane closures ([flip], [check]) are passed in by the
+     solver: they come from [Fault], which this library deliberately
+     does not depend on. *)
+  module Bs = struct
+    type repr = Flat of { vp : planes; bdp : planes; xp : planes } | Boxed
+
+    type t = {
+      dim : int;
+      v : K.t array; (* row-major dim*dim, inverted diagonal tiles *)
+      bd : K.t array;
+      x : K.t array;
+      repr : repr;
+    }
+
+    (* A saved prefix of the right-hand side, for update replays. *)
+    type b_snapshot = Planes of float array array | Scalars of K.t array
+
+    let create ~execute ~dim ~v ~bd ~x =
+      let repr =
+        if execute && available () then
+          Flat
+            {
+              vp = stage ~rows:dim ~cols:dim ~get:(fun i j -> v.((i * dim) + j));
+              bdp = stage_vec ~n:dim ~get:(fun i -> bd.(i));
+              xp = alloc ~rows:dim ~cols:1;
+            }
+        else Boxed
+      in
+      { dim; v; bd; x; repr }
+
+    (* x_i := U_i^{-1} b_i on the tile at diagonal offset [r0]; identical
+       operation sequence on both arms. *)
+    let xi_block t ~r0 ~n =
+      match t.repr with
+      | Flat { vp; bdp; xp } -> bs_xi_block ~dim:t.dim ~r0 ~n vp bdp xp
+      | Boxed ->
+          let dim = t.dim in
+          for r = 0 to n - 1 do
+            let s = ref K.zero in
+            for c = r to n - 1 do
+              s :=
+                K.add !s
+                  (K.mul t.v.(((r0 + r) * dim) + r0 + c) t.bd.(r0 + c))
+            done;
+            t.x.(r0 + r) <- !s
+          done
+
+    (* b_j := b_j - A_{j,i} x_i for the block at row offset [rj]. *)
+    let update_block t ~r0 ~rj ~n =
+      match t.repr with
+      | Flat { vp; bdp; xp } -> bs_update_block ~dim:t.dim ~r0 ~rj ~n vp xp bdp
+      | Boxed ->
+          let dim = t.dim in
+          for r = 0 to n - 1 do
+            let s = ref K.zero in
+            for c = 0 to n - 1 do
+              s :=
+                K.add !s
+                  (K.mul t.v.(((rj + r) * dim) + r0 + c) t.x.(r0 + c))
+            done;
+            t.bd.(rj + r) <- K.sub t.bd.(rj + r) !s
+          done
+
+    (* Probe reads for the ABFT tile verdict. *)
+    let x_at t i =
+      match t.repr with Flat { xp; _ } -> read_el xp i | Boxed -> t.x.(i)
+
+    let b_at t i =
+      match t.repr with Flat { bdp; _ } -> read_el bdp i | Boxed -> t.bd.(i)
+
+    (* On the flat path the raw limb expansion of x[i] must still satisfy
+       the validator (the renorm invariant); the boxed representation
+       renormalizes on read, so there is nothing extra to check. *)
+    let x_limbs_ok t ~check i =
+      match t.repr with
+      | Flat { xp; _ } -> check (Array.map (fun plane -> plane.(i)) xp.p)
+      | Boxed -> true
+
+    (* Feed every limb word of the (constant through stage 2) matrix to
+       [f]: plane-major over the staged planes, element-major over the
+       boxed scalars — each arm in its own storage order, so a digest
+       taken before the sweep convicts any corruption of exactly the
+       words the kernels read. *)
+    let iter_u_limbs t f =
+      match t.repr with
+      | Flat { vp; _ } -> Array.iter (fun plane -> Array.iter f plane) vp.p
+      | Boxed -> Array.iter (fun s -> Array.iter f (K.to_planes s)) t.v
+
+    (* Bit-flip corruptor over the resident device state, one element
+       picked weighted by size, one limb plane, one bit ([flip]).  On the
+       flat arm faults strike the staggered limb planes directly (raw
+       word flips, exactly the paper's device layout); on the boxed arm
+       one scalar goes through a limb flip and the renormalizing
+       round-trip. *)
+    let corrupt t rng ~flip =
+      let dim = t.dim in
+      let pick = Dompool.Prng.int rng ((dim * dim) + dim + dim) in
+      let name, idx =
+        if pick < dim * dim then ("U", pick)
+        else if pick < (dim * dim) + dim then ("b", pick - (dim * dim))
+        else ("x", pick - (dim * dim) - dim)
+      in
+      match t.repr with
+      | Flat { vp; bdp; xp } ->
+          let pl = match name with "U" -> vp | "b" -> bdp | _ -> xp in
+          let p = Dompool.Prng.int rng (Array.length pl.p) in
+          let bit = Dompool.Prng.int rng 64 in
+          pl.p.(p).(idx) <- flip pl.p.(p).(idx) bit;
+          Printf.sprintf "%s[%d] plane %d bit %d (raw)" name idx p bit
+      | Boxed ->
+          let arr = match name with "U" -> t.v | "b" -> t.bd | _ -> t.x in
+          let planes = K.to_planes arr.(idx) in
+          let p = Dompool.Prng.int rng (Array.length planes) in
+          let bit = Dompool.Prng.int rng 64 in
+          planes.(p) <- flip planes.(p) bit;
+          arr.(idx) <- K.of_planes planes;
+          Printf.sprintf "%s[%d] plane %d bit %d" name idx p bit
+
+    (* Every limb word of b below [r0] still finite? (The update replay
+       verdict.) *)
+    let b_finite_below t ~r0 =
+      let ok = ref true in
+      (match t.repr with
+      | Flat { bdp; _ } ->
+          Array.iter
+            (fun plane ->
+              for i = 0 to r0 - 1 do
+                if not (Float.is_finite plane.(i)) then ok := false
+              done)
+            bdp.p
+      | Boxed ->
+          for i = 0 to r0 - 1 do
+            if not (K.is_finite t.bd.(i)) then ok := false
+          done);
+      !ok
+
+    (* The update subtracts in place, so replaying it needs the
+       pre-update prefix of b back first. *)
+    let snapshot_b t ~upto =
+      match t.repr with
+      | Flat { bdp; _ } -> Planes (Array.map (fun pl -> Array.sub pl 0 upto) bdp.p)
+      | Boxed -> Scalars (Array.sub t.bd 0 upto)
+
+    let restore_b t snap =
+      match (snap, t.repr) with
+      | Planes saved, Flat { bdp; _ } ->
+          Array.iteri
+            (fun p pl -> Array.blit saved.(p) 0 pl 0 (Array.length saved.(p)))
+            bdp.p
+      | Scalars saved, Boxed -> Array.blit saved 0 t.bd 0 (Array.length saved)
+      | _ -> invalid_arg "Flat_kernels.Bs: snapshot from a different path"
+
+    (* Write the staged solution back into the host array (identity on
+       the boxed arm, which solved in place). *)
+    let unstage_x t =
+      match t.repr with
+      | Flat { xp; _ } -> unstage_vec xp ~store:(fun i s -> t.x.(i) <- s)
+      | Boxed -> ()
+  end
 end

@@ -1,12 +1,15 @@
 (** Allocation-free limb-planar ("flat") kernels on staggered planes.
 
     Executes the simulator's hot kernels directly on the staggered
-    [float array] planes, via the unrolled double double and quad double
-    primitives of [Multidouble.Dd_flat] / [Multidouble.Qd_flat].  Those
-    mirror the accurate QDlib algorithms floating point operation for
-    floating point operation, so the flat kernels are limb for limb
-    identical to the generic [Scalar.S] path; dispatchers switch paths
-    on {!Make.available} with no numerical consequences.
+    [float array] planes, through the limb-generic
+    [Multidouble.Nd_flat.plan] record resolved once per scalar from its
+    limb count — the single dispatch point.  The plan's engines replay
+    the boxed operation sequences floating point operation for floating
+    point operation, so the flat kernels are limb for limb identical to
+    the generic [Scalar.S] path at every supported width (double double,
+    quad double, octo double, and any future Expansion precision);
+    consumers switch paths on {!Make.available} with no numerical
+    consequences.
 
     Block-level entry points take the same block index as the generic
     [Sim.launch] bodies and write disjoint index ranges, so they are
@@ -14,7 +17,7 @@
 
 val enabled : bool ref
 (** Global switch, for benchmarks and the equivalence tests; the
-    dispatchers consult it through {!Make.available}. *)
+    solvers consult it through {!Make.available}. *)
 
 module Make (K : Scalar.S) : sig
   type planes = { rows : int; cols : int; p : float array array }
@@ -23,8 +26,9 @@ module Make (K : Scalar.S) : sig
       behind it.  Concrete so the kernel loops inline. *)
 
   val available : unit -> bool
-  (** The flat primitives cover plain real double double and quad
-      double; complex and instrumented scalars keep the generic path. *)
+  (** The flat plane covers every real uninstrumented width with an
+      [Nd_flat] plan (all multiple double precisions); complex,
+      instrumented and plain double scalars keep the generic path. *)
 
   val alloc : rows:int -> cols:int -> planes
 
@@ -40,6 +44,23 @@ module Make (K : Scalar.S) : sig
   (** The register-loading matrix product, one [Sim.launch] block:
       output elements [blk*threads, (blk+1)*threads), each a dot product
       of a row of the first operand with a column of the second. *)
+
+  val matmul :
+    execute:bool ->
+    threads:int ->
+    rows_o:int ->
+    cols_o:int ->
+    inner:int ->
+    geta:(int -> int -> K.t) ->
+    getb:(int -> int -> K.t) ->
+    store:(int -> int -> K.t -> unit) ->
+    launch:((int -> unit) -> unit) ->
+    unit
+  (** The solver-facing matrix product: one entry point, both paths.
+      The caller computes the modeled device cost (identical on both
+      paths) and passes the launch as a closure; this function picks the
+      path — staged flat kernels when [execute] and {!available}, the
+      boxed accessor loop otherwise.  Results are bit-identical. *)
 
   val bs_xi_block :
     dim:int -> r0:int -> n:int -> planes -> planes -> planes -> unit
@@ -66,5 +87,61 @@ module Make (K : Scalar.S) : sig
 
   val ewadd : planes -> planes -> unit
   (** dst[i] := dst[i] + src[i] elementwise over whole planes (kept on
-      the generic path in the dispatchers; here for tests and bench). *)
+      the generic path in the solvers; here for tests and bench). *)
+
+  (** The back substitution device state, both paths behind one type:
+      the staged-planes arm when flat execution is on, the boxed host
+      arrays otherwise.  [Tiled_back_sub] is written once against this
+      module; the fault plane closures ([flip], [check]) are passed in
+      by the solver so this library does not depend on [Fault]. *)
+  module Bs : sig
+    type t
+
+    type b_snapshot
+    (** A saved prefix of the right-hand side, for update replays. *)
+
+    val create :
+      execute:bool ->
+      dim:int ->
+      v:K.t array ->
+      bd:K.t array ->
+      x:K.t array ->
+      t
+    (** [create ~execute ~dim ~v ~bd ~x] captures the device state for
+        one stage-2 sweep: [v] the row-major [dim*dim] matrix with
+        inverted diagonal tiles, [bd] the evolving right-hand side, [x]
+        the solution sink.  Stages all three into limb planes when
+        [execute] and {!available}. *)
+
+    val xi_block : t -> r0:int -> n:int -> unit
+    (** x_i := U_i^{-1} b_i on the tile at diagonal offset [r0]. *)
+
+    val update_block : t -> r0:int -> rj:int -> n:int -> unit
+    (** b_j := b_j - A_(j,i) x_i for the block at row offset [rj]. *)
+
+    val x_at : t -> int -> K.t
+    val b_at : t -> int -> K.t
+
+    val x_limbs_ok : t -> check:(float array -> bool) -> int -> bool
+    (** On the flat arm, run [check] (a raw-limb validator) on the limb
+        expansion of x[i]; trivially true on the boxed arm, which
+        renormalizes on read. *)
+
+    val iter_u_limbs : t -> (float -> unit) -> unit
+    (** Feed every limb word of the matrix to the callback, in the arm's
+        own storage order — digest fodder for ABFT checksums. *)
+
+    val corrupt : t -> Dompool.Prng.t -> flip:(float -> int -> float) -> string
+    (** Flip one [flip]-selected bit of one size-weighted element of the
+        resident state: raw plane words on the flat arm, a scalar limb
+        round-trip on the boxed arm.  Returns a description. *)
+
+    val b_finite_below : t -> r0:int -> bool
+    val snapshot_b : t -> upto:int -> b_snapshot
+    val restore_b : t -> b_snapshot -> unit
+
+    val unstage_x : t -> unit
+    (** Write the staged solution back into the host array (identity on
+        the boxed arm, which solved in place). *)
+  end
 end

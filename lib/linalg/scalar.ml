@@ -56,7 +56,10 @@ module type S = sig
   val is_finite : t -> bool
 
   (* Staggered layout: the limbs of the scalar, most significant first
-     (real and imaginary parts kept separately for complex data). *)
+     (real and imaginary parts kept separately for complex data).
+     [of_planes] is the exact inverse of [to_planes]: limbs are adopted
+     as-is, never renormalized, so a stage/unstage round-trip is
+     bit-identical to keeping the boxed value. *)
   val to_planes : t -> float array
 
   val of_planes : float array -> t
@@ -97,7 +100,7 @@ module Real (Rm : Md_sig.S) : S with module R = Rm and type t = Rm.t = struct
   let equal = Rm.equal
   let is_finite = Rm.is_finite
   let to_planes = Rm.to_limbs
-  let of_planes = Rm.of_limbs
+  let of_planes = Rm.of_limbs_exact
   let random rng = Rm.of_float (Dompool.Prng.sym_float rng)
   let to_string = Rm.to_string
   let pp = Rm.pp
@@ -113,8 +116,8 @@ module Complex (Rm : Md_sig.S) = struct
   let is_complex = true
   let width = 2 * Rm.limbs
 
-  (* The flat kernels cover real dd/qd only; complex planes interleave
-     real and imaginary limbs and stay on the generic path. *)
+  (* The flat kernels cover real multiple doubles only; complex planes
+     interleave real and imaginary limbs and stay on the generic path. *)
   let flat_ok = false
   let zero = C.zero
   let one = C.one
@@ -151,8 +154,8 @@ module Complex (Rm : Md_sig.S) = struct
 
   let of_planes a =
     C.make
-      (Rm.of_limbs (Array.sub a 0 Rm.limbs))
-      (Rm.of_limbs (Array.sub a Rm.limbs Rm.limbs))
+      (Rm.of_limbs_exact (Array.sub a 0 Rm.limbs))
+      (Rm.of_limbs_exact (Array.sub a Rm.limbs Rm.limbs))
 
   let random rng =
     C.make

@@ -16,6 +16,8 @@ module Pre = struct
     let r = Renorm.renormalize ~m:2 a in
     { hi = r.(0); lo = r.(1) }
 
+  let of_limbs_exact a = { hi = a.(0); lo = a.(1) }
+
   let to_limbs x = [| x.hi; x.lo |]
 
   let add a b =

@@ -28,6 +28,7 @@ module Pre (Z : SIZE) = struct
 
   let to_float (x : t) = x.(0)
   let of_limbs a = Renorm.renormalize ~m:limbs a
+  let of_limbs_exact (a : float array) : t = Array.copy a
   let to_limbs (x : t) = Array.copy x
 
   (* Addition merges the 2m limbs by decreasing magnitude and distills

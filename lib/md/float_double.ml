@@ -11,6 +11,7 @@ module Pre = struct
   let of_float x = x
   let to_float x = x
   let of_limbs a = (a : float array).(0)
+  let of_limbs_exact = of_limbs
   let to_limbs x = [| x |]
   let add = ( +. )
   let sub = ( -. )

@@ -24,6 +24,14 @@ module type PRE = sig
   (* [of_limbs a] renormalizes [a] (length [limbs]) into a number. *)
   val of_limbs : float array -> t
 
+  (* [of_limbs_exact a] adopts the limbs of [a] as-is, without
+     renormalizing: the exact inverse of [to_limbs] for every
+     representable value.  Round-trips (limb-plane staging, serialized
+     limb data) must use this — [of_limbs] can perturb limbs that the
+     arithmetic itself would have left alone, breaking bit-identity
+     between staged and boxed execution. *)
+  val of_limbs_exact : float array -> t
+
   (* Fresh array of the [limbs] limbs, most significant first. *)
   val to_limbs : t -> float array
 

@@ -1,0 +1,736 @@
+(* The limb-generic flat kernel plane: allocation-free multiple double
+   arithmetic computed directly on staggered [float array] limb planes,
+   for any limb count m >= 2, behind one first-class dispatch record.
+
+   The generic kernel path executes every operation through a [Scalar.S]
+   record, boxing one multiple double value per addition and
+   multiplication; at paper-scale dimensions the simulator's hot loops
+   are then dominated by GC pressure rather than arithmetic.  The
+   engines here keep every intermediate in an unboxed local float or in
+   a small preallocated [float array] of a per-block {!ctx}, so the
+   per-element loop bodies perform (almost) no allocation at all.
+
+   Bit-identity is the contract that makes the flat plane safe to
+   dispatch on a pure capability check: each engine replays the exact
+   floating point operation sequence of the boxed module it mirrors, so
+   results agree limb for limb.
+
+   - m = 2 runs the unrolled QDlib sequences of [Double_double]
+     (two_sum / quick_two_sum ieee_add, fma-based two_prod).
+   - m = 4 runs the QDlib sequences of [Quad_double] (merge by
+     decreasing magnitude through a sliding window, three_sum towers).
+   - every other m >= 3 runs an allocation-free replay of
+     [Expansion.Pre]: accurate addition as merge-by-magnitude plus a
+     two-pass renormalization, truncated multiplication as the exact
+     partial products of order < m plus one guard order, sorted by
+     magnitude and distilled — the CAMPARY-style generated arithmetic.
+     This is what gives octo double (m = 8), triple double (m = 3) and
+     hexa double (m = 16) flat execution without hand-written kernels.
+
+   The m = 2 and m = 4 engines cannot be instances of the generic one:
+   their boxed counterparts are the specialized QDlib algorithms, which
+   produce (correct but) different last-limb bits than the expansion
+   algorithms, and bit-identity with the registry path is what the
+   dispatchers and the fault plane rely on.  They are kept as the two
+   specialized arms behind the same {!plan} record — selected once, at
+   plan resolution, never per kernel operation.
+
+   Concurrency: a {!plan} is immutable and shared freely; a {!ctx} is
+   mutable per-block scratch, so each [Sim.launch] block (or test loop)
+   allocates its own with [make_ctx] and reuses it across elements. *)
+
+(* Per-block scratch.  One concrete record serves all engines: each
+   allocates only the fields its algorithms touch (the rest stay empty),
+   all float state lives in float arrays (unboxed storage), and the
+   mutable ints replace the refs of the reference implementations. *)
+type ctx = {
+  acc : float array;  (* m: the running accumulator *)
+  tmp : float array;  (* m: second operand / write-back scratch *)
+  prod : float array; (* m: the last product of a fused mul_add *)
+  nb : float array;   (* m: negated operand of a subtraction *)
+  abuf : float array; (* addition merge buffer: 2m generic, 4 for qd *)
+  pbuf : float array; (* generic partial-product buffer: m^2 + 2m - 1 *)
+  rt : float array;   (* qd renormalization input scratch (clobbered) *)
+  out : float array;  (* renormalization output, m *)
+  uv : float array;   (* sliding window (qd) / running carry (generic) *)
+  mutable mi : int;   (* merge cursor into the first operand *)
+  mutable mj : int;   (* merge cursor into the second operand *)
+  mutable mk : int;   (* next output slot of a merge or emission *)
+}
+
+(* The first-class kernel-ops record.  All operations read operands
+   from / write results to staggered planes ([planes.(limb).(index)]),
+   with the running value in [ctx.acc]:
+
+     clear    : acc := 0
+     load     : acc := p[i]            store    : p[i] := acc
+     add      : acc := acc + p[i]
+     mul_set  : acc := a[ia] * b[ib]
+     mul_add  : acc := acc + a[ia] * b[ib]
+     sub_from : p[i] := p[i] - acc
+
+   Argument order mirrors the generic kernel bodies ([K.add acc x],
+   [K.sub x acc]) so ties in magnitude merges break identically. *)
+type plan = {
+  limbs : int;
+  make_ctx : unit -> ctx;
+  clear : ctx -> unit;
+  load : ctx -> float array array -> int -> unit;
+  store : ctx -> float array array -> int -> unit;
+  add : ctx -> float array array -> int -> unit;
+  mul_set : ctx -> float array array -> int -> float array array -> int -> unit;
+  mul_add : ctx -> float array array -> int -> float array array -> int -> unit;
+  sub_from : ctx -> float array array -> int -> unit;
+}
+
+let empty = [||]
+
+(* ------------------------------------------------------------------ *)
+(* m = 2: the unrolled QDlib sequences of [Double_double]              *)
+(* ------------------------------------------------------------------ *)
+
+module Dd = struct
+  let make_ctx () =
+    {
+      acc = Array.make 2 0.0;
+      tmp = empty;
+      prod = empty;
+      nb = empty;
+      abuf = empty;
+      pbuf = empty;
+      rt = empty;
+      out = empty;
+      uv = empty;
+      mi = 0;
+      mj = 0;
+      mk = 0;
+    }
+
+  let[@inline] clear c =
+    c.acc.(0) <- 0.0;
+    c.acc.(1) <- 0.0
+
+  let[@inline] load c (p : float array array) i =
+    c.acc.(0) <- p.(0).(i);
+    c.acc.(1) <- p.(1).(i)
+
+  let[@inline] store c (p : float array array) i =
+    p.(0).(i) <- c.acc.(0);
+    p.(1).(i) <- c.acc.(1)
+
+  (* acc := acc + (bhi, blo): the accurate ieee_add of
+     [Double_double.Pre.add], fully unrolled (two_sum / two_sum /
+     quick_two_sum / quick_two_sum). *)
+  let[@inline] add_parts c bhi blo =
+    let ahi = c.acc.(0) and alo = c.acc.(1) in
+    (* s, e = two_sum ahi bhi *)
+    let s = ahi +. bhi in
+    let bb = s -. ahi in
+    let e = (ahi -. (s -. bb)) +. (bhi -. bb) in
+    (* t1, t2 = two_sum alo blo *)
+    let t1 = alo +. blo in
+    let bb2 = t1 -. alo in
+    let t2 = (alo -. (t1 -. bb2)) +. (blo -. bb2) in
+    let e = e +. t1 in
+    (* s, e = quick_two_sum s e *)
+    let s' = s +. e in
+    let e' = e -. (s' -. s) in
+    let e' = e' +. t2 in
+    (* hi, lo = quick_two_sum s' e' *)
+    let hi = s' +. e' in
+    let lo = e' -. (hi -. s') in
+    c.acc.(0) <- hi;
+    c.acc.(1) <- lo
+
+  let[@inline] add c (p : float array array) i =
+    add_parts c p.(0).(i) p.(1).(i)
+
+  (* acc := a[ia] * b[ib]: [Double_double.Pre.mul], unrolled (two_prod
+     via fused multiply-add, cross terms in plain double,
+     quick_two_sum). *)
+  let[@inline] mul_set c (a : float array array) ia (b : float array array)
+      ib =
+    let ahi = a.(0).(ia) and alo = a.(1).(ia) in
+    let bhi = b.(0).(ib) and blo = b.(1).(ib) in
+    let p = ahi *. bhi in
+    let e = Float.fma ahi bhi (-.p) in
+    let e = e +. ((ahi *. blo) +. (alo *. bhi)) in
+    let hi = p +. e in
+    let lo = e -. (hi -. p) in
+    c.acc.(0) <- hi;
+    c.acc.(1) <- lo
+
+  (* acc := acc + a[ia] * b[ib], the fused inner step of every
+     dot-shaped kernel; exactly [K.add acc (K.mul a b)]. *)
+  let[@inline] mul_add c (a : float array array) ia (b : float array array)
+      ib =
+    let ahi = a.(0).(ia) and alo = a.(1).(ia) in
+    let bhi = b.(0).(ib) and blo = b.(1).(ib) in
+    let p = ahi *. bhi in
+    let e = Float.fma ahi bhi (-.p) in
+    let e = e +. ((ahi *. blo) +. (alo *. bhi)) in
+    let phi = p +. e in
+    let plo = e -. (phi -. p) in
+    add_parts c phi plo
+
+  (* p[i] := p[i] - acc: [Double_double.Pre.sub], unrolled (two_diff
+     based, not add-of-negation, to stay bit-identical). *)
+  let[@inline] sub_from c (p : float array array) i =
+    let bhi = c.acc.(0) and blo = c.acc.(1) in
+    let ahi = p.(0).(i) and alo = p.(1).(i) in
+    let d = ahi -. bhi in
+    let bb = d -. ahi in
+    let e = (ahi -. (d -. bb)) -. (bhi +. bb) in
+    let t1 = alo -. blo in
+    let bb2 = t1 -. alo in
+    let t2 = (alo -. (t1 -. bb2)) -. (blo +. bb2) in
+    let e = e +. t1 in
+    let s' = d +. e in
+    let e' = e -. (s' -. d) in
+    let e' = e' +. t2 in
+    let hi = s' +. e' in
+    let lo = e' -. (hi -. s') in
+    p.(0).(i) <- hi;
+    p.(1).(i) <- lo
+
+  let plan =
+    { limbs = 2; make_ctx; clear; load; store; add; mul_set; mul_add; sub_from }
+end
+
+(* ------------------------------------------------------------------ *)
+(* m = 4: the QDlib sequences of [Quad_double]                         *)
+(* ------------------------------------------------------------------ *)
+
+module Qd = struct
+  let make_ctx () =
+    {
+      acc = Array.make 4 0.0;
+      tmp = Array.make 4 0.0;
+      prod = Array.make 4 0.0;
+      nb = Array.make 4 0.0;
+      abuf = Array.make 4 0.0;
+      pbuf = empty;
+      rt = Array.make 5 0.0;
+      out = Array.make 4 0.0;
+      uv = Array.make 3 0.0;
+      mi = 0;
+      mj = 0;
+      mk = 0;
+    }
+
+  let[@inline] clear4 (s : float array) =
+    s.(0) <- 0.0;
+    s.(1) <- 0.0;
+    s.(2) <- 0.0;
+    s.(3) <- 0.0
+
+  let[@inline] load4 (s : float array) (p : float array array) i =
+    s.(0) <- p.(0).(i);
+    s.(1) <- p.(1).(i);
+    s.(2) <- p.(2).(i);
+    s.(3) <- p.(3).(i)
+
+  let[@inline] store4 (s : float array) (p : float array array) i =
+    p.(0).(i) <- s.(0);
+    p.(1).(i) <- s.(1);
+    p.(2).(i) <- s.(2);
+    p.(3).(i) <- s.(3)
+
+  (* [renorm c n] compresses c.rt.(0 .. n-1) into c.out, performing
+     exactly the operations of [Renorm.renormalize ~m:4] (single pass).
+     c.rt is clobbered; c.out is zeroed first, as the reference does. *)
+  let renorm c n =
+    let t = c.rt and out = c.out in
+    out.(0) <- 0.0;
+    out.(1) <- 0.0;
+    out.(2) <- 0.0;
+    out.(3) <- 0.0;
+    (* Backward two_sum ladder; the running carry is kept in t.(i)
+       itself (identical values to the ref-carried original). *)
+    for i = n - 2 downto 0 do
+      let a = t.(i) and b = t.(i + 1) in
+      let s = a +. b in
+      let bb = s -. a in
+      let e = (a -. (s -. bb)) +. (b -. bb) in
+      t.(i) <- s;
+      t.(i + 1) <- e
+    done;
+    (* Forward pass: commit each nonzero error as the next output limb. *)
+    c.mi <- 1;
+    c.mk <- 0;
+    c.uv.(0) <- t.(0);
+    while c.mi < n && c.mk < 4 do
+      let a = c.uv.(0) and b = t.(c.mi) in
+      let s = a +. b in
+      let e = b -. (s -. a) in
+      if e <> 0.0 then begin
+        out.(c.mk) <- s;
+        c.mk <- c.mk + 1;
+        c.uv.(0) <- e
+      end
+      else c.uv.(0) <- s;
+      c.mi <- c.mi + 1
+    done;
+    if c.mk < 4 then out.(c.mk) <- c.uv.(0)
+
+  (* [merge_next c aa bb] pops the next limb of the merge-by-decreasing-
+     magnitude of aa and bb (the [next] closure of [Quad_double.Pre.add],
+     with the cursors kept in the ctx instead of captured refs). *)
+  let[@inline] merge_next c (aa : float array) (bb : float array) =
+    if c.mi >= 4 then begin
+      let t = bb.(c.mj) in
+      c.mj <- c.mj + 1;
+      t
+    end
+    else if c.mj >= 4 || Float.abs aa.(c.mi) > Float.abs bb.(c.mj) then begin
+      let t = aa.(c.mi) in
+      c.mi <- c.mi + 1;
+      t
+    end
+    else begin
+      let t = bb.(c.mj) in
+      c.mj <- c.mj + 1;
+      t
+    end
+
+  (* [add4 c x y] sets x := x + y (both 4-limb arrays), the accurate
+     ieee_add of [Quad_double.Pre.add]: merge the eight limbs by
+     decreasing magnitude through a sliding two-term window, then
+     renormalize. *)
+  let add4 c (x : float array) (y : float array) =
+    let aa = x and bb = y in
+    let w = c.abuf in
+    w.(0) <- 0.0;
+    w.(1) <- 0.0;
+    w.(2) <- 0.0;
+    w.(3) <- 0.0;
+    c.mi <- 0;
+    c.mj <- 0;
+    c.mk <- 0;
+    let uv = c.uv in
+    uv.(0) <- merge_next c aa bb;
+    uv.(1) <- merge_next c aa bb;
+    (* u, v := quick_two_sum u v *)
+    (let a = uv.(0) and b = uv.(1) in
+     let s = a +. b in
+     let e = b -. (s -. a) in
+     uv.(0) <- s;
+     uv.(1) <- e);
+    (try
+       while c.mk < 4 do
+         if c.mi >= 4 && c.mj >= 4 then begin
+           w.(c.mk) <- uv.(0);
+           if c.mk < 3 then begin
+             c.mk <- c.mk + 1;
+             w.(c.mk) <- uv.(1)
+           end;
+           raise Exit
+         end;
+         let t = merge_next c aa bb in
+         (* s, u', v' = quick_three_accum u v t *)
+         let u = uv.(0) and v = uv.(1) in
+         let s1 = v +. t in
+         let bb1 = s1 -. v in
+         let v' = (v -. (s1 -. bb1)) +. (t -. bb1) in
+         let s2 = u +. s1 in
+         let bb2 = s2 -. u in
+         let u' = (u -. (s2 -. bb2)) +. (s1 -. bb2) in
+         let za = u' <> 0.0 and zb = v' <> 0.0 in
+         let s, nu, nv =
+           if za && zb then (s2, u', v')
+           else if not zb then (0.0, s2, u')
+           else (0.0, s2, v')
+         in
+         uv.(0) <- nu;
+         uv.(1) <- nv;
+         if s <> 0.0 then begin
+           w.(c.mk) <- s;
+           c.mk <- c.mk + 1
+         end
+       done;
+       (* All four output slots filled: sweep the leftovers into the
+          tail. *)
+       uv.(2) <- 0.0;
+       for k = c.mi to 3 do
+         uv.(2) <- uv.(2) +. aa.(k)
+       done;
+       for k = c.mj to 3 do
+         uv.(2) <- uv.(2) +. bb.(k)
+       done;
+       w.(3) <- w.(3) +. uv.(2) +. uv.(0) +. uv.(1)
+     with Exit -> ());
+    (* renorm4 w into x *)
+    let rt = c.rt in
+    rt.(0) <- w.(0);
+    rt.(1) <- w.(1);
+    rt.(2) <- w.(2);
+    rt.(3) <- w.(3);
+    renorm c 4;
+    x.(0) <- c.out.(0);
+    x.(1) <- c.out.(1);
+    x.(2) <- c.out.(2);
+    x.(3) <- c.out.(3)
+
+  (* [sub4 c x y] sets x := x - y, as [Quad_double.Pre.sub] does: the
+     accurate addition of the negation. *)
+  let sub4 c (x : float array) (y : float array) =
+    let nb = c.nb in
+    nb.(0) <- -.y.(0);
+    nb.(1) <- -.y.(1);
+    nb.(2) <- -.y.(2);
+    nb.(3) <- -.y.(3);
+    add4 c x nb
+
+  (* [mul4 c dst a ia b ib] sets dst := a[ia] * b[ib]: the accurate
+     multiplication of [Quad_double.Pre.mul], all partial products of
+     order < 4 with their two_prod errors, order-4 terms folded in plain
+     double, then the final renormalization of the five-term result. *)
+  let mul4 c (dst : float array) (a : float array array) ia
+      (b : float array array) ib =
+    let a0 = a.(0).(ia)
+    and a1 = a.(1).(ia)
+    and a2 = a.(2).(ia)
+    and a3 = a.(3).(ia) in
+    let b0 = b.(0).(ib)
+    and b1 = b.(1).(ib)
+    and b2 = b.(2).(ib)
+    and b3 = b.(3).(ib) in
+    (* p, q = two_prod for every partial product of order < 3. *)
+    let p0 = a0 *. b0 in
+    let q0 = Float.fma a0 b0 (-.p0) in
+    let p1 = a0 *. b1 in
+    let q1 = Float.fma a0 b1 (-.p1) in
+    let p2 = a1 *. b0 in
+    let q2 = Float.fma a1 b0 (-.p2) in
+    let p3 = a0 *. b2 in
+    let q3 = Float.fma a0 b2 (-.p3) in
+    let p4 = a1 *. b1 in
+    let q4 = Float.fma a1 b1 (-.p4) in
+    let p5 = a2 *. b0 in
+    let q5 = Float.fma a2 b0 (-.p5) in
+    (* p1, p2, q0 = three_sum p1 p2 q0 *)
+    let t1 = p1 +. p2 in
+    let bb = t1 -. p1 in
+    let t2 = (p1 -. (t1 -. bb)) +. (p2 -. bb) in
+    let s0 = q0 +. t1 in
+    let bb = s0 -. q0 in
+    let t3 = (q0 -. (s0 -. bb)) +. (t1 -. bb) in
+    let s1 = t2 +. t3 in
+    let bb = s1 -. t2 in
+    let s2 = (t2 -. (s1 -. bb)) +. (t3 -. bb) in
+    let p1 = s0 and p2 = s1 and q0 = s2 in
+    (* p2, q1, q2 = three_sum p2 q1 q2 *)
+    let t1 = p2 +. q1 in
+    let bb = t1 -. p2 in
+    let t2 = (p2 -. (t1 -. bb)) +. (q1 -. bb) in
+    let s0 = q2 +. t1 in
+    let bb = s0 -. q2 in
+    let t3 = (q2 -. (s0 -. bb)) +. (t1 -. bb) in
+    let s1 = t2 +. t3 in
+    let bb = s1 -. t2 in
+    let s2 = (t2 -. (s1 -. bb)) +. (t3 -. bb) in
+    let p2 = s0 and q1 = s1 and q2 = s2 in
+    (* p3, p4, p5 = three_sum p3 p4 p5 *)
+    let t1 = p3 +. p4 in
+    let bb = t1 -. p3 in
+    let t2 = (p3 -. (t1 -. bb)) +. (p4 -. bb) in
+    let s0 = p5 +. t1 in
+    let bb = s0 -. p5 in
+    let t3 = (p5 -. (s0 -. bb)) +. (t1 -. bb) in
+    let s1 = t2 +. t3 in
+    let bb = s1 -. t2 in
+    let s2 = (t2 -. (s1 -. bb)) +. (t3 -. bb) in
+    let p3 = s0 and p4 = s1 and p5 = s2 in
+    (* (s0, s1, s2) = (p2, q1, q2) + (p3, p4, p5) *)
+    let s0 = p2 +. p3 in
+    let bb = s0 -. p2 in
+    let t0 = (p2 -. (s0 -. bb)) +. (p3 -. bb) in
+    let s1 = q1 +. p4 in
+    let bb = s1 -. q1 in
+    let t1 = (q1 -. (s1 -. bb)) +. (p4 -. bb) in
+    let s2 = q2 +. p5 in
+    let s1' = s1 +. t0 in
+    let bb = s1' -. s1 in
+    let t0' = (s1 -. (s1' -. bb)) +. (t0 -. bb) in
+    let s1 = s1' and t0 = t0' in
+    let s2 = s2 +. t0 +. t1 in
+    (* O(eps^3) terms. *)
+    let p6 = a0 *. b3 in
+    let q6 = Float.fma a0 b3 (-.p6) in
+    let p7 = a1 *. b2 in
+    let q7 = Float.fma a1 b2 (-.p7) in
+    let p8 = a2 *. b1 in
+    let q8 = Float.fma a2 b1 (-.p8) in
+    let p9 = a3 *. b0 in
+    let q9 = Float.fma a3 b0 (-.p9) in
+    (* Nine-two sum of q0, s1, q3, q4, q5, p6, p7, p8, p9. *)
+    let u = q0 +. q3 in
+    let bb = u -. q0 in
+    let q3' = (q0 -. (u -. bb)) +. (q3 -. bb) in
+    let q0 = u and q3 = q3' in
+    let u = q4 +. q5 in
+    let bb = u -. q4 in
+    let q5' = (q4 -. (u -. bb)) +. (q5 -. bb) in
+    let q4 = u and q5 = q5' in
+    let u = p6 +. p7 in
+    let bb = u -. p6 in
+    let p7' = (p6 -. (u -. bb)) +. (p7 -. bb) in
+    let p6 = u and p7 = p7' in
+    let u = p8 +. p9 in
+    let bb = u -. p8 in
+    let p9' = (p8 -. (u -. bb)) +. (p9 -. bb) in
+    let p8 = u and p9 = p9' in
+    let t0'' = q0 +. q4 in
+    let bb = t0'' -. q0 in
+    let t1'' = (q0 -. (t0'' -. bb)) +. (q4 -. bb) in
+    let t0 = t0'' and t1 = t1'' in
+    let t1 = t1 +. q3 +. q5 in
+    let r0 = p6 +. p8 in
+    let bb = r0 -. p6 in
+    let r1 = (p6 -. (r0 -. bb)) +. (p8 -. bb) in
+    let r1 = r1 +. p7 +. p9 in
+    let q3 = t0 +. r0 in
+    let bb = q3 -. t0 in
+    let q4 = (t0 -. (q3 -. bb)) +. (r0 -. bb) in
+    let q4 = q4 +. t1 +. r1 in
+    let t0 = q3 +. s1 in
+    let bb = t0 -. q3 in
+    let t1 = (q3 -. (t0 -. bb)) +. (s1 -. bb) in
+    let t1 = t1 +. q4 in
+    (* O(eps^4) terms. *)
+    let t1 =
+      t1 +. (a1 *. b3) +. (a2 *. b2) +. (a3 *. b1) +. q6 +. q7 +. q8 +. q9
+      +. s2
+    in
+    let rt = c.rt in
+    rt.(0) <- p0;
+    rt.(1) <- p1;
+    rt.(2) <- s0;
+    rt.(3) <- t0;
+    rt.(4) <- t1;
+    renorm c 5;
+    dst.(0) <- c.out.(0);
+    dst.(1) <- c.out.(1);
+    dst.(2) <- c.out.(2);
+    dst.(3) <- c.out.(3)
+
+  let clear c = clear4 c.acc
+  let load c p i = load4 c.acc p i
+  let store c p i = store4 c.acc p i
+
+  (* acc := acc + p[i], exactly [K.add acc x]. *)
+  let add c p i =
+    load4 c.tmp p i;
+    add4 c c.acc c.tmp
+
+  let mul_set c a ia b ib = mul4 c c.acc a ia b ib
+
+  (* acc := acc + a[ia] * b[ib], exactly [K.add acc (K.mul a b)]. *)
+  let mul_add c a ia b ib =
+    mul4 c c.prod a ia b ib;
+    add4 c c.acc c.prod
+
+  (* p[i] := p[i] - acc, exactly [K.sub x acc]. *)
+  let sub_from c p i =
+    load4 c.tmp p i;
+    sub4 c c.tmp c.acc;
+    store4 c.tmp p i
+
+  let plan =
+    { limbs = 4; make_ctx; clear; load; store; add; mul_set; mul_add; sub_from }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Any other m >= 3: allocation-free replay of [Expansion.Pre]         *)
+(* ------------------------------------------------------------------ *)
+
+module Gen = struct
+  (* Size of the truncated-product buffer of [Expansion.Pre.mul]: two
+     doubles per exact partial product of order < m, one per guard term
+     of order m. *)
+  let pcount m = (m * m) + (2 * m) - 1
+
+  let make_ctx m () =
+    {
+      acc = Array.make m 0.0;
+      tmp = Array.make m 0.0;
+      prod = Array.make m 0.0;
+      nb = Array.make m 0.0;
+      abuf = Array.make (2 * m) 0.0;
+      pbuf = Array.make (pcount m) 0.0;
+      rt = empty;
+      out = Array.make m 0.0;
+      uv = Array.make 1 0.0;
+      mi = 0;
+      mj = 0;
+      mk = 0;
+    }
+
+  (* [renorm_into c buf n m passes] is [Renorm.renormalize ~passes ~m]
+     over buf.(0 .. n-1), writing c.out; buf is clobbered.  Same
+     backward two_sum ladder(s), same forward quick_two_sum commit with
+     the same zero tests, with the running carry in c.uv.(0) instead of
+     a ref. *)
+  let renorm_into c (buf : float array) n m passes =
+    for _ = 1 to passes do
+      c.uv.(0) <- buf.(n - 1);
+      for i = n - 2 downto 0 do
+        let a = buf.(i) and b = c.uv.(0) in
+        let s = a +. b in
+        let bb = s -. a in
+        let e = (a -. (s -. bb)) +. (b -. bb) in
+        c.uv.(0) <- s;
+        buf.(i + 1) <- e
+      done;
+      buf.(0) <- c.uv.(0)
+    done;
+    for k = 0 to m - 1 do
+      c.out.(k) <- 0.0
+    done;
+    c.mi <- 1;
+    c.mk <- 0;
+    c.uv.(0) <- buf.(0);
+    while c.mi < n && c.mk < m do
+      let a = c.uv.(0) and b = buf.(c.mi) in
+      let s = a +. b in
+      let e = b -. (s -. a) in
+      if e <> 0.0 then begin
+        c.out.(c.mk) <- s;
+        c.mk <- c.mk + 1;
+        c.uv.(0) <- e
+      end
+      else c.uv.(0) <- s;
+      c.mi <- c.mi + 1
+    done;
+    if c.mk < m then c.out.(c.mk) <- c.uv.(0)
+
+  (* [add_arrays c m x y] sets x := x + y (both m-limb, normalized hence
+     magnitude-sorted): [Renorm.merge_by_magnitude] into c.abuf followed
+     by the two-pass renormalization — exactly [Expansion.Pre.add]. *)
+  let add_arrays c m (x : float array) (y : float array) =
+    let w = c.abuf in
+    c.mi <- 0;
+    c.mj <- 0;
+    c.mk <- 0;
+    while c.mi < m && c.mj < m do
+      if Float.abs x.(c.mi) >= Float.abs y.(c.mj) then begin
+        w.(c.mk) <- x.(c.mi);
+        c.mi <- c.mi + 1
+      end
+      else begin
+        w.(c.mk) <- y.(c.mj);
+        c.mj <- c.mj + 1
+      end;
+      c.mk <- c.mk + 1
+    done;
+    while c.mi < m do
+      w.(c.mk) <- x.(c.mi);
+      c.mi <- c.mi + 1;
+      c.mk <- c.mk + 1
+    done;
+    while c.mj < m do
+      w.(c.mk) <- y.(c.mj);
+      c.mj <- c.mj + 1;
+      c.mk <- c.mk + 1
+    done;
+    renorm_into c w (2 * m) m 2;
+    Array.blit c.out 0 x 0 m
+
+  (* [mul_into c m dst a ia b ib]: dst := a[ia] * b[ib], exactly
+     [Expansion.Pre.mul] — partial products emitted by increasing order
+     (each order-< m product split by fma two_prod), one guard order of
+     plain products, sorted by decreasing magnitude, distilled in two
+     passes.  [Renorm.sort_by_magnitude] is called on the exact-sized
+     buffer so ties land in the same order as the boxed path. *)
+  let mul_into c m (dst : float array) (a : float array array) ia
+      (b : float array array) ib =
+    let buf = c.pbuf in
+    c.mk <- 0;
+    for o = 0 to m - 1 do
+      for i = 0 to o do
+        let j = o - i in
+        let x = a.(i).(ia) and y = b.(j).(ib) in
+        let p = x *. y in
+        let e = Float.fma x y (-.p) in
+        buf.(c.mk) <- p;
+        c.mk <- c.mk + 1;
+        buf.(c.mk) <- e;
+        c.mk <- c.mk + 1
+      done
+    done;
+    for i = 1 to m - 1 do
+      buf.(c.mk) <- a.(i).(ia) *. b.(m - i).(ib);
+      c.mk <- c.mk + 1
+    done;
+    Renorm.sort_by_magnitude buf;
+    renorm_into c buf (pcount m) m 2;
+    Array.blit c.out 0 dst 0 m
+
+  let clear c =
+    let a = c.acc in
+    for k = 0 to Array.length a - 1 do
+      a.(k) <- 0.0
+    done
+
+  let load m c (p : float array array) i =
+    for pl = 0 to m - 1 do
+      c.acc.(pl) <- p.(pl).(i)
+    done
+
+  let store m c (p : float array array) i =
+    for pl = 0 to m - 1 do
+      p.(pl).(i) <- c.acc.(pl)
+    done
+
+  (* acc := acc + p[i], exactly [K.add acc x]. *)
+  let add m c (p : float array array) i =
+    for pl = 0 to m - 1 do
+      c.tmp.(pl) <- p.(pl).(i)
+    done;
+    add_arrays c m c.acc c.tmp
+
+  let mul_set m c a ia b ib = mul_into c m c.acc a ia b ib
+
+  (* acc := acc + a[ia] * b[ib], exactly [K.add acc (K.mul a b)]. *)
+  let mul_add m c a ia b ib =
+    mul_into c m c.prod a ia b ib;
+    add_arrays c m c.acc c.prod
+
+  (* p[i] := p[i] - acc, exactly [K.sub x acc] = add x (neg acc). *)
+  let sub_from m c (p : float array array) i =
+    for pl = 0 to m - 1 do
+      c.tmp.(pl) <- p.(pl).(i);
+      c.nb.(pl) <- -.c.acc.(pl)
+    done;
+    add_arrays c m c.tmp c.nb;
+    for pl = 0 to m - 1 do
+      p.(pl).(i) <- c.tmp.(pl)
+    done
+
+  let plan m =
+    {
+      limbs = m;
+      make_ctx = make_ctx m;
+      clear;
+      load = load m;
+      store = store m;
+      add = add m;
+      mul_set = mul_set m;
+      mul_add = mul_add m;
+      sub_from = sub_from m;
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+(* The single dispatch point                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Plain double (m = 1) is left out: its boxed path does one machine
+   operation per kernel operation, so limb staging could only lose. *)
+let supported m = m >= 2
+
+let plan ~limbs =
+  if limbs = 2 then Some Dd.plan
+  else if limbs = 4 then Some Qd.plan
+  else if supported limbs then Some (Gen.plan limbs)
+  else None

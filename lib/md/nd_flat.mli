@@ -1,0 +1,56 @@
+(** Limb-generic flat kernel plane.
+
+    Allocation-free multiple double arithmetic computed directly on
+    staggered limb planes ([planes.(limb).(index)] : [float array array])
+    for any limb count [m >= 2], behind one first-class dispatch record.
+
+    Every operation replays the exact floating point sequence of the
+    boxed module registered for that limb count, so results are
+    bit-identical limb for limb: [m = 2] runs the unrolled QDlib
+    double-double sequences, [m = 4] the QDlib quad-double sequences,
+    and every other [m >= 3] an allocation-free replay of
+    [Expansion.Pre] (merge + renormalize addition, truncated
+    partial-product multiplication) — which is what gives octo double,
+    triple double and hexa double flat execution without hand-written
+    kernels. *)
+
+type ctx
+(** Mutable per-block scratch.  Allocate one per launch block (or test
+    loop) with {!field:plan.make_ctx} and reuse it across elements; a
+    [ctx] must not be shared between domains. *)
+
+(** The kernel-ops record resolved once per limb count.  All operations
+    read operands from / write results to staggered planes, with the
+    running value held inside the [ctx]:
+
+    - [clear c] — acc := 0
+    - [load c p i] — acc := p\[i\]
+    - [store c p i] — p\[i\] := acc
+    - [add c p i] — acc := acc + p\[i\] (boxed [K.add acc x])
+    - [mul_set c a ia b ib] — acc := a\[ia\] * b\[ib\]
+    - [mul_add c a ia b ib] — acc := acc + a\[ia\] * b\[ib\]
+      (boxed [K.add acc (K.mul a b)])
+    - [sub_from c p i] — p\[i\] := p\[i\] - acc (boxed [K.sub x acc]) *)
+type plan = {
+  limbs : int;
+  make_ctx : unit -> ctx;
+  clear : ctx -> unit;
+  load : ctx -> float array array -> int -> unit;
+  store : ctx -> float array array -> int -> unit;
+  add : ctx -> float array array -> int -> unit;
+  mul_set : ctx -> float array array -> int -> float array array -> int -> unit;
+  mul_add : ctx -> float array array -> int -> float array array -> int -> unit;
+  sub_from : ctx -> float array array -> int -> unit;
+}
+
+val supported : int -> bool
+(** [supported m] is [true] iff a flat plan exists for limb count [m],
+    i.e. [m >= 2].  Plain double ([m = 1]) is excluded: its boxed path
+    is one machine operation per kernel op, so limb staging could only
+    lose. *)
+
+val plan : limbs:int -> plan option
+(** [plan ~limbs] resolves the flat kernel-ops record for a limb count.
+    [None] exactly when [not (supported limbs)].  This is the single
+    dispatch point: precision selection happens here, once, and
+    everything downstream is written against the returned record. *)

@@ -17,6 +17,7 @@ module Pre = struct
     { x0 = a.(0); x1 = a.(1); x2 = a.(2); x3 = a.(3) }
 
   let of_limbs a = of_array (Renorm.renormalize ~m:4 a)
+  let of_limbs_exact = of_array
   let to_limbs q = [| q.x0; q.x1; q.x2; q.x3 |]
   let renorm4 c = of_array (Renorm.renormalize ~m:4 c)
 

@@ -359,6 +359,25 @@ let test_solve_ft () =
   check "bitflip campaign recovers" true
     (match flips.Report.residual with Some v -> v.Report.ok | None -> false)
 
+let test_od_flat_fault () =
+  (* Octo double executes on the flat limb planes since the limb-generic
+     kernel plane landed: the bit-flip corruptor strikes the raw staged
+     planes and the ABFT checksums digest those same planes, so the
+     detect/recover ladder must work unchanged at m = 8. *)
+  check "od runs the flat path" true
+    (Mdlinalg.Scalar.Od.flat_ok
+    && Multidouble.Nd_flat.supported Mdlinalg.Scalar.Od.width);
+  let flips =
+    R.solve_ft
+      ~fault:(Plan.config ~kinds:[ Plan.Bitflip ] ~seed:23 ~rate:0.05 ())
+      P.OD device ~n:16 ~tile:4
+  in
+  (match flips.Report.faults with
+  | Some f -> check "bitflips struck the od planes" true (f.Report.bitflips > 0)
+  | None -> Alcotest.fail "armed od run carries no fault record");
+  check "od bitflip campaign recovers" true
+    (match flips.Report.residual with Some v -> v.Report.ok | None -> false)
+
 (* ---- scheduler classification and job validation ---- *)
 
 let solve_job ?(rate = 0.0) ?(seed = 1) ~id () =
@@ -532,6 +551,8 @@ let () =
           Alcotest.test_case "executed recovery is exact" `Quick
             test_executed_recovery_is_exact;
           Alcotest.test_case "fault-tolerant solve" `Quick test_solve_ft;
+          Alcotest.test_case "od bitflips over the flat path" `Quick
+            test_od_flat_fault;
         ] );
       ( "scheduler",
         [

@@ -1,10 +1,11 @@
 (* Tests for the flat limb-planar kernel layer: the plane microkernels
    must be bit-for-bit (limb-exact) equivalent to the generic scalar
-   path, the dispatchers in the blocked QR and the tiled back
-   substitution must produce limb-identical results with the flat path
-   on and off, the staggered staging must round-trip exactly, and the
-   capability gate must exclude the scalars the flat primitives do not
-   cover (complex, instrumented, widths other than 2 and 4). *)
+   path at every covered precision (dd, qd and — through the generic
+   Nd_flat engine — od), the dispatchers in the blocked QR and the
+   tiled back substitution must produce limb-identical results with the
+   flat path on and off, the staggered staging must round-trip exactly,
+   and the capability gate must exclude the scalars the flat plane does
+   not cover (complex, instrumented, plain double). *)
 
 open Multidouble
 open Mdlinalg
@@ -204,6 +205,7 @@ end
 
 module Edd = Equiv (Scalar.Dd)
 module Eqd = Equiv (Scalar.Qd)
+module Eod = Equiv (Scalar.Od)
 
 (* ---- staggered staging round-trips ---- *)
 
@@ -247,6 +249,7 @@ end
 
 module Rdd = Roundtrip (Scalar.Dd)
 module Rqd = Roundtrip (Scalar.Qd)
+module Rod = Roundtrip (Scalar.Od)
 
 (* ---- the capability gate ---- *)
 
@@ -258,9 +261,10 @@ let test_gating () =
   in
   check "dd available" true (avail (module Scalar.Dd));
   check "qd available" true (avail (module Scalar.Qd));
-  (* The flat primitives cover only real dd and qd. *)
+  check "od available" true (avail (module Scalar.Od));
+  (* The flat plane covers real multiple doubles only; plain double has
+     no plan (one machine op per kernel op — staging could only lose). *)
   check "d excluded" false (avail (module Scalar.D));
-  check "od excluded" false (avail (module Scalar.Od));
   check "complex dd excluded" false (avail (module Scalar.Zdd));
   check "complex qd excluded" false (avail (module Scalar.Zqd));
   (* Instrumented arithmetic must stay generic so every operation is
@@ -279,6 +283,7 @@ let () =
     [
       ("dd equivalence", Edd.tests "dd");
       ("qd equivalence", Eqd.tests "qd");
-      ("staging", Rdd.tests "dd" @ Rqd.tests "qd");
+      ("od equivalence", Eod.tests "od");
+      ("staging", Rdd.tests "dd" @ Rqd.tests "qd" @ Rod.tests "od");
       ("gating", [ Alcotest.test_case "capability gate" `Quick test_gating ]);
     ]

@@ -218,6 +218,160 @@ module Rqd = Renorm_props (Quad_double)
 module Rod = Renorm_props (Octo_double)
 
 (* ------------------------------------------------------------------ *)
+(* Flat kernel plane: bit-identity with the boxed registry path         *)
+(* ------------------------------------------------------------------ *)
+
+(* Every [Nd_flat] kernel operation, on random staggered planes, must
+   agree with the boxed module limb for limb (via Int64.bits_of_float) —
+   the contract that lets the solvers dispatch to the flat plane on a
+   pure capability check.  Instantiated below for every precision in
+   [Precision.all] that has a plan (all multiple doubles, including the
+   Expansion-generated octo double). *)
+module Flat_props (S : Md_sig.S) = struct
+  open QCheck2
+
+  let m = S.limbs
+
+  let fp =
+    match Nd_flat.plan ~limbs:m with
+    | Some p -> p
+    | None -> Alcotest.failf "no flat plan for %d limbs" m
+
+  (* Full-precision staggered values: a random limb at every scale, with
+     a random binary exponent (the generator of [Props]). *)
+  let gen_val : S.t Gen.t =
+    let open Gen in
+    let* limbs = array_size (return m) (float_range (-1.0) 1.0) in
+    let* e = int_range (-24) 24 in
+    let l =
+      Array.mapi
+        (fun i x -> x *. (2.0 ** ((-53.0 *. float_of_int i) +. float_of_int e)))
+        limbs
+    in
+    return (S.of_limbs l)
+
+  let bits_eq (a : float array) (b : float array) =
+    Array.length a = Array.length b
+    && Array.for_all2
+         (fun x y ->
+           Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+         a b
+
+  (* Stage boxed values into limb planes (the [Staggered] layout). *)
+  let stage (vals : S.t array) =
+    let n = Array.length vals in
+    let p = Array.init m (fun _ -> Array.make n 0.0) in
+    Array.iteri
+      (fun i v ->
+        let l = S.to_limbs v in
+        for pl = 0 to m - 1 do
+          p.(pl).(i) <- l.(pl)
+        done)
+      vals;
+    p
+
+  (* Read the accumulator back out through [store]. *)
+  let acc_limbs ctx =
+    let out = Array.init m (fun _ -> Array.make 1 0.0) in
+    fp.Nd_flat.store ctx out 0;
+    Array.map (fun plane -> plane.(0)) out
+
+  let check_op name boxed flat_limbs =
+    if not (bits_eq (S.to_limbs boxed) flat_limbs) then
+      Test.fail_reportf "%s: flat limbs differ from boxed %s" name
+        (S.to_string boxed)
+    else true
+
+  let suite name =
+    let { Nd_flat.make_ctx; clear; load; store = _; add; mul_set; mul_add;
+          sub_from; limbs = _ } = fp
+    in
+    ( name ^ " flat bit-identity",
+      [
+        to_alco ~count:200 "load/store roundtrip" gen_val (fun x ->
+            let ctx = make_ctx () in
+            load ctx (stage [| x |]) 0;
+            bits_eq (S.to_limbs x) (acc_limbs ctx));
+        to_alco ~count:200 "add" (Gen.pair gen_val gen_val) (fun (a, b) ->
+            let ctx = make_ctx () in
+            load ctx (stage [| a |]) 0;
+            add ctx (stage [| b |]) 0;
+            check_op "add" (S.add a b) (acc_limbs ctx));
+        to_alco ~count:200 "mul_set" (Gen.pair gen_val gen_val)
+          (fun (a, b) ->
+            let ctx = make_ctx () in
+            mul_set ctx (stage [| a |]) 0 (stage [| b |]) 0;
+            check_op "mul_set" (S.mul a b) (acc_limbs ctx));
+        to_alco ~count:200 "mul_add" (Gen.triple gen_val gen_val gen_val)
+          (fun (c, a, b) ->
+            let ctx = make_ctx () in
+            load ctx (stage [| c |]) 0;
+            mul_add ctx (stage [| a |]) 0 (stage [| b |]) 0;
+            check_op "mul_add" (S.add c (S.mul a b)) (acc_limbs ctx));
+        to_alco ~count:200 "sub_from" (Gen.pair gen_val gen_val)
+          (fun (x, c) ->
+            let ctx = make_ctx () in
+            load ctx (stage [| c |]) 0;
+            let xs = stage [| x |] in
+            sub_from ctx xs 0;
+            let got = Array.map (fun plane -> plane.(0)) xs in
+            check_op "sub_from" (S.sub x c) got);
+        to_alco ~count:100 "dot chain"
+          (Gen.pair
+             (Gen.array_size (Gen.int_range 1 17) gen_val)
+             (Gen.array_size (Gen.int_range 1 17) gen_val))
+          (fun (xs, ys) ->
+            (* Accumulation chains grow limb occupancy the way the real
+               kernels do; run the exact mul_add sequence of the matmul
+               body against its boxed form. *)
+            let n = min (Array.length xs) (Array.length ys) in
+            let xs = Array.sub xs 0 n and ys = Array.sub ys 0 n in
+            let xp = stage xs and yp = stage ys in
+            let ctx = make_ctx () in
+            clear ctx;
+            let boxed = ref S.zero in
+            for i = 0 to n - 1 do
+              mul_add ctx xp i yp i;
+              boxed := S.add !boxed (S.mul xs.(i) ys.(i))
+            done;
+            check_op "dot chain" !boxed (acc_limbs ctx));
+      ] )
+end
+
+(* The boxed reference comes from the registry — the same dispatch the
+   production stack uses. *)
+let flat_suites =
+  List.filter_map
+    (fun tag ->
+      let limbs = Precision.limbs tag in
+      if Nd_flat.supported limbs then
+        let module S = (val Registry.module_of_tag tag) in
+        let module P = Flat_props (S) in
+        Some (P.suite (Precision.name tag))
+      else None)
+    Precision.all
+
+let flat_gate_suite =
+  ( "flat plan gating",
+    [
+      Alcotest.test_case "plain double has no plan" `Quick (fun () ->
+          Alcotest.(check bool) "limbs=1" true (Nd_flat.plan ~limbs:1 = None));
+      Alcotest.test_case "every multiple double has a plan" `Quick (fun () ->
+          List.iter
+            (fun tag ->
+              let limbs = Precision.limbs tag in
+              if limbs > 1 then
+                match Nd_flat.plan ~limbs with
+                | Some p ->
+                    Alcotest.(check int)
+                      (Precision.name tag ^ " plan limbs")
+                      limbs p.Nd_flat.limbs
+                | None ->
+                    Alcotest.failf "no plan for %s" (Precision.name tag))
+            Precision.all);
+    ] )
+
+(* ------------------------------------------------------------------ *)
 (* Linear algebra invariants                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -405,7 +559,7 @@ module Spz = Series_props (Scalar.Zdd)
 
 let () =
   Alcotest.run "properties"
-    [
+    ([
       Pd.suite "double";
       Pdd.suite "double double";
       Pqd.suite "quad double";
@@ -413,6 +567,10 @@ let () =
       Rdd.suite "double double";
       Rqd.suite "quad double";
       Rod.suite "octo double";
+    ]
+    @ flat_suites
+    @ [
+      flat_gate_suite;
       Ld.suite "double";
       Ldd.suite "double double";
       Lqd.suite "quad double";
@@ -421,4 +579,4 @@ let () =
       Fpq.suite "quad double";
       Spdd.suite "double double";
       Spz.suite "complex double double";
-    ]
+    ])
