@@ -102,6 +102,41 @@ module Bod = Bench (Scalar.Od)
 
 let pf = Printf.printf
 
+(* The register-tile of each precision's matmul microkernel, classified
+   on the reference device (V100) from its per-tile flop and byte counts
+   through [Obs.Roofline.microkernel] — the CGMA story of the paper in
+   tile-sized form: double double tiles sit below the ridge point
+   (memory-bound), octo double tiles far above it (compute-bound). *)
+let tiles () =
+  let dev = Gpusim.Device.v100 in
+  List.map
+    (fun (prec, (t : Flat_kernels.tile)) ->
+      let s =
+        Obs.Roofline.microkernel
+          ~stage:(prec ^ " matmul tile")
+          ~flops:t.Flat_kernels.flops ~bytes:t.Flat_kernels.bytes
+          ~peak_gflops:dev.Gpusim.Device.dp_peak_gflops
+          ~dram_gb_s:dev.Gpusim.Device.dram_gb_s
+      in
+      (prec, t, s))
+    [ ("2d", Bdd.F.tile); ("4d", Bqd.F.tile); ("8d", Bod.F.tile) ]
+
+let report_tiles ts =
+  let dev = Gpusim.Device.v100 in
+  pf "\nmicrokernel tiles (mr x nr x kc), roofline on %s (ridge %.1f \
+      flops/byte):\n"
+    dev.Gpusim.Device.name
+    (Obs.Roofline.ridge ~peak_gflops:dev.Gpusim.Device.dp_peak_gflops
+       ~dram_gb_s:dev.Gpusim.Device.dram_gb_s);
+  List.iter
+    (fun (prec, (t : Flat_kernels.tile), (s : Obs.Roofline.stage)) ->
+      pf "  %-4s %d x %d x %-4d %10.0f flops %8.0f bytes %8.2f flops/byte \
+          -> %s-bound\n"
+        prec t.Flat_kernels.mr t.Flat_kernels.nr t.Flat_kernels.kc
+        t.Flat_kernels.flops t.Flat_kernels.bytes s.Obs.Roofline.intensity
+        (Obs.Roofline.bound_name s.Obs.Roofline.bound))
+    ts
+
 let header () =
   pf "\n%s\n" (String.make 100 '-');
   pf
@@ -125,6 +160,22 @@ let json_of_rows rows =
   Buffer.add_string b
     (Printf.sprintf "  \"domains\": %d,\n"
        (Dompool.Domain_pool.size (Dompool.Domain_pool.get_default ())));
+  Buffer.add_string b "  \"tiles\": [\n";
+  let ts = tiles () in
+  let tlast = List.length ts - 1 in
+  List.iteri
+    (fun i (prec, (t : Flat_kernels.tile), (s : Obs.Roofline.stage)) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"prec\": %S, \"mr\": %d, \"nr\": %d, \"kc\": %d, \
+            \"flops\": %.0f, \"bytes\": %.0f, \"intensity\": %.3f, \
+            \"bound\": %S}%s\n"
+           prec t.Flat_kernels.mr t.Flat_kernels.nr t.Flat_kernels.kc
+           t.Flat_kernels.flops t.Flat_kernels.bytes s.Obs.Roofline.intensity
+           (Obs.Roofline.bound_name s.Obs.Roofline.bound)
+           (if i = tlast then "" else ",")))
+    ts;
+  Buffer.add_string b "  ],\n";
   Buffer.add_string b "  \"results\": [\n";
   let last = List.length rows - 1 in
   List.iteri
@@ -149,7 +200,7 @@ let json_of_rows rows =
 let run () =
   header ();
   let sizes = [ 256; 512; 1024 ] in
-  let od_sizes = [ 64; 96 ] in
+  let od_sizes = [ 64; 96; 128; 256 ] in
   (* Bound one group at a time: [@] gives no evaluation order, and the
      progress rows should print in the order they land in the json. *)
   let dd_rows =
@@ -180,6 +231,7 @@ let run () =
       od_sizes
   in
   let rows = dd_rows @ qd_rows @ od_rows in
+  report_tiles (tiles ());
   let path = "BENCH_kernels.json" in
   let oc = open_out path in
   output_string oc (json_of_rows rows);
@@ -188,12 +240,17 @@ let run () =
 
 (* Smoke: one dd and one (small) od comparison, each finishing in
    seconds; fails the run (exit 1) if either flat path is not faster
-   than its generic one.  The od case doubles as a standing
-   bit-identity check on the generic limb engine ([Bench.matmul]
+   than its generic one, or if the octo double speedup falls below the
+   regression floor — the specialized m = 8 engine holds well above 3x
+   even at this small size, so dipping under it means the engine
+   regressed to replay-level performance.  The od case doubles as a
+   standing bit-identity check on the m = 8 engine ([Bench.matmul]
    verifies limb for limb while it times). *)
+let od_smoke_floor = 3.0
+
 let smoke () =
   header ();
-  let gate r =
+  let gate ?floor r =
     report r;
     if r.flat_ms >= r.generic_ms then begin
       Printf.eprintf
@@ -201,9 +258,18 @@ let smoke () =
          (%.1f ms)\n"
         r.prec r.flat_ms r.generic_ms;
       exit 1
-    end
+    end;
+    match floor with
+    | Some fl when r.generic_ms /. r.flat_ms < fl ->
+        Printf.eprintf
+          "kernels-smoke: %s flat speedup %.2fx below the %.1fx floor\n"
+          r.prec
+          (r.generic_ms /. r.flat_ms)
+          fl;
+        exit 1
+    | _ -> ()
   in
   let g, f = Bdd.matmul ~n:192 in
   gate { prec = "2d"; n = 192; generic_ms = g; flat_ms = f };
   let g, f = Bod.matmul ~n:32 in
-  gate { prec = "8d"; n = 32; generic_ms = g; flat_ms = f }
+  gate ~floor:od_smoke_floor { prec = "8d"; n = 32; generic_ms = g; flat_ms = f }

@@ -6,18 +6,33 @@
    At paper-scale dimensions the resulting allocation traffic, not the
    arithmetic, dominates host wall time.
 
-   This module executes the same kernels directly on the staggered
-   [float array] planes of [Staggered], through the limb-generic
-   [Nd_flat.plan] record: precision selection happens exactly once, at
-   functor application, when the plan is resolved from the limb count —
-   every kernel below is written once against the record, for any
-   supported width (double double, quad double, octo double, and any
-   future Expansion precision alike).  The plan's engines replay the
-   boxed operation sequences floating point operation for floating point
-   operation, so the flat kernels produce results that are limb for limb
-   identical to the generic path; the solvers exploit that to switch
-   paths on a pure capability check ([available]) with no numerical
-   consequences.
+   This module executes the same kernels directly on staggered limb
+   planes ([Nd_flat.planes]: one flat [Bigarray] of float64 words per
+   limb), through the limb-generic [Nd_flat.plan] record: precision
+   selection happens exactly once, at functor application, when the plan
+   is resolved from the limb count — every kernel below is written once
+   against the record, for any supported width (double double, quad
+   double, octo double, and any future Expansion precision alike).  The
+   plan's engines replay the boxed operation sequences floating point
+   operation for floating point operation, so the flat kernels produce
+   results that are limb for limb identical to the generic path; the
+   solvers exploit that to switch paths on a pure capability check
+   ([available]) with no numerical consequences.
+
+   The matrix product and the back substitution panel update run as
+   register-tiled, cache-blocked microkernels.  The tile geometry comes
+   from the cost model: NR = 8 output columns per micro-tile (one 64-byte
+   line of each B limb plane), KC chosen so the B panel of a chunk
+   (KC * NR elements * width limbs * 8 bytes, double-buffered) fits in a
+   32 KiB L1 slice — 128 for double double, 64 for quad double, 32 for
+   octo double.  Each of the NR lanes owns its own kernel context, so a
+   lane's operation sequence is exactly the untiled per-element sequence
+   (clear, ascending-k multiply-accumulate, store); spilling the partial
+   accumulator to the C planes between KC chunks is a plain limb copy in
+   both directions, so tiling preserves bit-identity.  What tiling buys
+   is locality: the inner loop walks a row of B unit-stride across the
+   lanes (the untiled loop walked B with column stride) and reuses each
+   A element NR times and each B panel across every row of the block.
 
    Staging an operand into planes costs O(elements) conversions while a
    matrix product performs O(elements * inner) operations on it, so the
@@ -35,10 +50,21 @@ open Multidouble
    consult it through [available]. *)
 let enabled = ref true
 
+(* The register-tile geometry and its per-tile operation/traffic counts,
+   for the roofline classification of the microkernels (computed here
+   because [Obs] deliberately knows nothing about precisions). *)
+type tile = {
+  mr : int; (* output rows per micro-tile *)
+  nr : int; (* output columns per micro-tile (lanes) *)
+  kc : int; (* inner-dimension chunk per cache block *)
+  flops : float; (* double precision flops of one full tile *)
+  bytes : float; (* bytes moved by one full tile (A, B panels + C spill) *)
+}
+
 module Make (K : Scalar.S) = struct
   (* A staged operand: [K.width] planes of rows*cols doubles, row-major —
      the layout of [Staggered], without the [K.t] matrix behind it. *)
-  type planes = { rows : int; cols : int; p : float array array }
+  type planes = { rows : int; cols : int; p : Nd_flat.planes }
 
   (* THE dispatch point: the kernel-ops record for this scalar's limb
      count, resolved here and nowhere else.  [None] only for widths
@@ -58,17 +84,39 @@ module Make (K : Scalar.S) = struct
         invalid_arg
           (Printf.sprintf "Flat_kernels: no flat plan for width %d" K.width)
 
+  (* Tile geometry from the cost model (see the header comment).  One
+     full tile performs mr*nr*kc fused multiply-accumulates, each one
+     multiple double mul + add (Table 1 flops), and moves the A column
+     strip, the B panel and the C micro-tile (in and out) once. *)
+  let nr_tile = 8
+  let kc_tile = max 16 (32768 / (2 * nr_tile * K.width * 8))
+
+  let tile =
+    let mr = 1 and nr = nr_tile and kc = kc_tile in
+    let fma =
+      Precision.add_flops K.prec + Precision.mul_flops K.prec
+    in
+    {
+      mr;
+      nr;
+      kc;
+      flops = float_of_int (mr * nr * kc * fma);
+      bytes =
+        float_of_int (((mr * kc) + (kc * nr) + (2 * mr * nr)) * K.width * 8);
+    }
+
   let alloc ~rows ~cols =
-    { rows; cols; p = Array.init K.width (fun _ -> Array.make (rows * cols) 0.0) }
+    { rows; cols; p = Nd_flat.make_planes ~limbs:K.width (rows * cols) }
 
   let stage ~rows ~cols ~get =
     let t = alloc ~rows ~cols in
+    let limbs = Array.make K.width 0.0 in
     for i = 0 to rows - 1 do
       let base = i * cols in
       for j = 0 to cols - 1 do
-        let limbs = K.to_planes (get i j) in
+        K.to_planes_into (get i j) limbs;
         for pl = 0 to K.width - 1 do
-          t.p.(pl).(base + j) <- limbs.(pl)
+          Nd_flat.set t.p pl (base + j) limbs.(pl)
         done
       done
     done;
@@ -76,14 +124,15 @@ module Make (K : Scalar.S) = struct
 
   (* [of_limbs] renormalizes, but flat results come out of the same
      renormalization the generic operations end with, so unstaging is the
-     identity on them (and on any normalized input). *)
+     identity on them (and on any normalized input).  [K.of_planes]
+     copies its argument, so the limb buffer is safely reused. *)
   let unstage t ~store =
     let limbs = Array.make K.width 0.0 in
     for i = 0 to t.rows - 1 do
       let base = i * t.cols in
       for j = 0 to t.cols - 1 do
         for pl = 0 to K.width - 1 do
-          limbs.(pl) <- t.p.(pl).(base + j)
+          limbs.(pl) <- Nd_flat.get t.p pl (base + j)
         done;
         store i j (K.of_planes limbs)
       done
@@ -95,39 +144,72 @@ module Make (K : Scalar.S) = struct
   (* Read element [i] of a staged vector back as a boxed scalar (probe
      reads for verification; the hot paths never box). *)
   let read_el (t : planes) i =
-    K.of_planes (Array.map (fun plane -> plane.(i)) t.p)
+    K.of_planes (Array.init K.width (fun pl -> Nd_flat.get t.p pl i))
 
   (* ---- The register-loading matrix product, one [Sim.launch] block:
      output elements [blk*threads, (blk+1)*threads), each a dot product
      of a row of [a] with a column of [b].  Identical operation sequence
-     to the generic body ([s := K.add !s (K.mul aik bkj)]). ---- *)
+     per element to the generic body ([s := K.add !s (K.mul aik bkj)]),
+     executed as the tiled microkernel described in the header: KC
+     chunks outermost (the B panel of a chunk stays cache resident
+     across every row of the block), then rows, then NR-lane column
+     tiles, each lane accumulating in its own context.  Partial sums
+     spill to the C planes between chunks — an exact limb copy. ---- *)
 
   let matmul_block ~threads (a : planes) (b : planes) (c : planes) blk =
     let total = c.rows * c.cols in
     let lo = blk * threads in
     let hi = min total (lo + threads) in
     if lo < hi then begin
-      let { Nd_flat.make_ctx; clear; mul_add; store; _ } = the_plan () in
-      let ctx = make_ctx () in
+      let { Nd_flat.make_ctx; clear; load; mul_add; store; _ } = the_plan () in
       let ap = a.p and bp = b.p and cp = c.p in
       let inner = a.cols and cols_o = c.cols and bcols = b.cols in
-      (* Running (row, col) pair instead of a division per element. *)
-      let i = ref (lo / cols_o) and j = ref (lo mod cols_o) in
-      for idx = lo to hi - 1 do
-        clear ctx;
-        let ai = ref (!i * inner) and bi = ref !j in
-        for _k = 0 to inner - 1 do
-          mul_add ctx ap !ai bp !bi;
-          incr ai;
-          bi := !bi + bcols
-        done;
-        store ctx cp idx;
-        incr j;
-        if !j = cols_o then begin
-          j := 0;
-          incr i
-        end
-      done
+      let ctxs = Array.init nr_tile (fun _ -> make_ctx ()) in
+      if inner = 0 then begin
+        (* Degenerate product: every output is the empty sum. *)
+        let ctx = ctxs.(0) in
+        for idx = lo to hi - 1 do
+          clear ctx;
+          store ctx cp idx
+        done
+      end
+      else begin
+        let row_lo = lo / cols_o and row_hi = (hi - 1) / cols_o in
+        let k0 = ref 0 in
+        while !k0 < inner do
+          let khi = min inner (!k0 + kc_tile) in
+          for i = row_lo to row_hi do
+            let jstart = if i = row_lo then lo mod cols_o else 0 in
+            let jstop =
+              if i = row_hi then ((hi - 1) mod cols_o) + 1 else cols_o
+            in
+            let abase = i * inner and cbase = i * cols_o in
+            let j0 = ref jstart in
+            while !j0 < jstop do
+              let nl = min nr_tile (jstop - !j0) in
+              if !k0 = 0 then
+                for l = 0 to nl - 1 do
+                  clear (Array.unsafe_get ctxs l)
+                done
+              else
+                for l = 0 to nl - 1 do
+                  load (Array.unsafe_get ctxs l) cp (cbase + !j0 + l)
+                done;
+              for k = !k0 to khi - 1 do
+                let ai = abase + k and bbase = (k * bcols) + !j0 in
+                for l = 0 to nl - 1 do
+                  mul_add (Array.unsafe_get ctxs l) ap ai bp (bbase + l)
+                done
+              done;
+              for l = 0 to nl - 1 do
+                store (Array.unsafe_get ctxs l) cp (cbase + !j0 + l)
+              done;
+              j0 := !j0 + nl
+            done
+          done;
+          k0 := khi
+        done
+      end
     end
 
   (* The solver-facing matrix product: one entry point, both paths.  The
@@ -187,19 +269,34 @@ module Make (K : Scalar.S) = struct
     done
 
   (* b_j := b_j - A_{j,i} x_i: block [rj] subtracts the full n-by-n tile
-     product from its right-hand side tile. *)
+     product from its right-hand side tile.  The panel update runs as an
+     MR-laned microkernel: up to [nr_tile] rows accumulate side by side,
+     each in its own context, so one read of x[r0 + c] feeds every lane
+     while the lanes walk their own rows of [v] — the same x reuse the
+     matrix product gets from its B panel.  Per row the sequence is
+     still clear, ascending-c multiply-accumulate, subtract: identical
+     to the untiled loop. *)
   let bs_update_block ~dim ~r0 ~rj ~n (vp : planes) (xp : planes)
       (bdp : planes) =
     let { Nd_flat.make_ctx; clear; mul_add; sub_from; _ } = the_plan () in
-    let ctx = make_ctx () in
+    let ctxs = Array.init nr_tile (fun _ -> make_ctx ()) in
     let v = vp.p and x = xp.p and bd = bdp.p in
-    for r = 0 to n - 1 do
-      clear ctx;
-      let row = (rj + r) * dim in
-      for c = 0 to n - 1 do
-        mul_add ctx v (row + r0 + c) x (r0 + c)
+    let r = ref 0 in
+    while !r < n do
+      let nl = min nr_tile (n - !r) in
+      for l = 0 to nl - 1 do
+        clear (Array.unsafe_get ctxs l)
       done;
-      sub_from ctx bd (rj + r)
+      for c = 0 to n - 1 do
+        let xi = r0 + c in
+        for l = 0 to nl - 1 do
+          mul_add (Array.unsafe_get ctxs l) v (((rj + !r + l) * dim) + r0 + c) x xi
+        done
+      done;
+      for l = 0 to nl - 1 do
+        sub_from (Array.unsafe_get ctxs l) bd (rj + !r + l)
+      done;
+      r := !r + nl
     done
 
   (* ---- Plane-level microkernels, used by the equivalence tests and the
@@ -279,7 +376,7 @@ module Make (K : Scalar.S) = struct
     }
 
     (* A saved prefix of the right-hand side, for update replays. *)
-    type b_snapshot = Planes of float array array | Scalars of K.t array
+    type b_snapshot = Planes of Nd_flat.planes | Scalars of K.t array
 
     let create ~execute ~dim ~v ~bd ~x =
       let repr =
@@ -339,7 +436,8 @@ module Make (K : Scalar.S) = struct
        renormalizes on read, so there is nothing extra to check. *)
     let x_limbs_ok t ~check i =
       match t.repr with
-      | Flat { xp; _ } -> check (Array.map (fun plane -> plane.(i)) xp.p)
+      | Flat { xp; _ } ->
+          check (Array.init K.width (fun pl -> Nd_flat.get xp.p pl i))
       | Boxed -> true
 
     (* Feed every limb word of the (constant through stage 2) matrix to
@@ -349,7 +447,13 @@ module Make (K : Scalar.S) = struct
        words the kernels read. *)
     let iter_u_limbs t f =
       match t.repr with
-      | Flat { vp; _ } -> Array.iter (fun plane -> Array.iter f plane) vp.p
+      | Flat { vp; _ } ->
+          Array.iter
+            (fun plane ->
+              for i = 0 to Nd_flat.plane_dim plane - 1 do
+                f (Bigarray.Array1.unsafe_get plane i)
+              done)
+            vp.p
       | Boxed -> Array.iter (fun s -> Array.iter f (K.to_planes s)) t.v
 
     (* Bit-flip corruptor over the resident device state, one element
@@ -371,7 +475,7 @@ module Make (K : Scalar.S) = struct
           let pl = match name with "U" -> vp | "b" -> bdp | _ -> xp in
           let p = Dompool.Prng.int rng (Array.length pl.p) in
           let bit = Dompool.Prng.int rng 64 in
-          pl.p.(p).(idx) <- flip pl.p.(p).(idx) bit;
+          Nd_flat.set pl.p p idx (flip (Nd_flat.get pl.p p idx) bit);
           Printf.sprintf "%s[%d] plane %d bit %d (raw)" name idx p bit
       | Boxed ->
           let arr = match name with "U" -> t.v | "b" -> t.bd | _ -> t.x in
@@ -388,12 +492,11 @@ module Make (K : Scalar.S) = struct
       let ok = ref true in
       (match t.repr with
       | Flat { bdp; _ } ->
-          Array.iter
-            (fun plane ->
-              for i = 0 to r0 - 1 do
-                if not (Float.is_finite plane.(i)) then ok := false
-              done)
-            bdp.p
+          for pl = 0 to K.width - 1 do
+            for i = 0 to r0 - 1 do
+              if not (Float.is_finite (Nd_flat.get bdp.p pl i)) then ok := false
+            done
+          done
       | Boxed ->
           for i = 0 to r0 - 1 do
             if not (K.is_finite t.bd.(i)) then ok := false
@@ -401,18 +504,29 @@ module Make (K : Scalar.S) = struct
       !ok
 
     (* The update subtracts in place, so replaying it needs the
-       pre-update prefix of b back first. *)
+       pre-update prefix of b back first.  [Bigarray.Array1.sub] is a
+       view into the live plane, so the snapshot copies it into fresh
+       storage. *)
     let snapshot_b t ~upto =
       match t.repr with
-      | Flat { bdp; _ } -> Planes (Array.map (fun pl -> Array.sub pl 0 upto) bdp.p)
+      | Flat { bdp; _ } ->
+          Planes
+            (Array.map
+               (fun pl ->
+                 let saved = Nd_flat.make_plane upto in
+                 Bigarray.Array1.blit (Bigarray.Array1.sub pl 0 upto) saved;
+                 saved)
+               bdp.p)
       | Boxed -> Scalars (Array.sub t.bd 0 upto)
 
     let restore_b t snap =
       match (snap, t.repr) with
       | Planes saved, Flat { bdp; _ } ->
           Array.iteri
-            (fun p pl -> Array.blit saved.(p) 0 pl 0 (Array.length saved.(p)))
-            bdp.p
+            (fun p sp ->
+              let upto = Bigarray.Array1.dim sp in
+              Bigarray.Array1.blit sp (Bigarray.Array1.sub bdp.p.(p) 0 upto))
+            saved
       | Scalars saved, Boxed -> Array.blit saved 0 t.bd 0 (Array.length saved)
       | _ -> invalid_arg "Flat_kernels.Bs: snapshot from a different path"
 

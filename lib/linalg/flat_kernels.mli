@@ -19,16 +19,34 @@ val enabled : bool ref
 (** Global switch, for benchmarks and the equivalence tests; the
     solvers consult it through {!Make.available}. *)
 
+type tile = {
+  mr : int;  (** output rows per micro-tile *)
+  nr : int;  (** output columns per micro-tile (lanes) *)
+  kc : int;  (** inner-dimension chunk per cache block *)
+  flops : float;  (** double precision flops of one full tile *)
+  bytes : float;  (** bytes moved by one full tile (A, B panels + C spill) *)
+}
+(** The register-tile geometry of the matrix product microkernel and its
+    per-tile operation/traffic counts, for roofline classification
+    (computed here because [Obs] deliberately knows nothing about
+    precisions). *)
+
 module Make (K : Scalar.S) : sig
-  type planes = { rows : int; cols : int; p : float array array }
-  (** A staged operand: [K.width] planes of [rows * cols] doubles,
-      row-major — the layout of [Staggered], without the [K.t] matrix
-      behind it.  Concrete so the kernel loops inline. *)
+  type planes = { rows : int; cols : int; p : Multidouble.Nd_flat.planes }
+  (** A staged operand: [K.width] limb planes of [rows * cols] float64
+      words, row-major — the layout of [Staggered], held in flat
+      [Bigarray] storage.  Concrete so the kernel loops inline. *)
 
   val available : unit -> bool
   (** The flat plane covers every real uninstrumented width with an
       [Nd_flat] plan (all multiple double precisions); complex,
       instrumented and plain double scalars keep the generic path. *)
+
+  val tile : tile
+  (** The microkernel tile resolved for this scalar: NR = 8 column lanes
+      (a 64-byte line of each B limb plane), KC sized so a
+      double-buffered B panel fits a 32 KiB L1 slice — 128 for double
+      double, 64 for quad double, 32 for octo double. *)
 
   val alloc : rows:int -> cols:int -> planes
 
@@ -43,7 +61,10 @@ module Make (K : Scalar.S) : sig
   val matmul_block : threads:int -> planes -> planes -> planes -> int -> unit
   (** The register-loading matrix product, one [Sim.launch] block:
       output elements [blk*threads, (blk+1)*threads), each a dot product
-      of a row of the first operand with a column of the second. *)
+      of a row of the first operand with a column of the second.
+      Executes as the {!tile}-shaped cache-blocked microkernel; each
+      lane replays the untiled per-element operation sequence exactly,
+      so the result is bit-identical to the generic loop. *)
 
   val matmul :
     execute:bool ->

@@ -62,6 +62,11 @@ module type S = sig
      bit-identical to keeping the boxed value. *)
   val to_planes : t -> float array
 
+  (* [to_planes_into x dst] is [to_planes] writing into a caller-owned
+     buffer of [width] doubles — the staging seams convert whole
+     matrices, so the per-element allocation matters. *)
+  val to_planes_into : t -> float array -> unit
+
   val of_planes : float array -> t
 
   (* Uniform random scalar with each component in [-1, 1). *)
@@ -100,6 +105,7 @@ module Real (Rm : Md_sig.S) : S with module R = Rm and type t = Rm.t = struct
   let equal = Rm.equal
   let is_finite = Rm.is_finite
   let to_planes = Rm.to_limbs
+  let to_planes_into x dst = Rm.blit_limbs x dst 0
   let of_planes = Rm.of_limbs_exact
   let random rng = Rm.of_float (Dompool.Prng.sym_float rng)
   let to_string = Rm.to_string
@@ -151,6 +157,10 @@ module Complex (Rm : Md_sig.S) = struct
 
   let to_planes z =
     Array.append (Rm.to_limbs (C.re z)) (Rm.to_limbs (C.im z))
+
+  let to_planes_into z dst =
+    Rm.blit_limbs (C.re z) dst 0;
+    Rm.blit_limbs (C.im z) dst Rm.limbs
 
   let of_planes a =
     C.make

@@ -29,8 +29,9 @@ module Make (K : Scalar.S) = struct
   let of_vec (v : V.t) : vec =
     let n = Array.length v in
     let planes = Array.init K.width (fun _ -> Array.make n 0.0) in
+    let limbs = Array.make K.width 0.0 in
     for i = 0 to n - 1 do
-      let limbs = K.to_planes v.(i) in
+      K.to_planes_into v.(i) limbs;
       for p = 0 to K.width - 1 do
         planes.(p).(i) <- limbs.(p)
       done
@@ -45,9 +46,10 @@ module Make (K : Scalar.S) = struct
     let rows = M.rows m and cols = M.cols m in
     let n = rows * cols in
     let planes = Array.init K.width (fun _ -> Array.make n 0.0) in
+    let limbs = Array.make K.width 0.0 in
     for i = 0 to rows - 1 do
       for j = 0 to cols - 1 do
-        let limbs = K.to_planes (M.get m i j) in
+        K.to_planes_into (M.get m i j) limbs;
         for p = 0 to K.width - 1 do
           planes.(p).((i * cols) + j) <- limbs.(p)
         done

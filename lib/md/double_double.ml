@@ -20,6 +20,10 @@ module Pre = struct
 
   let to_limbs x = [| x.hi; x.lo |]
 
+  let blit_limbs x (dst : float array) off =
+    dst.(off) <- x.hi;
+    dst.(off + 1) <- x.lo
+
   let add a b =
     let s, e = Eft.two_sum a.hi b.hi in
     let t1, t2 = Eft.two_sum a.lo b.lo in

@@ -30,6 +30,7 @@ module Pre (Z : SIZE) = struct
   let of_limbs a = Renorm.renormalize ~m:limbs a
   let of_limbs_exact (a : float array) : t = Array.copy a
   let to_limbs (x : t) = Array.copy x
+  let blit_limbs (x : t) (dst : float array) off = Array.blit x 0 dst off limbs
 
   (* Addition merges the 2m limbs by decreasing magnitude and distills
      them back to m limbs (Priest-style certified addition).  Both

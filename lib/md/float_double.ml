@@ -13,6 +13,7 @@ module Pre = struct
   let of_limbs a = (a : float array).(0)
   let of_limbs_exact = of_limbs
   let to_limbs x = [| x |]
+  let blit_limbs (x : t) (dst : float array) off = dst.(off) <- x
   let add = ( +. )
   let sub = ( -. )
   let mul = ( *. )

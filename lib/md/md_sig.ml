@@ -35,6 +35,12 @@ module type PRE = sig
   (* Fresh array of the [limbs] limbs, most significant first. *)
   val to_limbs : t -> float array
 
+  (* [blit_limbs x dst off] writes the [limbs] limbs of [x] (most
+     significant first) at offsets [off], [off+1], ... of [dst] —
+     [to_limbs] without the allocation, for the limb-plane staging
+     seams that convert whole matrices. *)
+  val blit_limbs : t -> float array -> int -> unit
+
   val add : t -> t -> t
   val sub : t -> t -> t
   val mul : t -> t -> t

@@ -1,6 +1,6 @@
 (* The limb-generic flat kernel plane: allocation-free multiple double
-   arithmetic computed directly on staggered [float array] limb planes,
-   for any limb count m >= 2, behind one first-class dispatch record.
+   arithmetic computed directly on staggered limb planes, for any limb
+   count m >= 2, behind one first-class dispatch record.
 
    The generic kernel path executes every operation through a [Scalar.S]
    record, boxing one multiple double value per addition and
@@ -9,6 +9,14 @@
    engines here keep every intermediate in an unboxed local float or in
    a small preallocated [float array] of a per-block {!ctx}, so the
    per-element loop bodies perform (almost) no allocation at all.
+
+   Plane storage is a [Bigarray.Array1] of float64 per limb ({!fa}):
+   flat 8-byte words outside the OCaml heap, read and written through
+   [unsafe_get]/[unsafe_set] in the kernel loops (no bounds checks, no
+   GC card marking on store), exactly the staggered device layout of
+   the paper.  Setting MDLS_FLAT_BOUNDS=1 in the environment turns every
+   plane access back into a checked one — the debug path for chasing
+   indexing bugs in new kernels.
 
    Bit-identity is the contract that makes the flat plane safe to
    dispatch on a pure capability check: each engine replays the exact
@@ -19,25 +27,70 @@
      (two_sum / quick_two_sum ieee_add, fma-based two_prod).
    - m = 4 runs the QDlib sequences of [Quad_double] (merge by
      decreasing magnitude through a sliding window, three_sum towers).
+   - m = 8 runs a specialized engine for octo double: the same
+     [Expansion.Pre] sequences as the generic replay below, but
+     monomorphic and straight-line — the 36 partial products of the
+     truncated multiplication hand-unrolled, the 79-slot product buffer
+     sorted by a float-specialized replica of the stdlib heapsort
+     (identical permutation, hence identical bits) instead of a
+     closure-dispatched polymorphic sort.
    - every other m >= 3 runs an allocation-free replay of
      [Expansion.Pre]: accurate addition as merge-by-magnitude plus a
      two-pass renormalization, truncated multiplication as the exact
      partial products of order < m plus one guard order, sorted by
      magnitude and distilled — the CAMPARY-style generated arithmetic.
-     This is what gives octo double (m = 8), triple double (m = 3) and
-     hexa double (m = 16) flat execution without hand-written kernels.
+     This is what keeps triple double (m = 3) and hexa double (m = 16)
+     on flat execution without hand-written kernels.
 
    The m = 2 and m = 4 engines cannot be instances of the generic one:
    their boxed counterparts are the specialized QDlib algorithms, which
    produce (correct but) different last-limb bits than the expansion
    algorithms, and bit-identity with the registry path is what the
-   dispatchers and the fault plane rely on.  They are kept as the two
-   specialized arms behind the same {!plan} record — selected once, at
-   plan resolution, never per kernel operation.
+   dispatchers and the fault plane rely on.  The m = 8 engine IS an
+   instance of the expansion algorithms — it exists purely for speed and
+   is pinned to the replay engine by the bit-identity suites.  All are
+   selected once, at plan resolution, never per kernel operation.
 
    Concurrency: a {!plan} is immutable and shared freely; a {!ctx} is
    mutable per-block scratch, so each [Sim.launch] block (or test loop)
    allocates its own with [make_ctx] and reuses it across elements. *)
+
+(* ------------------------------------------------------------------ *)
+(* Plane storage                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type fa = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+type planes = fa array
+
+(* The bounds-checked debug path: one immutable global consulted by the
+   access wrappers below, so the predictable branch costs nothing in the
+   default (unchecked) configuration. *)
+let bounds_checked =
+  match Sys.getenv_opt "MDLS_FLAT_BOUNDS" with
+  | Some ("1" | "true" | "on" | "yes") -> true
+  | _ -> false
+
+(* [Bigarray.Array1.create] does not zero its storage; every plane
+   allocation goes through here so staged operands start well defined. *)
+let make_plane n : fa =
+  let a = Bigarray.Array1.create Bigarray.Float64 Bigarray.C_layout n in
+  Bigarray.Array1.fill a 0.0;
+  a
+
+let make_planes ~limbs n : planes = Array.init limbs (fun _ -> make_plane n)
+let plane_dim (p : fa) = Bigarray.Array1.dim p
+
+let[@inline] get (p : planes) pl i =
+  if bounds_checked then Bigarray.Array1.get (Array.get p pl) i
+  else Bigarray.Array1.unsafe_get (Array.unsafe_get p pl) i
+
+let[@inline] set (p : planes) pl i v =
+  if bounds_checked then Bigarray.Array1.set (Array.get p pl) i v
+  else Bigarray.Array1.unsafe_set (Array.unsafe_get p pl) i v
+
+(* ------------------------------------------------------------------ *)
+(* Scratch and the dispatch record                                     *)
+(* ------------------------------------------------------------------ *)
 
 (* Per-block scratch.  One concrete record serves all engines: each
    allocates only the fields its algorithms touch (the rest stay empty),
@@ -59,8 +112,8 @@ type ctx = {
 }
 
 (* The first-class kernel-ops record.  All operations read operands
-   from / write results to staggered planes ([planes.(limb).(index)]),
-   with the running value in [ctx.acc]:
+   from / write results to staggered planes ([get p limb index]), with
+   the running value in [ctx.acc]:
 
      clear    : acc := 0
      load     : acc := p[i]            store    : p[i] := acc
@@ -75,15 +128,105 @@ type plan = {
   limbs : int;
   make_ctx : unit -> ctx;
   clear : ctx -> unit;
-  load : ctx -> float array array -> int -> unit;
-  store : ctx -> float array array -> int -> unit;
-  add : ctx -> float array array -> int -> unit;
-  mul_set : ctx -> float array array -> int -> float array array -> int -> unit;
-  mul_add : ctx -> float array array -> int -> float array array -> int -> unit;
-  sub_from : ctx -> float array array -> int -> unit;
+  load : ctx -> planes -> int -> unit;
+  store : ctx -> planes -> int -> unit;
+  add : ctx -> planes -> int -> unit;
+  mul_set : ctx -> planes -> int -> planes -> int -> unit;
+  mul_add : ctx -> planes -> int -> planes -> int -> unit;
+  sub_from : ctx -> planes -> int -> unit;
 }
 
 let empty = [||]
+
+(* ------------------------------------------------------------------ *)
+(* The magnitude sort, monomorphized                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* [sort_mag a] sorts in place by decreasing absolute value, producing
+   the EXACT permutation of [Renorm.sort_by_magnitude] (stdlib
+   [Array.sort] with [fun x y -> compare (Float.abs y) (Float.abs x)]).
+   The permutation matters: elements of equal magnitude but different
+   sign flow through the renormalization ladder in buffer order, and the
+   boxed path fixed that order when it sorted.  This is a field-for-field
+   replica of the stdlib ternary heapsort with the comparison inlined on
+   floats (the [Bottom] exception becomes a negative return), so the hot
+   mul path pays float compares instead of a closure dispatch and a
+   polymorphic-compare C call per comparison — the single largest cost
+   of the octo double product. *)
+let sort_mag (a : float array) =
+  (* Only the sign of [cmp x y = Float.compare (Float.abs y)
+     (Float.abs x)] is ever consumed, through these two tests; NaN
+     orders below everything and equal to itself, as both
+     [Float.compare] and the polymorphic compare do on floats. *)
+  let[@inline] lt x y =
+    (* cmp x y < 0 *)
+    let ax = Float.abs x and ay = Float.abs y in
+    ay < ax || (ay <> ay && ax = ax)
+  in
+  let[@inline] gt x y =
+    (* cmp x y > 0 *)
+    let ax = Float.abs x and ay = Float.abs y in
+    ay > ax || (ax <> ax && ay = ay)
+  in
+  (* Index of the largest of up to three sons of [i], or [-1 - i'] where
+     [i'] is the sonless node (stdlib's [Bottom i'] exception). *)
+  let maxson l i =
+    let i31 = i + i + i + 1 in
+    if i31 + 2 < l then begin
+      let x =
+        if lt (Array.unsafe_get a i31) (Array.unsafe_get a (i31 + 1)) then
+          i31 + 1
+        else i31
+      in
+      if lt (Array.unsafe_get a x) (Array.unsafe_get a (i31 + 2)) then i31 + 2
+      else x
+    end
+    else if
+      i31 + 1 < l && lt (Array.unsafe_get a i31) (Array.unsafe_get a (i31 + 1))
+    then i31 + 1
+    else if i31 < l then i31
+    else -1 - i
+  in
+  let rec trickledown l i e =
+    let j = maxson l i in
+    if j >= 0 then
+      if gt (Array.unsafe_get a j) e then begin
+        Array.unsafe_set a i (Array.unsafe_get a j);
+        trickledown l j e
+      end
+      else Array.unsafe_set a i e
+    else (* Bottom *) Array.unsafe_set a (-1 - j) e
+  in
+  let rec bubbledown l i =
+    let j = maxson l i in
+    if j >= 0 then begin
+      Array.unsafe_set a i (Array.unsafe_get a j);
+      bubbledown l j
+    end
+    else -1 - j
+  in
+  let rec trickleup i e =
+    let father = (i - 1) / 3 in
+    if lt (Array.unsafe_get a father) e then begin
+      Array.unsafe_set a i (Array.unsafe_get a father);
+      if father > 0 then trickleup father e else Array.unsafe_set a 0 e
+    end
+    else Array.unsafe_set a i e
+  in
+  let l = Array.length a in
+  for i = ((l + 1) / 3) - 1 downto 0 do
+    trickledown l i (Array.unsafe_get a i)
+  done;
+  for i = l - 1 downto 2 do
+    let e = Array.unsafe_get a i in
+    Array.unsafe_set a i (Array.unsafe_get a 0);
+    trickleup (bubbledown i 0) e
+  done;
+  if l > 1 then begin
+    let e = Array.unsafe_get a 1 in
+    Array.unsafe_set a 1 (Array.unsafe_get a 0);
+    Array.unsafe_set a 0 e
+  end
 
 (* ------------------------------------------------------------------ *)
 (* m = 2: the unrolled QDlib sequences of [Double_double]              *)
@@ -110,13 +253,13 @@ module Dd = struct
     c.acc.(0) <- 0.0;
     c.acc.(1) <- 0.0
 
-  let[@inline] load c (p : float array array) i =
-    c.acc.(0) <- p.(0).(i);
-    c.acc.(1) <- p.(1).(i)
+  let[@inline] load c (p : planes) i =
+    c.acc.(0) <- get p 0 i;
+    c.acc.(1) <- get p 1 i
 
-  let[@inline] store c (p : float array array) i =
-    p.(0).(i) <- c.acc.(0);
-    p.(1).(i) <- c.acc.(1)
+  let[@inline] store c (p : planes) i =
+    set p 0 i c.acc.(0);
+    set p 1 i c.acc.(1)
 
   (* acc := acc + (bhi, blo): the accurate ieee_add of
      [Double_double.Pre.add], fully unrolled (two_sum / two_sum /
@@ -142,16 +285,14 @@ module Dd = struct
     c.acc.(0) <- hi;
     c.acc.(1) <- lo
 
-  let[@inline] add c (p : float array array) i =
-    add_parts c p.(0).(i) p.(1).(i)
+  let[@inline] add c (p : planes) i = add_parts c (get p 0 i) (get p 1 i)
 
   (* acc := a[ia] * b[ib]: [Double_double.Pre.mul], unrolled (two_prod
      via fused multiply-add, cross terms in plain double,
      quick_two_sum). *)
-  let[@inline] mul_set c (a : float array array) ia (b : float array array)
-      ib =
-    let ahi = a.(0).(ia) and alo = a.(1).(ia) in
-    let bhi = b.(0).(ib) and blo = b.(1).(ib) in
+  let[@inline] mul_set c (a : planes) ia (b : planes) ib =
+    let ahi = get a 0 ia and alo = get a 1 ia in
+    let bhi = get b 0 ib and blo = get b 1 ib in
     let p = ahi *. bhi in
     let e = Float.fma ahi bhi (-.p) in
     let e = e +. ((ahi *. blo) +. (alo *. bhi)) in
@@ -162,10 +303,9 @@ module Dd = struct
 
   (* acc := acc + a[ia] * b[ib], the fused inner step of every
      dot-shaped kernel; exactly [K.add acc (K.mul a b)]. *)
-  let[@inline] mul_add c (a : float array array) ia (b : float array array)
-      ib =
-    let ahi = a.(0).(ia) and alo = a.(1).(ia) in
-    let bhi = b.(0).(ib) and blo = b.(1).(ib) in
+  let[@inline] mul_add c (a : planes) ia (b : planes) ib =
+    let ahi = get a 0 ia and alo = get a 1 ia in
+    let bhi = get b 0 ib and blo = get b 1 ib in
     let p = ahi *. bhi in
     let e = Float.fma ahi bhi (-.p) in
     let e = e +. ((ahi *. blo) +. (alo *. bhi)) in
@@ -175,9 +315,9 @@ module Dd = struct
 
   (* p[i] := p[i] - acc: [Double_double.Pre.sub], unrolled (two_diff
      based, not add-of-negation, to stay bit-identical). *)
-  let[@inline] sub_from c (p : float array array) i =
+  let[@inline] sub_from c (p : planes) i =
     let bhi = c.acc.(0) and blo = c.acc.(1) in
-    let ahi = p.(0).(i) and alo = p.(1).(i) in
+    let ahi = get p 0 i and alo = get p 1 i in
     let d = ahi -. bhi in
     let bb = d -. ahi in
     let e = (ahi -. (d -. bb)) -. (bhi +. bb) in
@@ -190,8 +330,8 @@ module Dd = struct
     let e' = e' +. t2 in
     let hi = s' +. e' in
     let lo = e' -. (hi -. s') in
-    p.(0).(i) <- hi;
-    p.(1).(i) <- lo
+    set p 0 i hi;
+    set p 1 i lo
 
   let plan =
     { limbs = 2; make_ctx; clear; load; store; add; mul_set; mul_add; sub_from }
@@ -224,17 +364,17 @@ module Qd = struct
     s.(2) <- 0.0;
     s.(3) <- 0.0
 
-  let[@inline] load4 (s : float array) (p : float array array) i =
-    s.(0) <- p.(0).(i);
-    s.(1) <- p.(1).(i);
-    s.(2) <- p.(2).(i);
-    s.(3) <- p.(3).(i)
+  let[@inline] load4 (s : float array) (p : planes) i =
+    s.(0) <- get p 0 i;
+    s.(1) <- get p 1 i;
+    s.(2) <- get p 2 i;
+    s.(3) <- get p 3 i
 
-  let[@inline] store4 (s : float array) (p : float array array) i =
-    p.(0).(i) <- s.(0);
-    p.(1).(i) <- s.(1);
-    p.(2).(i) <- s.(2);
-    p.(3).(i) <- s.(3)
+  let[@inline] store4 (s : float array) (p : planes) i =
+    set p 0 i s.(0);
+    set p 1 i s.(1);
+    set p 2 i s.(2);
+    set p 3 i s.(3)
 
   (* [renorm c n] compresses c.rt.(0 .. n-1) into c.out, performing
      exactly the operations of [Renorm.renormalize ~m:4] (single pass).
@@ -385,16 +525,15 @@ module Qd = struct
      multiplication of [Quad_double.Pre.mul], all partial products of
      order < 4 with their two_prod errors, order-4 terms folded in plain
      double, then the final renormalization of the five-term result. *)
-  let mul4 c (dst : float array) (a : float array array) ia
-      (b : float array array) ib =
-    let a0 = a.(0).(ia)
-    and a1 = a.(1).(ia)
-    and a2 = a.(2).(ia)
-    and a3 = a.(3).(ia) in
-    let b0 = b.(0).(ib)
-    and b1 = b.(1).(ib)
-    and b2 = b.(2).(ib)
-    and b3 = b.(3).(ib) in
+  let mul4 c (dst : float array) (a : planes) ia (b : planes) ib =
+    let a0 = get a 0 ia
+    and a1 = get a 1 ia
+    and a2 = get a 2 ia
+    and a3 = get a 3 ia in
+    let b0 = get b 0 ib
+    and b1 = get b 1 ib
+    and b2 = get b 2 ib
+    and b3 = get b 3 ib in
     (* p, q = two_prod for every partial product of order < 3. *)
     let p0 = a0 *. b0 in
     let q0 = Float.fma a0 b0 (-.p0) in
@@ -541,6 +680,283 @@ module Qd = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* m = 8: the specialized octo double engine                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Octo double is the precision where flat execution should pay off the
+   most — the paper's cost-of-arithmetic-to-memory ratio peaks at 8
+   limbs — yet the generic replay below left it at ~2x: both the boxed
+   path and the replay shared the closure-dispatched polymorphic sort of
+   the 79-slot product buffer, which dominates the multiplication.  This
+   engine runs the SAME [Expansion.Pre] operation sequence (so the
+   bit-identity suites pin it against [Octo_double]) with everything
+   monomorphic: the 36 partial products hand-unrolled into straight-line
+   fma code, the magnitude sort through {!sort_mag}, the merge and
+   renormalization ladders over fixed-size scratch with unchecked
+   accesses.  Only the data-dependent forward commit pass (QDlib's zero
+   tests) remains a loop by nature. *)
+module Od = struct
+  (* m^2 + 2m - 1 at m = 8: 36 two_prod pairs + 7 guard products. *)
+  let pcount8 = 79
+
+  let make_ctx () =
+    {
+      acc = Array.make 8 0.0;
+      tmp = Array.make 8 0.0;
+      prod = Array.make 8 0.0;
+      nb = Array.make 8 0.0;
+      abuf = Array.make 16 0.0;
+      pbuf = Array.make pcount8 0.0;
+      rt = empty;
+      out = Array.make 8 0.0;
+      uv = Array.make 1 0.0;
+      mi = 0;
+      mj = 0;
+      mk = 0;
+    }
+
+  let[@inline] clear c =
+    let a = c.acc in
+    Array.unsafe_set a 0 0.0;
+    Array.unsafe_set a 1 0.0;
+    Array.unsafe_set a 2 0.0;
+    Array.unsafe_set a 3 0.0;
+    Array.unsafe_set a 4 0.0;
+    Array.unsafe_set a 5 0.0;
+    Array.unsafe_set a 6 0.0;
+    Array.unsafe_set a 7 0.0
+
+  let[@inline] load8 (s : float array) (p : planes) i =
+    Array.unsafe_set s 0 (get p 0 i);
+    Array.unsafe_set s 1 (get p 1 i);
+    Array.unsafe_set s 2 (get p 2 i);
+    Array.unsafe_set s 3 (get p 3 i);
+    Array.unsafe_set s 4 (get p 4 i);
+    Array.unsafe_set s 5 (get p 5 i);
+    Array.unsafe_set s 6 (get p 6 i);
+    Array.unsafe_set s 7 (get p 7 i)
+
+  let[@inline] store8 (s : float array) (p : planes) i =
+    set p 0 i (Array.unsafe_get s 0);
+    set p 1 i (Array.unsafe_get s 1);
+    set p 2 i (Array.unsafe_get s 2);
+    set p 3 i (Array.unsafe_get s 3);
+    set p 4 i (Array.unsafe_get s 4);
+    set p 5 i (Array.unsafe_get s 5);
+    set p 6 i (Array.unsafe_get s 6);
+    set p 7 i (Array.unsafe_get s 7)
+
+  let load c p i = load8 c.acc p i
+  let store c p i = store8 c.acc p i
+
+  (* [renorm_into8 c buf n]: [Renorm.renormalize ~passes:2 ~m:8] over
+     buf.(0 .. n-1) into c.out — the operation sequence of
+     [Gen.renorm_into] at m = 8, monomorphic, with the running carry in
+     the unboxed c.uv slot.  buf is clobbered. *)
+  let renorm_into8 c (buf : float array) n =
+    let uv = c.uv in
+    for _pass = 1 to 2 do
+      Array.unsafe_set uv 0 (Array.unsafe_get buf (n - 1));
+      for i = n - 2 downto 0 do
+        let a = Array.unsafe_get buf i and b = Array.unsafe_get uv 0 in
+        let s = a +. b in
+        let bb = s -. a in
+        let e = (a -. (s -. bb)) +. (b -. bb) in
+        Array.unsafe_set uv 0 s;
+        Array.unsafe_set buf (i + 1) e
+      done;
+      Array.unsafe_set buf 0 (Array.unsafe_get uv 0)
+    done;
+    let out = c.out in
+    Array.unsafe_set out 0 0.0;
+    Array.unsafe_set out 1 0.0;
+    Array.unsafe_set out 2 0.0;
+    Array.unsafe_set out 3 0.0;
+    Array.unsafe_set out 4 0.0;
+    Array.unsafe_set out 5 0.0;
+    Array.unsafe_set out 6 0.0;
+    Array.unsafe_set out 7 0.0;
+    c.mi <- 1;
+    c.mk <- 0;
+    Array.unsafe_set uv 0 (Array.unsafe_get buf 0);
+    while c.mi < n && c.mk < 8 do
+      let a = Array.unsafe_get uv 0 and b = Array.unsafe_get buf c.mi in
+      let s = a +. b in
+      let e = b -. (s -. a) in
+      if e <> 0.0 then begin
+        Array.unsafe_set out c.mk s;
+        c.mk <- c.mk + 1;
+        Array.unsafe_set uv 0 e
+      end
+      else Array.unsafe_set uv 0 s;
+      c.mi <- c.mi + 1
+    done;
+    if c.mk < 8 then Array.unsafe_set out c.mk (Array.unsafe_get uv 0)
+
+  let[@inline] blit_out8 c (dst : float array) =
+    let o = c.out in
+    Array.unsafe_set dst 0 (Array.unsafe_get o 0);
+    Array.unsafe_set dst 1 (Array.unsafe_get o 1);
+    Array.unsafe_set dst 2 (Array.unsafe_get o 2);
+    Array.unsafe_set dst 3 (Array.unsafe_get o 3);
+    Array.unsafe_set dst 4 (Array.unsafe_get o 4);
+    Array.unsafe_set dst 5 (Array.unsafe_get o 5);
+    Array.unsafe_set dst 6 (Array.unsafe_get o 6);
+    Array.unsafe_set dst 7 (Array.unsafe_get o 7)
+
+  (* [add_arrays8 c x y]: x := x + y (both 8-limb, normalized hence
+     magnitude-sorted): [Renorm.merge_by_magnitude] into c.abuf followed
+     by the two-pass renormalization — exactly [Expansion.Pre.add] at
+     m = 8 (ties break on [>=], first operand wins, as in the boxed
+     merge). *)
+  let add_arrays8 c (x : float array) (y : float array) =
+    let w = c.abuf in
+    c.mi <- 0;
+    c.mj <- 0;
+    c.mk <- 0;
+    while c.mi < 8 && c.mj < 8 do
+      let a = Array.unsafe_get x c.mi and b = Array.unsafe_get y c.mj in
+      if Float.abs a >= Float.abs b then begin
+        Array.unsafe_set w c.mk a;
+        c.mi <- c.mi + 1
+      end
+      else begin
+        Array.unsafe_set w c.mk b;
+        c.mj <- c.mj + 1
+      end;
+      c.mk <- c.mk + 1
+    done;
+    while c.mi < 8 do
+      Array.unsafe_set w c.mk (Array.unsafe_get x c.mi);
+      c.mi <- c.mi + 1;
+      c.mk <- c.mk + 1
+    done;
+    while c.mj < 8 do
+      Array.unsafe_set w c.mk (Array.unsafe_get y c.mj);
+      c.mj <- c.mj + 1;
+      c.mk <- c.mk + 1
+    done;
+    renorm_into8 c w 16;
+    blit_out8 c x
+
+  (* One exact partial product into slots k, k+1 of the buffer. *)
+  let[@inline] pp (u : float array) k x y =
+    let p = x *. y in
+    Array.unsafe_set u k p;
+    Array.unsafe_set u (k + 1) (Float.fma x y (-.p))
+
+  (* [mul8 c dst a ia b ib]: dst := a[ia] * b[ib], exactly
+     [Expansion.Pre.mul] at m = 8 — the partial products emitted by
+     increasing order o = i + j (each split by fma two_prod), one guard
+     order of plain products, sorted by decreasing magnitude and
+     distilled in two passes.  The emission is fully unrolled with
+     static buffer slots; the slot order is the boxed loop's. *)
+  let mul8 c (dst : float array) (a : planes) ia (b : planes) ib =
+    let a0 = get a 0 ia
+    and a1 = get a 1 ia
+    and a2 = get a 2 ia
+    and a3 = get a 3 ia
+    and a4 = get a 4 ia
+    and a5 = get a 5 ia
+    and a6 = get a 6 ia
+    and a7 = get a 7 ia in
+    let b0 = get b 0 ib
+    and b1 = get b 1 ib
+    and b2 = get b 2 ib
+    and b3 = get b 3 ib
+    and b4 = get b 4 ib
+    and b5 = get b 5 ib
+    and b6 = get b 6 ib
+    and b7 = get b 7 ib in
+    let u = c.pbuf in
+    (* order 0 *)
+    pp u 0 a0 b0;
+    (* order 1 *)
+    pp u 2 a0 b1;
+    pp u 4 a1 b0;
+    (* order 2 *)
+    pp u 6 a0 b2;
+    pp u 8 a1 b1;
+    pp u 10 a2 b0;
+    (* order 3 *)
+    pp u 12 a0 b3;
+    pp u 14 a1 b2;
+    pp u 16 a2 b1;
+    pp u 18 a3 b0;
+    (* order 4 *)
+    pp u 20 a0 b4;
+    pp u 22 a1 b3;
+    pp u 24 a2 b2;
+    pp u 26 a3 b1;
+    pp u 28 a4 b0;
+    (* order 5 *)
+    pp u 30 a0 b5;
+    pp u 32 a1 b4;
+    pp u 34 a2 b3;
+    pp u 36 a3 b2;
+    pp u 38 a4 b1;
+    pp u 40 a5 b0;
+    (* order 6 *)
+    pp u 42 a0 b6;
+    pp u 44 a1 b5;
+    pp u 46 a2 b4;
+    pp u 48 a3 b3;
+    pp u 50 a4 b2;
+    pp u 52 a5 b1;
+    pp u 54 a6 b0;
+    (* order 7 *)
+    pp u 56 a0 b7;
+    pp u 58 a1 b6;
+    pp u 60 a2 b5;
+    pp u 62 a3 b4;
+    pp u 64 a4 b3;
+    pp u 66 a5 b2;
+    pp u 68 a6 b1;
+    pp u 70 a7 b0;
+    (* the guard order, plain products at i + j = 8 *)
+    Array.unsafe_set u 72 (a1 *. b7);
+    Array.unsafe_set u 73 (a2 *. b6);
+    Array.unsafe_set u 74 (a3 *. b5);
+    Array.unsafe_set u 75 (a4 *. b4);
+    Array.unsafe_set u 76 (a5 *. b3);
+    Array.unsafe_set u 77 (a6 *. b2);
+    Array.unsafe_set u 78 (a7 *. b1);
+    sort_mag u;
+    renorm_into8 c u pcount8;
+    blit_out8 c dst
+
+  (* acc := acc + p[i], exactly [K.add acc x]. *)
+  let add c (p : planes) i =
+    load8 c.tmp p i;
+    add_arrays8 c c.acc c.tmp
+
+  let mul_set c a ia b ib = mul8 c c.acc a ia b ib
+
+  (* acc := acc + a[ia] * b[ib], exactly [K.add acc (K.mul a b)]. *)
+  let mul_add c a ia b ib =
+    mul8 c c.prod a ia b ib;
+    add_arrays8 c c.acc c.prod
+
+  (* p[i] := p[i] - acc, exactly [K.sub x acc] = add x (neg acc). *)
+  let sub_from c (p : planes) i =
+    let t = c.tmp and nb = c.nb and a = c.acc in
+    load8 t p i;
+    Array.unsafe_set nb 0 (-.Array.unsafe_get a 0);
+    Array.unsafe_set nb 1 (-.Array.unsafe_get a 1);
+    Array.unsafe_set nb 2 (-.Array.unsafe_get a 2);
+    Array.unsafe_set nb 3 (-.Array.unsafe_get a 3);
+    Array.unsafe_set nb 4 (-.Array.unsafe_get a 4);
+    Array.unsafe_set nb 5 (-.Array.unsafe_get a 5);
+    Array.unsafe_set nb 6 (-.Array.unsafe_get a 6);
+    Array.unsafe_set nb 7 (-.Array.unsafe_get a 7);
+    add_arrays8 c c.tmp c.nb;
+    store8 c.tmp p i
+
+  let plan =
+    { limbs = 8; make_ctx; clear; load; store; add; mul_set; mul_add; sub_from }
+end
+
+(* ------------------------------------------------------------------ *)
 (* Any other m >= 3: allocation-free replay of [Expansion.Pre]         *)
 (* ------------------------------------------------------------------ *)
 
@@ -640,16 +1056,15 @@ module Gen = struct
      [Expansion.Pre.mul] — partial products emitted by increasing order
      (each order-< m product split by fma two_prod), one guard order of
      plain products, sorted by decreasing magnitude, distilled in two
-     passes.  [Renorm.sort_by_magnitude] is called on the exact-sized
-     buffer so ties land in the same order as the boxed path. *)
-  let mul_into c m (dst : float array) (a : float array array) ia
-      (b : float array array) ib =
+     passes.  {!sort_mag} is called on the exact-sized buffer so ties
+     land in the same order as the boxed path. *)
+  let mul_into c m (dst : float array) (a : planes) ia (b : planes) ib =
     let buf = c.pbuf in
     c.mk <- 0;
     for o = 0 to m - 1 do
       for i = 0 to o do
         let j = o - i in
-        let x = a.(i).(ia) and y = b.(j).(ib) in
+        let x = get a i ia and y = get b j ib in
         let p = x *. y in
         let e = Float.fma x y (-.p) in
         buf.(c.mk) <- p;
@@ -659,10 +1074,10 @@ module Gen = struct
       done
     done;
     for i = 1 to m - 1 do
-      buf.(c.mk) <- a.(i).(ia) *. b.(m - i).(ib);
+      buf.(c.mk) <- get a i ia *. get b (m - i) ib;
       c.mk <- c.mk + 1
     done;
-    Renorm.sort_by_magnitude buf;
+    sort_mag buf;
     renorm_into c buf (pcount m) m 2;
     Array.blit c.out 0 dst 0 m
 
@@ -672,20 +1087,20 @@ module Gen = struct
       a.(k) <- 0.0
     done
 
-  let load m c (p : float array array) i =
+  let load m c (p : planes) i =
     for pl = 0 to m - 1 do
-      c.acc.(pl) <- p.(pl).(i)
+      c.acc.(pl) <- get p pl i
     done
 
-  let store m c (p : float array array) i =
+  let store m c (p : planes) i =
     for pl = 0 to m - 1 do
-      p.(pl).(i) <- c.acc.(pl)
+      set p pl i c.acc.(pl)
     done
 
   (* acc := acc + p[i], exactly [K.add acc x]. *)
-  let add m c (p : float array array) i =
+  let add m c (p : planes) i =
     for pl = 0 to m - 1 do
-      c.tmp.(pl) <- p.(pl).(i)
+      c.tmp.(pl) <- get p pl i
     done;
     add_arrays c m c.acc c.tmp
 
@@ -697,14 +1112,14 @@ module Gen = struct
     add_arrays c m c.acc c.prod
 
   (* p[i] := p[i] - acc, exactly [K.sub x acc] = add x (neg acc). *)
-  let sub_from m c (p : float array array) i =
+  let sub_from m c (p : planes) i =
     for pl = 0 to m - 1 do
-      c.tmp.(pl) <- p.(pl).(i);
+      c.tmp.(pl) <- get p pl i;
       c.nb.(pl) <- -.c.acc.(pl)
     done;
     add_arrays c m c.tmp c.nb;
     for pl = 0 to m - 1 do
-      p.(pl).(i) <- c.tmp.(pl)
+      set p pl i c.tmp.(pl)
     done
 
   let plan m =
@@ -732,5 +1147,6 @@ let supported m = m >= 2
 let plan ~limbs =
   if limbs = 2 then Some Dd.plan
   else if limbs = 4 then Some Qd.plan
+  else if limbs = 8 then Some Od.plan
   else if supported limbs then Some (Gen.plan limbs)
   else None

@@ -1,18 +1,59 @@
 (** Limb-generic flat kernel plane.
 
     Allocation-free multiple double arithmetic computed directly on
-    staggered limb planes ([planes.(limb).(index)] : [float array array])
-    for any limb count [m >= 2], behind one first-class dispatch record.
+    staggered limb planes for any limb count [m >= 2], behind one
+    first-class dispatch record.  A plane is a [Bigarray.Array1] of
+    float64 ({!fa}): flat 8-byte words outside the OCaml heap, accessed
+    without bounds checks in the kernel loops (set [MDLS_FLAT_BOUNDS=1]
+    in the environment to turn every access back into a checked one).
 
     Every operation replays the exact floating point sequence of the
     boxed module registered for that limb count, so results are
     bit-identical limb for limb: [m = 2] runs the unrolled QDlib
     double-double sequences, [m = 4] the QDlib quad-double sequences,
-    and every other [m >= 3] an allocation-free replay of
-    [Expansion.Pre] (merge + renormalize addition, truncated
-    partial-product multiplication) — which is what gives octo double,
-    triple double and hexa double flat execution without hand-written
-    kernels. *)
+    [m = 8] a specialized straight-line octo double engine (the
+    [Expansion.Pre] sequences hand-unrolled, with a float-monomorphic
+    replica of the stdlib magnitude sort), and every other [m >= 3] an
+    allocation-free replay of [Expansion.Pre] (merge + renormalize
+    addition, truncated partial-product multiplication) — which is what
+    keeps triple double and hexa double on flat execution without
+    hand-written kernels. *)
+
+type fa = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** One limb plane: a flat array of float64 words. *)
+
+type planes = fa array
+(** A staged operand: one plane per limb, most significant first. *)
+
+val bounds_checked : bool
+(** True when MDLS_FLAT_BOUNDS requested the checked debug path; every
+    {!get}/{!set} (and hence every engine plane access) then bounds
+    checks. *)
+
+val make_plane : int -> fa
+(** [make_plane n] allocates a zero-filled plane of [n] words
+    ([Bigarray.Array1.create] alone does not zero its storage). *)
+
+val make_planes : limbs:int -> int -> planes
+(** [make_planes ~limbs n] allocates [limbs] zero-filled planes of [n]
+    words each. *)
+
+val plane_dim : fa -> int
+(** Number of words in a plane. *)
+
+val get : planes -> int -> int -> float
+(** [get p limb i] reads word [i] of plane [limb]; unchecked unless
+    {!bounds_checked}. *)
+
+val set : planes -> int -> int -> float -> unit
+(** [set p limb i v] writes word [i] of plane [limb]; unchecked unless
+    {!bounds_checked}. *)
+
+val sort_mag : float array -> unit
+(** Sorts in place by decreasing absolute value, producing the exact
+    permutation of [Renorm.sort_by_magnitude] (a float-monomorphic
+    replica of the stdlib heapsort) — exposed for the bit-identity
+    tests. *)
 
 type ctx
 (** Mutable per-block scratch.  Allocate one per launch block (or test
@@ -35,12 +76,12 @@ type plan = {
   limbs : int;
   make_ctx : unit -> ctx;
   clear : ctx -> unit;
-  load : ctx -> float array array -> int -> unit;
-  store : ctx -> float array array -> int -> unit;
-  add : ctx -> float array array -> int -> unit;
-  mul_set : ctx -> float array array -> int -> float array array -> int -> unit;
-  mul_add : ctx -> float array array -> int -> float array array -> int -> unit;
-  sub_from : ctx -> float array array -> int -> unit;
+  load : ctx -> planes -> int -> unit;
+  store : ctx -> planes -> int -> unit;
+  add : ctx -> planes -> int -> unit;
+  mul_set : ctx -> planes -> int -> planes -> int -> unit;
+  mul_add : ctx -> planes -> int -> planes -> int -> unit;
+  sub_from : ctx -> planes -> int -> unit;
 }
 
 val supported : int -> bool
@@ -53,4 +94,6 @@ val plan : limbs:int -> plan option
 (** [plan ~limbs] resolves the flat kernel-ops record for a limb count.
     [None] exactly when [not (supported limbs)].  This is the single
     dispatch point: precision selection happens here, once, and
-    everything downstream is written against the returned record. *)
+    everything downstream is written against the returned record —
+    [m = 8] resolves to the specialized octo double engine, other
+    non-QDlib widths to the generic expansion replay. *)

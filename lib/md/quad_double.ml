@@ -19,6 +19,13 @@ module Pre = struct
   let of_limbs a = of_array (Renorm.renormalize ~m:4 a)
   let of_limbs_exact = of_array
   let to_limbs q = [| q.x0; q.x1; q.x2; q.x3 |]
+
+  let blit_limbs q (dst : float array) off =
+    dst.(off) <- q.x0;
+    dst.(off + 1) <- q.x1;
+    dst.(off + 2) <- q.x2;
+    dst.(off + 3) <- q.x3
+
   let renorm4 c = of_array (Renorm.renormalize ~m:4 c)
 
   (* [quick_three_accum u v t] accumulates [t] into the two-term window

@@ -51,6 +51,19 @@ let classify ~stage ~ms ~launches ~flops ~bytes ~compute_ms ~memory_ms
     bound;
   }
 
+(* Classify a register-tiled microkernel from its per-tile operation and
+   traffic counts alone, with no measured launch behind it: the compute
+   term is the tile's flops at the device's DP peak, the memory term its
+   bytes at DRAM bandwidth, and the modeled time the larger of the two.
+   The flat kernels report their tile geometry this way (the counts are
+   computed in the linear algebra layer, which knows the precision;
+   this library deliberately does not). *)
+let microkernel ~stage ~flops ~bytes ~peak_gflops ~dram_gb_s =
+  let compute_ms = flops /. (peak_gflops *. 1e6) in
+  let memory_ms = bytes /. (dram_gb_s *. 1e6) in
+  classify ~stage ~ms:(Float.max compute_ms memory_ms) ~launches:1 ~flops
+    ~bytes ~compute_ms ~memory_ms ~peak_gflops
+
 (* The aggregate row over a list of stages (sums classified like one
    big stage). *)
 let total ?(stage = "all kernels") stages =

@@ -41,6 +41,18 @@ val classify :
   peak_gflops:float ->
   stage
 
+val microkernel :
+  stage:string ->
+  flops:float ->
+  bytes:float ->
+  peak_gflops:float ->
+  dram_gb_s:float ->
+  stage
+(** Classify a register-tiled microkernel from its per-tile operation
+    and traffic counts alone: compute term at the device's DP peak,
+    memory term at DRAM bandwidth, modeled time the larger of the two.
+    The flat kernels report their tile geometry this way. *)
+
 val total : ?stage:string -> stage list -> stage
 (** The aggregate row (default name ["all kernels"]): sums classified
     like one big stage. *)

@@ -378,6 +378,45 @@ let test_od_flat_fault () =
   check "od bitflip campaign recovers" true
     (match flips.Report.residual with Some v -> v.Report.ok | None -> false)
 
+let test_od_bigarray_corrupt_detected () =
+  (* The staged planes live in Bigarray storage: a raw [Bs.corrupt]
+     strike on the flat arm must mutate exactly the words
+     [Bs.iter_u_limbs] feeds the checksum, U flips convicting the digest
+     and b/x flips leaving it untouched — the contract the stage-2
+     detect/recover ladder stands on. *)
+  let module K = Mdlinalg.Scalar.Od in
+  let module F = Mdlinalg.Flat_kernels.Make (K) in
+  let dim = 6 in
+  let rng = Dompool.Prng.create 71 in
+  let el () = K.of_float (Dompool.Prng.sym_float rng) in
+  let v = Array.init (dim * dim) (fun _ -> el ()) in
+  let bd = Array.init dim (fun _ -> el ()) in
+  let x = Array.make dim K.zero in
+  let struck_u = ref 0 in
+  (* Fresh state per trial: one strike against a clean digest. *)
+  for _ = 1 to 24 do
+    let st = F.Bs.create ~execute:true ~dim ~v ~bd ~x in
+    let digest = Fault.Checksum.of_iter (F.Bs.iter_u_limbs st) in
+    check "digest reproducible" true
+      (Fault.Checksum.matches digest
+         (Fault.Checksum.of_iter (F.Bs.iter_u_limbs st)));
+    let where = F.Bs.corrupt st rng ~flip:Plan.flip_bit in
+    let now = Fault.Checksum.of_iter (F.Bs.iter_u_limbs st) in
+    if String.length where > 0 && where.[0] = 'U' then begin
+      incr struck_u;
+      check
+        (Printf.sprintf "U strike convicts the digest (%s)" where)
+        false
+        (Fault.Checksum.matches digest now)
+    end
+    else
+      check
+        (Printf.sprintf "b/x strike leaves U digest intact (%s)" where)
+        true
+        (Fault.Checksum.matches digest now)
+  done;
+  check "campaign struck U at least once" true (!struck_u > 0)
+
 (* ---- scheduler classification and job validation ---- *)
 
 let solve_job ?(rate = 0.0) ?(seed = 1) ~id () =
@@ -553,6 +592,8 @@ let () =
           Alcotest.test_case "fault-tolerant solve" `Quick test_solve_ft;
           Alcotest.test_case "od bitflips over the flat path" `Quick
             test_od_flat_fault;
+          Alcotest.test_case "raw strikes on Bigarray planes detected" `Quick
+            test_od_bigarray_corrupt_detected;
         ] );
       ( "scheduler",
         [

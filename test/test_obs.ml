@@ -251,6 +251,37 @@ let test_roofline_classification () =
       check "bytes positive" true (s.Obs.Roofline.bytes > 0.0))
     (dd @ od)
 
+let test_microkernel_tiles () =
+  (* The flat kernels' register tiles, classified from their per-tile
+     op/byte counts alone: the same dd-memory / od-compute shape as the
+     full stages, and the KC blocking factor shrinking as the limb
+     count grows (the B panel budget is fixed). *)
+  let v100 = Gpusim.Device.v100 in
+  let classify name (t : Mdlinalg.Flat_kernels.tile) =
+    Obs.Roofline.microkernel ~stage:name ~flops:t.Mdlinalg.Flat_kernels.flops
+      ~bytes:t.Mdlinalg.Flat_kernels.bytes
+      ~peak_gflops:v100.Gpusim.Device.dp_peak_gflops
+      ~dram_gb_s:v100.Gpusim.Device.dram_gb_s
+  in
+  let module Fdd = Mdlinalg.Flat_kernels.Make (Mdlinalg.Scalar.Dd) in
+  let module Fod = Mdlinalg.Flat_kernels.Make (Mdlinalg.Scalar.Od) in
+  let ddt = Fdd.tile and odt = Fod.tile in
+  checki "dd kc" 128 ddt.Mdlinalg.Flat_kernels.kc;
+  checki "od kc" 32 odt.Mdlinalg.Flat_kernels.kc;
+  checki "nr lanes" 8 ddt.Mdlinalg.Flat_kernels.nr;
+  let dd = classify "dd matmul tile" ddt in
+  let od = classify "od matmul tile" odt in
+  let ridge =
+    Obs.Roofline.ridge ~peak_gflops:v100.Gpusim.Device.dp_peak_gflops
+      ~dram_gb_s:v100.Gpusim.Device.dram_gb_s
+  in
+  check "dd tile memory-bound" true
+    (dd.Obs.Roofline.bound = Obs.Roofline.Memory);
+  check "od tile compute-bound" true
+    (od.Obs.Roofline.bound = Obs.Roofline.Compute);
+  check "dd tile below ridge" true (dd.Obs.Roofline.intensity < ridge);
+  check "od tile above ridge" true (od.Obs.Roofline.intensity > ridge)
+
 let test_roofline_json_roundtrip () =
   let v100 = Gpusim.Device.v100 in
   let stages = R.bs_roofline P.QD v100 ~dim:2560 ~tile:32 in
@@ -296,6 +327,7 @@ let () =
         [
           Alcotest.test_case "dd memory, od compute" `Quick
             test_roofline_classification;
+          Alcotest.test_case "microkernel tiles" `Quick test_microkernel_tiles;
           Alcotest.test_case "json round-trip" `Quick
             test_roofline_json_roundtrip;
         ] );

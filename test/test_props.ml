@@ -260,21 +260,21 @@ module Flat_props (S : Md_sig.S) = struct
   (* Stage boxed values into limb planes (the [Staggered] layout). *)
   let stage (vals : S.t array) =
     let n = Array.length vals in
-    let p = Array.init m (fun _ -> Array.make n 0.0) in
+    let p = Nd_flat.make_planes ~limbs:m n in
     Array.iteri
       (fun i v ->
         let l = S.to_limbs v in
         for pl = 0 to m - 1 do
-          p.(pl).(i) <- l.(pl)
+          Nd_flat.set p pl i l.(pl)
         done)
       vals;
     p
 
   (* Read the accumulator back out through [store]. *)
   let acc_limbs ctx =
-    let out = Array.init m (fun _ -> Array.make 1 0.0) in
+    let out = Nd_flat.make_planes ~limbs:m 1 in
     fp.Nd_flat.store ctx out 0;
-    Array.map (fun plane -> plane.(0)) out
+    Array.init m (fun pl -> Nd_flat.get out pl 0)
 
   let check_op name boxed flat_limbs =
     if not (bits_eq (S.to_limbs boxed) flat_limbs) then
@@ -314,7 +314,7 @@ module Flat_props (S : Md_sig.S) = struct
             load ctx (stage [| c |]) 0;
             let xs = stage [| x |] in
             sub_from ctx xs 0;
-            let got = Array.map (fun plane -> plane.(0)) xs in
+            let got = Array.init m (fun pl -> Nd_flat.get xs pl 0) in
             check_op "sub_from" (S.sub x c) got);
         to_alco ~count:100 "dot chain"
           (Gen.pair
@@ -350,6 +350,25 @@ let flat_suites =
         Some (P.suite (Precision.name tag))
       else None)
     Precision.all
+
+(* The widths above resolve to the specialized engines (m = 2, 4, 8);
+   these pin the generic replay engine against the Expansion functor at
+   widths with no hand-written kernel — the QDlib neighbours of the
+   specialized sizes (m = 3, 6) and far past them (m = 16). *)
+module Sexa_double = Expansion.Make (struct
+  let limbs = 6
+  let name = "sexa double"
+end)
+
+let replay_suites =
+  let module P3 = Flat_props (Triple_double) in
+  let module P6 = Flat_props (Sexa_double) in
+  let module P16 = Flat_props (Hexa_double) in
+  [
+    P3.suite "triple double (replay)";
+    P6.suite "sexa double (replay)";
+    P16.suite "hexa double (replay)";
+  ]
 
 let flat_gate_suite =
   ( "flat plan gating",
@@ -568,7 +587,7 @@ let () =
       Rqd.suite "quad double";
       Rod.suite "octo double";
     ]
-    @ flat_suites
+    @ flat_suites @ replay_suites
     @ [
       flat_gate_suite;
       Ld.suite "double";
