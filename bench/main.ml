@@ -47,6 +47,7 @@ let items : (string * (unit -> unit)) list =
     ("kernels-smoke", Kernels_bench.smoke);
     ("batch-smoke", Batch_bench.smoke);
     ("trace-smoke", Trace_bench.smoke);
+    ("fleet-smoke", Fleet_bench.smoke);
     ("faults", Faults_bench.run);
     ("fault-smoke", Faults_bench.smoke);
   ]

@@ -98,9 +98,9 @@ let smoke () =
       | Some (Obs.Metrics.Counter n) ->
         fail "trace-smoke: sim.launches = %d, expected > 0" n
       | _ -> fail "trace-smoke: sim.launches counter missing");
-      match List.assoc_opt "sched.completed" snap with
+      match List.assoc_opt "fleet.completed" snap with
       | Some (Obs.Metrics.Counter n) when n = List.length jobs -> ()
-      | _ -> fail "trace-smoke: sched.completed should equal the batch size");
+      | _ -> fail "trace-smoke: fleet.completed should equal the batch size");
   Printf.printf
     "trace-smoke: %d events traced, trace and metrics parse and validate\n"
     (Obs.Tracer.event_count ())

@@ -138,11 +138,40 @@ let metrics_file =
     & info [ "metrics" ] ~docv:"FILE"
         ~doc:"Write a JSON snapshot of the metrics registry to $(docv).")
 
+(* ---- shared argument-spec builders ----
+
+   One term per flag family: every subcommand assembles the same specs
+   ([$ fault_flags $ obs_flags $ ...]) instead of repeating the five
+   individual flags — a new subcommand (serve) gets the whole family
+   for free. *)
+
+let obs_flags =
+  Term.(const (fun trace metrics -> (trace, metrics)) $ trace_file $ metrics_file)
+
+let fault_flags =
+  Term.(
+    const (fun rate seed kinds -> (rate, seed, kinds))
+    $ fault_rate $ fault_seed $ fault_kinds)
+
+let parallel_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "parallel" ] ~docv:"N"
+        ~doc:"Number of concurrent job workers (batch mode).")
+
+let out_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"FILE"
+        ~doc:
+          "Write the JSON-lines outcomes here instead of standard output \
+           (the human summary then goes to standard output).")
+
 (* Runs [f] with the tracer and the default metrics registry armed, and
    writes the requested artifacts however [f] exits.  Status lines go to
-   stderr so stdout stays parseable (the batch subcommand emits JSON
-   lines there). *)
-let with_observability ~trace ~metrics f =
+   stderr so stdout stays parseable (the batch and serve subcommands
+   emit JSON lines there). *)
+let with_observability (trace, metrics) f =
   if trace = None && metrics = None then f ()
   else begin
     Obs.Metrics.reset (Obs.Metrics.default ());
@@ -217,11 +246,10 @@ let check_tile ~dim ~tile =
 (* ---- subcommands ---- *)
 
 let qr_cmd =
-  let run device p dim rows tile complex execute rate seed kinds trace
-      metrics =
+  let run device p dim rows tile complex execute (rate, seed, kinds) obs =
     check_tile ~dim ~tile;
     let fault = fault_config_of ~rate ~seed ~kinds in
-    with_observability ~trace ~metrics (fun () ->
+    with_observability obs (fun () ->
         let r = R.qr ~complex ?rows ?fault p device ~n:dim ~tile in
         print_run
           (Printf.sprintf "blocked Householder QR of a %dx%d matrix"
@@ -238,13 +266,13 @@ let qr_cmd =
     (Cmd.info "qr" ~doc:"Blocked Householder QR (Algorithm 2).")
     Term.(
       const run $ device $ prec $ dim $ rows $ tile $ complex $ execute
-      $ fault_rate $ fault_seed $ fault_kinds $ trace_file $ metrics_file)
+      $ fault_flags $ obs_flags)
 
 let backsub_cmd =
-  let run device p dim tile complex execute rate seed kinds trace metrics =
+  let run device p dim tile complex execute (rate, seed, kinds) obs =
     check_tile ~dim ~tile;
     let fault = fault_config_of ~rate ~seed ~kinds in
-    with_observability ~trace ~metrics (fun () ->
+    with_observability obs (fun () ->
         let r = R.bs ~complex ?fault p device ~dim ~tile in
         print_run
           (Printf.sprintf "tiled back substitution of dimension %d (%d tiles)"
@@ -259,14 +287,14 @@ let backsub_cmd =
   Cmd.v
     (Cmd.info "backsub" ~doc:"Tiled accelerated back substitution (Algorithm 1).")
     Term.(
-      const run $ device $ prec $ dim $ tile $ complex $ execute $ fault_rate
-      $ fault_seed $ fault_kinds $ trace_file $ metrics_file)
+      const run $ device $ prec $ dim $ tile $ complex $ execute
+      $ fault_flags $ obs_flags)
 
 let solve_cmd =
-  let run device p dim tile complex execute rate seed kinds trace metrics =
+  let run device p dim tile complex execute (rate, seed, kinds) obs =
     check_tile ~dim ~tile;
     let fault = fault_config_of ~rate ~seed ~kinds in
-    with_observability ~trace ~metrics (fun () ->
+    with_observability obs (fun () ->
         let r = R.solve ~complex ?fault p device ~n:dim ~tile in
         pf "least squares solve of a %dx%d system in %s%s on the simulated %s\n"
           dim dim (P.name p)
@@ -293,8 +321,8 @@ let solve_cmd =
   Cmd.v
     (Cmd.info "solve" ~doc:"Least squares solver: QR then back substitution.")
     Term.(
-      const run $ device $ prec $ dim $ tile $ complex $ execute $ fault_rate
-      $ fault_seed $ fault_kinds $ trace_file $ metrics_file)
+      const run $ device $ prec $ dim $ tile $ complex $ execute
+      $ fault_flags $ obs_flags)
 
 let faults_cmd =
   let dim_arg =
@@ -328,13 +356,13 @@ let faults_cmd =
       & info [ "json" ]
           ~doc:"Emit the campaign summary and reports as JSON on stdout.")
   in
-  let run device p dim tile complex runs rate seed kinds json trace metrics =
+  let run device p dim tile complex runs rate seed kinds json obs =
     check_tile ~dim ~tile;
     if runs < 1 then begin
       Printf.eprintf "error: --runs must be at least 1\n";
       exit 2
     end;
-    with_observability ~trace ~metrics (fun () ->
+    with_observability obs (fun () ->
         let reports =
           List.init runs (fun i ->
               let fault = fault_config_of ~rate ~seed:(seed + i) ~kinds in
@@ -440,8 +468,7 @@ let faults_cmd =
           bit-identically.")
     Term.(
       const run $ device $ prec $ dim_arg $ tile_arg $ complex $ runs_arg
-      $ rate_arg $ fault_seed $ fault_kinds $ json_flag $ trace_file
-      $ metrics_file)
+      $ rate_arg $ fault_seed $ fault_kinds $ json_flag $ obs_flags)
 
 let roofline_cmd =
   let kind =
@@ -756,21 +783,7 @@ let batch_cmd =
                 a jobs file.  One of: %s."
                (String.concat ", " Sched.Sweep.names)))
   in
-  let parallel =
-    Arg.(
-      value & opt int 4
-      & info [ "parallel" ] ~docv:"N"
-          ~doc:"Number of concurrent jobs on the shared domain pool.")
-  in
-  let out_file =
-    Arg.(
-      value & opt (some string) None
-      & info [ "o"; "out" ] ~docv:"FILE"
-          ~doc:
-            "Write the JSON-lines outcomes here instead of standard output \
-             (the human summary then goes to standard output).")
-  in
-  let run jobs_file sweep_name parallel out_file trace metrics =
+  let run jobs_file sweep_name parallel out_file obs =
     let jobs =
       match (jobs_file, sweep_name) with
       | Some _, Some _ ->
@@ -795,8 +808,9 @@ let batch_cmd =
       exit 2
     end;
     let outcomes =
-      with_observability ~trace ~metrics (fun () ->
-          Sched.Scheduler.run_batch ~parallel jobs)
+      with_observability obs (fun () ->
+          Sched.Scheduler.run
+            (Sched.Scheduler.Config.batch ~parallel ()) jobs)
     in
     let summary_oc =
       match out_file with
@@ -844,11 +858,140 @@ let batch_cmd =
   Cmd.v
     (Cmd.info "batch"
        ~doc:
-         "Run a batch of jobs concurrently on the shared domain pool and \
+         "Run a batch of jobs over a fresh fleet of generic workers and \
           emit one JSON outcome per line.")
     Term.(
-      const run $ jobs_file $ sweep_name $ parallel $ out_file $ trace_file
-      $ metrics_file)
+      const run $ jobs_file $ sweep_name $ parallel_arg $ out_arg $ obs_flags)
+
+let serve_cmd =
+  let pool_spec =
+    Arg.(
+      value
+      & opt string "c2050=2,p100=2,v100=2,rtx2080=2"
+      & info [ "pool" ] ~docv:"SPEC"
+          ~doc:
+            "Device pool of the fleet: comma-separated \
+             $(i,device)=$(i,count) entries, e.g. v100=2,rtx2080=1.")
+  in
+  let depth =
+    Arg.(
+      value & opt int 64
+      & info [ "depth" ] ~docv:"N"
+          ~doc:
+            "Admission bound per device queue; a submission finding every \
+             candidate queue this deep is rejected (backpressure).  0 means \
+             unbounded.")
+  in
+  let no_steal =
+    Arg.(
+      value & flag
+      & info [ "no-steal" ]
+          ~doc:"Disable work stealing between device queues.")
+  in
+  let run pool_spec depth no_steal (rate, seed, kinds) out_file obs =
+    let pool =
+      try Sched.Fleet.Config.pool_of_string pool_spec
+      with Invalid_argument m ->
+        Printf.eprintf "error: %s\n" m;
+        exit 2
+    in
+    let config =
+      {
+        Sched.Fleet.Config.pool;
+        max_queue_depth = depth;
+        backoff_ms = 1.0;
+        steal = not no_steal;
+        (* A service must not grow with its uptime: outcomes stream out
+           through [on_outcome] and are not retained. *)
+        retain_outcomes = false;
+      }
+    in
+    let oc = match out_file with Some f -> open_out f | None -> stdout in
+    (* Outcome lines arrive from the worker domains; one lock keeps the
+       stream line-atomic. *)
+    let out_lock = Mutex.create () in
+    let emit json =
+      Mutex.lock out_lock;
+      output_string oc (Harness.Json.to_string json);
+      output_char oc '\n';
+      flush oc;
+      Mutex.unlock out_lock
+    in
+    (* The --fault-* flags are defaults: they arm jobs that do not carry
+       their own fault plan. *)
+    let with_default_faults (job : Sched.Job.t) =
+      if rate > 0.0 && job.Sched.Job.fault_rate = 0.0 then
+        match fault_config_of ~rate ~seed ~kinds with
+        | Some _ ->
+          {
+            job with
+            Sched.Job.fault_rate = rate;
+            fault_seed = seed;
+            fault_kinds =
+              (if String.lowercase_ascii (String.trim kinds) = "all" then
+                 Fault.Plan.all_kinds
+               else
+                 String.split_on_char ',' kinds
+                 |> List.filter_map (fun s ->
+                        let s = String.trim s in
+                        if s = "" then None
+                        else Some (Fault.Plan.kind_of_string s)));
+          }
+        | None -> job
+      else job
+    in
+    with_observability obs (fun () ->
+        let fleet =
+          Sched.Fleet.create
+            ~on_outcome:(fun o -> emit (Sched.Scheduler.outcome_to_json o))
+            config
+        in
+        let submitted = ref 0 and rejected = ref 0 and skipped = ref 0 in
+        (try
+           while true do
+             let line = input_line stdin in
+             if String.trim line <> "" then
+               match Sched.Job.of_json (Harness.Json.of_string line) with
+               | job -> (
+                 let job = with_default_faults job in
+                 match Sched.Fleet.submit fleet job with
+                 | Ok _ -> incr submitted
+                 | Error r ->
+                   incr rejected;
+                   emit (Sched.Fleet.reject_to_json job r))
+               | exception Harness.Json.Error m ->
+                 incr skipped;
+                 Printf.eprintf "serve: skipping bad job line: %s\n%!" m
+           done
+         with End_of_file -> ());
+        Sched.Fleet.quiesce fleet;
+        Sched.Fleet.shutdown fleet;
+        Printf.eprintf
+          "serve: %d submitted, %d rejected, %d skipped, %d stolen\n"
+          !submitted !rejected !skipped
+          (Sched.Fleet.steals fleet);
+        List.iter
+          (fun (s : Sched.Fleet.stats) ->
+            Printf.eprintf
+              "  %-12s %4d executed (%d stolen)  utilization %5.1f%%\n"
+              s.Sched.Fleet.id s.Sched.Fleet.executed s.Sched.Fleet.stolen
+              (100.0 *. s.Sched.Fleet.utilization))
+          (Sched.Fleet.stats fleet));
+    if out_file <> None then close_out oc
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the fleet service: read JSON job objects from standard input \
+          (one per line), place them across a pool of simulated devices \
+          with roofline-aware placement, work stealing and bounded-queue \
+          admission control, and emit one JSON outcome line per job as it \
+          finishes.  Jobs with device \"auto\" (or no device) are routed by \
+          the placement policy; rejected submissions answer with a \
+          {\"status\":\"rejected\"} line.")
+    Term.(
+      const run $ pool_spec $ depth $ no_steal $ fault_flags $ out_arg
+      $ obs_flags)
 
 let devices_cmd =
   let run () =
@@ -892,4 +1035,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ qr_cmd; backsub_cmd; solve_cmd; faults_cmd; roofline_cmd; batch_cmd; refine_cmd; toeplitz_cmd; psolve_cmd; cond_cmd; devices_cmd; precisions_cmd ]))
+          [ qr_cmd; backsub_cmd; solve_cmd; faults_cmd; roofline_cmd; batch_cmd; serve_cmd; refine_cmd; toeplitz_cmd; psolve_cmd; cond_cmd; devices_cmd; precisions_cmd ]))

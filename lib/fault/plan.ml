@@ -94,14 +94,25 @@ let max_relaunches t = t.cfg.max_relaunches
 let max_replays t = t.cfg.max_replays
 let aux_rng t = t.aux_rng
 
-(* Metrics handles, resolved lazily against the default registry (the
-   registry may be reset between campaigns; handles stay valid). *)
+(* Metrics handles, resolved on first use against the default registry
+   (the registry may be reset between campaigns; handles stay valid).
+   [Metrics.once], not [lazy]: armed runs on concurrent fleet workers
+   may hit the first strike together, and a raced lazy raises. *)
 let registry () = Obs.Metrics.default ()
-let m_injected = lazy (Obs.Metrics.counter (registry ()) "faults.injected")
-let m_detected = lazy (Obs.Metrics.counter (registry ()) "faults.detected")
-let m_recovered = lazy (Obs.Metrics.counter (registry ()) "faults.recovered")
-let m_escaped = lazy (Obs.Metrics.counter (registry ()) "faults.escaped")
-let incr c = Obs.Metrics.Counter.incr (Lazy.force c)
+
+let m_injected =
+  Obs.Metrics.once (fun () -> Obs.Metrics.counter (registry ()) "faults.injected")
+
+let m_detected =
+  Obs.Metrics.once (fun () -> Obs.Metrics.counter (registry ()) "faults.detected")
+
+let m_recovered =
+  Obs.Metrics.once (fun () -> Obs.Metrics.counter (registry ()) "faults.recovered")
+
+let m_escaped =
+  Obs.Metrics.once (fun () -> Obs.Metrics.counter (registry ()) "faults.escaped")
+
+let incr c = Obs.Metrics.Counter.incr (c ())
 
 let instant name ~stage =
   if Obs.Tracer.enabled () then

@@ -27,6 +27,23 @@ type t = {
 
 let cores d = d.sm_count * d.cores_per_sm
 
+(* DRAM bytes streamed per double precision flop at the respective
+   peaks: the fleet's bandwidth-richness score.  A consumer card with
+   weak FP64 pipes but a wide memory bus (RTX 2080: 0.69 B/flop) is
+   bandwidth-rich relative to its compute and the natural home of
+   memory-bound double double work, while a V100 (0.11 B/flop) is
+   compute-rich and better saved for octo double jobs. *)
+let bytes_per_flop d = d.dram_gb_s /. d.dp_peak_gflops
+
+(* Lower-case, space-free device name ("rtx2080"): fleet instance ids
+   and metric names are built from this. *)
+let slug d =
+  String.concat ""
+    (List.filter_map
+       (fun c ->
+         match c with ' ' -> None | c -> Some (String.make 1 (Char.lowercase_ascii c)))
+       (List.init (String.length d.name) (String.get d.name)))
+
 (* Tesla C2050 (Fermi, 2011): DP is half of SP rate. *)
 let c2050 =
   {

@@ -28,6 +28,18 @@ type t = {
 val cores : t -> int
 (** Total cores: SMs times cores per SM. *)
 
+val bytes_per_flop : t -> float
+(** DRAM bytes streamed per double precision flop at the respective
+    peaks ([dram_gb_s / dp_peak_gflops]) — the fleet's
+    bandwidth-richness score.  High (RTX 2080: ~0.69) means
+    bandwidth-rich relative to compute, the natural home of
+    memory-bound double double work; low (V100: ~0.11) means
+    compute-rich, better saved for octo double jobs. *)
+
+val slug : t -> string
+(** Lower-case, space-free device name ("rtx2080"); fleet instance ids
+    and metric names build on it. *)
+
 val c2050 : t
 val k20c : t
 val p100 : t

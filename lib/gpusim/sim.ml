@@ -29,14 +29,20 @@ type t = {
   mutable corruptor : (Dompool.Prng.t -> string) option;
 }
 
+(* Handles resolve on first use via [Metrics.once]: a plain [lazy]
+   raises under the concurrent first force the fleet's worker domains
+   produce. *)
 let m_launches =
-  lazy (Obs.Metrics.counter (Obs.Metrics.default ()) "sim.launches")
+  Obs.Metrics.once (fun () ->
+      Obs.Metrics.counter (Obs.Metrics.default ()) "sim.launches")
 
 let m_transfers =
-  lazy (Obs.Metrics.counter (Obs.Metrics.default ()) "sim.transfers")
+  Obs.Metrics.once (fun () ->
+      Obs.Metrics.counter (Obs.Metrics.default ()) "sim.transfers")
 
 let m_kernel_ms =
-  lazy (Obs.Metrics.histogram (Obs.Metrics.default ()) "sim.kernel_ms")
+  Obs.Metrics.once (fun () ->
+      Obs.Metrics.histogram (Obs.Metrics.default ()) "sim.kernel_ms")
 
 let create ?(execute = true) ?pool ?fault ?(fault_salt = 0) ~device ~prec () =
   let pool =
@@ -79,8 +85,8 @@ let account t ~stage ~(cost : Cost.launch) =
   t.host_ms <-
     t.host_ms
     +. (float_of_int cost.Cost.count *. Cost.host_launch_ms t.device);
-  Obs.Metrics.Counter.incr ~by:cost.Cost.count (Lazy.force m_launches);
-  Obs.Metrics.Histogram.observe (Lazy.force m_kernel_ms) ms;
+  Obs.Metrics.Counter.incr ~by:cost.Cost.count (m_launches ());
+  Obs.Metrics.Histogram.observe (m_kernel_ms ()) ms;
   ms
 
 (* Runs [run] under a kernel span carrying the launch's shape and cost,
@@ -176,7 +182,7 @@ let transfer t bytes =
   t.peak_bytes <- Float.max t.peak_bytes bytes;
   let ms = Cost.transfer_ms t.device bytes in
   t.transfer_ms <- t.transfer_ms +. ms;
-  Obs.Metrics.Counter.incr (Lazy.force m_transfers);
+  Obs.Metrics.Counter.incr (m_transfers ());
   if Obs.Tracer.enabled () then
     Obs.Tracer.instant ~cat:"transfer"
       ~args:

@@ -16,7 +16,7 @@ let json_of_metric (name, value) =
     match value with
     | M.Counter v -> [ ("kind", Json.Str "counter"); ("value", Json.Int v) ]
     | M.Gauge v -> [ ("kind", Json.Str "gauge"); ("value", Json.Float v) ]
-    | M.Histogram { bounds; counts; count; sum } ->
+    | M.Histogram { bounds; counts; count; sum; p50; p95; p99 } ->
       [
         ("kind", Json.Str "histogram");
         ( "bounds",
@@ -26,6 +26,9 @@ let json_of_metric (name, value) =
           Json.Arr (Array.to_list (Array.map (fun c -> Json.Int c) counts)) );
         ("count", Json.Int count);
         ("sum", Json.Float sum);
+        ("p50", Json.Float p50);
+        ("p95", Json.Float p95);
+        ("p99", Json.Float p99);
       ]
   in
   Json.Obj (("name", Json.Str name) :: fields)
@@ -37,16 +40,30 @@ let metric_of_json j =
     | "counter" -> M.Counter Json.(get_int (member "value" j))
     | "gauge" -> M.Gauge Json.(get_float (member "value" j))
     | "histogram" ->
+      let bounds =
+        Array.of_list
+          (List.map Json.get_float Json.(get_list (member "bounds" j)))
+      in
+      let counts =
+        Array.of_list
+          (List.map Json.get_int Json.(get_list (member "counts" j)))
+      in
+      (* Quantiles are recomputed from the buckets when absent, so
+         snapshots written before the percentile fields still parse. *)
+      let q p key =
+        match Json.to_option Json.get_float (Json.member key j) with
+        | Some v -> v
+        | None -> Obs.Metrics.quantile ~bounds ~counts p
+      in
       M.Histogram
         {
-          bounds =
-            Array.of_list
-              (List.map Json.get_float Json.(get_list (member "bounds" j)));
-          counts =
-            Array.of_list
-              (List.map Json.get_int Json.(get_list (member "counts" j)));
+          bounds;
+          counts;
           count = Json.(get_int (member "count" j));
           sum = Json.(get_float (member "sum" j));
+          p50 = q 0.50 "p50";
+          p95 = q 0.95 "p95";
+          p99 = q 0.99 "p99";
         }
     | k -> raise (Json.Error (Printf.sprintf "unknown metric kind '%s'" k))
   in

@@ -7,7 +7,10 @@
     documents. *)
 
 val json_of_metrics : Obs.Metrics.snapshot -> Json.t
+
 val metrics_of_json : Json.t -> Obs.Metrics.snapshot
+(** Histogram percentile fields ([p50]/[p95]/[p99]) are recomputed from
+    the bucket counts when a document predating them omits them. *)
 
 val roofline_schema_version : int
 (** Version stamped into (and required of) a serialized roofline

@@ -20,6 +20,35 @@ module Gauge = struct
   let value t = Atomic.get t
 end
 
+(* Estimated q-quantile of a bucketed distribution, by linear
+   interpolation inside the bucket holding the q*count-th observation
+   (the classic histogram_quantile estimator).  Deterministic in the
+   bucket counts, which are themselves exact under concurrent updates —
+   so the estimate is reproducible, the resolution is the bucket
+   ladder.  The overflow bucket has no upper edge; ranks landing there
+   clamp to the largest finite bound.  An empty histogram estimates
+   0. *)
+let quantile ~bounds ~counts q =
+  let n = Array.length bounds in
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 || n = 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = q *. float_of_int total in
+    let rec go i cum =
+      if i >= n then bounds.(n - 1)
+      else
+        let c = counts.(i) in
+        let cum' = cum + c in
+        if c > 0 && float_of_int cum' >= rank then
+          let lo = if i = 0 then Float.min 0.0 bounds.(0) else bounds.(i - 1) in
+          let hi = bounds.(i) in
+          lo +. ((hi -. lo) *. (rank -. float_of_int cum) /. float_of_int c)
+        else go (i + 1) cum'
+    in
+    go 0 0
+  end
+
 module Histogram = struct
   (* [counts.(i)] tallies observations with [v <= bounds.(i)] (first
      matching bucket); [counts.(length bounds)] is the overflow bucket. *)
@@ -43,6 +72,7 @@ module Histogram = struct
   let sum t = Atomic.get t.sum
   let bounds t = Array.copy t.bounds
   let bucket_counts t = Array.map Atomic.get t.counts
+  let quantile t q = quantile ~bounds:t.bounds ~counts:(bucket_counts t) q
 end
 
 type metric =
@@ -59,6 +89,15 @@ let default () = default_registry
 
 (* Millisecond-oriented default bucket bounds. *)
 let default_buckets = [| 0.01; 0.1; 1.0; 10.0; 100.0; 1000.0 |]
+
+(* A finer 1-2.5-5 ladder for latency percentiles: quantile estimates
+   interpolate inside a bucket, so p50/p95/p99 from these bounds stay
+   meaningful from sub-millisecond jobs up to multi-second ones. *)
+let latency_buckets =
+  [|
+    0.01; 0.025; 0.05; 0.1; 0.25; 0.5; 1.0; 2.5; 5.0; 10.0; 25.0; 50.0;
+    100.0; 250.0; 500.0; 1000.0; 2500.0; 5000.0; 10000.0;
+  |]
 
 let kind_name = function
   | Counter_m _ -> "counter"
@@ -104,6 +143,23 @@ let histogram ?(buckets = default_buckets) t name =
         })
     ~cast:(function Histogram_m h -> Some h | _ -> None)
 
+(* Domain-safe lazy resolution for instrumentation handles.  An OCaml
+   [lazy] raises [Undefined] when two domains force it concurrently —
+   which is exactly what happens when several fleet workers hit an
+   instrumented code path for the first time together.  Registration is
+   idempotent (the registry hands back the same metric), so a benign
+   race resolving twice is harmless; after the first resolution the
+   cost is one atomic read. *)
+let once resolve =
+  let cache = Atomic.make None in
+  fun () ->
+    match Atomic.get cache with
+    | Some h -> h
+    | None ->
+      let h = resolve () in
+      Atomic.set cache (Some h);
+      h
+
 (* Zeroes every registered metric in place, keeping registrations (and
    any handles callers cached) valid. *)
 let reset t =
@@ -129,6 +185,9 @@ type value =
       counts : int array;
       count : int;
       sum : float;
+      p50 : float;
+      p95 : float;
+      p99 : float;
     }
 
 type snapshot = (string * value) list
@@ -144,12 +203,17 @@ let snapshot t =
            | Counter_m c -> Counter (Counter.value c)
            | Gauge_m g -> Gauge (Gauge.value g)
            | Histogram_m h ->
+             let bounds = Histogram.bounds h in
+             let counts = Histogram.bucket_counts h in
              Histogram
                {
-                 bounds = Histogram.bounds h;
-                 counts = Histogram.bucket_counts h;
-                 count = Histogram.count h;
+                 bounds;
+                 counts;
+                 count = Array.fold_left ( + ) 0 counts;
                  sum = Histogram.sum h;
+                 p50 = quantile ~bounds ~counts 0.50;
+                 p95 = quantile ~bounds ~counts 0.95;
+                 p99 = quantile ~bounds ~counts 0.99;
                }
          in
          (name, v))

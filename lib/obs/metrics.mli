@@ -38,6 +38,10 @@ module Histogram : sig
   val bucket_counts : t -> int array
   (** One count per bucket; length is [Array.length bounds + 1] (the
       trailing overflow bucket). *)
+
+  val quantile : t -> float -> float
+  (** [quantile t q] estimates the [q]-quantile ([0 <= q <= 1]) of the
+      observed distribution — see the top-level {!quantile}. *)
 end
 
 type t
@@ -50,12 +54,32 @@ val default : unit -> t
 val default_buckets : float array
 (** Millisecond-oriented bounds used when [?buckets] is omitted. *)
 
+val latency_buckets : float array
+(** A finer 1-2.5-5 millisecond ladder (10 us .. 10 s) for latency
+    histograms whose p50/p95/p99 will be read off the snapshot. *)
+
+val quantile : bounds:float array -> counts:int array -> float -> float
+(** [quantile ~bounds ~counts q] estimates the [q]-quantile of a
+    bucketed distribution by linear interpolation inside the bucket
+    holding the [q*count]-th observation.  Bucket counts are exact
+    under concurrent {!Histogram.observe} (they are atomics), so the
+    estimate is deterministic in the observations; the resolution is
+    the bucket ladder.  Ranks landing in the overflow bucket clamp to
+    the largest finite bound; an empty distribution estimates 0. *)
+
 val counter : t -> string -> Counter.t
 (** Get-or-create; raises [Invalid_argument] when the name is already
     registered as another kind (same for {!gauge} and {!histogram}). *)
 
 val gauge : t -> string -> Gauge.t
 val histogram : ?buckets:float array -> t -> string -> Histogram.t
+
+val once : (unit -> 'a) -> unit -> 'a
+(** Domain-safe lazy resolution for instrumentation handles: [once f]
+    is a thunk that calls [f] on first use and caches the result behind
+    an atomic.  Unlike an OCaml [lazy] (which raises [Undefined] under
+    a concurrent force), a race at first use just resolves [f] twice —
+    harmless for the idempotent get-or-create registrations above. *)
 
 val reset : t -> unit
 (** Zeroes every registered metric in place; cached handles stay
@@ -70,6 +94,9 @@ type value =
       counts : int array;  (** per bucket, overflow last *)
       count : int;
       sum : float;
+      p50 : float;  (** median estimate — see {!quantile} *)
+      p95 : float;
+      p99 : float;
     }
 
 type snapshot = (string * value) list

@@ -206,6 +206,37 @@ let parallel_for ?chunk pool lo hi f =
     end
   end
 
-(* A lazily created default pool sized to the machine. *)
-let default = lazy (create (max 2 (Domain.recommended_domain_count ())))
-let get_default () = Lazy.force default
+(* Marks the calling domain as a task context for the duration of [f]:
+   nested [run]/[parallel_for] calls execute inline instead of entering
+   the shared queue.  Long-running workers that own their domain (the
+   fleet's per-device workers) wrap job execution in [isolate] so
+   concurrent workers never race on the pool's barrier state ([fail],
+   [pending]) — [run] is only re-entrant from inside a task. *)
+let isolate f =
+  let prev = Domain.DLS.get inside_task in
+  Domain.DLS.set inside_task true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set inside_task prev) f
+
+(* A lazily created default pool sized to the machine.  Not an OCaml
+   [lazy]: those are not domain-safe (a concurrent force raises
+   [Undefined] in the loser), and the fleet's worker domains all reach
+   for the default pool on their first job.  Double-checked creation
+   under a mutex instead — exactly one pool is ever spawned. *)
+let default : t option Atomic.t = Atomic.make None
+let default_lock = Mutex.create ()
+
+let get_default () =
+  match Atomic.get default with
+  | Some pool -> pool
+  | None ->
+    Mutex.lock default_lock;
+    let pool =
+      match Atomic.get default with
+      | Some pool -> pool
+      | None ->
+        let pool = create (max 2 (Domain.recommended_domain_count ())) in
+        Atomic.set default (Some pool);
+        pool
+    in
+    Mutex.unlock default_lock;
+    pool

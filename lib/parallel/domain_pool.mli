@@ -31,5 +31,14 @@ val parallel_for : ?chunk:int -> t -> int -> int -> (int -> unit) -> unit
     re-raised on the calling domain after the barrier; iterations not yet
     claimed by the raising worker may be skipped. *)
 
+val isolate : (unit -> 'a) -> 'a
+(** [isolate f] runs [f] with the calling domain marked as a task
+    context: any nested {!run} or {!parallel_for} executes inline on
+    this domain instead of entering the shared queue.  Long-running
+    workers that own their domain (e.g. the fleet's per-device workers)
+    wrap job execution in [isolate], because {!run} is only re-entrant
+    from inside a pool task — two foreign domains calling it
+    concurrently would race on the pool's barrier state. *)
+
 val get_default : unit -> t
 (** A lazily created pool sized to the machine. *)

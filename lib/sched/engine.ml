@@ -1,0 +1,331 @@
+(* The per-job execution engine: one job's full lifecycle (validation,
+   bounded retry with exponential backoff, cooperative timeout) settling
+   into a structured outcome, plus the versioned JSON-lines outcome
+   codec.  The fleet service and the batch wrapper both drive jobs
+   through [settle]; neither ever sees an exception escape it. *)
+
+module Json = Harness.Json
+module Report = Harness.Report
+module R = Harness.Runners
+
+type failure = { message : string; timed_out : bool; retryable : bool }
+
+type status = Completed of Report.t | Failed of failure
+
+type timing = {
+  queue_wait_ms : float;
+  attempt_ms : float list;
+  backoff_ms : float;
+}
+
+(* Where the fleet put the job: the instance that executed it, how it
+   got there, and how deep the admitted queue was. *)
+type placement = {
+  device_id : string;
+  admitted_to : string;
+  steals : int;
+  queue_depth : int;
+}
+
+type outcome = {
+  job : Job.t;
+  index : int;
+  order : int;
+  attempts : int;
+  elapsed_ms : float;
+  timing : timing;
+  placement : placement option;
+  status : status;
+}
+
+(* v4: fleet placement (device id, steal count, queue depth at
+   admission); v3 added the retryable classification, v2 per-attempt
+   timing. *)
+let schema_version = 4
+
+exception Injected_failure
+
+(* Only transient faults are worth another attempt: the testing hook and
+   escaped injected faults from the simulator's fault plane.  Everything
+   else — validation errors, bad arguments, deterministic numeric
+   failures — would fail identically again, so it settles immediately
+   without burning retries or backoff sleeps. *)
+let classify = function
+  | Injected_failure -> ("injected failure", true)
+  | Fault.Plan.Injected _ as e -> (Printexc.to_string e, true)
+  | e -> (Printexc.to_string e, false)
+
+let now_ms () = Unix.gettimeofday () *. 1000.0
+
+(* One synchronous run of the job proper: plan (or, with [execute], plan
+   plus a numeric verification whose residual lands in the report).  An
+   armed fault plan is threaded into the simulators; executed solve jobs
+   switch to the fault-tolerant runner, whose report already carries the
+   residual, the fault tally and the refinement flag. *)
+let run_job (job : Job.t) =
+  let device = Gpusim.Device.by_name job.Job.device in
+  let complex = job.Job.complex in
+  let prec = job.Job.prec in
+  let dim = job.Job.dim and tile = job.Job.tile in
+  let fault = Job.fault_config job in
+  match (job.Job.execute, job.Job.kind, fault) with
+  | true, Job.Solve, Some _ ->
+    R.solve_ft ~complex ?fault prec device ~n:dim ~tile
+  | false, _, _ ->
+    (match job.Job.kind with
+    | Job.Qr -> R.qr ~complex ?rows:job.Job.rows ?fault prec device ~n:dim ~tile
+    | Job.Backsub -> R.bs ~complex ?fault prec device ~dim ~tile
+    | Job.Solve -> R.solve ~complex ?fault prec device ~n:dim ~tile)
+  | true, _, _ ->
+    (* Plan for the cost figures, verify (under the fault plan, if any)
+       for the residual; an escalation out of the verification run is a
+       retryable failure for [settle]. *)
+    let base =
+      match job.Job.kind with
+      | Job.Qr -> R.qr ~complex ?rows:job.Job.rows prec device ~n:dim ~tile
+      | Job.Backsub -> R.bs ~complex prec device ~dim ~tile
+      | Job.Solve -> R.solve ~complex prec device ~n:dim ~tile
+    in
+    let residual =
+      match job.Job.kind with
+      | Job.Qr -> R.verify_qr ~complex ?fault prec device ~n:dim ~tile
+      | Job.Backsub -> R.verify_bs ~complex ?fault prec device ~dim ~tile
+      | Job.Solve -> R.verify_solve ~complex ?fault prec device ~n:dim ~tile
+    in
+    { base with Report.residual = Some residual }
+
+(* The full lifecycle of one job: validation, then up to [1 + retries]
+   attempts under the cooperative wall-clock budget, with exponential
+   backoff between attempts.  Never raises. *)
+let settle ~backoff_ms ~queued_at (job : Job.t) =
+  let started = now_ms () in
+  let elapsed () = now_ms () -. started in
+  let queue_wait_ms = Float.max 0.0 (started -. queued_at) in
+  let attempt_times = ref [] in
+  let backoff_total = ref 0.0 in
+  let finish attempts status =
+    let timing =
+      {
+        queue_wait_ms;
+        attempt_ms = List.rev !attempt_times;
+        backoff_ms = !backoff_total;
+      }
+    in
+    (attempts, elapsed (), timing, status)
+  in
+  let timed_out_failure message =
+    Obs.Tracer.instant ~cat:"sched"
+      ~args:[ ("job", Obs.Tracer.Str job.Job.id) ]
+      "timeout";
+    Failed { message; timed_out = true; retryable = false }
+  in
+  let deadline =
+    match job.Job.timeout_ms with
+    | Some ms -> started +. ms
+    | None -> Float.infinity
+  in
+  match Job.validate job with
+  | Error message ->
+    finish 0 (Failed { message; timed_out = false; retryable = false })
+  | Ok () when Job.is_auto job ->
+    (* Never placed: the wildcard is only resolvable by a fleet. *)
+    finish 0
+      (Failed
+         {
+           message =
+             Printf.sprintf
+               "job '%s': device 'auto' needs fleet placement" job.Job.id;
+           timed_out = false;
+           retryable = false;
+         })
+  | Ok () ->
+    let max_attempts = 1 + job.Job.retries in
+    let rec go attempt =
+      if now_ms () > deadline then
+        finish (attempt - 1)
+          (timed_out_failure
+             (Printf.sprintf "timed out after %d attempt%s" (attempt - 1)
+                (if attempt - 1 = 1 then "" else "s")))
+      else
+        let result =
+          Obs.Tracer.span ~cat:"sched"
+            ~args:
+              [
+                ("job", Obs.Tracer.Str job.Job.id);
+                ("attempt", Obs.Tracer.Int attempt);
+              ]
+            "attempt"
+            (fun () ->
+              let t0 = now_ms () in
+              let r =
+                try
+                  if attempt <= job.Job.inject_failures then
+                    raise Injected_failure
+                  else Ok (run_job job)
+                with e -> Error (classify e)
+              in
+              attempt_times := (now_ms () -. t0) :: !attempt_times;
+              r)
+        in
+        match result with
+        | Ok report ->
+          if now_ms () > deadline then
+            finish attempt
+              (timed_out_failure
+                 (Printf.sprintf
+                    "completed past the deadline on attempt %d (result \
+                     discarded)"
+                    attempt))
+          else finish attempt (Completed report)
+        | Error (message, retryable) ->
+          if retryable && attempt < max_attempts then begin
+            let pause =
+              backoff_ms *. Float.of_int (1 lsl (attempt - 1)) /. 1000.0
+            in
+            if pause > 0.0 then begin
+              backoff_total := !backoff_total +. (pause *. 1000.0);
+              Obs.Tracer.span ~cat:"sched"
+                ~args:[ ("job", Obs.Tracer.Str job.Job.id) ]
+                "backoff"
+                (fun () -> Unix.sleepf pause)
+            end;
+            go (attempt + 1)
+          end
+          else
+            (* Permanent failures settle on the spot: a deterministic
+               error would only fail the same way again. *)
+            finish attempt (Failed { message; timed_out = false; retryable })
+    in
+    go 1
+
+(* ---- serialization ---- *)
+
+let json_of_timing t =
+  Json.Obj
+    [
+      ("queue_wait_ms", Json.Float t.queue_wait_ms);
+      ( "attempt_ms",
+        Json.Arr (List.map (fun ms -> Json.Float ms) t.attempt_ms) );
+      ("backoff_sleep_ms", Json.Float t.backoff_ms);
+    ]
+
+let timing_of_json j =
+  {
+    queue_wait_ms = Json.get_float (Json.member "queue_wait_ms" j);
+    attempt_ms =
+      List.map Json.get_float (Json.get_list (Json.member "attempt_ms" j));
+    backoff_ms = Json.get_float (Json.member "backoff_sleep_ms" j);
+  }
+
+let json_of_placement p =
+  Json.Obj
+    [
+      ("device_id", Json.Str p.device_id);
+      ("admitted_to", Json.Str p.admitted_to);
+      ("steals", Json.Int p.steals);
+      ("queue_depth", Json.Int p.queue_depth);
+    ]
+
+let placement_of_json j =
+  {
+    device_id = Json.get_string (Json.member "device_id" j);
+    admitted_to = Json.get_string (Json.member "admitted_to" j);
+    steals = Json.get_int (Json.member "steals" j);
+    queue_depth = Json.get_int (Json.member "queue_depth" j);
+  }
+
+let outcome_to_json o =
+  Json.Obj
+    ([
+       ("schema", Json.Int schema_version);
+       ("index", Json.Int o.index);
+       ("order", Json.Int o.order);
+       ("attempts", Json.Int o.attempts);
+       ("elapsed_ms", Json.Float o.elapsed_ms);
+       ("timing", json_of_timing o.timing);
+     ]
+    @ (match o.placement with
+      | Some p -> [ ("placement", json_of_placement p) ]
+      | None -> [])
+    @ [ ("job", Job.to_json o.job) ]
+    @
+    match o.status with
+    | Completed report ->
+      [ ("status", Json.Str "completed"); ("report", Report.to_json report) ]
+    | Failed f ->
+      [
+        ("status", Json.Str "failed");
+        ( "error",
+          Json.Obj
+            [
+              ("message", Json.Str f.message);
+              ("timed_out", Json.Bool f.timed_out);
+              ("retryable", Json.Bool f.retryable);
+            ] );
+      ])
+
+let outcome_of_json j =
+  let v = Json.get_int (Json.member "schema" j) in
+  if v <> schema_version then
+    raise
+      (Json.Error
+         (Printf.sprintf "outcome schema %d, this build reads schema %d" v
+            schema_version));
+  let status =
+    match Json.get_string (Json.member "status" j) with
+    | "completed" -> Completed (Report.of_json (Json.member "report" j))
+    | "failed" ->
+      let e = Json.member "error" j in
+      Failed
+        {
+          message = Json.get_string (Json.member "message" e);
+          timed_out = Json.get_bool (Json.member "timed_out" e);
+          retryable = Json.get_bool (Json.member "retryable" e);
+        }
+    | s -> raise (Json.Error (Printf.sprintf "unknown status '%s'" s))
+  in
+  {
+    job = Job.of_json (Json.member "job" j);
+    index = Json.get_int (Json.member "index" j);
+    order = Json.get_int (Json.member "order" j);
+    attempts = Json.get_int (Json.member "attempts" j);
+    elapsed_ms = Json.get_float (Json.member "elapsed_ms" j);
+    timing = timing_of_json (Json.member "timing" j);
+    placement = Json.to_option placement_of_json (Json.member "placement" j);
+    status;
+  }
+
+(* A submission the fleet's admission control refused: not an outcome
+   (the job never entered a queue), but serve mode still answers with a
+   schema-stamped line so a client can tell backpressure from silence. *)
+let rejection_to_json (job : Job.t) ~message ~device_id ~queue_depth =
+  Json.Obj
+    [
+      ("schema", Json.Int schema_version);
+      ("status", Json.Str "rejected");
+      ("job", Job.to_json job);
+      ( "error",
+        Json.Obj
+          [
+            ("message", Json.Str message);
+            ("device_id", Json.Str device_id);
+            ("queue_depth", Json.Int queue_depth);
+          ] );
+    ]
+
+let write_jsonl oc outcomes =
+  List.iter
+    (fun o ->
+      output_string oc (Json.to_string (outcome_to_json o));
+      output_char oc '\n')
+    outcomes
+
+let read_jsonl ic =
+  let rec go acc =
+    match input_line ic with
+    | line ->
+      if String.trim line = "" then go acc
+      else go (outcome_of_json (Json.of_string line) :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  go []

@@ -1,0 +1,117 @@
+(** The per-job execution engine shared by the {!Fleet} service and the
+    batch wrapper in {!Scheduler}: one job's full lifecycle — validation,
+    bounded retry with exponential backoff, cooperative timeout —
+    settling into a structured {!outcome}, plus the versioned JSON-lines
+    outcome codec (schema {!schema_version}).
+
+    {!Scheduler} re-exports every type here under its historical names;
+    new code driving jobs directly should use this module. *)
+
+type failure = {
+  message : string;
+  timed_out : bool;  (** the job exhausted its [timeout_ms] budget *)
+  retryable : bool;
+      (** how the error was classified: transient faults (the injection
+          hook, escaped {!Fault.Plan.Injected} escalations) retry with
+          backoff; validation errors and deterministic failures settle
+          on the first attempt without burning retries *)
+}
+
+type status =
+  | Completed of Harness.Report.t
+  | Failed of failure
+
+(** Where one job's wall clock went. *)
+type timing = {
+  queue_wait_ms : float;
+      (** from admission to a worker claiming the job *)
+  attempt_ms : float list;
+      (** run time of each attempt, in attempt order; its length is
+          [attempts] *)
+  backoff_ms : float;  (** total backoff sleep between attempts *)
+}
+
+(** Where the fleet put the job. *)
+type placement = {
+  device_id : string;
+      (** fleet instance that executed the job, e.g. ["v100#1"] *)
+  admitted_to : string;
+      (** instance whose queue admitted it; differs from [device_id]
+          exactly when the job was stolen *)
+  steals : int;  (** queue hops by work stealing (0 or 1) *)
+  queue_depth : int;  (** depth of the admitted queue at admission *)
+}
+
+type outcome = {
+  job : Job.t;
+      (** the job as executed — for auto-placed jobs the [device] field
+          carries the class the fleet chose *)
+  index : int;  (** admission order (the fleet ticket) *)
+  order : int;  (** completion rank (0 = finished first) *)
+  attempts : int;  (** run attempts made; 0 when validation rejected it *)
+  elapsed_ms : float;  (** wall clock across all attempts and backoffs *)
+  timing : timing;
+  placement : placement option;
+      (** [None] for outcomes produced outside a fleet *)
+  status : status;
+}
+
+val schema_version : int
+(** Version stamped into (and required of) every serialized outcome:
+    4 (fleet placement; v3 added the retryable classification, v2
+    per-attempt timing). *)
+
+exception Injected_failure
+(** The testing hook raised by the [inject_failures] leading attempts;
+    classified retryable. *)
+
+val classify : exn -> string * bool
+(** [(message, retryable)] of an attempt's exception. *)
+
+val now_ms : unit -> float
+(** The engine's wall clock (Unix epoch milliseconds). *)
+
+val run_job : Job.t -> Harness.Report.t
+(** Runs one job synchronously (no retry, timeout or failure injection):
+    dispatches on the kind, and when [job.execute] is set additionally
+    executes the kernels numerically and attaches the residual record.
+    A positive [fault_rate] arms the simulator fault plane
+    ({!Job.fault_config}); executed solve jobs then run through
+    {!Harness.Runners.solve_ft}, whose report carries the fault tally
+    and refinement flag.  Raises whatever the runner raises — including
+    [Fault.Plan.Injected] on an escalated fault, which {!settle}
+    classifies as retryable — and [Invalid_argument] on an unresolved
+    {!Job.auto_device}. *)
+
+val settle :
+  backoff_ms:float ->
+  queued_at:float ->
+  Job.t ->
+  int * float * timing * status
+(** [settle ~backoff_ms ~queued_at job] is the full lifecycle of one
+    job: [(attempts, elapsed_ms, timing, status)].  Validation failures
+    (including an unplaced {!Job.auto_device}) settle with 0 attempts;
+    otherwise up to [1 + retries] attempts run under the cooperative
+    wall-clock budget with exponential backoff ([backoff_ms * 2^k]
+    after the [k]-th failure).  Never raises. *)
+
+val outcome_to_json : outcome -> Harness.Json.t
+val outcome_of_json : Harness.Json.t -> outcome
+(** Raises [Harness.Json.Error] on malformed documents or a
+    schema-version mismatch. *)
+
+val rejection_to_json :
+  Job.t ->
+  message:string ->
+  device_id:string ->
+  queue_depth:int ->
+  Harness.Json.t
+(** The schema-stamped line serve mode answers for a submission the
+    fleet's admission control refused ([{"status": "rejected"}]) — not
+    an outcome, the job never entered a queue. *)
+
+val write_jsonl : out_channel -> outcome list -> unit
+(** One outcome object per line. *)
+
+val read_jsonl : in_channel -> outcome list
+(** Reads outcome lines until end of input, skipping blank lines. *)

@@ -1,0 +1,640 @@
+(* The fleet service: a long-running pool of simulated devices behind a
+   submission API.
+
+   Each pool entry is an *instance* — one worker domain owning one work
+   queue.  Classed instances (several C2050s, P100s, V100s, RTX 2080s)
+   give the fleet its heterogeneity: roofline-aware placement routes
+   memory-bound jobs (double double — the paper's bandwidth-bound
+   regime) to bandwidth-rich classes and compute-bound jobs (octo
+   double) to compute-rich ones.  Generic instances (device = None) are
+   plain capacity honoring whatever device each job names; the batch
+   wrapper in [Scheduler] runs on an all-generic pool.
+
+   Admission control bounds every queue: a submission finding all its
+   candidate queues at [max_queue_depth] is rejected — backpressure the
+   caller sees synchronously.  Idle workers steal the oldest entry from
+   the deepest foreign queue, so a hot class drains across the fleet.
+
+   Locking: one mutex guards the queues, counters and the result table.
+   Jobs execute outside the lock, wrapped in [Dompool.Domain_pool
+   .isolate] so kernel bodies of executing jobs run inline on the
+   worker domain instead of racing on the shared pool's barrier. *)
+
+module D = Gpusim.Device
+module Pool = Dompool.Domain_pool
+module Metrics = Obs.Metrics
+module R = Harness.Runners
+
+module Config = struct
+  type t = {
+    pool : (D.t option * int) list;
+    max_queue_depth : int;
+    backoff_ms : float;
+    steal : bool;
+    retain_outcomes : bool;
+  }
+
+  let default =
+    {
+      pool =
+        [
+          (Some D.c2050, 2);
+          (Some D.p100, 2);
+          (Some D.v100, 2);
+          (Some D.rtx2080, 2);
+        ];
+      max_queue_depth = 64;
+      backoff_ms = 1.0;
+      steal = true;
+      retain_outcomes = true;
+    }
+
+  let batch ?(parallel = 4) ?(backoff_ms = 1.0) () =
+    {
+      default with
+      pool = [ (None, max 1 parallel) ];
+      max_queue_depth = 0;
+      backoff_ms;
+    }
+
+  (* "v100=2,rtx2080=1" (or "v100,p100" with implicit count 1). *)
+  let pool_of_string s =
+    String.split_on_char ',' s
+    |> List.filter_map (fun part ->
+           let part = String.trim part in
+           if part = "" then None
+           else
+             let name, count =
+               match String.index_opt part '=' with
+               | None -> (part, 1)
+               | Some i ->
+                 let n = String.sub part 0 i in
+                 let c = String.sub part (i + 1) (String.length part - i - 1) in
+                 (match int_of_string_opt (String.trim c) with
+                 | Some c -> (String.trim n, c)
+                 | None ->
+                   invalid_arg
+                     (Printf.sprintf "pool spec '%s': bad count '%s'" part c))
+             in
+             if count <= 0 then
+               invalid_arg
+                 (Printf.sprintf "pool spec '%s': count must be positive" part);
+             Some (Some (D.by_name name), count))
+end
+
+type reject =
+  | Queue_full of { device_id : string; queue_depth : int }
+  | Draining
+
+let reject_message = function
+  | Queue_full { device_id; queue_depth } ->
+    Printf.sprintf "queue full: %s at depth %d" device_id queue_depth
+  | Draining -> "fleet is draining"
+
+type ticket = int
+
+type queued = {
+  q_job : Job.t;
+  q_ticket : ticket;
+  q_admitted_at : float;
+  q_depth : int;  (* queue depth at admission *)
+  q_admitted_to : int;  (* instance index *)
+}
+
+type instance = {
+  id : string;
+  device : D.t option;
+  index : int;
+  queue : queued Queue.t;
+  mutable running : bool;  (* worker is executing a job right now *)
+  mutable executed : int;
+  mutable stolen : int;  (* jobs this worker claimed from foreign queues *)
+  mutable busy_ms : float;
+}
+
+type t = {
+  config : Config.t;
+  on_outcome : (Engine.outcome -> unit) option;
+  lock : Mutex.t;
+  work : Condition.t;  (* workers wait here for admissions *)
+  changed : Condition.t;  (* clients wait here for claims/settlements *)
+  instances : instance array;
+  results : (ticket, Engine.outcome) Hashtbl.t;
+  mutable next_ticket : int;
+  mutable unsettled : int;  (* admitted but not yet settled *)
+  mutable stopping : bool;
+  mutable started : bool;
+  mutable workers : unit Domain.t array;
+  order : int Atomic.t;  (* completion rank *)
+  total_steals : int Atomic.t;
+  mutable started_at : float;  (* for utilization *)
+}
+
+(* ---- metrics ---- *)
+
+let m_counter name = Metrics.counter (Metrics.default ()) name
+let m_gauge name = Metrics.gauge (Metrics.default ()) name
+
+(* [Metrics.once], not [lazy]: worker domains race on the first
+   settlement, and a concurrently forced lazy raises. *)
+let m_submitted = Metrics.once (fun () -> m_counter "fleet.submitted")
+let m_rejected = Metrics.once (fun () -> m_counter "fleet.rejected")
+let m_completed = Metrics.once (fun () -> m_counter "fleet.completed")
+let m_failed = Metrics.once (fun () -> m_counter "fleet.failed")
+let m_attempts = Metrics.once (fun () -> m_counter "fleet.attempts")
+let m_steals = Metrics.once (fun () -> m_counter "fleet.steals")
+
+let class_slug = function Some d -> D.slug d | None -> "any"
+
+(* Per-class latency histogram on the fine ladder: p50/p95/p99 per
+   device class are read straight off the snapshot. *)
+let latency_histogram inst =
+  Metrics.histogram ~buckets:Metrics.latency_buckets (Metrics.default ())
+    ("fleet.latency_ms." ^ class_slug inst.device)
+
+let depth_gauge inst = m_gauge ("fleet.queue_depth." ^ inst.id)
+let util_gauge inst = m_gauge ("fleet.util." ^ inst.id)
+
+(* ---- roofline placement ---- *)
+
+(* Jobs are classified compute- vs memory-bound on a fixed reference
+   device (the V100, the paper's flagship) so the verdict — and with it
+   the placement — is deterministic and pool-independent: double double
+   comes out memory-bound, octo double compute-bound, the paper's CGMA
+   shape.  Memoized: a million-job stream re-plans nothing. *)
+let classify_memo :
+    (Job.kind * Multidouble.Precision.tag * bool * int * int option * int,
+     Obs.Roofline.bound)
+    Hashtbl.t =
+  Hashtbl.create 64
+
+let classify_lock = Mutex.create ()
+
+let classify_job (job : Job.t) =
+  let key =
+    ( job.Job.kind,
+      job.Job.prec,
+      job.Job.complex,
+      job.Job.dim,
+      job.Job.rows,
+      job.Job.tile )
+  in
+  Mutex.lock classify_lock;
+  let cached = Hashtbl.find_opt classify_memo key in
+  Mutex.unlock classify_lock;
+  match cached with
+  | Some b -> b
+  | None ->
+    let bound =
+      try
+        let complex = job.Job.complex in
+        let prec = job.Job.prec in
+        let dim = job.Job.dim and tile = job.Job.tile in
+        let stages =
+          match job.Job.kind with
+          | Job.Qr ->
+            R.qr_roofline ~complex ?rows:job.Job.rows prec D.v100 ~n:dim ~tile
+          | Job.Backsub -> R.bs_roofline ~complex prec D.v100 ~dim ~tile
+          | Job.Solve -> R.solve_roofline ~complex prec D.v100 ~n:dim ~tile
+        in
+        (Obs.Roofline.total stages).Obs.Roofline.bound
+      with _ ->
+        (* Unplannable (invalid shape): the class hardly matters, the
+           job will settle as a validation failure anyway. *)
+        Obs.Roofline.Memory
+    in
+    Mutex.lock classify_lock;
+    Hashtbl.replace classify_memo key bound;
+    Mutex.unlock classify_lock;
+    bound
+
+(* Distinct device classes of the pool, in pool order. *)
+let classes t =
+  Array.to_list t.instances
+  |> List.filter_map (fun i -> i.device)
+  |> List.fold_left
+       (fun acc d -> if List.exists (fun d' -> d'.D.name = d.D.name) acc then acc else d :: acc)
+       []
+  |> List.rev
+
+(* Candidate instance groups for one job, most preferred group first.
+   Auto jobs rank classes by the roofline verdict: memory-bound work
+   prefers bandwidth-rich classes (descending bytes-per-flop),
+   compute-bound work compute-rich ones (descending DP peak).  Pinned
+   jobs prefer instances of their own class, then generic capacity,
+   then anything (the named device is simulated wherever the job runs —
+   instances are capacity, the simulation uses [job.device]). *)
+let candidate_groups t (job : Job.t) =
+  let instances = Array.to_list t.instances in
+  let of_class d =
+    List.filter
+      (fun i -> match i.device with Some d' -> d'.D.name = d.D.name | None -> false)
+      instances
+  in
+  let generic = List.filter (fun i -> i.device = None) instances in
+  if Job.is_auto job then begin
+    let ranked =
+      let cs = classes t in
+      match classify_job job with
+      | Obs.Roofline.Memory ->
+        List.sort
+          (fun a b ->
+            match compare (D.bytes_per_flop b) (D.bytes_per_flop a) with
+            | 0 -> compare b.D.dram_gb_s a.D.dram_gb_s
+            | c -> c)
+          cs
+      | Obs.Roofline.Compute ->
+        List.sort
+          (fun a b ->
+            match compare b.D.dp_peak_gflops a.D.dp_peak_gflops with
+            | 0 -> compare b.D.dram_gb_s a.D.dram_gb_s
+            | c -> c)
+          cs
+    in
+    List.map of_class ranked @ [ generic ]
+  end
+  else
+    match D.by_name job.Job.device with
+    | d ->
+      let same = of_class d in
+      let rest =
+        List.filter (fun i -> not (List.memq i same || List.memq i generic)) instances
+      in
+      [ same; generic; rest ]
+    | exception Invalid_argument _ ->
+      (* Unknown device: any capacity will do, the job settles as a
+         validation failure. *)
+      [ instances ]
+
+let queue_full t depth = t.config.max_queue_depth > 0 && depth >= t.config.max_queue_depth
+
+(* Shortest queue of the most preferred group with room; [Error] is the
+   preferred instance we would have used, for the rejection record. *)
+let place t job =
+  let groups = List.filter (fun g -> g <> []) (candidate_groups t job) in
+  let by_depth g =
+    List.stable_sort (fun a b -> compare (Queue.length a.queue) (Queue.length b.queue)) g
+  in
+  let rec go preferred = function
+    | [] -> (
+      match preferred with
+      | Some i -> Error (Queue_full { device_id = i.id; queue_depth = Queue.length i.queue })
+      | None -> Error (Queue_full { device_id = "-"; queue_depth = 0 }))
+    | g :: rest -> (
+      match by_depth g with
+      | [] -> go preferred rest
+      | best :: _ as sorted -> (
+        let preferred = if preferred = None then Some best else preferred in
+        match List.find_opt (fun i -> not (queue_full t (Queue.length i.queue))) sorted with
+        | Some i -> Ok i
+        | None -> go preferred rest))
+  in
+  go None groups
+
+(* ---- lifecycle ---- *)
+
+let instance_of ~index (device, slot) =
+  {
+    id = Printf.sprintf "%s#%d" (class_slug device) slot;
+    device;
+    index;
+    queue = Queue.create ();
+    running = false;
+    executed = 0;
+    stolen = 0;
+    busy_ms = 0.0;
+  }
+
+(* The device an auto job executes on when a generic instance claims
+   it: the pool's compute flagship, or the V100 on an all-generic
+   pool. *)
+let reference_device t =
+  match classes t with
+  | [] -> D.v100
+  | cs ->
+    List.fold_left
+      (fun best d -> if d.D.dp_peak_gflops > best.D.dp_peak_gflops then d else best)
+      (List.hd cs) (List.tl cs)
+
+let effective_job t inst (job : Job.t) =
+  if Job.is_auto job then
+    let d = match inst.device with Some d -> d | None -> reference_device t in
+    { job with Job.device = D.slug d }
+  else job
+
+let utilization t inst ~now =
+  let span = now -. t.started_at in
+  if span <= 0.0 then 0.0 else Float.min 1.0 (inst.busy_ms /. span)
+
+(* One claimed entry, start to finish; runs outside the fleet lock. *)
+let execute t inst entry ~stolen =
+  let job = effective_job t inst entry.q_job in
+  if stolen then begin
+    Atomic.incr t.total_steals;
+    Metrics.Counter.incr (m_steals ());
+    Obs.Tracer.instant ~cat:"fleet"
+      ~args:
+        [
+          ("job", Obs.Tracer.Str job.Job.id);
+          ("by", Obs.Tracer.Str inst.id);
+        ]
+      "steal"
+  end;
+  let attempts, elapsed_ms, timing, status =
+    Pool.isolate (fun () ->
+        Engine.settle ~backoff_ms:t.config.backoff_ms
+          ~queued_at:entry.q_admitted_at job)
+  in
+  let now = Engine.now_ms () in
+  let latency_ms = Float.max 0.0 (now -. entry.q_admitted_at) in
+  let admitted_to = t.instances.(entry.q_admitted_to).id in
+  let outcome =
+    {
+      Engine.job;
+      index = entry.q_ticket;
+      order = Atomic.fetch_and_add t.order 1;
+      attempts;
+      elapsed_ms;
+      timing;
+      placement =
+        Some
+          {
+            Engine.device_id = inst.id;
+            admitted_to;
+            steals = (if stolen then 1 else 0);
+            queue_depth = entry.q_depth;
+          };
+      status;
+    }
+  in
+  Metrics.Counter.incr ~by:attempts (m_attempts ());
+  Metrics.Counter.incr
+    ((match status with
+     | Engine.Completed _ -> m_completed
+     | Engine.Failed _ -> m_failed)
+       ());
+  Metrics.Histogram.observe (latency_histogram inst) latency_ms;
+  Mutex.lock t.lock;
+  inst.running <- false;
+  inst.executed <- inst.executed + 1;
+  if stolen then inst.stolen <- inst.stolen + 1;
+  inst.busy_ms <- inst.busy_ms +. elapsed_ms;
+  if t.config.retain_outcomes then Hashtbl.replace t.results entry.q_ticket outcome;
+  t.unsettled <- t.unsettled - 1;
+  Condition.broadcast t.changed;
+  Mutex.unlock t.lock;
+  Metrics.Gauge.set (util_gauge inst) (utilization t inst ~now);
+  match t.on_outcome with
+  | Some f -> ( try f outcome with _ -> ())
+  | None -> ()
+
+(* Claim the next entry for [inst]: its own queue first (FIFO), then —
+   when stealing is on — the oldest entry of the deepest foreign queue
+   whose owner cannot get to it (it is executing, or already at the
+   fleet's shutdown with more than one entry waiting).  An idle owner
+   keeps its queue: it was woken by the same admission broadcast and
+   claims the entry itself, so stealing never beats the placement
+   policy to a job the preferred device would have started at once.
+   Called with the lock held. *)
+let claim t inst =
+  if not (Queue.is_empty inst.queue) then Some (Queue.pop inst.queue, false)
+  else if not t.config.steal then None
+  else begin
+    let stealable other =
+      other != inst
+      && (not (Queue.is_empty other.queue))
+      && (other.running || t.stopping || Queue.length other.queue > 1)
+    in
+    let victim = ref None in
+    Array.iter
+      (fun other ->
+        if stealable other then
+          match !victim with
+          | Some v when Queue.length v.queue >= Queue.length other.queue -> ()
+          | _ -> victim := Some other)
+      t.instances;
+    match !victim with
+    | Some v -> Some (Queue.pop v.queue, true)
+    | None -> None
+  end
+
+let worker t index () =
+  let inst = t.instances.(index) in
+  let continue_ = ref true in
+  while !continue_ do
+    Mutex.lock t.lock;
+    match claim t inst with
+    | Some (entry, stolen) ->
+      inst.running <- true;
+      Metrics.Gauge.set
+        (depth_gauge t.instances.(entry.q_admitted_to))
+        (float_of_int (Queue.length t.instances.(entry.q_admitted_to).queue));
+      Condition.broadcast t.changed;
+      Mutex.unlock t.lock;
+      execute t inst entry ~stolen
+    | None ->
+      if t.stopping then begin
+        Mutex.unlock t.lock;
+        continue_ := false
+      end
+      else begin
+        Condition.wait t.work t.lock;
+        Mutex.unlock t.lock
+      end
+  done;
+  Metrics.Gauge.set (util_gauge inst) (utilization t inst ~now:(Engine.now_ms ()))
+
+let start t =
+  Mutex.lock t.lock;
+  let spawn = (not t.started) && not t.stopping in
+  if spawn then begin
+    t.started <- true;
+    t.started_at <- Engine.now_ms ()
+  end;
+  Mutex.unlock t.lock;
+  if spawn then
+    t.workers <-
+      Array.init (Array.length t.instances) (fun i ->
+          Domain.spawn (worker t i))
+
+let create ?on_outcome ?(autostart = true) (config : Config.t) =
+  let slots =
+    List.concat_map
+      (fun (device, count) ->
+        if count <= 0 then
+          invalid_arg "Fleet.create: pool entry with non-positive count"
+        else List.init count (fun slot -> (device, slot)))
+      config.Config.pool
+  in
+  if slots = [] then invalid_arg "Fleet.create: empty pool";
+  let t =
+    {
+      config;
+      on_outcome;
+      lock = Mutex.create ();
+      work = Condition.create ();
+      changed = Condition.create ();
+      instances = Array.of_list (List.mapi (fun index s -> instance_of ~index s) slots);
+      results = Hashtbl.create 64;
+      next_ticket = 0;
+      unsettled = 0;
+      stopping = false;
+      started = false;
+      workers = [||];
+      order = Atomic.make 0;
+      total_steals = Atomic.make 0;
+      started_at = Engine.now_ms ();
+    }
+  in
+  if autostart then start t;
+  t
+
+(* ---- submission ---- *)
+
+let submit t (job : Job.t) =
+  (* Classification plans on the cost model; do it before the lock so a
+     slow first classification never stalls the admission path. *)
+  if Job.is_auto job then ignore (classify_job job);
+  Mutex.lock t.lock;
+  let result =
+    if t.stopping then Error Draining
+    else
+      match place t job with
+      | Error _ as e ->
+        Metrics.Counter.incr (m_rejected ());
+        Obs.Tracer.instant ~cat:"fleet"
+          ~args:[ ("job", Obs.Tracer.Str job.Job.id) ]
+          "reject";
+        e
+      | Ok inst ->
+        let ticket = t.next_ticket in
+        t.next_ticket <- ticket + 1;
+        let depth = Queue.length inst.queue in
+        Queue.push
+          {
+            q_job = job;
+            q_ticket = ticket;
+            q_admitted_at = Engine.now_ms ();
+            q_depth = depth;
+            q_admitted_to = inst.index;
+          }
+          inst.queue;
+        t.unsettled <- t.unsettled + 1;
+        Metrics.Counter.incr (m_submitted ());
+        Metrics.Gauge.set (depth_gauge inst) (float_of_int (Queue.length inst.queue));
+        Obs.Tracer.instant ~cat:"fleet"
+          ~args:
+            [
+              ("job", Obs.Tracer.Str job.Job.id);
+              ("to", Obs.Tracer.Str inst.id);
+              ("depth", Obs.Tracer.Int depth);
+            ]
+          "admit";
+        Condition.broadcast t.work;
+        Ok ticket
+  in
+  Mutex.unlock t.lock;
+  result
+
+let rec submit_blocking t job =
+  match submit t job with
+  | Ok ticket -> ticket
+  | Error Draining -> invalid_arg "Fleet.submit_blocking: fleet is draining"
+  | Error (Queue_full _) ->
+    (* Backpressure as blocking: wait for a claim or settlement to free
+       queue space, then try again. *)
+    Mutex.lock t.lock;
+    if t.unsettled > 0 && not t.stopping then Condition.wait t.changed t.lock;
+    Mutex.unlock t.lock;
+    submit_blocking t job
+
+let await t ticket =
+  Mutex.lock t.lock;
+  if ticket < 0 || ticket >= t.next_ticket then begin
+    Mutex.unlock t.lock;
+    invalid_arg (Printf.sprintf "Fleet.await: unknown ticket %d" ticket)
+  end;
+  if not t.config.retain_outcomes then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Fleet.await: outcomes are not retained (retain_outcomes)"
+  end;
+  let rec wait () =
+    match Hashtbl.find_opt t.results ticket with
+    | Some o ->
+      Mutex.unlock t.lock;
+      o
+    | None ->
+      Condition.wait t.changed t.lock;
+      wait ()
+  in
+  wait ()
+
+let quiesce t =
+  Mutex.lock t.lock;
+  while t.unsettled > 0 do
+    Condition.wait t.changed t.lock
+  done;
+  Mutex.unlock t.lock
+
+let drain t =
+  quiesce t;
+  Mutex.lock t.lock;
+  let outcomes =
+    Hashtbl.fold (fun _ o acc -> o :: acc) t.results []
+    |> List.sort (fun a b -> compare a.Engine.index b.Engine.index)
+  in
+  Mutex.unlock t.lock;
+  outcomes
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stopping <- true;
+  Condition.broadcast t.work;
+  Condition.broadcast t.changed;
+  Mutex.unlock t.lock;
+  Array.iter Domain.join t.workers;
+  t.workers <- [||]
+
+(* ---- introspection ---- *)
+
+type stats = {
+  id : string;
+  device : D.t option;
+  executed : int;
+  stolen : int;
+  queue_depth : int;
+  busy_ms : float;
+  utilization : float;
+}
+
+let stats t =
+  let now = Engine.now_ms () in
+  Mutex.lock t.lock;
+  let s =
+    Array.to_list t.instances
+    |> List.map (fun (i : instance) ->
+           {
+             id = i.id;
+             device = i.device;
+             executed = i.executed;
+             stolen = i.stolen;
+             queue_depth = Queue.length i.queue;
+             busy_ms = i.busy_ms;
+             utilization = utilization t i ~now;
+           })
+  in
+  Mutex.unlock t.lock;
+  s
+
+let steals t = Atomic.get t.total_steals
+let size t = Array.length t.instances
+let config t = t.config
+
+let reject_to_json job r =
+  match r with
+  | Queue_full { device_id; queue_depth } ->
+    Engine.rejection_to_json job ~message:(reject_message r) ~device_id
+      ~queue_depth
+  | Draining ->
+    Engine.rejection_to_json job ~message:(reject_message r) ~device_id:"-"
+      ~queue_depth:0

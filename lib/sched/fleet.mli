@@ -1,0 +1,144 @@
+(** The fleet service: a long-running pool of simulated devices behind a
+    submission API.
+
+    A fleet owns a heterogeneous pool of {e instances} — one worker
+    domain and one bounded work queue per entry, several instances per
+    device class (C2050 / P100 / V100 / RTX 2080 profiles from
+    {!Gpusim.Device}).  Submissions pass admission control
+    synchronously: jobs naming {!Job.auto_device} are routed by the
+    roofline policy (memory-bound work — double double in the paper's
+    regime — to bandwidth-rich classes by descending
+    {!Gpusim.Device.bytes_per_flop}; compute-bound work — octo double —
+    to compute-rich classes by descending DP peak), landing on the
+    shortest queue of the best class with room and spilling to the next
+    class when that one is full.  A submission finding every candidate
+    queue at [max_queue_depth] is {e rejected} — backpressure the
+    caller observes immediately.  Idle workers steal the oldest entry
+    from the deepest foreign queue.
+
+    Outcomes are {!Engine.outcome} records whose [placement] field
+    carries the executing instance, the admitting instance, the steal
+    count and the queue depth seen at admission (outcome schema 4).
+    The fleet also feeds the default {!Obs.Metrics} registry
+    ([fleet.submitted/rejected/completed/failed/steals/attempts]
+    counters, [fleet.latency_ms.<class>] histograms on
+    {!Obs.Metrics.latency_buckets} with per-class p50/p95/p99 in the
+    snapshot, [fleet.queue_depth.<id>] and [fleet.util.<id>] gauges)
+    and the tracer ([admit]/[steal]/[reject] instants).
+
+    {!Scheduler} runs its batch mode as a thin wrapper over this
+    service. *)
+
+module Config : sig
+  type t = {
+    pool : (Gpusim.Device.t option * int) list;
+        (** device classes and instance counts; [None] is a {e generic}
+            instance — plain capacity honoring whatever device each job
+            names (auto jobs execute on the pool's compute flagship) *)
+    max_queue_depth : int;
+        (** admission bound per queue; [<= 0] means unbounded *)
+    backoff_ms : float;  (** base retry backoff, doubling per attempt *)
+    steal : bool;  (** let idle workers steal from foreign queues *)
+    retain_outcomes : bool;
+        (** keep settled outcomes for {!await}/{!drain}; switch off for
+            long-running serve loops that stream outcomes via
+            [on_outcome] and must not grow memory *)
+  }
+
+  val default : t
+  (** Two instances each of C2050, P100, V100 and RTX 2080, queue depth
+      64, 1 ms base backoff, stealing on, outcomes retained. *)
+
+  val batch : ?parallel:int -> ?backoff_ms:float -> unit -> t
+  (** The batch-mode pool: [parallel] (default 4, floored at 1) generic
+      instances, unbounded queues.  With [parallel:1] the fleet is one
+      FIFO queue — submission order is execution order. *)
+
+  val pool_of_string : string -> (Gpusim.Device.t option * int) list
+  (** Parses a pool spec like ["v100=2,rtx2080=1"] (["v100,p100"] gives
+      one instance each).  Raises [Invalid_argument] on unknown devices
+      or bad counts. *)
+end
+
+type t
+
+type reject =
+  | Queue_full of { device_id : string; queue_depth : int }
+      (** every candidate queue was at [max_queue_depth]; the id and
+          depth are the instance the placement would have preferred *)
+  | Draining  (** the fleet is shutting down *)
+
+val reject_message : reject -> string
+
+type ticket = int
+(** Admission handle, also the outcome's [index]: tickets number
+    admissions from 0 in submission order. *)
+
+val create : ?on_outcome:(Engine.outcome -> unit) -> ?autostart:bool -> Config.t -> t
+(** Builds the fleet and (unless [autostart:false]) spawns one worker
+    domain per instance.  [on_outcome] is called from the worker domain
+    that settled the job, as each job finishes (exceptions it raises
+    are swallowed).  With [autostart:false] submissions queue but
+    nothing executes until {!start} — useful for deterministic
+    placement tests.  Raises [Invalid_argument] on an empty pool. *)
+
+val start : t -> unit
+(** Spawns the worker domains (idempotent). *)
+
+val submit : t -> Job.t -> (ticket, reject) result
+(** Admission control: places the job on a queue and returns its ticket
+    without blocking.  Invalid jobs are admitted and settle as failed
+    outcomes (so a batch keeps its one-outcome-per-job shape). *)
+
+val submit_blocking : t -> Job.t -> ticket
+(** Like {!submit}, but treats [Queue_full] as backpressure: waits for
+    queue space instead of rejecting.  Raises [Invalid_argument] when
+    the fleet is draining. *)
+
+val await : t -> ticket -> Engine.outcome
+(** Blocks until the ticket's job settles.  Raises [Invalid_argument]
+    on a ticket the fleet never issued, or when the config does not
+    retain outcomes. *)
+
+val quiesce : t -> unit
+(** Blocks until every admitted job has settled.  The workers keep
+    running; only useful once {!start} has been called. *)
+
+val drain : t -> Engine.outcome list
+(** {!quiesce}, then all retained outcomes in admission order. *)
+
+val shutdown : t -> unit
+(** Stops admissions, lets the workers finish every queued job, and
+    joins them.  Idempotent; a never-started fleet just stops. *)
+
+(** A point-in-time view of one instance. *)
+type stats = {
+  id : string;  (** e.g. ["v100#0"] *)
+  device : Gpusim.Device.t option;
+  executed : int;  (** jobs this worker settled *)
+  stolen : int;  (** of those, claimed from foreign queues *)
+  queue_depth : int;
+  busy_ms : float;  (** wall clock spent executing (attempts + backoff) *)
+  utilization : float;  (** busy fraction of the fleet's lifetime, 0..1 *)
+}
+
+val stats : t -> stats list
+(** One entry per instance, in pool order. *)
+
+val steals : t -> int
+(** Total jobs executed by a different instance than admitted them. *)
+
+val size : t -> int
+(** Number of instances. *)
+
+val config : t -> Config.t
+
+val classify_job : Job.t -> Obs.Roofline.bound
+(** The placement verdict for a job's shape: compute- vs memory-bound
+    on the fixed V100 reference (memoized).  Unplannable shapes
+    classify as [Memory]; the job would settle as a validation failure
+    anyway. *)
+
+val reject_to_json : Job.t -> reject -> Harness.Json.t
+(** The schema-stamped [{"status": "rejected"}] line serve mode emits
+    for a refused submission. *)

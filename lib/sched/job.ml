@@ -24,6 +24,12 @@ type t = {
   fault_kinds : Fault.Plan.kind list;
 }
 
+(* Placement wildcard: the fleet resolves ["auto"] to a concrete device
+   class with its roofline policy; outside a fleet it is not runnable. *)
+let auto_device = "auto"
+
+let is_auto t = String.lowercase_ascii (String.trim t.device) = auto_device
+
 let make ?(complex = false) ?rows ?(execute = false) ?timeout_ms
     ?(retries = 1) ?(inject_failures = 0) ?(fault_rate = 0.0)
     ?(fault_seed = 1) ?(fault_kinds = Fault.Plan.all_kinds) ~id ~kind ~device
@@ -92,6 +98,7 @@ let validate t =
     err "job '%s': fault rate %g outside [0, 1]" t.id t.fault_rate
   else if t.fault_rate > 0.0 && t.fault_kinds = [] then
     err "job '%s': fault rate %g with no fault kinds armed" t.id t.fault_rate
+  else if is_auto t then Ok ()
   else
     match Gpusim.Device.by_name t.device with
     | (_ : Gpusim.Device.t) -> Ok ()
@@ -145,7 +152,7 @@ let of_json j =
   {
     id = Json.get_string (Json.member "id" j);
     kind;
-    device = Json.get_string (Json.member "device" j);
+    device = default auto_device (opt Json.get_string "device");
     prec;
     complex = default false (opt Json.get_bool "complex");
     dim = Json.get_int (Json.member "dim" j);

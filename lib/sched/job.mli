@@ -11,7 +11,11 @@ type kind = Qr | Backsub | Solve
 type t = {
   id : string;  (** unique within the batch; used in the result records *)
   kind : kind;
-  device : string;  (** device name, resolved via {!Gpusim.Device.by_name} *)
+  device : string;
+      (** device name, resolved via {!Gpusim.Device.by_name}, or
+          {!auto_device} to let the fleet's roofline placement pick the
+          class (memory-bound work to bandwidth-rich devices,
+          compute-bound to compute-rich ones) *)
   prec : Multidouble.Precision.tag;
   complex : bool;
   dim : int;
@@ -58,6 +62,15 @@ val make :
 (** Defaults: real data, square, plan only, no timeout, [retries = 1],
     no injected failures, fault plane disarmed. *)
 
+val auto_device : string
+(** The placement wildcard ["auto"]: valid for submission to a fleet,
+    which resolves it to a concrete device class; not runnable
+    directly.  A job JSON without a ["device"] member defaults to
+    it. *)
+
+val is_auto : t -> bool
+(** The job leaves device selection to the fleet. *)
+
 val fault_config : t -> Fault.Plan.config option
 (** The armed fault plan of the job ([None] when [fault_rate] is 0).
     Validate first: an out-of-range rate raises [Invalid_argument]. *)
@@ -78,7 +91,8 @@ val of_json : Harness.Json.t -> t
 (** Raises [Harness.Json.Error] on malformed documents.  Optional fields
     ([complex], [rows], [execute], [timeout_ms], [retries],
     [inject_failures], [fault_rate], [fault_seed], [fault_kinds]) take
-    the {!make} defaults when absent. *)
+    the {!make} defaults when absent; a missing [device] defaults to
+    {!auto_device}. *)
 
 val load_file : string -> t list
 (** Reads a jobs file: a JSON array of job objects, or one job object

@@ -1,340 +1,78 @@
-(* The batch scheduler: self-scheduling workers on a shared domain pool
-   claim jobs from an atomic cursor; every job settles into a structured
-   outcome — report or failure record — so one bad job never aborts the
-   batch. *)
+(* The scheduler facade: historical names for the per-job engine's
+   types, a [Config]-driven entry point over the fleet service, and the
+   legacy optional-argument batch entry point as a compatibility shim.
 
-module Json = Harness.Json
-module Report = Harness.Report
-module R = Harness.Runners
-module Pool = Dompool.Domain_pool
+   The execution machinery lives in [Engine] (one job's lifecycle) and
+   [Fleet] (the device pool, placement, admission control, stealing);
+   this module only wires them together so existing callers keep
+   compiling. *)
 
-type failure = { message : string; timed_out : bool; retryable : bool }
+type failure = Engine.failure = {
+  message : string;
+  timed_out : bool;
+  retryable : bool;
+}
 
-type status = Completed of Report.t | Failed of failure
+type status = Engine.status =
+  | Completed of Harness.Report.t
+  | Failed of failure
 
-type timing = {
+type timing = Engine.timing = {
   queue_wait_ms : float;
   attempt_ms : float list;
   backoff_ms : float;
 }
 
-type outcome = {
+type placement = Engine.placement = {
+  device_id : string;
+  admitted_to : string;
+  steals : int;
+  queue_depth : int;
+}
+
+type outcome = Engine.outcome = {
   job : Job.t;
   index : int;
   order : int;
   attempts : int;
   elapsed_ms : float;
   timing : timing;
+  placement : placement option;
   status : status;
 }
 
-(* v3: failures carry the retryable classification (v2 added per-attempt
-   timing). *)
-let schema_version = 3
+let schema_version = Engine.schema_version
+let run_job = Engine.run_job
 
-exception Injected_failure
+module Config = Fleet.Config
 
-(* Only transient faults are worth another attempt: the testing hook and
-   escaped injected faults from the simulator's fault plane.  Everything
-   else — validation errors, bad arguments, deterministic numeric
-   failures — would fail identically again, so it settles immediately
-   without burning retries or backoff sleeps. *)
-let classify = function
-  | Injected_failure -> ("injected failure", true)
-  | Fault.Plan.Injected _ as e -> (Printexc.to_string e, true)
-  | e -> (Printexc.to_string e, false)
-
-let now_ms () = Unix.gettimeofday () *. 1000.0
-
-let m_completed =
-  lazy (Obs.Metrics.counter (Obs.Metrics.default ()) "sched.completed")
-
-let m_failed =
-  lazy (Obs.Metrics.counter (Obs.Metrics.default ()) "sched.failed")
-
-let m_attempts =
-  lazy (Obs.Metrics.counter (Obs.Metrics.default ()) "sched.attempts")
-
-let m_job_ms =
-  lazy (Obs.Metrics.histogram (Obs.Metrics.default ()) "sched.job_ms")
-
-(* One synchronous run of the job proper: plan (or, with [execute], plan
-   plus a numeric verification whose residual lands in the report).  An
-   armed fault plan is threaded into the simulators; executed solve jobs
-   switch to the fault-tolerant runner, whose report already carries the
-   residual, the fault tally and the refinement flag. *)
-let run_job (job : Job.t) =
-  let device = Gpusim.Device.by_name job.Job.device in
-  let complex = job.Job.complex in
-  let prec = job.Job.prec in
-  let dim = job.Job.dim and tile = job.Job.tile in
-  let fault = Job.fault_config job in
-  match (job.Job.execute, job.Job.kind, fault) with
-  | true, Job.Solve, Some _ ->
-    R.solve_ft ~complex ?fault prec device ~n:dim ~tile
-  | false, _, _ ->
-    (match job.Job.kind with
-    | Job.Qr -> R.qr ~complex ?rows:job.Job.rows ?fault prec device ~n:dim ~tile
-    | Job.Backsub -> R.bs ~complex ?fault prec device ~dim ~tile
-    | Job.Solve -> R.solve ~complex ?fault prec device ~n:dim ~tile)
-  | true, _, _ ->
-    (* Plan for the cost figures, verify (under the fault plan, if any)
-       for the residual; an escalation out of the verification run is a
-       retryable failure for [settle]. *)
-    let base =
-      match job.Job.kind with
-      | Job.Qr -> R.qr ~complex ?rows:job.Job.rows prec device ~n:dim ~tile
-      | Job.Backsub -> R.bs ~complex prec device ~dim ~tile
-      | Job.Solve -> R.solve ~complex prec device ~n:dim ~tile
-    in
-    let residual =
-      match job.Job.kind with
-      | Job.Qr -> R.verify_qr ~complex ?fault prec device ~n:dim ~tile
-      | Job.Backsub -> R.verify_bs ~complex ?fault prec device ~dim ~tile
-      | Job.Solve -> R.verify_solve ~complex ?fault prec device ~n:dim ~tile
-    in
-    { base with Report.residual = Some residual }
-
-(* The full lifecycle of one job: validation, then up to [1 + retries]
-   attempts under the cooperative wall-clock budget, with exponential
-   backoff between attempts.  Never raises. *)
-let settle ~backoff_ms ~queued_at (job : Job.t) =
-  let started = now_ms () in
-  let elapsed () = now_ms () -. started in
-  let queue_wait_ms = Float.max 0.0 (started -. queued_at) in
-  let attempt_times = ref [] in
-  let backoff_total = ref 0.0 in
-  let finish attempts status =
-    let timing =
-      {
-        queue_wait_ms;
-        attempt_ms = List.rev !attempt_times;
-        backoff_ms = !backoff_total;
-      }
-    in
-    (attempts, elapsed (), timing, status)
-  in
-  let timed_out_failure message =
-    Obs.Tracer.instant ~cat:"sched"
-      ~args:[ ("job", Obs.Tracer.Str job.Job.id) ]
-      "timeout";
-    Failed { message; timed_out = true; retryable = false }
-  in
-  let deadline =
-    match job.Job.timeout_ms with
-    | Some ms -> started +. ms
-    | None -> Float.infinity
-  in
-  match Job.validate job with
-  | Error message ->
-    finish 0 (Failed { message; timed_out = false; retryable = false })
-  | Ok () ->
-    let max_attempts = 1 + job.Job.retries in
-    let rec go attempt =
-      if now_ms () > deadline then
-        finish (attempt - 1)
-          (timed_out_failure
-             (Printf.sprintf "timed out after %d attempt%s" (attempt - 1)
-                (if attempt - 1 = 1 then "" else "s")))
-      else
-        let result =
-          Obs.Tracer.span ~cat:"sched"
-            ~args:
-              [
-                ("job", Obs.Tracer.Str job.Job.id);
-                ("attempt", Obs.Tracer.Int attempt);
-              ]
-            "attempt"
-            (fun () ->
-              let t0 = now_ms () in
-              let r =
-                try
-                  if attempt <= job.Job.inject_failures then
-                    raise Injected_failure
-                  else Ok (run_job job)
-                with e -> Error (classify e)
-              in
-              attempt_times := (now_ms () -. t0) :: !attempt_times;
-              r)
-        in
-        match result with
-        | Ok report ->
-          if now_ms () > deadline then
-            finish attempt
-              (timed_out_failure
-                 (Printf.sprintf
-                    "completed past the deadline on attempt %d (result \
-                     discarded)"
-                    attempt))
-          else finish attempt (Completed report)
-        | Error (message, retryable) ->
-          if retryable && attempt < max_attempts then begin
-            let pause =
-              backoff_ms *. Float.of_int (1 lsl (attempt - 1)) /. 1000.0
-            in
-            if pause > 0.0 then begin
-              backoff_total := !backoff_total +. (pause *. 1000.0);
-              Obs.Tracer.span ~cat:"sched"
-                ~args:[ ("job", Obs.Tracer.Str job.Job.id) ]
-                "backoff"
-                (fun () -> Unix.sleepf pause)
-            end;
-            go (attempt + 1)
-          end
-          else
-            (* Permanent failures settle on the spot: a deterministic
-               error would only fail the same way again. *)
-            finish attempt (Failed { message; timed_out = false; retryable })
-    in
-    go 1
-
-let run_batch ?pool ?(parallel = 4) ?(backoff_ms = 1.0) ?on_outcome jobs =
-  let pool = match pool with Some p -> p | None -> Pool.get_default () in
-  let jobs = Array.of_list jobs in
-  let n = Array.length jobs in
-  if n = 0 then []
+(* A batch over a fleet: submit everything (blocking on backpressure
+   instead of rejecting — a batch has no client to answer), await each
+   ticket, shut the fleet down.  Outcomes come back in submission
+   order; [retain_outcomes] is forced on since [await] needs the
+   results kept. *)
+let run ?on_outcome (config : Config.t) jobs =
+  if jobs = [] then []
   else begin
-    let results = Array.make n None in
-    let cursor = Atomic.make 0 in
-    let completions = Atomic.make 0 in
-    let queued_at = now_ms () in
-    let worker () =
-      let continue_ = ref true in
-      while !continue_ do
-        let i = Atomic.fetch_and_add cursor 1 in
-        if i >= n then continue_ := false
-        else begin
-          Obs.Tracer.instant ~cat:"sched"
-            ~args:
-              [
-                ("job", Obs.Tracer.Str jobs.(i).Job.id);
-                ("index", Obs.Tracer.Int i);
-              ]
-            "claim";
-          let attempts, elapsed_ms, timing, status =
-            settle ~backoff_ms ~queued_at jobs.(i)
-          in
-          Obs.Metrics.Counter.incr ~by:attempts (Lazy.force m_attempts);
-          Obs.Metrics.Counter.incr
-            (Lazy.force
-               (match status with
-               | Completed _ -> m_completed
-               | Failed _ -> m_failed));
-          Obs.Metrics.Histogram.observe (Lazy.force m_job_ms) elapsed_ms;
-          let order = Atomic.fetch_and_add completions 1 in
-          let outcome =
-            {
-              job = jobs.(i);
-              index = i;
-              order;
-              attempts;
-              elapsed_ms;
-              timing;
-              status;
-            }
-          in
-          results.(i) <- Some outcome;
-          match on_outcome with Some f -> f outcome | None -> ()
-        end
-      done
-    in
-    let workers = max 1 (min parallel n) in
-    Pool.run pool (List.init workers (fun _ -> worker));
-    Array.to_list results
-    |> List.map (function
-         | Some o -> o
-         | None -> assert false (* every index was claimed and settled *))
+    let config = { config with Config.retain_outcomes = true } in
+    let fleet = Fleet.create ?on_outcome config in
+    let tickets = List.map (fun job -> Fleet.submit_blocking fleet job) jobs in
+    let outcomes = List.map (fun t -> Fleet.await fleet t) tickets in
+    Fleet.shutdown fleet;
+    outcomes
   end
 
-(* ---- serialization ---- *)
+(* Deprecated entry point, kept as a shim: [pool] is ignored (the fleet
+   spawns its own worker domains), [parallel] becomes the number of
+   generic instances.  [parallel:1] is one FIFO queue — submission
+   order is execution order, as before. *)
+let run_batch ?pool:_ ?(parallel = 4) ?(backoff_ms = 1.0) ?on_outcome jobs =
+  let parallel = max 1 (min parallel (List.length jobs)) in
+  run ?on_outcome (Config.batch ~parallel ~backoff_ms ()) jobs
 
-let json_of_timing t =
-  Json.Obj
-    [
-      ("queue_wait_ms", Json.Float t.queue_wait_ms);
-      ( "attempt_ms",
-        Json.Arr (List.map (fun ms -> Json.Float ms) t.attempt_ms) );
-      ("backoff_sleep_ms", Json.Float t.backoff_ms);
-    ]
+(* ---- serialization (engine re-exports) ---- *)
 
-let timing_of_json j =
-  {
-    queue_wait_ms = Json.get_float (Json.member "queue_wait_ms" j);
-    attempt_ms =
-      List.map Json.get_float (Json.get_list (Json.member "attempt_ms" j));
-    backoff_ms = Json.get_float (Json.member "backoff_sleep_ms" j);
-  }
-
-let outcome_to_json o =
-  Json.Obj
-    ([
-       ("schema", Json.Int schema_version);
-       ("index", Json.Int o.index);
-       ("order", Json.Int o.order);
-       ("attempts", Json.Int o.attempts);
-       ("elapsed_ms", Json.Float o.elapsed_ms);
-       ("timing", json_of_timing o.timing);
-       ("job", Job.to_json o.job);
-     ]
-    @
-    match o.status with
-    | Completed report ->
-      [ ("status", Json.Str "completed"); ("report", Report.to_json report) ]
-    | Failed f ->
-      [
-        ("status", Json.Str "failed");
-        ( "error",
-          Json.Obj
-            [
-              ("message", Json.Str f.message);
-              ("timed_out", Json.Bool f.timed_out);
-              ("retryable", Json.Bool f.retryable);
-            ] );
-      ])
-
-let outcome_of_json j =
-  let v = Json.get_int (Json.member "schema" j) in
-  if v <> schema_version then
-    raise
-      (Json.Error
-         (Printf.sprintf "outcome schema %d, this build reads schema %d" v
-            schema_version));
-  let status =
-    match Json.get_string (Json.member "status" j) with
-    | "completed" -> Completed (Report.of_json (Json.member "report" j))
-    | "failed" ->
-      let e = Json.member "error" j in
-      Failed
-        {
-          message = Json.get_string (Json.member "message" e);
-          timed_out = Json.get_bool (Json.member "timed_out" e);
-          retryable = Json.get_bool (Json.member "retryable" e);
-        }
-    | s -> raise (Json.Error (Printf.sprintf "unknown status '%s'" s))
-  in
-  {
-    job = Job.of_json (Json.member "job" j);
-    index = Json.get_int (Json.member "index" j);
-    order = Json.get_int (Json.member "order" j);
-    attempts = Json.get_int (Json.member "attempts" j);
-    elapsed_ms = Json.get_float (Json.member "elapsed_ms" j);
-    timing = timing_of_json (Json.member "timing" j);
-    status;
-  }
-
-let write_jsonl oc outcomes =
-  List.iter
-    (fun o ->
-      output_string oc (Json.to_string (outcome_to_json o));
-      output_char oc '\n')
-    outcomes
-
-let read_jsonl ic =
-  let rec go acc =
-    match input_line ic with
-    | line ->
-      if String.trim line = "" then go acc
-      else go (outcome_of_json (Json.of_string line) :: acc)
-    | exception End_of_file -> List.rev acc
-  in
-  go []
+let outcome_to_json = Engine.outcome_to_json
+let outcome_of_json = Engine.outcome_of_json
+let write_jsonl = Engine.write_jsonl
+let read_jsonl = Engine.read_jsonl

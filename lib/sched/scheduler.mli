@@ -1,20 +1,15 @@
-(** The batch scheduler: runs a queue of least-squares jobs concurrently
-    on a shared {!Dompool.Domain_pool}, with per-job (cooperative)
-    timeout, bounded retry with exponential backoff, and graceful
-    degradation — a failing job yields a structured {!failure} record in
-    its {!outcome} instead of aborting the batch.
+(** The scheduler: a {!Config}-driven entry point running batches of
+    least-squares jobs over the {!Fleet} service, plus historical names
+    for the {!Engine} types so existing callers keep compiling.
 
-    Concurrency model: [parallel] self-scheduling workers claim jobs
-    from an atomic cursor and run as tasks of the shared pool.  Each job
-    builds its own simulators (per-job profile isolation — see
-    {!Gpusim.Sim.breakdown}); kernel bodies of executing jobs reuse the
-    same pool, where they run inline on the claiming worker.
+    Batch mode is a thin wrapper over the fleet: every job is submitted
+    (blocking on backpressure instead of rejecting), awaited, and the
+    fleet shut down — one structured {!outcome} per job, in submission
+    order, a failing job never aborting the batch.  Outcomes carry the
+    fleet placement record and serialize to the versioned JSON-lines
+    schema (outcome schema {!schema_version}). *)
 
-    Outcomes serialize to a versioned JSON-lines schema (one outcome
-    object per line, each stamped with [{"schema": n}]); reports inside
-    a completed outcome round-trip through {!Harness.Report.of_json}. *)
-
-type failure = {
+type failure = Engine.failure = {
   message : string;
   timed_out : bool;  (** the job exhausted its [timeout_ms] budget *)
   retryable : bool;
@@ -24,27 +19,40 @@ type failure = {
           on the first attempt without burning retries *)
 }
 
-type status =
+type status = Engine.status =
   | Completed of Harness.Report.t
   | Failed of failure
 
 (** Where one job's wall clock went. *)
-type timing = {
+type timing = Engine.timing = {
   queue_wait_ms : float;
-      (** from batch submission to a worker claiming the job *)
+      (** from submission to a worker claiming the job *)
   attempt_ms : float list;
       (** run time of each attempt, in attempt order; its length is
           [attempts] *)
   backoff_ms : float;  (** total backoff sleep between attempts *)
 }
 
-type outcome = {
+(** Where the fleet put the job — see {!Engine.placement}. *)
+type placement = Engine.placement = {
+  device_id : string;
+  admitted_to : string;
+  steals : int;
+  queue_depth : int;
+}
+
+type outcome = Engine.outcome = {
   job : Job.t;
+      (** the job as executed — for auto-placed jobs the [device] field
+          carries the class the fleet chose *)
   index : int;  (** position of the job in the submitted queue *)
   order : int;  (** completion rank within the batch (0 = finished first) *)
   attempts : int;  (** run attempts made; 0 when validation rejected it *)
   elapsed_ms : float;  (** wall clock across all attempts and backoffs *)
   timing : timing;
+  placement : placement option;
+      (** which fleet instance ran the job, where it was admitted, and
+          the steal count; always set by {!run} and {!run_batch} *)
   status : status;
 }
 
@@ -52,15 +60,24 @@ val schema_version : int
 (** Version stamped into (and required of) every serialized outcome. *)
 
 val run_job : Job.t -> Harness.Report.t
-(** Runs one job synchronously (no retry, timeout or failure injection):
-    dispatches on the kind, and when [job.execute] is set additionally
-    executes the kernels numerically and attaches the residual record.
-    A positive [fault_rate] arms the simulator fault plane
-    ({!Job.fault_config}); executed solve jobs then run through
-    {!Harness.Runners.solve_ft}, whose report carries the fault tally
-    and refinement flag.  Raises whatever the runner raises — including
-    [Fault.Plan.Injected] on an escalated fault, which {!run_batch}
-    classifies as retryable. *)
+(** {!Engine.run_job}: one synchronous run, no retry or timeout. *)
+
+module Config = Fleet.Config
+(** Fleet configuration; {!Config.default} is the heterogeneous
+    device-class pool, {!Config.batch} the generic batch pool. *)
+
+val run :
+  ?on_outcome:(outcome -> unit) ->
+  Config.t ->
+  Job.t list ->
+  outcome list
+(** [run config jobs] runs the batch over a fresh fleet built from
+    [config]: one outcome per job, in submission order.  Backpressure
+    from bounded queues blocks the submitter instead of rejecting
+    (a batch has no client to answer); [retain_outcomes] is forced on.
+    [on_outcome] is called as each job settles, from the worker domain
+    that ran it — it must be thread-safe and must not raise.  Never
+    raises on job failures. *)
 
 val run_batch :
   ?pool:Dompool.Domain_pool.t ->
@@ -69,13 +86,14 @@ val run_batch :
   ?on_outcome:(outcome -> unit) ->
   Job.t list ->
   outcome list
-(** [run_batch jobs] returns one outcome per job, in submission order.
-    [pool] defaults to the shared default pool, [parallel] (clamped to
-    the batch size, default 4) is the number of concurrent job workers,
-    [backoff_ms] (default 1.0) the base of the exponential backoff
-    between attempts ([backoff_ms * 2^k] after the [k]-th failure).
-    [on_outcome] is called as each job settles, from the worker that ran
-    it — it must be thread-safe.  Never raises on job failures. *)
+(** Deprecated compatibility shim over {!run} with
+    [Config.batch ~parallel ~backoff_ms ()]: [parallel] (clamped to the
+    batch size, default 4) generic fleet instances, [backoff_ms]
+    (default 1.0) the base of the exponential backoff between attempts
+    ([backoff_ms * 2^k] after the [k]-th failure).  [pool] is ignored —
+    the fleet spawns its own worker domains.  With [parallel:1] the
+    fleet is one FIFO queue, so execution order is submission order.
+    New code should call {!run} with an explicit {!Config.t}. *)
 
 val outcome_to_json : outcome -> Harness.Json.t
 val outcome_of_json : Harness.Json.t -> outcome

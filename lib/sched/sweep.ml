@@ -5,18 +5,9 @@
 module P = Multidouble.Precision
 module D = Gpusim.Device
 
-let slug device =
-  String.concat ""
-    (List.filter_map
-       (fun c ->
-         match c with
-         | ' ' -> None
-         | c -> Some (String.make 1 (Char.lowercase_ascii c)))
-       (List.init (String.length device.D.name) (String.get device.D.name)))
-
 let job ~table ?complex ?rows ~kind ~device ~prec ~dim ~tile ?suffix () =
   let id =
-    Printf.sprintf "%s-%s-%s%s%s" table (slug device) (P.label prec)
+    Printf.sprintf "%s-%s-%s%s%s" table (D.slug device) (P.label prec)
       (if Option.value complex ~default:false then "z" else "")
       (match suffix with Some s -> "-" ^ s | None -> "")
   in
@@ -118,6 +109,25 @@ let table10 () =
         P.all)
     [ D.rtx2080; D.p100; D.v100 ]
 
+(* Fleet: a mixed stream of auto-placed jobs — memory-bound double
+   double beside compute-bound octo double — exercising the fleet's
+   roofline placement instead of pinning devices. *)
+let fleet () =
+  List.concat_map
+    (fun (prec, kind) ->
+      List.init 4 (fun i ->
+          Job.make
+            ~id:
+              (Printf.sprintf "fleet-%s-%s-%d" (Job.string_of_kind kind)
+                 (P.label prec) i)
+            ~kind ~device:Job.auto_device ~prec ~dim:1024 ~tile:128 ()))
+    [
+      (P.DD, Job.Qr);
+      (P.DD, Job.Solve);
+      (P.OD, Job.Qr);
+      (P.OD, Job.Solve);
+    ]
+
 let sweeps =
   [
     ("table3", table3);
@@ -128,6 +138,7 @@ let sweeps =
     ("table8", table8);
     ("table9", table9);
     ("table10", table10);
+    ("fleet", fleet);
   ]
 
 let names = List.map fst sweeps

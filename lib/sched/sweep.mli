@@ -3,7 +3,10 @@
     [lsq_cli batch --sweep NAME]. *)
 
 val names : string list
-(** The available sweeps: ["table3"] .. ["table10"]. *)
+(** The available sweeps: ["table3"] .. ["table10"], plus ["fleet"] — a
+    mixed stream of {!Job.auto_device} jobs (memory-bound double double
+    beside compute-bound octo double) for the fleet's roofline
+    placement. *)
 
 val jobs : string -> Job.t list
 (** The job list of a named sweep; raises [Invalid_argument] on unknown

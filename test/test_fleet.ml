@@ -1,0 +1,325 @@
+(* Tests for the fleet service: deterministic roofline placement,
+   work-stealing steal-count invariants, bounded-queue backpressure, and
+   the schema-4 outcome codec with its placement record. *)
+
+module P = Multidouble.Precision
+module D = Gpusim.Device
+module Job = Sched.Job
+module F = Sched.Fleet
+module S = Sched.Scheduler
+module Json = Harness.Json
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let solve ?(device = Job.auto_device) ?inject_failures ?retries ~id ~prec ()
+    =
+  Job.make ?inject_failures ?retries ~id ~kind:Job.Solve ~device ~prec
+    ~dim:1024 ~tile:128 ()
+
+let class_of_instance id =
+  match String.index_opt id '#' with
+  | Some i -> String.sub id 0 i
+  | None -> id
+
+let placement (o : S.outcome) =
+  match o.S.placement with
+  | Some p -> p
+  | None -> Alcotest.failf "%s has no placement record" o.S.job.Job.id
+
+(* ---- roofline placement ---- *)
+
+(* dd solve at n=1024 is memory-bound, od compute-bound; the policy must
+   route them to the bandwidth-rich RTX 2080 and the compute-rich V100
+   classes respectively.  Admission happens synchronously at submit, so
+   holding the workers back (autostart:false) makes the queue layout —
+   and with it the whole test — deterministic. *)
+let test_placement () =
+  check "dd is memory-bound" true
+    (F.classify_job (solve ~id:"c" ~prec:P.DD ()) = Obs.Roofline.Memory);
+  check "od is compute-bound" true
+    (F.classify_job (solve ~id:"c" ~prec:P.OD ()) = Obs.Roofline.Compute);
+  let fleet = F.create ~autostart:false F.Config.default in
+  let jobs =
+    [
+      solve ~id:"dd-0" ~prec:P.DD ();
+      solve ~id:"dd-1" ~prec:P.DD ();
+      solve ~id:"od-0" ~prec:P.OD ();
+      solve ~id:"od-1" ~prec:P.OD ();
+    ]
+  in
+  List.iteri
+    (fun i job ->
+      match F.submit fleet job with
+      | Ok ticket -> checki "tickets number admissions" i ticket
+      | Error r -> Alcotest.failf "%s rejected: %s" job.Job.id (F.reject_message r))
+    jobs;
+  (* Before any worker runs: both dd jobs sit on the two RTX 2080
+     queues (shortest-queue within the class), both od jobs on the two
+     V100 queues; everything else is empty. *)
+  List.iter
+    (fun (s : F.stats) ->
+      let expected =
+        match s.F.device with
+        | Some d when D.slug d = "rtx2080" || D.slug d = "v100" -> 1
+        | _ -> 0
+      in
+      checki (Printf.sprintf "queue depth of %s" s.F.id) expected
+        s.F.queue_depth)
+    (F.stats fleet);
+  F.start fleet;
+  let outcomes = F.drain fleet in
+  F.shutdown fleet;
+  checki "one outcome per job" (List.length jobs) (List.length outcomes);
+  List.iter
+    (fun o ->
+      let p = placement o in
+      let admitted = class_of_instance p.S.admitted_to in
+      let wanted =
+        if o.S.job.Job.prec = P.DD then "rtx2080" else "v100"
+      in
+      checks
+        (Printf.sprintf "%s admitted to the %s class" o.S.job.Job.id wanted)
+        wanted admitted;
+      checki
+        (Printf.sprintf "%s admitted at depth < 2" o.S.job.Job.id)
+        0
+        (if p.S.queue_depth < 2 then 0 else p.S.queue_depth);
+      (* The executed device is the executing instance's class. *)
+      checks "job device matches executor"
+        (class_of_instance p.S.device_id)
+        o.S.job.Job.device;
+      match o.S.status with
+      | S.Completed _ -> ()
+      | S.Failed f -> Alcotest.failf "%s failed: %s" o.S.job.Job.id f.S.message)
+    outcomes
+
+(* Pinned jobs keep their named device even when a foreign instance
+   executes them: instances are capacity, the simulation identity is the
+   job's. *)
+let test_pinned_device_kept () =
+  let outcomes =
+    S.run
+      (S.Config.batch ~parallel:2 ~backoff_ms:0.0 ())
+      [ solve ~device:"p100" ~id:"pinned" ~prec:P.DD () ]
+  in
+  match outcomes with
+  | [ o ] ->
+    checks "pinned device kept" "p100" o.S.job.Job.device;
+    check "generic instance executed it" true
+      (class_of_instance (placement o).S.device_id = "any")
+  | _ -> Alcotest.fail "expected one outcome"
+
+(* ---- work stealing ---- *)
+
+(* Two instances, every job pinned to one of them.  Holding the workers
+   back queues all six jobs on the V100; injected failures make each job
+   sleep in backoff, so the idle C2050 worker provably steals.  The
+   invariant: the fleet's steal counter, the per-outcome steal flags and
+   the admitted/executor mismatches all agree. *)
+let test_steal_invariants () =
+  let config =
+    {
+      F.Config.pool = [ (Some D.c2050, 1); (Some D.v100, 1) ];
+      max_queue_depth = 0;
+      backoff_ms = 30.0;
+      steal = true;
+      retain_outcomes = true;
+    }
+  in
+  let fleet = F.create ~autostart:false config in
+  let jobs =
+    List.init 6 (fun i ->
+        solve
+          ~device:"v100"
+          ~id:(Printf.sprintf "steal-%d" i)
+          ~prec:P.DD ~inject_failures:1 ~retries:1 ())
+  in
+  List.iter
+    (fun job ->
+      match F.submit fleet job with
+      | Ok _ -> ()
+      | Error r -> Alcotest.failf "rejected: %s" (F.reject_message r))
+    jobs;
+  F.start fleet;
+  let outcomes = F.drain fleet in
+  F.shutdown fleet;
+  checki "one outcome per job" (List.length jobs) (List.length outcomes);
+  let steal_sum =
+    List.fold_left (fun acc o -> acc + (placement o).S.steals) 0 outcomes
+  in
+  let moved =
+    List.filter
+      (fun o ->
+        let p = placement o in
+        p.S.device_id <> p.S.admitted_to)
+      outcomes
+  in
+  checki "outcome steal flags equal the fleet counter" (F.steals fleet)
+    steal_sum;
+  checki "every steal moved the job" steal_sum (List.length moved);
+  check "stealing occurred" true (steal_sum >= 1);
+  List.iter
+    (fun o ->
+      checks "everything was admitted to the pinned device" "v100#0"
+        (placement o).S.admitted_to;
+      check "steal flag is 0 or 1" true
+        (let s = (placement o).S.steals in
+         s = 0 || s = 1);
+      (* A stolen pinned job still simulates its own device. *)
+      checks "pinned device survived the steal" "v100" o.S.job.Job.device)
+    outcomes;
+  let stats_stolen =
+    List.fold_left (fun acc (s : F.stats) -> acc + s.F.stolen) 0
+      (F.stats fleet)
+  in
+  checki "per-instance stolen tallies agree" steal_sum stats_stolen;
+  checki "every job executed" 6
+    (List.fold_left (fun acc (s : F.stats) -> acc + s.F.executed) 0
+       (F.stats fleet))
+
+(* With stealing off, jobs only run where they were admitted. *)
+let test_no_steal () =
+  let config =
+    {
+      F.Config.pool = [ (Some D.c2050, 1); (Some D.v100, 1) ];
+      max_queue_depth = 0;
+      backoff_ms = 5.0;
+      steal = false;
+      retain_outcomes = true;
+    }
+  in
+  let fleet = F.create ~autostart:false config in
+  let jobs =
+    List.init 4 (fun i ->
+        solve ~device:"v100" ~id:(Printf.sprintf "pin-%d" i) ~prec:P.DD ())
+  in
+  List.iter (fun j -> ignore (F.submit fleet j)) jobs;
+  F.start fleet;
+  let outcomes = F.drain fleet in
+  F.shutdown fleet;
+  checki "no steals" 0 (F.steals fleet);
+  List.iter
+    (fun o ->
+      checks "executed where admitted" (placement o).S.admitted_to
+        (placement o).S.device_id)
+    outcomes
+
+(* ---- admission control / backpressure ---- *)
+
+let test_backpressure () =
+  let config =
+    {
+      F.Config.pool = [ (Some D.v100, 1) ];
+      max_queue_depth = 2;
+      backoff_ms = 0.0;
+      steal = true;
+      retain_outcomes = true;
+    }
+  in
+  let fleet = F.create ~autostart:false config in
+  let job i = solve ~device:"v100" ~id:(Printf.sprintf "bp-%d" i) ~prec:P.DD () in
+  (match F.submit fleet (job 0) with
+  | Ok t -> checki "first ticket" 0 t
+  | Error r -> Alcotest.failf "rejected: %s" (F.reject_message r));
+  (match F.submit fleet (job 1) with
+  | Ok _ -> ()
+  | Error r -> Alcotest.failf "rejected: %s" (F.reject_message r));
+  (* Queue at the bound: the third submission must bounce, naming the
+     instance it would have used and the depth it saw. *)
+  (match F.submit fleet (job 2) with
+  | Ok _ -> Alcotest.fail "third submission must be rejected"
+  | Error (F.Queue_full { device_id; queue_depth }) ->
+    checks "rejection names the preferred instance" "v100#0" device_id;
+    checki "rejection reports the depth" 2 queue_depth;
+    (* The rejection line is schema-stamped and carries the job. *)
+    let line = F.reject_to_json (job 2) (F.Queue_full { device_id; queue_depth }) in
+    checki "rejection line schema" S.schema_version
+      (Json.get_int (Json.member "schema" line));
+    checks "rejection line status" "rejected"
+      (Json.get_string (Json.member "status" line));
+    checks "rejection line device" "v100#0"
+      (Json.get_string
+         (Json.member "device_id" (Json.member "error" line)))
+  | Error F.Draining -> Alcotest.fail "wrong rejection reason");
+  F.start fleet;
+  let outcomes = F.drain fleet in
+  checki "only the admitted jobs ran" 2 (List.length outcomes);
+  F.shutdown fleet;
+  (* After shutdown every submission drains away. *)
+  match F.submit fleet (job 3) with
+  | Error F.Draining -> ()
+  | Ok _ | Error (F.Queue_full _) ->
+    Alcotest.fail "submissions after shutdown must report Draining"
+
+(* ---- schema 4 ---- *)
+
+let test_schema4_roundtrip () =
+  let outcomes =
+    S.run
+      { S.Config.default with F.Config.max_queue_depth = 0 }
+      [ solve ~id:"rt-dd" ~prec:P.DD (); solve ~id:"rt-od" ~prec:P.OD () ]
+  in
+  List.iter
+    (fun o ->
+      let line = Json.to_string (S.outcome_to_json o) in
+      let o' = S.outcome_of_json (Json.of_string line) in
+      check "outcome round-trips with placement" true (o = o');
+      checki "schema is 4" 4 S.schema_version;
+      check "placement survives the codec" true (o'.S.placement <> None))
+    outcomes;
+  (* A schema-3 line (no placement, old version stamp) must be refused. *)
+  let o = List.hd outcomes in
+  let forged =
+    match S.outcome_to_json o with
+    | Json.Obj fields ->
+      Json.Obj
+        (List.map
+           (function
+             | "schema", _ -> ("schema", Json.Int 3)
+             | f -> f)
+           fields)
+    | _ -> Alcotest.fail "outcome did not serialize to an object"
+  in
+  match S.outcome_of_json forged with
+  | _ -> Alcotest.fail "schema mismatch must raise"
+  | exception Json.Error _ -> ()
+
+(* An unplaced auto job outside any fleet settles as a validation
+   failure instead of running on an arbitrary device. *)
+let test_auto_needs_fleet () =
+  let job = solve ~id:"stray" ~prec:P.DD () in
+  check "auto job validates" true (Job.validate job = Ok ())
+  ;
+  let attempts, _, _, status =
+    Sched.Engine.settle ~backoff_ms:0.0 ~queued_at:0.0 job
+  in
+  checki "no attempts burned" 0 attempts;
+  match status with
+  | S.Failed f -> check "names the wildcard" true (f.S.retryable = false)
+  | S.Completed _ -> Alcotest.fail "unplaced auto job must not run"
+
+let () =
+  Alcotest.run "fleet"
+    [
+      ( "placement",
+        [
+          Alcotest.test_case "roofline placement" `Quick test_placement;
+          Alcotest.test_case "pinned device kept" `Quick
+            test_pinned_device_kept;
+        ] );
+      ( "stealing",
+        [
+          Alcotest.test_case "steal invariants" `Quick test_steal_invariants;
+          Alcotest.test_case "no stealing when disabled" `Quick test_no_steal;
+        ] );
+      ( "admission",
+        [ Alcotest.test_case "backpressure" `Quick test_backpressure ] );
+      ( "schema",
+        [
+          Alcotest.test_case "schema 4 round-trip" `Quick
+            test_schema4_roundtrip;
+          Alcotest.test_case "auto needs a fleet" `Quick test_auto_needs_fleet;
+        ] );
+    ]

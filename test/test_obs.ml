@@ -182,6 +182,67 @@ let test_metrics_concurrent_exact () =
     (M.Histogram.sum h = float_of_int (n / 7 * 21));
   checki "all in the first bucket" n (M.Histogram.bucket_counts h).(0)
 
+let test_histogram_quantiles () =
+  (* Uniform 1..100 on unit buckets: the interpolating estimator
+     recovers every percentile exactly at the bucket edges. *)
+  let reg = M.create () in
+  let bounds = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  let h = M.histogram ~buckets:bounds reg "q" in
+  for v = 1 to 100 do
+    M.Histogram.observe h (float_of_int v)
+  done;
+  check "p50" true (M.Histogram.quantile h 0.5 = 50.0);
+  check "p95" true (M.Histogram.quantile h 0.95 = 95.0);
+  check "p99" true (M.Histogram.quantile h 0.99 = 99.0);
+  check "p100" true (M.Histogram.quantile h 1.0 = 100.0);
+  (* The snapshot carries the same estimates. *)
+  (match List.assoc_opt "q" (M.snapshot reg) with
+  | Some (M.Histogram { p50; p95; p99; _ }) ->
+    check "snapshot p50" true (p50 = 50.0);
+    check "snapshot p95" true (p95 = 95.0);
+    check "snapshot p99" true (p99 = 99.0)
+  | _ -> Alcotest.fail "histogram missing from snapshot");
+  (* Edge cases: an empty histogram estimates 0; ranks landing in the
+     unbounded overflow bucket clamp to the largest finite bound. *)
+  let empty = M.histogram ~buckets:[| 1.0; 10.0 |] reg "q.empty" in
+  check "empty" true (M.Histogram.quantile empty 0.5 = 0.0);
+  let over = M.histogram ~buckets:[| 1.0; 10.0 |] reg "q.over" in
+  M.Histogram.observe over 1e9;
+  check "overflow clamps" true (M.Histogram.quantile over 0.99 = 10.0)
+
+let test_quantiles_concurrent_exact () =
+  (* Bucket counts are atomics, so quantiles are exact — not
+     approximately right — under a parallel_for hammering the same
+     histogram. *)
+  let reg = M.create () in
+  let bounds = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  let h = M.histogram ~buckets:bounds reg "q.par" in
+  let n = 10_000 in
+  Pool.parallel_for (Pool.get_default ()) 0 n (fun i ->
+      M.Histogram.observe h (float_of_int ((i mod 100) + 1)));
+  checki "count exact" n (M.Histogram.count h);
+  check "p50 exact" true (M.Histogram.quantile h 0.5 = 50.0);
+  check "p95 exact" true (M.Histogram.quantile h 0.95 = 95.0);
+  check "p99 exact" true (M.Histogram.quantile h 0.99 = 99.0)
+
+let test_once_concurrent_first_use () =
+  (* [Metrics.once] must survive what breaks an OCaml [lazy]: many
+     domains racing to resolve the same handle on first use.  A raced
+     lazy raises [Undefined] in the losers; [once] at worst resolves
+     twice against the idempotent registry and every caller increments
+     the same counter. *)
+  let reg = M.create () in
+  let handle = M.once (fun () -> M.counter reg "once.raced") in
+  let domains =
+    Array.init 6 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 100 do
+              M.Counter.incr (handle ())
+            done))
+  in
+  Array.iter Domain.join domains;
+  checki "every increment landed" 600 (M.Counter.value (handle ()))
+
 let test_snapshot_roundtrip () =
   let reg = M.create () in
   M.Counter.incr ~by:9 (M.counter reg "a.count");
@@ -318,6 +379,12 @@ let () =
           Alcotest.test_case "basics" `Quick test_metrics_basic;
           Alcotest.test_case "concurrent exactness" `Quick
             test_metrics_concurrent_exact;
+          Alcotest.test_case "histogram quantiles" `Quick
+            test_histogram_quantiles;
+          Alcotest.test_case "quantiles exact under parallel_for" `Quick
+            test_quantiles_concurrent_exact;
+          Alcotest.test_case "once under concurrent first use" `Quick
+            test_once_concurrent_first_use;
           Alcotest.test_case "snapshot json round-trip" `Quick
             test_snapshot_roundtrip;
           Alcotest.test_case "simulator counters" `Quick
