@@ -50,6 +50,7 @@ let items : (string * (unit -> unit)) list =
     ("fleet-smoke", Fleet_bench.smoke);
     ("faults", Faults_bench.run);
     ("fault-smoke", Faults_bench.smoke);
+    ("telemetry-smoke", Telemetry_bench.smoke);
   ]
 
 let () =

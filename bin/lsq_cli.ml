@@ -888,13 +888,64 @@ let serve_cmd =
       & info [ "no-steal" ]
           ~doc:"Disable work stealing between device queues.")
   in
-  let run pool_spec depth no_steal (rate, seed, kinds) out_file obs =
+  let telemetry_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry" ] ~docv:"FILE"
+          ~doc:
+            "Stream continuous telemetry (periodic registry snapshots with \
+             health/SLO status and buffered log records, as JSON lines) to \
+             $(docv) while serving; read it live with $(b,lsq_cli monitor).")
+  in
+  let telemetry_prom_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry-prom" ] ~docv:"FILE"
+          ~doc:
+            "Also maintain a Prometheus text-exposition file at $(docv), \
+             rewritten on every telemetry tick (requires $(b,--telemetry)).")
+  in
+  let telemetry_interval_arg =
+    Arg.(
+      value & opt float 1000.0
+      & info [ "telemetry-interval-ms" ] ~docv:"MS"
+          ~doc:"Telemetry snapshot period in milliseconds.")
+  in
+  let log_level_arg =
+    Arg.(
+      value & opt string "info"
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:
+            "Structured-log threshold: debug, info, warn or error.  Without \
+             $(b,--telemetry) the log streams to standard error as JSON \
+             lines; $(b,warn) also silences the end-of-run summary.")
+  in
+  let run pool_spec depth no_steal (rate, seed, kinds) out_file obs telemetry
+      telemetry_prom telemetry_interval_ms log_level =
     let pool =
       try Sched.Fleet.Config.pool_of_string pool_spec
       with Invalid_argument m ->
         Printf.eprintf "error: %s\n" m;
         exit 2
     in
+    (match Obs.Log.level_of_string log_level with
+    | l -> Obs.Log.set_level l
+    | exception Invalid_argument m ->
+      Printf.eprintf "error: %s\n" m;
+      exit 2);
+    if telemetry = None && telemetry_prom <> None then begin
+      Printf.eprintf "error: --telemetry-prom requires --telemetry\n";
+      exit 2
+    end;
+    (* With a telemetry stream the log records ride inside it; without
+       one they go to stderr as JSON lines, keeping stdout pure outcome
+       lines either way. *)
+    Obs.Log.set_sink
+      (match telemetry with
+      | Some _ -> Obs.Log.Buffered
+      | None -> Obs.Log.Channel stderr);
     let config =
       {
         Sched.Fleet.Config.pool;
@@ -941,6 +992,15 @@ let serve_cmd =
       else job
     in
     with_observability obs (fun () ->
+        let exporter =
+          Option.map
+            (fun path ->
+              Obs.Telemetry.start ~interval_ms:telemetry_interval_ms
+                ?prom:
+                  (Option.map (fun p -> Obs.Telemetry.File p) telemetry_prom)
+                (Obs.Telemetry.File path))
+            telemetry
+        in
         let fleet =
           Sched.Fleet.create
             ~on_outcome:(fun o -> emit (Sched.Scheduler.outcome_to_json o))
@@ -966,17 +1026,22 @@ let serve_cmd =
          with End_of_file -> ());
         Sched.Fleet.quiesce fleet;
         Sched.Fleet.shutdown fleet;
-        Printf.eprintf
-          "serve: %d submitted, %d rejected, %d skipped, %d stolen\n"
-          !submitted !rejected !skipped
-          (Sched.Fleet.steals fleet);
-        List.iter
-          (fun (s : Sched.Fleet.stats) ->
-            Printf.eprintf
-              "  %-12s %4d executed (%d stolen)  utilization %5.1f%%\n"
-              s.Sched.Fleet.id s.Sched.Fleet.executed s.Sched.Fleet.stolen
-              (100.0 *. s.Sched.Fleet.utilization))
-          (Sched.Fleet.stats fleet));
+        Option.iter Obs.Telemetry.stop exporter;
+        (* The human summary is observability, not output: it obeys the
+           log threshold (--log-level warn runs silent). *)
+        if Obs.Log.enabled Obs.Log.Info then begin
+          Printf.eprintf
+            "serve: %d submitted, %d rejected, %d skipped, %d stolen\n"
+            !submitted !rejected !skipped
+            (Sched.Fleet.steals fleet);
+          List.iter
+            (fun (s : Sched.Fleet.stats) ->
+              Printf.eprintf
+                "  %-12s %4d executed (%d stolen)  utilization %5.1f%%\n"
+                s.Sched.Fleet.id s.Sched.Fleet.executed s.Sched.Fleet.stolen
+                (100.0 *. s.Sched.Fleet.utilization))
+            (Sched.Fleet.stats fleet)
+        end);
     if out_file <> None then close_out oc
   in
   Cmd.v
@@ -991,7 +1056,182 @@ let serve_cmd =
           {\"status\":\"rejected\"} line.")
     Term.(
       const run $ pool_spec $ depth $ no_steal $ fault_flags $ out_arg
-      $ obs_flags)
+      $ obs_flags $ telemetry_arg $ telemetry_prom_arg $ telemetry_interval_arg
+      $ log_level_arg)
+
+let monitor_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"Telemetry JSON-lines file written by serve --telemetry.")
+  in
+  let follow_arg =
+    Arg.(
+      value & flag
+      & info [ "f"; "follow" ]
+          ~doc:
+            "Keep tailing the file, re-rendering on every new snapshot and \
+             echoing warn/error log records, until interrupted.")
+  in
+  let poll_arg =
+    Arg.(
+      value & opt float 500.0
+      & info [ "poll-ms" ] ~docv:"MS"
+          ~doc:"Poll period while following, in milliseconds.")
+  in
+  (* Whole-file read, trimmed to the last complete line: the serve
+     process appends whole lines, but a poll can land mid-write. *)
+  let read_complete_lines path =
+    match open_in_bin path with
+    | exception Sys_error m ->
+      Printf.eprintf "error: %s\n" m;
+      exit 2
+    | ic ->
+      let len = in_channel_length ic in
+      let buf = really_input_string ic len in
+      close_in ic;
+      (match String.rindex_opt buf '\n' with
+      | None -> []
+      | Some i -> String.split_on_char '\n' (String.sub buf 0 i))
+  in
+  let bar width frac =
+    let n = max 0 (min width (int_of_float (frac *. float_of_int width))) in
+    String.make n '#' ^ String.make (width - n) '.'
+  in
+  let render (s : Harness.Obs_io.telemetry_snapshot) =
+    let counter name =
+      match List.assoc_opt name s.Harness.Obs_io.metrics with
+      | Some (Obs.Metrics.Counter c) -> c
+      | _ -> 0
+    in
+    let gauges prefix =
+      List.filter_map
+        (fun (name, v) ->
+          match v with
+          | Obs.Metrics.Gauge g when String.starts_with ~prefix name ->
+            Some
+              ( String.sub name (String.length prefix)
+                  (String.length name - String.length prefix),
+                g )
+          | _ -> None)
+        s.Harness.Obs_io.metrics
+    in
+    pf "snapshot #%d\n" s.Harness.Obs_io.seq;
+    pf "  fleet: %d submitted, %d completed, %d failed, %d rejected, %d steals\n"
+      (counter "fleet.submitted") (counter "fleet.completed")
+      (counter "fleet.failed") (counter "fleet.rejected")
+      (counter "fleet.steals");
+    let utils = gauges "fleet.util." in
+    let depths = gauges "fleet.queue_depth." in
+    let inflight = gauges "fleet.inflight." in
+    List.iter
+      (fun (id, util) ->
+        let depth =
+          match List.assoc_opt id depths with Some d -> d | None -> 0.0
+        in
+        let busy =
+          match List.assoc_opt id inflight with Some f -> f > 0.0 | None -> false
+        in
+        pf "  %-12s [%s] %5.1f%%  queue %2.0f  %s\n" id (bar 20 util)
+          (100.0 *. util) depth
+          (if busy then "busy" else "idle"))
+      utils;
+    List.iter
+      (fun (name, v) ->
+        match v with
+        | Obs.Metrics.Histogram { count; p50; p95; p99; _ }
+          when String.starts_with ~prefix:"fleet.latency_ms." name && count > 0
+          ->
+          pf "  latency %-12s p50 %8.1f ms  p95 %8.1f ms  p99 %8.1f ms  (%d)\n"
+            (String.sub name 17 (String.length name - 17))
+            p50 p95 p99 count
+        | _ -> ())
+      s.Harness.Obs_io.metrics;
+    List.iter
+      (fun (h : Obs.Health.class_status) ->
+        pf "  slo %-12s p95 %s%s  %s | budget %d/%d failed%s  %s\n"
+          h.Obs.Health.cls
+          (match h.Obs.Health.p95_ms with
+          | Some p -> Printf.sprintf "%8.1f ms" p
+          | None -> "       - ms")
+          (match h.Obs.Health.slo_ms with
+          | Some t -> Printf.sprintf " (target %.1f ms)" t
+          | None -> "")
+          (if h.Obs.Health.slo_ok then "ok" else "BREACH")
+          h.Obs.Health.failures h.Obs.Health.total
+          (match h.Obs.Health.budget with
+          | Some b -> Printf.sprintf " (%.0f%% of budget %.2f)"
+                        (100.0 *. h.Obs.Health.budget_used) b
+          | None -> "")
+          (if h.Obs.Health.budget_ok then "ok" else "EXHAUSTED"))
+      s.Harness.Obs_io.health;
+    (match List.filter (fun (d : Obs.Health.stage_drift) -> d.Obs.Health.drifted)
+             s.Harness.Obs_io.drift
+     with
+    | [] ->
+      if s.Harness.Obs_io.drift <> [] then pf "  cost model: no drift\n"
+    | drifted ->
+      List.iter
+        (fun (d : Obs.Health.stage_drift) ->
+          pf "  cost model DRIFT %-20s measured/predicted %.2fx over %d samples\n"
+            d.Obs.Health.stage d.Obs.Health.ratio d.Obs.Health.samples)
+        drifted);
+    flush stdout
+  in
+  let run file follow poll_ms =
+    let seen = ref 0 in
+    let last = ref None in
+    let parse_errors = ref 0 in
+    let consume ~echo_logs =
+      let lines = read_complete_lines file in
+      let fresh = List.filteri (fun i _ -> i >= !seen) lines in
+      seen := List.length lines;
+      List.iter
+        (fun line ->
+          if String.trim line <> "" then
+            match Harness.Obs_io.telemetry_line_of_string line with
+            | Harness.Obs_io.Snapshot s -> last := Some s
+            | Harness.Obs_io.Log_line r ->
+              if
+                echo_logs
+                && match r.Obs.Log.level with
+                   | Obs.Log.Warn | Obs.Log.Error -> true
+                   | Obs.Log.Debug | Obs.Log.Info -> false
+              then pf "%s\n" (Obs.Log.to_json_line r)
+            | exception Harness.Json.Error _ -> incr parse_errors)
+        fresh
+    in
+    if follow then begin
+      let rec loop () =
+        let before = !last in
+        consume ~echo_logs:true;
+        (match !last with
+        | Some s when before <> Some s -> render s
+        | _ -> ());
+        Unix.sleepf (Float.max 0.01 (poll_ms /. 1000.0));
+        loop ()
+      in
+      loop ()
+    end
+    else begin
+      consume ~echo_logs:false;
+      match !last with
+      | Some s -> render s
+      | None ->
+        Printf.eprintf "monitor: no snapshot lines in %s\n" file;
+        exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:
+         "Render a live fleet summary from a telemetry file written by \
+          $(b,lsq_cli serve --telemetry): per-instance utilization and queue \
+          depths, latency quantiles, SLO/error-budget status and cost-model \
+          drift.  One-shot by default; --follow tails the file.")
+    Term.(const run $ file_arg $ follow_arg $ poll_arg)
 
 let devices_cmd =
   let run () =
@@ -1035,4 +1275,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ qr_cmd; backsub_cmd; solve_cmd; faults_cmd; roofline_cmd; batch_cmd; serve_cmd; refine_cmd; toeplitz_cmd; psolve_cmd; cond_cmd; devices_cmd; precisions_cmd ]))
+          [ qr_cmd; backsub_cmd; solve_cmd; faults_cmd; roofline_cmd; batch_cmd; serve_cmd; monitor_cmd; refine_cmd; toeplitz_cmd; psolve_cmd; cond_cmd; devices_cmd; precisions_cmd ]))

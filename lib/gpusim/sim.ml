@@ -130,6 +130,13 @@ let run_faulted t plan ~stage ~cost run =
         end
         else begin
           Fault.Plan.note_escalation plan ~stage;
+          Obs.Log.warn "sim.fault_escalation"
+            ~fields:
+              [
+                ("fault", Obs.Log.Str "launch_fail");
+                ("stage", Obs.Log.Str stage);
+                ("relaunches", Obs.Log.Int relaunches);
+              ];
           raise (Fault.Plan.Injected (Fault.Plan.Launch_fail, stage))
         end
     | Some Fault.Plan.Bitflip ->
@@ -203,6 +210,13 @@ let transfer t bytes =
             end
             else begin
               Fault.Plan.note_escalation plan ~stage:"transfer";
+              Obs.Log.warn "sim.fault_escalation"
+                ~fields:
+                  [
+                    ("fault", Obs.Log.Str "transfer_corrupt");
+                    ("stage", Obs.Log.Str "transfer");
+                    ("retransfers", Obs.Log.Int retransfers);
+                  ];
               raise
                 (Fault.Plan.Injected (Fault.Plan.Transfer_corrupt, "transfer"))
             end

@@ -26,10 +26,18 @@ let json_of_metric (name, value) =
           Json.Arr (Array.to_list (Array.map (fun c -> Json.Int c) counts)) );
         ("count", Json.Int count);
         ("sum", Json.Float sum);
-        ("p50", Json.Float p50);
-        ("p95", Json.Float p95);
-        ("p99", Json.Float p99);
       ]
+      (* Quantiles of an empty distribution are undefined, not 0: the
+         keys are omitted so consumers can tell "no data" from "zero
+         latency". *)
+      @
+      if count = 0 then []
+      else
+        [
+          ("p50", Json.Float p50);
+          ("p95", Json.Float p95);
+          ("p99", Json.Float p99);
+        ]
   in
   Json.Obj (("name", Json.Str name) :: fields)
 
@@ -122,6 +130,89 @@ let json_of_roofline ~label ~device ~ridge stages =
       ("ridge", Json.Float ridge);
       ("stages", Json.Arr (List.map json_of_stage stages));
     ]
+
+(* ---- telemetry streams ---- *)
+
+(* Parsing side of the JSON lines [Obs.Telemetry] and [Obs.Log] write
+   (their rendering is hand-rolled in lib/obs, which cannot depend on
+   this library).  `lsq_cli monitor` tails a telemetry file through
+   this codec. *)
+
+type telemetry_snapshot = {
+  seq : int;
+  ts_ms : float;
+  metrics : M.snapshot;
+  health : Obs.Health.class_status list;
+  drift : Obs.Health.stage_drift list;
+}
+
+type telemetry_line =
+  | Snapshot of telemetry_snapshot
+  | Log_line of Obs.Log.record
+
+let class_status_of_json j : Obs.Health.class_status =
+  {
+    Obs.Health.cls = Json.(get_string (member "cls" j));
+    window = Json.(get_int (member "window" j));
+    p95_ms = Json.(to_option get_float (member "p95_ms" j));
+    slo_ms = Json.(to_option get_float (member "slo_ms" j));
+    slo_ok = Json.(get_bool (member "slo_ok" j));
+    total = Json.(get_int (member "total" j));
+    failures = Json.(get_int (member "failures" j));
+    budget = Json.(to_option get_float (member "budget" j));
+    budget_used = Json.(get_float (member "budget_used" j));
+    budget_ok = Json.(get_bool (member "budget_ok" j));
+  }
+
+let stage_drift_of_json j : Obs.Health.stage_drift =
+  {
+    Obs.Health.stage = Json.(get_string (member "stage" j));
+    predicted_ms = Json.(get_float (member "predicted_ms" j));
+    measured_ms = Json.(get_float (member "measured_ms" j));
+    ratio = Json.(get_float (member "ratio" j));
+    samples = Json.(get_int (member "samples" j));
+    drifted = Json.(get_bool (member "drifted" j));
+  }
+
+let log_field_of_json = function
+  | Json.Str s -> Obs.Log.Str s
+  | Json.Int i -> Obs.Log.Int i
+  | Json.Float f -> Obs.Log.Float f
+  | Json.Bool b -> Obs.Log.Bool b
+  | j ->
+    raise (Json.Error (Printf.sprintf "unsupported log field %s" (Json.to_string j)))
+
+let log_record_of_json j : Obs.Log.record =
+  {
+    Obs.Log.ts_ms = Json.(get_float (member "ts_ms" j));
+    level = Obs.Log.level_of_string Json.(get_string (member "level" j));
+    domain = Json.(get_int (member "domain" j));
+    event = Json.(get_string (member "event" j));
+    fields =
+      (match Json.member "fields" j with
+      | Json.Obj kvs -> List.map (fun (k, v) -> (k, log_field_of_json v)) kvs
+      | Json.Null -> []
+      | _ -> raise (Json.Error "log fields must be an object"));
+  }
+
+let telemetry_line_of_json j =
+  match Json.(get_string (member "type" j)) with
+  | "snapshot" ->
+    Snapshot
+      {
+        seq = Json.(get_int (member "seq" j));
+        ts_ms = Json.(get_float (member "ts_ms" j));
+        metrics = metrics_of_json (Json.member "metrics" j);
+        health =
+          List.map class_status_of_json Json.(get_list (member "health" j));
+        drift =
+          List.map stage_drift_of_json Json.(get_list (member "drift" j));
+      }
+  | "log" -> Log_line (log_record_of_json j)
+  | t -> raise (Json.Error (Printf.sprintf "unknown telemetry line type '%s'" t))
+
+let telemetry_line_of_string line =
+  telemetry_line_of_json (Json.of_string line)
 
 let roofline_of_json j =
   let v = Json.(get_int (member "schema" j)) in

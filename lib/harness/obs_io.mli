@@ -7,10 +7,36 @@
     documents. *)
 
 val json_of_metrics : Obs.Metrics.snapshot -> Json.t
+(** Zero-count histograms omit their [p50]/[p95]/[p99] keys — the
+    quantiles of an empty distribution are undefined, and emitting [0.0]
+    would be indistinguishable from a measured zero latency. *)
 
 val metrics_of_json : Json.t -> Obs.Metrics.snapshot
 (** Histogram percentile fields ([p50]/[p95]/[p99]) are recomputed from
-    the bucket counts when a document predating them omits them. *)
+    the bucket counts when absent (zero-count histograms, or documents
+    predating the fields). *)
+
+(** {2 Telemetry streams}
+
+    Parsers for the JSON lines [Obs.Telemetry] writes (one
+    [{"type":"snapshot",...}] object per exporter tick, with
+    [{"type":"log",...}] records interleaved); [lsq_cli monitor] tails a
+    telemetry file through this codec. *)
+
+type telemetry_snapshot = {
+  seq : int;
+  ts_ms : float;
+  metrics : Obs.Metrics.snapshot;
+  health : Obs.Health.class_status list;
+  drift : Obs.Health.stage_drift list;
+}
+
+type telemetry_line =
+  | Snapshot of telemetry_snapshot
+  | Log_line of Obs.Log.record
+
+val telemetry_line_of_json : Json.t -> telemetry_line
+val telemetry_line_of_string : string -> telemetry_line
 
 val roofline_schema_version : int
 (** Version stamped into (and required of) a serialized roofline

@@ -1,0 +1,35 @@
+(* Minimal JSON text rendering shared by the hand-rolled exporters of
+   this library (the logger's JSON lines and the telemetry stream).
+   [lib/obs] deliberately has zero in-repo dependencies, so it cannot
+   use [Harness.Json]; the output is plain JSON that the harness codecs
+   parse back. *)
+
+let string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+(* Non-finite floats are not representable in JSON; they render as 0,
+   matching the tracer's exporter. *)
+let float b f =
+  if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.17g" f)
+  else Buffer.add_string b "0"
+
+let int b i = Buffer.add_string b (string_of_int i)
+let bool b v = Buffer.add_string b (if v then "true" else "false")
+
+let key b first k =
+  if not first then Buffer.add_char b ',';
+  string b k;
+  Buffer.add_char b ':'

@@ -1,0 +1,15 @@
+(** Minimal JSON text rendering shared by this library's hand-rolled
+    exporters ({!Log} lines, the {!Telemetry} stream).  Internal —
+    [Harness.Obs_io] owns the parsing side. *)
+
+val string : Buffer.t -> string -> unit
+(** Appends a quoted, escaped JSON string. *)
+
+val float : Buffer.t -> float -> unit
+(** 17-significant-digit rendering; non-finite floats render as [0]. *)
+
+val int : Buffer.t -> int -> unit
+val bool : Buffer.t -> bool -> unit
+
+val key : Buffer.t -> bool -> string -> unit
+(** [key b first k] appends [,"k":] (the comma omitted when [first]). *)

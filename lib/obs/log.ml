@@ -1,0 +1,192 @@
+(* The structured leveled logger: one JSON-lines event stream for the
+   fleet service and the simulator's fault paths.
+
+   Recording follows the tracer's discipline: after the level check (one
+   atomic load) a record is either written straight to a channel (the
+   operator-facing mode, one mutex around the write) or pushed onto a
+   per-domain buffer.  Buffers are per-domain atomics — a push only ever
+   contends with the telemetry drainer, never with another worker — so
+   logging from every fleet worker at once stays lock-free on the hot
+   path.  [drain] hands the buffered records to whoever exports them
+   (the telemetry ticker, or a flush at exit).
+
+   A global cap bounds buffered memory: past [capacity] records the
+   logger drops and counts instead of growing, so a serve loop whose
+   exporter stalls cannot leak. *)
+
+type level = Debug | Info | Warn | Error
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "debug" -> Debug
+  | "info" -> Info
+  | "warn" | "warning" -> Warn
+  | "error" -> Error
+  | s -> invalid_arg (Printf.sprintf "unknown log level '%s'" s)
+
+type field = Str of string | Int of int | Float of float | Bool of bool
+
+type record = {
+  ts_ms : float;  (* epoch milliseconds *)
+  level : level;
+  domain : int;
+  event : string;
+  fields : (string * field) list;
+}
+
+type sink = Off | Buffered | Channel of out_channel
+
+let current_level = Atomic.make Info
+let current_sink = Atomic.make Off
+
+let set_level l = Atomic.set current_level l
+let level () = Atomic.get current_level
+let enabled l = severity l >= severity (Atomic.get current_level)
+
+(* ---- buffered mode ----
+
+   One cell per (domain, sink generation), discovered through a DLS
+   slot; a new [set_sink Buffered] bumps the generation so stale
+   buffers never leak into a fresh stream. *)
+
+type cell = { gen : int; buf : record list Atomic.t }
+
+let generation = Atomic.make 0
+let registry_lock = Mutex.create ()
+let registry : cell list ref = ref []
+let buffered_records = Atomic.make 0
+let dropped_records = Atomic.make 0
+let capacity = 65536
+
+let slot : cell option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let cell () =
+  let r = Domain.DLS.get slot in
+  let gen = Atomic.get generation in
+  match !r with
+  | Some c when c.gen = gen -> c
+  | _ ->
+    let c = { gen; buf = Atomic.make [] } in
+    Mutex.lock registry_lock;
+    registry := c :: !registry;
+    Mutex.unlock registry_lock;
+    r := Some c;
+    c
+
+let push r =
+  if Atomic.get buffered_records >= capacity then Atomic.incr dropped_records
+  else begin
+    Atomic.incr buffered_records;
+    let c = cell () in
+    let rec go () =
+      let old = Atomic.get c.buf in
+      if not (Atomic.compare_and_set c.buf old (r :: old)) then go ()
+    in
+    go ()
+  end
+
+let buffered () = Atomic.get buffered_records
+let dropped () = Atomic.get dropped_records
+
+let drain () =
+  Mutex.lock registry_lock;
+  let cells = !registry in
+  Mutex.unlock registry_lock;
+  let all =
+    List.concat_map (fun c -> List.rev (Atomic.exchange c.buf [])) cells
+  in
+  ignore (Atomic.fetch_and_add buffered_records (-List.length all));
+  List.stable_sort (fun a b -> Float.compare a.ts_ms b.ts_ms) all
+
+(* ---- rendering ---- *)
+
+let buf_field b = function
+  | Str s -> Jtext.string b s
+  | Int i -> Jtext.int b i
+  | Float f -> Jtext.float b f
+  | Bool v -> Jtext.bool b v
+
+(* One JSON line, matching what [Harness.Obs_io.telemetry_of_json]
+   parses back: the ["type"] tag keeps log lines distinguishable inside
+   a telemetry stream. *)
+let to_json_line r =
+  let b = Buffer.create 160 in
+  Buffer.add_char b '{';
+  Jtext.key b true "type";
+  Jtext.string b "log";
+  Jtext.key b false "ts_ms";
+  Jtext.float b r.ts_ms;
+  Jtext.key b false "level";
+  Jtext.string b (level_name r.level);
+  Jtext.key b false "domain";
+  Jtext.int b r.domain;
+  Jtext.key b false "event";
+  Jtext.string b r.event;
+  Jtext.key b false "fields";
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      Jtext.key b (i = 0) k;
+      buf_field b v)
+    r.fields;
+  Buffer.add_string b "}}";
+  Buffer.contents b
+
+(* ---- recording ---- *)
+
+let channel_lock = Mutex.create ()
+
+let set_sink s =
+  (match s with
+  | Buffered ->
+    (* Fresh stream: retire every existing buffer. *)
+    Mutex.lock registry_lock;
+    registry := [];
+    Atomic.incr generation;
+    Atomic.set buffered_records 0;
+    Atomic.set dropped_records 0;
+    Mutex.unlock registry_lock
+  | Off | Channel _ -> ());
+  Atomic.set current_sink s
+
+let sink () = Atomic.get current_sink
+
+let log lvl ?(fields = []) event =
+  match Atomic.get current_sink with
+  | Off -> ()
+  | (Buffered | Channel _) as s ->
+    if enabled lvl then begin
+      let r =
+        {
+          ts_ms = Unix.gettimeofday () *. 1000.0;
+          level = lvl;
+          domain = (Domain.self () :> int);
+          event;
+          fields;
+        }
+      in
+      match s with
+      | Buffered -> push r
+      | Channel oc ->
+        let line = to_json_line r in
+        Mutex.lock channel_lock;
+        output_string oc line;
+        output_char oc '\n';
+        flush oc;
+        Mutex.unlock channel_lock
+      | Off -> ()
+    end
+
+let debug ?fields event = log Debug ?fields event
+let info ?fields event = log Info ?fields event
+let warn ?fields event = log Warn ?fields event
+let error ?fields event = log Error ?fields event

@@ -1,0 +1,62 @@
+(** Structured leveled logging for the fleet service.
+
+    One process-wide logger with an atomic level gate and three sink
+    modes.  [Off] (the default) makes every call a single atomic load;
+    [Channel] writes JSON lines immediately (the [serve] stderr mode);
+    [Buffered] pushes onto per-domain lock-free buffers for a drainer —
+    the telemetry exporter — to collect, mirroring {!Tracer}'s
+    per-domain sink discipline. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_name : level -> string
+(** ["debug"], ["info"], ["warn"], ["error"]. *)
+
+val level_of_string : string -> level
+(** Inverse of {!level_name} (also accepts ["warning"]); raises
+    [Invalid_argument] on unknown names. *)
+
+type field = Str of string | Int of int | Float of float | Bool of bool
+
+type record = {
+  ts_ms : float;  (** epoch milliseconds *)
+  level : level;
+  domain : int;  (** emitting domain id *)
+  event : string;
+  fields : (string * field) list;
+}
+
+type sink = Off | Buffered | Channel of out_channel
+
+val set_level : level -> unit
+val level : unit -> level
+
+val enabled : level -> bool
+(** [enabled l] is true when records at [l] pass the current gate.  Use
+    it to skip expensive argument construction. *)
+
+val set_sink : sink -> unit
+(** Switching to [Buffered] starts a fresh stream: previously buffered
+    records are discarded and the drop counter resets. *)
+
+val sink : unit -> sink
+
+val log : level -> ?fields:(string * field) list -> string -> unit
+val debug : ?fields:(string * field) list -> string -> unit
+val info : ?fields:(string * field) list -> string -> unit
+val warn : ?fields:(string * field) list -> string -> unit
+val error : ?fields:(string * field) list -> string -> unit
+
+val drain : unit -> record list
+(** Takes every buffered record (all domains), sorted by timestamp.
+    Only meaningful under the [Buffered] sink. *)
+
+val buffered : unit -> int
+(** Records currently awaiting {!drain}. *)
+
+val dropped : unit -> int
+(** Records discarded because the buffer cap was reached. *)
+
+val to_json_line : record -> string
+(** One-line JSON rendering:
+    [{"type":"log","ts_ms":…,"level":…,"domain":…,"event":…,"fields":{…}}]. *)

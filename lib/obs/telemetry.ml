@@ -1,0 +1,356 @@
+(* The continuous-telemetry exporter: a ticker domain that periodically
+   snapshots the metrics registry, folds in the health/SLO plane and any
+   buffered log records, and writes the result as
+
+   - JSON lines (one ["snapshot"] object per tick, log records
+     interleaved as ["log"] lines) — the stream `lsq_cli monitor` tails;
+   - Prometheus text exposition (rewritten whole each tick when the
+     target is a file, appended when it is a channel).
+
+   Timing: the ticker sleeps in short slices so [stop] takes effect
+   within ~50 ms rather than a full interval.  The first tick fires
+   immediately at [start] and a final tick fires inside [stop], so even
+   a workload shorter than one interval yields at least two snapshots
+   with a defined end state. *)
+
+type target = File of string | Chan of out_channel
+
+type sink = {
+  oc : out_channel;
+  owned : bool;  (* opened from a [File] target: close on stop *)
+  path : string option;  (* [File] target: prometheus rewrites in place *)
+}
+
+type t = {
+  interval_ms : float;
+  registry : Metrics.t;
+  jsonl : sink;
+  prom : sink option;
+  stop_flag : bool Atomic.t;
+  ticks : int Atomic.t;
+  seq : int ref;  (* ticker-domain only *)
+  mutable ticker : unit Domain.t option;
+}
+
+let open_target = function
+  | File path -> { oc = open_out path; owned = true; path = Some path }
+  | Chan oc -> { oc; owned = false; path = None }
+
+let close_sink s =
+  flush s.oc;
+  if s.owned then close_out s.oc
+
+(* ---- JSON lines ---- *)
+
+(* Mirrors [Harness.Obs_io.json_of_metric]: same keys, and the same
+   rule that zero-count histograms omit their quantile estimates. *)
+let buf_metric b (name, value) =
+  Buffer.add_char b '{';
+  Jtext.key b true "name";
+  Jtext.string b name;
+  (match value with
+  | Metrics.Counter v ->
+    Jtext.key b false "kind";
+    Jtext.string b "counter";
+    Jtext.key b false "value";
+    Jtext.int b v
+  | Metrics.Gauge v ->
+    Jtext.key b false "kind";
+    Jtext.string b "gauge";
+    Jtext.key b false "value";
+    Jtext.float b v
+  | Metrics.Histogram { bounds; counts; count; sum; p50; p95; p99 } ->
+    Jtext.key b false "kind";
+    Jtext.string b "histogram";
+    Jtext.key b false "bounds";
+    Buffer.add_char b '[';
+    Array.iteri
+      (fun i bound ->
+        if i > 0 then Buffer.add_char b ',';
+        Jtext.float b bound)
+      bounds;
+    Buffer.add_char b ']';
+    Jtext.key b false "counts";
+    Buffer.add_char b '[';
+    Array.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_char b ',';
+        Jtext.int b c)
+      counts;
+    Buffer.add_char b ']';
+    Jtext.key b false "count";
+    Jtext.int b count;
+    Jtext.key b false "sum";
+    Jtext.float b sum;
+    if count > 0 then begin
+      Jtext.key b false "p50";
+      Jtext.float b p50;
+      Jtext.key b false "p95";
+      Jtext.float b p95;
+      Jtext.key b false "p99";
+      Jtext.float b p99
+    end);
+  Buffer.add_char b '}'
+
+let buf_opt_float b first k = function
+  | None -> ()
+  | Some v ->
+    Jtext.key b first k;
+    Jtext.float b v
+
+let buf_class_status b (s : Health.class_status) =
+  Buffer.add_char b '{';
+  Jtext.key b true "cls";
+  Jtext.string b s.cls;
+  Jtext.key b false "window";
+  Jtext.int b s.window;
+  buf_opt_float b false "p95_ms" s.p95_ms;
+  buf_opt_float b false "slo_ms" s.slo_ms;
+  Jtext.key b false "slo_ok";
+  Jtext.bool b s.slo_ok;
+  Jtext.key b false "total";
+  Jtext.int b s.total;
+  Jtext.key b false "failures";
+  Jtext.int b s.failures;
+  buf_opt_float b false "budget" s.budget;
+  Jtext.key b false "budget_used";
+  Jtext.float b s.budget_used;
+  Jtext.key b false "budget_ok";
+  Jtext.bool b s.budget_ok;
+  Buffer.add_char b '}'
+
+let buf_stage_drift b (d : Health.stage_drift) =
+  Buffer.add_char b '{';
+  Jtext.key b true "stage";
+  Jtext.string b d.stage;
+  Jtext.key b false "predicted_ms";
+  Jtext.float b d.predicted_ms;
+  Jtext.key b false "measured_ms";
+  Jtext.float b d.measured_ms;
+  Jtext.key b false "ratio";
+  Jtext.float b d.ratio;
+  Jtext.key b false "samples";
+  Jtext.int b d.samples;
+  Jtext.key b false "drifted";
+  Jtext.bool b d.drifted;
+  Buffer.add_char b '}'
+
+let buf_list b f xs =
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i x ->
+      if i > 0 then Buffer.add_char b ',';
+      f b x)
+    xs;
+  Buffer.add_char b ']'
+
+let snapshot_line ~seq ~ts_ms snap health drift =
+  let b = Buffer.create 4096 in
+  Buffer.add_char b '{';
+  Jtext.key b true "type";
+  Jtext.string b "snapshot";
+  Jtext.key b false "seq";
+  Jtext.int b seq;
+  Jtext.key b false "ts_ms";
+  Jtext.float b ts_ms;
+  Jtext.key b false "metrics";
+  buf_list b buf_metric snap;
+  Jtext.key b false "health";
+  buf_list b buf_class_status health;
+  Jtext.key b false "drift";
+  buf_list b buf_stage_drift drift;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* ---- Prometheus text exposition ---- *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+(* Dotted metric names map onto Prometheus families: a name with three
+   or more segments keeps its first two as the family and carries the
+   rest as an [instance] label, so per-instance series like
+   [fleet.util.v100#0] group under one [mdls_fleet_util] family. *)
+let family name =
+  match String.split_on_char '.' name with
+  | a :: b :: (_ :: _ as rest) -> (a ^ "_" ^ b, Some (String.concat "." rest))
+  | _ -> (sanitize name, None)
+
+let prom_label = function
+  | None -> ""
+  | Some inst ->
+    let b = Buffer.create 24 in
+    Buffer.add_string b "{instance=\"";
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      inst;
+    Buffer.add_string b "\"}";
+    Buffer.contents b
+
+let prom_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let prometheus_of_snapshot ?(prefix = "mdls_") (snap : Metrics.snapshot) =
+  let b = Buffer.create 4096 in
+  let typed = Hashtbl.create 32 in
+  let header name kind =
+    if not (Hashtbl.mem typed name) then begin
+      Hashtbl.replace typed name ();
+      Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
+  in
+  (* Snapshots are name-sorted, so all instances of a family are
+     adjacent and one TYPE header per family suffices. *)
+  List.iter
+    (fun (name, value) ->
+      let fam, inst = family name in
+      let fam = prefix ^ sanitize fam in
+      let label = prom_label inst in
+      match value with
+      | Metrics.Counter v ->
+        let fam = fam ^ "_total" in
+        header fam "counter";
+        Buffer.add_string b (Printf.sprintf "%s%s %d\n" fam label v)
+      | Metrics.Gauge v ->
+        header fam "gauge";
+        Buffer.add_string b
+          (Printf.sprintf "%s%s %s\n" fam label (prom_float v))
+      | Metrics.Histogram { bounds; counts; count; sum; _ } ->
+        header fam "histogram";
+        let cumulative = ref 0 in
+        Array.iteri
+          (fun i bound ->
+            cumulative := !cumulative + counts.(i);
+            let le = prom_float bound in
+            let labels =
+              match inst with
+              | None -> Printf.sprintf "{le=\"%s\"}" le
+              | Some _ ->
+                let base = prom_label inst in
+                String.sub base 0 (String.length base - 1)
+                ^ Printf.sprintf ",le=\"%s\"}" le
+            in
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket%s %d\n" fam labels !cumulative))
+          bounds;
+        let inf_labels =
+          match inst with
+          | None -> "{le=\"+Inf\"}"
+          | Some _ ->
+            let base = prom_label inst in
+            String.sub base 0 (String.length base - 1) ^ ",le=\"+Inf\"}"
+        in
+        Buffer.add_string b
+          (Printf.sprintf "%s_bucket%s %d\n" fam inf_labels count);
+        Buffer.add_string b
+          (Printf.sprintf "%s_sum%s %s\n" fam label (prom_float sum));
+        Buffer.add_string b (Printf.sprintf "%s_count%s %d\n" fam label count))
+    snap;
+  Buffer.contents b
+
+(* ---- the ticker ---- *)
+
+let write_prom t exposition =
+  match t.prom with
+  | None -> ()
+  | Some s -> (
+    match s.path with
+    | Some path ->
+      (* Rewrite in place so the file is always one complete scrape. *)
+      let oc = open_out path in
+      output_string oc exposition;
+      close_out oc
+    | None ->
+      output_string s.oc exposition;
+      flush s.oc)
+
+let tick t =
+  let ts_ms = Unix.gettimeofday () *. 1000.0 in
+  let snap = Metrics.snapshot t.registry in
+  let health = Health.status () in
+  let drift = Health.drift () in
+  (match Log.sink () with
+  | Log.Buffered ->
+    List.iter
+      (fun r ->
+        output_string t.jsonl.oc (Log.to_json_line r);
+        output_char t.jsonl.oc '\n')
+      (Log.drain ())
+  | _ -> ());
+  output_string t.jsonl.oc (snapshot_line ~seq:!(t.seq) ~ts_ms snap health drift);
+  output_char t.jsonl.oc '\n';
+  flush t.jsonl.oc;
+  incr t.seq;
+  write_prom t (prometheus_of_snapshot snap);
+  Atomic.incr t.ticks
+
+let slice_ms = 50.0
+
+let ticker_loop t =
+  tick t;
+  (* The immediate tick above plus the final tick in [stop] guarantee
+     at least two snapshots per run. *)
+  let rec wait remaining =
+    if Atomic.get t.stop_flag then false
+    else if remaining <= 0.0 then true
+    else begin
+      let s = Float.min slice_ms remaining in
+      Unix.sleepf (s /. 1000.0);
+      wait (remaining -. s)
+    end
+  in
+  let rec loop () =
+    if wait t.interval_ms then begin
+      tick t;
+      loop ()
+    end
+  in
+  loop ()
+
+let start ?(interval_ms = 1000.0) ?registry ?prom jsonl =
+  if not (Float.is_finite interval_ms) || interval_ms <= 0.0 then
+    invalid_arg "Telemetry.start: interval_ms must be positive";
+  let registry =
+    match registry with Some r -> r | None -> Metrics.default ()
+  in
+  let t =
+    {
+      interval_ms;
+      registry;
+      jsonl = open_target jsonl;
+      prom = Option.map open_target prom;
+      stop_flag = Atomic.make false;
+      ticks = Atomic.make 0;
+      seq = ref 0;
+      ticker = None;
+    }
+  in
+  t.ticker <- Some (Domain.spawn (fun () -> ticker_loop t));
+  t
+
+let ticks t = Atomic.get t.ticks
+
+let stop t =
+  match t.ticker with
+  | None -> ()
+  | Some d ->
+    t.ticker <- None;
+    Atomic.set t.stop_flag true;
+    Domain.join d;
+    (* Final tick from the stopping domain: the ticker has exited, so
+       the sinks are single-writer again. *)
+    tick t;
+    close_sink t.jsonl;
+    Option.iter close_sink t.prom

@@ -117,6 +117,12 @@ let settle ~backoff_ms ~queued_at (job : Job.t) =
     Obs.Tracer.instant ~cat:"sched"
       ~args:[ ("job", Obs.Tracer.Str job.Job.id) ]
       "timeout";
+    Obs.Log.warn "job.timeout"
+      ~fields:
+        [
+          ("job", Obs.Log.Str job.Job.id);
+          ("message", Obs.Log.Str message);
+        ];
     Failed { message; timed_out = true; retryable = false }
   in
   let deadline =
@@ -179,6 +185,14 @@ let settle ~backoff_ms ~queued_at (job : Job.t) =
           else finish attempt (Completed report)
         | Error (message, retryable) ->
           if retryable && attempt < max_attempts then begin
+            Obs.Log.warn "job.retry"
+              ~fields:
+                [
+                  ("job", Obs.Log.Str job.Job.id);
+                  ("attempt", Obs.Log.Int attempt);
+                  ("of", Obs.Log.Int max_attempts);
+                  ("error", Obs.Log.Str message);
+                ];
             let pause =
               backoff_ms *. Float.of_int (1 lsl (attempt - 1)) /. 1000.0
             in

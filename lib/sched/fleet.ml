@@ -155,6 +155,10 @@ let latency_histogram inst =
 let depth_gauge inst = m_gauge ("fleet.queue_depth." ^ inst.id)
 let util_gauge inst = m_gauge ("fleet.util." ^ inst.id)
 
+(* 1.0 while the instance's worker is executing a job — the live
+   counterpart of the time-averaged [util_gauge]. *)
+let inflight_gauge inst = m_gauge ("fleet.inflight." ^ inst.id)
+
 (* ---- roofline placement ---- *)
 
 (* Jobs are classified compute- vs memory-bound on a fixed reference
@@ -207,6 +211,63 @@ let classify_job (job : Job.t) =
     Hashtbl.replace classify_memo key bound;
     Mutex.unlock classify_lock;
     bound
+
+(* Fault-free roofline stage predictions on the device a job actually
+   executed with, feeding the health plane's cost-model drift detector:
+   fault-free measured breakdowns reproduce these exactly, so any gap is
+   either fault recovery or a miscalibrated model.  Memoized like
+   [classify_memo]; [None] marks unplannable shapes. *)
+let predict_memo :
+    ( Job.kind * Multidouble.Precision.tag * bool * int * int option * int
+      * string,
+      (string * float) list option )
+    Hashtbl.t =
+  Hashtbl.create 64
+
+let predict_lock = Mutex.create ()
+
+let predicted_stages (job : Job.t) =
+  let key =
+    ( job.Job.kind,
+      job.Job.prec,
+      job.Job.complex,
+      job.Job.dim,
+      job.Job.rows,
+      job.Job.tile,
+      job.Job.device )
+  in
+  Mutex.lock predict_lock;
+  let cached = Hashtbl.find_opt predict_memo key in
+  Mutex.unlock predict_lock;
+  match cached with
+  | Some p -> p
+  | None ->
+    let predicted =
+      match D.by_name job.Job.device with
+      | exception Invalid_argument _ -> None
+      | device -> (
+        try
+          let complex = job.Job.complex in
+          let prec = job.Job.prec in
+          let dim = job.Job.dim and tile = job.Job.tile in
+          let stages =
+            match job.Job.kind with
+            | Job.Qr ->
+              R.qr_roofline ~complex ?rows:job.Job.rows prec device ~n:dim
+                ~tile
+            | Job.Backsub -> R.bs_roofline ~complex prec device ~dim ~tile
+            | Job.Solve -> R.solve_roofline ~complex prec device ~n:dim ~tile
+          in
+          Some
+            (List.map
+               (fun (s : Obs.Roofline.stage) -> (s.Obs.Roofline.stage, s.Obs.Roofline.ms))
+               stages)
+        with _ -> None)
+    in
+    Mutex.lock predict_lock;
+    Hashtbl.replace predict_memo key predicted;
+    Mutex.unlock predict_lock;
+    predicted
 
 (* Distinct device classes of the pool, in pool order. *)
 let classes t =
@@ -329,6 +390,7 @@ let utilization t inst ~now =
 (* One claimed entry, start to finish; runs outside the fleet lock. *)
 let execute t inst entry ~stolen =
   let job = effective_job t inst entry.q_job in
+  let admitted_to = t.instances.(entry.q_admitted_to).id in
   if stolen then begin
     Atomic.incr t.total_steals;
     Metrics.Counter.incr (m_steals ());
@@ -337,8 +399,16 @@ let execute t inst entry ~stolen =
         [
           ("job", Obs.Tracer.Str job.Job.id);
           ("by", Obs.Tracer.Str inst.id);
+          ("owner", Obs.Tracer.Str admitted_to);
         ]
-      "steal"
+      "steal";
+    Obs.Log.info "fleet.steal"
+      ~fields:
+        [
+          ("job", Obs.Log.Str job.Job.id);
+          ("by", Obs.Log.Str inst.id);
+          ("owner", Obs.Log.Str admitted_to);
+        ]
   end;
   let attempts, elapsed_ms, timing, status =
     Pool.isolate (fun () ->
@@ -347,7 +417,6 @@ let execute t inst entry ~stolen =
   in
   let now = Engine.now_ms () in
   let latency_ms = Float.max 0.0 (now -. entry.q_admitted_at) in
-  let admitted_to = t.instances.(entry.q_admitted_to).id in
   let outcome =
     {
       Engine.job;
@@ -374,6 +443,44 @@ let execute t inst entry ~stolen =
      | Engine.Failed _ -> m_failed)
        ());
   Metrics.Histogram.observe (latency_histogram inst) latency_ms;
+  let cls = class_slug inst.device in
+  (match status with
+  | Engine.Completed report ->
+    Obs.Health.observe ~cls ~ok:true ~latency_ms;
+    Obs.Log.debug "fleet.job_completed"
+      ~fields:
+        [
+          ("job", Obs.Log.Str job.Job.id);
+          ("instance", Obs.Log.Str inst.id);
+          ("attempts", Obs.Log.Int attempts);
+          ("latency_ms", Obs.Log.Float latency_ms);
+        ];
+    (* Drift: fault-free roofline prediction vs the measured breakdown,
+       stage by stage.  Stages the model does not plan (e.g. the ABFT
+       checks of fault-tolerant runs) have no prediction and are
+       skipped. *)
+    (match predicted_stages job with
+    | Some predicted ->
+      List.iter
+        (fun (row : Harness.Report.Row.t) ->
+          match List.assoc_opt row.Harness.Report.Row.stage predicted with
+          | Some predicted_ms ->
+            Obs.Health.observe_model ~stage:row.Harness.Report.Row.stage
+              ~predicted_ms ~measured_ms:row.Harness.Report.Row.ms
+          | None -> ())
+        report.Harness.Report.stages
+    | None -> ())
+  | Engine.Failed f ->
+    Obs.Health.observe ~cls ~ok:false ~latency_ms;
+    Obs.Log.error "fleet.job_failed"
+      ~fields:
+        [
+          ("job", Obs.Log.Str job.Job.id);
+          ("instance", Obs.Log.Str inst.id);
+          ("attempts", Obs.Log.Int attempts);
+          ("message", Obs.Log.Str f.Engine.message);
+          ("timed_out", Obs.Log.Bool f.Engine.timed_out);
+        ]);
   Mutex.lock t.lock;
   inst.running <- false;
   inst.executed <- inst.executed + 1;
@@ -384,6 +491,7 @@ let execute t inst entry ~stolen =
   Condition.broadcast t.changed;
   Mutex.unlock t.lock;
   Metrics.Gauge.set (util_gauge inst) (utilization t inst ~now);
+  Metrics.Gauge.set (inflight_gauge inst) 0.0;
   match t.on_outcome with
   | Some f -> ( try f outcome with _ -> ())
   | None -> ()
@@ -426,6 +534,7 @@ let worker t index () =
     match claim t inst with
     | Some (entry, stolen) ->
       inst.running <- true;
+      Metrics.Gauge.set (inflight_gauge inst) 1.0;
       Metrics.Gauge.set
         (depth_gauge t.instances.(entry.q_admitted_to))
         (float_of_int (Queue.length t.instances.(entry.q_admitted_to).queue));
@@ -500,11 +609,17 @@ let submit t (job : Job.t) =
     if t.stopping then Error Draining
     else
       match place t job with
-      | Error _ as e ->
+      | Error r as e ->
         Metrics.Counter.incr (m_rejected ());
         Obs.Tracer.instant ~cat:"fleet"
           ~args:[ ("job", Obs.Tracer.Str job.Job.id) ]
           "reject";
+        Obs.Log.warn "fleet.reject"
+          ~fields:
+            [
+              ("job", Obs.Log.Str job.Job.id);
+              ("reason", Obs.Log.Str (reject_message r));
+            ];
         e
       | Ok inst ->
         let ticket = t.next_ticket in
@@ -530,6 +645,13 @@ let submit t (job : Job.t) =
               ("depth", Obs.Tracer.Int depth);
             ]
           "admit";
+        Obs.Log.debug "fleet.admit"
+          ~fields:
+            [
+              ("job", Obs.Log.Str job.Job.id);
+              ("to", Obs.Log.Str inst.id);
+              ("depth", Obs.Log.Int depth);
+            ];
         Condition.broadcast t.work;
         Ok ticket
   in

@@ -179,6 +179,61 @@ let test_steal_invariants () =
     (List.fold_left (fun acc (s : F.stats) -> acc + s.F.executed) 0
        (F.stats fleet))
 
+(* The fleet's steal instant must name both sides of the transfer: the
+   thief instance under "by" and the owning (admitted-to) instance under
+   "owner", so a trace reader can reconstruct queue migrations without
+   joining against the admit events. *)
+let test_steal_instant_args () =
+  let config =
+    {
+      F.Config.pool = [ (Some D.c2050, 1); (Some D.v100, 1) ];
+      max_queue_depth = 0;
+      backoff_ms = 30.0;
+      steal = true;
+      retain_outcomes = true;
+    }
+  in
+  Obs.Tracer.start ();
+  let fleet = F.create ~autostart:false config in
+  let jobs =
+    List.init 6 (fun i ->
+        solve ~device:"v100"
+          ~id:(Printf.sprintf "steal-args-%d" i)
+          ~prec:P.DD ~inject_failures:1 ~retries:1 ())
+  in
+  List.iter
+    (fun job ->
+      match F.submit fleet job with
+      | Ok _ -> ()
+      | Error r -> Alcotest.failf "rejected: %s" (F.reject_message r))
+    jobs;
+  F.start fleet;
+  ignore (F.drain fleet);
+  F.shutdown fleet;
+  Obs.Tracer.stop ();
+  let doc = Json.of_string (Obs.Tracer.export ()) in
+  let steals =
+    Json.get_list (Json.member "traceEvents" doc)
+    |> List.filter (fun e ->
+           Json.(get_string (member "name" e)) = "steal"
+           && Json.(get_string (member "cat" e)) = "fleet")
+  in
+  checki "one instant per recorded steal" (F.steals fleet)
+    (List.length steals);
+  check "stealing occurred" true (steals <> []);
+  List.iter
+    (fun e ->
+      let args = Json.member "args" e in
+      let job = Json.(get_string (member "job" args)) in
+      check "instant names the stolen job" true
+        (String.length job > String.length "steal-args-"
+        && String.sub job 0 11 = "steal-args-");
+      checks "owner is the admitted v100 instance" "v100#0"
+        Json.(get_string (member "owner" args));
+      checks "thief is the idle c2050 instance" "c2050#0"
+        Json.(get_string (member "by" args)))
+    steals
+
 (* With stealing off, jobs only run where they were admitted. *)
 let test_no_steal () =
   let config =
@@ -312,6 +367,8 @@ let () =
       ( "stealing",
         [
           Alcotest.test_case "steal invariants" `Quick test_steal_invariants;
+          Alcotest.test_case "steal instant carries thief and owner" `Quick
+            test_steal_instant_args;
           Alcotest.test_case "no stealing when disabled" `Quick test_no_steal;
         ] );
       ( "admission",

@@ -261,6 +261,33 @@ let test_snapshot_roundtrip () =
   in
   check "snapshot round-trips" true (back = snap)
 
+(* The quantiles of an empty distribution are undefined: the codec must
+   omit the keys (so consumers can tell "no data" from "zero latency")
+   and still round-trip by recomputing them from the buckets. *)
+let test_empty_histogram_omits_quantiles () =
+  let reg = M.create () in
+  ignore (M.histogram reg "empty.hist");
+  M.Histogram.observe (M.histogram reg "full.hist") 1.0;
+  let snap = M.snapshot reg in
+  let doc = Harness.Obs_io.json_of_metrics snap in
+  let metric name =
+    List.find
+      (fun j -> Json.(get_string (member "name" j)) = name)
+      (Json.get_list doc)
+  in
+  check "empty histogram omits p50" true
+    (Json.member "p50" (metric "empty.hist") = Json.Null);
+  check "empty histogram omits p95" true
+    (Json.member "p95" (metric "empty.hist") = Json.Null);
+  check "empty histogram omits p99" true
+    (Json.member "p99" (metric "empty.hist") = Json.Null);
+  check "populated histogram keeps p50" true
+    (Json.member "p50" (metric "full.hist") <> Json.Null);
+  let back =
+    Harness.Obs_io.metrics_of_json (Json.of_string (Json.to_string doc))
+  in
+  check "omission round-trips" true (back = snap)
+
 let test_sim_metrics_counted () =
   (* The simulator's always-on metrics: launches land in the default
      registry whether or not the tracer runs. *)
@@ -362,6 +389,205 @@ let test_roofline_json_roundtrip () =
   check "ridge" true (ridge' = ridge);
   check "stages round-trip" true (stages' = stages)
 
+(* ---- structured log ---- *)
+
+module L = Obs.Log
+module H = Obs.Health
+module Tel = Obs.Telemetry
+module OIO = Harness.Obs_io
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_log_gate_and_buffer () =
+  L.set_level L.Info;
+  L.set_sink L.Buffered;
+  L.debug "below the gate";
+  L.info "first" ~fields:[ ("k", L.Int 1) ];
+  L.warn "second"
+    ~fields:[ ("who", L.Str "x"); ("f", L.Float 1.5); ("b", L.Bool true) ];
+  checki "debug filtered, two buffered" 2 (L.buffered ());
+  let records = L.drain () in
+  checki "drained both" 2 (List.length records);
+  checki "drain empties the buffers" 0 (L.buffered ());
+  (match records with
+  | [ a; b ] ->
+    check "timestamp sorted" true (a.L.ts_ms <= b.L.ts_ms);
+    Alcotest.(check string) "first event" "first" a.L.event;
+    check "warn level" true (b.L.level = L.Warn);
+    check "fields survive" true
+      (b.L.fields
+      = [ ("who", L.Str "x"); ("f", L.Float 1.5); ("b", L.Bool true) ])
+  | _ -> Alcotest.fail "expected exactly two records");
+  L.set_sink L.Off;
+  L.info "while off";
+  checki "off records nothing" 0 (L.buffered ())
+
+let test_log_concurrent_drain () =
+  L.set_level L.Debug;
+  L.set_sink L.Buffered;
+  let domains =
+    Array.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to 100 do
+              L.info (Printf.sprintf "d%d-%d" d i)
+            done))
+  in
+  Array.iter Domain.join domains;
+  let records = L.drain () in
+  L.set_sink L.Off;
+  L.set_level L.Info;
+  checki "every record from every domain drained" 400 (List.length records);
+  checki "no drops below the cap" 0 (L.dropped ())
+
+let test_log_json_roundtrip () =
+  L.set_level L.Debug;
+  L.set_sink L.Buffered;
+  L.warn "evt"
+    ~fields:
+      [
+        ("s", L.Str "a\"b\\c\nd");
+        ("i", L.Int (-3));
+        ("f", L.Float 0.25);
+        ("ok", L.Bool false);
+      ];
+  let r = List.hd (L.drain ()) in
+  L.set_sink L.Off;
+  L.set_level L.Info;
+  match OIO.telemetry_line_of_string (L.to_json_line r) with
+  | OIO.Log_line r' -> check "log line round-trips" true (r' = r)
+  | OIO.Snapshot _ -> Alcotest.fail "log line parsed as a snapshot"
+
+(* ---- health / SLO ---- *)
+
+let test_health_slo_and_budget () =
+  H.reset ();
+  H.set_slo ~cls:"v100" ~p95_ms:10.0;
+  H.set_error_budget ~cls:"v100" 0.5;
+  for _ = 1 to 19 do
+    H.observe ~cls:"v100" ~ok:true ~latency_ms:5.0
+  done;
+  H.observe ~cls:"v100" ~ok:false ~latency_ms:5.0;
+  (match H.status () with
+  | [ s ] ->
+    check "p95 of the window" true (s.H.p95_ms = Some 5.0);
+    check "within the SLO" true s.H.slo_ok;
+    checki "failures counted" 1 s.H.failures;
+    check "budget used 10%" true (Float.abs (s.H.budget_used -. 0.1) < 1e-9);
+    check "budget holds" true s.H.budget_ok
+  | ss -> Alcotest.failf "expected one class, got %d" (List.length ss));
+  (* Two slow outcomes push the window's p95 past the target; a tight
+     budget is exhausted by the same failure count. *)
+  H.observe ~cls:"v100" ~ok:true ~latency_ms:100.0;
+  H.observe ~cls:"v100" ~ok:true ~latency_ms:100.0;
+  H.set_error_budget ~cls:"v100" 0.01;
+  (match H.status () with
+  | [ s ] ->
+    check "SLO breached" false s.H.slo_ok;
+    check "budget exhausted" false s.H.budget_ok
+  | _ -> Alcotest.fail "expected one class");
+  H.reset ()
+
+let test_health_drift () =
+  H.reset ();
+  L.set_level L.Info;
+  L.set_sink L.Buffered;
+  (* Calibrated model: measured equals predicted, detector quiet. *)
+  H.observe_model ~stage:"s" ~predicted_ms:2.0 ~measured_ms:2.0;
+  (match H.drift () with
+  | [ d ] -> check "quiet when calibrated" false d.H.drifted
+  | _ -> Alcotest.fail "expected one stage");
+  checki "no warning raised" 0 (List.length (L.drain ()));
+  (* Miscalibrated: cumulative measured is 2x predicted — flagged, and
+     a structured model_drift warning rides the log. *)
+  H.observe_model ~stage:"s" ~predicted_ms:2.0 ~measured_ms:6.0;
+  (match H.drift () with
+  | [ d ] ->
+    check "drift flagged" true d.H.drifted;
+    check "ratio is 2x" true (Float.abs (d.H.ratio -. 2.0) < 1e-9);
+    checki "both samples counted" 2 d.H.samples
+  | _ -> Alcotest.fail "expected one stage");
+  let logs = L.drain () in
+  check "model_drift warning logged" true
+    (List.exists (fun (r : L.record) -> r.L.event = "model_drift") logs);
+  (* Still inside the same excursion: no duplicate warning. *)
+  H.observe_model ~stage:"s" ~predicted_ms:1.0 ~measured_ms:3.0;
+  check "one warning per excursion" true
+    (not
+       (List.exists
+          (fun (r : L.record) -> r.L.event = "model_drift")
+          (L.drain ())));
+  L.set_sink L.Off;
+  H.reset ()
+
+(* ---- telemetry exporter ---- *)
+
+let test_prometheus_exposition () =
+  let reg = M.create () in
+  M.Counter.incr ~by:7 (M.counter reg "fleet.submitted");
+  M.Gauge.set (M.gauge reg "fleet.util.v100#0") 0.25;
+  let h = M.histogram ~buckets:M.latency_buckets reg "fleet.latency_ms.v100" in
+  M.Histogram.observe h 1.0;
+  M.Histogram.observe h 100.0;
+  let text = Tel.prometheus_of_snapshot (M.snapshot reg) in
+  check "counter type declared" true
+    (contains text "# TYPE mdls_fleet_submitted_total counter");
+  check "counter sample" true (contains text "mdls_fleet_submitted_total 7");
+  check "instance label from the third segment" true
+    (contains text "mdls_fleet_util{instance=\"v100#0\"} 0.25");
+  check "histogram type declared" true
+    (contains text "# TYPE mdls_fleet_latency_ms histogram");
+  check "+Inf bucket carries the count" true
+    (contains text "mdls_fleet_latency_ms_bucket{instance=\"v100\",le=\"+Inf\"} 2");
+  check "histogram count series" true
+    (contains text "mdls_fleet_latency_ms_count{instance=\"v100\"} 2")
+
+let test_telemetry_exporter () =
+  let reg = M.create () in
+  M.Counter.incr ~by:3 (M.counter reg "fleet.submitted");
+  M.Gauge.set (M.gauge reg "fleet.util.v100#0") 0.5;
+  let path = Filename.temp_file "tel_test" ".jsonl" in
+  let t = Tel.start ~interval_ms:10.0 ~registry:reg (Tel.File path) in
+  Unix.sleepf 0.05;
+  M.Counter.incr ~by:2 (M.counter reg "fleet.submitted");
+  Tel.stop t;
+  check "at least two ticks" true (Tel.ticks t >= 2);
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (OIO.telemetry_line_of_string line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  let snapshots =
+    List.filter_map
+      (function OIO.Snapshot s -> Some s | OIO.Log_line _ -> None)
+      (go [])
+  in
+  Sys.remove path;
+  check "one snapshot per tick" true (List.length snapshots = Tel.ticks t);
+  let submitted (s : OIO.telemetry_snapshot) =
+    match List.assoc_opt "fleet.submitted" s.OIO.metrics with
+    | Some (M.Counter c) -> c
+    | _ -> Alcotest.fail "snapshot lost the counter"
+  in
+  let first = List.hd snapshots in
+  let last = List.nth snapshots (List.length snapshots - 1) in
+  checki "sequence starts at zero" 0 first.OIO.seq;
+  checki "immediate first tick sees the initial value" 3 (submitted first);
+  checki "final tick sees the update" 5 (submitted last);
+  check "counter monotone across snapshots" true
+    (fst
+       (List.fold_left
+          (fun (ok, prev) s -> (ok && submitted s >= prev, submitted s))
+          (true, 0) snapshots));
+  check "gauge survives the stream" true
+    (List.assoc_opt "fleet.util.v100#0" last.OIO.metrics
+    = Some (M.Gauge 0.5))
+
 let () =
   Alcotest.run "obs"
     [
@@ -387,8 +613,31 @@ let () =
             test_once_concurrent_first_use;
           Alcotest.test_case "snapshot json round-trip" `Quick
             test_snapshot_roundtrip;
+          Alcotest.test_case "empty histogram omits quantiles" `Quick
+            test_empty_histogram_omits_quantiles;
           Alcotest.test_case "simulator counters" `Quick
             test_sim_metrics_counted;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "level gate and buffering" `Quick
+            test_log_gate_and_buffer;
+          Alcotest.test_case "concurrent push, single drain" `Quick
+            test_log_concurrent_drain;
+          Alcotest.test_case "json line round-trip" `Quick
+            test_log_json_roundtrip;
+        ] );
+      ( "health",
+        [
+          Alcotest.test_case "slo and error budget" `Quick
+            test_health_slo_and_budget;
+          Alcotest.test_case "cost-model drift" `Quick test_health_drift;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "prometheus exposition" `Quick
+            test_prometheus_exposition;
+          Alcotest.test_case "exporter stream" `Quick test_telemetry_exporter;
         ] );
       ( "roofline",
         [
