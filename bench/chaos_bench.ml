@@ -1,0 +1,469 @@
+(* Chaos smoke: the resilience-plane regression gate.
+
+   Four phases, all seeded and deterministic, exiting 1 on any broken
+   invariant and writing BENCH_chaos.json:
+
+   1. Chaos campaign + crash/resume.  A crash+hang+brownout campaign
+      (seed searched deterministically so all three kinds strike the
+      8-instance pool) runs under a write-ahead journal, with the serve
+      process "killed" mid-campaign: only part of the stream was
+      submitted, only part of the settled outcomes reached the client,
+      and the journal tail is torn.  A resumed run replays the journal
+      and finishes the stream.  Gates: every job yields exactly one
+      schema-valid outcome line across the union of both runs, replayed
+      lines are byte-identical, migrated jobs carry their migration
+      trail, and the final journal replay shows every job committed.
+
+   2. Hedged execution.  A straggler (failure-injected job sleeping in
+      retry backoff) on a two-instance pool must get a duplicate, the
+      ticket must settle exactly once with the hedge flag, and the
+      byte-equality check must record zero mismatches.  (In this
+      simulated world stragglers are deterministic, so the duplicate
+      reproduces the straggle and the original usually wins — the win
+      rate is recorded, not gated.)
+
+   3. Circuit breakers.  Poison jobs (every attempt fails) must open an
+      instance breaker; after the cool-off, healthy traffic must probe
+      it half-open and close it.
+
+   4. Overhead.  The full resilience plane armed but quiet (chaos drawn
+      at rate 0, hedging enabled with an unreachable floor, breakers
+      on) must cost <= 1.10x the wall time of a plain fleet on the same
+      batch (min of 5 runs each). *)
+
+module P = Multidouble.Precision
+module D = Gpusim.Device
+module Json = Harness.Json
+module Job = Sched.Job
+module F = Sched.Fleet
+module S = Sched.Scheduler
+module Jn = Sched.Journal
+module Chaos = Fault.Chaos
+module M = Obs.Metrics
+
+let pf = Printf.printf
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let counter name =
+  M.Counter.value (M.counter (M.default ()) name)
+
+let solve ?(device = "auto") ?inject_failures ?retries ~id () =
+  Job.make ?inject_failures ?retries ~id ~kind:Job.Solve ~device ~prec:P.DD
+    ~dim:512 ~tile:64 ()
+
+(* ---- phase 1: chaos campaign with crash + resume ---- *)
+
+(* The campaign must exercise all three chaos kinds on the 8-instance
+   default pool; [Chaos.draw] is pure, so search seeds until one deals
+   at least one crash, one hang, one brownout and leaves at least two
+   instances healthy.  Deterministic: the search always lands on the
+   same seed. *)
+let campaign_seed () =
+  let pool_size = 8 in
+  let rec go seed =
+    if seed > 10_000 then fail "chaos-smoke: no campaign seed found"
+    else
+      let cfg =
+        Chaos.config ~seed ~rate:0.45 ~after_jobs:(0, 2) ()
+      in
+      let events =
+        List.init pool_size (fun i -> Chaos.draw cfg ~instance:i)
+      in
+      let t = Chaos.tally_of_events events in
+      let struck = t.Chaos.crashes + t.Chaos.hangs + t.Chaos.brownouts in
+      if
+        t.Chaos.crashes >= 1 && t.Chaos.hangs >= 1 && t.Chaos.brownouts >= 1
+        && pool_size - struck >= 2
+      then (cfg, t)
+      else go (seed + 1)
+  in
+  go 0
+
+let campaign_jobs n =
+  (* Pinned round-robin across the four classes so every instance sees
+     traffic (and chaos strikes find work to strand). *)
+  let classes = [| "c2050"; "p100"; "v100"; "rtx2080" |] in
+  List.init n (fun i ->
+      solve ~device:classes.(i mod 4) ~id:(Printf.sprintf "cj-%03d" i) ())
+
+let outcome_line (o : S.outcome) = Json.to_string (S.outcome_to_json o)
+
+let id_of_line line =
+  let o = S.outcome_of_json (Json.of_string line) in
+  (o.S.job.Job.id, o)
+
+let phase_chaos () =
+  let cfg, dealt = campaign_seed () in
+  pf "  campaign seed %d: %d crashes, %d hangs, %d brownouts dealt\n"
+    cfg.Chaos.seed dealt.Chaos.crashes dealt.Chaos.hangs
+    dealt.Chaos.brownouts;
+  let journal_path = Filename.temp_file "chaos_bench" ".jsonl" in
+  Sys.remove journal_path;
+  let jobs = campaign_jobs 64 in
+  let total = List.length jobs in
+  let submitted_before_crash = 40 and emitted_before_crash = 25 in
+  let config =
+    {
+      F.Config.default with
+      max_queue_depth = F.Config.unbounded;
+      backoff_ms = 0.5;
+      retain_outcomes = false;
+      chaos = Some cfg;
+    }
+  in
+  (* Run 1: the process that will "crash".  It admitted (journaled an
+     intent for) the whole stream, submitted only a prefix, and the
+     client saw only a prefix of the settlements. *)
+  let journal = Jn.create journal_path in
+  List.iter (fun j -> Jn.intent journal j) jobs;
+  let lock = Mutex.create () in
+  let run1_lines = ref [] and run1_settled = ref 0 in
+  let on_outcome o =
+    let line = outcome_line o in
+    Mutex.lock lock;
+    Jn.commit journal ~job_id:o.S.job.Job.id ~line;
+    incr run1_settled;
+    if !run1_settled <= emitted_before_crash then
+      run1_lines := line :: !run1_lines;
+    Mutex.unlock lock
+  in
+  let t0 = Unix.gettimeofday () in
+  let fleet = F.create ~on_outcome config in
+  List.iteri
+    (fun i job ->
+      if i < submitted_before_crash then ignore (F.submit_blocking fleet job))
+    jobs;
+  F.quiesce fleet;
+  F.shutdown fleet;
+  let campaign_wall_s = Unix.gettimeofday () -. t0 in
+  Jn.close journal;
+  let struck =
+    List.filter (fun (s : F.stats) -> s.F.state <> "ok") (F.stats fleet)
+  in
+  if struck = [] then fail "chaos-smoke: no chaos event triggered";
+  pf "  run 1: %d/%d submitted, %d settled, %d emitted before the crash\n"
+    submitted_before_crash total !run1_settled emitted_before_crash;
+  List.iter
+    (fun (s : F.stats) -> pf "    struck: %-12s %s\n" s.F.id s.F.state)
+    struck;
+  if !run1_settled <> submitted_before_crash then
+    fail "chaos-smoke: run 1 settled %d of %d submitted jobs" !run1_settled
+      submitted_before_crash;
+  (* Tear the journal tail, as a crash mid-append would. *)
+  let oc =
+    open_out_gen [ Open_append; Open_wronly ] 0o644 journal_path
+  in
+  output_string oc "{\"j\":\"commit\",\"id\":\"torn";
+  close_out oc;
+  (* Run 2: resume.  Replay re-emits every committed line and returns
+     the jobs the crashed process admitted but never settled; the rest
+     of the stream then arrives as new submissions.  No chaos this time
+     — the replacement process got healthy hardware. *)
+  let replayed = Jn.replay journal_path in
+  if replayed.Jn.malformed <> 1 then
+    fail "chaos-smoke: torn tail not counted (malformed = %d)"
+      replayed.Jn.malformed;
+  if List.length replayed.Jn.committed <> submitted_before_crash then
+    fail "chaos-smoke: replay found %d commits, expected %d"
+      (List.length replayed.Jn.committed)
+      submitted_before_crash;
+  if List.length replayed.Jn.pending <> total - submitted_before_crash then
+    fail "chaos-smoke: replay found %d pending intents, expected %d"
+      (List.length replayed.Jn.pending)
+      (total - submitted_before_crash);
+  let journal2 = Jn.create journal_path in
+  let run2_lines = ref [] in
+  let on_outcome2 o =
+    let line = outcome_line o in
+    Mutex.lock lock;
+    Jn.commit journal2 ~job_id:o.S.job.Job.id ~line;
+    run2_lines := line :: !run2_lines;
+    Mutex.unlock lock
+  in
+  let fleet2 =
+    F.create ~on_outcome:on_outcome2
+      { config with F.Config.chaos = None }
+  in
+  List.iter (fun (_, line) -> run2_lines := line :: !run2_lines)
+    replayed.Jn.committed;
+  List.iter
+    (fun j -> ignore (F.submit_blocking fleet2 j))
+    replayed.Jn.pending;
+  F.quiesce fleet2;
+  F.shutdown fleet2;
+  Jn.close journal2;
+  (* The union of what the client saw across the crash: exactly one
+     schema-valid line per job, byte-identical where both runs emitted
+     the same job. *)
+  let union : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let add_line where line =
+    match id_of_line line with
+    | exception Json.Error m ->
+      fail "chaos-smoke: %s emitted an invalid outcome line: %s" where m
+    | id, _ -> (
+      match Hashtbl.find_opt union id with
+      | None -> Hashtbl.replace union id line
+      | Some prior when prior = line -> ()
+      | Some _ ->
+        fail "chaos-smoke: job %s emitted two different outcome lines" id)
+  in
+  List.iter (add_line "run 1") (List.rev !run1_lines);
+  List.iter (add_line "run 2") (List.rev !run2_lines);
+  if Hashtbl.length union <> total then
+    fail "chaos-smoke: union has %d outcome lines for %d jobs"
+      (Hashtbl.length union) total;
+  List.iter
+    (fun j ->
+      if not (Hashtbl.mem union j.Job.id) then
+        fail "chaos-smoke: job %s lost across the crash" j.Job.id)
+    jobs;
+  (* Recovery accounting off the union. *)
+  let outcomes =
+    Hashtbl.fold (fun _ line acc -> snd (id_of_line line) :: acc) union []
+  in
+  let migrated =
+    List.filter
+      (fun o ->
+        match o.S.placement with
+        | Some p -> p.S.migrations <> []
+        | None -> false)
+      outcomes
+  in
+  if migrated = [] then fail "chaos-smoke: no migration trail recorded";
+  let quarantined =
+    List.length
+      (List.filter
+         (fun o -> match o.S.status with S.Failed _ -> true | _ -> false)
+         outcomes)
+  in
+  let recovery_rate =
+    float_of_int (List.length outcomes - quarantined)
+    /. float_of_int (List.length outcomes)
+  in
+  let migration_wait_ms =
+    List.fold_left
+      (fun acc o -> acc +. o.S.timing.S.queue_wait_ms)
+      0.0 migrated
+    /. float_of_int (List.length migrated)
+  in
+  if recovery_rate < 0.9 then
+    fail "chaos-smoke: recovery rate %.2f below 0.9 (%d quarantined)"
+      recovery_rate quarantined;
+  (* The final journal state: every job committed, nothing pending, the
+     torn line still the only malformed one. *)
+  let final = Jn.replay journal_path in
+  if List.length final.Jn.committed <> total then
+    fail "chaos-smoke: final journal has %d commits for %d jobs"
+      (List.length final.Jn.committed)
+      total;
+  if final.Jn.pending <> [] then
+    fail "chaos-smoke: final journal still has %d pending intents"
+      (List.length final.Jn.pending);
+  if final.Jn.malformed <> 1 then
+    fail "chaos-smoke: final journal malformed count %d, expected 1"
+      final.Jn.malformed;
+  (* Replay exactness: every line the first run emitted was re-emitted
+     byte-identically by resume (it is committed, and commits replay
+     verbatim). *)
+  List.iter
+    (fun line ->
+      let id, _ = id_of_line line in
+      match List.assoc_opt id final.Jn.committed with
+      | Some line' when line' = line -> ()
+      | Some _ -> fail "chaos-smoke: journal line for %s not byte-identical" id
+      | None -> fail "chaos-smoke: emitted job %s missing from journal" id)
+    !run1_lines;
+  Sys.remove journal_path;
+  pf
+    "  union: %d outcomes, %d migrated, %d quarantined (recovery %.1f%%), \
+     mean migrated queue wait %.1f ms\n"
+    (List.length outcomes) (List.length migrated) quarantined
+    (100.0 *. recovery_rate) migration_wait_ms;
+  ( total,
+    List.length migrated,
+    quarantined,
+    recovery_rate,
+    migration_wait_ms,
+    campaign_wall_s,
+    dealt )
+
+(* ---- phase 2: hedged execution ---- *)
+
+let phase_hedge () =
+  let launched0 = counter "fleet.hedge.launched" in
+  let mismatches0 = counter "fleet.hedge.mismatches" in
+  let config =
+    {
+      F.Config.default with
+      pool = [ (None, 2) ];
+      max_queue_depth = F.Config.unbounded;
+      (* The straggle: one injected failure puts the job into a real
+         ~60-120 ms backoff sleep, far past the hedge floor. *)
+      backoff_ms = 60.0;
+      retain_outcomes = true;
+      hedge_ms = Some 5.0;
+    }
+  in
+  let fleet = F.create config in
+  let ticket =
+    F.submit_blocking fleet
+      (solve ~id:"hedge-0" ~inject_failures:1 ~retries:1 ())
+  in
+  let outcome = F.await fleet ticket in
+  F.quiesce fleet;
+  F.shutdown fleet;
+  let launched = counter "fleet.hedge.launched" - launched0 in
+  let wins = counter "fleet.hedge.wins" in
+  let mismatches = counter "fleet.hedge.mismatches" - mismatches0 in
+  if launched < 1 then fail "chaos-smoke: straggler was never hedged";
+  if mismatches <> 0 then
+    fail "chaos-smoke: %d hedge byte-equality mismatches" mismatches;
+  (match outcome.S.status with
+  | S.Completed _ -> ()
+  | S.Failed f -> fail "chaos-smoke: hedged job failed: %s" f.S.message);
+  (match outcome.S.placement with
+  | Some p when p.S.hedged -> ()
+  | _ -> fail "chaos-smoke: hedged outcome does not carry the hedge flag");
+  let win_rate = float_of_int wins /. float_of_int launched in
+  pf "  hedge: %d launched, %d won (the duplicate), 0 mismatches\n" launched
+    wins;
+  (launched, win_rate)
+
+(* ---- phase 3: circuit breakers ---- *)
+
+let phase_breakers () =
+  let opened0 = counter "fleet.breaker.opened" in
+  let closed0 = counter "fleet.breaker.closed" in
+  let config =
+    {
+      F.Config.default with
+      pool = [ (Some D.v100, 1) ];
+      max_queue_depth = F.Config.unbounded;
+      backoff_ms = 0.0;
+      retain_outcomes = true;
+      breakers = true;
+    }
+  in
+  let fleet = F.create config in
+  (* Poison: every attempt fails, no retries — consecutive failed
+     settlements open the instance's breaker. *)
+  let poison =
+    List.init 4 (fun i ->
+        solve
+          ~device:"v100"
+          ~id:(Printf.sprintf "poison-%d" i)
+          ~inject_failures:99 ~retries:0 ())
+  in
+  List.iter (fun j -> ignore (F.submit_blocking fleet j)) poison;
+  F.quiesce fleet;
+  let opened = counter "fleet.breaker.opened" - opened0 in
+  if opened < 1 then fail "chaos-smoke: poison jobs did not open the breaker";
+  (match F.stats fleet with
+  | [ s ] when s.F.breaker = "open" -> ()
+  | s ->
+    fail "chaos-smoke: breaker state after poison: %s"
+      (String.concat "," (List.map (fun (s : F.stats) -> s.F.breaker) s)));
+  (* Past the cool-off, healthy traffic probes the breaker half-open and
+     closes it again. *)
+  Unix.sleepf 0.3;
+  let good = List.init 3 (fun i -> solve ~device:"v100" ~id:(Printf.sprintf "good-%d" i) ()) in
+  List.iter (fun j -> ignore (F.submit_blocking fleet j)) good;
+  F.quiesce fleet;
+  F.shutdown fleet;
+  let closed = counter "fleet.breaker.closed" - closed0 in
+  if closed < 1 then
+    fail "chaos-smoke: breaker did not close on the half-open probe";
+  (match F.stats fleet with
+  | [ s ] when s.F.breaker = "closed" -> ()
+  | _ -> fail "chaos-smoke: breaker not closed after healthy traffic");
+  pf "  breakers: opened %d, closed %d after cool-off probe\n" opened closed;
+  (opened, closed)
+
+(* ---- phase 4: chaos-off overhead ---- *)
+
+let phase_overhead () =
+  let jobs =
+    List.init 96 (fun i -> solve ~id:(Printf.sprintf "ov-%03d" i) ())
+  in
+  let time config =
+    let best = ref Float.infinity in
+    for _ = 1 to 5 do
+      let t0 = Unix.gettimeofday () in
+      let outcomes = S.run config jobs in
+      let dt = Unix.gettimeofday () -. t0 in
+      if List.length outcomes <> List.length jobs then
+        fail "chaos-smoke: overhead run lost outcomes";
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let plain =
+    { F.Config.default with max_queue_depth = F.Config.unbounded }
+  in
+  (* The whole plane armed but quiet: chaos drawn at rate 0 (supervisor
+     running, nothing struck), hedging enabled with an unreachable
+     floor, breakers on. *)
+  let armed =
+    {
+      plain with
+      F.Config.chaos = Some (Chaos.config ~seed:7 ~rate:0.0 ());
+      hedge_ms = Some 1.0e9;
+      breakers = true;
+    }
+  in
+  let base_s = time plain in
+  let armed_s = time armed in
+  let overhead = armed_s /. base_s in
+  pf "  overhead: plain %.4f s, armed %.4f s -> %.3fx (budget 1.10x)\n"
+    base_s armed_s overhead;
+  if overhead > 1.10 then
+    fail "chaos-smoke: resilience-plane overhead %.3fx exceeds 1.10x" overhead;
+  overhead
+
+let smoke () =
+  pf "\n%s\nChaos smoke: device chaos, migration, hedging, breakers, journal\n%s\n"
+    (String.make 100 '-') (String.make 100 '-');
+  M.reset (M.default ());
+  let ( total,
+        migrated,
+        quarantined,
+        recovery_rate,
+        migration_wait_ms,
+        campaign_wall_s,
+        dealt ) =
+    phase_chaos ()
+  in
+  let hedges, hedge_win_rate = phase_hedge () in
+  let opened, closed = phase_breakers () in
+  let overhead = phase_overhead () in
+  let json =
+    Json.Obj
+      [
+        ("bench", Json.Str "chaos");
+        ("jobs", Json.Int total);
+        ("campaign_wall_s", Json.Float campaign_wall_s);
+        ( "dealt",
+          Json.Obj
+            [
+              ("crashes", Json.Int dealt.Chaos.crashes);
+              ("hangs", Json.Int dealt.Chaos.hangs);
+              ("brownouts", Json.Int dealt.Chaos.brownouts);
+            ] );
+        ("migrated", Json.Int migrated);
+        ("quarantined", Json.Int quarantined);
+        ("recovery_rate", Json.Float recovery_rate);
+        ("migration_queue_wait_ms", Json.Float migration_wait_ms);
+        ("journal_replay_exact", Json.Bool true);
+        ("hedges_launched", Json.Int hedges);
+        ("hedge_win_rate", Json.Float hedge_win_rate);
+        ("breaker_opened", Json.Int opened);
+        ("breaker_closed", Json.Int closed);
+        ("chaos_off_overhead", Json.Float overhead);
+      ]
+  in
+  let path = "BENCH_chaos.json" in
+  let oc = open_out path in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  pf "  [json written to %s]\n" path

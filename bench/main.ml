@@ -51,6 +51,7 @@ let items : (string * (unit -> unit)) list =
     ("faults", Faults_bench.run);
     ("fault-smoke", Faults_bench.smoke);
     ("telemetry-smoke", Telemetry_bench.smoke);
+    ("chaos-smoke", Chaos_bench.smoke);
   ]
 
 let () =

@@ -863,6 +863,10 @@ let batch_cmd =
     Term.(
       const run $ jobs_file $ sweep_name $ parallel_arg $ out_arg $ obs_flags)
 
+(* Raised from the SIGTERM handler to interrupt serve's blocking stdin
+   read: admissions stop, admitted jobs drain. *)
+exception Drain_signal
+
 let serve_cmd =
   let pool_spec =
     Arg.(
@@ -880,13 +884,68 @@ let serve_cmd =
           ~doc:
             "Admission bound per device queue; a submission finding every \
              candidate queue this deep is rejected (backpressure).  0 means \
-             unbounded.")
+             unbounded; negative values are rejected.")
   in
   let no_steal =
     Arg.(
       value & flag
       & info [ "no-steal" ]
           ~doc:"Disable work stealing between device queues.")
+  in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Write-ahead outcome journal: record an intent line as each job \
+             is admitted and a commit line (carrying the outcome verbatim) \
+             before it is emitted, so a crashed service can be rerun with \
+             $(b,--resume) without losing or duplicating outcomes.  Job ids \
+             must be unique across the journal's lifetime.")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Replay the $(b,--journal) file before reading standard input: \
+             committed outcome lines are re-emitted byte-identically \
+             (exactly once per job) and unsettled intents are resubmitted.")
+  in
+  let chaos_rate_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "chaos-rate" ] ~docv:"P"
+          ~doc:
+            "Arm a seeded device-chaos campaign: each fleet instance is \
+             dealt a crash, hang or brownout with this probability (0 \
+             disables chaos).")
+  in
+  let chaos_seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "chaos-seed" ] ~docv:"SEED"
+          ~doc:"Seed of the chaos campaign (deterministic per seed).")
+  in
+  let hedge_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "hedge-ms" ] ~docv:"MS"
+          ~doc:
+            "Enable hedged execution: a job in flight longer than \
+             max($(docv), 3x its class p95) gets a duplicate on another \
+             instance and the first result wins.")
+  in
+  let breakers_arg =
+    Arg.(
+      value & flag
+      & info [ "breakers" ]
+          ~doc:
+            "Enable per-instance circuit breakers driven by health windows \
+             (open on consecutive failures or p95 excursions, half-open \
+             probe after a cool-off).")
   in
   let telemetry_arg =
     Arg.(
@@ -923,22 +982,40 @@ let serve_cmd =
              lines; $(b,warn) also silences the end-of-run summary.")
   in
   let run pool_spec depth no_steal (rate, seed, kinds) out_file obs telemetry
-      telemetry_prom telemetry_interval_ms log_level =
+      telemetry_prom telemetry_interval_ms log_level journal_file resume
+      chaos_rate chaos_seed hedge_ms breakers =
+    let usage_error fmt =
+      Printf.ksprintf
+        (fun m ->
+          Printf.eprintf "error: %s\n" m;
+          exit 2)
+        fmt
+    in
     let pool =
       try Sched.Fleet.Config.pool_of_string pool_spec
-      with Invalid_argument m ->
-        Printf.eprintf "error: %s\n" m;
-        exit 2
+      with Invalid_argument m -> usage_error "%s" m
     in
     (match Obs.Log.level_of_string log_level with
     | l -> Obs.Log.set_level l
-    | exception Invalid_argument m ->
-      Printf.eprintf "error: %s\n" m;
-      exit 2);
-    if telemetry = None && telemetry_prom <> None then begin
-      Printf.eprintf "error: --telemetry-prom requires --telemetry\n";
-      exit 2
-    end;
+    | exception Invalid_argument m -> usage_error "%s" m);
+    if telemetry = None && telemetry_prom <> None then
+      usage_error "--telemetry-prom requires --telemetry";
+    if Float.is_nan telemetry_interval_ms || telemetry_interval_ms <= 0.0 then
+      usage_error "--telemetry-interval-ms %g must be positive"
+        telemetry_interval_ms;
+    if depth < 0 then
+      usage_error "--depth %d must be non-negative (0 means unbounded)" depth;
+    if resume && journal_file = None then
+      usage_error "--resume requires --journal";
+    let chaos =
+      if chaos_rate = 0.0 then None
+      else
+        match
+          Fault.Chaos.config ~seed:chaos_seed ~rate:chaos_rate ()
+        with
+        | cfg -> Some cfg
+        | exception Invalid_argument m -> usage_error "%s" m
+    in
     (* With a telemetry stream the log records ride inside it; without
        one they go to stderr as JSON lines, keeping stdout pure outcome
        lines either way. *)
@@ -949,24 +1026,50 @@ let serve_cmd =
     let config =
       {
         Sched.Fleet.Config.pool;
-        max_queue_depth = depth;
+        max_queue_depth =
+          (if depth = 0 then Sched.Fleet.Config.unbounded else depth);
         backoff_ms = 1.0;
         steal = not no_steal;
         (* A service must not grow with its uptime: outcomes stream out
            through [on_outcome] and are not retained. *)
         retain_outcomes = false;
+        chaos;
+        max_migrations = Sched.Fleet.Config.default.max_migrations;
+        hedge_ms;
+        breakers;
       }
     in
+    (match Sched.Fleet.Config.validate config with
+    | Ok () -> ()
+    | Error m -> usage_error "%s" m);
     let oc = match out_file with Some f -> open_out f | None -> stdout in
     (* Outcome lines arrive from the worker domains; one lock keeps the
        stream line-atomic. *)
     let out_lock = Mutex.create () in
-    let emit json =
+    let emit_line line =
       Mutex.lock out_lock;
-      output_string oc (Harness.Json.to_string json);
+      output_string oc line;
       output_char oc '\n';
       flush oc;
       Mutex.unlock out_lock
+    in
+    let emit json = emit_line (Harness.Json.to_string json) in
+    (* Replay happens before the journal reopens for appending, so the
+       reader never sees this process's own writes. *)
+    let replayed =
+      if resume then Sched.Journal.replay (Option.get journal_file)
+      else { Sched.Journal.committed = []; pending = []; malformed = 0 }
+    in
+    let journal = Option.map Sched.Journal.create journal_file in
+    (* Exactly-once emission across a crash: the outcome line is durable
+       in the journal before it reaches the client. *)
+    let emit_outcome (o : Sched.Scheduler.outcome) =
+      let line = Harness.Json.to_string (Sched.Scheduler.outcome_to_json o) in
+      (match journal with
+      | Some j ->
+        Sched.Journal.commit j ~job_id:o.Sched.Scheduler.job.Sched.Job.id ~line
+      | None -> ());
+      emit_line line
     in
     (* The --fault-* flags are defaults: they arm jobs that do not carry
        their own fault plan. *)
@@ -1001,12 +1104,34 @@ let serve_cmd =
                 (Obs.Telemetry.File path))
             telemetry
         in
-        let fleet =
-          Sched.Fleet.create
-            ~on_outcome:(fun o -> emit (Sched.Scheduler.outcome_to_json o))
-            config
-        in
+        let fleet = Sched.Fleet.create ~on_outcome:emit_outcome config in
         let submitted = ref 0 and rejected = ref 0 and skipped = ref 0 in
+        (* Resume: committed lines first, byte-identical and in their
+           original commit order, then the jobs the crashed process
+           admitted but never settled. *)
+        List.iter (fun (_, line) -> emit_line line) replayed.Sched.Journal.committed;
+        if replayed.Sched.Journal.malformed > 0 then
+          Obs.Log.warn "serve.journal_malformed"
+            ~fields:[ ("lines", Obs.Log.Int replayed.Sched.Journal.malformed) ];
+        List.iter
+          (fun job ->
+            (* The intent is already journaled; blocking submission so a
+               resumed backlog larger than the queues still runs. *)
+            ignore (Sched.Fleet.submit_blocking fleet job);
+            incr submitted)
+          replayed.Sched.Journal.pending;
+        (* SIGTERM means drain, not die: the handler interrupts the
+           blocking read, admissions stop, and every admitted job still
+           settles (and journals) before exit. *)
+        let drain_now = ref false in
+        let previous_sigterm =
+          match
+            Sys.signal Sys.sigterm
+              (Sys.Signal_handle (fun _ -> raise Drain_signal))
+          with
+          | h -> Some h
+          | exception (Invalid_argument _ | Sys_error _) -> None
+        in
         (try
            while true do
              let line = input_line stdin in
@@ -1014,32 +1139,55 @@ let serve_cmd =
                match Sched.Job.of_json (Harness.Json.of_string line) with
                | job -> (
                  let job = with_default_faults job in
+                 (match journal with
+                 | Some j -> Sched.Journal.intent j job
+                 | None -> ());
                  match Sched.Fleet.submit fleet job with
                  | Ok _ -> incr submitted
                  | Error r ->
                    incr rejected;
+                   (match journal with
+                   | Some j ->
+                     Sched.Journal.reject j ~job_id:job.Sched.Job.id
+                   | None -> ());
                    emit (Sched.Fleet.reject_to_json job r))
                | exception Harness.Json.Error m ->
                  incr skipped;
                  Printf.eprintf "serve: skipping bad job line: %s\n%!" m
            done
-         with End_of_file -> ());
+         with
+        | End_of_file -> ()
+        | Drain_signal ->
+          drain_now := true;
+          Obs.Log.warn "serve.sigterm_drain");
+        (match previous_sigterm with
+        | Some h -> ( try Sys.set_signal Sys.sigterm h with _ -> ())
+        | None -> ());
         Sched.Fleet.quiesce fleet;
         Sched.Fleet.shutdown fleet;
+        Option.iter Sched.Journal.close journal;
         Option.iter Obs.Telemetry.stop exporter;
         (* The human summary is observability, not output: it obeys the
            log threshold (--log-level warn runs silent). *)
         if Obs.Log.enabled Obs.Log.Info then begin
           Printf.eprintf
-            "serve: %d submitted, %d rejected, %d skipped, %d stolen\n"
+            "serve: %d submitted, %d rejected, %d skipped, %d stolen%s%s\n"
             !submitted !rejected !skipped
-            (Sched.Fleet.steals fleet);
+            (Sched.Fleet.steals fleet)
+            (match replayed.Sched.Journal.committed with
+            | [] -> ""
+            | c -> Printf.sprintf ", %d replayed" (List.length c))
+            (if !drain_now then " (drained on SIGTERM)" else "");
           List.iter
             (fun (s : Sched.Fleet.stats) ->
               Printf.eprintf
-                "  %-12s %4d executed (%d stolen)  utilization %5.1f%%\n"
+                "  %-12s %4d executed (%d stolen)  utilization %5.1f%%%s%s\n"
                 s.Sched.Fleet.id s.Sched.Fleet.executed s.Sched.Fleet.stolen
-                (100.0 *. s.Sched.Fleet.utilization))
+                (100.0 *. s.Sched.Fleet.utilization)
+                (if s.Sched.Fleet.state = "ok" then ""
+                 else "  " ^ s.Sched.Fleet.state)
+                (if s.Sched.Fleet.breaker = "closed" then ""
+                 else "  breaker " ^ s.Sched.Fleet.breaker))
             (Sched.Fleet.stats fleet)
         end);
     if out_file <> None then close_out oc
@@ -1053,11 +1201,14 @@ let serve_cmd =
           admission control, and emit one JSON outcome line per job as it \
           finishes.  Jobs with device \"auto\" (or no device) are routed by \
           the placement policy; rejected submissions answer with a \
-          {\"status\":\"rejected\"} line.")
+          {\"status\":\"rejected\"} line.  With $(b,--journal) the service \
+          is crash-safe: rerunning with $(b,--resume) yields exactly one \
+          outcome line per job across the crash; SIGTERM drains gracefully.")
     Term.(
       const run $ pool_spec $ depth $ no_steal $ fault_flags $ out_arg
       $ obs_flags $ telemetry_arg $ telemetry_prom_arg $ telemetry_interval_arg
-      $ log_level_arg)
+      $ log_level_arg $ journal_arg $ resume_arg $ chaos_rate_arg
+      $ chaos_seed_arg $ hedge_arg $ breakers_arg)
 
 let monitor_cmd =
   let file_arg =
@@ -1184,6 +1335,11 @@ let monitor_cmd =
     let seen = ref 0 in
     let last = ref None in
     let parse_errors = ref 0 in
+    (* Torn tail-follow reads are expected, not fatal: count them here
+       and in the metrics registry instead of crashing the monitor. *)
+    let parse_errors_counter =
+      Obs.Metrics.counter (Obs.Metrics.default ()) "monitor.parse_errors"
+    in
     let consume ~echo_logs =
       let lines = read_complete_lines file in
       let fresh = List.filteri (fun i _ -> i >= !seen) lines in
@@ -1200,7 +1356,9 @@ let monitor_cmd =
                    | Obs.Log.Warn | Obs.Log.Error -> true
                    | Obs.Log.Debug | Obs.Log.Info -> false
               then pf "%s\n" (Obs.Log.to_json_line r)
-            | exception Harness.Json.Error _ -> incr parse_errors)
+            | exception Harness.Json.Error _ ->
+              incr parse_errors;
+              Obs.Metrics.Counter.incr parse_errors_counter)
         fresh
     in
     if follow then begin
@@ -1218,7 +1376,11 @@ let monitor_cmd =
     else begin
       consume ~echo_logs:false;
       match !last with
-      | Some s -> render s
+      | Some s ->
+        render s;
+        if !parse_errors > 0 then
+          Printf.eprintf "monitor: %d malformed line%s skipped\n" !parse_errors
+            (if !parse_errors = 1 then "" else "s")
       | None ->
         Printf.eprintf "monitor: no snapshot lines in %s\n" file;
         exit 1

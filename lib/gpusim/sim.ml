@@ -61,6 +61,25 @@ let create ?(execute = true) ?pool ?fault ?(fault_salt = 0) ~device ~prec () =
     corruptor = None;
   }
 
+(* Ambient brownout slowdown: a browned-out device runs every kernel and
+   transfer [factor] times slower.  Domain-local, so a fleet worker can
+   wrap one job's execution without perturbing the cost model of jobs
+   running concurrently on healthy instances.  Read at accounting time on
+   the launching domain (kernel bodies may run on pool domains, but
+   [account]/[transfer] never do). *)
+let slowdown_key = Domain.DLS.new_key (fun () -> 1.0)
+
+let ambient_slowdown () = Domain.DLS.get slowdown_key
+
+let with_slowdown factor f =
+  if Float.is_nan factor || factor < 1.0 then
+    invalid_arg
+      (Printf.sprintf "Gpusim.Sim.with_slowdown: factor %g must be >= 1"
+         factor);
+  let prev = Domain.DLS.get slowdown_key in
+  Domain.DLS.set slowdown_key (prev *. factor);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set slowdown_key prev) f
+
 let fault_plan t = t.fault
 let fault_tally t = Option.map Fault.Plan.snapshot t.fault
 let set_corruptor t c = t.corruptor <- c
@@ -76,11 +95,12 @@ let reset t =
    milliseconds plus the roofline time terms land in the profile, the
    per-launch host cost in [host_ms], and the registry tallies. *)
 let account t ~stage ~(cost : Cost.launch) =
-  let ms = Cost.kernel_ms t.device t.prec cost in
+  let slow = ambient_slowdown () in
+  let ms = Cost.kernel_ms t.device t.prec cost *. slow in
   let compute_ms, dram_ms, cache_ms, _ = Cost.terms t.device t.prec cost in
   Profile.record ~count:cost.Cost.count ~cold_bytes:cost.Cost.cold_bytes
-    ~thread_bytes:cost.Cost.thread_bytes ~compute_ms
-    ~memory_ms:(Float.max dram_ms cache_ms) t.profile ~stage ~ms
+    ~thread_bytes:cost.Cost.thread_bytes ~compute_ms:(compute_ms *. slow)
+    ~memory_ms:(Float.max dram_ms cache_ms *. slow) t.profile ~stage ~ms
     ~ops:cost.Cost.ops;
   t.host_ms <-
     t.host_ms
@@ -187,7 +207,7 @@ let launch_seq ?(protected = false) t ~stage ~cost body =
    transfer time again — up to the relaunch budget, then escalates. *)
 let transfer t bytes =
   t.peak_bytes <- Float.max t.peak_bytes bytes;
-  let ms = Cost.transfer_ms t.device bytes in
+  let ms = Cost.transfer_ms t.device bytes *. ambient_slowdown () in
   t.transfer_ms <- t.transfer_ms +. ms;
   Obs.Metrics.Counter.incr (m_transfers ());
   if Obs.Tracer.enabled () then

@@ -50,6 +50,18 @@ val create :
     decorrelates the fault streams of several simulators sharing one
     campaign seed (e.g. the QR and back-substitution sims of a solve). *)
 
+val with_slowdown : float -> (unit -> 'a) -> 'a
+(** [with_slowdown factor f] runs [f] with every kernel and transfer
+    costed [factor] times slower — the brownout model for a degraded
+    device.  Domain-local and multiplicative under nesting; the cost is
+    read at accounting time on the launching domain, so concurrent jobs
+    on healthy instances are unaffected.
+    @raise Invalid_argument when [factor] is NaN or < 1. *)
+
+val ambient_slowdown : unit -> float
+(** The slowdown factor currently in effect on this domain (1.0 when
+    none). *)
+
 val fault_plan : t -> Fault.Plan.t option
 val fault_tally : t -> Fault.Plan.tally option
 

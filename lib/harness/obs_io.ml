@@ -211,8 +211,16 @@ let telemetry_line_of_json j =
   | "log" -> Log_line (log_record_of_json j)
   | t -> raise (Json.Error (Printf.sprintf "unknown telemetry line type '%s'" t))
 
+(* A tail-follower can race the writer and hand us a torn line; every
+   parse failure — bad JSON, a truncated document that parses but lacks
+   fields ([Invalid_argument] from the accessors), an unknown level name
+   — must surface as the one [Json.Error] the caller already counts,
+   never as a crash. *)
 let telemetry_line_of_string line =
-  telemetry_line_of_json (Json.of_string line)
+  try telemetry_line_of_json (Json.of_string line) with
+  | Json.Error _ as e -> raise e
+  | Invalid_argument m | Failure m ->
+    raise (Json.Error (Printf.sprintf "malformed telemetry line: %s" m))
 
 let roofline_of_json j =
   let v = Json.(get_int (member "schema" j)) in

@@ -36,7 +36,12 @@ type telemetry_line =
   | Log_line of Obs.Log.record
 
 val telemetry_line_of_json : Json.t -> telemetry_line
+
 val telemetry_line_of_string : string -> telemetry_line
+(** Raises {!Json.Error} — and only [Json.Error] — on any malformed
+    line, including truncated documents and torn tail-follow reads that
+    would otherwise surface as [Invalid_argument]/[Failure] from the
+    field accessors.  Callers skip-and-count on it. *)
 
 val roofline_schema_version : int
 (** Version stamped into (and required of) a serialized roofline

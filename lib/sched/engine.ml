@@ -19,12 +19,15 @@ type timing = {
 }
 
 (* Where the fleet put the job: the instance that executed it, how it
-   got there, and how deep the admitted queue was. *)
+   got there, how deep the admitted queue was, and — when the resilience
+   plane had to move it — the trail of instances it was reclaimed from. *)
 type placement = {
   device_id : string;
   admitted_to : string;
   steals : int;
   queue_depth : int;
+  migrations : string list;
+  hedged : bool;
 }
 
 type outcome = {
@@ -38,10 +41,10 @@ type outcome = {
   status : status;
 }
 
-(* v4: fleet placement (device id, steal count, queue depth at
-   admission); v3 added the retryable classification, v2 per-attempt
-   timing. *)
-let schema_version = 4
+(* v5: resilience plane (migration trail and hedge flag in the
+   placement record); v4 added fleet placement, v3 the retryable
+   classification, v2 per-attempt timing. *)
+let schema_version = 5
 
 exception Injected_failure
 
@@ -56,6 +59,32 @@ let classify = function
   | e -> (Printexc.to_string e, false)
 
 let now_ms () = Unix.gettimeofday () *. 1000.0
+
+(* Seeded per-job jitter on the exponential backoff: a retry stampede of
+   jobs knocked over together by one dying device must not hammer its
+   replacement in lockstep.  The multiplier for the [attempt]-th pause is
+   uniform in [1, 2), drawn from a splitmix stream keyed on (job id,
+   fault seed, attempt) — so two jobs back off differently, but any one
+   job replays its exact pause sequence from the job record alone. *)
+let fnv1a64 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h :=
+        Int64.mul
+          (Int64.logxor !h (Int64.of_int (Char.code c)))
+          0x100000001b3L)
+    s;
+  Int64.to_int !h
+
+let backoff_pause_ms ~backoff_ms (job : Job.t) ~attempt =
+  let seed =
+    fnv1a64 job.Job.id
+    lxor (job.Job.fault_seed * 0x9e3779b9)
+    lxor (attempt * 0x85ebca6b)
+  in
+  let u = Dompool.Prng.float (Dompool.Prng.create seed) in
+  backoff_ms *. Float.of_int (1 lsl (attempt - 1)) *. (1.0 +. u)
 
 (* One synchronous run of the job proper: plan (or, with [execute], plan
    plus a numeric verification whose residual lands in the report).  An
@@ -193,9 +222,7 @@ let settle ~backoff_ms ~queued_at (job : Job.t) =
                   ("of", Obs.Log.Int max_attempts);
                   ("error", Obs.Log.Str message);
                 ];
-            let pause =
-              backoff_ms *. Float.of_int (1 lsl (attempt - 1)) /. 1000.0
-            in
+            let pause = backoff_pause_ms ~backoff_ms job ~attempt /. 1000.0 in
             if pause > 0.0 then begin
               backoff_total := !backoff_total +. (pause *. 1000.0);
               Obs.Tracer.span ~cat:"sched"
@@ -238,6 +265,8 @@ let json_of_placement p =
       ("admitted_to", Json.Str p.admitted_to);
       ("steals", Json.Int p.steals);
       ("queue_depth", Json.Int p.queue_depth);
+      ("migrations", Json.Arr (List.map (fun i -> Json.Str i) p.migrations));
+      ("hedged", Json.Bool p.hedged);
     ]
 
 let placement_of_json j =
@@ -246,6 +275,9 @@ let placement_of_json j =
     admitted_to = Json.get_string (Json.member "admitted_to" j);
     steals = Json.get_int (Json.member "steals" j);
     queue_depth = Json.get_int (Json.member "queue_depth" j);
+    migrations =
+      List.map Json.get_string (Json.get_list (Json.member "migrations" j));
+    hedged = Json.get_bool (Json.member "hedged" j);
   }
 
 let outcome_to_json o =

@@ -40,6 +40,12 @@ type placement = {
           exactly when the job was stolen *)
   steals : int;  (** queue hops by work stealing (0 or 1) *)
   queue_depth : int;  (** depth of the admitted queue at admission *)
+  migrations : string list;
+      (** instances the job was reclaimed from (crashed, hung or
+          breaker-evicted), oldest first; [[]] for an undisturbed job *)
+  hedged : bool;
+      (** a hedge duplicate was launched for this job; the outcome is
+          whichever copy finished first *)
 }
 
 type outcome = {
@@ -58,8 +64,9 @@ type outcome = {
 
 val schema_version : int
 (** Version stamped into (and required of) every serialized outcome:
-    4 (fleet placement; v3 added the retryable classification, v2
-    per-attempt timing). *)
+    5 (migration trail and hedge flag in the placement record; v4 added
+    fleet placement, v3 the retryable classification, v2 per-attempt
+    timing). *)
 
 exception Injected_failure
 (** The testing hook raised by the [inject_failures] leading attempts;
@@ -83,6 +90,13 @@ val run_job : Job.t -> Harness.Report.t
     classifies as retryable — and [Invalid_argument] on an unresolved
     {!Job.auto_device}. *)
 
+val backoff_pause_ms : backoff_ms:float -> Job.t -> attempt:int -> float
+(** The jittered pause (in ms) {!settle} sleeps after the [attempt]-th
+    failed attempt: [backoff_ms * 2^(attempt-1) * (1 + u)] with [u]
+    uniform in [0, 1) drawn from a stream seeded by the job's id and
+    fault seed.  Deterministic per [(job, attempt)], different across
+    jobs — synchronized retries cannot stampede a recovering device. *)
+
 val settle :
   backoff_ms:float ->
   queued_at:float ->
@@ -92,8 +106,8 @@ val settle :
     job: [(attempts, elapsed_ms, timing, status)].  Validation failures
     (including an unplaced {!Job.auto_device}) settle with 0 attempts;
     otherwise up to [1 + retries] attempts run under the cooperative
-    wall-clock budget with exponential backoff ([backoff_ms * 2^k]
-    after the [k]-th failure).  Never raises. *)
+    wall-clock budget with seeded-jitter exponential backoff
+    ({!backoff_pause_ms}).  Never raises. *)
 
 val outcome_to_json : outcome -> Harness.Json.t
 val outcome_of_json : Harness.Json.t -> outcome

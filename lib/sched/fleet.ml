@@ -15,15 +15,45 @@
    caller sees synchronously.  Idle workers steal the oldest entry from
    the deepest foreign queue, so a hot class drains across the fleet.
 
-   Locking: one mutex guards the queues, counters and the result table.
-   Jobs execute outside the lock, wrapped in [Dompool.Domain_pool
-   .isolate] so kernel bodies of executing jobs run inline on the
-   worker domain instead of racing on the shared pool's barrier. *)
+   The resilience plane (all opt-in through [Config]) layers on top:
+
+   - Device chaos ([Fault.Chaos]): seeded campaigns deal each instance
+     a crash (the worker domain exits), a hang (the worker stops
+     draining its queue, holding its claimed job) or a brownout (every
+     kernel costed [factor] times slower) after a drawn number of
+     executed jobs.
+
+   - Recovery: jobs stranded on a crashed or hung instance — queued and
+     claimed-but-unstarted alike — are reclaimed and re-placed through
+     the same roofline policy, never silently dropped; the hop is
+     recorded in the outcome's migration trail.  A job migrated more
+     than [max_migrations] times is quarantined: settled as a permanent
+     failure rather than bounced forever.
+
+   - Circuit breakers: per-instance health windows (fed through
+     [Obs.Health]) open a breaker on consecutive failures or a p95
+     latency excursion against the instance's class; an open instance
+     is skipped by placement, admits a single probe job after a
+     cool-off (half-open), and closes again when the probe succeeds.
+
+   - Hedged execution: a job in flight longer than a p95-based delay
+     gets a duplicate on another instance; the first copy to settle
+     wins and the loser is discarded after a byte-equality check of the
+     two reports (the kernels are deterministic, so divergence is a
+     bug worth a counter).
+
+   Locking: one mutex guards the queues, counters, instance states and
+   the result table.  Jobs execute outside the lock, wrapped in
+   [Dompool.Domain_pool.isolate] so kernel bodies of executing jobs run
+   inline on the worker domain instead of racing on the shared pool's
+   barrier.  Quarantined outcomes produced while migrating under the
+   lock are emitted after it is released. *)
 
 module D = Gpusim.Device
 module Pool = Dompool.Domain_pool
 module Metrics = Obs.Metrics
 module R = Harness.Runners
+module Chaos = Fault.Chaos
 
 module Config = struct
   type t = {
@@ -32,7 +62,13 @@ module Config = struct
     backoff_ms : float;
     steal : bool;
     retain_outcomes : bool;
+    chaos : Chaos.config option;
+    max_migrations : int;
+    hedge_ms : float option;
+    breakers : bool;
   }
+
+  let unbounded = max_int
 
   let default =
     {
@@ -47,13 +83,17 @@ module Config = struct
       backoff_ms = 1.0;
       steal = true;
       retain_outcomes = true;
+      chaos = None;
+      max_migrations = 3;
+      hedge_ms = None;
+      breakers = false;
     }
 
   let batch ?(parallel = 4) ?(backoff_ms = 1.0) () =
     {
       default with
       pool = [ (None, max 1 parallel) ];
-      max_queue_depth = 0;
+      max_queue_depth = unbounded;
       backoff_ms;
     }
 
@@ -80,6 +120,34 @@ module Config = struct
                invalid_arg
                  (Printf.sprintf "pool spec '%s': count must be positive" part);
              Some (Some (D.by_name name), count))
+
+  (* Structured validation instead of runtime misbehavior: a negative
+     depth would admit nothing, a negative backoff would crash the
+     first retry sleep, a non-positive hedge delay would duplicate
+     every job.  [backoff_ms = 0] stays legal — it is the documented
+     "retry without sleeping" setting the deterministic tests use — and
+     unbounded queues are requested explicitly through {!unbounded}. *)
+  let validate (c : t) =
+    if c.pool = [] then Error "pool must not be empty"
+    else if List.exists (fun (_, count) -> count <= 0) c.pool then
+      Error "pool entry with non-positive instance count"
+    else if c.max_queue_depth <= 0 then
+      Error
+        (Printf.sprintf
+           "max_queue_depth %d must be positive (use Config.unbounded for no \
+            bound)"
+           c.max_queue_depth)
+    else if Float.is_nan c.backoff_ms || c.backoff_ms < 0.0 then
+      Error (Printf.sprintf "backoff_ms %g must be non-negative" c.backoff_ms)
+    else if c.max_migrations < 0 then
+      Error
+        (Printf.sprintf "max_migrations %d must be non-negative"
+           c.max_migrations)
+    else
+      match c.hedge_ms with
+      | Some ms when Float.is_nan ms || ms <= 0.0 ->
+        Error (Printf.sprintf "hedge_ms %g must be positive" ms)
+      | _ -> Ok ()
 end
 
 type reject =
@@ -99,6 +167,43 @@ type queued = {
   q_admitted_at : float;
   q_depth : int;  (* queue depth at admission *)
   q_admitted_to : int;  (* instance index *)
+  q_migrations : string list;  (* instances reclaimed from, newest first *)
+  q_hedge : bool;  (* duplicate copy of an in-flight ticket *)
+}
+
+(* Instance life under chaos.  [Browned] instances keep executing (just
+   slower); [Hung] and [Crashed] ones are excluded from placement and
+   their stranded work is migrated away. *)
+type state = Healthy | Browned of float | Hung | Crashed
+
+let state_name = function
+  | Healthy -> "ok"
+  | Browned _ -> "browned"
+  | Hung -> "hung"
+  | Crashed -> "crashed"
+
+type breaker_state = Closed | Open | Half_open
+
+let breaker_state_name = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+type breaker = {
+  mutable b_state : breaker_state;
+  mutable b_opened_at : float;
+  mutable b_failures : int;  (* consecutive failed settlements *)
+  mutable b_probing : bool;  (* half-open probe currently admitted *)
+}
+
+(* The job an instance's worker is executing right now, tracked so the
+   supervisor can hedge stragglers and reclaim the claimed-but-parked
+   entry of a hung worker. *)
+type inflight = {
+  if_entry : queued;
+  if_job : Job.t;  (* effective job: auto device already resolved *)
+  if_started : float;
+  mutable if_hedged : bool;
 }
 
 type instance = {
@@ -110,6 +215,21 @@ type instance = {
   mutable executed : int;
   mutable stolen : int;  (* jobs this worker claimed from foreign queues *)
   mutable busy_ms : float;
+  mutable state : state;
+  chaos_event : Chaos.event option;
+  mutable reclaimed : bool;  (* hung instance already swept *)
+  mutable inflight : inflight option;
+  breaker : breaker;
+}
+
+(* Book-keeping for one hedged ticket: how many copies are still out,
+   and the winner's status fingerprint for the byte-equality check.
+   Entries are removed once every copy has settled, so a long-running
+   serve loop does not grow memory. *)
+type hedge_info = {
+  mutable h_remaining : int;
+  mutable h_first : (string * bool) option;
+      (* (status fingerprint, ran browned) of the first copy to settle *)
 }
 
 type t = {
@@ -120,11 +240,13 @@ type t = {
   changed : Condition.t;  (* clients wait here for claims/settlements *)
   instances : instance array;
   results : (ticket, Engine.outcome) Hashtbl.t;
+  hedged : (ticket, hedge_info) Hashtbl.t;
   mutable next_ticket : int;
   mutable unsettled : int;  (* admitted but not yet settled *)
   mutable stopping : bool;
   mutable started : bool;
   mutable workers : unit Domain.t array;
+  mutable supervisor : unit Domain.t option;
   order : int Atomic.t;  (* completion rank *)
   total_steals : int Atomic.t;
   mutable started_at : float;  (* for utilization *)
@@ -143,6 +265,20 @@ let m_completed = Metrics.once (fun () -> m_counter "fleet.completed")
 let m_failed = Metrics.once (fun () -> m_counter "fleet.failed")
 let m_attempts = Metrics.once (fun () -> m_counter "fleet.attempts")
 let m_steals = Metrics.once (fun () -> m_counter "fleet.steals")
+let m_hedge_launched = Metrics.once (fun () -> m_counter "fleet.hedge.launched")
+let m_hedge_wins = Metrics.once (fun () -> m_counter "fleet.hedge.wins")
+
+let m_hedge_mismatches =
+  Metrics.once (fun () -> m_counter "fleet.hedge.mismatches")
+
+let m_breaker_opened =
+  Metrics.once (fun () -> m_counter "fleet.breaker.opened")
+
+let m_breaker_half_open =
+  Metrics.once (fun () -> m_counter "fleet.breaker.half_open")
+
+let m_breaker_closed =
+  Metrics.once (fun () -> m_counter "fleet.breaker.closed")
 
 let class_slug = function Some d -> D.slug d | None -> "any"
 
@@ -327,12 +463,58 @@ let candidate_groups t (job : Job.t) =
          validation failure. *)
       [ instances ]
 
-let queue_full t depth = t.config.max_queue_depth > 0 && depth >= t.config.max_queue_depth
+let queue_full t depth = depth >= t.config.max_queue_depth
 
-(* Shortest queue of the most preferred group with room; [Error] is the
-   preferred instance we would have used, for the rejection record. *)
-let place t job =
-  let groups = List.filter (fun g -> g <> []) (candidate_groups t job) in
+(* ---- instance availability ---- *)
+
+let alive inst =
+  match inst.state with
+  | Healthy | Browned _ -> true
+  | Hung | Crashed -> false
+
+(* Open breakers ripen into half-open after the cool-off; called with
+   the lock held before any placement decision. *)
+let breaker_cooloff_ms = 250.0
+
+let breaker_tick t ~now =
+  if t.config.breakers then
+    Array.iter
+      (fun inst ->
+        match inst.breaker.b_state with
+        | Open when now -. inst.breaker.b_opened_at >= breaker_cooloff_ms ->
+          inst.breaker.b_state <- Half_open;
+          inst.breaker.b_probing <- false;
+          Metrics.Counter.incr (m_breaker_half_open ());
+          Obs.Log.info "fleet.breaker_half_open"
+            ~fields:[ ("instance", Obs.Log.Str inst.id) ]
+        | _ -> ())
+      t.instances
+
+(* Placement admits an instance when it is alive and its breaker lets
+   work through: closed freely, half-open for a single probe. *)
+let breaker_admits t inst =
+  (not t.config.breakers)
+  ||
+  match inst.breaker.b_state with
+  | Closed -> true
+  | Open -> false
+  | Half_open -> not inst.breaker.b_probing
+
+(* A job was placed onto [inst]: a half-open breaker spends its probe
+   slot on it. *)
+let note_placed t inst =
+  if t.config.breakers && inst.breaker.b_state = Half_open then
+    inst.breaker.b_probing <- true
+
+(* Shortest queue of the most preferred group with room, among the
+   instances [admit] lets through; [Error] is the preferred instance we
+   would have used, for the rejection record. *)
+let place_with t job ~admit =
+  let groups =
+    candidate_groups t job
+    |> List.map (List.filter admit)
+    |> List.filter (fun g -> g <> [])
+  in
   let by_depth g =
     List.stable_sort (fun a b -> compare (Queue.length a.queue) (Queue.length b.queue)) g
   in
@@ -352,9 +534,53 @@ let place t job =
   in
   go None groups
 
+(* Admission placement: prefer instances whose breaker admits work, but
+   never let breakers wedge the fleet — when they exclude every live
+   candidate, fall back to live instances alone (a fully-open fleet
+   still beats a rejected job). *)
+let place t job =
+  match place_with t job ~admit:(fun i -> alive i && breaker_admits t i) with
+  | Ok _ as ok -> ok
+  | Error _ as e ->
+    let breaker_excluded =
+      t.config.breakers
+      && Array.exists
+           (fun i -> alive i && not (breaker_admits t i))
+           t.instances
+    in
+    if breaker_excluded then place_with t job ~admit:alive else e
+
+(* Re-placement for reclaimed jobs: first live group in preference
+   order, shortest queue, ignoring the depth bound — a migrated job is
+   never dropped for want of queue room.  [None] iff nothing is left
+   alive. *)
+let place_forced ?exclude t job =
+  let admitted ok i =
+    alive i && (match exclude with Some e -> i != e | None -> ok)
+  in
+  let pick admit =
+    let rec first = function
+      | [] -> None
+      | g :: rest -> (
+        match List.filter admit g with
+        | [] -> first rest
+        | i :: is ->
+          Some
+            (List.fold_left
+               (fun best c ->
+                 if Queue.length c.queue < Queue.length best.queue then c
+                 else best)
+               i is))
+    in
+    first (candidate_groups t job)
+  in
+  match pick (fun i -> admitted true i && breaker_admits t i) with
+  | Some i -> Some i
+  | None -> pick (admitted true)
+
 (* ---- lifecycle ---- *)
 
-let instance_of ~index (device, slot) =
+let instance_of ?chaos ~index (device, slot) =
   {
     id = Printf.sprintf "%s#%d" (class_slug device) slot;
     device;
@@ -364,6 +590,13 @@ let instance_of ~index (device, slot) =
     executed = 0;
     stolen = 0;
     busy_ms = 0.0;
+    state = Healthy;
+    chaos_event =
+      (match chaos with Some cfg -> Chaos.draw cfg ~instance:index | None -> None);
+    reclaimed = false;
+    inflight = None;
+    breaker =
+      { b_state = Closed; b_opened_at = 0.0; b_failures = 0; b_probing = false };
   }
 
 (* The device an auto job executes on when a generic instance claims
@@ -387,9 +620,184 @@ let utilization t inst ~now =
   let span = now -. t.started_at in
   if span <= 0.0 then 0.0 else Float.min 1.0 (inst.busy_ms /. span)
 
+(* ---- migration and quarantine ---- *)
+
+(* A quarantined job still settles — as a permanent failure carrying
+   its migration trail — so a campaign keeps its one-outcome-per-job
+   shape.  Built with the lock held; the caller emits outside it. *)
+let quarantine_outcome t entry ~trail ~message ~now =
+  let outcome =
+    {
+      Engine.job = entry.q_job;
+      index = entry.q_ticket;
+      order = Atomic.fetch_and_add t.order 1;
+      attempts = 0;
+      elapsed_ms = Float.max 0.0 (now -. entry.q_admitted_at);
+      timing =
+        {
+          Engine.queue_wait_ms = Float.max 0.0 (now -. entry.q_admitted_at);
+          attempt_ms = [];
+          backoff_ms = 0.0;
+        };
+      placement =
+        Some
+          {
+            Engine.device_id = "-";
+            admitted_to = t.instances.(entry.q_admitted_to).id;
+            steals = 0;
+            queue_depth = entry.q_depth;
+            migrations = List.rev trail;
+            hedged = false;
+          };
+      status =
+        Engine.Failed { message; timed_out = false; retryable = false };
+    }
+  in
+  Metrics.Counter.incr (m_failed ());
+  Chaos.note_quarantine ~job:entry.q_job.Job.id;
+  if t.config.retain_outcomes then
+    Hashtbl.replace t.results entry.q_ticket outcome;
+  t.unsettled <- t.unsettled - 1;
+  outcome
+
+(* Move stranded entries off a dead or hung instance.  Called with the
+   lock held; returns the quarantined outcomes for the caller to emit
+   (and broadcast) once the lock is released.  Queued hedge duplicates
+   are simply dropped — their original is still executing somewhere and
+   will settle the ticket. *)
+let migrate_entries t ~from_id entries ~now =
+  breaker_tick t ~now;
+  let quarantined = ref [] in
+  let migrated = ref 0 in
+  List.iter
+    (fun entry ->
+      if entry.q_hedge then begin
+        match Hashtbl.find_opt t.hedged entry.q_ticket with
+        | Some info ->
+          info.h_remaining <- info.h_remaining - 1;
+          if info.h_remaining <= 0 then Hashtbl.remove t.hedged entry.q_ticket
+        | None -> ()
+      end
+      else begin
+        let trail = from_id :: entry.q_migrations in
+        if List.length trail > t.config.max_migrations then
+          quarantined :=
+            quarantine_outcome t entry ~trail
+              ~message:
+                (Printf.sprintf
+                   "quarantined after %d migration%s (last instance: %s)"
+                   (List.length trail)
+                   (if List.length trail = 1 then "" else "s")
+                   from_id)
+              ~now
+            :: !quarantined
+        else
+          match place_forced t entry.q_job with
+          | Some target ->
+            Queue.push { entry with q_migrations = trail } target.queue;
+            note_placed t target;
+            incr migrated;
+            Metrics.Gauge.set (depth_gauge target)
+              (float_of_int (Queue.length target.queue))
+          | None ->
+            quarantined :=
+              quarantine_outcome t entry ~trail
+                ~message:
+                  (Printf.sprintf
+                     "lost instance %s and no live instance remains" from_id)
+                ~now
+              :: !quarantined
+      end)
+    entries;
+  if !migrated > 0 then begin
+    Chaos.note_migration ~instance:from_id ~jobs:!migrated;
+    Condition.broadcast t.work
+  end;
+  List.rev !quarantined
+
+(* Deliver settle-time side effects that must not run under the fleet
+   lock: the on_outcome callback and the client broadcast. *)
+let deliver t outcomes =
+  (match outcomes with
+  | [] -> ()
+  | _ ->
+    Mutex.lock t.lock;
+    Condition.broadcast t.changed;
+    Mutex.unlock t.lock);
+  match t.on_outcome with
+  | Some f -> List.iter (fun o -> try f o with _ -> ()) outcomes
+  | None -> ()
+
+(* ---- circuit breakers ---- *)
+
+(* Settlement-driven breaker transitions, with the lock held.  The
+   health windows are per-instance ([cls = inst.id], fed only when
+   breakers are enabled) so the p95 excursion compares an instance
+   against its own device class. *)
+let breaker_note t inst ~ok ~now =
+  if t.config.breakers then begin
+    let b = inst.breaker in
+    let open_breaker () =
+      b.b_state <- Open;
+      b.b_opened_at <- now;
+      b.b_probing <- false;
+      Metrics.Counter.incr (m_breaker_opened ());
+      Obs.Log.warn "fleet.breaker_open"
+        ~fields:
+          [
+            ("instance", Obs.Log.Str inst.id);
+            ("failures", Obs.Log.Int b.b_failures);
+          ]
+    in
+    match b.b_state with
+    | Half_open ->
+      b.b_probing <- false;
+      if ok then begin
+        b.b_state <- Closed;
+        b.b_failures <- 0;
+        Metrics.Counter.incr (m_breaker_closed ());
+        Obs.Log.info "fleet.breaker_close"
+          ~fields:[ ("instance", Obs.Log.Str inst.id) ]
+      end
+      else open_breaker ()
+    | Closed ->
+      if ok then b.b_failures <- 0 else b.b_failures <- b.b_failures + 1;
+      let p95_excursion =
+        match
+          ( Obs.Health.status_of ~cls:inst.id,
+            Obs.Health.status_of ~cls:(class_slug inst.device) )
+        with
+        | Some i, Some c -> (
+          match (i.Obs.Health.p95_ms, c.Obs.Health.p95_ms) with
+          | Some ip, Some cp ->
+            i.Obs.Health.window >= 8 && cp > 0.0 && ip > 3.0 *. cp
+          | _ -> false)
+        | _ -> false
+      in
+      if b.b_failures >= 3 || p95_excursion then open_breaker ()
+    | Open -> ()
+  end
+
+(* ---- execution ---- *)
+
+(* The deterministic part of an outcome, for the hedge byte-equality
+   check: the report (simulated timings included — the cost model is
+   deterministic) or the failure classification.  Wall-clock fields
+   (timing, order) legitimately differ between copies and stay out. *)
+let status_fingerprint = function
+  | Engine.Completed report ->
+    Harness.Json.to_string (Harness.Report.to_json report)
+  | Engine.Failed f ->
+    Printf.sprintf "failed:%s:%b:%b" f.Engine.message f.Engine.timed_out
+      f.Engine.retryable
+
 (* One claimed entry, start to finish; runs outside the fleet lock. *)
 let execute t inst entry ~stolen =
-  let job = effective_job t inst entry.q_job in
+  let job =
+    match inst.inflight with
+    | Some inf -> inf.if_job
+    | None -> effective_job t inst entry.q_job
+  in
   let admitted_to = t.instances.(entry.q_admitted_to).id in
   if stolen then begin
     Atomic.incr t.total_steals;
@@ -410,100 +818,163 @@ let execute t inst entry ~stolen =
           ("owner", Obs.Log.Str admitted_to);
         ]
   end;
+  let slowdown = match inst.state with Browned f -> f | _ -> 1.0 in
   let attempts, elapsed_ms, timing, status =
     Pool.isolate (fun () ->
-        Engine.settle ~backoff_ms:t.config.backoff_ms
-          ~queued_at:entry.q_admitted_at job)
+        let settle () =
+          Engine.settle ~backoff_ms:t.config.backoff_ms
+            ~queued_at:entry.q_admitted_at job
+        in
+        if slowdown > 1.0 then Gpusim.Sim.with_slowdown slowdown settle
+        else settle ())
   in
   let now = Engine.now_ms () in
   let latency_ms = Float.max 0.0 (now -. entry.q_admitted_at) in
-  let outcome =
-    {
-      Engine.job;
-      index = entry.q_ticket;
-      order = Atomic.fetch_and_add t.order 1;
-      attempts;
-      elapsed_ms;
-      timing;
-      placement =
-        Some
-          {
-            Engine.device_id = inst.id;
-            admitted_to;
-            steals = (if stolen then 1 else 0);
-            queue_depth = entry.q_depth;
-          };
-      status;
-    }
-  in
-  Metrics.Counter.incr ~by:attempts (m_attempts ());
-  Metrics.Counter.incr
-    ((match status with
-     | Engine.Completed _ -> m_completed
-     | Engine.Failed _ -> m_failed)
-       ());
-  Metrics.Histogram.observe (latency_histogram inst) latency_ms;
-  let cls = class_slug inst.device in
-  (match status with
-  | Engine.Completed report ->
-    Obs.Health.observe ~cls ~ok:true ~latency_ms;
-    Obs.Log.debug "fleet.job_completed"
-      ~fields:
-        [
-          ("job", Obs.Log.Str job.Job.id);
-          ("instance", Obs.Log.Str inst.id);
-          ("attempts", Obs.Log.Int attempts);
-          ("latency_ms", Obs.Log.Float latency_ms);
-        ];
-    (* Drift: fault-free roofline prediction vs the measured breakdown,
-       stage by stage.  Stages the model does not plan (e.g. the ABFT
-       checks of fault-tolerant runs) have no prediction and are
-       skipped. *)
-    (match predicted_stages job with
-    | Some predicted ->
-      List.iter
-        (fun (row : Harness.Report.Row.t) ->
-          match List.assoc_opt row.Harness.Report.Row.stage predicted with
-          | Some predicted_ms ->
-            Obs.Health.observe_model ~stage:row.Harness.Report.Row.stage
-              ~predicted_ms ~measured_ms:row.Harness.Report.Row.ms
-          | None -> ())
-        report.Harness.Report.stages
-    | None -> ())
-  | Engine.Failed f ->
-    Obs.Health.observe ~cls ~ok:false ~latency_ms;
-    Obs.Log.error "fleet.job_failed"
-      ~fields:
-        [
-          ("job", Obs.Log.Str job.Job.id);
-          ("instance", Obs.Log.Str inst.id);
-          ("attempts", Obs.Log.Int attempts);
-          ("message", Obs.Log.Str f.Engine.message);
-          ("timed_out", Obs.Log.Bool f.Engine.timed_out);
-        ]);
+  let fingerprint = status_fingerprint status in
+  let ran_browned = slowdown > 1.0 in
+  (* Settlement: first copy of a hedged ticket wins; the loser is
+     checked for byte-equality and discarded. *)
   Mutex.lock t.lock;
   inst.running <- false;
+  inst.inflight <- None;
   inst.executed <- inst.executed + 1;
   if stolen then inst.stolen <- inst.stolen + 1;
   inst.busy_ms <- inst.busy_ms +. elapsed_ms;
-  if t.config.retain_outcomes then Hashtbl.replace t.results entry.q_ticket outcome;
-  t.unsettled <- t.unsettled - 1;
+  let verdict =
+    match Hashtbl.find_opt t.hedged entry.q_ticket with
+    | None -> `Winner false
+    | Some info ->
+      info.h_remaining <- info.h_remaining - 1;
+      if info.h_remaining <= 0 then Hashtbl.remove t.hedged entry.q_ticket;
+      (match info.h_first with
+      | None ->
+        info.h_first <- Some (fingerprint, ran_browned);
+        `Winner true
+      | Some (first_fp, first_browned) ->
+        `Loser
+          (first_fp = fingerprint, first_browned || ran_browned))
+  in
+  let outcome =
+    match verdict with
+    | `Loser _ -> None
+    | `Winner hedged ->
+      let outcome =
+        {
+          Engine.job;
+          index = entry.q_ticket;
+          order = Atomic.fetch_and_add t.order 1;
+          attempts;
+          elapsed_ms;
+          timing;
+          placement =
+            Some
+              {
+                Engine.device_id = inst.id;
+                admitted_to;
+                steals = (if stolen then 1 else 0);
+                queue_depth = entry.q_depth;
+                migrations = List.rev entry.q_migrations;
+                hedged;
+              };
+          status;
+        }
+      in
+      if hedged && entry.q_hedge then
+        Metrics.Counter.incr (m_hedge_wins ());
+      if t.config.retain_outcomes then
+        Hashtbl.replace t.results entry.q_ticket outcome;
+      t.unsettled <- t.unsettled - 1;
+      Some outcome
+  in
+  let ok = match status with Engine.Completed _ -> true | _ -> false in
+  if outcome <> None then breaker_note t inst ~ok ~now;
   Condition.broadcast t.changed;
   Mutex.unlock t.lock;
   Metrics.Gauge.set (util_gauge inst) (utilization t inst ~now);
   Metrics.Gauge.set (inflight_gauge inst) 0.0;
-  match t.on_outcome with
-  | Some f -> ( try f outcome with _ -> ())
-  | None -> ()
+  match verdict with
+  | `Loser (byte_equal, any_browned) ->
+    (* Duplicate outcomes of the deterministic kernels must agree to
+       the byte unless a browned copy legitimately ran slower. *)
+    if (not byte_equal) && not any_browned then begin
+      Metrics.Counter.incr (m_hedge_mismatches ());
+      Obs.Log.error "fleet.hedge_mismatch"
+        ~fields:
+          [
+            ("job", Obs.Log.Str job.Job.id);
+            ("instance", Obs.Log.Str inst.id);
+          ]
+    end
+    else
+      Obs.Log.debug "fleet.hedge_loser"
+        ~fields:
+          [
+            ("job", Obs.Log.Str job.Job.id);
+            ("instance", Obs.Log.Str inst.id);
+          ]
+  | `Winner _ ->
+    let outcome = Option.get outcome in
+    Metrics.Counter.incr ~by:attempts (m_attempts ());
+    Metrics.Counter.incr
+      ((match status with
+       | Engine.Completed _ -> m_completed
+       | Engine.Failed _ -> m_failed)
+         ());
+    Metrics.Histogram.observe (latency_histogram inst) latency_ms;
+    let cls = class_slug inst.device in
+    (match status with
+    | Engine.Completed report ->
+      Obs.Health.observe ~cls ~ok:true ~latency_ms;
+      if t.config.breakers then
+        Obs.Health.observe ~cls:inst.id ~ok:true ~latency_ms;
+      Obs.Log.debug "fleet.job_completed"
+        ~fields:
+          [
+            ("job", Obs.Log.Str job.Job.id);
+            ("instance", Obs.Log.Str inst.id);
+            ("attempts", Obs.Log.Int attempts);
+            ("latency_ms", Obs.Log.Float latency_ms);
+          ];
+      (* Drift: fault-free roofline prediction vs the measured breakdown,
+         stage by stage.  Stages the model does not plan (e.g. the ABFT
+         checks of fault-tolerant runs) have no prediction and are
+         skipped. *)
+      (match predicted_stages job with
+      | Some predicted ->
+        List.iter
+          (fun (row : Harness.Report.Row.t) ->
+            match List.assoc_opt row.Harness.Report.Row.stage predicted with
+            | Some predicted_ms ->
+              Obs.Health.observe_model ~stage:row.Harness.Report.Row.stage
+                ~predicted_ms ~measured_ms:row.Harness.Report.Row.ms
+            | None -> ())
+          report.Harness.Report.stages
+      | None -> ())
+    | Engine.Failed f ->
+      Obs.Health.observe ~cls ~ok:false ~latency_ms;
+      if t.config.breakers then
+        Obs.Health.observe ~cls:inst.id ~ok:false ~latency_ms;
+      Obs.Log.error "fleet.job_failed"
+        ~fields:
+          [
+            ("job", Obs.Log.Str job.Job.id);
+            ("instance", Obs.Log.Str inst.id);
+            ("attempts", Obs.Log.Int attempts);
+            ("message", Obs.Log.Str f.Engine.message);
+            ("timed_out", Obs.Log.Bool f.Engine.timed_out);
+          ]);
+    (match t.on_outcome with
+    | Some f -> ( try f outcome with _ -> ())
+    | None -> ())
 
 (* Claim the next entry for [inst]: its own queue first (FIFO), then —
    when stealing is on — the oldest entry of the deepest foreign queue
    whose owner cannot get to it (it is executing, or already at the
-   fleet's shutdown with more than one entry waiting).  An idle owner
-   keeps its queue: it was woken by the same admission broadcast and
-   claims the entry itself, so stealing never beats the placement
-   policy to a job the preferred device would have started at once.
-   Called with the lock held. *)
+   fleet's shutdown with more than one entry waiting, or no longer
+   alive).  An idle live owner keeps its queue: it was woken by the same
+   admission broadcast and claims the entry itself, so stealing never
+   beats the placement policy to a job the preferred device would have
+   started at once.  Called with the lock held. *)
 let claim t inst =
   if not (Queue.is_empty inst.queue) then Some (Queue.pop inst.queue, false)
   else if not t.config.steal then None
@@ -511,7 +982,9 @@ let claim t inst =
     let stealable other =
       other != inst
       && (not (Queue.is_empty other.queue))
-      && (other.running || t.stopping || Queue.length other.queue > 1)
+      && (other.running || t.stopping
+        || Queue.length other.queue > 1
+        || not (alive other))
     in
     let victim = ref None in
     Array.iter
@@ -526,21 +999,82 @@ let claim t inst =
     | None -> None
   end
 
+(* The chaos event destined for this instance fires the first time the
+   worker claims an entry after executing [after] jobs.  Called with
+   the lock held. *)
+let chaos_due inst =
+  match (inst.state, inst.chaos_event) with
+  | Healthy, Some ev when inst.executed >= ev.Chaos.after -> Some ev
+  | _ -> None
+
 let worker t index () =
   let inst = t.instances.(index) in
   let continue_ = ref true in
   while !continue_ do
     Mutex.lock t.lock;
     match claim t inst with
-    | Some (entry, stolen) ->
-      inst.running <- true;
-      Metrics.Gauge.set (inflight_gauge inst) 1.0;
-      Metrics.Gauge.set
-        (depth_gauge t.instances.(entry.q_admitted_to))
-        (float_of_int (Queue.length t.instances.(entry.q_admitted_to).queue));
-      Condition.broadcast t.changed;
-      Mutex.unlock t.lock;
-      execute t inst entry ~stolen
+    | Some (entry, stolen) -> (
+      match chaos_due inst with
+      | Some { Chaos.kind = Chaos.Crash; _ } ->
+        (* The domain dies with work on its hands: the claimed entry and
+           everything still queued migrate, then the worker exits. *)
+        inst.state <- Crashed;
+        let stranded =
+          entry :: List.of_seq (Queue.to_seq inst.queue)
+        in
+        Queue.clear inst.queue;
+        let now = Engine.now_ms () in
+        let quarantined = migrate_entries t ~from_id:inst.id stranded ~now in
+        Metrics.Gauge.set (depth_gauge inst) 0.0;
+        Mutex.unlock t.lock;
+        Chaos.note_triggered Chaos.Crash ~instance:inst.id;
+        deliver t quarantined;
+        continue_ := false
+      | Some { Chaos.kind = Chaos.Hang; _ } ->
+        (* The worker freezes holding its claim; the supervisor notices
+           the hung state, reclaims the queue and the held entry, and
+           the park only ends at fleet shutdown. *)
+        inst.state <- Hung;
+        inst.running <- true;
+        inst.inflight <-
+          Some
+            {
+              if_entry = entry;
+              if_job = effective_job t inst entry.q_job;
+              if_started = Engine.now_ms ();
+              if_hedged = true;  (* never hedge a hung hold: it migrates *)
+            };
+        Mutex.unlock t.lock;
+        Chaos.note_triggered Chaos.Hang ~instance:inst.id;
+        Mutex.lock t.lock;
+        while not t.stopping do
+          Condition.wait t.work t.lock
+        done;
+        inst.running <- false;
+        Mutex.unlock t.lock;
+        continue_ := false
+      | due ->
+        (match due with
+        | Some { Chaos.kind = Chaos.Brownout; factor; _ } ->
+          inst.state <- Browned factor;
+          Chaos.note_triggered Chaos.Brownout ~instance:inst.id
+        | _ -> ());
+        inst.running <- true;
+        inst.inflight <-
+          Some
+            {
+              if_entry = entry;
+              if_job = effective_job t inst entry.q_job;
+              if_started = Engine.now_ms ();
+              if_hedged = entry.q_hedge;  (* never hedge a hedge *)
+            };
+        Metrics.Gauge.set (inflight_gauge inst) 1.0;
+        Metrics.Gauge.set
+          (depth_gauge t.instances.(entry.q_admitted_to))
+          (float_of_int (Queue.length t.instances.(entry.q_admitted_to).queue));
+        Condition.broadcast t.changed;
+        Mutex.unlock t.lock;
+        execute t inst entry ~stolen)
     | None ->
       if t.stopping then begin
         Mutex.unlock t.lock;
@@ -553,6 +1087,91 @@ let worker t index () =
   done;
   Metrics.Gauge.set (util_gauge inst) (utilization t inst ~now:(Engine.now_ms ()))
 
+(* ---- the supervisor ----
+
+   A light housekeeping domain, spawned only when the config enables
+   chaos or hedging (an undisturbed fleet pays nothing for it).  Each
+   tick it (1) reclaims the queue and held entry of hung instances, and
+   (2) hedges stragglers: an in-flight job older than
+   max(hedge_ms, 3 x class p95) gets a duplicate on another instance. *)
+let supervisor_tick_s = 0.002
+
+let hedge_delay_ms t inst =
+  let floor_ms = Option.value t.config.hedge_ms ~default:Float.infinity in
+  match Obs.Health.status_of ~cls:(class_slug inst.device) with
+  | Some { Obs.Health.p95_ms = Some p95; window; _ } when window >= 8 ->
+    Float.max floor_ms (3.0 *. p95)
+  | _ -> floor_ms
+
+let supervise t () =
+  let running = ref true in
+  while !running do
+    Mutex.lock t.lock;
+    if t.stopping then begin
+      Mutex.unlock t.lock;
+      running := false
+    end
+    else begin
+      let now = Engine.now_ms () in
+      let quarantined = ref [] in
+      Array.iter
+        (fun inst ->
+          if inst.state = Hung && not inst.reclaimed then begin
+            inst.reclaimed <- true;
+            let held =
+              match inst.inflight with
+              | Some inf ->
+                inst.inflight <- None;
+                [ inf.if_entry ]
+              | None -> []
+            in
+            let stranded = held @ List.of_seq (Queue.to_seq inst.queue) in
+            Queue.clear inst.queue;
+            Metrics.Gauge.set (depth_gauge inst) 0.0;
+            if stranded <> [] then
+              quarantined :=
+                !quarantined @ migrate_entries t ~from_id:inst.id stranded ~now
+          end)
+        t.instances;
+      if t.config.hedge_ms <> None then
+        Array.iter
+          (fun inst ->
+            match inst.inflight with
+            | Some inf
+              when (not inf.if_hedged) && alive inst
+                   && now -. inf.if_started > hedge_delay_ms t inst -> (
+              match place_forced ~exclude:inst t inf.if_job with
+              | Some target ->
+                inf.if_hedged <- true;
+                Hashtbl.replace t.hedged inf.if_entry.q_ticket
+                  { h_remaining = 2; h_first = None };
+                Queue.push
+                  { inf.if_entry with q_job = inf.if_job; q_hedge = true }
+                  target.queue;
+                note_placed t target;
+                Metrics.Counter.incr (m_hedge_launched ());
+                Metrics.Gauge.set (depth_gauge target)
+                  (float_of_int (Queue.length target.queue));
+                Obs.Log.info "fleet.hedge"
+                  ~fields:
+                    [
+                      ("job", Obs.Log.Str inf.if_job.Job.id);
+                      ("straggler", Obs.Log.Str inst.id);
+                      ("duplicate_on", Obs.Log.Str target.id);
+                    ];
+                Condition.broadcast t.work
+              | None -> ())
+            | _ -> ())
+          t.instances;
+      Mutex.unlock t.lock;
+      deliver t !quarantined;
+      Unix.sleepf supervisor_tick_s
+    end
+  done
+
+let needs_supervisor (config : Config.t) =
+  config.Config.chaos <> None || config.Config.hedge_ms <> None
+
 let start t =
   Mutex.lock t.lock;
   let spawn = (not t.started) && not t.stopping in
@@ -561,21 +1180,23 @@ let start t =
     t.started_at <- Engine.now_ms ()
   end;
   Mutex.unlock t.lock;
-  if spawn then
+  if spawn then begin
     t.workers <-
       Array.init (Array.length t.instances) (fun i ->
-          Domain.spawn (worker t i))
+          Domain.spawn (worker t i));
+    if needs_supervisor t.config then
+      t.supervisor <- Some (Domain.spawn (supervise t))
+  end
 
 let create ?on_outcome ?(autostart = true) (config : Config.t) =
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error message -> invalid_arg ("Fleet.create: " ^ message));
   let slots =
     List.concat_map
-      (fun (device, count) ->
-        if count <= 0 then
-          invalid_arg "Fleet.create: pool entry with non-positive count"
-        else List.init count (fun slot -> (device, slot)))
+      (fun (device, count) -> List.init count (fun slot -> (device, slot)))
       config.Config.pool
   in
-  if slots = [] then invalid_arg "Fleet.create: empty pool";
   let t =
     {
       config;
@@ -583,13 +1204,20 @@ let create ?on_outcome ?(autostart = true) (config : Config.t) =
       lock = Mutex.create ();
       work = Condition.create ();
       changed = Condition.create ();
-      instances = Array.of_list (List.mapi (fun index s -> instance_of ~index s) slots);
+      instances =
+        Array.of_list
+          (List.mapi
+             (fun index s ->
+               instance_of ?chaos:config.Config.chaos ~index s)
+             slots);
       results = Hashtbl.create 64;
+      hedged = Hashtbl.create 8;
       next_ticket = 0;
       unsettled = 0;
       stopping = false;
       started = false;
       workers = [||];
+      supervisor = None;
       order = Atomic.make 0;
       total_steals = Atomic.make 0;
       started_at = Engine.now_ms ();
@@ -605,6 +1233,7 @@ let submit t (job : Job.t) =
      slow first classification never stalls the admission path. *)
   if Job.is_auto job then ignore (classify_job job);
   Mutex.lock t.lock;
+  breaker_tick t ~now:(Engine.now_ms ());
   let result =
     if t.stopping then Error Draining
     else
@@ -632,8 +1261,11 @@ let submit t (job : Job.t) =
             q_admitted_at = Engine.now_ms ();
             q_depth = depth;
             q_admitted_to = inst.index;
+            q_migrations = [];
+            q_hedge = false;
           }
           inst.queue;
+        note_placed t inst;
         t.unsettled <- t.unsettled + 1;
         Metrics.Counter.incr (m_submitted ());
         Metrics.Gauge.set (depth_gauge inst) (float_of_int (Queue.length inst.queue));
@@ -715,7 +1347,12 @@ let shutdown t =
   Condition.broadcast t.changed;
   Mutex.unlock t.lock;
   Array.iter Domain.join t.workers;
-  t.workers <- [||]
+  t.workers <- [||];
+  (match t.supervisor with
+  | Some d ->
+    Domain.join d;
+    t.supervisor <- None
+  | None -> ())
 
 (* ---- introspection ---- *)
 
@@ -727,6 +1364,8 @@ type stats = {
   queue_depth : int;
   busy_ms : float;
   utilization : float;
+  state : string;
+  breaker : string;
 }
 
 let stats t =
@@ -743,6 +1382,8 @@ let stats t =
              queue_depth = Queue.length i.queue;
              busy_ms = i.busy_ms;
              utilization = utilization t i ~now;
+             state = state_name i.state;
+             breaker = breaker_state_name i.breaker.b_state;
            })
   in
   Mutex.unlock t.lock;

@@ -16,15 +16,50 @@
     caller observes immediately.  Idle workers steal the oldest entry
     from the deepest foreign queue.
 
+    {2 The resilience plane}
+
+    All of it opt-in through {!Config}; an undisturbed fleet behaves
+    exactly as before.
+
+    - {e Device chaos} ([Config.chaos]): a seeded {!Fault.Chaos}
+      campaign deals each instance at most one fate — crash (the worker
+      domain exits), hang (the worker stops draining its queue, holding
+      its claimed job), or brownout (kernels cost
+      [Chaos.config.brownout_factor] slower) — striking after a drawn
+      number of executed jobs.
+    - {e Recovery}: jobs stranded on a crashed or hung instance are
+      reclaimed and re-placed through the same roofline policy, never
+      silently dropped; each hop is recorded in the outcome's
+      [placement.migrations] trail.  A job migrated more than
+      [Config.max_migrations] times is {e quarantined}: settled as a
+      permanent (non-retryable) failure carrying its trail.
+    - {e Circuit breakers} ([Config.breakers]): per-instance health
+      windows open a breaker after 3 consecutive failures or a p95
+      excursion (instance p95 > 3x its class p95 over a warm window);
+      an open instance is skipped by placement, admits a single probe
+      after a 250 ms cool-off (half-open), and closes when the probe
+      succeeds.
+    - {e Hedged execution} ([Config.hedge_ms]): a job in flight longer
+      than [max(hedge_ms, 3 x class p95)] gets a duplicate on another
+      instance; the first copy to settle wins ([placement.hedged] is
+      set), the loser is discarded after a byte-equality check of the
+      two results (the kernels are deterministic — divergence counts in
+      [fleet.hedge.mismatches]).
+
     Outcomes are {!Engine.outcome} records whose [placement] field
     carries the executing instance, the admitting instance, the steal
-    count and the queue depth seen at admission (outcome schema 4).
-    The fleet also feeds the default {!Obs.Metrics} registry
+    count, the queue depth seen at admission, the migration trail and
+    the hedge flag (outcome schema 5).  The fleet also feeds the
+    default {!Obs.Metrics} registry
     ([fleet.submitted/rejected/completed/failed/steals/attempts]
     counters, [fleet.latency_ms.<class>] histograms on
     {!Obs.Metrics.latency_buckets} with per-class p50/p95/p99 in the
-    snapshot, [fleet.queue_depth.<id>] and [fleet.util.<id>] gauges)
-    and the tracer ([admit]/[steal]/[reject] instants).
+    snapshot, [fleet.queue_depth.<id>] and [fleet.util.<id>] gauges,
+    and — from the resilience plane —
+    [fleet.chaos.crashes/hangs/brownouts/migrations/quarantined],
+    [fleet.hedge.launched/wins/mismatches] and
+    [fleet.breaker.opened/half_open/closed] counters) and the tracer
+    ([admit]/[steal]/[reject] instants).
 
     {!Scheduler} runs its batch mode as a thin wrapper over this
     service. *)
@@ -36,18 +71,34 @@ module Config : sig
             instance — plain capacity honoring whatever device each job
             names (auto jobs execute on the pool's compute flagship) *)
     max_queue_depth : int;
-        (** admission bound per queue; [<= 0] means unbounded *)
+        (** admission bound per queue; must be positive — pass
+            {!unbounded} for no bound *)
     backoff_ms : float;  (** base retry backoff, doubling per attempt *)
     steal : bool;  (** let idle workers steal from foreign queues *)
     retain_outcomes : bool;
         (** keep settled outcomes for {!await}/{!drain}; switch off for
             long-running serve loops that stream outcomes via
             [on_outcome] and must not grow memory *)
+    chaos : Fault.Chaos.config option;
+        (** arm a seeded device-chaos campaign; [None] (the default)
+            leaves every instance healthy *)
+    max_migrations : int;
+        (** reclaim hops before a job is quarantined (default 3) *)
+    hedge_ms : float option;
+        (** enable hedged execution with this floor (ms) on the
+            straggler delay; [None] (the default) never hedges *)
+    breakers : bool;
+        (** drive per-instance circuit breakers from health windows
+            (default off) *)
   }
+
+  val unbounded : int
+  (** Sentinel ([max_int]) for [max_queue_depth]: no admission bound. *)
 
   val default : t
   (** Two instances each of C2050, P100, V100 and RTX 2080, queue depth
-      64, 1 ms base backoff, stealing on, outcomes retained. *)
+      64, 1 ms base backoff, stealing on, outcomes retained, resilience
+      plane off. *)
 
   val batch : ?parallel:int -> ?backoff_ms:float -> unit -> t
   (** The batch-mode pool: [parallel] (default 4, floored at 1) generic
@@ -58,6 +109,13 @@ module Config : sig
   (** Parses a pool spec like ["v100=2,rtx2080=1"] (["v100,p100"] gives
       one instance each).  Raises [Invalid_argument] on unknown devices
       or bad counts. *)
+
+  val validate : t -> (unit, string) result
+  (** Structured validation: rejects an empty pool, non-positive pool
+      counts, non-positive [max_queue_depth] (use {!unbounded}),
+      negative or NaN [backoff_ms] (zero stays legal: retry without
+      sleeping), negative [max_migrations], and non-positive or NaN
+      [hedge_ms]. *)
 end
 
 type t
@@ -76,11 +134,13 @@ type ticket = int
 
 val create : ?on_outcome:(Engine.outcome -> unit) -> ?autostart:bool -> Config.t -> t
 (** Builds the fleet and (unless [autostart:false]) spawns one worker
-    domain per instance.  [on_outcome] is called from the worker domain
-    that settled the job, as each job finishes (exceptions it raises
-    are swallowed).  With [autostart:false] submissions queue but
+    domain per instance, plus a light supervisor domain when the config
+    enables chaos or hedging.  [on_outcome] is called from the worker
+    domain that settled the job, as each job finishes (exceptions it
+    raises are swallowed).  With [autostart:false] submissions queue but
     nothing executes until {!start} — useful for deterministic
-    placement tests.  Raises [Invalid_argument] on an empty pool. *)
+    placement tests.  Raises [Invalid_argument] when
+    {!Config.validate} rejects the config. *)
 
 val start : t -> unit
 (** Spawns the worker domains (idempotent). *)
@@ -108,8 +168,10 @@ val drain : t -> Engine.outcome list
 (** {!quiesce}, then all retained outcomes in admission order. *)
 
 val shutdown : t -> unit
-(** Stops admissions, lets the workers finish every queued job, and
-    joins them.  Idempotent; a never-started fleet just stops. *)
+(** Stops admissions, lets the workers finish every queued job, joins
+    them and the supervisor.  Idempotent; a never-started fleet just
+    stops.  Parked hung workers are released; in-flight jobs of hung
+    instances have already been migrated by the supervisor. *)
 
 (** A point-in-time view of one instance. *)
 type stats = {
@@ -120,6 +182,9 @@ type stats = {
   queue_depth : int;
   busy_ms : float;  (** wall clock spent executing (attempts + backoff) *)
   utilization : float;  (** busy fraction of the fleet's lifetime, 0..1 *)
+  state : string;
+      (** chaos state: ["ok"], ["browned"], ["hung"] or ["crashed"] *)
+  breaker : string;  (** ["closed"], ["open"] or ["half-open"] *)
 }
 
 val stats : t -> stats list

@@ -1,0 +1,58 @@
+(** Crash-safe write-ahead outcome journal for [serve].
+
+    The service appends two kinds of JSON-lines records as jobs flow
+    through it: an {e intent} when a job is admitted (before it enters a
+    fleet queue) and a {e commit} when its outcome line has been
+    rendered — the commit stores the outcome line verbatim and is
+    flushed to disk {e before} the line is emitted to the client.  A
+    crashed service can therefore be restarted with [--resume]: committed
+    lines are re-emitted byte-identically (exactly once per job id) and
+    intents without a commit are resubmitted, so the union of the
+    outcome lines across the crash is exactly one schema-valid line per
+    submitted job.
+
+    The reader is truncation-tolerant: a crash can tear the final
+    append, so trailing partial or malformed lines are skipped and
+    counted rather than raised. *)
+
+type t
+
+val create : string -> t
+(** Opens (creating or appending to) the journal at the given path.  A
+    torn final line left by a crash is newline-terminated first, so the
+    resumed process's records stay parseable (the torn line itself is
+    counted by {!replay} as malformed).
+    @raise Sys_error when the path cannot be opened. *)
+
+val intent : t -> Job.t -> unit
+(** Records — and flushes — the admission of [job], before it is
+    submitted to the fleet. *)
+
+val commit : t -> job_id:string -> line:string -> unit
+(** Records — and flushes — the final outcome [line] (the exact
+    JSON-lines rendering, without the trailing newline) for [job_id].
+    Callers emit the same string to the client only after this
+    returns, which is what makes replay byte-identical. *)
+
+val reject : t -> job_id:string -> unit
+(** Marks an intent as settled by an admission rejection (the job never
+    entered a queue and has no outcome); resume will not resubmit it. *)
+
+val close : t -> unit
+
+(** {1 Replay} *)
+
+type replay = {
+  committed : (string * string) list;
+      (** [(job id, outcome line)] in commit order, deduplicated by id
+          (first commit wins) *)
+  pending : Job.t list;
+      (** intents with neither commit nor rejection, in intent order,
+          deduplicated by id *)
+  malformed : int;  (** truncated or unparseable lines skipped *)
+}
+
+val replay : string -> replay
+(** Reads the journal at the given path; a missing file replays as
+    empty.  Never raises on malformed content — torn trailing writes
+    are counted in [malformed]. *)

@@ -39,6 +39,8 @@ type placement = Engine.placement = {
   admitted_to : string;
   steals : int;
   queue_depth : int;
+  migrations : string list;
+  hedged : bool;
 }
 
 type outcome = Engine.outcome = {

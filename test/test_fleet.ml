@@ -121,11 +121,10 @@ let test_pinned_device_kept () =
 let test_steal_invariants () =
   let config =
     {
-      F.Config.pool = [ (Some D.c2050, 1); (Some D.v100, 1) ];
-      max_queue_depth = 0;
+      F.Config.default with
+      pool = [ (Some D.c2050, 1); (Some D.v100, 1) ];
+      max_queue_depth = F.Config.unbounded;
       backoff_ms = 30.0;
-      steal = true;
-      retain_outcomes = true;
     }
   in
   let fleet = F.create ~autostart:false config in
@@ -186,11 +185,10 @@ let test_steal_invariants () =
 let test_steal_instant_args () =
   let config =
     {
-      F.Config.pool = [ (Some D.c2050, 1); (Some D.v100, 1) ];
-      max_queue_depth = 0;
+      F.Config.default with
+      pool = [ (Some D.c2050, 1); (Some D.v100, 1) ];
+      max_queue_depth = F.Config.unbounded;
       backoff_ms = 30.0;
-      steal = true;
-      retain_outcomes = true;
     }
   in
   Obs.Tracer.start ();
@@ -238,11 +236,11 @@ let test_steal_instant_args () =
 let test_no_steal () =
   let config =
     {
-      F.Config.pool = [ (Some D.c2050, 1); (Some D.v100, 1) ];
-      max_queue_depth = 0;
+      F.Config.default with
+      pool = [ (Some D.c2050, 1); (Some D.v100, 1) ];
+      max_queue_depth = F.Config.unbounded;
       backoff_ms = 5.0;
       steal = false;
-      retain_outcomes = true;
     }
   in
   let fleet = F.create ~autostart:false config in
@@ -266,11 +264,10 @@ let test_no_steal () =
 let test_backpressure () =
   let config =
     {
-      F.Config.pool = [ (Some D.v100, 1) ];
+      F.Config.default with
+      pool = [ (Some D.v100, 1) ];
       max_queue_depth = 2;
       backoff_ms = 0.0;
-      steal = true;
-      retain_outcomes = true;
     }
   in
   let fleet = F.create ~autostart:false config in
@@ -308,12 +305,12 @@ let test_backpressure () =
   | Ok _ | Error (F.Queue_full _) ->
     Alcotest.fail "submissions after shutdown must report Draining"
 
-(* ---- schema 4 ---- *)
+(* ---- schema 5 ---- *)
 
-let test_schema4_roundtrip () =
+let test_schema5_roundtrip () =
   let outcomes =
     S.run
-      { S.Config.default with F.Config.max_queue_depth = 0 }
+      { S.Config.default with F.Config.max_queue_depth = F.Config.unbounded }
       [ solve ~id:"rt-dd" ~prec:P.DD (); solve ~id:"rt-od" ~prec:P.OD () ]
   in
   List.iter
@@ -321,10 +318,14 @@ let test_schema4_roundtrip () =
       let line = Json.to_string (S.outcome_to_json o) in
       let o' = S.outcome_of_json (Json.of_string line) in
       check "outcome round-trips with placement" true (o = o');
-      checki "schema is 4" 4 S.schema_version;
-      check "placement survives the codec" true (o'.S.placement <> None))
+      checki "schema is 5" 5 S.schema_version;
+      check "placement survives the codec" true (o'.S.placement <> None);
+      let p = placement o in
+      check "undisturbed job has no migration trail" true
+        (p.S.migrations = []);
+      check "undisturbed job is unhedged" true (p.S.hedged = false))
     outcomes;
-  (* A schema-3 line (no placement, old version stamp) must be refused. *)
+  (* An old-version stamp must be refused. *)
   let o = List.hd outcomes in
   let forged =
     match S.outcome_to_json o with
@@ -375,8 +376,8 @@ let () =
         [ Alcotest.test_case "backpressure" `Quick test_backpressure ] );
       ( "schema",
         [
-          Alcotest.test_case "schema 4 round-trip" `Quick
-            test_schema4_roundtrip;
+          Alcotest.test_case "schema 5 round-trip" `Quick
+            test_schema5_roundtrip;
           Alcotest.test_case "auto needs a fleet" `Quick test_auto_needs_fleet;
         ] );
     ]

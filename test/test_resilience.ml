@@ -1,0 +1,485 @@
+(* Tests for the fleet resilience plane: seeded device chaos (crash /
+   hang / brownout), job migration and quarantine, hedged execution,
+   circuit breakers, the write-ahead outcome journal, the seeded retry
+   jitter, the hardened telemetry-line parser, and concurrent
+   backpressure. *)
+
+module P = Multidouble.Precision
+module D = Gpusim.Device
+module Job = Sched.Job
+module F = Sched.Fleet
+module S = Sched.Scheduler
+module Jn = Sched.Journal
+module Chaos = Fault.Chaos
+module Json = Harness.Json
+module M = Obs.Metrics
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let solve ?(device = "auto") ?inject_failures ?retries ~id () =
+  Job.make ?inject_failures ?retries ~id ~kind:Job.Solve ~device ~prec:P.DD
+    ~dim:512 ~tile:64 ()
+
+let counter name = M.Counter.value (M.counter (M.default ()) name)
+
+let placement (o : S.outcome) =
+  match o.S.placement with
+  | Some p -> p
+  | None -> Alcotest.failf "%s has no placement record" o.S.job.Job.id
+
+(* A two-instance campaign where instance 0 is struck by [kind] at its
+   first claim and instance 1 stays healthy; [Chaos.draw] is pure, so
+   the seed search is deterministic. *)
+let striking_config kind =
+  let rec go seed =
+    if seed > 10_000 then Alcotest.fail "no chaos seed found"
+    else
+      let cfg =
+        Chaos.config ~seed ~rate:0.5 ~kinds:[ kind ] ~after_jobs:(0, 0) ()
+      in
+      match (Chaos.draw cfg ~instance:0, Chaos.draw cfg ~instance:1) with
+      | Some _, None -> cfg
+      | _ -> go (seed + 1)
+  in
+  go 0
+
+(* Two classes, no stealing: jobs pinned to the c2050 all queue on the
+   doomed instance 0 and can only settle by migrating to the v100. *)
+let two_class_config chaos =
+  {
+    F.Config.default with
+    pool = [ (Some D.c2050, 1); (Some D.v100, 1) ];
+    max_queue_depth = F.Config.unbounded;
+    backoff_ms = 0.0;
+    steal = false;
+    chaos = Some chaos;
+  }
+
+let run_campaign config n =
+  let fleet = F.create ~autostart:false config in
+  let jobs =
+    List.init n (fun i ->
+        solve ~device:"c2050" ~id:(Printf.sprintf "cx-%d" i) ())
+  in
+  List.iter
+    (fun j ->
+      match F.submit fleet j with
+      | Ok _ -> ()
+      | Error r -> Alcotest.failf "rejected: %s" (F.reject_message r))
+    jobs;
+  F.start fleet;
+  let outcomes = F.drain fleet in
+  let stats = F.stats fleet in
+  F.shutdown fleet;
+  (outcomes, stats)
+
+(* ---- chaos: crash and hang recovery ---- *)
+
+let test_crash_migrates () =
+  let outcomes, stats = run_campaign (two_class_config (striking_config Chaos.Crash)) 4 in
+  checki "every job settled" 4 (List.length outcomes);
+  checks "instance 0 crashed" "crashed" (List.hd stats).F.state;
+  checks "instance 1 healthy" "ok" (List.nth stats 1).F.state;
+  List.iter
+    (fun o ->
+      (match o.S.status with
+      | S.Completed _ -> ()
+      | S.Failed f -> Alcotest.failf "%s failed: %s" o.S.job.Job.id f.S.message);
+      let p = placement o in
+      check "migration trail names the dead instance" true
+        (p.S.migrations = [ "c2050#0" ]);
+      checks "executed on the survivor" "v100#0" p.S.device_id;
+      (* A pinned job keeps its simulation identity across migration. *)
+      checks "pinned device survived migration" "c2050" o.S.job.Job.device)
+    outcomes
+
+let test_hang_reclaimed () =
+  let outcomes, stats = run_campaign (two_class_config (striking_config Chaos.Hang)) 4 in
+  checki "every job settled" 4 (List.length outcomes);
+  checks "instance 0 hung" "hung" (List.hd stats).F.state;
+  List.iter
+    (fun o ->
+      (match o.S.status with
+      | S.Completed _ -> ()
+      | S.Failed f -> Alcotest.failf "%s failed: %s" o.S.job.Job.id f.S.message);
+      check "migration trail names the hung instance" true
+        ((placement o).S.migrations = [ "c2050#0" ]))
+    outcomes
+
+let test_brownout_completes () =
+  let cfg = striking_config Chaos.Brownout in
+  let outcomes, stats = run_campaign (two_class_config cfg) 4 in
+  checki "every job settled" 4 (List.length outcomes);
+  checks "instance 0 browned" "browned" (List.hd stats).F.state;
+  (* A browned instance keeps executing — no migrations, just slower
+     simulated kernels. *)
+  List.iter
+    (fun o ->
+      (match o.S.status with
+      | S.Completed _ -> ()
+      | S.Failed f -> Alcotest.failf "%s failed: %s" o.S.job.Job.id f.S.message);
+      check "no migration off a browned instance" true
+        ((placement o).S.migrations = []))
+    outcomes
+
+let test_quarantine () =
+  let config =
+    { (two_class_config (striking_config Chaos.Crash)) with max_migrations = 0 }
+  in
+  let outcomes, _ = run_campaign config 3 in
+  checki "every job still settled" 3 (List.length outcomes);
+  List.iter
+    (fun o ->
+      (match o.S.status with
+      | S.Failed f ->
+        check "quarantine is permanent" true (f.S.retryable = false);
+        check "message names the quarantine" true
+          (String.length f.S.message >= 11
+          && String.sub f.S.message 0 11 = "quarantined")
+      | S.Completed _ ->
+        Alcotest.failf "%s completed despite max_migrations 0" o.S.job.Job.id);
+      check "quarantined outcome keeps its trail" true
+        ((placement o).S.migrations = [ "c2050#0" ]))
+    outcomes
+
+(* ---- hedged execution ---- *)
+
+let test_hedge () =
+  let launched0 = counter "fleet.hedge.launched" in
+  let mismatches0 = counter "fleet.hedge.mismatches" in
+  let config =
+    {
+      F.Config.default with
+      pool = [ (None, 2) ];
+      max_queue_depth = F.Config.unbounded;
+      backoff_ms = 60.0;
+      hedge_ms = Some 5.0;
+    }
+  in
+  let fleet = F.create config in
+  (* The straggle is a real backoff sleep (~60-120 ms), far past the
+     5 ms hedge floor. *)
+  let ticket =
+    F.submit_blocking fleet
+      (solve ~id:"hedge-t" ~inject_failures:1 ~retries:1 ())
+  in
+  let o = F.await fleet ticket in
+  F.quiesce fleet;
+  F.shutdown fleet;
+  check "a duplicate was launched" true
+    (counter "fleet.hedge.launched" - launched0 >= 1);
+  checki "duplicate outcomes byte-equal" 0
+    (counter "fleet.hedge.mismatches" - mismatches0);
+  (match o.S.status with
+  | S.Completed _ -> ()
+  | S.Failed f -> Alcotest.failf "hedged job failed: %s" f.S.message);
+  check "outcome carries the hedge flag" true (placement o).S.hedged
+
+(* ---- circuit breakers ---- *)
+
+let test_breaker_cycle () =
+  let opened0 = counter "fleet.breaker.opened" in
+  let closed0 = counter "fleet.breaker.closed" in
+  let config =
+    {
+      F.Config.default with
+      pool = [ (Some D.v100, 1) ];
+      max_queue_depth = F.Config.unbounded;
+      backoff_ms = 0.0;
+      breakers = true;
+    }
+  in
+  let fleet = F.create config in
+  List.iter
+    (fun j -> ignore (F.submit_blocking fleet j))
+    (List.init 4 (fun i ->
+         solve ~device:"v100"
+           ~id:(Printf.sprintf "po-%d" i)
+           ~inject_failures:99 ~retries:0 ()));
+  F.quiesce fleet;
+  check "poison opened the breaker" true
+    (counter "fleet.breaker.opened" - opened0 >= 1);
+  checks "breaker open in stats" "open" (List.hd (F.stats fleet)).F.breaker;
+  (* Past the 250 ms cool-off, healthy traffic probes and closes it. *)
+  Unix.sleepf 0.3;
+  List.iter
+    (fun j -> ignore (F.submit_blocking fleet j))
+    (List.init 2 (fun i -> solve ~device:"v100" ~id:(Printf.sprintf "ok-%d" i) ()));
+  F.quiesce fleet;
+  F.shutdown fleet;
+  check "probe closed the breaker" true
+    (counter "fleet.breaker.closed" - closed0 >= 1);
+  checks "breaker closed in stats" "closed"
+    (List.hd (F.stats fleet)).F.breaker
+
+(* ---- config validation ---- *)
+
+let test_config_validation () =
+  let ok c = F.Config.validate c = Ok () in
+  let bad c = match F.Config.validate c with Error _ -> true | Ok () -> false in
+  let d = F.Config.default in
+  check "default validates" true (ok d);
+  check "batch validates" true (ok (F.Config.batch ()));
+  check "empty pool rejected" true (bad { d with pool = [] });
+  check "non-positive count rejected" true
+    (bad { d with pool = [ (Some D.v100, 0) ] });
+  check "zero depth rejected" true (bad { d with max_queue_depth = 0 });
+  check "negative depth rejected" true (bad { d with max_queue_depth = -3 });
+  check "unbounded depth accepted" true
+    (ok { d with max_queue_depth = F.Config.unbounded });
+  check "negative backoff rejected" true (bad { d with backoff_ms = -1.0 });
+  check "NaN backoff rejected" true (bad { d with backoff_ms = Float.nan });
+  check "zero backoff stays legal" true (ok { d with backoff_ms = 0.0 });
+  check "negative max_migrations rejected" true
+    (bad { d with max_migrations = -1 });
+  check "non-positive hedge rejected" true (bad { d with hedge_ms = Some 0.0 });
+  check "create raises on a bad config" true
+    (match F.create { d with max_queue_depth = 0 } with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ---- seeded retry jitter ---- *)
+
+let test_jitter () =
+  let pause job attempt =
+    Sched.Engine.backoff_pause_ms ~backoff_ms:2.0 job ~attempt
+  in
+  let a = solve ~id:"jit-a" () and b = solve ~id:"jit-b" () in
+  (* Deterministic per (job, attempt): replaying a campaign reproduces
+     every sleep. *)
+  List.iter
+    (fun attempt ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "attempt %d replays" attempt)
+        (pause a attempt) (pause a attempt))
+    [ 1; 2; 3; 4 ];
+  (* Jittered inside [base, 2*base) of the exponential envelope. *)
+  List.iter
+    (fun attempt ->
+      let base = 2.0 *. Float.of_int (1 lsl (attempt - 1)) in
+      let p = pause a attempt in
+      check
+        (Printf.sprintf "attempt %d within the jitter envelope" attempt)
+        true
+        (p >= base && p < 2.0 *. base))
+    [ 1; 2; 3; 4 ];
+  (* Different jobs desynchronize: no retry stampede. *)
+  check "sequences differ across jobs" true
+    (List.exists (fun k -> pause a k <> pause b k) [ 1; 2; 3 ])
+
+(* ---- journal ---- *)
+
+let with_temp_journal f =
+  let path = Filename.temp_file "test_journal" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_journal_roundtrip () =
+  with_temp_journal (fun path ->
+      let j = Jn.create path in
+      let a = solve ~id:"ja" () and b = solve ~id:"jb" () and c = solve ~id:"jc" () in
+      Jn.intent j a;
+      Jn.intent j b;
+      Jn.intent j c;
+      Jn.commit j ~job_id:"ja" ~line:"line-for-ja";
+      Jn.reject j ~job_id:"jb";
+      Jn.close j;
+      let r = Jn.replay path in
+      checki "one commit" 1 (List.length r.Jn.committed);
+      checks "commit line verbatim" "line-for-ja"
+        (List.assoc "ja" r.Jn.committed);
+      checki "rejected intent is settled, unsettled one pending" 1
+        (List.length r.Jn.pending);
+      checks "pending is the unsettled job" "jc"
+        (List.hd r.Jn.pending).Job.id;
+      checki "nothing malformed" 0 r.Jn.malformed)
+
+let test_journal_truncation () =
+  with_temp_journal (fun path ->
+      let j = Jn.create path in
+      Jn.intent j (solve ~id:"t0" ());
+      Jn.commit j ~job_id:"t0" ~line:"l0";
+      Jn.close j;
+      (* A crash tears the final append mid-line. *)
+      let oc = open_out_gen [ Open_append; Open_wronly ] 0o644 path in
+      output_string oc "{\"j\":\"commit\",\"id\":\"to";
+      close_out oc;
+      let r = Jn.replay path in
+      checki "torn tail counted" 1 r.Jn.malformed;
+      checki "intact records survive" 1 (List.length r.Jn.committed);
+      (* Reopening must terminate the torn tail so the next record is
+         not glued onto (and lost with) it. *)
+      let j2 = Jn.create path in
+      Jn.intent j2 (solve ~id:"t1" ());
+      Jn.commit j2 ~job_id:"t1" ~line:"l1";
+      Jn.close j2;
+      let r2 = Jn.replay path in
+      checki "still exactly one malformed line" 1 r2.Jn.malformed;
+      checki "post-reopen records parse" 2 (List.length r2.Jn.committed);
+      checks "post-reopen commit intact" "l1" (List.assoc "t1" r2.Jn.committed))
+
+let test_journal_missing_and_dedup () =
+  let r = Jn.replay "/nonexistent/journal.jsonl" in
+  check "missing file replays empty" true
+    (r.Jn.committed = [] && r.Jn.pending = [] && r.Jn.malformed = 0);
+  with_temp_journal (fun path ->
+      let j = Jn.create path in
+      Jn.intent j (solve ~id:"d0" ());
+      Jn.commit j ~job_id:"d0" ~line:"first";
+      Jn.commit j ~job_id:"d0" ~line:"second";
+      Jn.close j;
+      let r = Jn.replay path in
+      checki "duplicate commits dedup" 1 (List.length r.Jn.committed);
+      checks "first commit wins" "first" (List.assoc "d0" r.Jn.committed))
+
+(* ---- hardened telemetry-line parser ---- *)
+
+let test_telemetry_parser_hardened () =
+  let raises_json_error s =
+    match Harness.Obs_io.telemetry_line_of_string s with
+    | _ -> false
+    | exception Json.Error _ -> true
+    | exception _ -> false
+  in
+  (* A torn tail-follow read in every flavor: truncated JSON, valid JSON
+     missing fields, bad level names, wrong field types — all must be
+     the one skip-and-count exception, never a crash. *)
+  check "truncated JSON" true (raises_json_error "{\"type\":\"log\",\"ts");
+  check "missing fields" true (raises_json_error "{\"type\":\"log\"}");
+  check "unknown level" true
+    (raises_json_error
+       "{\"type\":\"log\",\"ts_ms\":1,\"level\":\"loud\",\"domain\":0,\"event\":\"e\",\"fields\":{}}");
+  check "wrong type tag" true (raises_json_error "{\"type\":\"nope\"}");
+  check "non-object" true (raises_json_error "42");
+  (* And an intact line still parses. *)
+  match
+    Harness.Obs_io.telemetry_line_of_string
+      "{\"type\":\"log\",\"ts_ms\":1.5,\"level\":\"warn\",\"domain\":0,\"event\":\"e\",\"fields\":{\"k\":\"v\"}}"
+  with
+  | Harness.Obs_io.Log_line r -> checks "intact line parses" "e" r.Obs.Log.event
+  | Harness.Obs_io.Snapshot _ -> Alcotest.fail "parsed as a snapshot"
+
+(* ---- concurrent backpressure ---- *)
+
+let test_concurrent_backpressure () =
+  let config =
+    {
+      F.Config.default with
+      pool = [ (Some D.v100, 1) ];
+      max_queue_depth = 2;
+      (* Slow jobs keep the single queue full while the submitters
+         hammer it. *)
+      backoff_ms = 20.0;
+    }
+  in
+  let fleet = F.create config in
+  let domains = 4 and per_domain = 6 in
+  let accepted = Atomic.make 0 and rejected = Atomic.make 0 in
+  let submitter d () =
+    for i = 0 to per_domain - 1 do
+      let job =
+        solve ~device:"v100"
+          ~id:(Printf.sprintf "bp-%d-%d" d i)
+          ~inject_failures:1 ~retries:1 ()
+      in
+      match F.submit fleet job with
+      | Ok _ -> Atomic.incr accepted
+      | Error (F.Queue_full { device_id; queue_depth } as r) ->
+        Atomic.incr rejected;
+        (* Every rejection is well-formed: it names the instance, the
+           depth it saw, and renders a schema-stamped line. *)
+        if device_id <> "v100#0" then
+          Alcotest.failf "rejection names %s" device_id;
+        if queue_depth <> config.F.Config.max_queue_depth then
+          Alcotest.failf "rejection depth %d" queue_depth;
+        let line = F.reject_to_json job r in
+        checki "rejection line schema" S.schema_version
+          (Json.get_int (Json.member "schema" line));
+        checks "rejection line status" "rejected"
+          (Json.get_string (Json.member "status" line))
+      | Error F.Draining -> Alcotest.fail "Draining before shutdown"
+    done
+  in
+  let ds = List.init domains (fun d -> Domain.spawn (submitter d)) in
+  List.iter Domain.join ds;
+  checki "every submission answered" (domains * per_domain)
+    (Atomic.get accepted + Atomic.get rejected);
+  check "backpressure rejected some" true (Atomic.get rejected >= 1);
+  check "the fleet accepted some" true (Atomic.get accepted >= 1);
+  F.quiesce fleet;
+  (* After the drain the fleet must accept again — no lost wakeups. *)
+  (match F.submit fleet (solve ~device:"v100" ~id:"bp-after" ()) with
+  | Ok _ -> ()
+  | Error r -> Alcotest.failf "post-drain submission rejected: %s" (F.reject_message r));
+  F.quiesce fleet;
+  (* Blocking submitters racing a full fleet all get through. *)
+  let blocked = Atomic.make 0 in
+  let blocking d () =
+    for i = 0 to per_domain - 1 do
+      ignore
+        (F.submit_blocking fleet
+           (solve ~device:"v100" ~id:(Printf.sprintf "bl-%d-%d" d i) ()));
+      Atomic.incr blocked
+    done
+  in
+  let ds = List.init domains (fun d -> Domain.spawn (blocking d)) in
+  List.iter Domain.join ds;
+  checki "every blocking submission admitted" (domains * per_domain)
+    (Atomic.get blocked);
+  F.quiesce fleet;
+  F.shutdown fleet;
+  match F.submit fleet (solve ~device:"v100" ~id:"bp-late" ()) with
+  | Error F.Draining -> ()
+  | Ok _ | Error (F.Queue_full _) ->
+    Alcotest.fail "submissions after shutdown must report Draining"
+
+let () =
+  Alcotest.run "resilience"
+    [
+      ( "chaos",
+        [
+          Alcotest.test_case "crash migrates stranded jobs" `Quick
+            test_crash_migrates;
+          Alcotest.test_case "hang is reclaimed by the supervisor" `Quick
+            test_hang_reclaimed;
+          Alcotest.test_case "brownout keeps executing" `Quick
+            test_brownout_completes;
+          Alcotest.test_case "quarantine after max migrations" `Quick
+            test_quarantine;
+        ] );
+      ( "hedging",
+        [ Alcotest.test_case "straggler gets a duplicate" `Quick test_hedge ]
+      );
+      ( "breakers",
+        [ Alcotest.test_case "open, half-open, close" `Quick test_breaker_cycle ]
+      );
+      ( "config",
+        [
+          Alcotest.test_case "structured validation" `Quick
+            test_config_validation;
+        ] );
+      ( "jitter",
+        [ Alcotest.test_case "seeded backoff jitter" `Quick test_jitter ] );
+      ( "journal",
+        [
+          Alcotest.test_case "intent/commit/reject round-trip" `Quick
+            test_journal_roundtrip;
+          Alcotest.test_case "truncation tolerance and torn-tail reopen"
+            `Quick test_journal_truncation;
+          Alcotest.test_case "missing file and duplicate commits" `Quick
+            test_journal_missing_and_dedup;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "parser never raises past Json.Error" `Quick
+            test_telemetry_parser_hardened;
+        ] );
+      ( "backpressure",
+        [
+          Alcotest.test_case "concurrent submitters" `Quick
+            test_concurrent_backpressure;
+        ] );
+    ]
