@@ -31,7 +31,7 @@ let smoke () =
         ~dim:256 ~tile:32 ~retries:1 ~inject_failures:99 ();
     ]
   in
-  let outcomes = S.run_batch ~parallel:2 ~backoff_ms:0.0 jobs in
+  let outcomes = S.run (S.Config.batch ~parallel:2 ~backoff_ms:0.0 ()) jobs in
   if List.length outcomes <> List.length jobs then
     fail "batch-smoke: %d outcomes for %d jobs" (List.length outcomes)
       (List.length jobs);

@@ -52,6 +52,7 @@ let items : (string * (unit -> unit)) list =
     ("fault-smoke", Faults_bench.smoke);
     ("telemetry-smoke", Telemetry_bench.smoke);
     ("chaos-smoke", Chaos_bench.smoke);
+    ("iter-smoke", Iter_bench.smoke);
   ]
 
 let () =

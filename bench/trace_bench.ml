@@ -36,7 +36,7 @@ let smoke () =
   let outcomes =
     Fun.protect
       ~finally:(fun () -> Obs.Tracer.stop ())
-      (fun () -> S.run_batch ~parallel:2 ~backoff_ms:0.0 jobs)
+      (fun () -> S.run (S.Config.batch ~parallel:2 ~backoff_ms:0.0 ()) jobs)
   in
   if List.length outcomes <> List.length jobs then
     fail "trace-smoke: %d outcomes for %d jobs" (List.length outcomes)

@@ -60,7 +60,25 @@ let rows =
   Arg.(
     value & opt (some int) None
     & info [ "rows" ] ~docv:"M"
-        ~doc:"Number of rows (QR only; default: square).")
+        ~doc:"Number of rows (qr and solve; default: square).")
+
+let solver_name =
+  Arg.(
+    value & opt string "qr"
+    & info [ "solver" ] ~docv:"ENGINE"
+        ~doc:
+          "Solve engine: qr (direct blocked QR + back substitution, the \
+           default), cg (conjugate gradient on the normal equations) or \
+           lsqr — the iterative engines run a D -> DD -> QD -> OD \
+           refinement ladder of staged matrix-vector kernels.")
+
+(* Bad engine names exit with a usage error before anything runs, like
+   the fault flags. *)
+let solver_of name =
+  try Lsq_core.Solver.method_of_string name
+  with Invalid_argument m ->
+    Printf.eprintf "error: %s\n" m;
+    exit 2
 
 let tile =
   Arg.(
@@ -291,38 +309,73 @@ let backsub_cmd =
       $ fault_flags $ obs_flags)
 
 let solve_cmd =
-  let run device p dim tile complex execute (rate, seed, kinds) obs =
+  let run device p dim rows tile complex solver execute (rate, seed, kinds) obs
+      =
     check_tile ~dim ~tile;
+    let method_ = solver_of solver in
+    let m = Option.value rows ~default:dim in
+    if m < dim then begin
+      Printf.eprintf "error: --rows (%d) must be at least the dimension (%d)\n"
+        m dim;
+      exit 2
+    end;
     let fault = fault_config_of ~rate ~seed ~kinds in
     with_observability obs (fun () ->
-        let r = R.solve ~complex ?fault p device ~n:dim ~tile in
+        let r = R.solve ~complex ?fault ~method_ ?rows p device ~n:dim ~tile in
         pf "least squares solve of a %dx%d system in %s%s on the simulated %s\n"
-          dim dim (P.name p)
+          m dim (P.name p)
           (if complex then " complex" else "")
           device.Gpusim.Device.name;
-        let qr = Harness.Report.part r R.qr_part in
-        let bs = Harness.Report.part r R.bs_part in
-        pf "  %-24s %12.3f ms\n" "QR kernel time"
-          qr.Harness.Report.Part.kernel_ms;
-        pf "  %-24s %12.3f ms\n" "QR wall time" qr.Harness.Report.Part.wall_ms;
-        pf "  %-24s %12.3f ms\n" "BS kernel time"
-          bs.Harness.Report.Part.kernel_ms;
-        pf "  %-24s %12.3f ms\n" "BS wall time" bs.Harness.Report.Part.wall_ms;
+        (match r.Harness.Report.solver with
+        | None ->
+          let qr = Harness.Report.part r R.qr_part in
+          let bs = Harness.Report.part r R.bs_part in
+          pf "  %-24s %12.3f ms\n" "QR kernel time"
+            qr.Harness.Report.Part.kernel_ms;
+          pf "  %-24s %12.3f ms\n" "QR wall time"
+            qr.Harness.Report.Part.wall_ms;
+          pf "  %-24s %12.3f ms\n" "BS kernel time"
+            bs.Harness.Report.Part.kernel_ms;
+          pf "  %-24s %12.3f ms\n" "BS wall time"
+            bs.Harness.Report.Part.wall_ms
+        | Some s ->
+          pf "  %-24s %12s\n" "engine"
+            (Lsq_core.Solver.method_name s.Harness.Report.method_);
+          List.iter
+            (fun (part : Harness.Report.Part.t) ->
+              pf "  %-24s %12.3f ms kernel, %.3f ms wall\n"
+                (part.Harness.Report.Part.name ^ " time")
+                part.Harness.Report.Part.kernel_ms
+                part.Harness.Report.Part.wall_ms)
+            r.Harness.Report.parts;
+          pf "  %-24s %12d\n" "modeled inner iterations"
+            s.Harness.Report.iterations;
+          pf "  %-24s %12s\n" "refinement ladder"
+            (String.concat " -> "
+               (List.map
+                  (fun (t, i) -> Printf.sprintf "%s:%d" (P.label t) i)
+                  s.Harness.Report.ladder)));
         pf "  %-24s %12.1f gigaflops\n" "total kernel flops"
           r.Harness.Report.kernel_gflops;
         pf "  %-24s %12.1f gigaflops\n" "total wall flops"
           r.Harness.Report.wall_gflops;
         print_faults r;
-        if execute then
+        if execute then begin
+          let n' = min dim 64 in
+          let rows' = Option.map (fun m -> max n' (min m (8 * n'))) rows in
           print_residual "executed forward error"
-            (R.verify_solve ~complex ?fault p device ~n:(min dim 64)
-               ~tile:(min tile 16)))
+            (R.verify_solve ~complex ?fault ~method_ ?rows:rows' p device
+               ~n:n' ~tile:(min tile 16))
+        end)
   in
   Cmd.v
-    (Cmd.info "solve" ~doc:"Least squares solver: QR then back substitution.")
+    (Cmd.info "solve"
+       ~doc:
+         "Least squares solver: direct QR + back substitution, or an \
+          iterative engine via $(b,--solver).")
     Term.(
-      const run $ device $ prec $ dim $ tile $ complex $ execute
-      $ fault_flags $ obs_flags)
+      const run $ device $ prec $ dim $ rows $ tile $ complex $ solver_name
+      $ execute $ fault_flags $ obs_flags)
 
 let faults_cmd =
   let dim_arg =
@@ -485,8 +538,9 @@ let roofline_cmd =
       & info [ "json" ]
           ~doc:"Emit the table as JSON (see Harness.Obs_io) on stdout.")
   in
-  let run device p kind dim rows tile complex json =
+  let run device p kind dim rows tile complex solver json =
     check_tile ~dim ~tile;
+    let method_ = solver_of solver in
     let kind_name =
       match kind with `Qr -> "qr" | `Backsub -> "backsub" | `Solve -> "solve"
     in
@@ -494,7 +548,7 @@ let roofline_cmd =
       match kind with
       | `Qr -> R.qr_roofline ~complex ?rows p device ~n:dim ~tile
       | `Backsub -> R.bs_roofline ~complex p device ~dim ~tile
-      | `Solve -> R.solve_roofline ~complex p device ~n:dim ~tile
+      | `Solve -> R.solve_roofline ~complex ~method_ ?rows p device ~n:dim ~tile
     in
     let rows_all = stages @ [ Obs.Roofline.total stages ] in
     let ridge =
@@ -537,7 +591,7 @@ let roofline_cmd =
           CGMA analysis).")
     Term.(
       const run $ device $ prec $ kind $ dim $ rows $ tile $ complex
-      $ json_flag)
+      $ solver_name $ json_flag)
 
 let refine_cmd =
   let lo_prec =
@@ -783,7 +837,8 @@ let batch_cmd =
                 a jobs file.  One of: %s."
                (String.concat ", " Sched.Sweep.names)))
   in
-  let run jobs_file sweep_name parallel out_file obs =
+  let run jobs_file sweep_name parallel solver out_file obs =
+    let default_solver = solver_of solver in
     let jobs =
       match (jobs_file, sweep_name) with
       | Some _, Some _ ->
@@ -807,6 +862,20 @@ let batch_cmd =
       Printf.eprintf "error: --parallel must be at least 1\n";
       exit 2
     end;
+    (* Like serve's --fault-* flags, --solver is a default: it rewires
+       solve jobs that did not pick an engine themselves. *)
+    let jobs =
+      if default_solver = Lsq_core.Solver.Qr_direct then jobs
+      else
+        List.map
+          (fun (job : Sched.Job.t) ->
+            if
+              job.Sched.Job.kind = Sched.Job.Solve
+              && job.Sched.Job.solver = Lsq_core.Solver.Qr_direct
+            then { job with Sched.Job.solver = default_solver }
+            else job)
+          jobs
+    in
     let outcomes =
       with_observability obs (fun () ->
           Sched.Scheduler.run
@@ -861,7 +930,8 @@ let batch_cmd =
          "Run a batch of jobs over a fresh fleet of generic workers and \
           emit one JSON outcome per line.")
     Term.(
-      const run $ jobs_file $ sweep_name $ parallel_arg $ out_arg $ obs_flags)
+      const run $ jobs_file $ sweep_name $ parallel_arg $ solver_name
+      $ out_arg $ obs_flags)
 
 (* Raised from the SIGTERM handler to interrupt serve's blocking stdin
    read: admissions stop, admitted jobs drain. *)
@@ -981,9 +1051,10 @@ let serve_cmd =
              $(b,--telemetry) the log streams to standard error as JSON \
              lines; $(b,warn) also silences the end-of-run summary.")
   in
-  let run pool_spec depth no_steal (rate, seed, kinds) out_file obs telemetry
-      telemetry_prom telemetry_interval_ms log_level journal_file resume
-      chaos_rate chaos_seed hedge_ms breakers =
+  let run pool_spec depth no_steal (rate, seed, kinds) solver out_file obs
+      telemetry telemetry_prom telemetry_interval_ms log_level journal_file
+      resume chaos_rate chaos_seed hedge_ms breakers =
+    let default_solver = solver_of solver in
     let usage_error fmt =
       Printf.ksprintf
         (fun m ->
@@ -1094,6 +1165,16 @@ let serve_cmd =
         | None -> job
       else job
     in
+    (* --solver is a default too: it rewires solve jobs that did not pick
+       an engine themselves (the JSON default is the direct QR engine). *)
+    let with_default_solver (job : Sched.Job.t) =
+      if
+        default_solver <> Lsq_core.Solver.Qr_direct
+        && job.Sched.Job.kind = Sched.Job.Solve
+        && job.Sched.Job.solver = Lsq_core.Solver.Qr_direct
+      then { job with Sched.Job.solver = default_solver }
+      else job
+    in
     with_observability obs (fun () ->
         let exporter =
           Option.map
@@ -1138,7 +1219,7 @@ let serve_cmd =
              if String.trim line <> "" then
                match Sched.Job.of_json (Harness.Json.of_string line) with
                | job -> (
-                 let job = with_default_faults job in
+                 let job = with_default_solver (with_default_faults job) in
                  (match journal with
                  | Some j -> Sched.Journal.intent j job
                  | None -> ());
@@ -1205,10 +1286,10 @@ let serve_cmd =
           is crash-safe: rerunning with $(b,--resume) yields exactly one \
           outcome line per job across the crash; SIGTERM drains gracefully.")
     Term.(
-      const run $ pool_spec $ depth $ no_steal $ fault_flags $ out_arg
-      $ obs_flags $ telemetry_arg $ telemetry_prom_arg $ telemetry_interval_arg
-      $ log_level_arg $ journal_arg $ resume_arg $ chaos_rate_arg
-      $ chaos_seed_arg $ hedge_arg $ breakers_arg)
+      const run $ pool_spec $ depth $ no_steal $ fault_flags $ solver_name
+      $ out_arg $ obs_flags $ telemetry_arg $ telemetry_prom_arg
+      $ telemetry_interval_arg $ log_level_arg $ journal_arg $ resume_arg
+      $ chaos_rate_arg $ chaos_seed_arg $ hedge_arg $ breakers_arg)
 
 let monitor_cmd =
   let file_arg =

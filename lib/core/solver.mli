@@ -1,0 +1,126 @@
+(** The solver-engine abstraction: one pluggable solve path, three
+    engines behind it.
+
+    [Qr_direct] is the paper's blocked QR + tiled back substitution
+    ([Least_squares]) — the compute-bound direct factorization.
+    [Cg_normal] (conjugate gradient on the normal equations) and [Lsqr]
+    are iterative engines: thin loops over a staged matrix-vector
+    product and BLAS-1 kernels — memory-bound at double precision and
+    double double, drifting compute-bound as the Table 1 multipliers
+    grow — wrapped in a D -> DD -> QD -> OD refinement ladder that
+    reuses [Refine]'s limb-plane promote / demote seams.  All three return the same
+    {!Make.result}, so everything downstream (reports, scheduler,
+    fleet placement, CLI) dispatches on the method value alone. *)
+
+type method_ = Qr_direct | Cg_normal | Lsqr
+
+val all_methods : method_ list
+
+val method_name : method_ -> string
+(** ["qr"], ["cg"], ["lsqr"] — the wire names used by reports, job
+    files and the command line. *)
+
+val method_names : string list
+
+val method_of_string : string -> method_
+(** Inverse of {!method_name} (also accepts a few aliases:
+    ["qr_direct"], ["direct"], ["cgnr"], ["cg_normal"]).
+    @raise Invalid_argument on unknown names. *)
+
+val is_iterative : method_ -> bool
+
+val scalar_of :
+  ?complex:bool -> Multidouble.Precision.tag -> (module Mdlinalg.Scalar.S)
+(** The scalar instance of a (precision, realness) pair — the dispatch
+    the precision ladder climbs through. *)
+
+type iter_info = {
+  iterations : int;  (** inner iterations summed over the ladder *)
+  residual_history : float list;
+      (** true least-squares residual 2-norms at the target precision:
+          one before each rung plus the final one (empty for planning
+          runs) *)
+  ladder : (Multidouble.Precision.tag * int) list;
+      (** per-rung inner iteration counts, in climb order *)
+  ladder_start : Multidouble.Precision.tag;
+  cond_estimate : float option;
+      (** cond1 of the double-precision normal matrix, when the ladder
+          start was chosen automatically *)
+  converged : bool;
+      (** the normal-equations residual met the forward-error bound at
+          the target precision (always [false] for planning runs) *)
+}
+
+val planned_iterations : cols:int -> int
+(** The inner iteration count a planning run charges when none is
+    given: min(n, 200) — CG reaches the exact solution in at most n
+    steps in exact arithmetic. *)
+
+module Make (K : Mdlinalg.Scalar.S) : sig
+  type part = {
+    name : string;  (** ["QR"] / ["BS"], or ["CG@2d"]-style rung labels *)
+    kernel_ms : float;
+    wall_ms : float;
+    kernel_gflops : float;
+    wall_gflops : float;
+  }
+
+  type result = {
+    x : Mdlinalg.Vec.Make(K).t;
+    method_ : method_;
+    parts : part list;
+    stages : Gpusim.Profile.row list;
+        (** per-kernel rows, merged across the ladder's simulators *)
+    kernel_ms : float;
+    wall_ms : float;
+    kernel_gflops : float;
+    wall_gflops : float;
+    launches : int;
+    faults : Fault.Plan.tally option;
+    iter : iter_info option;  (** [None] exactly for [Qr_direct] *)
+  }
+
+  val qr_part : string
+  val bs_part : string
+
+  val of_ls : Least_squares.Make(K).result -> result
+  (** Wrap a direct-solver result into the common shape. *)
+
+  val solve :
+    method_:method_ ->
+    ?execute:bool ->
+    ?fault:Fault.Plan.config ->
+    ?ladder_start:Multidouble.Precision.tag ->
+    ?max_iterations:int ->
+    device:Gpusim.Device.t ->
+    a:Mdlinalg.Mat.Make(K).t ->
+    b:Mdlinalg.Vec.Make(K).t ->
+    tile:int ->
+    unit ->
+    result
+  (** Minimize ||b - a x||_2 with the chosen engine.  [Qr_direct] runs
+      the economy (thin) factorization when the system is tall and the
+      full one when square.  The iterative engines run the refinement
+      ladder from [ladder_start] (default: chosen from a double
+      precision condition estimate of the normal matrix) up to [K]'s
+      precision; [max_iterations] caps the inner iterations per rung
+      (default 4n).  With [execute = false] the iterative engines
+      delegate to {!plan} with [max_iterations] as the charged
+      iteration count.
+      @raise Invalid_argument when the matrix has more columns than
+      rows or the right-hand side length mismatches. *)
+
+  val plan :
+    method_:method_ ->
+    ?fault:Fault.Plan.config ->
+    ?iterations:int ->
+    device:Gpusim.Device.t ->
+    rows:int ->
+    cols:int ->
+    tile:int ->
+    unit ->
+    result
+  (** Cost accounting only, from the dimensions: the direct engine's
+      plan, or one modeled rung of [iterations] (default
+      {!planned_iterations}) iterative sweeps at [K]'s precision. *)
+end

@@ -29,6 +29,18 @@ let bs_stages = [ invert_tiles; multiply_inverses; back_substitution ]
    the right-hand side instead of accumulating Q. *)
 let apply_qt = "apply Q^T to b"
 
+(* Extension: the iterative engines (CG on the normal equations, LSQR)
+   are thin loops over a matrix-vector product and a few BLAS-1
+   kernels; the same labels serve both engines at every rung of the
+   precision ladder. *)
+let matvec = "A*v"
+let matvec_t = "A^T*v"
+let iter_dot = "dot"
+let iter_axpy = "axpy"
+let iter_scale = "scale"
+
+let iter_stages = [ matvec; matvec_t; iter_dot; iter_axpy; iter_scale ]
+
 (* Extension: the ABFT verification kernels of the fault-tolerant path
    (probe through the aggregated reflectors, per-tile recompute).  Kept
    out of [qr_stages]/[bs_stages] so fault-free breakdowns are unchanged;

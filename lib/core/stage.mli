@@ -29,6 +29,16 @@ val bs_stages : string list
 val apply_qt : string
 (** The thin solver's on-the-fly application of the reflectors to b. *)
 
+val matvec : string
+val matvec_t : string
+val iter_dot : string
+val iter_axpy : string
+val iter_scale : string
+
+val iter_stages : string list
+(** The kernels of the iterative engines (CG on the normal equations,
+    LSQR): matrix-vector products and the BLAS-1 recurrences. *)
+
 val abft_check : string
 (** The fault-tolerant path's ABFT verification kernels.  Not part of
     {!qr_stages}/{!bs_stages}, so fault-free breakdowns are unchanged. *)

@@ -109,6 +109,80 @@ let kernel_ms (d : Device.t) (p : Multidouble.Precision.tag) (l : launch) =
   (float_of_int l.count *. d.launch_us /. 1e3)
   +. (1e3 *. Float.max compute_s (Float.max dram_s cache_s))
 
+(* ---- Launch builders for the iterative engines' vector kernels ----
+
+   CG and LSQR are thin loops over a matrix-vector product and a handful
+   of BLAS-1 kernels.  Their Table-1 operation tallies and memory
+   traffic are fixed by the shapes alone, so the builders live here and
+   the engines share one accounting.  [sb] is the byte size of one
+   scalar in the staggered representation (8 * limbs, doubled again for
+   complex data); [complex] expands the tallies with the usual 4-mul /
+   2-add complex product expansion.
+
+   The matrix-vector product reads every matrix element once per
+   output element's dot product: cold traffic is the matrix plus both
+   vectors, per-thread traffic re-reads the operands — the CGMA ratio is
+   O(1) flops per element, which pins these kernels to the memory side
+   of the roofline at double precision and double double (the opposite
+   corner from the O(n) reuse of the blocked QR products); the higher
+   Table 1 multipliers of quad and octo double buy the flops back. *)
+
+let complexified complex o = if complex then Counter.complexify o else o
+
+let gemv ?(trans = false) ?(complex = false) ~sb ~rows ~cols ~threads () =
+  let f = float_of_int in
+  (* The transposed product of a tall matrix has only [cols] outputs —
+     far too few to fill a grid one-thread-per-output.  The modeled
+     kernel grids over row slabs instead, each block accumulating a
+     per-block partial result folded afterwards by a tree reduction;
+     without this the m >> n shapes of the iterative engines serialize
+     on a single block. *)
+  let span = if trans then max rows cols else rows in
+  let blocks = max 1 ((span + threads - 1) / threads) in
+  let reduction_adds = if trans then f cols *. f blocks else 0.0 in
+  let o =
+    complexified complex
+      (Counter.make
+         ~adds:((f rows *. f cols) +. reduction_adds)
+         ~muls:(f rows *. f cols) ())
+  in
+  launch ~blocks ~threads
+    ~cold_bytes:
+      ((f (rows * cols) +. f rows +. f cols +. reduction_adds) *. sb)
+    ~thread_bytes:(2.0 *. f (rows * cols) *. sb)
+    ~working_set:(f (rows * cols) *. 8.0)
+    ~strided:trans o
+
+let dot ?(complex = false) ~sb ~n ~threads () =
+  let f = float_of_int in
+  let o = complexified complex (Counter.make ~adds:(f n) ~muls:(f n) ()) in
+  launch
+    ~blocks:(max 1 ((n + threads - 1) / threads))
+    ~threads
+    ~cold_bytes:(2.0 *. f n *. sb)
+    ~thread_bytes:(2.0 *. f n *. sb)
+    o
+
+let axpy ?(complex = false) ~sb ~n ~threads () =
+  let f = float_of_int in
+  let o = complexified complex (Counter.make ~adds:(f n) ~muls:(f n) ()) in
+  launch
+    ~blocks:(max 1 ((n + threads - 1) / threads))
+    ~threads
+    ~cold_bytes:(3.0 *. f n *. sb)
+    ~thread_bytes:(2.0 *. f n *. sb)
+    o
+
+let scal ?(complex = false) ~sb ~n ~threads () =
+  let f = float_of_int in
+  let o = complexified complex (Counter.make ~muls:(f n) ()) in
+  launch
+    ~blocks:(max 1 ((n + threads - 1) / threads))
+    ~threads
+    ~cold_bytes:(2.0 *. f n *. sb)
+    ~thread_bytes:(f n *. sb)
+    o
+
 (* Host <-> device staging time for [bytes] of data (milliseconds);
    included in wall clock but not in kernel time, like the paper's
    cudaEventElapsedTime vs wall clock distinction. *)

@@ -42,6 +42,34 @@ val launch :
   Counter.ops ->
   launch
 
+(** {2 Launch builders for the iterative engines' vector kernels}
+
+    CG and LSQR are thin loops over a matrix-vector product and a few
+    BLAS-1 kernels; their Table-1 tallies and traffic are fixed by the
+    shapes alone, so the builders live here and every engine shares one
+    accounting.  [sb] is the byte size of one scalar in the staggered
+    representation.  The matrix-vector product performs O(1) flops per
+    element moved, which pins these kernels to the memory side of the
+    roofline at every multiple double precision. *)
+
+val gemv :
+  ?trans:bool ->
+  ?complex:bool ->
+  sb:float ->
+  rows:int ->
+  cols:int ->
+  threads:int ->
+  unit ->
+  launch
+(** [y := A x] ([rows] outputs), or [y := A^H x] ([cols] outputs,
+    strided column walk) with [trans]. *)
+
+val dot : ?complex:bool -> sb:float -> n:int -> threads:int -> unit -> launch
+val axpy : ?complex:bool -> sb:float -> n:int -> threads:int -> unit -> launch
+
+val scal : ?complex:bool -> sb:float -> n:int -> threads:int -> unit -> launch
+(** [y := alpha x]. *)
+
 val arithmetic_efficiency : float
 (** Fraction of the double precision peak a fully occupied multiple
     double kernel sustains (the Table 1 mix is dominated by dependent

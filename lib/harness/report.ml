@@ -61,6 +61,30 @@ let faults_of_tally ?(refined = false) (tl : Fault.Plan.tally) =
 
 let faults_injected f = f.bitflips + f.launch_fails + f.transfer_faults
 
+(* The iterative-engine story of one run: which engine solved it and how
+   the refinement ladder went.  Absent on direct (QR) runs, so their
+   reports are unchanged modulo the version stamp. *)
+type solver = {
+  method_ : Lsq_core.Solver.method_;
+  iterations : int;
+  residual_history : float list;
+  ladder : (Multidouble.Precision.tag * int) list;
+  ladder_start : Multidouble.Precision.tag;
+  cond_estimate : float option;
+  converged : bool;
+}
+
+let solver_of_iter method_ (it : Lsq_core.Solver.iter_info) =
+  {
+    method_;
+    iterations = it.Lsq_core.Solver.iterations;
+    residual_history = it.Lsq_core.Solver.residual_history;
+    ladder = it.Lsq_core.Solver.ladder;
+    ladder_start = it.Lsq_core.Solver.ladder_start;
+    cond_estimate = it.Lsq_core.Solver.cond_estimate;
+    converged = it.Lsq_core.Solver.converged;
+  }
+
 type t = {
   label : string;
   stages : Row.t list;
@@ -73,11 +97,14 @@ type t = {
   residual : residual option;
   metrics : Obs.Metrics.snapshot option;
   faults : faults option;
+  solver : solver option;
 }
 
 (* v2: stage rows carry launches and operation tallies, and a report can
-   embed a metrics snapshot.  v3: optional per-run fault tally. *)
-let schema_version = 3
+   embed a metrics snapshot.  v3: optional per-run fault tally.
+   v4: optional solver record (engine method + refinement-ladder
+   trajectory of the iterative engines). *)
+let schema_version = 4
 
 let part t name = List.find (fun p -> p.Part.name = name) t.parts
 
@@ -176,6 +203,50 @@ let faults_of_json j =
     refined = Json.(get_bool (member "refined" j));
   }
 
+let json_of_solver s =
+  Json.Obj
+    [
+      ("method", Json.Str (Lsq_core.Solver.method_name s.method_));
+      ("iterations", Json.Int s.iterations);
+      ( "residual_history",
+        Json.Arr (List.map (fun r -> Json.Float r) s.residual_history) );
+      ( "ladder",
+        Json.Arr
+          (List.map
+             (fun (tag, iters) ->
+               Json.Obj
+                 [
+                   ("prec", Json.Str (Multidouble.Precision.label tag));
+                   ("iterations", Json.Int iters);
+                 ])
+             s.ladder) );
+      ("ladder_start", Json.Str (Multidouble.Precision.label s.ladder_start));
+      ( "cond_estimate",
+        match s.cond_estimate with Some c -> Json.Float c | None -> Json.Null
+      );
+      ("converged", Json.Bool s.converged);
+    ]
+
+let solver_of_json j =
+  {
+    method_ =
+      Lsq_core.Solver.method_of_string Json.(get_string (member "method" j));
+    iterations = Json.(get_int (member "iterations" j));
+    residual_history =
+      List.map Json.get_float Json.(get_list (member "residual_history" j));
+    ladder =
+      List.map
+        (fun r ->
+          ( Multidouble.Precision.of_label Json.(get_string (member "prec" r)),
+            Json.(get_int (member "iterations" r)) ))
+        Json.(get_list (member "ladder" j));
+    ladder_start =
+      Multidouble.Precision.of_label
+        Json.(get_string (member "ladder_start" j));
+    cond_estimate = Json.to_option Json.get_float (Json.member "cond_estimate" j);
+    converged = Json.(get_bool (member "converged" j));
+  }
+
 let to_json t =
   Json.Obj
     [
@@ -197,6 +268,8 @@ let to_json t =
         | None -> Json.Null );
       ( "faults",
         match t.faults with Some f -> json_of_faults f | None -> Json.Null );
+      ( "solver",
+        match t.solver with Some s -> json_of_solver s | None -> Json.Null );
     ]
 
 let of_json j =
@@ -218,6 +291,7 @@ let of_json j =
     residual = Json.to_option residual_of_json (Json.member "residual" j);
     metrics = Json.to_option Obs_io.metrics_of_json (Json.member "metrics" j);
     faults = Json.to_option faults_of_json (Json.member "faults" j);
+    solver = Json.to_option solver_of_json (Json.member "solver" j);
   }
 
 let to_json_string t = Json.to_string (to_json t)

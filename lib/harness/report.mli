@@ -67,6 +67,27 @@ type faults = {
 val faults_of_tally : ?refined:bool -> Fault.Plan.tally -> faults
 val faults_injected : faults -> int
 
+(** The iterative-engine story of one run (schema 4): which engine
+    solved it and how the refinement ladder went — inner iteration
+    totals, per-rung counts, the residual-norm trajectory at the target
+    precision, the ladder's starting rung (and the double-precision
+    condition estimate that picked it, when automatic), and whether the
+    final certification bound held.  Absent ([None]) on direct QR runs —
+    their reports are byte-identical to schema-3-era output modulo the
+    version stamp. *)
+type solver = {
+  method_ : Lsq_core.Solver.method_;
+  iterations : int;
+  residual_history : float list;
+  ladder : (Multidouble.Precision.tag * int) list;
+  ladder_start : Multidouble.Precision.tag;
+  cond_estimate : float option;
+  converged : bool;
+}
+
+val solver_of_iter : Lsq_core.Solver.method_ -> Lsq_core.Solver.iter_info -> solver
+(** Lift an engine's {!Lsq_core.Solver.iter_info} into the report form. *)
+
 type t = {
   label : string;  (** what ran: experiment, precision, device, shape *)
   stages : Row.t list;  (** per-stage kernel breakdown *)
@@ -80,6 +101,7 @@ type t = {
   metrics : Obs.Metrics.snapshot option;
       (** attached by metered runs; [None] otherwise *)
   faults : faults option;  (** attached by fault-armed runs *)
+  solver : solver option;  (** attached by iterative-engine runs *)
 }
 
 val schema_version : int

@@ -47,6 +47,7 @@ let qr ?complex ?rows ?fault tag device ~n ~tile =
     residual = None;
     metrics = None;
     faults = Option.map Report.faults_of_tally r.Q.faults;
+    solver = None;
   }
 
 (* Tiled back substitution (Algorithm 1), cost accounting only. *)
@@ -68,49 +69,57 @@ let bs ?complex ?fault tag device ~dim ~tile =
     residual = None;
     metrics = None;
     faults = Option.map Report.faults_of_tally r.B.faults;
+    solver = None;
   }
 
 let qr_part = "QR"
 let bs_part = "BS"
 
-(* Least squares solver (QR then back substitution), cost accounting.
-   The two phases appear as the "QR" and "BS" parts, timed apart as in
-   Table 10; the aggregate figures cover both phases. *)
-let solve ?complex ?fault tag device ~n ~tile =
+(* The engine-qualified experiment name: the default direct engine keeps
+   the historical bare names ("solve", "solve-ft"), so every pre-existing
+   label is unchanged; the iterative engines tag theirs. *)
+let method_what what (method_ : Solver.method_) =
+  match method_ with
+  | Solver.Qr_direct -> what
+  | m -> Printf.sprintf "%s[%s]" what (Solver.method_name m)
+
+(* Least squares solve behind the pluggable engine seam (cost accounting
+   only): the direct QR + BS plan — the two phases appear as the "QR"
+   and "BS" parts, timed apart as in Table 10 — or one modeled rung of
+   an iterative engine (CG on the normal equations, LSQR), whose rung
+   appears as its part and whose report carries the schema-4 solver
+   record. *)
+let solve ?complex ?fault ?(method_ = Solver.Qr_direct) ?rows ?iterations tag
+    device ~n ~tile =
   let (module K) = scalar_of ?complex tag in
-  let module L = Least_squares.Make (K) in
-  let r = L.plan ?fault ~device ~rows:n ~cols:n ~tile () in
+  let module S = Solver.Make (K) in
+  let rows = Option.value rows ~default:n in
+  let r = S.plan ~method_ ?fault ?iterations ~device ~rows ~cols:n ~tile () in
   {
     Report.label =
-      describe "solve" ?complex tag device
-        (Printf.sprintf "%dx%d tile=%d" n n tile);
-    stages =
-      List.map Report.Row.of_profile (r.L.qr_stages @ r.L.bs_stages);
+      describe (method_what "solve" method_) ?complex tag device
+        (Printf.sprintf "%dx%d tile=%d" rows n tile);
+    stages = List.map Report.Row.of_profile r.S.stages;
     parts =
-      [
-        {
-          Report.Part.name = qr_part;
-          kernel_ms = r.L.qr_kernel_ms;
-          wall_ms = r.L.qr_wall_ms;
-          kernel_gflops = r.L.qr_kernel_gflops;
-          wall_gflops = r.L.qr_wall_gflops;
-        };
-        {
-          Report.Part.name = bs_part;
-          kernel_ms = r.L.bs_kernel_ms;
-          wall_ms = r.L.bs_wall_ms;
-          kernel_gflops = r.L.bs_kernel_gflops;
-          wall_gflops = r.L.bs_wall_gflops;
-        };
-      ];
-    kernel_ms = r.L.qr_kernel_ms +. r.L.bs_kernel_ms;
-    wall_ms = r.L.qr_wall_ms +. r.L.bs_wall_ms;
-    kernel_gflops = r.L.total_kernel_gflops;
-    wall_gflops = r.L.total_wall_gflops;
-    launches = r.L.launches;
+      List.map
+        (fun (p : S.part) ->
+          {
+            Report.Part.name = p.S.name;
+            kernel_ms = p.S.kernel_ms;
+            wall_ms = p.S.wall_ms;
+            kernel_gflops = p.S.kernel_gflops;
+            wall_gflops = p.S.wall_gflops;
+          })
+        r.S.parts;
+    kernel_ms = r.S.kernel_ms;
+    wall_ms = r.S.wall_ms;
+    kernel_gflops = r.S.kernel_gflops;
+    wall_gflops = r.S.wall_gflops;
+    launches = r.S.launches;
     residual = None;
     metrics = None;
-    faults = Option.map Report.faults_of_tally r.L.faults;
+    faults = Option.map Report.faults_of_tally r.S.faults;
+    solver = Option.map (Report.solver_of_iter method_) r.S.iter;
   }
 
 (* Per-stage roofline diagnostics (the paper's CGMA analysis, §4.1):
@@ -132,9 +141,57 @@ let bs_roofline ?complex tag device ~dim ~tile =
   B.plan sim ~dim ~tile;
   Gpusim.Sim.roofline sim
 
-let solve_roofline ?complex tag device ~n ~tile =
-  qr_roofline ?complex tag device ~n ~tile
-  @ bs_roofline ?complex tag device ~dim:n ~tile
+let solve_roofline ?complex ?(method_ = Solver.Qr_direct) ?rows tag device ~n
+    ~tile =
+  match method_ with
+  | Solver.Qr_direct ->
+      qr_roofline ?complex ?rows tag device ~n ~tile
+      @ bs_roofline ?complex tag device ~dim:n ~tile
+  | (Solver.Cg_normal | Solver.Lsqr) as m ->
+      (* The iterative engines' stages classify from the same cost
+         terms as the direct ones: the O(1) flops-per-byte BLAS-1/2
+         kernels come out memory-bound at double double (routing those
+         jobs to bandwidth-rich device classes) and drift compute-bound
+         as the Table 1 multipliers grow. *)
+      let (module K) = scalar_of ?complex tag in
+      let module S = Solver.Make (K) in
+      let rows = Option.value rows ~default:n in
+      let r = S.plan ~method_:m ~device ~rows ~cols:n ~tile () in
+      List.map
+        (fun (row : Gpusim.Profile.row) ->
+          Obs.Roofline.classify ~stage:row.Gpusim.Profile.stage
+            ~ms:row.Gpusim.Profile.ms ~launches:row.Gpusim.Profile.launches
+            ~flops:(Gpusim.Counter.flops K.prec row.Gpusim.Profile.ops)
+            ~bytes:
+              (row.Gpusim.Profile.cold_bytes
+              +. row.Gpusim.Profile.thread_bytes)
+            ~compute_ms:row.Gpusim.Profile.compute_ms
+            ~memory_ms:row.Gpusim.Profile.memory_ms
+            ~peak_gflops:device.Gpusim.Device.dp_peak_gflops)
+        r.S.stages
+
+(* Satellite of the engine seam: when an executed iterative run chose
+   its ladder start (from [Mdlinalg.Cond]'s double-precision estimate or
+   an explicit override), surface the choice as a structured log record.
+   Lives here rather than in [lsq_core], which deliberately has no [Obs]
+   dependency. *)
+let log_ladder_start ?(complex = false) tag (s : Report.solver) =
+  if Obs.Log.enabled Obs.Log.Info then
+    let fields =
+      [
+        ("method", Obs.Log.Str (Solver.method_name s.Report.method_));
+        ("target", Obs.Log.Str (P.label tag));
+        ("start", Obs.Log.Str (P.label s.Report.ladder_start));
+        ("iterations", Obs.Log.Int s.Report.iterations);
+        ("converged", Obs.Log.Bool s.Report.converged);
+        ("complex", Obs.Log.Bool complex);
+      ]
+      @
+      match s.Report.cond_estimate with
+      | Some c -> [ ("cond", Obs.Log.Float c) ]
+      | None -> []
+    in
+    Obs.Log.info ~fields "solver.ladder_start"
 
 (* Numerically executed verification: factor, solve and report residuals
    (forward error against a known solution, orthogonality defect and
@@ -161,24 +218,35 @@ let verify_qr ?complex ?fault tag device ~n ~tile =
     ok = worst < 1e6 *. K.R.eps;
   }
 
-let verify_solve ?complex ?fault tag device ~n ~tile =
+let verify_solve ?complex ?fault ?(method_ = Solver.Qr_direct) ?rows tag
+    device ~n ~tile =
   let (module K) = scalar_of ?complex tag in
-  let module L = Least_squares.Make (K) in
+  let module S = Solver.Make (K) in
   let module Rand = Randmat.Make (K) in
   let module V = Vec.Make (K) in
   let rng = Dompool.Prng.create 2424 in
-  let a = Rand.matrix rng n n in
+  let rows = Option.value rows ~default:n in
+  let a = Rand.matrix rng rows n in
   let b, x_true = Rand.rhs_for rng a in
-  let r = L.solve ?fault ~device ~a ~b ~tile () in
+  let r = S.solve ~method_ ?fault ~device ~a ~b ~tile () in
+  Option.iter
+    (fun it -> log_ladder_start ?complex tag (Report.solver_of_iter method_ it))
+    r.S.iter;
   let err =
-    K.R.to_float (V.norm (V.sub r.L.x x_true))
+    K.R.to_float (V.norm (V.sub r.S.x x_true))
     /. K.R.to_float (V.norm x_true)
+  in
+  let shape =
+    if rows = n then Printf.sprintf "n=%d" n
+    else Printf.sprintf "%dx%d" rows n
   in
   {
     Report.what =
-      Printf.sprintf "least squares %s%s n=%d tile=%d" (P.label tag)
+      Printf.sprintf "%s %s%s %s tile=%d"
+        (method_what "least squares" method_)
+        (P.label tag)
         (if Option.value complex ~default:false then " complex" else "")
-        n tile;
+        shape tile;
     residual = err /. K.R.eps;
     eps = K.R.eps;
     ok = err < 1e10 *. K.R.eps;
@@ -231,9 +299,10 @@ let salted (cfg : Fault.Plan.config) =
     ~seed:(cfg.Fault.Plan.seed + 0x5bd1e995)
     ~rate:cfg.Fault.Plan.rate ()
 
-let solve_ft ?(complex = false) ?fault tag device ~n ~tile =
+let solve_ft ?(complex = false) ?fault ?(method_ = Solver.Qr_direct) tag
+    device ~n ~tile =
   let (module K) = scalar_of ~complex tag in
-  let module L = Least_squares.Make (K) in
+  let module S = Solver.Make (K) in
   let module M = Mat.Make (K) in
   let module V = Vec.Make (K) in
   let module Rand = Randmat.Make (K) in
@@ -243,9 +312,13 @@ let solve_ft ?(complex = false) ?fault tag device ~n ~tile =
   let err_of x =
     K.R.to_float (V.norm (V.sub x x_true)) /. K.R.to_float (V.norm x_true)
   in
-  let clean () = L.solve ~device ~a:(M.copy a) ~b:(V.copy b) ~tile () in
+  let clean () =
+    S.solve ~method_ ~device ~a:(M.copy a) ~b:(V.copy b) ~tile ()
+  in
   let rec attempt retries cfg =
-    match L.solve ?fault:cfg ~device ~a:(M.copy a) ~b:(V.copy b) ~tile () with
+    match
+      S.solve ~method_ ?fault:cfg ~device ~a:(M.copy a) ~b:(V.copy b) ~tile ()
+    with
     | r -> r
     | exception Fault.Plan.Injected _ when retries > 0 ->
         attempt (retries - 1) (Option.map salted cfg)
@@ -255,7 +328,7 @@ let solve_ft ?(complex = false) ?fault tag device ~n ~tile =
      ladder a clean re-solve is all that is left. *)
   let refined_solve () =
     match next_tag tag with
-    | None -> (clean ()).L.x
+    | None -> (clean ()).S.x
     | Some hi ->
         let (module KH) = scalar_of ~complex hi in
         let module Rf = Refine.Make_scalar (K) (KH) in
@@ -266,52 +339,50 @@ let solve_ft ?(complex = false) ?fault tag device ~n ~tile =
   in
   let threshold = 1e10 *. K.R.eps in
   let r = attempt 1 fault in
-  let first_err = err_of r.L.x in
+  Option.iter
+    (fun it -> log_ladder_start ~complex tag (Report.solver_of_iter method_ it))
+    r.S.iter;
+  let first_err = err_of r.S.x in
   let refined = Float.is_nan first_err || first_err >= threshold in
   let err = if refined then err_of (refined_solve ()) else first_err in
   let faults =
     match fault with
-    | None -> Option.map (Report.faults_of_tally ~refined) r.L.faults
+    | None -> Option.map (Report.faults_of_tally ~refined) r.S.faults
     | Some _ ->
         Some
           (Report.faults_of_tally ~refined
-             (Option.value r.L.faults ~default:Fault.Plan.zero_tally))
+             (Option.value r.S.faults ~default:Fault.Plan.zero_tally))
   in
   let shape = Printf.sprintf "%dx%d tile=%d" n n tile in
+  let what = method_what "solve-ft" method_ in
   {
-    Report.label = describe "solve-ft" ~complex tag device shape;
-    stages =
-      List.map Report.Row.of_profile (r.L.qr_stages @ r.L.bs_stages);
+    Report.label = describe what ~complex tag device shape;
+    stages = List.map Report.Row.of_profile r.S.stages;
     parts =
-      [
-        {
-          Report.Part.name = qr_part;
-          kernel_ms = r.L.qr_kernel_ms;
-          wall_ms = r.L.qr_wall_ms;
-          kernel_gflops = r.L.qr_kernel_gflops;
-          wall_gflops = r.L.qr_wall_gflops;
-        };
-        {
-          Report.Part.name = bs_part;
-          kernel_ms = r.L.bs_kernel_ms;
-          wall_ms = r.L.bs_wall_ms;
-          kernel_gflops = r.L.bs_kernel_gflops;
-          wall_gflops = r.L.bs_wall_gflops;
-        };
-      ];
-    kernel_ms = r.L.qr_kernel_ms +. r.L.bs_kernel_ms;
-    wall_ms = r.L.qr_wall_ms +. r.L.bs_wall_ms;
-    kernel_gflops = r.L.total_kernel_gflops;
-    wall_gflops = r.L.total_wall_gflops;
-    launches = r.L.launches;
+      List.map
+        (fun (p : S.part) ->
+          {
+            Report.Part.name = p.S.name;
+            kernel_ms = p.S.kernel_ms;
+            wall_ms = p.S.wall_ms;
+            kernel_gflops = p.S.kernel_gflops;
+            wall_gflops = p.S.wall_gflops;
+          })
+        r.S.parts;
+    kernel_ms = r.S.kernel_ms;
+    wall_ms = r.S.wall_ms;
+    kernel_gflops = r.S.kernel_gflops;
+    wall_gflops = r.S.wall_gflops;
+    launches = r.S.launches;
     residual =
       Some
         {
-          Report.what = Printf.sprintf "solve-ft %s %s" (P.label tag) shape;
+          Report.what = Printf.sprintf "%s %s %s" what (P.label tag) shape;
           residual = err /. K.R.eps;
           eps = K.R.eps;
           ok = (not (Float.is_nan err)) && err < threshold;
         };
     metrics = None;
     faults;
+    solver = Option.map (Report.solver_of_iter method_) r.S.iter;
   }

@@ -41,31 +41,50 @@ val bs_part : string
 val solve :
   ?complex:bool ->
   ?fault:Fault.Plan.config ->
+  ?method_:Lsq_core.Solver.method_ ->
+  ?rows:int ->
+  ?iterations:int ->
   Multidouble.Precision.tag ->
   Gpusim.Device.t ->
   n:int ->
   tile:int ->
   Report.t
-(** The least squares solver (QR then back substitution), cost
-    accounting only; the two phases appear as the {!qr_part} and
-    {!bs_part} parts of the report. *)
+(** The least squares solve behind the pluggable engine seam, cost
+    accounting only.  The default [Qr_direct] engine plans QR then back
+    substitution — the two phases appear as the {!qr_part} and
+    {!bs_part} parts of the report, and its output is unchanged from
+    before the seam existed.  [Cg_normal] / [Lsqr] plan one modeled
+    rung of [?iterations] iterative sweeps
+    (default {!Lsq_core.Solver.planned_iterations}) and attach the
+    schema-4 solver record.  [?rows] makes the system tall
+    (default [n], i.e. square). *)
 
 val solve_ft :
   ?complex:bool ->
   ?fault:Fault.Plan.config ->
+  ?method_:Lsq_core.Solver.method_ ->
   Multidouble.Precision.tag ->
   Gpusim.Device.t ->
   n:int ->
   tile:int ->
   Report.t
 (** Numerically executed fault-tolerant solve on a seeded random
-    system: the top rung of the recovery ladder.  Escalations from the
-    solver ([Fault.Plan.Injected]) replay the whole solve under a
-    decorrelated seed; an escaped corruption caught by the final
-    forward-error check triggers a fault-free mixed-precision
-    refinement pass at the next precision up the D/DD/QD/OD ladder
-    (flagged [refined] in the report's fault record).  Never raises;
-    [residual.ok] carries the final verdict. *)
+    system with the chosen engine: the top rung of the recovery ladder.
+    Escalations from the solver ([Fault.Plan.Injected]) — including the
+    iterative engines' failed final certification under an armed plan —
+    replay the whole solve under a decorrelated seed; an escaped
+    corruption caught by the final forward-error check triggers a
+    fault-free mixed-precision refinement pass at the next precision up
+    the D/DD/QD/OD ladder (flagged [refined] in the report's fault
+    record).  Never raises; [residual.ok] carries the final verdict. *)
+
+val log_ladder_start :
+  ?complex:bool -> Multidouble.Precision.tag -> Report.solver -> unit
+(** Emit the [solver.ladder_start] structured log record for an
+    executed iterative run: the engine, the target precision, the
+    ladder rung the condition estimate (or explicit override) chose,
+    the estimate itself when automatic, and how the run went.  Gated on
+    [Obs.Log.enabled Info]; the executed runners call it themselves. *)
 
 val qr_roofline :
   ?complex:bool ->
@@ -89,13 +108,17 @@ val bs_roofline :
 
 val solve_roofline :
   ?complex:bool ->
+  ?method_:Lsq_core.Solver.method_ ->
+  ?rows:int ->
   Multidouble.Precision.tag ->
   Gpusim.Device.t ->
   n:int ->
   tile:int ->
   Obs.Roofline.stage list
-(** QR stages followed by back substitution stages for an n-by-n
-    solve. *)
+(** Per-stage roofline diagnostics of the chosen engine's plan: QR
+    stages followed by back substitution stages for the direct engine;
+    the matvec / BLAS-1 stages — memory-bound at every precision — for
+    the iterative ones. *)
 
 val verify_qr :
   ?complex:bool ->
@@ -109,11 +132,16 @@ val verify_qr :
 val verify_solve :
   ?complex:bool ->
   ?fault:Fault.Plan.config ->
+  ?method_:Lsq_core.Solver.method_ ->
+  ?rows:int ->
   Multidouble.Precision.tag ->
   Gpusim.Device.t ->
   n:int ->
   tile:int ->
   Report.residual
+(** Numerically executed solve with the chosen engine on a seeded
+    random system ([?rows] by [n], default square) with a known
+    solution, reporting the forward error in units of eps. *)
 
 val verify_bs :
   ?complex:bool ->

@@ -324,6 +324,65 @@ module Make (K : Scalar.S) = struct
       store ctx y.p i
     done
 
+  (* ---- The iterative engines' kernels: matrix-vector products (one
+     [Sim.launch] block of output rows each) and the BLAS-1 recurrences.
+     Per output element the sequence is the untiled clear /
+     ascending-index multiply-accumulate / store, so the flat path stays
+     bit-identical to the boxed accumulator loop. ---- *)
+
+  (* y[i] := sum_k a[i, k] * x[k] for rows [blk*threads, (blk+1)*threads). *)
+  let gemv_block ~threads (a : planes) (x : planes) (y : planes) blk =
+    let { Nd_flat.make_ctx; clear; mul_add; store; _ } = the_plan () in
+    let ctx = make_ctx () in
+    let m = a.rows and n = a.cols in
+    let lo = blk * threads in
+    let hi = min m (lo + threads) in
+    for i = lo to hi - 1 do
+      clear ctx;
+      let base = i * n in
+      for k = 0 to n - 1 do
+        mul_add ctx a.p (base + k) x.p k
+      done;
+      store ctx y.p i
+    done
+
+  (* y[j] := sum_i a[i, j] * x[i] — the transposed product walks each
+     column with the row pitch, the strided access of the cost model. *)
+  let gemv_t_block ~threads (a : planes) (x : planes) (y : planes) blk =
+    let { Nd_flat.make_ctx; clear; mul_add; store; _ } = the_plan () in
+    let ctx = make_ctx () in
+    let m = a.rows and n = a.cols in
+    let lo = blk * threads in
+    let hi = min n (lo + threads) in
+    for j = lo to hi - 1 do
+      clear ctx;
+      for i = 0 to m - 1 do
+        mul_add ctx a.p ((i * n) + j) x.p i
+      done;
+      store ctx y.p j
+    done
+
+  (* y[i] := x[i] + alpha * y[i] (the CG direction update p := r + beta p
+     and LSQR's w recurrence). *)
+  let xpay ~n (alpha : planes) (x : planes) (y : planes) =
+    let { Nd_flat.make_ctx; mul_set; add; store; _ } = the_plan () in
+    let ctx = make_ctx () in
+    for i = 0 to n - 1 do
+      mul_set ctx alpha.p 0 y.p i;
+      add ctx x.p i;
+      store ctx y.p i
+    done
+
+  (* y[i] := alpha * x[i]; in-place ([x == y]) is safe, each element is
+     read before it is stored. *)
+  let scal ~n (alpha : planes) (x : planes) (y : planes) =
+    let { Nd_flat.make_ctx; mul_set; store; _ } = the_plan () in
+    let ctx = make_ctx () in
+    for i = 0 to n - 1 do
+      mul_set ctx alpha.p 0 x.p i;
+      store ctx y.p i
+    done
+
   (* a[i, j] := a[i, j] - x[i] * y[j], the Householder panel update. *)
   let rank1_sub (a : planes) (x : planes) (y : planes) =
     let { Nd_flat.make_ctx; mul_set; sub_from; _ } = the_plan () in

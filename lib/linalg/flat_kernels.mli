@@ -102,6 +102,23 @@ module Make (K : Scalar.S) : sig
   (** [axpy ~n alpha x y]: y[i] := y[i] + alpha * x[i]; [alpha] is a
       staged single element. *)
 
+  val gemv_block : threads:int -> planes -> planes -> planes -> int -> unit
+  (** [gemv_block ~threads a x y blk]: y[i] := sum_k a[i, k] * x[k] for
+      the output rows of one launch block.  Per element the untiled
+      clear / ascending multiply-accumulate / store sequence, so the
+      flat path is bit-identical to the boxed accumulator loop. *)
+
+  val gemv_t_block : threads:int -> planes -> planes -> planes -> int -> unit
+  (** The transposed product y[j] := sum_i a[i, j] * x[i] (strided
+      column walk). *)
+
+  val xpay : n:int -> planes -> planes -> planes -> unit
+  (** [xpay ~n alpha x y]: y[i] := x[i] + alpha * y[i] — the CG
+      direction update; [alpha] is a staged single element. *)
+
+  val scal : n:int -> planes -> planes -> planes -> unit
+  (** [scal ~n alpha x y]: y[i] := alpha * x[i]; in-place is safe. *)
+
   val rank1_sub : planes -> planes -> planes -> unit
   (** [rank1_sub a x y]: a[i, j] := a[i, j] - x[i] * y[j], the
       Householder panel update. *)

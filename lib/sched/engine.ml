@@ -41,10 +41,12 @@ type outcome = {
   status : status;
 }
 
-(* v5: resilience plane (migration trail and hedge flag in the
-   placement record); v4 added fleet placement, v3 the retryable
+(* v6: solver-engine seam — jobs carry an optional solver method and
+   completed reports embed the schema-4 report with its solver record;
+   v5 added the resilience plane (migration trail and hedge flag in the
+   placement record), v4 fleet placement, v3 the retryable
    classification, v2 per-attempt timing. *)
-let schema_version = 5
+let schema_version = 6
 
 exception Injected_failure
 
@@ -97,29 +99,32 @@ let run_job (job : Job.t) =
   let prec = job.Job.prec in
   let dim = job.Job.dim and tile = job.Job.tile in
   let fault = Job.fault_config job in
+  let method_ = job.Job.solver in
+  let rows = job.Job.rows in
   match (job.Job.execute, job.Job.kind, fault) with
   | true, Job.Solve, Some _ ->
-    R.solve_ft ~complex ?fault prec device ~n:dim ~tile
+    R.solve_ft ~complex ?fault ~method_ prec device ~n:dim ~tile
   | false, _, _ ->
     (match job.Job.kind with
-    | Job.Qr -> R.qr ~complex ?rows:job.Job.rows ?fault prec device ~n:dim ~tile
+    | Job.Qr -> R.qr ~complex ?rows ?fault prec device ~n:dim ~tile
     | Job.Backsub -> R.bs ~complex ?fault prec device ~dim ~tile
-    | Job.Solve -> R.solve ~complex ?fault prec device ~n:dim ~tile)
+    | Job.Solve -> R.solve ~complex ?fault ~method_ ?rows prec device ~n:dim ~tile)
   | true, _, _ ->
     (* Plan for the cost figures, verify (under the fault plan, if any)
        for the residual; an escalation out of the verification run is a
        retryable failure for [settle]. *)
     let base =
       match job.Job.kind with
-      | Job.Qr -> R.qr ~complex ?rows:job.Job.rows prec device ~n:dim ~tile
+      | Job.Qr -> R.qr ~complex ?rows prec device ~n:dim ~tile
       | Job.Backsub -> R.bs ~complex prec device ~dim ~tile
-      | Job.Solve -> R.solve ~complex prec device ~n:dim ~tile
+      | Job.Solve -> R.solve ~complex ~method_ ?rows prec device ~n:dim ~tile
     in
     let residual =
       match job.Job.kind with
       | Job.Qr -> R.verify_qr ~complex ?fault prec device ~n:dim ~tile
       | Job.Backsub -> R.verify_bs ~complex ?fault prec device ~dim ~tile
-      | Job.Solve -> R.verify_solve ~complex ?fault prec device ~n:dim ~tile
+      | Job.Solve ->
+        R.verify_solve ~complex ?fault ~method_ ?rows prec device ~n:dim ~tile
     in
     { base with Report.residual = Some residual }
 

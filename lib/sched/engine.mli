@@ -64,9 +64,11 @@ type outcome = {
 
 val schema_version : int
 (** Version stamped into (and required of) every serialized outcome:
-    5 (migration trail and hedge flag in the placement record; v4 added
-    fleet placement, v3 the retryable classification, v2 per-attempt
-    timing). *)
+    6 (solver-engine seam: jobs carry an optional solver method and
+    completed reports embed the schema-4 report with its solver record;
+    v5 added the migration trail and hedge flag in the placement
+    record, v4 fleet placement, v3 the retryable classification, v2
+    per-attempt timing). *)
 
 exception Injected_failure
 (** The testing hook raised by the [inject_failures] leading attempts;
@@ -80,7 +82,8 @@ val now_ms : unit -> float
 
 val run_job : Job.t -> Harness.Report.t
 (** Runs one job synchronously (no retry, timeout or failure injection):
-    dispatches on the kind, and when [job.execute] is set additionally
+    dispatches on the kind — solve jobs through the engine the job's
+    [solver] method names — and when [job.execute] is set additionally
     executes the kernels numerically and attaches the residual record.
     A positive [fault_rate] arms the simulator fault plane
     ({!Job.fault_config}); executed solve jobs then run through

@@ -303,8 +303,14 @@ let inflight_gauge inst = m_gauge ("fleet.inflight." ^ inst.id)
    comes out memory-bound, octo double compute-bound, the paper's CGMA
    shape.  Memoized: a million-job stream re-plans nothing. *)
 let classify_memo :
-    (Job.kind * Multidouble.Precision.tag * bool * int * int option * int,
-     Obs.Roofline.bound)
+    ( Job.kind
+      * Multidouble.Precision.tag
+      * bool
+      * int
+      * int option
+      * int
+      * Lsq_core.Solver.method_,
+      Obs.Roofline.bound )
     Hashtbl.t =
   Hashtbl.create 64
 
@@ -317,7 +323,8 @@ let classify_job (job : Job.t) =
       job.Job.complex,
       job.Job.dim,
       job.Job.rows,
-      job.Job.tile )
+      job.Job.tile,
+      job.Job.solver )
   in
   Mutex.lock classify_lock;
   let cached = Hashtbl.find_opt classify_memo key in
@@ -335,7 +342,13 @@ let classify_job (job : Job.t) =
           | Job.Qr ->
             R.qr_roofline ~complex ?rows:job.Job.rows prec D.v100 ~n:dim ~tile
           | Job.Backsub -> R.bs_roofline ~complex prec D.v100 ~dim ~tile
-          | Job.Solve -> R.solve_roofline ~complex prec D.v100 ~n:dim ~tile
+          | Job.Solve ->
+            (* The iterative engines classify memory-bound at every
+               precision (BLAS-1/2 kernels), routing their jobs to
+               bandwidth-rich classes regardless of what the direct
+               plan of the same shape would say. *)
+            R.solve_roofline ~complex ~method_:job.Job.solver
+              ?rows:job.Job.rows prec D.v100 ~n:dim ~tile
         in
         (Obs.Roofline.total stages).Obs.Roofline.bound
       with _ ->
@@ -354,7 +367,13 @@ let classify_job (job : Job.t) =
    either fault recovery or a miscalibrated model.  Memoized like
    [classify_memo]; [None] marks unplannable shapes. *)
 let predict_memo :
-    ( Job.kind * Multidouble.Precision.tag * bool * int * int option * int
+    ( Job.kind
+      * Multidouble.Precision.tag
+      * bool
+      * int
+      * int option
+      * int
+      * Lsq_core.Solver.method_
       * string,
       (string * float) list option )
     Hashtbl.t =
@@ -370,6 +389,7 @@ let predicted_stages (job : Job.t) =
       job.Job.dim,
       job.Job.rows,
       job.Job.tile,
+      job.Job.solver,
       job.Job.device )
   in
   Mutex.lock predict_lock;
@@ -392,7 +412,9 @@ let predicted_stages (job : Job.t) =
               R.qr_roofline ~complex ?rows:job.Job.rows prec device ~n:dim
                 ~tile
             | Job.Backsub -> R.bs_roofline ~complex prec device ~dim ~tile
-            | Job.Solve -> R.solve_roofline ~complex prec device ~n:dim ~tile
+            | Job.Solve ->
+              R.solve_roofline ~complex ~method_:job.Job.solver
+                ?rows:job.Job.rows prec device ~n:dim ~tile
           in
           Some
             (List.map

@@ -3,6 +3,7 @@
 
 module P = Multidouble.Precision
 module Json = Harness.Json
+module Solver = Lsq_core.Solver
 
 type kind = Qr | Backsub | Solve
 
@@ -15,6 +16,7 @@ type t = {
   dim : int;
   rows : int option;
   tile : int;
+  solver : Solver.method_;
   execute : bool;
   timeout_ms : float option;
   retries : int;
@@ -30,10 +32,11 @@ let auto_device = "auto"
 
 let is_auto t = String.lowercase_ascii (String.trim t.device) = auto_device
 
-let make ?(complex = false) ?rows ?(execute = false) ?timeout_ms
-    ?(retries = 1) ?(inject_failures = 0) ?(fault_rate = 0.0)
-    ?(fault_seed = 1) ?(fault_kinds = Fault.Plan.all_kinds) ~id ~kind ~device
-    ~prec ~dim ~tile () =
+let make ?(complex = false) ?rows ?(solver = Solver.Qr_direct)
+    ?(execute = false) ?timeout_ms ?(retries = 1) ?(inject_failures = 0)
+    ?(fault_rate = 0.0) ?(fault_seed = 1)
+    ?(fault_kinds = Fault.Plan.all_kinds) ~id ~kind ~device ~prec ~dim ~tile
+    () =
   {
     id;
     kind;
@@ -43,6 +46,7 @@ let make ?(complex = false) ?rows ?(execute = false) ?timeout_ms
     dim;
     rows;
     tile;
+    solver;
     execute;
     timeout_ms;
     retries;
@@ -83,8 +87,11 @@ let validate t =
   else if
     match t.rows with Some m -> m < t.dim | None -> false
   then err "job '%s': rows < cols" t.id
-  else if t.rows <> None && t.kind <> Qr then
-    err "job '%s': rows only applies to qr jobs" t.id
+  else if t.rows <> None && t.kind = Backsub then
+    err "job '%s': rows only applies to qr and solve jobs" t.id
+  else if Solver.is_iterative t.solver && t.kind <> Solve then
+    err "job '%s': solver '%s' only applies to solve jobs" t.id
+      (Solver.method_name t.solver)
   else if t.retries < 0 then err "job '%s': negative retries" t.id
   else if t.inject_failures < 0 then
     err "job '%s': negative inject_failures" t.id
@@ -115,7 +122,12 @@ let to_json t =
        ("dim", Json.Int t.dim);
      ]
     @ (match t.rows with Some m -> [ ("rows", Json.Int m) ] | None -> [])
-    @ [ ("tile", Json.Int t.tile); ("execute", Json.Bool t.execute) ]
+    @ [ ("tile", Json.Int t.tile) ]
+    (* Direct-engine jobs serialize exactly as before the engine seam. *)
+    @ (if t.solver <> Solver.Qr_direct then
+         [ ("solver", Json.Str (Solver.method_name t.solver)) ]
+       else [])
+    @ [ ("execute", Json.Bool t.execute) ]
     @ (match t.timeout_ms with
       | Some ms -> [ ("timeout_ms", Json.Float ms) ]
       | None -> [])
@@ -158,6 +170,12 @@ let of_json j =
     dim = Json.get_int (Json.member "dim" j);
     rows = opt Json.get_int "rows";
     tile = Json.get_int (Json.member "tile" j);
+    solver =
+      (match opt Json.get_string "solver" with
+      | None -> Solver.Qr_direct
+      | Some s -> (
+        try Solver.method_of_string s
+        with Invalid_argument m -> raise (Json.Error m)));
     execute = default false (opt Json.get_bool "execute");
     timeout_ms = opt Json.get_float "timeout_ms";
     retries = default 1 (opt Json.get_int "retries");

@@ -19,8 +19,17 @@ type t = {
   prec : Multidouble.Precision.tag;
   complex : bool;
   dim : int;
-  rows : int option;  (** QR only: row count (default: square) *)
+  rows : int option;
+      (** QR and solve jobs: row count (default: square).  A tall solve
+          runs the economy factorization — or, with an iterative
+          [solver], the overdetermined system the iterative engines are
+          built for. *)
   tile : int;
+  solver : Lsq_core.Solver.method_;
+      (** solve jobs: the engine behind the pluggable solve path —
+          direct QR (the default), CG on the normal equations, or LSQR.
+          Iterative engines are rejected by {!validate} on other
+          kinds. *)
   execute : bool;
       (** run the kernels numerically and attach a residual (keep the
           dimension moderate); default is cost accounting only *)
@@ -44,6 +53,7 @@ type t = {
 val make :
   ?complex:bool ->
   ?rows:int ->
+  ?solver:Lsq_core.Solver.method_ ->
   ?execute:bool ->
   ?timeout_ms:float ->
   ?retries:int ->
@@ -59,8 +69,9 @@ val make :
   tile:int ->
   unit ->
   t
-(** Defaults: real data, square, plan only, no timeout, [retries = 1],
-    no injected failures, fault plane disarmed. *)
+(** Defaults: real data, square, direct QR engine, plan only, no
+    timeout, [retries = 1], no injected failures, fault plane
+    disarmed. *)
 
 val auto_device : string
 (** The placement wildcard ["auto"]: valid for submission to a fleet,
@@ -89,7 +100,7 @@ val validate : t -> (unit, string) result
 val to_json : t -> Harness.Json.t
 val of_json : Harness.Json.t -> t
 (** Raises [Harness.Json.Error] on malformed documents.  Optional fields
-    ([complex], [rows], [execute], [timeout_ms], [retries],
+    ([complex], [rows], [solver], [execute], [timeout_ms], [retries],
     [inject_failures], [fault_rate], [fault_seed], [fault_kinds]) take
     the {!make} defaults when absent; a missing [device] defaults to
     {!auto_device}. *)

@@ -1,6 +1,5 @@
 (* The scheduler facade: historical names for the per-job engine's
-   types, a [Config]-driven entry point over the fleet service, and the
-   legacy optional-argument batch entry point as a compatibility shim.
+   types and a [Config]-driven entry point over the fleet service.
 
    The execution machinery lives in [Engine] (one job's lifecycle) and
    [Fleet] (the device pool, placement, admission control, stealing);
@@ -63,14 +62,6 @@ let run ?on_outcome (config : Config.t) jobs =
     Fleet.shutdown fleet;
     outcomes
   end
-
-(* Deprecated entry point, kept as a shim: [pool] is ignored (the fleet
-   spawns its own worker domains), [parallel] becomes the number of
-   generic instances.  [parallel:1] is one FIFO queue — submission
-   order is execution order, as before. *)
-let run_batch ?pool:_ ?(parallel = 4) ?(backoff_ms = 1.0) ?on_outcome jobs =
-  let parallel = max 1 (min parallel (List.length jobs)) in
-  run ?on_outcome (Config.batch ~parallel ~backoff_ms ()) jobs
 
 (* ---- serialization (engine re-exports) ---- *)
 

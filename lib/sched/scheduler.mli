@@ -54,7 +54,7 @@ type outcome = Engine.outcome = {
   timing : timing;
   placement : placement option;
       (** which fleet instance ran the job, where it was admitted, and
-          the steal count; always set by {!run} and {!run_batch} *)
+          the steal count; always set by {!run} *)
   status : status;
 }
 
@@ -80,22 +80,6 @@ val run :
     [on_outcome] is called as each job settles, from the worker domain
     that ran it — it must be thread-safe and must not raise.  Never
     raises on job failures. *)
-
-val run_batch :
-  ?pool:Dompool.Domain_pool.t ->
-  ?parallel:int ->
-  ?backoff_ms:float ->
-  ?on_outcome:(outcome -> unit) ->
-  Job.t list ->
-  outcome list
-(** Deprecated compatibility shim over {!run} with
-    [Config.batch ~parallel ~backoff_ms ()]: [parallel] (clamped to the
-    batch size, default 4) generic fleet instances, [backoff_ms]
-    (default 1.0) the base of the exponential backoff between attempts
-    ([backoff_ms * 2^k] after the [k]-th failure).  [pool] is ignored —
-    the fleet spawns its own worker domains.  With [parallel:1] the
-    fleet is one FIFO queue, so execution order is submission order.
-    New code should call {!run} with an explicit {!Config.t}. *)
 
 val outcome_to_json : outcome -> Harness.Json.t
 val outcome_of_json : Harness.Json.t -> outcome

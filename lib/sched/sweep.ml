@@ -4,14 +4,17 @@
 
 module P = Multidouble.Precision
 module D = Gpusim.Device
+module Solver = Lsq_core.Solver
 
-let job ~table ?complex ?rows ~kind ~device ~prec ~dim ~tile ?suffix () =
+let job ~table ?complex ?rows ?solver ~kind ~device ~prec ~dim ~tile ?suffix
+    () =
   let id =
     Printf.sprintf "%s-%s-%s%s%s" table (D.slug device) (P.label prec)
       (if Option.value complex ~default:false then "z" else "")
       (match suffix with Some s -> "-" ^ s | None -> "")
   in
-  Job.make ?complex ?rows ~id ~kind ~device:device.D.name ~prec ~dim ~tile ()
+  Job.make ?complex ?rows ?solver ~id ~kind ~device:device.D.name ~prec ~dim
+    ~tile ()
 
 (* Table 3: blocked QR, double double, 1024, all five devices. *)
 let table3 () =
@@ -128,6 +131,27 @@ let fleet () =
       (P.OD, Job.Solve);
     ]
 
+(* Tall & skinny: the iterative engines' home turf — overdetermined
+   systems with m >> n, run through all three engines side by side so
+   one batch yields the time-vs-accuracy comparison.  Double double (the
+   bandwidth-bound precision) and quad double, on the V100. *)
+let tallskinny () =
+  List.concat_map
+    (fun prec ->
+      List.concat_map
+        (fun solver ->
+          List.map
+            (fun (rows, cols) ->
+              job ~table:"tallskinny" ~rows ~solver ~kind:Job.Solve
+                ~device:D.v100 ~prec ~dim:cols ~tile:cols
+                ~suffix:
+                  (Printf.sprintf "%s-%dx%d" (Solver.method_name solver) rows
+                     cols)
+                ())
+            [ (4096, 32); (16384, 64) ])
+        Solver.all_methods)
+    [ P.DD; P.QD ]
+
 let sweeps =
   [
     ("table3", table3);
@@ -139,6 +163,7 @@ let sweeps =
     ("table9", table9);
     ("table10", table10);
     ("fleet", fleet);
+    ("tallskinny", tallskinny);
   ]
 
 let names = List.map fst sweeps

@@ -305,9 +305,9 @@ let test_backpressure () =
   | Ok _ | Error (F.Queue_full _) ->
     Alcotest.fail "submissions after shutdown must report Draining"
 
-(* ---- schema 5 ---- *)
+(* ---- schema 6 ---- *)
 
-let test_schema5_roundtrip () =
+let test_schema6_roundtrip () =
   let outcomes =
     S.run
       { S.Config.default with F.Config.max_queue_depth = F.Config.unbounded }
@@ -318,7 +318,7 @@ let test_schema5_roundtrip () =
       let line = Json.to_string (S.outcome_to_json o) in
       let o' = S.outcome_of_json (Json.of_string line) in
       check "outcome round-trips with placement" true (o = o');
-      checki "schema is 5" 5 S.schema_version;
+      checki "schema is 6" 6 S.schema_version;
       check "placement survives the codec" true (o'.S.placement <> None);
       let p = placement o in
       check "undisturbed job has no migration trail" true
@@ -376,8 +376,8 @@ let () =
         [ Alcotest.test_case "backpressure" `Quick test_backpressure ] );
       ( "schema",
         [
-          Alcotest.test_case "schema 5 round-trip" `Quick
-            test_schema5_roundtrip;
+          Alcotest.test_case "schema 6 round-trip" `Quick
+            test_schema6_roundtrip;
           Alcotest.test_case "auto needs a fleet" `Quick test_auto_needs_fleet;
         ] );
     ]

@@ -576,6 +576,71 @@ end
 module Spdd = Series_props (Scalar.Dd)
 module Spz = Series_props (Scalar.Zdd)
 
+(* The refinement ladder's precision seams: [Refine.Make_scalar]'s
+   promote / demote are per-part limb-plane copies — promotion embeds
+   the low precision exactly (zero-padding), demotion truncates within
+   one ulp of the low precision.  The iterative solver engines climb
+   D -> DD -> QD -> OD through exactly these seams, so the laws hold
+   for every adjacent and skipping pair, real and complex. *)
+module Refine_props (KL : Scalar.S) (KH : Scalar.S) = struct
+  open QCheck2
+  module Rf = Lsq_core.Refine.Make_scalar (KL) (KH)
+
+  (* Full-width values: differences of uniform randoms fill the limbs;
+     a random binary exponent spreads the scales. *)
+  let gen_of (type s) (module K : Scalar.S with type t = s) : s Gen.t =
+    let open Gen in
+    let* seed = int_range 1 1_000_000 in
+    let* e = int_range (-12) 12 in
+    let rng = Dompool.Prng.create seed in
+    let x = K.sub (K.random rng) (K.random rng) in
+    return (K.mul_float x (2.0 ** float_of_int e))
+
+  let gen_lo = gen_of (module KL)
+  let gen_hi = gen_of (module KH)
+
+  let suite name =
+    ( name ^ " promote/demote",
+      [
+        to_alco "demote inverts promote exactly" gen_lo (fun x ->
+            KL.equal (Rf.demote (Rf.promote x)) x);
+        to_alco "promote zero-pads the limb planes" gen_lo (fun x ->
+            let lo = KL.to_planes x and hi = KH.to_planes (Rf.promote x) in
+            let parts = if KL.is_complex then 2 else 1 in
+            let wl = KL.width / parts and wh = KH.width / parts in
+            let ok = ref true in
+            for p = 0 to parts - 1 do
+              for i = 0 to wh - 1 do
+                let want = if i < wl then lo.((p * wl) + i) else 0.0 in
+                if hi.((p * wh) + i) <> want then ok := false
+              done
+            done;
+            !ok);
+        to_alco "demote truncates within the low precision" gen_hi (fun h ->
+            let back = Rf.promote (Rf.demote h) in
+            let d = KH.abs (KH.sub h back) in
+            let m = KH.abs h in
+            KH.R.compare d (KH.R.mul_float m (16.0 *. KL.R.eps)) <= 0);
+        to_alco "demote of a promoted sum matches the low-precision add"
+          (Gen.pair gen_lo gen_lo) (fun (a, b) ->
+            (* The embedding is exact, so adding two promoted values in
+               high precision and truncating back can differ from the
+               low-precision add only by its final rounding. *)
+            let hi = KH.add (Rf.promote a) (Rf.promote b) in
+            let lo = KL.add a b in
+            let d = KL.abs (KL.sub (Rf.demote hi) lo) in
+            let m = KL.R.max (KL.abs lo) KL.R.one in
+            KL.R.compare d (KL.R.mul_float m (16.0 *. KL.R.eps)) <= 0);
+      ] )
+end
+
+module Pr_d_dd = Refine_props (Scalar.D) (Scalar.Dd)
+module Pr_dd_qd = Refine_props (Scalar.Dd) (Scalar.Qd)
+module Pr_qd_od = Refine_props (Scalar.Qd) (Scalar.Od)
+module Pr_dd_od = Refine_props (Scalar.Dd) (Scalar.Od)
+module Pr_zdd_zqd = Refine_props (Scalar.Zdd) (Scalar.Zqd)
+module Pr_zqd_zod = Refine_props (Scalar.Zqd) (Scalar.Zod)
+
 let () =
   Alcotest.run "properties"
     ([
@@ -598,4 +663,10 @@ let () =
       Fpq.suite "quad double";
       Spdd.suite "double double";
       Spz.suite "complex double double";
+      Pr_d_dd.suite "double -> double double";
+      Pr_dd_qd.suite "double double -> quad double";
+      Pr_qd_od.suite "quad double -> octo double";
+      Pr_dd_od.suite "double double -> octo double";
+      Pr_zdd_zqd.suite "complex double double -> quad double";
+      Pr_zqd_zod.suite "complex quad double -> octo double";
     ])

@@ -1,0 +1,180 @@
+(* The solver-engine seam: method dispatch and codecs, engine agreement
+   on executed problems, determinism of the iterative ladder, the
+   schema-4 report round-trip with the solver record, and the job-level
+   solver field's validation and JSON codec. *)
+
+module P = Multidouble.Precision
+module Solver = Lsq_core.Solver
+module Json = Harness.Json
+module Report = Harness.Report
+module Job = Sched.Job
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* ---- method dispatch ---- *)
+
+let test_method_names () =
+  List.iter
+    (fun m -> check "name round-trips" true
+        (Solver.method_of_string (Solver.method_name m) = m))
+    Solver.all_methods;
+  check "qr_direct alias" true (Solver.method_of_string "qr_direct" = Solver.Qr_direct);
+  check "direct alias" true (Solver.method_of_string "direct" = Solver.Qr_direct);
+  check "cgnr alias" true (Solver.method_of_string "cgnr" = Solver.Cg_normal);
+  check "cg_normal alias" true
+    (Solver.method_of_string "cg_normal" = Solver.Cg_normal);
+  check "case-insensitive" true (Solver.method_of_string "LSQR" = Solver.Lsqr);
+  (match Solver.method_of_string "cholesky" with
+  | _ -> Alcotest.fail "unknown engine must raise"
+  | exception Invalid_argument _ -> ());
+  check "qr is direct" false (Solver.is_iterative Solver.Qr_direct);
+  check "cg is iterative" true (Solver.is_iterative Solver.Cg_normal);
+  check "lsqr is iterative" true (Solver.is_iterative Solver.Lsqr)
+
+(* ---- engine agreement and determinism (executed) ---- *)
+
+module K = Mdlinalg.Scalar.Dd
+module S = Solver.Make (K)
+module M = Mdlinalg.Mat.Make (K)
+module V = Mdlinalg.Vec.Make (K)
+module Rand = Mdlinalg.Randmat.Make (K)
+
+let agreement_problem () =
+  let rng = Dompool.Prng.create 1717 in
+  let rows = 512 and cols = 16 in
+  let a = Rand.matrix rng rows cols in
+  let b, x_true = Rand.rhs_for rng a in
+  let solve m =
+    S.solve ~method_:m ~device:Gpusim.Device.v100 ~a:(M.copy a)
+      ~b:(V.copy b) ~tile:16 ()
+  in
+  let err x =
+    K.R.to_float (V.norm (V.sub x x_true)) /. K.R.to_float (V.norm x_true)
+  in
+  (solve, err)
+
+let test_engines_agree () =
+  let solve, err = agreement_problem () in
+  List.iter
+    (fun m ->
+      let r = solve m in
+      let e = err r.x in
+      check
+        (Printf.sprintf "%s reaches the known solution" (Solver.method_name m))
+        true
+        (e < 1e6 *. Multidouble.Double_double.eps);
+      match r.iter with
+      | None -> check "direct engine has no iter record" true (m = Solver.Qr_direct)
+      | Some it ->
+        check "iterative engine converged" true it.Solver.converged;
+        check "ladder reaches the target" true
+          (it.Solver.ladder <> []
+          && fst (List.nth it.Solver.ladder (List.length it.Solver.ladder - 1))
+             = P.DD))
+    Solver.all_methods
+
+let test_deterministic () =
+  let solve, _ = agreement_problem () in
+  List.iter
+    (fun m ->
+      let r1 = solve m and r2 = solve m in
+      check
+        (Printf.sprintf "%s solution is bit-identical" (Solver.method_name m))
+        true (r1.x = r2.x);
+      match (r1.iter, r2.iter) with
+      | Some i1, Some i2 ->
+        check "iteration counts repeat" true
+          (i1.Solver.iterations = i2.Solver.iterations
+          && i1.Solver.ladder = i2.Solver.ladder
+          && i1.Solver.residual_history = i2.Solver.residual_history)
+      | None, None -> ()
+      | _ -> Alcotest.fail "iter record flickered between runs")
+    [ Solver.Cg_normal; Solver.Lsqr ]
+
+(* ---- report schema 4 ---- *)
+
+let test_report_roundtrip () =
+  checki "report schema is 4" 4 Report.schema_version;
+  let r =
+    Harness.Runners.solve ~method_:Solver.Lsqr ~rows:512 P.DD
+      Gpusim.Device.v100 ~n:16 ~tile:16
+  in
+  check "iterative run attaches the solver record" true (r.Report.solver <> None);
+  let r' = Report.of_json (Report.to_json r) in
+  check "schema-4 report round-trips" true (r = r');
+  (* A direct run keeps the solver field absent and round-trips too. *)
+  let d = Harness.Runners.solve P.DD Gpusim.Device.v100 ~n:32 ~tile:8 in
+  check "direct run has no solver record" true (d.Report.solver = None);
+  check "direct report round-trips" true (d = Report.of_json (Report.to_json d));
+  match Report.to_json r with
+  | Json.Obj fields ->
+    (match List.assoc "solver" fields with
+    | Json.Obj sf ->
+      checks "wire method name" "lsqr"
+        (match List.assoc "method" sf with Json.Str s -> s | _ -> "?")
+    | _ -> Alcotest.fail "solver field must be an object")
+  | _ -> Alcotest.fail "report must serialize to an object"
+
+(* ---- job codec and validation ---- *)
+
+let job ?(solver = Solver.Qr_direct) ?(kind = Job.Solve) ?rows () =
+  Job.make ~solver ?rows ~id:"j" ~kind ~device:"v100" ~prec:P.DD ~dim:64
+    ~tile:16 ()
+
+let test_job_codec () =
+  let j = job ~solver:Solver.Lsqr ~rows:4096 () in
+  let j' = Job.of_json (Job.to_json j) in
+  check "job with solver round-trips" true (j = j');
+  (* The default engine serializes exactly as before the seam: no
+     "solver" key on the wire. *)
+  (match Job.to_json (job ()) with
+  | Json.Obj fields ->
+    check "default engine stays off the wire" true
+      (not (List.mem_assoc "solver" fields))
+  | _ -> Alcotest.fail "job must serialize to an object");
+  check "default engine round-trips" true
+    (Job.of_json (Job.to_json (job ())) = job ());
+  (* Unknown engine names are codec errors, not crashes. *)
+  let forged =
+    match Job.to_json (job ()) with
+    | Json.Obj fields -> Json.Obj (("solver", Json.Str "cholesky") :: fields)
+    | _ -> assert false
+  in
+  match Job.of_json forged with
+  | _ -> Alcotest.fail "unknown solver must be a Json.Error"
+  | exception Json.Error _ -> ()
+
+let test_job_validation () =
+  check "iterative solve job validates" true
+    (Job.validate (job ~solver:Solver.Cg_normal ()) = Ok ());
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  (match Job.validate (job ~solver:Solver.Lsqr ~kind:Job.Qr ()) with
+  | Error m -> check "names the offender" true (contains m "solve")
+  | Ok () -> Alcotest.fail "iterative solver on a qr job must be rejected");
+  match Job.validate (job ~kind:Job.Backsub ~rows:128 ()) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "rows on a backsub job must be rejected"
+
+let () =
+  Alcotest.run "solver-engine"
+    [
+      ( "dispatch",
+        [ Alcotest.test_case "method names" `Quick test_method_names ] );
+      ( "agreement",
+        [
+          Alcotest.test_case "engines agree" `Slow test_engines_agree;
+          Alcotest.test_case "bit-deterministic" `Slow test_deterministic;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "report schema 4" `Quick test_report_roundtrip;
+          Alcotest.test_case "job solver codec" `Quick test_job_codec;
+          Alcotest.test_case "job validation" `Quick test_job_validation;
+        ] );
+    ]
